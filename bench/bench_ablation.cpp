@@ -1,0 +1,209 @@
+// Ablation studies beyond the paper's figures (DESIGN.md section 3):
+//   A. module-count sweep (2/4/8 IALUs) for the 4-bit LUT and Full Ham;
+//   B. LUT module-affinity strategy (proportional-with-wildcard, the
+//      paper's IALU design, vs one-case-per-module coverage);
+//   C. LUT built from paper statistics vs. self-measured statistics;
+//   D. FP information-bit width: OR of the mantissa's bottom 1/2/4/8/16
+//      bits (the paper fixes 4 for circuit speed);
+//   E. out-of-order vs in-order (VLIW-like) issue - the paper's section 2
+//      remark about VLIW applicability.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "steer/policies.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mrisc;
+  const auto config0 = bench::suite_config();
+  const auto ints = workloads::integer_suite(config0);
+  const auto fps = workloads::fp_suite(config0);
+
+  // --- A: module count sweep -------------------------------------------
+  {
+    util::AsciiTable table(
+        {"IALUs", "4-bit LUT reduction", "Full Ham reduction"});
+    for (const int modules : {2, 4, 8}) {
+      driver::ExperimentConfig base;
+      base.scheme = driver::Scheme::kOriginal;
+      base.machine.modules[static_cast<std::size_t>(isa::FuClass::kIalu)] =
+          modules;
+      base.machine.issue_width = modules + 2;
+      const auto original = driver::run_suite(ints, base);
+
+      auto run_scheme = [&](driver::Scheme scheme) {
+        driver::ExperimentConfig c = base;
+        c.scheme = scheme;
+        return driver::reduction_pct(original, driver::run_suite(ints, c),
+                                     isa::FuClass::kIalu);
+      };
+      // 8-module LUT uses a 4-slot vector at most; keep kLut4 (2 slots).
+      table.add_row({std::to_string(modules),
+                     util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
+                     util::fmt_pct(run_scheme(driver::Scheme::kFullHam))});
+    }
+    std::puts(table.to_string("Ablation A: IALU module count").c_str());
+  }
+
+  // --- B: affinity strategy --------------------------------------------
+  {
+    util::AsciiTable table({"Unit", "proportional", "coverage", "auto"});
+    for (const bool fp : {false, true}) {
+      const auto& suite = fp ? fps : ints;
+      const auto cls = fp ? isa::FuClass::kFpau : isa::FuClass::kIalu;
+      driver::ExperimentConfig base;
+      base.scheme = driver::Scheme::kOriginal;
+      const auto original = driver::run_suite(suite, base);
+      std::vector<std::string> row{isa::to_string(cls)};
+      for (const auto strategy :
+           {steer::AffinityStrategy::kProportional,
+            steer::AffinityStrategy::kCoverage, steer::AffinityStrategy::kAuto}) {
+        driver::ExperimentConfig c;
+        c.scheme = driver::Scheme::kLut4;
+        c.affinity = strategy;
+        row.push_back(util::fmt_pct(
+            driver::reduction_pct(original, driver::run_suite(suite, c), cls)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::puts(
+        table.to_string("Ablation B: LUT module-affinity strategy").c_str());
+  }
+
+  // --- C: paper statistics vs. measured statistics -----------------------
+  {
+    driver::ExperimentConfig base;
+    base.scheme = driver::Scheme::kOriginal;
+    stats::BitPatternCollector patterns;
+    stats::OccupancyAggregator occupancy;
+    const auto original =
+        driver::run_suite(ints, base, &patterns, &occupancy);
+
+    driver::ExperimentConfig paper;
+    paper.scheme = driver::Scheme::kLut4;
+    const double with_paper = driver::reduction_pct(
+        original, driver::run_suite(ints, paper), isa::FuClass::kIalu);
+
+    driver::ExperimentConfig measured = paper;
+    measured.lut_from_paper = false;
+    measured.ialu_stats = patterns.case_stats(
+        isa::FuClass::kIalu, occupancy.multi_issue_prob(isa::FuClass::kIalu));
+    measured.fpau_stats = patterns.case_stats(
+        isa::FuClass::kFpau, occupancy.multi_issue_prob(isa::FuClass::kFpau));
+    const double with_measured = driver::reduction_pct(
+        original, driver::run_suite(ints, measured), isa::FuClass::kIalu);
+
+    util::AsciiTable table({"LUT statistics source", "IALU reduction"});
+    table.add_row({"paper Table 1/2", util::fmt_pct(with_paper)});
+    table.add_row({"self-measured profile", util::fmt_pct(with_measured)});
+    std::puts(table.to_string("Ablation C: LUT construction statistics").c_str());
+  }
+
+  // --- D: FP information-bit OR width ------------------------------------
+  {
+    driver::ExperimentConfig base;
+    base.scheme = driver::Scheme::kOriginal;
+    const auto original = driver::run_suite(fps, base);
+    util::AsciiTable table({"OR width (mantissa bits)", "FPAU 1-bit-Ham"});
+    for (const int bits : {1, 2, 4, 8, 16}) {
+      driver::ExperimentConfig config;
+      config.scheme = driver::Scheme::kOneBitHam;
+      config.fp_or_bits = bits;
+      table.add_row({std::to_string(bits),
+                     util::fmt_pct(driver::reduction_pct(
+                         original, driver::run_suite(fps, config),
+                         isa::FuClass::kFpau))});
+    }
+    std::puts(table
+                  .to_string("Ablation D: FP information-bit width "
+                             "(paper fixes 4 for circuit speed)")
+                  .c_str());
+  }
+
+  // --- E: out-of-order vs in-order (VLIW-like) issue ----------------------
+  {
+    util::AsciiTable table(
+        {"Issue order", "IALU 4-bit LUT", "IALU Full Ham", "suite IPC"});
+    for (const bool in_order : {false, true}) {
+      driver::ExperimentConfig base;
+      base.scheme = driver::Scheme::kOriginal;
+      base.machine.in_order_issue = in_order;
+      const auto original = driver::run_suite(ints, base);
+      auto run_scheme = [&](driver::Scheme scheme) {
+        driver::ExperimentConfig c = base;
+        c.scheme = scheme;
+        return driver::reduction_pct(original, driver::run_suite(ints, c),
+                                     isa::FuClass::kIalu);
+      };
+      table.add_row({in_order ? "in-order (VLIW-like)" : "out-of-order",
+                     util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
+                     util::fmt_pct(run_scheme(driver::Scheme::kFullHam)),
+                     util::fmt_fixed(original.pipeline.ipc(), 2)});
+    }
+    std::puts(table.to_string("Ablation E: issue-order sensitivity").c_str());
+  }
+
+  // --- F: front-end realism (branch predictor) ----------------------------
+  {
+    util::AsciiTable table({"Front end", "IALU 4-bit LUT", "Full Ham",
+                            "mispredict rate", "suite IPC"});
+    for (const auto kind : {sim::BpredConfig::Kind::kNone,
+                            sim::BpredConfig::Kind::kBimodal,
+                            sim::BpredConfig::Kind::kGshare}) {
+      driver::ExperimentConfig base;
+      base.scheme = driver::Scheme::kOriginal;
+      base.machine.bpred.kind = kind;
+      const auto original = driver::run_suite(ints, base);
+      auto run_scheme = [&](driver::Scheme scheme) {
+        driver::ExperimentConfig c = base;
+        c.scheme = scheme;
+        return driver::reduction_pct(original, driver::run_suite(ints, c),
+                                     isa::FuClass::kIalu);
+      };
+      const double rate =
+          original.pipeline.branches
+              ? 100.0 * static_cast<double>(original.pipeline.mispredictions) /
+                    static_cast<double>(original.pipeline.branches)
+              : 0.0;
+      const char* name = kind == sim::BpredConfig::Kind::kNone ? "perfect"
+                         : kind == sim::BpredConfig::Kind::kBimodal
+                             ? "bimodal"
+                             : "gshare";
+      table.add_row({name, util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
+                     util::fmt_pct(run_scheme(driver::Scheme::kFullHam)),
+                     util::fmt_pct(rate),
+                     util::fmt_fixed(original.pipeline.ipc(), 2)});
+    }
+    std::puts(
+        table.to_string("Ablation F: branch-predictor sensitivity").c_str());
+  }
+
+  // --- G: PC-affinity steering (our extension) ----------------------------
+  {
+    util::AsciiTable table({"Unit", "Round-robin (control)", "4-bit LUT",
+                            "PC-hash (extension)", "1-Bit Ham"});
+    for (const bool fp : {false, true}) {
+      const auto& suite = fp ? fps : ints;
+      const auto cls = fp ? isa::FuClass::kFpau : isa::FuClass::kIalu;
+      driver::ExperimentConfig base;
+      base.scheme = driver::Scheme::kOriginal;
+      const auto original = driver::run_suite(suite, base);
+      auto run_scheme = [&](driver::Scheme scheme) {
+        driver::ExperimentConfig c;
+        c.scheme = scheme;
+        return driver::reduction_pct(original, driver::run_suite(suite, c), cls);
+      };
+      table.add_row({isa::to_string(cls),
+                     util::fmt_pct(run_scheme(driver::Scheme::kRoundRobin)),
+                     util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
+                     util::fmt_pct(run_scheme(driver::Scheme::kPcHash)),
+                     util::fmt_pct(run_scheme(driver::Scheme::kOneBitHam))});
+    }
+    std::puts(table
+                  .to_string("Ablation G: PC-affinity steering - how much of "
+                             "the win is temporal value locality?")
+                  .c_str());
+  }
+  return 0;
+}

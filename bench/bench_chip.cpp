@@ -1,0 +1,47 @@
+// Reproduces the paper's section 1 whole-chip arithmetic: "around 22% of
+// the processor's power is consumed in the execution units. Thus, the
+// decrease in total chip power is roughly 4%." We run the full suite under
+// the recommended configuration (4-bit LUT + hardware swapping) and report
+// the activity-based chip breakdown plus the end-to-end chip reduction.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "power/chip.h"
+
+int main() {
+  using namespace mrisc;
+  const auto suite = workloads::full_suite(bench::suite_config());
+
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kOriginal;
+  stats::BitPatternCollector patterns;
+  stats::OccupancyAggregator occupancy;
+  const auto original = driver::run_suite(suite, base, &patterns, &occupancy);
+
+  driver::ExperimentConfig steered;
+  steered.scheme = driver::Scheme::kLut4;
+  steered.swap = driver::SwapMode::kHardware;
+  steered.lut_from_paper = false;
+  steered.ialu_stats = patterns.case_stats(
+      isa::FuClass::kIalu, occupancy.multi_issue_prob(isa::FuClass::kIalu));
+  steered.fpau_stats = patterns.case_stats(
+      isa::FuClass::kFpau, occupancy.multi_issue_prob(isa::FuClass::kFpau));
+  const auto tuned = driver::run_suite(suite, steered);
+
+  const auto before =
+      power::chip_breakdown(original.pipeline, original.fu_energy());
+  const auto after = power::chip_breakdown(tuned.pipeline, tuned.fu_energy());
+
+  std::puts(before.to_string().c_str());
+  std::printf(
+      "\nexecution units' share of chip power: %.1f%% (paper cites ~22%%)\n",
+      100.0 * before.fu_share());
+  std::printf("IALU switching reduction: %.1f%%, FPAU: %.1f%%\n",
+              driver::reduction_pct(original, tuned, isa::FuClass::kIalu),
+              driver::reduction_pct(original, tuned, isa::FuClass::kFpau));
+  std::printf(
+      "whole-chip energy reduction: %.2f%% (paper's arithmetic: ~4%%)\n",
+      power::chip_reduction_pct(before, after));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace mrisc::bench {
+
+/// Workload scale for bench runs: default 1.0 (the full experiment size),
+/// override with MRISC_SCALE=0.2 etc. for quick runs.
+inline workloads::SuiteConfig suite_config() {
+  workloads::SuiteConfig config;
+  if (const char* env = std::getenv("MRISC_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) config.scale = v;
+  }
+  return config;
+}
+
+/// When MRISC_CSV names a directory, also write each rendered table there as
+/// `<name>.csv` (for plotting); otherwise a no-op.
+inline void maybe_write_csv(const std::string& name,
+                            const util::AsciiTable& table) {
+  const char* dir = std::getenv("MRISC_CSV");
+  if (!dir || !*dir) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << table.to_csv();
+  std::fprintf(stderr, "[csv written to %s]\n", path.c_str());
+}
+
+}  // namespace mrisc::bench

@@ -1,0 +1,84 @@
+// Cross-input compiler swapping (section 4.4, second compiler
+// disadvantage): "since the program must be profiled, performance will vary
+// somewhat for different input patterns". We profile the swap pass on input
+// A and evaluate on input B (same program structure, different data), and
+// compare against the matched-input case and against hardware swapping,
+// which adapts dynamically and has no such exposure.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "util/table.h"
+#include "xform/swap_pass.h"
+
+int main() {
+  using namespace mrisc;
+  auto config_a = bench::suite_config();
+  auto config_b = config_a;
+  config_b.seed_salt = 0xB0B;
+
+  const auto suite_a = workloads::integer_suite(config_a);
+  const auto suite_b = workloads::integer_suite(config_b);
+
+  // Baseline on input B.
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kOriginal;
+  const auto original_b = driver::run_suite(suite_b, base);
+
+  // For each workload: rewrite using a profile from input A, then run the
+  // rewritten binary on input B. The trick: the swap pass operates on PCs,
+  // and the A/B program texts differ only in their seed immediates, so the
+  // decision vector from A applies to B's binary PC-for-PC.
+  double matched = 0, crossed = 0, hardware = 0;
+  {
+    driver::RunResult matched_total, crossed_total, hw_total;
+    for (std::size_t i = 0; i < suite_b.size(); ++i) {
+      // Matched-input compiler swap (profile B, run B).
+      {
+        driver::ExperimentConfig config;
+        config.scheme = driver::Scheme::kOriginal;
+        config.swap = driver::SwapMode::kCompilerOnly;
+        matched_total.accumulate(driver::run_workload(suite_b[i], config));
+      }
+      // Cross-input: profile A's binary, transplant decisions onto B.
+      {
+        const auto profile = xform::profile_program(suite_a[i].assembled());
+        isa::Program program_b = suite_b[i].assembled();
+        xform::compiler_swap_pass(program_b, profile);
+        driver::ExperimentConfig config;
+        config.scheme = driver::Scheme::kOriginal;
+        config.verify_outputs = false;
+        crossed_total.accumulate(driver::run_program(
+            program_b, suite_b[i].name, config));
+      }
+      // Hardware swapping (input-independent by construction).
+      {
+        driver::ExperimentConfig config;
+        config.scheme = driver::Scheme::kOriginal;
+        config.swap = driver::SwapMode::kHardware;
+        hw_total.accumulate(driver::run_workload(suite_b[i], config));
+      }
+    }
+    matched = driver::reduction_pct(original_b, matched_total,
+                                    isa::FuClass::kIalu);
+    crossed = driver::reduction_pct(original_b, crossed_total,
+                                    isa::FuClass::kIalu);
+    hardware = driver::reduction_pct(original_b, hw_total,
+                                     isa::FuClass::kIalu);
+  }
+
+  util::AsciiTable table({"Swapping configuration", "IALU reduction on input B"});
+  table.add_row({"compiler, profiled on input B (matched)",
+                 util::fmt_pct(matched)});
+  table.add_row({"compiler, profiled on input A (cross-input)",
+                 util::fmt_pct(crossed)});
+  table.add_row({"hardware swapping (dynamic, no profile)",
+                 util::fmt_pct(hardware)});
+  std::puts(table
+                .to_string("Cross-input sensitivity of compiler swapping "
+                           "(section 4.4)")
+                .c_str());
+  std::printf("profile transfer retains %.0f%% of the matched-input benefit\n",
+              matched > 0 ? 100.0 * crossed / matched : 0.0);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Figure 4(b): FPAU energy reduction across schemes and swap
+// modes over the floating point suite.
+#include "bench/fig4_common.h"
+#include "stats/paper_ref.h"
+
+int main() {
+  using namespace mrisc;
+  const auto suite = workloads::fp_suite(bench::suite_config());
+  bench::run_figure4(suite, isa::FuClass::kFpau,
+                     "Figure 4(b): FPAU energy reduction (%)",
+                     stats::kPaperFpauLut4HwSwap);
+  return 0;
+}

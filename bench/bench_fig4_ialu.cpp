@@ -1,0 +1,14 @@
+// Reproduces Figure 4(a): IALU energy reduction for Full Ham / 1-Bit Ham /
+// 8-4-2-bit LUT / Original, each without swapping, with hardware swapping,
+// and with hardware+compiler swapping, over the integer suite.
+#include "bench/fig4_common.h"
+#include "stats/paper_ref.h"
+
+int main() {
+  using namespace mrisc;
+  const auto suite = workloads::integer_suite(bench::suite_config());
+  bench::run_figure4(suite, isa::FuClass::kIalu,
+                     "Figure 4(a): IALU energy reduction (%)",
+                     stats::kPaperIaluLut4HwSwap);
+  return 0;
+}

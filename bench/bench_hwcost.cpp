@@ -1,0 +1,41 @@
+// Reproduces section 5's hardware cost argument: two-level synthesis of the
+// steering LUT plus the select/forward network, for 8- and 32-entry
+// reservation stations (paper: 58 gates / 6 levels and 130 gates / 8
+// levels for the 4-bit LUT).
+#include <cstdio>
+
+#include "hwcost/routing_cost.h"
+#include "stats/paper_ref.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mrisc;
+
+  util::AsciiTable table({"Vector", "RS entries", "LUT gates", "LUT levels",
+                          "select gates", "total gates", "total levels",
+                          "paper"});
+  const auto stats = stats::paper_case_stats(isa::FuClass::kIalu);
+  for (const int bits : {2, 4, 8}) {
+    const auto lut = steer::build_lut(stats, 4, bits);
+    for (const int rs : {8, 32}) {
+      const auto cost = hwcost::routing_logic_cost(lut, rs);
+      std::string paper = "-";
+      if (bits == 4 && rs == 8) paper = "58 gates / 6 levels";
+      if (bits == 4 && rs == 32) paper = "130 gates / 8 levels";
+      table.add_row({std::to_string(bits) + "-bit", std::to_string(rs),
+                     std::to_string(cost.lut.total_gates()),
+                     std::to_string(cost.lut.levels),
+                     std::to_string(cost.select_gates),
+                     std::to_string(cost.total_gates()),
+                     std::to_string(cost.total_levels()), paper});
+    }
+  }
+  std::puts(table.to_string("Section 5: routing control logic cost").c_str());
+
+  const auto lut4 = steer::build_lut(stats, 4, 4);
+  const auto c = hwcost::routing_logic_cost(lut4, 8);
+  std::printf("\n4-bit LUT SOP: %d product terms, %d AND, %d OR, %d INV\n",
+              c.lut.product_terms, c.lut.and_gates, c.lut.or_gates,
+              c.lut.inverters);
+  return 0;
+}

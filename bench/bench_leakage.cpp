@@ -1,0 +1,91 @@
+// Leakage/sleep interaction study (section 4 cites Johnson et al. [12] for
+// idle-FU leakage control). A sleep controller gates a module after N quiet
+// cycles and pays a wake cost on reuse. The interesting question is whether
+// steering helps or hurts it: FCFS naturally piles work onto the
+// lowest-numbered modules (long sleeps for the rest), while case-affine
+// steering deliberately keeps several modules warm. This bench quantifies
+// the trade on the integer suite; see EXPERIMENTS.md for the finding.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "power/energy.h"
+#include "power/leakage.h"
+#include "sim/emulator.h"
+#include "sim/ooo.h"
+#include "stats/paper_ref.h"
+#include "steer/lut.h"
+#include "steer/policies.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mrisc;
+
+struct Outcome {
+  double dynamic_bits = 0;
+  double leakage = 0;
+  std::uint64_t slept = 0, wakeups = 0, module_cycles = 0;
+};
+
+Outcome run(const std::vector<workloads::Workload>& suite, bool steered,
+            int sleep_after) {
+  Outcome total;
+  for (const auto& workload : suite) {
+    sim::Emulator emu(workload.assembled());
+    sim::EmulatorTraceSource source(emu);
+    sim::OooConfig machine;
+    sim::OooCore core(machine, source);
+
+    const auto swap = steer::SwapConfig::hardware_for(isa::FuClass::kIalu);
+    steer::FcfsSteering fcfs(swap);
+    steer::LutSteering lut(
+        steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4, 4),
+        swap);
+    core.set_policy(isa::FuClass::kIalu,
+                    steered ? static_cast<sim::SteeringPolicy*>(&lut) : &fcfs);
+
+    power::EnergyAccountant dynamic_energy;
+    power::LeakageConfig leak_config;
+    leak_config.sleep_after_idle = sleep_after;
+    power::LeakageTracker leakage(leak_config, machine.modules);
+    core.add_listener(&dynamic_energy);
+    core.add_listener(&leakage);
+    core.run();
+
+    total.dynamic_bits += static_cast<double>(
+        dynamic_energy.cls(isa::FuClass::kIalu).switched_bits);
+    total.leakage += leakage.energy(isa::FuClass::kIalu);
+    total.slept += leakage.slept_cycles(isa::FuClass::kIalu);
+    total.wakeups += leakage.wakeups(isa::FuClass::kIalu);
+    total.module_cycles += 4 * core.stats().cycles;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const auto suite = mrisc::workloads::integer_suite(bench::suite_config());
+
+  mrisc::util::AsciiTable table({"Assignment", "sleep after", "IALU leakage",
+                                 "slept module-cycles", "wakeups",
+                                 "dynamic bits"});
+  for (const int sleep_after : {8, 32, 128}) {
+    for (const bool steered : {false, true}) {
+      const Outcome outcome = run(suite, steered, sleep_after);
+      table.add_row(
+          {steered ? "4-bit LUT + hw swap" : "Original (FCFS)",
+           std::to_string(sleep_after),
+           mrisc::util::fmt_fixed(outcome.leakage, 0),
+           std::to_string(outcome.slept) + " / " +
+               std::to_string(outcome.module_cycles),
+           std::to_string(outcome.wakeups),
+           mrisc::util::fmt_fixed(outcome.dynamic_bits, 0)});
+    }
+  }
+  std::puts(table
+                .to_string("Leakage/sleep interaction (section 4's [12]): "
+                           "dynamic savings vs sleep opportunity")
+                .c_str());
+  return 0;
+}

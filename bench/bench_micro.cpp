@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator and
+// the steering policies: Hamming/energy accounting, info-bit extraction,
+// per-cycle policy decisions, and end-to-end simulated instruction rate.
+#include <benchmark/benchmark.h>
+
+#include "driver/experiment.h"
+#include "sim/emulator.h"
+#include "stats/paper_ref.h"
+#include "steer/info_bit.h"
+#include "steer/lut.h"
+#include "steer/policies.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace mrisc;
+
+void BM_Hamming(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::uint64_t a = rng.next(), b = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::hamming_low(a, b, 52));
+    a += 0x9E3779B97F4A7C15ull;
+    b ^= a;
+  }
+}
+BENCHMARK(BM_Hamming);
+
+void BM_InfoBit(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  std::uint64_t v = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(steer::info_bit(v, state.range(0) != 0));
+    v += 0x9E3779B97F4A7C15ull;
+  }
+}
+BENCHMARK(BM_InfoBit)->Arg(0)->Arg(1);
+
+std::vector<sim::IssueSlot> random_slots(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<sim::IssueSlot> slots(n);
+  for (auto& slot : slots) {
+    slot.op1 = rng.next() & 0xFFFFFFFF;
+    slot.op2 = rng.next() & 0xFFFFFFFF;
+    slot.has_op1 = slot.has_op2 = true;
+    slot.commutative = rng.next_below(2) == 0;
+  }
+  return slots;
+}
+
+template <typename Policy>
+void run_policy_bench(benchmark::State& state, Policy& policy) {
+  policy.reset(4);
+  const std::vector<int> available = {0, 1, 2, 3};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  std::vector<sim::ModuleAssignment> out(n);
+  for (auto _ : state) {
+    const auto slots = random_slots(n, seed++);
+    policy.assign(slots, available, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_SteeringFcfs(benchmark::State& state) {
+  steer::FcfsSteering policy;
+  run_policy_bench(state, policy);
+}
+BENCHMARK(BM_SteeringFcfs)->Arg(2)->Arg(4);
+
+void BM_SteeringFullHam(benchmark::State& state) {
+  steer::FullHamSteering policy(steer::SwapConfig::explore());
+  run_policy_bench(state, policy);
+}
+BENCHMARK(BM_SteeringFullHam)->Arg(2)->Arg(4);
+
+void BM_SteeringLut4(benchmark::State& state) {
+  steer::LutSteering policy(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4, 4),
+      steer::SwapConfig::hardware_for(isa::FuClass::kIalu));
+  run_policy_bench(state, policy);
+}
+BENCHMARK(BM_SteeringLut4)->Arg(2)->Arg(4);
+
+void BM_LutBuild(benchmark::State& state) {
+  const auto stats = stats::paper_case_stats(isa::FuClass::kIalu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        steer::build_lut(stats, 4, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_LutBuild)->Arg(4)->Arg(8);
+
+void BM_EmulatorRate(benchmark::State& state) {
+  const auto w = workloads::make_compress(workloads::SuiteConfig{0.3});
+  const auto program = w.assembled();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Emulator emu(program);
+    instructions += emu.run();
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulatorRate);
+
+void BM_OooCoreRate(benchmark::State& state) {
+  const auto w = workloads::make_compress(workloads::SuiteConfig{0.3});
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    driver::ExperimentConfig config;
+    config.scheme = driver::Scheme::kLut4;
+    const auto result = driver::run_workload(w, config);
+    instructions += result.pipeline.committed;
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OooCoreRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Quantifies the multiplier operand swapping of section 4.4 (which the
+// paper leaves unmeasured for lack of a Booth power model) using our
+// shift-and-add proxy: E = switched bits + beta * popcount(op2).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mrisc;
+
+  const auto suite = workloads::full_suite(bench::suite_config());
+
+  util::AsciiTable table({"Rule", "IMULT booth adds/op", "IMULT energy units",
+                          "FPMULT booth adds/op", "FPMULT energy units"});
+  driver::RunResult base;
+  for (const auto rule :
+       {steer::MultSwapSteering::Rule::kNone,
+        steer::MultSwapSteering::Rule::kInfoBit,
+        steer::MultSwapSteering::Rule::kPopcount}) {
+    driver::ExperimentConfig config;
+    config.mult_rule = rule;
+    const auto result = driver::run_suite(suite, config);
+    if (rule == steer::MultSwapSteering::Rule::kNone) base = result;
+
+    const double beta = config.power.booth_beta;
+    auto row_for = [&](const power::ClassEnergy& e) {
+      return std::pair<double, double>{
+          e.ops ? e.booth_adds / static_cast<double>(e.ops) : 0.0,
+          e.total_units(beta)};
+    };
+    const auto [i_adds, i_units] = row_for(result.imult);
+    const auto [f_adds, f_units] = row_for(result.fpmult);
+    const char* name = rule == steer::MultSwapSteering::Rule::kNone
+                           ? "No swapping"
+                           : rule == steer::MultSwapSteering::Rule::kInfoBit
+                                 ? "Info-bit rule (hardware)"
+                                 : "Popcount rule (compiler/oracle)";
+    table.add_row({name, util::fmt_fixed(i_adds, 2),
+                   util::fmt_fixed(i_units, 0), util::fmt_fixed(f_adds, 2),
+                   util::fmt_fixed(f_units, 0)});
+  }
+  std::puts(
+      table.to_string("Multiplier swapping (section 4.4, Booth proxy model)")
+          .c_str());
+  std::puts("(the paper reports only the swappable-case fractions; the "
+            "energy columns are our proxy quantification)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table 1: operand bit patterns for the IALU and FPAU, measured
+// on the full synthetic suite and printed against the paper's numbers.
+// Also prints the derived headline statistics from section 4.2.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "stats/report.h"
+
+int main() {
+  using namespace mrisc;
+
+  const auto config = bench::suite_config();
+  const auto suite = workloads::full_suite(config);
+
+  driver::ExperimentConfig experiment;
+  experiment.scheme = driver::Scheme::kOriginal;  // measurement run
+  stats::BitPatternCollector patterns;
+  driver::run_suite(suite, experiment, &patterns);
+
+  std::puts(stats::render_table1(patterns, isa::FuClass::kIalu).c_str());
+  std::puts(stats::render_table1(patterns, isa::FuClass::kFpau).c_str());
+
+  // Section 4.2 headline derivations ("when the top bit is 0, so are 91.2%
+  // of the bits; when it is 1, so are 63.7%").
+  double w0 = 0, p0 = 0, w1 = 0, p1 = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (const bool commut : {true, false}) {
+      const auto& row = patterns.row(isa::FuClass::kIalu, c, commut);
+      if (row.count == 0) continue;
+      const double n = static_cast<double>(row.count);
+      // Operand 1 contributes under its bit (c>>1), operand 2 under (c&1).
+      if (c >> 1) {
+        w1 += n;
+        p1 += row.sum_frac1;
+      } else {
+        w0 += n;
+        p0 += row.sum_frac1;
+      }
+      if (c & 1) {
+        w1 += n;
+        p1 += row.sum_frac2;
+      } else {
+        w0 += n;
+        p0 += row.sum_frac2;
+      }
+    }
+  }
+  std::printf(
+      "\nIALU derived: P(bit=0 | info bit 0) = %.1f%% (paper: 91.2%%), "
+      "P(bit=1 | info bit 1) = %.1f%% (paper: 63.7%%)\n",
+      100.0 * (1.0 - p0 / w0), 100.0 * (p1 / w1));
+
+  // FP derivation ("when the bottom four bits are zero, 86.5% of the bits
+  // are zero").
+  double fw0 = 0, fp0 = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (const bool commut : {true, false}) {
+      const auto& row = patterns.row(isa::FuClass::kFpau, c, commut);
+      if (row.count == 0) continue;
+      const double n = static_cast<double>(row.count);
+      if (!(c >> 1)) {
+        fw0 += n;
+        fp0 += row.sum_frac1;
+      }
+      if (!(c & 1)) {
+        fw0 += n;
+        fp0 += row.sum_frac2;
+      }
+    }
+  }
+  if (fw0 > 0) {
+    std::printf(
+        "FPAU derived: P(mantissa bit=0 | info bit 0) = %.1f%% "
+        "(paper: 86.5%%)\n",
+        100.0 * (1.0 - fp0 / fw0));
+  }
+  return 0;
+}

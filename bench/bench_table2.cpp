@@ -1,0 +1,29 @@
+// Reproduces Table 2: the frequency that each FU type issues k operations
+// in one cycle on the 4-way machine (4 IALUs, 4 FPAUs), measured through
+// the out-of-order core.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "stats/report.h"
+
+int main() {
+  using namespace mrisc;
+
+  const auto suite = workloads::full_suite(bench::suite_config());
+  driver::ExperimentConfig experiment;
+  experiment.scheme = driver::Scheme::kOriginal;
+  stats::OccupancyAggregator occupancy;
+  const auto result = driver::run_suite(suite, experiment, nullptr, &occupancy);
+
+  std::puts(stats::render_table2(occupancy).c_str());
+  std::printf("\nP(Num(I) >= 2 | busy): IALU %.1f%% (paper 59.7%%), "
+              "FPAU %.1f%% (paper 9.8%%)\n",
+              100.0 * occupancy.multi_issue_prob(isa::FuClass::kIalu),
+              100.0 * occupancy.multi_issue_prob(isa::FuClass::kFpau));
+  std::printf("suite: %llu instructions, %llu cycles, IPC %.2f\n",
+              static_cast<unsigned long long>(result.pipeline.committed),
+              static_cast<unsigned long long>(result.pipeline.cycles),
+              result.pipeline.ipc());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Table 3: operand bit patterns of the integer and FP
+// multipliers, including the fraction of case-01 multiplies that swapping
+// can convert to case 10 (the paper highlights 15.5% for FP).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "stats/report.h"
+
+int main() {
+  using namespace mrisc;
+
+  const auto suite = workloads::full_suite(bench::suite_config());
+  driver::ExperimentConfig experiment;
+  experiment.scheme = driver::Scheme::kOriginal;
+  stats::BitPatternCollector patterns;
+  driver::run_suite(suite, experiment, &patterns);
+
+  std::puts(stats::render_table3(patterns).c_str());
+
+  for (const auto cls : {isa::FuClass::kImult, isa::FuClass::kFpmult}) {
+    const double c01 = patterns.case_prob(cls, 0b01);
+    std::printf(
+        "%s: %.1f%% of multiplies are case 01 and can be swapped to case 10"
+        " (paper FP: 15.5%%)\n",
+        isa::to_string(cls), 100.0 * c01);
+  }
+  return 0;
+}

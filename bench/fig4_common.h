@@ -1,0 +1,61 @@
+// Shared driver for the Figure 4 reproductions: sweeps every steering
+// scheme against the three swap stackings and prints the paper-style bar
+// values (percent energy reduction relative to Original/no-swap).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "util/table.h"
+
+namespace mrisc::bench {
+
+inline void run_figure4(const std::vector<workloads::Workload>& suite,
+                        isa::FuClass cls, const char* title,
+                        double paper_lut4_hw_swap) {
+  // Baseline run doubles as the profiling pass: the steering LUTs are built
+  // from the suite's own Table 1/2 statistics, exactly as the authors built
+  // theirs from their SPEC95 measurements.
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kOriginal;
+  base.swap = driver::SwapMode::kNone;
+  stats::BitPatternCollector patterns;
+  stats::OccupancyAggregator occupancy;
+  const driver::RunResult original =
+      driver::run_suite(suite, base, &patterns, &occupancy);
+
+  driver::ExperimentConfig measured;
+  measured.lut_from_paper = false;
+  measured.ialu_stats = patterns.case_stats(
+      isa::FuClass::kIalu, occupancy.multi_issue_prob(isa::FuClass::kIalu));
+  measured.fpau_stats = patterns.case_stats(
+      isa::FuClass::kFpau, occupancy.multi_issue_prob(isa::FuClass::kFpau));
+
+  util::AsciiTable table(
+      {"Scheme", "Base (no swap)", "+ Hardware swap", "+ HW + Compiler"});
+  for (const driver::Scheme scheme : driver::kAllSchemes) {
+    std::vector<std::string> row{driver::to_string(scheme)};
+    for (const driver::SwapMode swap : driver::kAllSwapModes) {
+      driver::ExperimentConfig config = measured;
+      config.scheme = scheme;
+      config.swap = swap;
+      const driver::RunResult result = driver::run_suite(suite, config);
+      row.push_back(
+          util::fmt_pct(driver::reduction_pct(original, result, cls)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::puts(table.to_string(title).c_str());
+  maybe_write_csv(cls == isa::FuClass::kFpau ? "fig4_fpau" : "fig4_ialu",
+                  table);
+  std::printf(
+      "paper headline for the 4-bit LUT with hardware swapping: %.0f%%\n",
+      paper_lut4_hw_swap);
+  std::printf("(energy = switched input bits of the %s modules; reduction "
+              "relative to Original with no swapping)\n\n",
+              isa::to_string(cls));
+}
+
+}  // namespace mrisc::bench

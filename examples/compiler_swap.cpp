@@ -1,0 +1,62 @@
+// Compiler swapping walkthrough (section 4.4): profile a workload, run the
+// binary-rewriting pass, show which instructions were reoriented and why,
+// and measure the switching effect with and without the hardware scheme.
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "isa/disasm.h"
+#include "xform/profile.h"
+#include "xform/swap_pass.h"
+
+int main() {
+  using namespace mrisc;
+
+  const auto workload = workloads::make_ijpeg(workloads::SuiteConfig{0.5});
+  isa::Program original = workload.assembled();
+  isa::Program rewritten = original;
+
+  const auto profile = xform::profile_program(original);
+  const auto report = xform::compiler_swap_pass(rewritten, profile);
+  std::printf("%s\n\n", report.summary().c_str());
+
+  // Show the first few rewritten sites with their profiles.
+  std::puts("pc    before                  after                   reason");
+  int shown = 0;
+  for (const auto& decision : report.decisions) {
+    if (shown++ == 12) break;
+    const char* reason =
+        decision.reason == xform::SwapReason::kCaseRule    ? "case rule"
+        : decision.reason == xform::SwapReason::kFracOrder ? "ones order"
+                                                           : "booth ones";
+    std::printf("%-5u %-23s %-23s %s\n", decision.pc,
+                isa::disassemble(original.code[decision.pc], decision.pc).c_str(),
+                isa::disassemble(rewritten.code[decision.pc], decision.pc).c_str(),
+                reason);
+  }
+
+  // Energy effect: compiler swapping alone, and stacked on the 4-bit LUT.
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kOriginal;
+  const auto baseline = driver::run_workload(workload, base);
+
+  auto measure = [&](driver::Scheme scheme, driver::SwapMode swap) {
+    driver::ExperimentConfig config;
+    config.scheme = scheme;
+    config.swap = swap;
+    return driver::reduction_pct(
+        baseline, driver::run_workload(workload, config), isa::FuClass::kIalu);
+  };
+
+  std::printf("\nIALU switching reduction vs Original/no-swap:\n");
+  std::printf("  compiler swap only:            %5.1f%%\n",
+              measure(driver::Scheme::kOriginal, driver::SwapMode::kCompilerOnly));
+  std::printf("  4-bit LUT, no swap:            %5.1f%%\n",
+              measure(driver::Scheme::kLut4, driver::SwapMode::kNone));
+  std::printf("  4-bit LUT + hardware swap:     %5.1f%%\n",
+              measure(driver::Scheme::kLut4, driver::SwapMode::kHardware));
+  std::printf("  4-bit LUT + hw + compiler:     %5.1f%%\n",
+              measure(driver::Scheme::kLut4, driver::SwapMode::kHardwareCompiler));
+  std::puts("\n(section 6: compiler swapping's benefit is mostly orthogonal"
+            " to, and additive with, the hardware scheme)");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Steering study: compare every scheme of the paper on one SPEC95-like
+// workload and print the Figure-4-style reductions, plus the per-scheme
+// bits/op. Shows the experiment-driver API (the one the bench binaries
+// use) on a single workload.
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mrisc;
+
+  // Pick a workload by name (default: compress).
+  const std::string name = argc > 1 ? argv[1] : "compress";
+  workloads::Workload workload;
+  bool found = false;
+  for (auto& w : workloads::full_suite()) {
+    if (w.name == name) {
+      workload = std::move(w);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+    std::fprintf(stderr, "available:");
+    for (const auto& w : workloads::full_suite())
+      std::fprintf(stderr, " %s", w.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const auto cls =
+      workload.floating_point ? isa::FuClass::kFpau : isa::FuClass::kIalu;
+
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kOriginal;
+  const auto original = driver::run_workload(workload, base);
+
+  util::AsciiTable table(
+      {"Scheme", "bits/op", "reduction", "+hw swap", "+hw+compiler"});
+  for (const auto scheme : driver::kAllSchemes) {
+    std::vector<std::string> row{driver::to_string(scheme)};
+    bool first = true;
+    for (const auto swap : driver::kAllSwapModes) {
+      driver::ExperimentConfig config;
+      config.scheme = scheme;
+      config.swap = swap;
+      const auto result = driver::run_workload(workload, config);
+      if (first) {
+        const auto& e = result.of(cls);
+        row.push_back(util::fmt_fixed(
+            e.ops ? static_cast<double>(e.switched_bits) / e.ops : 0, 2));
+        first = false;
+      }
+      row.push_back(
+          util::fmt_pct(driver::reduction_pct(original, result, cls)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::puts(table
+                .to_string("Steering schemes on '" + workload.name + "' (" +
+                           isa::to_string(cls) + ")")
+                .c_str());
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "driver/config_io.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrisc::driver {
+
+std::optional<Scheme> scheme_from_name(const std::string& name) {
+  if (name == "original") return Scheme::kOriginal;
+  if (name == "fullham") return Scheme::kFullHam;
+  if (name == "onebit") return Scheme::kOneBitHam;
+  if (name == "lut8") return Scheme::kLut8;
+  if (name == "lut4") return Scheme::kLut4;
+  if (name == "lut2") return Scheme::kLut2;
+  if (name == "pchash") return Scheme::kPcHash;
+  if (name == "roundrobin") return Scheme::kRoundRobin;
+  return std::nullopt;
+}
+
+std::optional<SwapMode> swap_from_name(const std::string& name) {
+  if (name == "none") return SwapMode::kNone;
+  if (name == "hw") return SwapMode::kHardware;
+  if (name == "hwcc") return SwapMode::kHardwareCompiler;
+  if (name == "cc") return SwapMode::kCompilerOnly;
+  return std::nullopt;
+}
+
+std::optional<steer::MultSwapSteering::Rule> mult_rule_from_name(
+    const std::string& name) {
+  using Rule = steer::MultSwapSteering::Rule;
+  if (name == "none") return Rule::kNone;
+  if (name == "infobit") return Rule::kInfoBit;
+  if (name == "popcount") return Rule::kPopcount;
+  return std::nullopt;
+}
+
+ExperimentConfig config_from_ini(const util::Ini& ini) {
+  static const char* kKnown[] = {
+      "machine.ialus",        "machine.fpaus",      "machine.imults",
+      "machine.fpmults",      "machine.mem_ports",  "machine.fetch_width",
+      "machine.issue_width",  "machine.commit_width", "machine.rob",
+      "machine.rs_per_class", "machine.in_order",
+      "machine.bpred", "machine.bpred_penalty", "machine.bpred_table_bits",
+      "cache.size_bytes",     "cache.line_bytes",   "cache.hit_latency",
+      "cache.miss_penalty",
+      "power.guarded_int_units", "power.guard_low_bits", "power.booth_beta",
+      "power.vdd", "power.freq_hz",
+      "steer.scheme", "steer.swap", "steer.mult_swap", "steer.fp_or_bits",
+      "steer.affinity"};
+  for (const auto& key : ini.keys()) {
+    if (std::find_if(std::begin(kKnown), std::end(kKnown), [&](const char* k) {
+          return key == k;
+        }) == std::end(kKnown)) {
+      throw std::invalid_argument("unknown config key '" + key + "'");
+    }
+  }
+
+  ExperimentConfig config;
+  auto& machine = config.machine;
+  auto cls_count = [&](isa::FuClass cls, const char* key, int fallback) {
+    machine.modules[static_cast<std::size_t>(cls)] =
+        static_cast<int>(ini.get_int(key, fallback));
+  };
+  cls_count(isa::FuClass::kIalu, "machine.ialus", 4);
+  cls_count(isa::FuClass::kFpau, "machine.fpaus", 4);
+  cls_count(isa::FuClass::kImult, "machine.imults", 1);
+  cls_count(isa::FuClass::kFpmult, "machine.fpmults", 1);
+  cls_count(isa::FuClass::kMem, "machine.mem_ports", 2);
+  machine.fetch_width = static_cast<int>(ini.get_int("machine.fetch_width", 4));
+  machine.issue_width = static_cast<int>(ini.get_int("machine.issue_width", 4));
+  machine.commit_width =
+      static_cast<int>(ini.get_int("machine.commit_width", 4));
+  machine.rob_size = static_cast<int>(ini.get_int("machine.rob", 64));
+  machine.rs_per_class =
+      static_cast<int>(ini.get_int("machine.rs_per_class", 8));
+  machine.in_order_issue = ini.get_bool("machine.in_order", false);
+
+  const std::string bpred = ini.get_or("machine.bpred", "none");
+  if (bpred == "none") {
+    machine.bpred.kind = sim::BpredConfig::Kind::kNone;
+  } else if (bpred == "nottaken") {
+    machine.bpred.kind = sim::BpredConfig::Kind::kNotTaken;
+  } else if (bpred == "bimodal") {
+    machine.bpred.kind = sim::BpredConfig::Kind::kBimodal;
+  } else if (bpred == "gshare") {
+    machine.bpred.kind = sim::BpredConfig::Kind::kGshare;
+  } else {
+    throw std::invalid_argument("bad machine.bpred '" + bpred + "'");
+  }
+  machine.bpred.mispredict_penalty =
+      static_cast<int>(ini.get_int("machine.bpred_penalty", 6));
+  machine.bpred.table_bits =
+      static_cast<int>(ini.get_int("machine.bpred_table_bits", 11));
+
+  machine.cache.size_bytes =
+      static_cast<std::uint32_t>(ini.get_int("cache.size_bytes", 16 * 1024));
+  machine.cache.line_bytes =
+      static_cast<std::uint32_t>(ini.get_int("cache.line_bytes", 32));
+  machine.cache.hit_latency =
+      static_cast<int>(ini.get_int("cache.hit_latency", 1));
+  machine.cache.miss_penalty =
+      static_cast<int>(ini.get_int("cache.miss_penalty", 18));
+
+  config.power.guarded_int_units =
+      ini.get_bool("power.guarded_int_units", false);
+  config.power.guard_low_bits =
+      static_cast<int>(ini.get_int("power.guard_low_bits", 16));
+  config.power.booth_beta = ini.get_double("power.booth_beta", 0.5);
+  config.power.vdd_volts = ini.get_double("power.vdd", 1.2);
+  config.power.freq_hz = ini.get_double("power.freq_hz", 2.0e9);
+
+  const std::string scheme = ini.get_or("steer.scheme", "lut4");
+  const std::string swap = ini.get_or("steer.swap", "none");
+  const std::string mult = ini.get_or("steer.mult_swap", "none");
+  const auto parsed_scheme = scheme_from_name(scheme);
+  const auto parsed_swap = swap_from_name(swap);
+  const auto parsed_mult = mult_rule_from_name(mult);
+  if (!parsed_scheme) throw std::invalid_argument("bad steer.scheme '" + scheme + "'");
+  if (!parsed_swap) throw std::invalid_argument("bad steer.swap '" + swap + "'");
+  if (!parsed_mult) throw std::invalid_argument("bad steer.mult_swap '" + mult + "'");
+  config.scheme = *parsed_scheme;
+  config.swap = *parsed_swap;
+  config.mult_rule = *parsed_mult;
+  config.fp_or_bits = static_cast<int>(ini.get_int("steer.fp_or_bits", 4));
+  const std::string affinity = ini.get_or("steer.affinity", "auto");
+  if (affinity == "proportional") {
+    config.affinity = steer::AffinityStrategy::kProportional;
+  } else if (affinity == "coverage") {
+    config.affinity = steer::AffinityStrategy::kCoverage;
+  } else if (affinity == "auto") {
+    config.affinity = steer::AffinityStrategy::kAuto;
+  } else {
+    throw std::invalid_argument("bad steer.affinity '" + affinity + "'");
+  }
+  return config;
+}
+
+std::string describe(const ExperimentConfig& config) {
+  std::ostringstream out;
+  out << to_string(config.scheme) << " / " << to_string(config.swap)
+      << " | IALUs "
+      << config.machine.modules[static_cast<std::size_t>(isa::FuClass::kIalu)]
+      << ", FPAUs "
+      << config.machine.modules[static_cast<std::size_t>(isa::FuClass::kFpau)]
+      << ", issue " << config.machine.issue_width
+      << (config.machine.in_order_issue ? " (in-order)" : " (out-of-order)");
+  if (config.power.guarded_int_units)
+    out << ", guarded<" << config.power.guard_low_bits;
+  return out.str();
+}
+
+}  // namespace mrisc::driver

@@ -1,0 +1,38 @@
+// Text-file experiment configuration (INI) for the tools:
+//
+//   [machine]
+//   ialus = 4        fpaus = 4      imults = 1     fpmults = 1   mem_ports = 2
+//   fetch_width = 4  issue_width = 4  commit_width = 4
+//   rob = 64         rs_per_class = 8
+//   in_order = false
+//   [cache]
+//   size_bytes = 16384  line_bytes = 32  miss_penalty = 18
+//   [power]
+//   guarded_int_units = false   guard_low_bits = 16   booth_beta = 0.5
+//   [steer]
+//   scheme = lut4    swap = hw    mult_swap = none   fp_or_bits = 4
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "driver/experiment.h"
+#include "util/ini.h"
+
+namespace mrisc::driver {
+
+/// Parse the scheme / swap-mode names used on command lines and in config
+/// files. Returns nullopt for unknown names.
+std::optional<Scheme> scheme_from_name(const std::string& name);
+std::optional<SwapMode> swap_from_name(const std::string& name);
+std::optional<steer::MultSwapSteering::Rule> mult_rule_from_name(
+    const std::string& name);
+
+/// Build an ExperimentConfig from an INI document, starting from defaults.
+/// Throws std::invalid_argument on unknown enum values or unknown keys.
+ExperimentConfig config_from_ini(const util::Ini& ini);
+
+/// Human-readable one-line summary of a configuration.
+std::string describe(const ExperimentConfig& config);
+
+}  // namespace mrisc::driver

@@ -1,0 +1,215 @@
+#include "driver/experiment.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/emulator.h"
+#include "stats/paper_ref.h"
+#include "steer/policies.h"
+#include "xform/swap_pass.h"
+
+namespace mrisc::driver {
+
+const char* to_string(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kFullHam: return "Full Ham";
+    case Scheme::kOneBitHam: return "1-Bit Ham";
+    case Scheme::kLut8: return "8-Bit LUT";
+    case Scheme::kLut4: return "4-Bit LUT";
+    case Scheme::kLut2: return "2-Bit LUT";
+    case Scheme::kOriginal: return "Original";
+    case Scheme::kPcHash: return "PC-Hash";
+    case Scheme::kRoundRobin: return "Round-Robin";
+  }
+  return "?";
+}
+
+const char* to_string(SwapMode mode) noexcept {
+  switch (mode) {
+    case SwapMode::kNone: return "Base (no operand swapping)";
+    case SwapMode::kHardware: return "Base + Hardware swapping";
+    case SwapMode::kHardwareCompiler: return "Base + Hardware + Compiler";
+    case SwapMode::kCompilerOnly: return "Compiler swapping only";
+  }
+  return "?";
+}
+
+const power::ClassEnergy& RunResult::of(isa::FuClass cls) const {
+  switch (cls) {
+    case isa::FuClass::kIalu: return ialu;
+    case isa::FuClass::kFpau: return fpau;
+    case isa::FuClass::kImult: return imult;
+    case isa::FuClass::kFpmult: return fpmult;
+    default: throw std::invalid_argument("no energy tracked for this class");
+  }
+}
+
+void RunResult::accumulate(const RunResult& other) {
+  auto add = [](power::ClassEnergy& a, const power::ClassEnergy& b) {
+    a.switched_bits += b.switched_bits;
+    a.booth_adds += b.booth_adds;
+    a.guard_overhead += b.guard_overhead;
+    a.gated_operands += b.gated_operands;
+    a.ops += b.ops;
+  };
+  add(ialu, other.ialu);
+  add(fpau, other.fpau);
+  add(imult, other.imult);
+  add(fpmult, other.fpmult);
+  pipeline.cycles += other.pipeline.cycles;
+  pipeline.committed += other.pipeline.committed;
+  pipeline.cache_hits += other.pipeline.cache_hits;
+  pipeline.cache_misses += other.pipeline.cache_misses;
+  pipeline.branches += other.pipeline.branches;
+  pipeline.mispredictions += other.pipeline.mispredictions;
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    pipeline.issued[c] += other.pipeline.issued[c];
+    for (std::size_t k = 0; k <= sim::kMaxModules; ++k)
+      pipeline.occupancy[c][k] += other.pipeline.occupancy[c][k];
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m) {
+      per_module[c][m].switched_bits += other.per_module[c][m].switched_bits;
+      per_module[c][m].ops += other.per_module[c][m].ops;
+    }
+  }
+}
+
+namespace {
+
+/// Build the steering policy for one adder class under the configuration.
+std::unique_ptr<sim::SteeringPolicy> make_policy(
+    const ExperimentConfig& config, isa::FuClass cls) {
+  const bool hw_swap = config.swap == SwapMode::kHardware ||
+                       config.swap == SwapMode::kHardwareCompiler;
+  const steer::SwapConfig static_swap =
+      hw_swap ? steer::SwapConfig::hardware_for(cls) : steer::SwapConfig::none();
+  const steer::SwapConfig explore_swap =
+      hw_swap ? steer::SwapConfig::explore() : steer::SwapConfig::none();
+
+  const auto lut_stats = [&] {
+    if (config.lut_from_paper) return stats::paper_case_stats(cls);
+    return cls == isa::FuClass::kFpau ? config.fpau_stats : config.ialu_stats;
+  };
+  const int modules =
+      config.machine.modules[static_cast<std::size_t>(cls)];
+
+  switch (config.scheme) {
+    case Scheme::kFullHam:
+      return std::make_unique<steer::FullHamSteering>(explore_swap);
+    case Scheme::kOneBitHam:
+      return std::make_unique<steer::OneBitHamSteering>(explore_swap,
+                                                        config.fp_or_bits);
+    case Scheme::kLut8:
+      return std::make_unique<steer::LutSteering>(
+          steer::build_lut(lut_stats(), modules, 8, config.affinity),
+          static_swap);
+    case Scheme::kLut4:
+      return std::make_unique<steer::LutSteering>(
+          steer::build_lut(lut_stats(), modules, 4, config.affinity),
+          static_swap);
+    case Scheme::kLut2:
+      return std::make_unique<steer::LutSteering>(
+          steer::build_lut(lut_stats(), modules, 2, config.affinity),
+          static_swap);
+    case Scheme::kOriginal:
+      return std::make_unique<steer::FcfsSteering>(static_swap);
+    case Scheme::kPcHash:
+      return std::make_unique<steer::PcHashSteering>(static_swap);
+    case Scheme::kRoundRobin:
+      return std::make_unique<steer::RoundRobinSteering>(static_swap);
+  }
+  throw std::logic_error("unknown scheme");
+}
+
+}  // namespace
+
+RunResult run_program(const isa::Program& program, const std::string& name,
+                      const ExperimentConfig& config,
+                      stats::BitPatternCollector* patterns,
+                      stats::OccupancyAggregator* occupancy,
+                      std::vector<sim::Emulator::Output>* output) {
+  isa::Program prepared = program;
+  if (config.swap == SwapMode::kHardwareCompiler ||
+      config.swap == SwapMode::kCompilerOnly) {
+    prepared = xform::swapped_copy(prepared);
+  }
+
+  sim::Emulator emu(std::move(prepared));
+  sim::EmulatorTraceSource source(emu);
+  sim::OooCore core(config.machine, source);
+
+  auto ialu_policy = make_policy(config, isa::FuClass::kIalu);
+  auto fpau_policy = make_policy(config, isa::FuClass::kFpau);
+  steer::MultSwapSteering mult_policy(config.mult_rule);
+  core.set_policy(isa::FuClass::kIalu, ialu_policy.get());
+  core.set_policy(isa::FuClass::kFpau, fpau_policy.get());
+  core.set_policy(isa::FuClass::kImult, &mult_policy);
+  core.set_policy(isa::FuClass::kFpmult, &mult_policy);
+
+  power::EnergyAccountant accountant(config.power);
+  core.add_listener(&accountant);
+  if (patterns) core.add_listener(patterns);
+
+  core.run();
+
+  if (output) *output = emu.output();
+  if (occupancy) occupancy->add(core.stats());
+
+  RunResult result;
+  result.workload = name;
+  result.ialu = accountant.cls(isa::FuClass::kIalu);
+  result.fpau = accountant.cls(isa::FuClass::kFpau);
+  result.imult = accountant.cls(isa::FuClass::kImult);
+  result.fpmult = accountant.cls(isa::FuClass::kFpmult);
+  result.pipeline = core.stats();
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m)
+      result.per_module[c][m] = accountant.module_energy(
+          static_cast<isa::FuClass>(c), static_cast<int>(m));
+  return result;
+}
+
+RunResult run_workload(const workloads::Workload& workload,
+                       const ExperimentConfig& config,
+                       stats::BitPatternCollector* patterns,
+                       stats::OccupancyAggregator* occupancy) {
+  std::vector<sim::Emulator::Output> output;
+  RunResult result = run_program(workload.assembled(), workload.name, config,
+                                 patterns, occupancy, &output);
+
+  if (config.verify_outputs) {
+    std::vector<std::int64_t> ints;
+    std::vector<std::uint64_t> fps;
+    for (const auto& out : output) {
+      if (out.is_fp) {
+        fps.push_back(out.bits);
+      } else {
+        ints.push_back(out.as_int());
+      }
+    }
+    if (ints != workload.expected_ints || fps != workload.expected_fp_bits)
+      throw std::logic_error("workload '" + workload.name +
+                             "' output mismatch (bad swap pass or emulator)");
+  }
+  return result;
+}
+
+RunResult run_suite(std::span<const workloads::Workload> suite,
+                    const ExperimentConfig& config,
+                    stats::BitPatternCollector* patterns,
+                    stats::OccupancyAggregator* occupancy) {
+  RunResult total;
+  total.workload = "suite";
+  for (const auto& workload : suite)
+    total.accumulate(run_workload(workload, config, patterns, occupancy));
+  return total;
+}
+
+double reduction_pct(const RunResult& baseline, const RunResult& variant,
+                     isa::FuClass cls) {
+  const auto base = static_cast<double>(baseline.of(cls).switched_bits);
+  if (base == 0.0) return 0.0;
+  const auto var = static_cast<double>(variant.of(cls).switched_bits);
+  return 100.0 * (1.0 - var / base);
+}
+
+}  // namespace mrisc::driver

@@ -1,0 +1,123 @@
+// Experiment driver: runs a workload (or suite) through the out-of-order
+// core under one (steering scheme x swap mode) configuration and returns
+// the switching-energy totals. All bench binaries and examples build on
+// this; it is the programmatic equivalent of the paper's Figure 4 runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "power/energy.h"
+#include "sim/emulator.h"
+#include "sim/ooo.h"
+#include "stats/bit_patterns.h"
+#include "stats/report.h"
+#include "steer/lut.h"
+#include "steer/mult_swap.h"
+#include "workloads/workload.h"
+
+namespace mrisc::driver {
+
+/// The steering schemes of Figure 4, in the paper's bar order.
+enum class Scheme {
+  kFullHam,    ///< section 4.1 optimal (cost-prohibitive upper bound)
+  kOneBitHam,  ///< section 4.2 information-bit Hamming (upper bound)
+  kLut8,       ///< section 4.3 LUT, 8-bit vector
+  kLut4,       ///< 4-bit vector (the recommended design point)
+  kLut2,       ///< 2-bit vector
+  kOriginal,   ///< first-come-first-serve (baseline)
+  kPcHash,     ///< EXTENSION: PC-affinity steering (not in Figure 4's bars)
+  kRoundRobin, ///< control baseline: rotates modules, destroying locality
+};
+inline constexpr Scheme kAllSchemes[] = {Scheme::kFullHam, Scheme::kOneBitHam,
+                                         Scheme::kLut8,    Scheme::kLut4,
+                                         Scheme::kLut2,    Scheme::kOriginal};
+const char* to_string(Scheme scheme) noexcept;
+
+/// The swap stacking of Figure 4's bars.
+enum class SwapMode {
+  kNone,                ///< Base (no operand swapping)
+  kHardware,            ///< Base + hardware swapping
+  kHardwareCompiler,    ///< Base + hardware + compiler swapping
+  kCompilerOnly,        ///< compiler swapping alone (discussed in section 6)
+};
+inline constexpr SwapMode kAllSwapModes[] = {
+    SwapMode::kNone, SwapMode::kHardware, SwapMode::kHardwareCompiler};
+const char* to_string(SwapMode mode) noexcept;
+
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kLut4;
+  SwapMode swap = SwapMode::kNone;
+  sim::OooConfig machine{};
+  power::PowerConfig power{};
+  /// LUT tables are built from the paper's Table 1/2 statistics by default
+  /// (as the authors did); supply measured stats to self-calibrate.
+  bool lut_from_paper = true;
+  steer::CaseStats ialu_stats{};
+  steer::CaseStats fpau_stats{};
+  steer::AffinityStrategy affinity = steer::AffinityStrategy::kAuto;
+  /// FP information-bit OR width (paper: 4); consumed by kOneBitHam.
+  int fp_or_bits = 4;
+  /// Multiplier swap rule (section 4.4); independent of `swap`.
+  steer::MultSwapSteering::Rule mult_rule = steer::MultSwapSteering::Rule::kNone;
+  /// Verify emulator outputs against the workload's reference model (always
+  /// on in tests; costs nothing).
+  bool verify_outputs = true;
+};
+
+struct RunResult {
+  std::string workload;
+  power::ClassEnergy ialu, fpau, imult, fpmult;
+  sim::PipelineStats pipeline;
+  /// Per-module utilization/switching breakdown (steering distribution).
+  std::array<std::array<power::EnergyAccountant::ModuleEnergy,
+                        sim::kMaxModules>,
+             isa::kNumFuClasses>
+      per_module{};
+
+  [[nodiscard]] const power::ClassEnergy& of(isa::FuClass cls) const;
+  void accumulate(const RunResult& other);
+
+  /// Per-class FU energy in the layout power::chip_breakdown expects.
+  [[nodiscard]] std::array<power::ClassEnergy, isa::kNumFuClasses>
+  fu_energy() const {
+    std::array<power::ClassEnergy, isa::kNumFuClasses> out{};
+    out[static_cast<std::size_t>(isa::FuClass::kIalu)] = ialu;
+    out[static_cast<std::size_t>(isa::FuClass::kFpau)] = fpau;
+    out[static_cast<std::size_t>(isa::FuClass::kImult)] = imult;
+    out[static_cast<std::size_t>(isa::FuClass::kFpmult)] = fpmult;
+    return out;
+  }
+};
+
+/// Run one workload under one configuration. `patterns` / `occupancy`, when
+/// non-null, collect Table 1/3 and Table 2 statistics from the run.
+RunResult run_workload(const workloads::Workload& workload,
+                       const ExperimentConfig& config,
+                       stats::BitPatternCollector* patterns = nullptr,
+                       stats::OccupancyAggregator* occupancy = nullptr);
+
+/// Run a bare program (no reference model; used by the mrisc-sim tool and
+/// ad-hoc experiments). Applies the compiler swap pass when the config's
+/// swap mode includes it. `output`, when non-null, receives the program's
+/// OUT/OUTF channel.
+RunResult run_program(const isa::Program& program, const std::string& name,
+                      const ExperimentConfig& config,
+                      stats::BitPatternCollector* patterns = nullptr,
+                      stats::OccupancyAggregator* occupancy = nullptr,
+                      std::vector<sim::Emulator::Output>* output = nullptr);
+
+/// Run a whole suite; returns the summed result (workload name "suite").
+RunResult run_suite(std::span<const workloads::Workload> suite,
+                    const ExperimentConfig& config,
+                    stats::BitPatternCollector* patterns = nullptr,
+                    stats::OccupancyAggregator* occupancy = nullptr);
+
+/// Figure 4's y-axis: percent reduction in switched bits for `cls`,
+/// relative to the Original/no-swap baseline.
+double reduction_pct(const RunResult& baseline, const RunResult& variant,
+                     isa::FuClass cls);
+
+}  // namespace mrisc::driver

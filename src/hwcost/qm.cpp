@@ -1,0 +1,156 @@
+#include "hwcost/qm.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace mrisc::hwcost {
+namespace {
+
+struct CubeKey {
+  std::uint64_t key;
+  explicit CubeKey(const Cube& c)
+      : key((static_cast<std::uint64_t>(c.mask) << 32) | c.value) {}
+};
+
+int ceil_log2(int n) {
+  int levels = 0;
+  while ((1 << levels) < n) ++levels;
+  return levels;
+}
+
+}  // namespace
+
+int Cube::literals() const noexcept { return std::popcount(mask); }
+
+std::vector<Cube> prime_implicants(int num_inputs,
+                                   const std::vector<std::uint32_t>& minterms) {
+  const std::uint32_t full_mask =
+      num_inputs >= 32 ? ~0u : ((1u << num_inputs) - 1);
+
+  // Level 0: each minterm is a cube with all variables fixed.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;
+  for (const std::uint32_t m : minterms) current.insert({full_mask, m});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> combined;
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> cubes(
+        current.begin(), current.end());
+    // Try merging every pair differing in exactly one fixed bit.
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+        if (cubes[i].first != cubes[j].first) continue;
+        const std::uint32_t diff = cubes[i].second ^ cubes[j].second;
+        if (std::popcount(diff) != 1) continue;
+        next.insert({cubes[i].first & ~diff, cubes[i].second & ~diff});
+        combined.insert(cubes[i]);
+        combined.insert(cubes[j]);
+      }
+    }
+    for (const auto& c : cubes) {
+      if (!combined.count(c)) primes.push_back(Cube{c.first, c.second});
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+std::vector<Cube> select_cover(const std::vector<Cube>& primes,
+                               const std::vector<std::uint32_t>& minterms) {
+  std::vector<Cube> cover;
+  std::vector<bool> covered(minterms.size(), false);
+  std::vector<bool> used(primes.size(), false);
+
+  // Essential primes: minterms covered by exactly one prime.
+  for (std::size_t m = 0; m < minterms.size(); ++m) {
+    int count = 0;
+    std::size_t only = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (primes[p].covers(minterms[m])) {
+        ++count;
+        only = p;
+      }
+    }
+    if (count == 1 && !used[only]) {
+      used[only] = true;
+      cover.push_back(primes[only]);
+    }
+  }
+  for (std::size_t m = 0; m < minterms.size(); ++m) {
+    for (const Cube& c : cover) {
+      if (c.covers(minterms[m])) {
+        covered[m] = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy: repeatedly take the prime covering the most uncovered minterms,
+  // breaking ties toward fewer literals.
+  for (;;) {
+    std::size_t best = primes.size();
+    int best_gain = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (used[p]) continue;
+      int gain = 0;
+      for (std::size_t m = 0; m < minterms.size(); ++m) {
+        if (!covered[m] && primes[p].covers(minterms[m])) ++gain;
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best < primes.size() &&
+           primes[p].literals() < primes[best].literals())) {
+        best = p;
+        best_gain = gain;
+      }
+    }
+    if (best_gain == 0) break;
+    used[best] = true;
+    cover.push_back(primes[best]);
+    for (std::size_t m = 0; m < minterms.size(); ++m) {
+      if (primes[best].covers(minterms[m])) covered[m] = true;
+    }
+  }
+  return cover;
+}
+
+std::vector<Cube> minimize(int num_inputs,
+                           const std::vector<std::uint32_t>& minterms) {
+  if (minterms.empty()) return {};
+  return select_cover(prime_implicants(num_inputs, minterms), minterms);
+}
+
+SopCost sop_cost(int num_inputs,
+                 const std::vector<std::vector<Cube>>& outputs) {
+  SopCost cost;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> distinct;
+  std::uint32_t inverted_inputs = 0;
+  int max_literals = 1;
+  int max_terms = 1;
+
+  for (const auto& output : outputs) {
+    max_terms = std::max(max_terms, static_cast<int>(output.size()));
+    if (output.size() > 1)
+      cost.or_gates += static_cast<int>(output.size()) - 1;
+    for (const Cube& cube : output) {
+      max_literals = std::max(max_literals, cube.literals());
+      if (!distinct.insert({cube.mask, cube.value}).second) continue;
+      if (cube.literals() > 1) cost.and_gates += cube.literals() - 1;
+      // Complemented literals need the input's inverter (shared).
+      for (int b = 0; b < num_inputs; ++b) {
+        const std::uint32_t bit = 1u << b;
+        if ((cube.mask & bit) && !(cube.value & bit)) inverted_inputs |= bit;
+      }
+    }
+  }
+  cost.product_terms = static_cast<int>(distinct.size());
+  cost.inverters = std::popcount(inverted_inputs);
+  cost.levels = (cost.inverters ? 1 : 0) + ceil_log2(max_literals) +
+                ceil_log2(max_terms);
+  return cost;
+}
+
+}  // namespace mrisc::hwcost

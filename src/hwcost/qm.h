@@ -1,0 +1,59 @@
+// Quine-McCluskey two-level minimization for the steering LUT (section 5).
+//
+// The paper argues the 4-bit-LUT routing logic costs "58 small logic gates
+// and 6 logic levels" for an 8-entry reservation station. To reproduce that
+// argument rather than cite it, this module synthesizes the LUT's truth
+// table into a minimal(ish) multi-output sum-of-products and counts 2-input
+// gate equivalents and logic levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrisc::hwcost {
+
+/// A product term over `n` inputs: `mask` bit i set => variable i is fixed
+/// to the corresponding `value` bit. mask == 0 is the constant-1 cube.
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t value = 0;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+  /// Number of literals in the product term.
+  [[nodiscard]] int literals() const noexcept;
+  /// Does the cube cover this minterm?
+  [[nodiscard]] bool covers(std::uint32_t minterm) const noexcept {
+    return (minterm & mask) == value;
+  }
+};
+
+/// Prime implicants of the on-set `minterms` over `num_inputs` variables.
+std::vector<Cube> prime_implicants(int num_inputs,
+                                   const std::vector<std::uint32_t>& minterms);
+
+/// Essential-first greedy cover of `minterms` using `primes`.
+std::vector<Cube> select_cover(const std::vector<Cube>& primes,
+                               const std::vector<std::uint32_t>& minterms);
+
+/// Minimize one output: prime implicants + cover.
+std::vector<Cube> minimize(int num_inputs,
+                           const std::vector<std::uint32_t>& minterms);
+
+/// Cost of a multi-output SOP network in 2-input gate equivalents.
+/// Product terms shared between outputs are counted once, as are input
+/// inverters.
+struct SopCost {
+  int and_gates = 0;
+  int or_gates = 0;
+  int inverters = 0;
+  int product_terms = 0;  ///< distinct cubes after sharing
+  int levels = 0;         ///< inverter + AND tree + OR tree depth
+
+  [[nodiscard]] int total_gates() const {
+    return and_gates + or_gates + inverters;
+  }
+};
+
+SopCost sop_cost(int num_inputs, const std::vector<std::vector<Cube>>& outputs);
+
+}  // namespace mrisc::hwcost

@@ -1,0 +1,48 @@
+#include "hwcost/routing_cost.h"
+
+#include <stdexcept>
+
+namespace mrisc::hwcost {
+
+RoutingCost routing_logic_cost(const steer::LutTable& table, int rs_entries) {
+  if (rs_entries < 4) throw std::invalid_argument("rs_entries must be >= 4");
+
+  // Truth table: inputs are the vector bits, outputs are 2-bit module ids
+  // per encoded slot.
+  const int num_inputs = table.vector_bits;
+  const std::size_t num_vectors = std::size_t{1} << num_inputs;
+  const int num_outputs = table.slots * 2;
+
+  std::vector<std::vector<std::uint32_t>> minterms(
+      static_cast<std::size_t>(num_outputs));
+  for (std::size_t v = 0; v < num_vectors; ++v) {
+    for (int slot = 0; slot < table.slots; ++slot) {
+      const std::uint8_t module =
+          table.assign[v * static_cast<std::size_t>(table.slots) +
+                       static_cast<std::size_t>(slot)];
+      for (int b = 0; b < 2; ++b) {
+        if ((module >> b) & 1)
+          minterms[static_cast<std::size_t>(slot * 2 + b)].push_back(
+              static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+
+  std::vector<std::vector<Cube>> covers;
+  covers.reserve(minterms.size());
+  for (const auto& on_set : minterms)
+    covers.push_back(minimize(num_inputs, on_set));
+
+  RoutingCost cost;
+  cost.lut = sop_cost(num_inputs, covers);
+
+  // Dual priority-grant + info-bit forwarding network (calibrated linear
+  // model; see header).
+  cost.select_gates = 3 * rs_entries - 6;
+  int depth = 0;
+  while ((1 << depth) < rs_entries) ++depth;
+  cost.select_levels = depth;
+  return cost;
+}
+
+}  // namespace mrisc::hwcost

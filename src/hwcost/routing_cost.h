@@ -1,0 +1,36 @@
+// Hardware cost of the LUT steering scheme's routing control logic
+// (section 5): the LUT itself (synthesized to two-level logic by qm.h) plus
+// the select-and-forward network that extracts the information bits of the
+// first k ready reservation-station entries.
+#pragma once
+
+#include "hwcost/qm.h"
+#include "steer/lut.h"
+
+namespace mrisc::hwcost {
+
+struct RoutingCost {
+  SopCost lut;        ///< two-level LUT implementation
+  int select_gates = 0;  ///< dual priority-grant + info-bit forwarding
+  int select_levels = 0;
+
+  [[nodiscard]] int total_gates() const {
+    return lut.total_gates() + select_gates;
+  }
+  [[nodiscard]] int total_levels() const {
+    return lut.levels + select_levels;
+  }
+};
+
+/// Synthesize `table`'s module-select outputs (slots x 2 bits) and estimate
+/// the full routing-logic cost for a reservation station of `rs_entries`.
+///
+/// The select network is modelled as two cascaded priority-grant chains
+/// (first and second ready entry) plus the AND-OR forwarding of each
+/// granted entry's 2 information bits: 3 gate-equivalents per entry beyond
+/// the minimum of 4, with depth log2(rs_entries). The paper's quoted totals
+/// (58 gates / 6 levels at 8 entries, 130 / 8 at 32) are the calibration
+/// points; see EXPERIMENTS.md.
+RoutingCost routing_logic_cost(const steer::LutTable& table, int rs_entries);
+
+}  // namespace mrisc::hwcost

@@ -1,0 +1,393 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+namespace mrisc::isa {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+/// Split a statement into tokens. Commas and parentheses are separators;
+/// parens are kept as their own tokens so `8(r2)` tokenizes to `8 ( r2 )`.
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) tokens.push_back({std::move(cur)});
+    cur.clear();
+  };
+  for (char ch : line) {
+    if (ch == '#' || ch == ';') break;
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      flush();
+    } else if (ch == '(' || ch == ')' || ch == ':') {
+      flush();
+      tokens.push_back({std::string(1, ch)});
+    } else {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::optional<int> parse_reg(const std::string& t, bool& is_fp) {
+  if (t == "zero") {
+    is_fp = false;
+    return 0;
+  }
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'f')) return std::nullopt;
+  int value = 0;
+  const auto [p, ec] = std::from_chars(t.data() + 1, t.data() + t.size(), value);
+  if (ec != std::errc{} || p != t.data() + t.size()) return std::nullopt;
+  if (value < 0 || value > 31) return std::nullopt;
+  is_fp = t[0] == 'f';
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& t) {
+  if (t.empty()) return std::nullopt;
+  std::int64_t sign = 1;
+  std::size_t i = 0;
+  if (t[0] == '-') {
+    sign = -1;
+    i = 1;
+  } else if (t[0] == '+') {
+    i = 1;
+  }
+  int base = 10;
+  if (t.size() >= i + 2 && t[i] == '0' && (t[i + 1] == 'x')) {
+    base = 16;
+    i += 2;
+  }
+  std::uint64_t value = 0;
+  const auto [p, ec] =
+      std::from_chars(t.data() + i, t.data() + t.size(), value, base);
+  if (ec != std::errc{} || p != t.data() + t.size()) return std::nullopt;
+  return sign * static_cast<std::int64_t>(value);
+}
+
+/// One parsed statement (instruction or pseudo), before symbol resolution.
+struct Stmt {
+  int line = 0;
+  std::vector<Token> tokens;  // mnemonic first
+  std::uint32_t addr = 0;     // instruction index of the first emitted instr
+  int size = 1;               // number of emitted instructions
+};
+
+bool fits_int16(std::int64_t v) { return v >= -32768 && v <= 32767; }
+bool fits_uint16(std::int64_t v) { return v >= 0 && v <= 65535; }
+
+class Assembler {
+ public:
+  explicit Assembler(std::string name) { prog_.name = std::move(name); }
+
+  Program run(std::string_view source) {
+    parse(source);
+    emit_all();
+    return std::move(prog_);
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw AsmError(line, msg);
+  }
+
+  /// Pass 1: split into statements, lay out labels and data.
+  void parse(std::string_view source) {
+    bool in_text = true;
+    int line_no = 0;
+    std::size_t pos = 0;
+    std::uint32_t text_addr = 0;
+    while (pos <= source.size()) {
+      const std::size_t nl = source.find('\n', pos);
+      std::string_view line = source.substr(
+          pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+      pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+      ++line_no;
+      auto tokens = tokenize(line);
+      // Peel off any leading `label :` pairs.
+      while (tokens.size() >= 2 && tokens[1].text == ":") {
+        const std::string label = tokens[0].text;
+        if (in_text) {
+          if (!prog_.text_symbols.emplace(label, text_addr).second)
+            fail(line_no, "duplicate label '" + label + "'");
+        } else {
+          if (!prog_.data_symbols
+                   .emplace(label, kDataBase +
+                                       static_cast<std::uint32_t>(prog_.data.size()))
+                   .second)
+            fail(line_no, "duplicate label '" + label + "'");
+        }
+        tokens.erase(tokens.begin(), tokens.begin() + 2);
+      }
+      if (tokens.empty()) continue;
+      const std::string& head = tokens[0].text;
+      if (head == ".text") {
+        in_text = true;
+      } else if (head == ".data") {
+        in_text = false;
+      } else if (head[0] == '.') {
+        if (in_text) fail(line_no, "data directive in .text segment");
+        parse_data_directive(line_no, tokens);
+      } else {
+        if (!in_text) fail(line_no, "instruction in .data segment");
+        Stmt stmt;
+        stmt.line = line_no;
+        stmt.tokens = std::move(tokens);
+        stmt.addr = text_addr;
+        stmt.size = statement_size(stmt);
+        text_addr += static_cast<std::uint32_t>(stmt.size);
+        stmts_.push_back(std::move(stmt));
+      }
+    }
+  }
+
+  void parse_data_directive(int line, const std::vector<Token>& tokens) {
+    const std::string& d = tokens[0].text;
+    if (d == ".word") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto v = parse_int(tokens[i].text);
+        if (!v) fail(line, "bad .word value '" + tokens[i].text + "'");
+        const auto u = static_cast<std::uint32_t>(*v);
+        for (int b = 0; b < 4; ++b)
+          prog_.data.push_back(static_cast<std::uint8_t>(u >> (8 * b)));
+      }
+    } else if (d == ".double") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        char* end = nullptr;
+        const double v = std::strtod(tokens[i].text.c_str(), &end);
+        if (end == tokens[i].text.c_str() || *end != '\0')
+          fail(line, "bad .double value '" + tokens[i].text + "'");
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        for (int b = 0; b < 8; ++b)
+          prog_.data.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+      }
+    } else if (d == ".space") {
+      const auto n = tokens.size() >= 2 ? parse_int(tokens[1].text) : std::nullopt;
+      if (!n || *n < 0) fail(line, "bad .space size");
+      prog_.data.insert(prog_.data.end(), static_cast<std::size_t>(*n), 0);
+    } else if (d == ".align") {
+      const auto n = tokens.size() >= 2 ? parse_int(tokens[1].text) : std::nullopt;
+      if (!n || *n <= 0) fail(line, "bad .align boundary");
+      while (prog_.data.size() % static_cast<std::size_t>(*n) != 0)
+        prog_.data.push_back(0);
+    } else {
+      fail(line, "unknown directive '" + d + "'");
+    }
+  }
+
+  /// Number of machine instructions a statement expands to (pass 1 sizing).
+  int statement_size(const Stmt& stmt) const {
+    const std::string& m = stmt.tokens[0].text;
+    if (m == "la") return 2;
+    if (m == "li") {
+      if (stmt.tokens.size() < 3) fail(stmt.line, "li needs rd, imm");
+      const auto v = parse_int(stmt.tokens[2].text);
+      if (!v) fail(stmt.line, "bad li immediate");
+      return fits_int16(*v) ? 1 : 2;
+    }
+    return 1;
+  }
+
+  /// Pass 2: emit instructions with symbols resolved.
+  void emit_all() {
+    for (const auto& stmt : stmts_) emit(stmt);
+  }
+
+  int expect_reg(const Stmt& stmt, std::size_t idx, bool want_fp) const {
+    if (idx >= stmt.tokens.size())
+      fail(stmt.line, "missing register operand");
+    bool is_fp = false;
+    const auto r = parse_reg(stmt.tokens[idx].text, is_fp);
+    if (!r || is_fp != want_fp)
+      fail(stmt.line, "bad register '" + stmt.tokens[idx].text + "' (expected " +
+                          (want_fp ? "f0..f31" : "r0..r31") + ")");
+    return *r;
+  }
+
+  std::int64_t expect_imm(const Stmt& stmt, std::size_t idx) const {
+    if (idx >= stmt.tokens.size()) fail(stmt.line, "missing immediate");
+    const auto v = parse_int(stmt.tokens[idx].text);
+    if (!v) fail(stmt.line, "bad immediate '" + stmt.tokens[idx].text + "'");
+    return *v;
+  }
+
+  /// Text label or numeric absolute instruction index.
+  std::uint32_t expect_text_target(const Stmt& stmt, std::size_t idx) const {
+    if (idx >= stmt.tokens.size()) fail(stmt.line, "missing branch target");
+    const std::string& t = stmt.tokens[idx].text;
+    if (const auto it = prog_.text_symbols.find(t); it != prog_.text_symbols.end())
+      return it->second;
+    const auto v = parse_int(t);
+    if (!v || *v < 0) fail(stmt.line, "unknown label '" + t + "'");
+    return static_cast<std::uint32_t>(*v);
+  }
+
+  void push(const Stmt& stmt, Instruction inst) {
+    (void)stmt;
+    prog_.code.push_back(inst);
+  }
+
+  void emit_li(const Stmt& stmt, int rd, std::int64_t value) {
+    if (fits_int16(value)) {
+      push(stmt, {Opcode::kAddi, static_cast<std::uint8_t>(rd), 0, 0,
+                  static_cast<std::int32_t>(value)});
+      return;
+    }
+    const auto u = static_cast<std::uint32_t>(value);
+    push(stmt, {Opcode::kLui, static_cast<std::uint8_t>(rd), 0, 0,
+                static_cast<std::int32_t>(u >> 16)});
+    push(stmt, {Opcode::kOri, static_cast<std::uint8_t>(rd),
+                static_cast<std::uint8_t>(rd), 0,
+                static_cast<std::int32_t>(u & 0xFFFFu)});
+  }
+
+  void emit(const Stmt& stmt) {
+    const std::string& m = stmt.tokens[0].text;
+
+    // Pseudo-instructions first.
+    if (m == "nop") {
+      push(stmt, {Opcode::kAddi, 0, 0, 0, 0});
+      return;
+    }
+    if (m == "mov") {
+      const int rd = expect_reg(stmt, 1, false);
+      const int rs = expect_reg(stmt, 2, false);
+      push(stmt, {Opcode::kAddi, static_cast<std::uint8_t>(rd),
+                  static_cast<std::uint8_t>(rs), 0, 0});
+      return;
+    }
+    if (m == "li") {
+      const int rd = expect_reg(stmt, 1, false);
+      emit_li(stmt, rd, expect_imm(stmt, 2));
+      return;
+    }
+    if (m == "la") {
+      const int rd = expect_reg(stmt, 1, false);
+      if (stmt.tokens.size() < 3) fail(stmt.line, "la needs rd, label");
+      const std::string& label = stmt.tokens[2].text;
+      const auto it = prog_.data_symbols.find(label);
+      if (it == prog_.data_symbols.end())
+        fail(stmt.line, "unknown data label '" + label + "'");
+      const std::uint32_t addr = it->second;
+      push(stmt, {Opcode::kLui, static_cast<std::uint8_t>(rd), 0, 0,
+                  static_cast<std::int32_t>(addr >> 16)});
+      push(stmt, {Opcode::kOri, static_cast<std::uint8_t>(rd),
+                  static_cast<std::uint8_t>(rd), 0,
+                  static_cast<std::int32_t>(addr & 0xFFFFu)});
+      return;
+    }
+    if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+      const Opcode op = m == "bgt"    ? Opcode::kBlt
+                        : m == "ble"  ? Opcode::kBge
+                        : m == "bgtu" ? Opcode::kBltu
+                                      : Opcode::kBgeu;
+      const int a = expect_reg(stmt, 1, false);
+      const int b = expect_reg(stmt, 2, false);
+      const std::uint32_t target = expect_text_target(stmt, 3);
+      const std::int64_t off =
+          static_cast<std::int64_t>(target) - (stmt.addr + 1);
+      if (!fits_int16(off)) fail(stmt.line, "branch target out of range");
+      // Swapped operands: bgt a,b == blt b,a.
+      push(stmt, {op, 0, static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(a), static_cast<std::int32_t>(off)});
+      return;
+    }
+
+    const auto opc = opcode_from_mnemonic(m);
+    if (!opc) fail(stmt.line, "unknown mnemonic '" + m + "'");
+    const auto& info = op_info(*opc);
+    Instruction inst;
+    inst.op = *opc;
+
+    switch (info.format) {
+      case Format::kR: {
+        std::size_t idx = 1;
+        if (info.writes_rd)
+          inst.rd = static_cast<std::uint8_t>(expect_reg(stmt, idx++, info.rd_is_fp));
+        if (info.reads_rs1)
+          inst.rs1 =
+              static_cast<std::uint8_t>(expect_reg(stmt, idx++, info.rs1_is_fp));
+        if (info.reads_rs2)
+          inst.rs2 =
+              static_cast<std::uint8_t>(expect_reg(stmt, idx++, info.rs2_is_fp));
+        break;
+      }
+      case Format::kI: {
+        if (info.is_load || info.is_store) {
+          // op reg, imm(rbase)
+          const bool val_fp = info.is_store ? info.rs2_is_fp : info.rd_is_fp;
+          const int vreg = expect_reg(stmt, 1, val_fp);
+          const std::int64_t disp = expect_imm(stmt, 2);
+          if (stmt.tokens.size() < 6 || stmt.tokens[3].text != "(" ||
+              stmt.tokens[5].text != ")")
+            fail(stmt.line, "expected displacement syntax imm(reg)");
+          bool base_fp = false;
+          const auto base = parse_reg(stmt.tokens[4].text, base_fp);
+          if (!base || base_fp) fail(stmt.line, "bad base register");
+          if (!fits_int16(disp)) fail(stmt.line, "displacement out of range");
+          inst.rs1 = static_cast<std::uint8_t>(*base);
+          inst.imm = static_cast<std::int32_t>(disp);
+          if (info.is_store) {
+            inst.rs2 = static_cast<std::uint8_t>(vreg);
+          } else {
+            inst.rd = static_cast<std::uint8_t>(vreg);
+          }
+        } else if (inst.op == Opcode::kLui) {
+          inst.rd = static_cast<std::uint8_t>(expect_reg(stmt, 1, false));
+          const std::int64_t v = expect_imm(stmt, 2);
+          if (!fits_uint16(v)) fail(stmt.line, "lui immediate out of range");
+          inst.imm = static_cast<std::int32_t>(v);
+        } else {
+          inst.rd = static_cast<std::uint8_t>(expect_reg(stmt, 1, false));
+          inst.rs1 = static_cast<std::uint8_t>(expect_reg(stmt, 2, false));
+          const std::int64_t v = expect_imm(stmt, 3);
+          const bool logical = inst.op == Opcode::kAndi ||
+                               inst.op == Opcode::kOri || inst.op == Opcode::kXori;
+          if (logical ? !fits_uint16(v) : !fits_int16(v))
+            fail(stmt.line, "immediate out of range");
+          inst.imm = static_cast<std::int32_t>(v);
+        }
+        break;
+      }
+      case Format::kB: {
+        inst.rs1 = static_cast<std::uint8_t>(expect_reg(stmt, 1, false));
+        inst.rs2 = static_cast<std::uint8_t>(expect_reg(stmt, 2, false));
+        const std::uint32_t target = expect_text_target(stmt, 3);
+        const std::int64_t off =
+            static_cast<std::int64_t>(target) - (stmt.addr + 1);
+        if (!fits_int16(off)) fail(stmt.line, "branch target out of range");
+        inst.imm = static_cast<std::int32_t>(off);
+        break;
+      }
+      case Format::kJ: {
+        if (inst.op == Opcode::kJr) {
+          inst.rs1 = static_cast<std::uint8_t>(expect_reg(stmt, 1, false));
+        } else {
+          inst.imm = static_cast<std::int32_t>(expect_text_target(stmt, 1));
+        }
+        break;
+      }
+    }
+    push(stmt, inst);
+  }
+
+  Program prog_;
+  std::vector<Stmt> stmts_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, std::string name) {
+  return Assembler(std::move(name)).run(source);
+}
+
+}  // namespace mrisc::isa

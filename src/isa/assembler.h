@@ -1,0 +1,52 @@
+// Two-pass assembler for mrisc assembly text.
+//
+// Syntax (one statement per line, '#' or ';' starts a comment):
+//
+//   .text / .data          switch segment (default .text)
+//   label:                 define a symbol in the current segment
+//   .word v[, v...]        32-bit little-endian words       (.data only)
+//   .double v[, v...]      IEEE-754 doubles                 (.data only)
+//   .space n               n zero bytes                     (.data only)
+//   .align n               pad to an n-byte boundary        (.data only)
+//
+//   add  r1, r2, r3        R-type
+//   addi r1, r2, -5        I-type (also: andi/ori/xori take 0..65535)
+//   lw   r1, 8(r2)         loads/stores use displacement syntax
+//   sw   r3, 8(r2)
+//   beq  r1, r2, label     branches take a text label (or numeric offset)
+//   j    label
+//   fadd f1, f2, f3        FP registers are f0..f31
+//
+// Pseudo-instructions:
+//   nop                    -> addi r0, r0, 0
+//   mov  rd, rs            -> addi rd, rs, 0
+//   li   rd, imm32         -> addi (if it fits int16) or lui+ori
+//   la   rd, data_label    -> lui+ori (always two instructions)
+//   bgt/ble/bgtu/bleu a, b, L  -> blt/bge/bltu/bgeu with swapped operands
+//
+// Errors raise AsmError carrying the 1-based source line.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace mrisc::isa {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assemble `source` into a Program. Throws AsmError on the first error.
+Program assemble(std::string_view source, std::string name = "program");
+
+}  // namespace mrisc::isa

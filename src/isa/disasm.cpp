@@ -1,0 +1,51 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+namespace mrisc::isa {
+
+std::string disassemble(const Instruction& inst, std::uint32_t pc) {
+  const auto& info = op_info(inst.op);
+  std::ostringstream out;
+  out << info.mnemonic;
+  auto reg = [](bool fp, int n) {
+    return std::string(fp ? "f" : "r") + std::to_string(n);
+  };
+  switch (info.format) {
+    case Format::kR: {
+      bool first = true;
+      auto emit = [&](const std::string& s) {
+        out << (first ? " " : ", ") << s;
+        first = false;
+      };
+      if (info.writes_rd) emit(reg(info.rd_is_fp, inst.rd));
+      if (info.reads_rs1) emit(reg(info.rs1_is_fp, inst.rs1));
+      if (info.reads_rs2) emit(reg(info.rs2_is_fp, inst.rs2));
+      break;
+    }
+    case Format::kI:
+      if (info.is_load) {
+        out << ' ' << reg(info.rd_is_fp, inst.rd) << ", " << inst.imm << '('
+            << reg(false, inst.rs1) << ')';
+      } else if (info.is_store) {
+        out << ' ' << reg(info.rs2_is_fp, inst.rs2) << ", " << inst.imm << '('
+            << reg(false, inst.rs1) << ')';
+      } else if (inst.op == Opcode::kLui) {
+        out << ' ' << reg(false, inst.rd) << ", " << inst.imm;
+      } else {
+        out << ' ' << reg(false, inst.rd) << ", " << reg(false, inst.rs1)
+            << ", " << inst.imm;
+      }
+      break;
+    case Format::kB:
+      out << ' ' << reg(false, inst.rs1) << ", " << reg(false, inst.rs2) << ", "
+          << (static_cast<std::int64_t>(pc) + 1 + inst.imm);
+      break;
+    case Format::kJ:
+      out << ' ' << inst.imm;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace mrisc::isa

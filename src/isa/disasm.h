@@ -1,0 +1,15 @@
+// Disassembler: renders a decoded instruction back to assembly text. Used by
+// diagnostics, the compiler pass report, and round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace mrisc::isa {
+
+/// Textual form of one instruction. `pc` (the instruction's own index) is
+/// needed to print branch targets as absolute indices.
+std::string disassemble(const Instruction& inst, std::uint32_t pc = 0);
+
+}  // namespace mrisc::isa

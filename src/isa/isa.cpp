@@ -1,0 +1,182 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+namespace mrisc::isa {
+namespace {
+
+constexpr OpInfo make_op(std::string_view mnem, Format fmt, FuClass fu,
+                         bool commutative, Opcode flip, bool r1, bool r2,
+                         bool wd, bool fd, bool f1, bool f2, bool br = false,
+                         bool ld = false, bool st = false) {
+  return OpInfo{mnem, fmt, fu, commutative, flip, r1, r2, wd,
+                fd,   f1,  f2, br,          ld,   st};
+}
+
+// One row per Opcode, in enum order. `flip == self` means no compiler twin.
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    // mnemonic  fmt        fu               comm  flip           rs1    rs2    rd     fpd    fp1    fp2
+    make_op("add",  Format::kR, FuClass::kIalu,  true,  Opcode::kAdd,  true,  true,  true,  false, false, false),
+    make_op("sub",  Format::kR, FuClass::kIalu,  false, Opcode::kSub,  true,  true,  true,  false, false, false),
+    make_op("and",  Format::kR, FuClass::kIalu,  true,  Opcode::kAnd,  true,  true,  true,  false, false, false),
+    make_op("or",   Format::kR, FuClass::kIalu,  true,  Opcode::kOr,   true,  true,  true,  false, false, false),
+    make_op("xor",  Format::kR, FuClass::kIalu,  true,  Opcode::kXor,  true,  true,  true,  false, false, false),
+    make_op("nor",  Format::kR, FuClass::kIalu,  true,  Opcode::kNor,  true,  true,  true,  false, false, false),
+    make_op("sll",  Format::kR, FuClass::kIalu,  false, Opcode::kSll,  true,  true,  true,  false, false, false),
+    make_op("srl",  Format::kR, FuClass::kIalu,  false, Opcode::kSrl,  true,  true,  true,  false, false, false),
+    make_op("sra",  Format::kR, FuClass::kIalu,  false, Opcode::kSra,  true,  true,  true,  false, false, false),
+    make_op("slt",  Format::kR, FuClass::kIalu,  false, Opcode::kSgt,  true,  true,  true,  false, false, false),
+    make_op("sltu", Format::kR, FuClass::kIalu,  false, Opcode::kSgtu, true,  true,  true,  false, false, false),
+    make_op("sgt",  Format::kR, FuClass::kIalu,  false, Opcode::kSlt,  true,  true,  true,  false, false, false),
+    make_op("sgtu", Format::kR, FuClass::kIalu,  false, Opcode::kSltu, true,  true,  true,  false, false, false),
+    make_op("addi", Format::kI, FuClass::kIalu,  false, Opcode::kAddi, true,  false, true,  false, false, false),
+    make_op("andi", Format::kI, FuClass::kIalu,  false, Opcode::kAndi, true,  false, true,  false, false, false),
+    make_op("ori",  Format::kI, FuClass::kIalu,  false, Opcode::kOri,  true,  false, true,  false, false, false),
+    make_op("xori", Format::kI, FuClass::kIalu,  false, Opcode::kXori, true,  false, true,  false, false, false),
+    make_op("slti", Format::kI, FuClass::kIalu,  false, Opcode::kSlti, true,  false, true,  false, false, false),
+    make_op("slli", Format::kI, FuClass::kIalu,  false, Opcode::kSlli, true,  false, true,  false, false, false),
+    make_op("srli", Format::kI, FuClass::kIalu,  false, Opcode::kSrli, true,  false, true,  false, false, false),
+    make_op("srai", Format::kI, FuClass::kIalu,  false, Opcode::kSrai, true,  false, true,  false, false, false),
+    make_op("lui",  Format::kI, FuClass::kIalu,  false, Opcode::kLui,  false, false, true,  false, false, false),
+    make_op("mul",  Format::kR, FuClass::kImult, true,  Opcode::kMul,  true,  true,  true,  false, false, false),
+    make_op("div",  Format::kR, FuClass::kImult, false, Opcode::kDiv,  true,  true,  true,  false, false, false),
+    make_op("rem",  Format::kR, FuClass::kImult, false, Opcode::kRem,  true,  true,  true,  false, false, false),
+    make_op("lw",   Format::kI, FuClass::kMem,   false, Opcode::kLw,   true,  false, true,  false, false, false, false, true,  false),
+    make_op("lb",   Format::kI, FuClass::kMem,   false, Opcode::kLb,   true,  false, true,  false, false, false, false, true,  false),
+    make_op("lbu",  Format::kI, FuClass::kMem,   false, Opcode::kLbu,  true,  false, true,  false, false, false, false, true,  false),
+    make_op("sw",   Format::kI, FuClass::kMem,   false, Opcode::kSw,   true,  true,  false, false, false, false, false, false, true),
+    make_op("sb",   Format::kI, FuClass::kMem,   false, Opcode::kSb,   true,  true,  false, false, false, false, false, false, true),
+    make_op("lfd",  Format::kI, FuClass::kMem,   false, Opcode::kLfd,  true,  false, true,  true,  false, false, false, true,  false),
+    make_op("sfd",  Format::kI, FuClass::kMem,   false, Opcode::kSfd,  true,  true,  false, false, false, true,  false, false, true),
+    make_op("fadd", Format::kR, FuClass::kFpau,  true,  Opcode::kFadd, true,  true,  true,  true,  true,  true),
+    make_op("fsub", Format::kR, FuClass::kFpau,  false, Opcode::kFsub, true,  true,  true,  true,  true,  true),
+    make_op("fclt", Format::kR, FuClass::kFpau,  false, Opcode::kFcgt, true,  true,  true,  false, true,  true),
+    make_op("fcle", Format::kR, FuClass::kFpau,  false, Opcode::kFcge, true,  true,  true,  false, true,  true),
+    make_op("fceq", Format::kR, FuClass::kFpau,  true,  Opcode::kFceq, true,  true,  true,  false, true,  true),
+    make_op("fcgt", Format::kR, FuClass::kFpau,  false, Opcode::kFclt, true,  true,  true,  false, true,  true),
+    make_op("fcge", Format::kR, FuClass::kFpau,  false, Opcode::kFcle, true,  true,  true,  false, true,  true),
+    make_op("cvtif",Format::kR, FuClass::kFpau,  false, Opcode::kCvtif,true,  false, true,  true,  false, false),
+    make_op("cvtfi",Format::kR, FuClass::kFpau,  false, Opcode::kCvtfi,true,  false, true,  false, true,  false),
+    make_op("fmov", Format::kR, FuClass::kFpau,  false, Opcode::kFmov, true,  false, true,  true,  true,  false),
+    make_op("fneg", Format::kR, FuClass::kFpau,  false, Opcode::kFneg, true,  false, true,  true,  true,  false),
+    make_op("fabs", Format::kR, FuClass::kFpau,  false, Opcode::kFabs, true,  false, true,  true,  true,  false),
+    make_op("cvtsd",Format::kR, FuClass::kFpau,  false, Opcode::kCvtsd,true,  false, true,  true,  true,  false),
+    make_op("fmul", Format::kR, FuClass::kFpmult,true,  Opcode::kFmul, true,  true,  true,  true,  true,  true),
+    make_op("fdiv", Format::kR, FuClass::kFpmult,false, Opcode::kFdiv, true,  true,  true,  true,  true,  true),
+    make_op("fsqrt",Format::kR, FuClass::kFpmult,false, Opcode::kFsqrt,true,  false, true,  true,  true,  false),
+    make_op("beq",  Format::kB, FuClass::kIalu,  true,  Opcode::kBeq,  true,  true,  false, false, false, false, true),
+    make_op("bne",  Format::kB, FuClass::kIalu,  true,  Opcode::kBne,  true,  true,  false, false, false, false, true),
+    make_op("blt",  Format::kB, FuClass::kIalu,  false, Opcode::kBlt,  true,  true,  false, false, false, false, true),
+    make_op("bge",  Format::kB, FuClass::kIalu,  false, Opcode::kBge,  true,  true,  false, false, false, false, true),
+    make_op("bltu", Format::kB, FuClass::kIalu,  false, Opcode::kBltu, true,  true,  false, false, false, false, true),
+    make_op("bgeu", Format::kB, FuClass::kIalu,  false, Opcode::kBgeu, true,  true,  false, false, false, false, true),
+    make_op("j",    Format::kJ, FuClass::kNone,  false, Opcode::kJ,    false, false, false, false, false, false, true),
+    make_op("jal",  Format::kJ, FuClass::kNone,  false, Opcode::kJal,  false, false, true,  false, false, false, true),
+    make_op("jr",   Format::kR, FuClass::kNone,  false, Opcode::kJr,   true,  false, false, false, false, false, true),
+    make_op("halt", Format::kR, FuClass::kNone,  false, Opcode::kHalt, false, false, false, false, false, false),
+    make_op("out",  Format::kR, FuClass::kIalu,  false, Opcode::kOut,  true,  false, false, false, false, false),
+    make_op("outf", Format::kR, FuClass::kFpau,  false, Opcode::kOutf, true,  false, false, false, true,  false),
+}};
+
+}  // namespace
+
+const char* to_string(FuClass c) noexcept {
+  switch (c) {
+    case FuClass::kIalu: return "IALU";
+    case FuClass::kImult: return "IMULT";
+    case FuClass::kFpau: return "FPAU";
+    case FuClass::kFpmult: return "FPMULT";
+    case FuClass::kMem: return "MEM";
+    case FuClass::kNone: return "NONE";
+  }
+  return "?";
+}
+
+const OpInfo& op_info(Opcode op) noexcept {
+  return kOpTable[static_cast<std::size_t>(op)];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) noexcept {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, Opcode>();
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      const auto op = static_cast<Opcode>(i);
+      m->emplace(std::string(op_info(op).mnemonic), op);
+    }
+    return m;
+  }();
+  const auto it = map->find(std::string(mnemonic));
+  if (it == map->end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t encode(const Instruction& inst) noexcept {
+  const auto& info = op_info(inst.op);
+  const std::uint32_t opc = static_cast<std::uint32_t>(inst.op) << 26;
+  switch (info.format) {
+    case Format::kR:
+      return opc | (std::uint32_t{inst.rd} << 21) |
+             (std::uint32_t{inst.rs1} << 16) | (std::uint32_t{inst.rs2} << 11);
+    case Format::kI: {
+      // Stores carry their value register in the rd field slot (like MIPS rt)
+      // but expose it as rs2 in the decoded form, so rd stays a pure dest.
+      const std::uint8_t rd_field = info.is_store ? inst.rs2 : inst.rd;
+      return opc | (std::uint32_t{rd_field} << 21) |
+             (std::uint32_t{inst.rs1} << 16) |
+             (static_cast<std::uint32_t>(inst.imm) & 0xFFFFu);
+    }
+    case Format::kB:
+      return opc | (std::uint32_t{inst.rs1} << 21) |
+             (std::uint32_t{inst.rs2} << 16) |
+             (static_cast<std::uint32_t>(inst.imm) & 0xFFFFu);
+    case Format::kJ:
+      return opc | (static_cast<std::uint32_t>(inst.imm) & 0x03FFFFFFu);
+  }
+  return opc;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) noexcept {
+  const std::uint32_t opc = word >> 26;
+  if (opc >= static_cast<std::uint32_t>(kNumOpcodes)) return std::nullopt;
+  Instruction inst;
+  inst.op = static_cast<Opcode>(opc);
+  const auto& info = op_info(inst.op);
+  switch (info.format) {
+    case Format::kR:
+      inst.rd = (word >> 21) & 31;
+      inst.rs1 = (word >> 16) & 31;
+      inst.rs2 = (word >> 11) & 31;
+      break;
+    case Format::kI: {
+      const std::uint8_t rd_field = (word >> 21) & 31;
+      if (info.is_store) {
+        inst.rs2 = rd_field;  // value register; see encode()
+      } else {
+        inst.rd = rd_field;
+      }
+      inst.rs1 = (word >> 16) & 31;
+      // Logical immediates and LUI are zero-extended; the rest sign-extend.
+      const bool zero_ext = inst.op == Opcode::kAndi ||
+                            inst.op == Opcode::kOri ||
+                            inst.op == Opcode::kXori || inst.op == Opcode::kLui;
+      inst.imm = zero_ext
+                     ? static_cast<std::int32_t>(word & 0xFFFFu)
+                     : static_cast<std::int32_t>(
+                           static_cast<std::int16_t>(word & 0xFFFFu));
+      break;
+    }
+    case Format::kB:
+      inst.rs1 = (word >> 21) & 31;
+      inst.rs2 = (word >> 16) & 31;
+      inst.imm = static_cast<std::int16_t>(word & 0xFFFFu);
+      break;
+    case Format::kJ:
+      inst.imm = static_cast<std::int32_t>(word & 0x03FFFFFFu);
+      break;
+  }
+  return inst;
+}
+
+}  // namespace mrisc::isa

@@ -1,0 +1,113 @@
+// mrisc: a small MIPS-like 32-bit RISC ISA.
+//
+// This is the from-scratch substitute for SimpleScalar's PISA (see DESIGN.md).
+// 32 x 32-bit integer registers (r0 hardwired to zero), 32 x 64-bit floating
+// point registers, fixed 32-bit instruction encoding:
+//
+//   R-type : opcode[31:26] rd[25:21] rs1[20:16] rs2[15:11]
+//   I-type : opcode[31:26] rd[25:21] rs1[20:16] imm16[15:0]
+//   B-type : opcode[31:26] rs1[25:21] rs2[20:16] off16[15:0]   (instr units,
+//            relative to the instruction after the branch)
+//   J-type : opcode[31:26] target26[25:0]                      (instr index)
+//
+// Each opcode carries metadata: which functional-unit class executes it,
+// whether its operands are hardware-commutative (swappable by the routing
+// logic), and whether it has a compiler-flippable twin (e.g. SLT <-> SGT, the
+// paper's ">" vs "<=" example in section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mrisc::isa {
+
+/// Functional-unit classes, mirroring the paper's test machine (SimpleScalar
+/// sim-outorder defaults): 4 IALUs, 1 integer multiplier, 4 FP adders, 1 FP
+/// multiplier, plus memory ports and a front-end-only class for control.
+enum class FuClass : std::uint8_t {
+  kIalu,    ///< integer ALU (arithmetic, logic, shifts, compares, branches)
+  kImult,   ///< integer multiply / divide / remainder
+  kFpau,    ///< floating point adder/subtractor (also compares, converts)
+  kFpmult,  ///< floating point multiply / divide / sqrt
+  kMem,     ///< memory port (address generation + cache access)
+  kNone,    ///< executes in the front end / retire (HALT, J, JAL, JR)
+};
+inline constexpr int kNumFuClasses = 6;
+
+const char* to_string(FuClass c) noexcept;
+
+enum class Opcode : std::uint8_t {
+  // Integer ALU, R-type.
+  kAdd, kSub, kAnd, kOr, kXor, kNor,
+  kSll, kSrl, kSra,
+  kSlt, kSltu, kSgt, kSgtu,
+  // Integer ALU, I-type.
+  kAddi, kAndi, kOri, kXori, kSlti,
+  kSlli, kSrli, kSrai,
+  kLui,
+  // Integer multiplier unit, R-type.
+  kMul, kDiv, kRem,
+  // Memory, I-type (address = rs1 + imm).
+  kLw, kLb, kLbu, kSw, kSb, kLfd, kSfd,
+  // Floating point adder class. R-type with FP register fields.
+  kFadd, kFsub,
+  kFclt, kFcle, kFceq,   // rd is an integer register, rs1/rs2 FP
+  kFcgt, kFcge,          // compiler-flippable twins of kFclt / kFcle
+  kCvtif,                // fp[rd] = (double) int[rs1]
+  kCvtfi,                // int[rd] = (int32) trunc fp[rs1]
+  kFmov, kFneg, kFabs,
+  kCvtsd,                // fp[rd] = (double)(float) fp[rs1]  (REAL*4 storage)
+  // Floating point multiplier class.
+  kFmul, kFdiv, kFsqrt,
+  // Control, B/J-type.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJ, kJal, kJr,
+  // Miscellaneous.
+  kHalt,
+  kOut,    // append int[rs1] to the machine's output channel
+  kOutf,   // append fp[rs1] to the machine's output channel
+  kOpcodeCount,
+};
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kOpcodeCount);
+
+/// Instruction encoding format.
+enum class Format : std::uint8_t { kR, kI, kB, kJ };
+
+/// Static properties of one opcode.
+struct OpInfo {
+  std::string_view mnemonic;
+  Format format;
+  FuClass fu;
+  bool commutative;        ///< hardware may swap rs1/rs2 operand values
+  Opcode flip;             ///< compiler-flippable twin (== self if none)
+  bool reads_rs1, reads_rs2;
+  bool writes_rd;
+  bool rd_is_fp, rs1_is_fp, rs2_is_fp;
+  bool is_branch, is_load, is_store;
+};
+
+/// Metadata for `op`. Total, constant-time.
+const OpInfo& op_info(Opcode op) noexcept;
+
+/// Look up an opcode by mnemonic (lower-case). Returns nullopt if unknown.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) noexcept;
+
+/// A decoded instruction. `imm` holds the sign-extended immediate for I/B
+/// formats and the absolute target for J-format.
+struct Instruction {
+  Opcode op{Opcode::kHalt};
+  std::uint8_t rd{0}, rs1{0}, rs2{0};
+  std::int32_t imm{0};
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Encode to the 32-bit machine word. Immediates are truncated to their
+/// field widths; the assembler range-checks before calling this.
+std::uint32_t encode(const Instruction& inst) noexcept;
+
+/// Decode a machine word. Returns nullopt for an invalid opcode field.
+std::optional<Instruction> decode(std::uint32_t word) noexcept;
+
+}  // namespace mrisc::isa

@@ -1,0 +1,158 @@
+#include "isa/object.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "isa/assembler.h"
+
+namespace mrisc::isa {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'O', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw ObjectError("truncated object");
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> save_object(const Program& program) {
+  Writer w;
+  for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kVersion);
+  w.str(program.name);
+  w.u32(static_cast<std::uint32_t>(program.code.size()));
+  for (const Instruction& inst : program.code) w.u32(encode(inst));
+  w.u32(static_cast<std::uint32_t>(program.data.size()));
+  for (const std::uint8_t b : program.data) w.u8(b);
+  w.u32(static_cast<std::uint32_t>(program.text_symbols.size() +
+                                   program.data_symbols.size()));
+  for (const auto& [name, value] : program.text_symbols) {
+    w.u8(0);
+    w.u32(value);
+    w.str(name);
+  }
+  for (const auto& [name, value] : program.data_symbols) {
+    w.u8(1);
+    w.u32(value);
+    w.str(name);
+  }
+  return w.take();
+}
+
+Program load_object(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  for (const char c : kMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(c))
+      throw ObjectError("bad magic (not an MROB object)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw ObjectError("unsupported object version " + std::to_string(version));
+
+  Program program;
+  program.name = r.str();
+  const std::uint32_t code_count = r.u32();
+  program.code.reserve(code_count);
+  for (std::uint32_t i = 0; i < code_count; ++i) {
+    const auto inst = decode(r.u32());
+    if (!inst) throw ObjectError("invalid opcode in code section");
+    program.code.push_back(*inst);
+  }
+  const std::uint32_t data_size = r.u32();
+  program.data.reserve(data_size);
+  for (std::uint32_t i = 0; i < data_size; ++i) program.data.push_back(r.u8());
+  const std::uint32_t sym_count = r.u32();
+  for (std::uint32_t i = 0; i < sym_count; ++i) {
+    const std::uint8_t kind = r.u8();
+    const std::uint32_t value = r.u32();
+    std::string name = r.str();
+    if (kind == 0) {
+      program.text_symbols.emplace(std::move(name), value);
+    } else if (kind == 1) {
+      program.data_symbols.emplace(std::move(name), value);
+    } else {
+      throw ObjectError("bad symbol kind");
+    }
+  }
+  if (!r.exhausted()) throw ObjectError("trailing bytes in object");
+  return program;
+}
+
+void write_object_file(const Program& program, const std::string& path) {
+  const auto bytes = save_object(program);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ObjectError("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw ObjectError("write failed for '" + path + "'");
+}
+
+Program read_object_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ObjectError("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return load_object(bytes);
+}
+
+Program load_program_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ObjectError("cannot open '" + path + "'");
+  std::string content{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  if (content.size() >= 4 && content.compare(0, 4, "MROB") == 0) {
+    return load_object(std::vector<std::uint8_t>(content.begin(), content.end()));
+  }
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos)
+    name = name.substr(slash + 1);
+  return assemble(content, name);
+}
+
+}  // namespace mrisc::isa

@@ -1,0 +1,45 @@
+// Binary object format for assembled mrisc programs ("MROB"), used by the
+// command-line tools so a program can be assembled once and simulated many
+// times (or shipped to the compiler swap pass) without re-parsing source.
+//
+// Layout (little-endian):
+//   magic   "MROB"            4 bytes
+//   version u32               currently 1
+//   name    u32 len + bytes
+//   code    u32 count + count x u32 encoded instructions
+//   data    u32 size  + bytes
+//   symbols u32 count + count x { u8 kind (0 text, 1 data),
+//                                 u32 value, u32 len + bytes }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace mrisc::isa {
+
+class ObjectError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize to the MROB byte format.
+std::vector<std::uint8_t> save_object(const Program& program);
+
+/// Parse an MROB image. Throws ObjectError on malformed input (bad magic,
+/// truncation, invalid opcodes).
+Program load_object(const std::vector<std::uint8_t>& bytes);
+
+/// File helpers.
+void write_object_file(const Program& program, const std::string& path);
+Program read_object_file(const std::string& path);
+
+/// Convenience: load a program from either assembly source (.s/.asm) or an
+/// MROB object (anything else / MROB magic).
+Program load_program_file(const std::string& path);
+
+}  // namespace mrisc::isa

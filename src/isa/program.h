@@ -1,0 +1,36 @@
+// A loaded mrisc program: code, initial data image, and symbols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace mrisc::isa {
+
+/// Byte address at which the data segment image is loaded.
+inline constexpr std::uint32_t kDataBase = 0x1000;
+
+/// An assembled program. Instructions are addressed by index (Harvard-style
+/// instruction memory); data lives in a flat little-endian byte image that
+/// the emulator copies to `kDataBase` at reset.
+struct Program {
+  std::string name;
+  std::vector<Instruction> code;
+  std::vector<std::uint8_t> data;
+  std::unordered_map<std::string, std::uint32_t> text_symbols;  // instr index
+  std::unordered_map<std::string, std::uint32_t> data_symbols;  // byte address
+
+  /// Machine words for the whole code segment (for round-trip tests and the
+  /// binary-rewriting compiler pass, which operates on re-encoded words).
+  [[nodiscard]] std::vector<std::uint32_t> encode_all() const {
+    std::vector<std::uint32_t> words;
+    words.reserve(code.size());
+    for (const auto& inst : code) words.push_back(encode(inst));
+    return words;
+  }
+};
+
+}  // namespace mrisc::isa

@@ -1,0 +1,72 @@
+#include "power/chip.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace mrisc::power {
+
+ChipBreakdown chip_breakdown(
+    const sim::PipelineStats& pipeline,
+    const std::array<ClassEnergy, isa::kNumFuClasses>& fu_energy,
+    const ChipPowerConfig& config) {
+  ChipBreakdown b;
+  const auto instrs = static_cast<double>(pipeline.committed);
+  std::uint64_t issued_total = 0;
+  std::uint64_t src_ops = 0;
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    issued_total += pipeline.issued[c];
+    src_ops += fu_energy[c].ops;
+  }
+
+  b.fetch = config.fetch_per_instr * instrs;
+  b.rename = config.rename_per_instr * instrs;
+  b.window = config.window_per_issue * static_cast<double>(issued_total);
+  b.regfile = config.regfile_per_op * static_cast<double>(src_ops);
+  b.rob = config.rob_per_instr * instrs;
+  b.cache = config.cache_per_hit * static_cast<double>(pipeline.cache_hits) +
+            config.cache_per_miss * static_cast<double>(pipeline.cache_misses);
+  b.clock = config.clock_per_cycle * static_cast<double>(pipeline.cycles);
+
+  auto fu = [&](isa::FuClass cls) {
+    return fu_energy[static_cast<std::size_t>(cls)].total_units(
+        config.booth_beta);
+  };
+  b.fu_ialu = fu(isa::FuClass::kIalu);
+  b.fu_fpau = fu(isa::FuClass::kFpau);
+  b.fu_imult = fu(isa::FuClass::kImult);
+  b.fu_fpmult = fu(isa::FuClass::kFpmult);
+  return b;
+}
+
+std::string ChipBreakdown::to_string() const {
+  util::AsciiTable table({"Structure", "energy units", "share"});
+  const double t = total();
+  auto row = [&](const char* name, double v) {
+    table.add_row({name, util::fmt_fixed(v, 0),
+                   util::fmt_pct(t > 0 ? 100.0 * v / t : 0.0)});
+  };
+  row("fetch/decode", fetch);
+  row("rename", rename);
+  row("issue window", window);
+  row("register file", regfile);
+  row("reorder buffer", rob);
+  row("D-cache", cache);
+  row("clock", clock);
+  row("IALU", fu_ialu);
+  row("FPAU", fu_fpau);
+  row("IMULT", fu_imult);
+  row("FPMULT", fu_fpmult);
+  table.add_rule();
+  row("execution units combined", execution_units());
+  return table.to_string("Chip-level activity-based power breakdown");
+}
+
+double chip_reduction_pct(const ChipBreakdown& baseline,
+                          const ChipBreakdown& variant) {
+  const double base = baseline.total();
+  if (base <= 0) return 0.0;
+  return 100.0 * (1.0 - variant.total() / base);
+}
+
+}  // namespace mrisc::power

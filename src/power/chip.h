@@ -1,0 +1,72 @@
+// Wattch-style chip-level power context (section 1 of the paper).
+//
+// The paper converts its 17-18% execution-unit switching reduction into a
+// whole-chip number using Brooks et al.'s observation that around 22% of
+// processor power is consumed in the execution units, concluding "the
+// decrease in total chip power is roughly 4%". This module reproduces that
+// arithmetic with an explicit activity-based breakdown: every pipeline
+// structure is charged per access (Wattch's "per-access energy x activity
+// counts" methodology), with default per-access weights calibrated so the
+// execution units draw ~22% of the suite's baseline power.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "power/energy.h"
+#include "sim/ooo.h"
+
+namespace mrisc::power {
+
+struct ChipPowerConfig {
+  // Per-event energy weights in switched-bit-equivalent units, calibrated
+  // so the execution units draw ~22% of baseline suite power (the share the
+  // paper cites from Wattch [4]).
+  double fetch_per_instr = 14.0;    ///< I-fetch + decode
+  double rename_per_instr = 7.0;    ///< map table + free list
+  double window_per_issue = 11.0;   ///< RS wakeup/select (CAM)
+  double regfile_per_op = 9.0;      ///< operand reads + writeback
+  double rob_per_instr = 7.0;       ///< allocate + commit
+  double cache_per_hit = 18.0;
+  double cache_per_miss = 130.0;
+  double clock_per_cycle = 32.0;    ///< clock tree + latch load
+  /// Multiplier Booth term weight (matches PowerConfig::booth_beta).
+  double booth_beta = 0.5;
+};
+
+/// Activity-based chip energy breakdown for one run.
+struct ChipBreakdown {
+  double fetch = 0, rename = 0, window = 0, regfile = 0, rob = 0, cache = 0,
+         clock = 0;
+  double fu_ialu = 0, fu_fpau = 0, fu_imult = 0, fu_fpmult = 0;
+
+  [[nodiscard]] double execution_units() const {
+    return fu_ialu + fu_fpau + fu_imult + fu_fpmult;
+  }
+  [[nodiscard]] double total() const {
+    return fetch + rename + window + regfile + rob + cache + clock +
+           execution_units();
+  }
+  /// Fraction of chip energy spent in the execution units (paper: ~22%).
+  [[nodiscard]] double fu_share() const {
+    const double t = total();
+    return t > 0 ? execution_units() / t : 0.0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Estimate the breakdown from pipeline statistics and per-class FU energy.
+ChipBreakdown chip_breakdown(
+    const sim::PipelineStats& pipeline,
+    const std::array<ClassEnergy, isa::kNumFuClasses>& fu_energy,
+    const ChipPowerConfig& config = {});
+
+/// The paper's section 1 arithmetic: whole-chip energy reduction of
+/// `variant` relative to `baseline` (in percent). Non-FU activity is
+/// identical between the two runs by construction (steering does not change
+/// timing), so the reduction comes entirely from the FU term.
+double chip_reduction_pct(const ChipBreakdown& baseline,
+                          const ChipBreakdown& variant);
+
+}  // namespace mrisc::power

@@ -1,0 +1,99 @@
+#include "power/energy.h"
+
+#include "util/bitops.h"
+
+namespace mrisc::power {
+
+int operand_hamming(std::uint64_t a, std::uint64_t b, bool fp) noexcept {
+  return util::hamming_low(a, b, domain_bits(fp));
+}
+
+EnergyAccountant::EnergyAccountant(const PowerConfig& config)
+    : config_(config) {}
+
+void EnergyAccountant::reset() {
+  latch_ = {};
+  energy_ = {};
+  module_energy_ = {};
+}
+
+namespace {
+
+/// Does a 32-bit integer operand fit in `bits` under sign extension?
+bool fits_low_bits(std::uint64_t value, int bits) noexcept {
+  const auto v = static_cast<std::int32_t>(static_cast<std::uint32_t>(value));
+  return util::sign_extend(static_cast<std::uint32_t>(v) &
+                               ((std::uint64_t{1} << bits) - 1),
+                           bits) == v;
+}
+
+}  // namespace
+
+void EnergyAccountant::on_issue(isa::FuClass cls,
+                                std::span<const sim::IssueSlot> slots,
+                                std::span<const sim::ModuleAssignment> assign) {
+  const auto ci = static_cast<std::size_t>(cls);
+  const bool guardable =
+      config_.guarded_int_units &&
+      (cls == isa::FuClass::kIalu || cls == isa::FuClass::kImult);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const sim::IssueSlot& slot = slots[i];
+    ModuleLatch& latch = latch_[ci][static_cast<std::size_t>(assign[i].module)];
+    // Operands as presented after any swap decision of the routing logic.
+    const std::uint64_t in1 = assign[i].swapped ? slot.op2 : slot.op1;
+    const std::uint64_t in2 = assign[i].swapped ? slot.op1 : slot.op2;
+    const bool have1 = assign[i].swapped ? slot.has_op2 : slot.has_op1;
+    const bool have2 = assign[i].swapped ? slot.has_op1 : slot.has_op2;
+
+    ClassEnergy& e = energy_[ci];
+    auto port_cost = [&](std::uint64_t incoming, std::uint64_t previous) {
+      if (guardable && !slot.fp_operands &&
+          fits_low_bits(incoming, config_.guard_low_bits) &&
+          fits_low_bits(previous, config_.guard_low_bits)) {
+        // Upper portion stays gated off; only the low slice switches.
+        e.guard_overhead += config_.guard_overhead;
+        e.gated_operands += 1;
+        return util::hamming_low(incoming, previous, config_.guard_low_bits);
+      }
+      return operand_hamming(incoming, previous, slot.fp_operands);
+    };
+
+    int h = 0;
+    if (have1) {
+      h += port_cost(in1, latch.op1);
+      latch.op1 = in1;
+    }
+    if (have2) {
+      h += port_cost(in2, latch.op2);
+      latch.op2 = in2;
+    }
+    e.switched_bits += static_cast<std::uint64_t>(h);
+    e.ops += 1;
+    ModuleEnergy& me =
+        module_energy_[ci][static_cast<std::size_t>(assign[i].module)];
+    me.switched_bits += static_cast<std::uint64_t>(h);
+    me.ops += 1;
+    if (config_.booth_model_for_mult &&
+        (cls == isa::FuClass::kImult || cls == isa::FuClass::kFpmult) &&
+        have2) {
+      e.booth_adds += util::popcount_low(in2, domain_bits(slot.fp_operands));
+    }
+  }
+}
+
+double EnergyAccountant::joules(isa::FuClass c) const {
+  const auto ci = static_cast<std::size_t>(c);
+  const ClassEnergy& e = energy_[ci];
+  const double units = e.total_units(config_.booth_beta);
+  return 0.5 * config_.vdd_volts * config_.vdd_volts *
+         config_.c_per_flip[ci] * units;
+}
+
+double EnergyAccountant::bits_per_op(isa::FuClass c) const {
+  const ClassEnergy& e = cls(c);
+  return e.ops ? static_cast<double>(e.switched_bits) /
+                     static_cast<double>(e.ops)
+               : 0.0;
+}
+
+}  // namespace mrisc::power

@@ -1,0 +1,115 @@
+// Dynamic-power model for functional units (section 2 of the paper):
+//
+//   Power ~= 1/2 * Vdd^2 * f * C_module * h_input
+//
+// where h_input is the Hamming distance between the module's current and
+// previous input operands. The accountant tracks, per FU module, the operand
+// values latched at its inputs (transparent latches hold them while idle -
+// section 4's power-management assumption) and charges h_input switched bits
+// on every issue. For FP operands only the 52-bit mantissa is compared, per
+// the paper's Ham() definition.
+//
+// For the multiplier classes an optional Booth-style proxy additionally
+// charges beta * popcount(op2), modelling the shift-and-add observation of
+// section 4.4 (power grows with the number of 1s in the second operand).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "sim/issue.h"
+
+namespace mrisc::power {
+
+/// Hamming domain width for one operand of `fp` type.
+inline constexpr int domain_bits(bool fp) noexcept { return fp ? 52 : 32; }
+
+/// Ham(X, Y) as defined by the paper: full 32-bit word for integers, mantissa
+/// only for floating point.
+int operand_hamming(std::uint64_t a, std::uint64_t b, bool fp) noexcept;
+
+struct PowerConfig {
+  double vdd_volts = 1.2;
+  double freq_hz = 2.0e9;
+  /// Effective switched capacitance per input bit-flip, per FU class
+  /// (farads). Plausible relative magnitudes; absolute values only matter
+  /// for the joules view, never for the paper's % reductions.
+  std::array<double, isa::kNumFuClasses> c_per_flip = {
+      8e-15, 30e-15, 20e-15, 40e-15, 6e-15, 0.0};
+  bool booth_model_for_mult = true;
+  double booth_beta = 0.5;  ///< bit-flip-equivalents per 1-bit in op2
+
+  /// Partially-guarded integer units (Choi et al., discussed in the paper's
+  /// related work as *complementary* to steering). When both the arriving
+  /// and the latched operand of a port fit in `guard_low_bits` (under sign
+  /// extension), the unit's upper portion stays gated off and only the low
+  /// portion's Hamming distance is charged, plus a small sign-extension
+  /// circuit overhead per gated operand.
+  bool guarded_int_units = false;
+  int guard_low_bits = 16;
+  double guard_overhead = 1.0;  ///< bit-flip-equivalents per gated operand
+};
+
+/// Per-FU-class energy totals.
+struct ClassEnergy {
+  std::uint64_t switched_bits = 0;  ///< sum of input Hamming distances
+  double booth_adds = 0.0;          ///< Booth proxy term (mult classes only)
+  double guard_overhead = 0.0;      ///< sign-extension circuit term
+  std::uint64_t gated_operands = 0; ///< operands that kept the guard closed
+  std::uint64_t ops = 0;
+
+  [[nodiscard]] double total_units(double beta) const {
+    return static_cast<double>(switched_bits) + beta * booth_adds +
+           guard_overhead;
+  }
+};
+
+class EnergyAccountant final : public sim::IssueListener {
+ public:
+  explicit EnergyAccountant(const PowerConfig& config = {});
+
+  /// Clear all module latches (to zero) and totals.
+  void reset();
+
+  void on_issue(isa::FuClass cls, std::span<const sim::IssueSlot> slots,
+                std::span<const sim::ModuleAssignment> assign) override;
+
+  [[nodiscard]] const ClassEnergy& cls(isa::FuClass c) const {
+    return energy_[static_cast<std::size_t>(c)];
+  }
+
+  /// Energy in joules for one class under the configured capacitance.
+  [[nodiscard]] double joules(isa::FuClass c) const;
+
+  /// Mean switched bits per operation for one class.
+  [[nodiscard]] double bits_per_op(isa::FuClass c) const;
+
+  /// Per-module breakdown (module utilization and switching share) - used
+  /// by the steering reports to show how the scheme distributes work.
+  struct ModuleEnergy {
+    std::uint64_t switched_bits = 0;
+    std::uint64_t ops = 0;
+  };
+  [[nodiscard]] const ModuleEnergy& module_energy(isa::FuClass c,
+                                                  int module) const {
+    return module_energy_[static_cast<std::size_t>(c)]
+                         [static_cast<std::size_t>(module)];
+  }
+
+  [[nodiscard]] const PowerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ModuleLatch {
+    std::uint64_t op1 = 0, op2 = 0;
+  };
+
+  PowerConfig config_;
+  std::array<std::array<ModuleLatch, sim::kMaxModules>, isa::kNumFuClasses>
+      latch_{};
+  std::array<ClassEnergy, isa::kNumFuClasses> energy_{};
+  std::array<std::array<ModuleEnergy, sim::kMaxModules>, isa::kNumFuClasses>
+      module_energy_{};
+};
+
+}  // namespace mrisc::power

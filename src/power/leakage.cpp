@@ -1,0 +1,48 @@
+#include "power/leakage.h"
+
+namespace mrisc::power {
+
+LeakageTracker::LeakageTracker(
+    const LeakageConfig& config,
+    const std::array<int, isa::kNumFuClasses>& modules)
+    : config_(config), modules_(modules) {}
+
+void LeakageTracker::on_issue(isa::FuClass cls,
+                              std::span<const sim::IssueSlot> slots,
+                              std::span<const sim::ModuleAssignment> assign) {
+  const auto ci = static_cast<std::size_t>(cls);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    ModuleState& module =
+        state_[ci][static_cast<std::size_t>(assign[i].module)];
+    if (module.asleep) {
+      // The routing logic wakes the module to use it.
+      module.asleep = false;
+      energy_[ci] += config_.wake_cost;
+      wakeups_[ci] += 1;
+    }
+    module.last_use = 0;  // refreshed against the next on_cycle timestamp
+  }
+}
+
+void LeakageTracker::on_cycle(std::uint64_t cycle) {
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    if (c == static_cast<std::size_t>(isa::FuClass::kNone)) continue;
+    for (int m = 0; m < modules_[c]; ++m) {
+      ModuleState& module = state_[c][static_cast<std::size_t>(m)];
+      if (module.last_use == 0) module.last_use = cycle;  // used this cycle
+      const std::uint64_t idle = cycle - module.last_use;
+      if (!module.asleep &&
+          idle >= static_cast<std::uint64_t>(config_.sleep_after_idle)) {
+        module.asleep = true;
+      }
+      if (module.asleep) {
+        energy_[c] += config_.sleep_leak_per_cycle;
+        slept_[c] += 1;
+      } else {
+        energy_[c] += config_.leak_per_cycle;
+      }
+    }
+  }
+}
+
+}  // namespace mrisc::power

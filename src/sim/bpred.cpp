@@ -1,0 +1,57 @@
+#include "sim/bpred.h"
+
+namespace mrisc::sim {
+
+BranchPredictor::BranchPredictor(const BpredConfig& config) : config_(config) {
+  if (config_.kind == BpredConfig::Kind::kBimodal ||
+      config_.kind == BpredConfig::Kind::kGshare) {
+    counters_.assign(std::size_t{1} << config_.table_bits, 1);  // weakly NT
+  }
+}
+
+std::size_t BranchPredictor::index(std::uint32_t pc) const {
+  const std::size_t mask = (std::size_t{1} << config_.table_bits) - 1;
+  if (config_.kind == BpredConfig::Kind::kGshare) {
+    const std::uint32_t hist_mask = (1u << config_.history_bits) - 1;
+    return (pc ^ (history_ & hist_mask)) & mask;
+  }
+  return pc & mask;
+}
+
+bool BranchPredictor::predict(std::uint32_t pc) const {
+  switch (config_.kind) {
+    case BpredConfig::Kind::kNone:
+      return true;  // never consulted for timing; placeholder
+    case BpredConfig::Kind::kNotTaken:
+      return false;
+    case BpredConfig::Kind::kBimodal:
+    case BpredConfig::Kind::kGshare:
+      return counters_[index(pc)] >= 2;
+  }
+  return false;
+}
+
+void BranchPredictor::update(std::uint32_t pc, bool taken) {
+  if (config_.kind == BpredConfig::Kind::kBimodal ||
+      config_.kind == BpredConfig::Kind::kGshare) {
+    std::uint8_t& counter = counters_[index(pc)];
+    if (taken && counter < 3) ++counter;
+    if (!taken && counter > 0) --counter;
+  }
+  if (config_.kind == BpredConfig::Kind::kGshare)
+    history_ = (history_ << 1) | (taken ? 1u : 0u);
+}
+
+bool BranchPredictor::observe(std::uint32_t pc, bool taken) {
+  if (config_.kind == BpredConfig::Kind::kNone) return true;
+  ++lookups_;
+  const bool predicted = predict(pc);
+  update(pc, taken);
+  if (predicted != taken) {
+    ++mispredictions_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mrisc::sim

@@ -1,0 +1,58 @@
+// Branch predictors for the front end. The trace is the committed path, so
+// wrong-path *execution* is not modelled; a misprediction instead blocks
+// fetch until the branch resolves plus a redirect penalty - the first-order
+// timing effect, which is what shapes issue-group sizes (Table 2).
+//
+// Predictors: none (perfect, the default - matches the baseline results),
+// static not-taken, bimodal (2-bit counters), and gshare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrisc::sim {
+
+struct BpredConfig {
+  enum class Kind { kNone, kNotTaken, kBimodal, kGshare };
+  Kind kind = Kind::kNone;
+  int table_bits = 11;       ///< 2^bits two-bit counters
+  int history_bits = 8;      ///< gshare global history length
+  int mispredict_penalty = 6;  ///< fetch-redirect cycles after resolution
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BpredConfig& config);
+
+  /// Predict the direction of the conditional branch at `pc`.
+  [[nodiscard]] bool predict(std::uint32_t pc) const;
+
+  /// Train with the actual outcome (called at dispatch; the trace knows).
+  void update(std::uint32_t pc, bool taken);
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::uint64_t mispredictions() const noexcept {
+    return mispredictions_;
+  }
+  [[nodiscard]] double accuracy() const noexcept {
+    return lookups_ ? 1.0 - static_cast<double>(mispredictions_) /
+                                static_cast<double>(lookups_)
+                    : 1.0;
+  }
+  [[nodiscard]] const BpredConfig& config() const noexcept { return config_; }
+
+  /// Predict-and-train in one step; returns whether the prediction was
+  /// correct (the core's dispatch-time interface).
+  bool observe(std::uint32_t pc, bool taken);
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint32_t pc) const;
+
+  BpredConfig config_;
+  std::vector<std::uint8_t> counters_;  // 2-bit saturating, init weakly taken
+  std::uint32_t history_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredictions_ = 0;
+};
+
+}  // namespace mrisc::sim

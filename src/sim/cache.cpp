@@ -1,0 +1,36 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mrisc::sim {
+
+DirectMappedCache::DirectMappedCache(const CacheConfig& config)
+    : config_(config) {
+  if (config.line_bytes == 0 || (config.line_bytes & (config.line_bytes - 1)))
+    throw std::invalid_argument("cache line size must be a power of two");
+  if (config.size_bytes % config.line_bytes != 0)
+    throw std::invalid_argument("cache size must be a multiple of line size");
+  num_lines_ = config.size_bytes / config.line_bytes;
+  tags_.assign(num_lines_, 0);
+}
+
+int DirectMappedCache::access(std::uint32_t addr) {
+  const std::uint32_t line = addr / config_.line_bytes;
+  const std::uint32_t index = line % num_lines_;
+  const std::uint64_t tag = static_cast<std::uint64_t>(line / num_lines_) + 1;
+  if (tags_[index] == tag) {
+    ++hits_;
+    return config_.hit_latency;
+  }
+  ++misses_;
+  tags_[index] = tag;
+  return config_.hit_latency + config_.miss_penalty;
+}
+
+void DirectMappedCache::reset() {
+  tags_.assign(num_lines_, 0);
+  hits_ = misses_ = 0;
+}
+
+}  // namespace mrisc::sim

@@ -1,0 +1,38 @@
+// A small direct-mapped L1 data cache used by the memory ports. It exists to
+// give loads realistic, occasionally-long latencies so that the per-cycle
+// issue-occupancy statistics (Table 2) have a realistic shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrisc::sim {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  int hit_latency = 1;
+  int miss_penalty = 18;
+};
+
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(const CacheConfig& config);
+
+  /// Access (load or store-allocate) the line containing `addr`. Returns the
+  /// access latency in cycles and updates the tag array.
+  int access(std::uint32_t addr);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  void reset();
+
+ private:
+  CacheConfig config_;
+  std::uint32_t num_lines_;
+  std::vector<std::uint64_t> tags_;  // tag+1, 0 == invalid
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace mrisc::sim

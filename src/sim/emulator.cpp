@@ -1,0 +1,322 @@
+#include "sim/emulator.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/bitops.h"
+
+namespace mrisc::sim {
+namespace {
+
+inline std::uint64_t double_to_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+inline double bits_to_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+}  // namespace
+
+double Emulator::Output::as_double() const { return bits_to_double(bits); }
+
+Emulator::Emulator(isa::Program program, std::size_t mem_size)
+    : program_(std::move(program)), mem_(mem_size, 0) {
+  if (isa::kDataBase + program_.data.size() > mem_.size())
+    throw EmuError("data segment does not fit in memory");
+  std::memcpy(mem_.data() + isa::kDataBase, program_.data.data(),
+              program_.data.size());
+}
+
+double Emulator::freg(int i) const { return bits_to_double(fregs_[i]); }
+
+void Emulator::check_access(std::uint32_t addr, int size) const {
+  if (addr % static_cast<std::uint32_t>(size) != 0)
+    throw EmuError("unaligned access at 0x" + std::to_string(addr));
+  if (static_cast<std::size_t>(addr) + static_cast<std::size_t>(size) >
+      mem_.size())
+    throw EmuError("out-of-bounds access at " + std::to_string(addr));
+}
+
+std::uint8_t Emulator::load_byte(std::uint32_t addr) const {
+  check_access(addr, 1);
+  return mem_[addr];
+}
+
+void Emulator::store_byte(std::uint32_t addr, std::uint8_t value) {
+  check_access(addr, 1);
+  mem_[addr] = value;
+}
+
+std::uint32_t Emulator::load_word(std::uint32_t addr) const {
+  check_access(addr, 4);
+  std::uint32_t v;
+  std::memcpy(&v, mem_.data() + addr, 4);
+  return v;
+}
+
+void Emulator::store_word(std::uint32_t addr, std::uint32_t value) {
+  check_access(addr, 4);
+  std::memcpy(mem_.data() + addr, &value, 4);
+}
+
+std::uint64_t Emulator::load_dword(std::uint32_t addr) const {
+  check_access(addr, 8);
+  std::uint64_t v;
+  std::memcpy(&v, mem_.data() + addr, 8);
+  return v;
+}
+
+void Emulator::store_dword(std::uint32_t addr, std::uint64_t value) {
+  check_access(addr, 8);
+  std::memcpy(mem_.data() + addr, &value, 8);
+}
+
+std::uint64_t Emulator::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (n < max_steps && step()) ++n;
+  return n;
+}
+
+std::optional<TraceRecord> Emulator::step() {
+  using isa::Opcode;
+  if (halted_) return std::nullopt;
+  if (pc_ >= program_.code.size())
+    throw EmuError("pc out of range: " + std::to_string(pc_));
+
+  const isa::Instruction inst = program_.code[pc_];
+  const auto& info = isa::op_info(inst.op);
+
+  TraceRecord rec;
+  rec.pc = pc_;
+  rec.op = inst.op;
+  rec.fu = info.fu;
+  rec.commutative = info.commutative;
+  rec.is_load = info.is_load;
+  rec.is_store = info.is_store;
+  rec.is_branch = info.is_branch;
+
+  // Register dataflow metadata.
+  if (info.reads_rs1) {
+    rec.has_src1 = true;
+    rec.src1_reg = inst.rs1;
+    rec.src1_fp = info.rs1_is_fp;
+  }
+  if (info.reads_rs2) {
+    rec.has_src2 = true;
+    rec.src2_reg = inst.rs2;
+    rec.src2_fp = info.rs2_is_fp;
+  }
+  if (info.writes_rd) {
+    rec.has_dest = true;
+    rec.dest_reg = inst.op == Opcode::kJal ? 31 : inst.rd;
+    rec.dest_fp = info.rd_is_fp;
+  }
+
+  const std::uint32_t a = regs_[inst.rs1];
+  const std::uint32_t b = regs_[inst.rs2];
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  const auto imm = inst.imm;
+  const auto uimm = static_cast<std::uint32_t>(imm) & 0xFFFFu;
+  const double fa = bits_to_double(fregs_[inst.rs1]);
+  const double fb = bits_to_double(fregs_[inst.rs2]);
+
+  // Default FU-input operand values; overridden below where they differ.
+  rec.fp_operands = info.fu == isa::FuClass::kFpau ||
+                    info.fu == isa::FuClass::kFpmult;
+  if (info.reads_rs1) {
+    rec.has_op1 = true;
+    rec.op1 = info.rs1_is_fp ? fregs_[inst.rs1] : std::uint64_t{a};
+  }
+  if (info.reads_rs2) {
+    rec.has_op2 = true;
+    rec.op2 = info.rs2_is_fp ? fregs_[inst.rs2] : std::uint64_t{b};
+  }
+  if (info.format == isa::Format::kI && !info.is_load && !info.is_store &&
+      inst.op != Opcode::kLui) {
+    // Immediate forms present the (extended) immediate on the second input.
+    rec.has_op2 = true;
+    const bool logical = inst.op == Opcode::kAndi || inst.op == Opcode::kOri ||
+                         inst.op == Opcode::kXori;
+    rec.op2 = logical ? std::uint64_t{uimm}
+                      : std::uint64_t{static_cast<std::uint32_t>(imm)};
+  }
+  if (info.is_load || info.is_store) {
+    // Address-generation inputs on the memory port: base and displacement.
+    rec.has_op1 = true;
+    rec.op1 = a;
+    rec.has_op2 = true;
+    rec.op2 = static_cast<std::uint32_t>(imm);
+    rec.fp_operands = false;
+  }
+
+  std::uint32_t next_pc = pc_ + 1;
+  std::uint32_t rd_val = 0;
+  std::uint64_t fd_bits = 0;
+
+  switch (inst.op) {
+    case Opcode::kAdd: rd_val = a + b; break;
+    case Opcode::kSub: rd_val = a - b; break;
+    case Opcode::kAnd: rd_val = a & b; break;
+    case Opcode::kOr: rd_val = a | b; break;
+    case Opcode::kXor: rd_val = a ^ b; break;
+    case Opcode::kNor: rd_val = ~(a | b); break;
+    case Opcode::kSll: rd_val = a << (b & 31); break;
+    case Opcode::kSrl: rd_val = a >> (b & 31); break;
+    case Opcode::kSra: rd_val = static_cast<std::uint32_t>(sa >> (b & 31)); break;
+    case Opcode::kSlt: rd_val = sa < sb ? 1 : 0; break;
+    case Opcode::kSltu: rd_val = a < b ? 1 : 0; break;
+    case Opcode::kSgt: rd_val = sa > sb ? 1 : 0; break;
+    case Opcode::kSgtu: rd_val = a > b ? 1 : 0; break;
+    case Opcode::kAddi: rd_val = a + static_cast<std::uint32_t>(imm); break;
+    case Opcode::kAndi: rd_val = a & uimm; break;
+    case Opcode::kOri: rd_val = a | uimm; break;
+    case Opcode::kXori: rd_val = a ^ uimm; break;
+    case Opcode::kSlti: rd_val = sa < imm ? 1 : 0; break;
+    case Opcode::kSlli: rd_val = a << (imm & 31); break;
+    case Opcode::kSrli: rd_val = a >> (imm & 31); break;
+    case Opcode::kSrai: rd_val = static_cast<std::uint32_t>(sa >> (imm & 31)); break;
+    case Opcode::kLui:
+      rd_val = static_cast<std::uint32_t>(imm) << 16;
+      rec.has_op1 = true;
+      rec.op1 = static_cast<std::uint32_t>(imm);
+      break;
+    case Opcode::kMul:
+      rd_val = static_cast<std::uint32_t>(static_cast<std::int64_t>(sa) *
+                                          static_cast<std::int64_t>(sb));
+      break;
+    case Opcode::kDiv:
+      // Division by zero and INT_MIN/-1 are defined (0 / dividend) so that
+      // randomized workloads cannot trap the host.
+      if (sb == 0 || (sa == INT32_MIN && sb == -1)) {
+        rd_val = 0;
+      } else {
+        rd_val = static_cast<std::uint32_t>(sa / sb);
+      }
+      break;
+    case Opcode::kRem:
+      if (sb == 0 || (sa == INT32_MIN && sb == -1)) {
+        rd_val = a;
+      } else {
+        rd_val = static_cast<std::uint32_t>(sa % sb);
+      }
+      break;
+    case Opcode::kLw:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      rd_val = load_word(rec.mem_addr);
+      break;
+    case Opcode::kLb:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      rd_val = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int8_t>(load_byte(rec.mem_addr))));
+      break;
+    case Opcode::kLbu:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      rd_val = load_byte(rec.mem_addr);
+      break;
+    case Opcode::kSw:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      store_word(rec.mem_addr, b);
+      break;
+    case Opcode::kSb:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      store_byte(rec.mem_addr, static_cast<std::uint8_t>(b));
+      break;
+    case Opcode::kLfd:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      fd_bits = load_dword(rec.mem_addr);
+      break;
+    case Opcode::kSfd:
+      rec.mem_addr = a + static_cast<std::uint32_t>(imm);
+      store_dword(rec.mem_addr, fregs_[inst.rs2]);
+      break;
+    case Opcode::kFadd: fd_bits = double_to_bits(fa + fb); break;
+    case Opcode::kFsub: fd_bits = double_to_bits(fa - fb); break;
+    case Opcode::kFclt: rd_val = fa < fb ? 1 : 0; break;
+    case Opcode::kFcle: rd_val = fa <= fb ? 1 : 0; break;
+    case Opcode::kFceq: rd_val = fa == fb ? 1 : 0; break;
+    case Opcode::kFcgt: rd_val = fa > fb ? 1 : 0; break;
+    case Opcode::kFcge: rd_val = fa >= fb ? 1 : 0; break;
+    case Opcode::kCvtif:
+      fd_bits = double_to_bits(static_cast<double>(sa));
+      // The FPAU input is the integer register value (sign-extended).
+      rec.op1 = static_cast<std::uint64_t>(static_cast<std::int64_t>(sa));
+      break;
+    case Opcode::kCvtfi: {
+      const double t = std::trunc(fa);
+      // Saturate out-of-range conversions instead of UB.
+      std::int32_t v;
+      if (std::isnan(t)) {
+        v = 0;
+      } else if (t >= 2147483647.0) {
+        v = INT32_MAX;
+      } else if (t <= -2147483648.0) {
+        v = INT32_MIN;
+      } else {
+        v = static_cast<std::int32_t>(t);
+      }
+      rd_val = static_cast<std::uint32_t>(v);
+      break;
+    }
+    case Opcode::kFmov: fd_bits = fregs_[inst.rs1]; break;
+    case Opcode::kCvtsd:
+      // Round-trip through IEEE single precision: the paper's second source
+      // of trailing-zero mantissas (REAL*4 data widened to double).
+      fd_bits = double_to_bits(static_cast<double>(static_cast<float>(fa)));
+      break;
+    case Opcode::kFneg: fd_bits = double_to_bits(-fa); break;
+    case Opcode::kFabs: fd_bits = double_to_bits(std::fabs(fa)); break;
+    case Opcode::kFmul: fd_bits = double_to_bits(fa * fb); break;
+    case Opcode::kFdiv: fd_bits = double_to_bits(fa / fb); break;
+    case Opcode::kFsqrt: fd_bits = double_to_bits(std::sqrt(fa)); break;
+    case Opcode::kBeq: rec.branch_taken = a == b; break;
+    case Opcode::kBne: rec.branch_taken = a != b; break;
+    case Opcode::kBlt: rec.branch_taken = sa < sb; break;
+    case Opcode::kBge: rec.branch_taken = sa >= sb; break;
+    case Opcode::kBltu: rec.branch_taken = a < b; break;
+    case Opcode::kBgeu: rec.branch_taken = a >= b; break;
+    case Opcode::kJ:
+      next_pc = static_cast<std::uint32_t>(inst.imm);
+      rec.branch_taken = true;
+      break;
+    case Opcode::kJal:
+      rd_val = pc_ + 1;
+      next_pc = static_cast<std::uint32_t>(inst.imm);
+      rec.branch_taken = true;
+      break;
+    case Opcode::kJr:
+      next_pc = a;
+      rec.branch_taken = true;
+      break;
+    case Opcode::kHalt: halted_ = true; break;
+    case Opcode::kOut:
+      output_.push_back({false, static_cast<std::uint64_t>(
+                                    static_cast<std::int64_t>(sa))});
+      break;
+    case Opcode::kOutf: output_.push_back({true, fregs_[inst.rs1]}); break;
+    case Opcode::kOpcodeCount: throw EmuError("invalid opcode");
+  }
+
+  if (rec.is_branch && info.format == isa::Format::kB && rec.branch_taken)
+    next_pc = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(pc_) + 1 + inst.imm);
+
+  if (rec.has_dest) {
+    if (rec.dest_fp) {
+      fregs_[rec.dest_reg] = fd_bits;
+    } else if (rec.dest_reg != 0) {
+      regs_[rec.dest_reg] = rd_val;
+    }
+  }
+
+  pc_ = next_pc;
+  ++retired_;
+  return rec;
+}
+
+}  // namespace mrisc::sim

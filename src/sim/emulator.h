@@ -1,0 +1,103 @@
+// Functional emulator for mrisc programs.
+//
+// Executes architecturally, one instruction per step(), producing a
+// TraceRecord for each retired instruction. The timing core (ooo.h) replays
+// this committed-path stream through a Tomasulo engine; see DESIGN.md for why
+// this trace-driven split preserves the paper's evaluated behaviour.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/trace.h"
+
+namespace mrisc::sim {
+
+class EmuError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Emulator {
+ public:
+  struct Output {
+    bool is_fp;
+    std::uint64_t bits;  ///< int: sign-extended to 64; fp: raw double bits
+
+    [[nodiscard]] std::int64_t as_int() const {
+      return static_cast<std::int64_t>(bits);
+    }
+    [[nodiscard]] double as_double() const;
+  };
+
+  /// Construct with the program loaded and the data image copied to
+  /// isa::kDataBase. `mem_size` is the flat data memory size in bytes.
+  /// The program is copied so the emulator has no lifetime dependencies.
+  explicit Emulator(isa::Program program,
+                    std::size_t mem_size = std::size_t{1} << 22);
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] const isa::Program& program() const noexcept {
+    return program_;
+  }
+  [[nodiscard]] std::uint64_t retired() const noexcept { return retired_; }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+
+  /// Execute one instruction; returns its trace record, or nullopt if the
+  /// machine has halted. Throws EmuError on invalid PC, unaligned or
+  /// out-of-bounds memory access.
+  std::optional<TraceRecord> step();
+
+  /// Run until halt or `max_steps` instructions. Returns number executed.
+  std::uint64_t run(std::uint64_t max_steps = UINT64_MAX);
+
+  /// Values emitted by OUT / OUTF, in program order.
+  [[nodiscard]] const std::vector<Output>& output() const noexcept {
+    return output_;
+  }
+
+  // --- architectural state accessors (tests, compiler-pass profiling) ---
+  [[nodiscard]] std::uint32_t reg(int i) const { return regs_[i]; }
+  [[nodiscard]] std::uint64_t freg_raw(int i) const { return fregs_[i]; }
+  [[nodiscard]] double freg(int i) const;
+  [[nodiscard]] std::uint32_t load_word(std::uint32_t addr) const;
+  void store_word(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::uint64_t load_dword(std::uint32_t addr) const;
+
+ private:
+  [[nodiscard]] std::uint8_t load_byte(std::uint32_t addr) const;
+  void store_byte(std::uint32_t addr, std::uint8_t value);
+  void store_dword(std::uint32_t addr, std::uint64_t value);
+  void check_access(std::uint32_t addr, int size) const;
+
+  isa::Program program_;
+  std::vector<std::uint8_t> mem_;
+  std::uint32_t regs_[32] = {};
+  std::uint64_t fregs_[32] = {};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t retired_ = 0;
+  std::vector<Output> output_;
+};
+
+/// TraceSource adapter over a live emulator (streams without buffering).
+class EmulatorTraceSource final : public TraceSource {
+ public:
+  explicit EmulatorTraceSource(Emulator& emu, std::uint64_t max_steps = UINT64_MAX)
+      : emu_(emu), remaining_(max_steps) {}
+
+  std::optional<TraceRecord> next() override {
+    if (remaining_ == 0) return std::nullopt;
+    --remaining_;
+    return emu_.step();
+  }
+
+ private:
+  Emulator& emu_;
+  std::uint64_t remaining_;
+};
+
+}  // namespace mrisc::sim

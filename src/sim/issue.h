@@ -1,0 +1,68 @@
+// Issue-stage interfaces: what the routing control logic of Figure 3 sees.
+//
+// Each cycle the timing core selects up to Num(M) ready instructions per FU
+// class and asks the installed SteeringPolicy to map them onto modules (and
+// optionally swap commutative operands). Listeners (the power accountant and
+// the statistics collectors) observe the final assignment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "isa/isa.h"
+
+namespace mrisc::sim {
+
+/// Maximum modules of one FU class the machinery supports.
+inline constexpr int kMaxModules = 8;
+
+/// One instruction selected for execution this cycle, as presented to the
+/// routing logic: FU-input operand values plus the metadata the paper's
+/// schemes use (commutativity for swapping, FP flag for the mantissa domain).
+struct IssueSlot {
+  std::uint64_t op1 = 0, op2 = 0;
+  bool has_op1 = false, has_op2 = false;
+  bool fp_operands = false;
+  bool commutative = false;
+  isa::Opcode op = isa::Opcode::kHalt;
+  std::uint32_t pc = 0;
+};
+
+/// The routing decision for one issue slot.
+struct ModuleAssignment {
+  int module = 0;     ///< destination module id in [0, Num(M))
+  bool swapped = false;  ///< operands presented as (op2, op1)
+};
+
+/// A steering policy: the paper's core contribution is a family of these.
+/// Implementations keep whatever per-module history they need; `reset` is
+/// called when the machine (and its module input latches) is reset.
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+
+  /// Configure for `num_modules` modules and clear history.
+  virtual void reset(int num_modules) = 0;
+
+  /// Map `slots` (slots.size() <= free module count) onto distinct modules
+  /// from `available` (ids of modules free this cycle, ascending). Writes one
+  /// ModuleAssignment per slot; each assigned module must come from
+  /// `available` and be used at most once. Swapping may only be requested
+  /// for commutative slots.
+  virtual void assign(std::span<const IssueSlot> slots,
+                      std::span<const int> available,
+                      std::span<ModuleAssignment> out) = 0;
+};
+
+/// Observes every issue event (after steering). Used by the power accountant
+/// and the Table 1/2/3 collectors.
+class IssueListener {
+ public:
+  virtual ~IssueListener() = default;
+  virtual void on_issue(isa::FuClass cls, std::span<const IssueSlot> slots,
+                        std::span<const ModuleAssignment> assign) = 0;
+  /// Called once per simulated cycle after all classes issued.
+  virtual void on_cycle(std::uint64_t /*cycle*/) {}
+};
+
+}  // namespace mrisc::sim

@@ -1,0 +1,338 @@
+#include "sim/ooo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrisc::sim {
+
+int op_latency(isa::Opcode op, bool& pipelined) noexcept {
+  using isa::FuClass;
+  using isa::Opcode;
+  pipelined = true;
+  switch (isa::op_info(op).fu) {
+    case FuClass::kIalu:
+      return 1;
+    case FuClass::kImult:
+      if (op == Opcode::kDiv || op == Opcode::kRem) {
+        pipelined = false;
+        return 20;
+      }
+      return 3;
+    case FuClass::kFpau:
+      return 2;
+    case FuClass::kFpmult:
+      if (op == Opcode::kFdiv) {
+        pipelined = false;
+        return 12;
+      }
+      if (op == Opcode::kFsqrt) {
+        pipelined = false;
+        return 24;
+      }
+      return 4;
+    case FuClass::kMem:
+      return 1;  // address generation; cache latency added at issue
+    case FuClass::kNone:
+      return 1;
+  }
+  return 1;
+}
+
+namespace {
+
+/// Default routing: oldest instruction to the lowest-numbered free module,
+/// no swapping. This is the paper's "Original" first-come-first-serve policy.
+class FcfsDefault final : public SteeringPolicy {
+ public:
+  void reset(int) override {}
+  void assign(std::span<const IssueSlot> slots, std::span<const int> available,
+              std::span<ModuleAssignment> out) override {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      out[i] = ModuleAssignment{available[i], false};
+  }
+};
+
+FcfsDefault g_default_policy;
+
+}  // namespace
+
+OooCore::OooCore(const OooConfig& config, TraceSource& source)
+    : config_(config),
+      source_(source),
+      cache_(config.cache),
+      bpred_(config.bpred) {
+  if (config_.rob_size <= 0) throw std::invalid_argument("rob_size must be > 0");
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    if (config_.modules[static_cast<std::size_t>(c)] > kMaxModules)
+      throw std::invalid_argument("too many modules for one FU class");
+  }
+  rob_.resize(static_cast<std::size_t>(config_.rob_size));
+  policies_.fill(nullptr);
+}
+
+void OooCore::set_policy(isa::FuClass cls, SteeringPolicy* policy) {
+  const auto idx = static_cast<std::size_t>(cls);
+  policies_[idx] = policy;
+  if (policy) policy->reset(config_.modules[idx]);
+}
+
+void OooCore::add_listener(IssueListener* listener) {
+  listeners_.push_back(listener);
+}
+
+bool OooCore::done() const noexcept {
+  return trace_done_ && !pending_ && rob_count_ == 0;
+}
+
+bool OooCore::source_ready(int slot, std::uint64_t seq) const {
+  if (slot < 0) return true;
+  const RobEntry& producer = rob_[static_cast<std::size_t>(slot)];
+  // Slot reused by a younger instruction => the original producer committed.
+  if (producer.seq != seq) return true;
+  return producer.state == RobEntry::State::kCompleted;
+}
+
+bool OooCore::entry_ready(const RobEntry& entry) const {
+  return entry.state == RobEntry::State::kWaiting &&
+         source_ready(entry.prod1_slot, entry.prod1_seq) &&
+         source_ready(entry.prod2_slot, entry.prod2_seq);
+}
+
+void OooCore::commit_stage() {
+  int committed = 0;
+  while (rob_count_ > 0 && committed < config_.commit_width) {
+    RobEntry& head = rob_[static_cast<std::size_t>(rob_head_)];
+    if (head.state != RobEntry::State::kCompleted) break;
+    if (head.rec.has_dest) {
+      const int id = reg_id(head.rec.dest_reg, head.rec.dest_fp);
+      if (rename_[static_cast<std::size_t>(id)].slot == rob_head_ &&
+          rename_[static_cast<std::size_t>(id)].seq == head.seq)
+        rename_[static_cast<std::size_t>(id)] = Producer{};
+    }
+    head.seq = 0;  // invalidate for (slot, seq) producer checks
+    rob_head_ = (rob_head_ + 1) % config_.rob_size;
+    --rob_count_;
+    ++committed;
+    ++stats_.committed;
+    last_commit_cycle_ = cycle_;
+  }
+}
+
+void OooCore::writeback_stage() {
+  // CDB bandwidth is modelled as unlimited (see DESIGN.md); entries finish
+  // when their FU latency elapses.
+  for (int i = 0, slot = rob_head_; i < rob_count_;
+       ++i, slot = (slot + 1) % config_.rob_size) {
+    RobEntry& entry = rob_[static_cast<std::size_t>(slot)];
+    if (entry.state == RobEntry::State::kIssued &&
+        entry.finish_cycle <= cycle_)
+      entry.state = RobEntry::State::kCompleted;
+  }
+}
+
+void OooCore::issue_stage() {
+  // 1. Select ready instructions, oldest first across all classes, limited
+  //    by global issue width and per-class free-module counts.
+  struct Selected {
+    int slot;
+  };
+  std::array<std::vector<int>, isa::kNumFuClasses> picked;  // ROB slots
+  std::array<std::vector<int>, isa::kNumFuClasses> available;
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    for (int m = 0; m < config_.modules[cu]; ++m) {
+      if (module_busy_[cu][static_cast<std::size_t>(m)] <= cycle_)
+        available[cu].push_back(m);
+    }
+  }
+
+  // Gather ready RS entries from all classes and order by age.
+  std::vector<int> ready_slots;
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    for (const int slot : rs_[static_cast<std::size_t>(c)]) {
+      if (entry_ready(rob_[static_cast<std::size_t>(slot)]))
+        ready_slots.push_back(slot);
+    }
+  }
+  std::sort(ready_slots.begin(), ready_slots.end(), [this](int a, int b) {
+    return rob_[static_cast<std::size_t>(a)].seq <
+           rob_[static_cast<std::size_t>(b)].seq;
+  });
+
+  if (config_.in_order_issue) {
+    // An instruction may not overtake an older waiting one: keep only the
+    // age-prefix of waiting instructions that are all ready.
+    std::vector<int> prefix;
+    for (int i = 0, slot = rob_head_; i < rob_count_;
+         ++i, slot = (slot + 1) % config_.rob_size) {
+      const RobEntry& entry = rob_[static_cast<std::size_t>(slot)];
+      if (entry.state != RobEntry::State::kWaiting) continue;
+      if (!entry_ready(entry)) break;
+      prefix.push_back(slot);
+    }
+    ready_slots = std::move(prefix);
+  }
+
+  int width_left = config_.issue_width;
+  for (const int slot : ready_slots) {
+    if (width_left == 0) break;
+    const auto cu =
+        static_cast<std::size_t>(rob_[static_cast<std::size_t>(slot)].rec.fu);
+    if (picked[cu].size() >= available[cu].size()) {
+      if (config_.in_order_issue) break;  // structural stall, no overtaking
+      continue;
+    }
+    picked[cu].push_back(slot);
+    --width_left;
+  }
+
+  // 2. Per class: steer the group onto modules, start execution, notify.
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    const auto& group = picked[cu];
+    const std::size_t n = group.size();
+    stats_.occupancy[cu][n] += 1;
+    if (n == 0) continue;
+    stats_.issued[cu] += n;
+
+    std::vector<IssueSlot> slots(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceRecord& rec = rob_[static_cast<std::size_t>(group[i])].rec;
+      slots[i] = IssueSlot{rec.op1,    rec.op2,         rec.has_op1,
+                           rec.has_op2, rec.fp_operands, rec.commutative,
+                           rec.op,     rec.pc};
+    }
+
+    SteeringPolicy* policy = policies_[cu] ? policies_[cu] : &g_default_policy;
+    std::vector<ModuleAssignment> assign(n);
+    policy->assign(slots, available[cu], assign);
+
+    std::uint64_t used_mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int m = assign[i].module;
+      const bool legal =
+          std::find(available[cu].begin(), available[cu].end(), m) !=
+          available[cu].end();
+      if (!legal || (used_mask >> m) & 1)
+        throw std::logic_error("steering policy returned an illegal module");
+      if (assign[i].swapped && !slots[i].commutative)
+        throw std::logic_error("steering policy swapped a non-commutative op");
+      used_mask |= std::uint64_t{1} << m;
+
+      RobEntry& entry = rob_[static_cast<std::size_t>(group[i])];
+      bool pipelined = true;
+      int latency = op_latency(entry.rec.op, pipelined);
+      if (entry.rec.is_load) latency += cache_.access(entry.rec.mem_addr);
+      entry.state = RobEntry::State::kIssued;
+      entry.finish_cycle = cycle_ + static_cast<std::uint64_t>(latency);
+      module_busy_[cu][static_cast<std::size_t>(m)] =
+          pipelined ? cycle_ + 1 : entry.finish_cycle;
+
+      auto& q = rs_[cu];
+      q.erase(std::find(q.begin(), q.end(), group[i]));
+    }
+
+    for (IssueListener* listener : listeners_)
+      listener->on_issue(static_cast<isa::FuClass>(c), slots, assign);
+  }
+}
+
+void OooCore::fetch_dispatch_stage() {
+  // Misprediction recovery: hold fetch until the offending branch resolves,
+  // then pay the redirect penalty.
+  if (mispredicted_slot_ >= 0) {
+    const RobEntry& branch =
+        rob_[static_cast<std::size_t>(mispredicted_slot_)];
+    const bool resolved = branch.seq != mispredicted_seq_ ||
+                          branch.state == RobEntry::State::kCompleted;
+    if (!resolved) return;
+    mispredicted_slot_ = -1;
+    fetch_blocked_until_ =
+        cycle_ + static_cast<std::uint64_t>(config_.bpred.mispredict_penalty);
+  }
+  if (cycle_ < fetch_blocked_until_) return;
+
+  int fetched = 0;
+  while (fetched < config_.fetch_width) {
+    if (!pending_) {
+      if (trace_done_) break;
+      pending_ = source_.next();
+      if (!pending_) {
+        trace_done_ = true;
+        break;
+      }
+    }
+    const auto cu = static_cast<std::size_t>(pending_->fu);
+    if (rob_count_ >= config_.rob_size) break;
+    if (static_cast<int>(rs_[cu].size()) >= config_.rs_per_class) break;
+
+    const int slot = (rob_head_ + rob_count_) % config_.rob_size;
+    RobEntry& entry = rob_[static_cast<std::size_t>(slot)];
+    entry = RobEntry{};
+    entry.rec = *pending_;
+    entry.seq = next_seq_++;
+    entry.state = RobEntry::State::kWaiting;
+    if (entry.rec.has_src1) {
+      const auto& p = rename_[static_cast<std::size_t>(
+          reg_id(entry.rec.src1_reg, entry.rec.src1_fp))];
+      entry.prod1_slot = p.slot;
+      entry.prod1_seq = p.seq;
+    }
+    if (entry.rec.has_src2) {
+      const auto& p = rename_[static_cast<std::size_t>(
+          reg_id(entry.rec.src2_reg, entry.rec.src2_fp))];
+      entry.prod2_slot = p.slot;
+      entry.prod2_seq = p.seq;
+    }
+    if (entry.rec.has_dest && !(entry.rec.dest_reg == 0 && !entry.rec.dest_fp)) {
+      rename_[static_cast<std::size_t>(
+          reg_id(entry.rec.dest_reg, entry.rec.dest_fp))] =
+          Producer{slot, entry.seq};
+    }
+    ++rob_count_;
+    rs_[cu].push_back(slot);
+
+    const bool taken_branch = entry.rec.is_branch && entry.rec.branch_taken;
+    // Conditional branches consult the predictor; a miss stalls fetch
+    // until this entry resolves.
+    if (entry.rec.is_branch &&
+        isa::op_info(entry.rec.op).format == isa::Format::kB) {
+      ++stats_.branches;
+      if (!bpred_.observe(entry.rec.pc, entry.rec.branch_taken)) {
+        ++stats_.mispredictions;
+        mispredicted_slot_ = slot;
+        mispredicted_seq_ = entry.seq;
+        pending_.reset();
+        ++fetched;
+        break;
+      }
+    }
+    pending_.reset();
+    ++fetched;
+    if (taken_branch && config_.fetch_break_on_taken_branch) break;
+  }
+}
+
+bool OooCore::run_cycles(std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles && !done(); ++i) {
+    ++cycle_;
+    ++stats_.cycles;
+    commit_stage();
+    writeback_stage();
+    issue_stage();
+    fetch_dispatch_stage();
+    for (IssueListener* listener : listeners_) listener->on_cycle(cycle_);
+    if (rob_count_ > 0 && cycle_ - last_commit_cycle_ > 100000)
+      throw std::logic_error("pipeline deadlock: no commit in 100000 cycles");
+  }
+  stats_.cache_hits = cache_.hits();
+  stats_.cache_misses = cache_.misses();
+  return done();
+}
+
+void OooCore::run() {
+  while (!run_cycles(std::uint64_t{1} << 20)) {
+  }
+}
+
+}  // namespace mrisc::sim

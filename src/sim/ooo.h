@@ -1,0 +1,152 @@
+// Trace-driven out-of-order timing core (Tomasulo with reservation stations,
+// a reorder buffer and a module crossbar), mirroring SimpleScalar's
+// sim-outorder at the granularity the paper's technique depends on:
+// per-cycle selection of ready instructions and their routing to one of
+// several identical FU modules (Figure 3 of the paper).
+//
+// The core replays the committed-path trace from the functional emulator.
+// Each cycle:  commit -> writeback -> issue (with steering) -> fetch/dispatch.
+// Steering policies installed per FU class decide the module assignment of
+// each issue group; listeners observe the groups for power/statistics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/bpred.h"
+#include "sim/cache.h"
+#include "sim/issue.h"
+#include "sim/trace.h"
+
+namespace mrisc::sim {
+
+struct OooConfig {
+  int fetch_width = 4;
+  int issue_width = 4;   ///< global issue bandwidth per cycle (all classes)
+  int commit_width = 4;
+  int rob_size = 64;
+  int rs_per_class = 8;  ///< reservation-station entries per FU class
+  /// Module counts per FuClass (paper's test machine: 4 IALU, 1 IMULT,
+  /// 4 FPAU, 1 FPMULT; plus 2 memory ports and a wide front-end "class").
+  std::array<int, isa::kNumFuClasses> modules = {4, 1, 4, 1, 2, 4};
+  CacheConfig cache{};
+  BpredConfig bpred{};  ///< default kNone = perfect front end
+  bool fetch_break_on_taken_branch = true;
+  /// In-order issue (VLIW-like): an instruction may issue only when every
+  /// older instruction has already issued. Models the paper's section 2
+  /// remark that "the case is less clear for VLIW processors" - steering
+  /// still applies, but issue groups follow program order strictly.
+  bool in_order_issue = false;
+};
+
+struct PipelineStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  /// occupancy[cls][k]: cycles in which exactly k instructions of class cls
+  /// issued (k = 0..kMaxModules). Rows 1.. reproduce Table 2.
+  std::array<std::array<std::uint64_t, kMaxModules + 1>, isa::kNumFuClasses>
+      occupancy{};
+  std::array<std::uint64_t, isa::kNumFuClasses> issued{};
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  std::uint64_t branches = 0, mispredictions = 0;
+
+  [[nodiscard]] double ipc() const {
+    return cycles ? static_cast<double>(committed) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+/// Execution latency in cycles for `op`; `pipelined` reports whether the
+/// module can accept a new operation the next cycle.
+int op_latency(isa::Opcode op, bool& pipelined) noexcept;
+
+class OooCore {
+ public:
+  OooCore(const OooConfig& config, TraceSource& source);
+
+  /// Install a steering policy for one FU class (typically kIalu / kFpau;
+  /// kImult / kFpmult accept one for symmetry). Classes without a policy use
+  /// first-come-first-serve module assignment (the paper's "Original").
+  /// The policy must outlive the core; reset(num_modules) is called here.
+  void set_policy(isa::FuClass cls, SteeringPolicy* policy);
+
+  /// Attach an issue listener (power accountant, statistics collector).
+  void add_listener(IssueListener* listener);
+
+  /// Run to completion: trace exhausted and pipeline drained.
+  void run();
+
+  /// Run at most `max_cycles` further cycles; returns true if finished.
+  bool run_cycles(std::uint64_t max_cycles);
+
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool done() const noexcept;
+
+ private:
+  struct RobEntry {
+    TraceRecord rec;
+    enum class State : std::uint8_t { kWaiting, kIssued, kCompleted } state =
+        State::kWaiting;
+    // Producers as (slot, seq) pairs; seq guards against slot reuse.
+    int prod1_slot = -1, prod2_slot = -1;
+    std::uint64_t prod1_seq = 0, prod2_seq = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t finish_cycle = 0;
+  };
+
+  void commit_stage();
+  void writeback_stage();
+  void issue_stage();
+  void fetch_dispatch_stage();
+
+  [[nodiscard]] bool source_ready(int slot, std::uint64_t seq) const;
+  [[nodiscard]] bool entry_ready(const RobEntry& entry) const;
+  [[nodiscard]] int reg_id(std::uint8_t reg, bool fp) const {
+    return reg + (fp ? 32 : 0);
+  }
+
+  OooConfig config_;
+  TraceSource& source_;
+  DirectMappedCache cache_;
+  BranchPredictor bpred_;
+  // Fetch redirect state after a misprediction: wait for the branch to
+  // resolve, then pay the redirect penalty.
+  int mispredicted_slot_ = -1;
+  std::uint64_t mispredicted_seq_ = 0;
+  std::uint64_t fetch_blocked_until_ = 0;
+
+  std::vector<RobEntry> rob_;
+  int rob_head_ = 0;
+  int rob_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+
+  // Rename table: architectural register (int 0-31, fp 32-63) -> producer.
+  struct Producer {
+    int slot = -1;
+    std::uint64_t seq = 0;
+  };
+  std::array<Producer, 64> rename_{};
+
+  // Reservation stations: ROB slot indices in age order, per class.
+  std::array<std::deque<int>, isa::kNumFuClasses> rs_{};
+
+  // Per-module "busy until cycle" (exclusive) per class.
+  std::array<std::array<std::uint64_t, kMaxModules>, isa::kNumFuClasses>
+      module_busy_{};
+
+  std::array<SteeringPolicy*, isa::kNumFuClasses> policies_{};
+  std::vector<IssueListener*> listeners_;
+
+  std::optional<TraceRecord> pending_;
+  bool trace_done_ = false;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t last_commit_cycle_ = 0;
+  PipelineStats stats_;
+};
+
+}  // namespace mrisc::sim

@@ -1,0 +1,50 @@
+// Dynamic trace records: the interface between the functional emulator and
+// the timing/power world. One record per retired instruction, carrying the
+// operand *values* presented to the functional unit - the quantity the
+// paper's Hamming-distance power model and steering schemes consume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.h"
+
+namespace mrisc::sim {
+
+struct TraceRecord {
+  std::uint32_t pc = 0;           ///< instruction index
+  isa::Opcode op = isa::Opcode::kHalt;
+  isa::FuClass fu = isa::FuClass::kNone;
+
+  /// Operand values as latched at the FU inputs. Integer operands are 32-bit
+  /// values zero-extended into the low word; FP operands are raw IEEE-754
+  /// doubles. `fp_operands` selects the Hamming domain (52-bit mantissa for
+  /// FP, full 32-bit word for integer), per section 2 of the paper.
+  std::uint64_t op1 = 0, op2 = 0;
+  bool has_op1 = false, has_op2 = false;
+  bool fp_operands = false;
+  bool commutative = false;       ///< hardware may swap op1/op2
+
+  /// Register dataflow, for renaming in the timing core.
+  std::uint8_t src1_reg = 0, src2_reg = 0, dest_reg = 0;
+  bool src1_fp = false, src2_fp = false, dest_fp = false;
+  bool has_src1 = false, has_src2 = false, has_dest = false;
+
+  /// Memory behaviour.
+  std::uint32_t mem_addr = 0;
+  bool is_load = false, is_store = false;
+
+  bool is_branch = false;
+  bool branch_taken = false;
+};
+
+/// A pull-based stream of trace records. EmulatorTraceSource wraps the
+/// functional emulator so full traces never need to be materialized.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Next committed-path record, or nullopt at end of program.
+  virtual std::optional<TraceRecord> next() = 0;
+};
+
+}  // namespace mrisc::sim

@@ -1,0 +1,127 @@
+#include "sim/trace_io.h"
+
+#include <cstring>
+
+namespace mrisc::sim {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void pack_record(const TraceRecord& r, std::uint8_t* out) {
+  put_u32(out, r.pc);
+  out[4] = static_cast<std::uint8_t>(r.op);
+  out[5] = static_cast<std::uint8_t>(r.fu);
+  std::uint16_t flags = 0;
+  int bit = 0;
+  for (const bool f : {r.has_op1, r.has_op2, r.fp_operands, r.commutative,
+                       r.has_src1, r.has_src2, r.src1_fp, r.src2_fp,
+                       r.has_dest, r.dest_fp, r.is_load, r.is_store,
+                       r.is_branch, r.branch_taken}) {
+    if (f) flags |= static_cast<std::uint16_t>(1u << bit);
+    ++bit;
+  }
+  out[6] = static_cast<std::uint8_t>(flags);
+  out[7] = static_cast<std::uint8_t>(flags >> 8);
+  put_u64(out + 8, r.op1);
+  put_u64(out + 16, r.op2);
+  out[24] = r.src1_reg;
+  out[25] = r.src2_reg;
+  out[26] = r.dest_reg;
+  out[27] = 0;
+  put_u32(out + 28, r.mem_addr);
+}
+
+TraceRecord unpack_record(const std::uint8_t* in) {
+  TraceRecord r;
+  r.pc = get_u32(in);
+  r.op = static_cast<isa::Opcode>(in[4]);
+  r.fu = static_cast<isa::FuClass>(in[5]);
+  const std::uint16_t flags =
+      static_cast<std::uint16_t>(in[6] | (std::uint16_t{in[7]} << 8));
+  int bit = 0;
+  for (bool* f : {&r.has_op1, &r.has_op2, &r.fp_operands, &r.commutative,
+                  &r.has_src1, &r.has_src2, &r.src1_fp, &r.src2_fp,
+                  &r.has_dest, &r.dest_fp, &r.is_load, &r.is_store,
+                  &r.is_branch, &r.branch_taken}) {
+    *f = (flags >> bit) & 1;
+    ++bit;
+  }
+  r.op1 = get_u64(in + 8);
+  r.op2 = get_u64(in + 16);
+  r.src1_reg = in[24];
+  r.src2_reg = in[25];
+  r.dest_reg = in[26];
+  r.mem_addr = get_u32(in + 28);
+  return r;
+}
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_) throw TraceIoError("cannot open '" + path + "' for writing");
+  std::uint8_t header[8];
+  std::memcpy(header, kMagic, 4);
+  put_u32(header + 4, kVersion);
+  out_.write(reinterpret_cast<const char*>(header), sizeof header);
+}
+
+void TraceWriter::write(const TraceRecord& record) {
+  std::uint8_t buf[kTraceRecordBytes];
+  pack_record(record, buf);
+  out_.write(reinterpret_cast<const char*>(buf), sizeof buf);
+  if (!out_) throw TraceIoError("trace write failed");
+  ++count_;
+}
+
+std::uint64_t TraceWriter::write_all(TraceSource& source, std::uint64_t max) {
+  std::uint64_t n = 0;
+  while (n < max) {
+    const auto record = source.next();
+    if (!record) break;
+    write(*record);
+    ++n;
+  }
+  return n;
+}
+
+TraceFileSource::TraceFileSource(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw TraceIoError("cannot open trace '" + path + "'");
+  std::uint8_t header[8];
+  in_.read(reinterpret_cast<char*>(header), sizeof header);
+  if (!in_ || std::memcmp(header, kMagic, 4) != 0)
+    throw TraceIoError("not an MRTR trace file");
+  if (get_u32(header + 4) != kVersion)
+    throw TraceIoError("unsupported trace version");
+}
+
+std::optional<TraceRecord> TraceFileSource::next() {
+  std::uint8_t buf[kTraceRecordBytes];
+  in_.read(reinterpret_cast<char*>(buf), sizeof buf);
+  if (in_.gcount() == 0) return std::nullopt;
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof buf))
+    throw TraceIoError("truncated trace record");
+  ++count_;
+  return unpack_record(buf);
+}
+
+}  // namespace mrisc::sim

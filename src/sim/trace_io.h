@@ -1,0 +1,61 @@
+// Binary trace files ("MRTR"): record a functional execution once, replay
+// it through the timing core many times. 32 bytes per dynamic instruction,
+// little-endian, streaming in both directions - traces never need to fit
+// in memory.
+//
+// Layout: 8-byte header (magic "MRTR", u32 version) followed by packed
+// records:
+//   u32 pc | u8 op | u8 fu | u16 flags | u64 op1 | u64 op2
+//   | u8 src1 | u8 src2 | u8 dest | u8 pad | u32 mem_addr
+// flag bits (LSB first): has_op1, has_op2, fp_operands, commutative,
+//   has_src1, has_src2, src1_fp, src2_fp, has_dest, dest_fp,
+//   is_load, is_store, is_branch, branch_taken.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/trace.h"
+
+namespace mrisc::sim {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::size_t kTraceRecordBytes = 32;
+
+/// Pack/unpack one record to its 32-byte wire form (exposed for tests).
+void pack_record(const TraceRecord& record, std::uint8_t* out);
+TraceRecord unpack_record(const std::uint8_t* in);
+
+/// Streams records to a trace file.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  void write(const TraceRecord& record);
+  /// Drain an entire source into the file; returns records written.
+  std::uint64_t write_all(TraceSource& source, std::uint64_t max = UINT64_MAX);
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+};
+
+/// TraceSource over a trace file.
+class TraceFileSource final : public TraceSource {
+ public:
+  explicit TraceFileSource(const std::string& path);
+  std::optional<TraceRecord> next() override;
+  [[nodiscard]] std::uint64_t read_count() const noexcept { return count_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace mrisc::sim

@@ -1,0 +1,85 @@
+#include "stats/bit_patterns.h"
+
+#include "power/energy.h"
+#include "steer/info_bit.h"
+#include "util/bitops.h"
+
+namespace mrisc::stats {
+
+void BitPatternCollector::reset() {
+  rows_ = {};
+  unary_ = {};
+}
+
+void BitPatternCollector::on_issue(isa::FuClass cls,
+                                   std::span<const sim::IssueSlot> slots,
+                                   std::span<const sim::ModuleAssignment>) {
+  const auto ci = static_cast<std::size_t>(cls);
+  for (const sim::IssueSlot& slot : slots) {
+    if (!slot.has_op1 || !slot.has_op2) {
+      unary_[ci] += 1;
+      continue;
+    }
+    const int width = power::domain_bits(slot.fp_operands);
+    const int c = steer::case_of(slot);
+    CaseRow& row =
+        rows_[ci][static_cast<std::size_t>(c)][slot.commutative ? 1 : 0];
+    row.count += 1;
+    row.sum_frac1 +=
+        static_cast<double>(util::popcount_low(slot.op1, width)) / width;
+    row.sum_frac2 +=
+        static_cast<double>(util::popcount_low(slot.op2, width)) / width;
+  }
+}
+
+std::uint64_t BitPatternCollector::total(isa::FuClass cls) const {
+  std::uint64_t n = 0;
+  for (int c = 0; c < 4; ++c)
+    for (int k = 0; k < 2; ++k)
+      n += rows_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)]
+                [static_cast<std::size_t>(k)]
+                    .count;
+  return n;
+}
+
+double BitPatternCollector::case_prob(isa::FuClass cls, int c) const {
+  const std::uint64_t n = total(cls);
+  if (n == 0) return 0.0;
+  const auto& both = rows_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)];
+  return static_cast<double>(both[0].count + both[1].count) /
+         static_cast<double>(n);
+}
+
+steer::CaseStats BitPatternCollector::case_stats(isa::FuClass cls,
+                                                 double multi_issue_prob) const {
+  steer::CaseStats stats;
+  stats.multi_issue_prob = multi_issue_prob;
+  for (int c = 0; c < 4; ++c) {
+    stats.prob[static_cast<std::size_t>(c)] = case_prob(cls, c);
+    const auto& both =
+        rows_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)];
+    const std::uint64_t n = both[0].count + both[1].count;
+    if (n) {
+      stats.p_high[static_cast<std::size_t>(c)][0] =
+          (both[0].sum_frac1 + both[1].sum_frac1) / static_cast<double>(n);
+      stats.p_high[static_cast<std::size_t>(c)][1] =
+          (both[0].sum_frac2 + both[1].sum_frac2) / static_cast<double>(n);
+    }
+  }
+  return stats;
+}
+
+void BitPatternCollector::merge(const BitPatternCollector& other) {
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    unary_[c] += other.unary_[c];
+    for (std::size_t k = 0; k < 4; ++k) {
+      for (std::size_t m = 0; m < 2; ++m) {
+        rows_[c][k][m].count += other.rows_[c][k][m].count;
+        rows_[c][k][m].sum_frac1 += other.rows_[c][k][m].sum_frac1;
+        rows_[c][k][m].sum_frac2 += other.rows_[c][k][m].sum_frac2;
+      }
+    }
+  }
+}
+
+}  // namespace mrisc::stats

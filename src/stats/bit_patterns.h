@@ -1,0 +1,66 @@
+// Operand bit-pattern statistics (Tables 1 and 3 of the paper).
+//
+// For every two-operand instruction issued to a class, the collector records
+// its information-bit case, commutativity, and the fraction of high bits in
+// each operand (over the class's Hamming domain: 32 bits for integer, the
+// 52-bit mantissa for FP). These aggregate into exactly the paper's columns:
+// occurrence frequency and P(any single bit high) per operand.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "sim/issue.h"
+#include "steer/lut.h"
+
+namespace mrisc::stats {
+
+struct CaseRow {
+  std::uint64_t count = 0;
+  double sum_frac1 = 0.0;  ///< sum over ops of popcount(op1)/width
+  double sum_frac2 = 0.0;
+
+  [[nodiscard]] double p1() const { return count ? sum_frac1 / count : 0.0; }
+  [[nodiscard]] double p2() const { return count ? sum_frac2 / count : 0.0; }
+};
+
+class BitPatternCollector final : public sim::IssueListener {
+ public:
+  void reset();
+
+  void on_issue(isa::FuClass cls, std::span<const sim::IssueSlot> slots,
+                std::span<const sim::ModuleAssignment> assign) override;
+
+  /// Row for (class, case, commutativity). `c` in 0..3 = (bit1<<1)|bit2.
+  [[nodiscard]] const CaseRow& row(isa::FuClass cls, int c, bool commutative) const {
+    return rows_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)]
+                [commutative ? 1 : 0];
+  }
+
+  /// Total two-operand instructions seen for a class.
+  [[nodiscard]] std::uint64_t total(isa::FuClass cls) const;
+
+  /// Single-operand instructions (not part of Table 1 but reported).
+  [[nodiscard]] std::uint64_t unary(isa::FuClass cls) const {
+    return unary_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Case frequency as a fraction (commutative + non-commutative combined).
+  [[nodiscard]] double case_prob(isa::FuClass cls, int c) const;
+
+  /// Export into the steering-LUT builder's input form. `multi_issue_prob`
+  /// must be supplied from occupancy statistics (Table 2).
+  [[nodiscard]] steer::CaseStats case_stats(isa::FuClass cls,
+                                            double multi_issue_prob) const;
+
+  /// Merge another collector's counts into this one (suite aggregation).
+  void merge(const BitPatternCollector& other);
+
+ private:
+  // [class][case][commutative]
+  std::array<std::array<std::array<CaseRow, 2>, 4>, isa::kNumFuClasses> rows_{};
+  std::array<std::uint64_t, isa::kNumFuClasses> unary_{};
+};
+
+}  // namespace mrisc::stats

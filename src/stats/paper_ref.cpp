@@ -1,0 +1,27 @@
+#include "stats/paper_ref.h"
+
+namespace mrisc::stats {
+
+steer::CaseStats paper_case_stats(isa::FuClass cls) {
+  const auto& table =
+      cls == isa::FuClass::kFpau ? kPaperTable1Fpau : kPaperTable1Ialu;
+  steer::CaseStats stats;
+  stats.multi_issue_prob = paper_multi_issue_prob(cls);
+  for (int c = 0; c < 4; ++c) {
+    const PaperTable1Row& commut = table[static_cast<std::size_t>(2 * c)];
+    const PaperTable1Row& noncommut = table[static_cast<std::size_t>(2 * c + 1)];
+    const double freq = commut.freq_pct + noncommut.freq_pct;
+    stats.prob[static_cast<std::size_t>(c)] = freq / 100.0;
+    if (freq > 0) {
+      stats.p_high[static_cast<std::size_t>(c)][0] =
+          (commut.p1 * commut.freq_pct + noncommut.p1 * noncommut.freq_pct) /
+          freq;
+      stats.p_high[static_cast<std::size_t>(c)][1] =
+          (commut.p2 * commut.freq_pct + noncommut.p2 * noncommut.freq_pct) /
+          freq;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mrisc::stats

@@ -1,0 +1,81 @@
+// The paper's published measurements (Tables 1-3), used for side-by-side
+// comparison in the bench binaries and as the default statistics for
+// building steering LUTs exactly as the authors did.
+#pragma once
+
+#include <array>
+
+#include "isa/isa.h"
+#include "steer/lut.h"
+
+namespace mrisc::stats {
+
+struct PaperTable1Row {
+  int bit1, bit2;
+  bool commutative;
+  double freq_pct;  ///< % of all executions of the FU type
+  double p1, p2;    ///< P(any single bit high) per operand
+};
+
+/// Table 1, IALU block (rows in paper order: 00Y 00N 01Y 01N 10Y 10N 11Y 11N).
+inline constexpr std::array<PaperTable1Row, 8> kPaperTable1Ialu = {{
+    {0, 0, true, 40.11, .123, .068},
+    {0, 0, false, 29.38, .078, .040},
+    {0, 1, true, 9.56, .175, .594},
+    {0, 1, false, 0.58, .109, .820},
+    {1, 0, true, 17.07, .608, .089},
+    {1, 0, false, 1.51, .643, .048},
+    {1, 1, true, 1.52, .703, .822},
+    {1, 1, false, 0.27, .663, .719},
+}};
+
+/// Table 1, FPAU block.
+inline constexpr std::array<PaperTable1Row, 8> kPaperTable1Fpau = {{
+    {0, 0, true, 16.79, .099, .094},
+    {0, 0, false, 10.28, .107, .158},
+    {0, 1, true, 15.64, .188, .522},
+    {0, 1, false, 4.90, .132, .514},
+    {1, 0, true, 5.92, .513, .190},
+    {1, 0, false, 4.22, .500, .188},
+    {1, 1, true, 31.00, .508, .502},
+    {1, 1, false, 11.25, .507, .506},
+}};
+
+/// Table 2: P(Num(I) = k) for k = 1..4, given Num(I) >= 1 (percent).
+inline constexpr std::array<double, 4> kPaperTable2Ialu = {40.3, 36.2, 19.4, 4.2};
+inline constexpr std::array<double, 4> kPaperTable2Fpau = {90.2, 9.2, 0.5, 0.1};
+
+struct PaperTable3Row {
+  double freq_pct, p1, p2;
+};
+
+/// Table 3: multiplication bit patterns, cases 00,01,10,11.
+inline constexpr std::array<PaperTable3Row, 4> kPaperTable3Int = {{
+    {93.79, 0.116, 0.056},
+    {1.07, 0.055, 0.956},
+    {2.76, 0.838, 0.076},
+    {2.38, 0.710, 0.909},
+}};
+inline constexpr std::array<PaperTable3Row, 4> kPaperTable3Fp = {{
+    {20.12, 0.139, 0.095},
+    {15.52, 0.160, 0.511},
+    {21.29, 0.527, 0.090},
+    {43.07, 0.274, 0.271},
+}};
+
+/// Figure 4 headline numbers (4-bit LUT bars), percent energy reduction.
+inline constexpr double kPaperIaluLut4HwSwap = 17.0;
+inline constexpr double kPaperIaluLut4HwCompilerSwap = 26.0;
+inline constexpr double kPaperFpauLut4HwSwap = 18.0;
+
+/// CaseStats assembled from the paper's Table 1 + Table 2, per FU class.
+/// Used to build LUTs exactly as the authors' probability analysis would.
+steer::CaseStats paper_case_stats(isa::FuClass cls);
+
+/// P(Num(I) >= 2 | Num(I) >= 1) from Table 2.
+inline constexpr double paper_multi_issue_prob(isa::FuClass cls) {
+  const auto& t = cls == isa::FuClass::kFpau ? kPaperTable2Fpau : kPaperTable2Ialu;
+  return (t[1] + t[2] + t[3]) / (t[0] + t[1] + t[2] + t[3]);
+}
+
+}  // namespace mrisc::stats

@@ -1,0 +1,112 @@
+#include "stats/report.h"
+
+#include "stats/paper_ref.h"
+#include "util/table.h"
+
+namespace mrisc::stats {
+
+using util::AsciiTable;
+using util::fmt_fixed;
+using util::fmt_pct;
+
+void OccupancyAggregator::add(const sim::PipelineStats& stats) {
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t k = 0; k <= sim::kMaxModules; ++k)
+      counts_[c][k] += stats.occupancy[c][k];
+}
+
+double OccupancyAggregator::freq(isa::FuClass cls, int k) const {
+  const auto& row = counts_[static_cast<std::size_t>(cls)];
+  std::uint64_t busy = 0;
+  for (std::size_t j = 1; j <= sim::kMaxModules; ++j) busy += row[j];
+  if (busy == 0) return 0.0;
+  return static_cast<double>(row[static_cast<std::size_t>(k)]) /
+         static_cast<double>(busy);
+}
+
+double OccupancyAggregator::multi_issue_prob(isa::FuClass cls) const {
+  double p = 0.0;
+  for (int k = 2; k <= sim::kMaxModules; ++k) p += freq(cls, k);
+  return p;
+}
+
+std::string render_table1(const BitPatternCollector& collector,
+                          isa::FuClass cls) {
+  const bool fpau = cls == isa::FuClass::kFpau;
+  const auto& paper = fpau ? kPaperTable1Fpau : kPaperTable1Ialu;
+  const std::uint64_t total = collector.total(cls);
+
+  AsciiTable table({"OP1", "OP2", "Commut", "Freq%", "Freq% (paper)",
+                    "OP1 prob", "OP1 (paper)", "OP2 prob", "OP2 (paper)"});
+  for (int c = 0; c < 4; ++c) {
+    for (const bool commutative : {true, false}) {
+      const CaseRow& row = collector.row(cls, c, commutative);
+      const auto& ref = paper[static_cast<std::size_t>(2 * c + (commutative ? 0 : 1))];
+      const double freq =
+          total ? 100.0 * static_cast<double>(row.count) / total : 0.0;
+      table.add_row({std::to_string(c >> 1), std::to_string(c & 1),
+                     commutative ? "Yes" : "No", fmt_fixed(freq, 2),
+                     fmt_fixed(ref.freq_pct, 2), fmt_fixed(row.p1(), 3),
+                     fmt_fixed(ref.p1, 3), fmt_fixed(row.p2(), 3),
+                     fmt_fixed(ref.p2, 3)});
+    }
+  }
+  return table.to_string(std::string("Table 1 (") + isa::to_string(cls) +
+                         "): bit patterns in data, measured vs paper");
+}
+
+std::string render_table2(const OccupancyAggregator& occupancy, int max_k) {
+  AsciiTable table({"FU type", "Num(I)=1", "2", "3", "4",
+                    "paper: 1", "2", "3", "4"});
+  const struct {
+    isa::FuClass cls;
+    const std::array<double, 4>& paper;
+  } rows[] = {{isa::FuClass::kIalu, kPaperTable2Ialu},
+              {isa::FuClass::kFpau, kPaperTable2Fpau}};
+  for (const auto& r : rows) {
+    std::vector<std::string> cells{isa::to_string(r.cls)};
+    for (int k = 1; k <= max_k; ++k)
+      cells.push_back(fmt_pct(100.0 * occupancy.freq(r.cls, k)));
+    for (int k = 0; k < 4; ++k)
+      cells.push_back(fmt_pct(r.paper[static_cast<std::size_t>(k)]));
+    table.add_row(std::move(cells));
+  }
+  return table.to_string(
+      "Table 2: frequency that the FU type uses k modules (measured vs paper)");
+}
+
+std::string render_table3(const BitPatternCollector& collector) {
+  AsciiTable table({"Unit", "Case", "Freq%", "Freq% (paper)", "OP1 prob",
+                    "OP1 (paper)", "OP2 prob", "OP2 (paper)"});
+  const struct {
+    isa::FuClass cls;
+    const char* name;
+    const std::array<PaperTable3Row, 4>& paper;
+  } units[] = {{isa::FuClass::kImult, "Integer", kPaperTable3Int},
+               {isa::FuClass::kFpmult, "FP", kPaperTable3Fp}};
+  static const char* kCaseNames[4] = {"00", "01", "10", "11"};
+  for (const auto& unit : units) {
+    const std::uint64_t total = collector.total(unit.cls);
+    for (int c = 0; c < 4; ++c) {
+      const CaseRow& commut = collector.row(unit.cls, c, true);
+      const CaseRow& noncom = collector.row(unit.cls, c, false);
+      const std::uint64_t count = commut.count + noncom.count;
+      const double freq =
+          total ? 100.0 * static_cast<double>(count) / total : 0.0;
+      const double p1 =
+          count ? (commut.sum_frac1 + noncom.sum_frac1) / count : 0.0;
+      const double p2 =
+          count ? (commut.sum_frac2 + noncom.sum_frac2) / count : 0.0;
+      const auto& ref = unit.paper[static_cast<std::size_t>(c)];
+      table.add_row({unit.name, kCaseNames[c], fmt_fixed(freq, 2),
+                     fmt_fixed(ref.freq_pct, 2), fmt_fixed(p1, 3),
+                     fmt_fixed(ref.p1, 3), fmt_fixed(p2, 3),
+                     fmt_fixed(ref.p2, 3)});
+    }
+    if (unit.cls == isa::FuClass::kImult) table.add_rule();
+  }
+  return table.to_string(
+      "Table 3: bit patterns in multiplication data, measured vs paper");
+}
+
+}  // namespace mrisc::stats

@@ -1,0 +1,42 @@
+// Renderers that turn collected statistics into the paper's tables, with
+// measured and published values side by side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/ooo.h"
+#include "stats/bit_patterns.h"
+
+namespace mrisc::stats {
+
+/// Accumulates per-cycle issue-occupancy histograms across workloads
+/// (Table 2's input). Fed from PipelineStats after each run.
+class OccupancyAggregator {
+ public:
+  void add(const sim::PipelineStats& stats);
+
+  /// P(Num(I) = k | Num(I) >= 1), k in 1..max_k.
+  [[nodiscard]] double freq(isa::FuClass cls, int k) const;
+
+  /// P(Num(I) >= 2 | Num(I) >= 1) - the LUT builder's strategy input.
+  [[nodiscard]] double multi_issue_prob(isa::FuClass cls) const;
+
+ private:
+  std::array<std::array<std::uint64_t, sim::kMaxModules + 1>,
+             isa::kNumFuClasses>
+      counts_{};
+};
+
+/// Table 1 (bit patterns in data) for one FU class, measured vs paper.
+std::string render_table1(const BitPatternCollector& collector,
+                          isa::FuClass cls);
+
+/// Table 2 (module-occupancy frequency) for the IALU and FPAU rows.
+std::string render_table2(const OccupancyAggregator& occupancy, int max_k = 4);
+
+/// Table 3 (multiplication bit patterns), measured vs paper.
+std::string render_table3(const BitPatternCollector& collector);
+
+}  // namespace mrisc::stats

@@ -1,0 +1,55 @@
+// Information bits (section 4.2): a one-bit summary of an operand that
+// predicts the dominant value of its remaining bits.
+//
+//  * Integer: the sign bit. Sign extension makes the leading bits equal to
+//    it, so it predicts the majority bit value of the word.
+//  * Floating point: the OR of the mantissa's least-significant four bits.
+//    Zero predicts a long run of trailing zeros (cast-from-int, single
+//    precision widened to double, round constants).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/issue.h"
+#include "util/bitops.h"
+
+namespace mrisc::steer {
+
+/// The information bit of one operand value in the given domain.
+inline bool info_bit(std::uint64_t value, bool fp) noexcept {
+  return fp ? util::fp_low4_or(value)
+            : util::int_sign_bit(static_cast<std::uint32_t>(value));
+}
+
+/// Generalized FP information bit: OR of the mantissa's bottom `or_bits`
+/// bits. The paper picks 4 ("we do not wish to use more than four bits, so
+/// as to maintain a fast circuit"); the ablation bench sweeps this width.
+inline bool fp_info_bit(std::uint64_t raw, int or_bits) noexcept {
+  const std::uint64_t mask = (std::uint64_t{1} << or_bits) - 1;
+  return (raw & mask) != 0;
+}
+
+/// info_bit with a configurable FP OR width (integer side unchanged).
+inline bool info_bit_ex(std::uint64_t value, bool fp, int fp_or_bits) noexcept {
+  return fp ? fp_info_bit(value, fp_or_bits)
+            : util::int_sign_bit(static_cast<std::uint32_t>(value));
+}
+
+/// The paper's `case`: concatenation of the information bits of OP1 and OP2,
+/// i.e. one of {00, 01, 10, 11} as an integer 0..3. A missing second operand
+/// contributes a zero bit (its latch does not switch).
+inline int case_of(std::uint64_t op1, std::uint64_t op2, bool has_op2,
+                   bool fp) noexcept {
+  const int b1 = info_bit(op1, fp) ? 1 : 0;
+  const int b2 = (has_op2 && info_bit(op2, fp)) ? 1 : 0;
+  return (b1 << 1) | b2;
+}
+
+inline int case_of(const sim::IssueSlot& slot) noexcept {
+  return case_of(slot.op1, slot.op2, slot.has_op2, slot.fp_operands);
+}
+
+/// The case with OP1/OP2 bits exchanged (00->00, 01->10, 10->01, 11->11).
+inline int swapped_case(int c) noexcept { return ((c & 1) << 1) | (c >> 1); }
+
+}  // namespace mrisc::steer

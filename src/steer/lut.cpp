@@ -1,0 +1,295 @@
+#include "steer/lut.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace mrisc::steer {
+namespace {
+
+/// Expected Hamming distance per operand bit between a fresh operand of case
+/// `c_new` and a latched operand of case `c_prev`: each bit differs with
+/// probability p(1-q) + q(1-p).
+double pair_cost(const CaseStats& stats, int c_new, int c_prev) {
+  double cost = 0.0;
+  for (int port = 0; port < 2; ++port) {
+    const double p = stats.p_high[static_cast<std::size_t>(c_new)]
+                                 [static_cast<std::size_t>(port)];
+    const double q = stats.p_high[static_cast<std::size_t>(c_prev)]
+                                 [static_cast<std::size_t>(port)];
+    cost += p * (1.0 - q) + q * (1.0 - p);
+  }
+  return cost;
+}
+
+/// Cost of pairing case `c` against a module homing the case-set `mask`:
+/// probability-weighted over the mixture the module's latch will hold.
+double mask_cost(const CaseStats& stats,
+                 const std::array<std::array<double, 4>, 4>& cost, int c,
+                 std::uint8_t mask) {
+  if (mask == 0) return cost[static_cast<std::size_t>(c)][static_cast<std::size_t>(c)];
+  double weighted = 0.0, weight = 0.0;
+  for (int prev = 0; prev < 4; ++prev) {
+    if (!((mask >> prev) & 1)) continue;
+    const double p = std::max(stats.prob[static_cast<std::size_t>(prev)], 1e-6);
+    weighted += p * cost[static_cast<std::size_t>(c)][static_cast<std::size_t>(prev)];
+    weight += p;
+  }
+  return weighted / weight;
+}
+
+/// Pick a module for case `c` among unused ones: prefer an affine module
+/// with the most specific mask; otherwise minimize the expected mask cost.
+int pick_module(const CaseStats& stats,
+                const std::array<std::array<double, 4>, 4>& cost,
+                const std::vector<std::uint8_t>& affinity, int num_modules,
+                std::uint64_t used, int c) {
+  int pick = -1;
+  int best_popcount = 5;
+  for (int m = 0; m < num_modules; ++m) {
+    if ((used >> m) & 1) continue;
+    const std::uint8_t mask = affinity[static_cast<std::size_t>(m)];
+    if (!((mask >> c) & 1)) continue;
+    const int pop = std::popcount(mask);
+    if (pop < best_popcount) {
+      pick = m;
+      best_popcount = pop;
+    }
+  }
+  if (pick >= 0) return pick;
+  double best = 0.0;
+  for (int m = 0; m < num_modules; ++m) {
+    if ((used >> m) & 1) continue;
+    const double mc =
+        mask_cost(stats, cost, c, affinity[static_cast<std::size_t>(m)]);
+    if (pick < 0 || mc < best) {
+      pick = m;
+      best = mc;
+    }
+  }
+  return pick;
+}
+
+std::vector<std::uint8_t> build_affinity(const CaseStats& stats,
+                                         int num_modules,
+                                         AffinityStrategy strategy) {
+  // Cases ordered by decreasing probability.
+  std::array<int, 4> order{0, 1, 2, 3};
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return stats.prob[static_cast<std::size_t>(a)] >
+           stats.prob[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<std::uint8_t> affinity(static_cast<std::size_t>(num_modules), 0);
+
+  if (strategy == AffinityStrategy::kCoverage) {
+    // One case per module, most probable first; wrap if modules abound,
+    // and fold leftover cases into the last module when modules are scarce.
+    for (int m = 0; m < num_modules; ++m)
+      affinity[static_cast<std::size_t>(m)] =
+          static_cast<std::uint8_t>(1u << order[static_cast<std::size_t>(m % 4)]);
+    for (int i = num_modules; i < 4; ++i)
+      affinity.back() |= static_cast<std::uint8_t>(1u << order[static_cast<std::size_t>(i)]);
+    return affinity;
+  }
+
+  // Proportional (paper's IALU design): largest-remainder quotas; any case
+  // with quota zero shares the last module as a wildcard.
+  std::array<int, 4> quota{};
+  std::array<double, 4> frac{};
+  int assigned = 0;
+  for (int c = 0; c < 4; ++c) {
+    const double exact = stats.prob[static_cast<std::size_t>(c)] * num_modules;
+    quota[static_cast<std::size_t>(c)] = static_cast<int>(exact);
+    frac[static_cast<std::size_t>(c)] =
+        exact - quota[static_cast<std::size_t>(c)];
+    assigned += quota[static_cast<std::size_t>(c)];
+  }
+  std::array<int, 4> by_frac{0, 1, 2, 3};
+  std::sort(by_frac.begin(), by_frac.end(), [&](int a, int b) {
+    return frac[static_cast<std::size_t>(a)] > frac[static_cast<std::size_t>(b)];
+  });
+  for (int i = 0; assigned < num_modules; ++i, ++assigned)
+    quota[static_cast<std::size_t>(by_frac[static_cast<std::size_t>(i % 4)])] += 1;
+
+  int module = 0;
+  for (const int c : order) {
+    for (int n = 0; n < quota[static_cast<std::size_t>(c)] && module < num_modules;
+         ++n, ++module)
+      affinity[static_cast<std::size_t>(module)] =
+          static_cast<std::uint8_t>(1u << c);
+  }
+  // Leftover cases (quota 0) share the last module - the paper's "fourth
+  // module for all three other cases".
+  for (int c = 0; c < 4; ++c) {
+    if (quota[static_cast<std::size_t>(c)] == 0)
+      affinity.back() |= static_cast<std::uint8_t>(1u << c);
+  }
+  return affinity;
+}
+
+}  // namespace
+
+double expected_layout_cost(const CaseStats& stats,
+                            const std::vector<std::uint8_t>& affinity_masks,
+                            int num_modules) {
+  std::array<std::array<double, 4>, 4> cost{};
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      cost[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          pair_cost(stats, a, b);
+
+  const auto occupancy = stats.occupancy();
+  double total = 0.0;
+  // Enumerate issue groups of size k with independent case draws; replay
+  // the builder's greedy placement and charge each op its mask cost.
+  for (int k = 1; k <= 4 && k <= num_modules; ++k) {
+    const int tuples = 1 << (2 * k);
+    double group_cost = 0.0;
+    for (int t = 0; t < tuples; ++t) {
+      double prob = 1.0;
+      std::uint64_t used = 0;
+      double c_sum = 0.0;
+      for (int i = 0; i < k; ++i) {
+        const int c = (t >> (2 * i)) & 3;
+        prob *= stats.prob[static_cast<std::size_t>(c)];
+        const int m = pick_module(stats, cost, affinity_masks, num_modules,
+                                  used, c);
+        used |= std::uint64_t{1} << m;
+        c_sum += mask_cost(stats, cost, c,
+                           affinity_masks[static_cast<std::size_t>(m)]);
+      }
+      group_cost += prob * c_sum;
+    }
+    total += occupancy[static_cast<std::size_t>(k - 1)] * group_cost;
+  }
+  return total;
+}
+
+LutTable build_lut(const CaseStats& stats, int num_modules, int vector_bits,
+                   AffinityStrategy strategy) {
+  if (vector_bits % 2 != 0 || vector_bits < 2)
+    throw std::invalid_argument("vector_bits must be a positive even number");
+  const int slots = vector_bits / 2;
+  if (slots > num_modules)
+    throw std::invalid_argument("vector encodes more slots than modules");
+
+  if (strategy == AffinityStrategy::kAuto) {
+    const auto proportional =
+        build_affinity(stats, num_modules, AffinityStrategy::kProportional);
+    const auto coverage =
+        build_affinity(stats, num_modules, AffinityStrategy::kCoverage);
+    strategy = expected_layout_cost(stats, proportional, num_modules) <=
+                       expected_layout_cost(stats, coverage, num_modules)
+                   ? AffinityStrategy::kProportional
+                   : AffinityStrategy::kCoverage;
+  }
+
+  LutTable table;
+  table.vector_bits = vector_bits;
+  table.slots = slots;
+  table.num_modules = num_modules;
+  table.affinity = build_affinity(stats, num_modules, strategy);
+  table.least_case = static_cast<int>(std::min_element(stats.prob.begin(),
+                                                       stats.prob.end()) -
+                                      stats.prob.begin());
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b)
+      table.expected_cost[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(b)] = pair_cost(stats, a, b);
+
+  const std::size_t num_vectors = std::size_t{1} << (2 * slots);
+  table.assign.resize(num_vectors * static_cast<std::size_t>(slots));
+
+  for (std::size_t v = 0; v < num_vectors; ++v) {
+    // Decode the per-slot cases: slot 0 occupies the top bit pair, matching
+    // the paper's concatenation order (case(I1), case(I2), ...).
+    std::vector<int> cases(static_cast<std::size_t>(slots));
+    for (int i = 0; i < slots; ++i)
+      cases[static_cast<std::size_t>(i)] =
+          static_cast<int>((v >> (2 * (slots - 1 - i))) & 3);
+
+    // Place slots in decreasing order of their case probability so overflow
+    // situations are resolved for the most likely pattern first.
+    std::vector<int> order(static_cast<std::size_t>(slots));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return stats.prob[static_cast<std::size_t>(
+                 cases[static_cast<std::size_t>(a)])] >
+             stats.prob[static_cast<std::size_t>(
+                 cases[static_cast<std::size_t>(b)])];
+    });
+
+    std::uint64_t used = 0;
+    for (const int i : order) {
+      const int c = cases[static_cast<std::size_t>(i)];
+      const int pick = pick_module(stats, table.expected_cost, table.affinity,
+                                   num_modules, used, c);
+      used |= std::uint64_t{1} << pick;
+      table.assign[v * static_cast<std::size_t>(slots) +
+                   static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(pick);
+    }
+  }
+  return table;
+}
+
+LutSteering::LutSteering(LutTable table, SwapConfig swap)
+    : table_(std::move(table)), swap_(swap) {}
+
+void LutSteering::reset(int num_modules) {
+  if (num_modules != table_.num_modules)
+    throw std::invalid_argument("LUT built for a different module count");
+}
+
+void LutSteering::assign(std::span<const sim::IssueSlot> slots,
+                         std::span<const int> available,
+                         std::span<sim::ModuleAssignment> out) {
+  const int k = table_.slots;
+
+  // Swap decisions first: the vector encodes the case as presented to the
+  // FU, i.e. after the static swap rule.
+  std::vector<int> eff_case(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const bool swap = static_swap(swap_, slots[i]);
+    out[i].swapped = swap;
+    const int c = case_of(slots[i]);
+    eff_case[i] = swap ? swapped_case(c) : c;
+  }
+
+  // Build the lookup vector from the first k issued instructions, padding
+  // missing positions with the least-frequent case.
+  std::size_t v = 0;
+  for (int i = 0; i < k; ++i) {
+    const int c = static_cast<std::size_t>(i) < slots.size()
+                      ? eff_case[static_cast<std::size_t>(i)]
+                      : table_.least_case;
+    v = (v << 2) | static_cast<std::size_t>(c);
+  }
+
+  // Assign encoded slots from the table; fall back to any free module if the
+  // table's pick is unavailable (cannot happen for fully-pipelined units).
+  std::uint64_t used = 0;
+  auto take_fallback = [&]() {
+    for (const int m : available) {
+      if (((used >> m) & 1) == 0) return m;
+    }
+    return -1;
+  };
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    int m = -1;
+    if (static_cast<int>(i) < k) {
+      const int cand = table_.assign[v * static_cast<std::size_t>(k) + i];
+      const bool free =
+          ((used >> cand) & 1) == 0 &&
+          std::find(available.begin(), available.end(), cand) != available.end();
+      if (free) m = cand;
+    }
+    if (m < 0) m = take_fallback();
+    used |= std::uint64_t{1} << m;
+    out[i].module = m;
+  }
+}
+
+}  // namespace mrisc::steer

@@ -1,0 +1,106 @@
+// LUT-based operand steering (section 4.3): the paper's lightweight, shipping
+// scheme. The routing control logic concatenates the information-bit cases of
+// the first k issued instructions into a `vector` (2k bits, the paper's 2/4/8
+// bit variants), looks it up in a precomputed table and obtains the module
+// assignment - no comparison against previous values at runtime.
+//
+// The table is built offline from case-probability statistics (Table 1) plus
+// the module-occupancy distribution (Table 2):
+//   * each module gets a case *affinity* (IALU: three modules for the
+//     dominant case 00, one for the rest; FPAU: one case per module because
+//     multi-issue is rare);
+//   * for every possible vector, instructions are placed on affine modules
+//     first, overflow handled in decreasing order of case probability onto
+//     the unused module with the smallest expected Hamming cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/issue.h"
+#include "steer/swap.h"
+
+namespace mrisc::steer {
+
+/// Operand-case statistics driving the LUT construction. Derived either from
+/// the paper's Table 1/2 (stats/paper_ref.h) or from a measured profile.
+struct CaseStats {
+  /// P(case) for cases 00,01,10,11 (commutative and non-commutative rows of
+  /// Table 1 combined). Must sum to ~1.
+  std::array<double, 4> prob{0.25, 0.25, 0.25, 0.25};
+  /// P(any bit high) per case per operand (Table 1's OP1/OP2 prob columns).
+  std::array<std::array<double, 2>, 4> p_high{
+      {{0.1, 0.1}, {0.15, 0.55}, {0.55, 0.15}, {0.6, 0.6}}};
+  /// P(Num(I) >= 2 | Num(I) >= 1) from Table 2; selects the affinity
+  /// strategy under kAuto.
+  double multi_issue_prob = 0.5;
+
+  /// P(Num(I) = k | Num(I) >= 1) for k = 1..4, derived from
+  /// multi_issue_prob with a geometric tail (Table 2's shape).
+  [[nodiscard]] std::array<double, 4> occupancy() const {
+    const double m = multi_issue_prob;
+    return {1.0 - m, m * 0.60, m * 0.30, m * 0.10};
+  }
+};
+
+enum class AffinityStrategy {
+  /// Module quota proportional to case probability; leftover cases share a
+  /// wildcard module. This is the paper's IALU design: "we assign three of
+  /// the modules as being likely to contain case 00, and we use the fourth
+  /// module for all three other cases".
+  kProportional,
+  /// One case per module. The paper's FPAU design: multi-issue is rare
+  /// (Table 2), so "first attempt to assign a unique case to each module".
+  kCoverage,
+  /// Evaluate both strategies under an analytic expected-cost model (case
+  /// probabilities x occupancy distribution) and pick the cheaper one.
+  kAuto,
+};
+
+/// A built lookup table. `assign[v * slots + i]` is the module for vector
+/// value `v`'s i-th encoded instruction. Module affinities are case *sets*
+/// (bit c set = case c homed here); the wildcard module of the paper's IALU
+/// design is simply the module whose mask holds all leftover cases.
+struct LutTable {
+  int vector_bits = 4;  ///< 2, 4 or 8 in the paper
+  int slots = 2;        ///< vector_bits / 2
+  int num_modules = 4;
+  int least_case = 0;   ///< padding case for short vectors
+  std::vector<std::uint8_t> affinity;  ///< case mask per module
+  std::vector<std::uint8_t> assign;    ///< [4^slots * slots]
+
+  /// Expected-cost matrix used during construction (per-case pairing cost,
+  /// in expected switched bits per bit of operand width). Kept for the
+  /// hwcost module and for tests.
+  std::array<std::array<double, 4>, 4> expected_cost{};
+};
+
+/// Analytic expected steering cost per busy cycle of an affinity layout
+/// under `stats` (used by AffinityStrategy::kAuto and the ablation bench).
+double expected_layout_cost(const CaseStats& stats,
+                            const std::vector<std::uint8_t>& affinity_masks,
+                            int num_modules);
+
+/// Build the steering LUT per section 4.3.
+LutTable build_lut(const CaseStats& stats, int num_modules, int vector_bits,
+                   AffinityStrategy strategy = AffinityStrategy::kAuto);
+
+/// The runtime policy: stateless table lookup on the issue group's cases.
+class LutSteering final : public sim::SteeringPolicy {
+ public:
+  LutSteering(LutTable table, SwapConfig swap = SwapConfig::none());
+
+  void reset(int num_modules) override;
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override;
+
+  [[nodiscard]] const LutTable& table() const noexcept { return table_; }
+
+ private:
+  LutTable table_;
+  SwapConfig swap_;
+};
+
+}  // namespace mrisc::steer

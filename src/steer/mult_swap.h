@@ -1,0 +1,52 @@
+// Multiplier operand swapping (section 4.4, "Swapping for multiplier
+// units"). Multipliers are not duplicated, so steering does not apply;
+// instead a Booth multiplier's power grows with the number of 1s in its
+// second operand, so the operands of commutative multiplies are swapped to
+// put the fewer-ones value second.
+//
+// Two decision rules are provided:
+//  * kInfoBit  - the hardware-realizable rule: swap case 01 into case 10
+//    (the information bit predicts the 1-density of the operand);
+//  * kPopcount - the oracle/compiler rule: compare exact popcounts.
+#pragma once
+
+#include "sim/issue.h"
+#include "steer/info_bit.h"
+#include "util/bitops.h"
+
+namespace mrisc::steer {
+
+class MultSwapSteering final : public sim::SteeringPolicy {
+ public:
+  enum class Rule { kNone, kInfoBit, kPopcount };
+
+  explicit MultSwapSteering(Rule rule) : rule_(rule) {}
+
+  void reset(int) override {}
+
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      out[i].module = available[i];
+      out[i].swapped = should_swap(slots[i]);
+    }
+  }
+
+  [[nodiscard]] bool should_swap(const sim::IssueSlot& slot) const {
+    if (rule_ == Rule::kNone || !slot.commutative || !slot.has_op2)
+      return false;
+    if (rule_ == Rule::kInfoBit) {
+      return !info_bit(slot.op1, slot.fp_operands) &&
+             info_bit(slot.op2, slot.fp_operands);
+    }
+    const int bits = slot.fp_operands ? 52 : 32;
+    return util::popcount_low(slot.op2, bits) >
+           util::popcount_low(slot.op1, bits);
+  }
+
+ private:
+  Rule rule_;
+};
+
+}  // namespace mrisc::steer

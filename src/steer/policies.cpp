@@ -1,0 +1,147 @@
+#include "steer/policies.h"
+
+#include <algorithm>
+
+#include "power/energy.h"
+
+namespace mrisc::steer {
+
+// --- FcfsSteering ---
+
+void FcfsSteering::reset(int) {}
+
+void FcfsSteering::assign(std::span<const sim::IssueSlot> slots,
+                          std::span<const int> available,
+                          std::span<sim::ModuleAssignment> out) {
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    out[i] = sim::ModuleAssignment{available[i], static_swap(swap_, slots[i])};
+}
+
+// --- FullHamSteering ---
+
+void FullHamSteering::reset(int) { latch_ = {}; }
+
+int FullHamSteering::pair_cost(const sim::IssueSlot& slot, int m,
+                               bool& swapped) const {
+  const Latch& latch = latch_[static_cast<std::size_t>(m)];
+  const bool fp = slot.fp_operands;
+  int base = 0;
+  if (slot.has_op1) base += power::operand_hamming(slot.op1, latch.op1, fp);
+  if (slot.has_op2) base += power::operand_hamming(slot.op2, latch.op2, fp);
+  swapped = false;
+  if (swap_.mode == SwapConfig::Mode::kExplore && slot.commutative &&
+      slot.has_op1 && slot.has_op2) {
+    const int alt = power::operand_hamming(slot.op2, latch.op1, fp) +
+                    power::operand_hamming(slot.op1, latch.op2, fp);
+    if (alt < base) {
+      swapped = true;
+      return alt;
+    }
+  } else if (static_swap(swap_, slot)) {
+    swapped = true;
+    return power::operand_hamming(slot.op2, latch.op1, fp) +
+           power::operand_hamming(slot.op1, latch.op2, fp);
+  }
+  return base;
+}
+
+void FullHamSteering::assign(std::span<const sim::IssueSlot> slots,
+                             std::span<const int> available,
+                             std::span<sim::ModuleAssignment> out) {
+  min_cost_assignment(
+      slots.size(), available,
+      [&](std::size_t i, int m, bool& swapped) {
+        return pair_cost(slots[i], m, swapped);
+      },
+      out);
+  // Mirror what the module latches will hold after this cycle.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Latch& latch = latch_[static_cast<std::size_t>(out[i].module)];
+    const auto& slot = slots[i];
+    const std::uint64_t in1 = out[i].swapped ? slot.op2 : slot.op1;
+    const std::uint64_t in2 = out[i].swapped ? slot.op1 : slot.op2;
+    const bool have1 = out[i].swapped ? slot.has_op2 : slot.has_op1;
+    const bool have2 = out[i].swapped ? slot.has_op1 : slot.has_op2;
+    if (have1) latch.op1 = in1;
+    if (have2) latch.op2 = in2;
+  }
+}
+
+// --- PcHashSteering ---
+
+void PcHashSteering::assign(std::span<const sim::IssueSlot> slots,
+                            std::span<const int> available,
+                            std::span<sim::ModuleAssignment> out) {
+  std::uint64_t used = 0;
+  auto fallback = [&]() {
+    for (const int m : available) {
+      if (((used >> m) & 1) == 0) return m;
+    }
+    return -1;
+  };
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    // Knuth multiplicative hash of the PC onto the module space.
+    const int preferred = static_cast<int>(
+        (slots[i].pc * 2654435761u) % static_cast<std::uint32_t>(modules_));
+    int m = -1;
+    const bool free =
+        ((used >> preferred) & 1) == 0 &&
+        std::find(available.begin(), available.end(), preferred) !=
+            available.end();
+    if (free) m = preferred;
+    if (m < 0) m = fallback();
+    used |= std::uint64_t{1} << m;
+    out[i] = sim::ModuleAssignment{m, static_swap(swap_, slots[i])};
+  }
+}
+
+// --- OneBitHamSteering ---
+
+void OneBitHamSteering::reset(int) { latch_ = {}; }
+
+void OneBitHamSteering::assign(std::span<const sim::IssueSlot> slots,
+                               std::span<const int> available,
+                               std::span<sim::ModuleAssignment> out) {
+  min_cost_assignment(
+      slots.size(), available,
+      [&](std::size_t i, int m, bool& swapped) {
+        const auto& slot = slots[i];
+        const BitLatch& latch = latch_[static_cast<std::size_t>(m)];
+        const bool b1 = slot.has_op1 &&
+                        info_bit_ex(slot.op1, slot.fp_operands, fp_or_bits_);
+        const bool b2 = slot.has_op2 &&
+                        info_bit_ex(slot.op2, slot.fp_operands, fp_or_bits_);
+        const int base = (slot.has_op1 && b1 != latch.b1 ? 1 : 0) +
+                         (slot.has_op2 && b2 != latch.b2 ? 1 : 0);
+        swapped = false;
+        if (swap_.mode == SwapConfig::Mode::kExplore && slot.commutative &&
+            slot.has_op1 && slot.has_op2) {
+          const int alt = (b2 != latch.b1 ? 1 : 0) + (b1 != latch.b2 ? 1 : 0);
+          if (alt < base) {
+            swapped = true;
+            return alt;
+          }
+        } else if (static_swap(swap_, slot)) {
+          swapped = true;
+          return (b2 != latch.b1 ? 1 : 0) + (b1 != latch.b2 ? 1 : 0);
+        }
+        return base;
+      },
+      out);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    BitLatch& latch = latch_[static_cast<std::size_t>(out[i].module)];
+    const auto& slot = slots[i];
+    const bool b1 = slot.has_op1 &&
+                    info_bit_ex(slot.op1, slot.fp_operands, fp_or_bits_);
+    const bool b2 = slot.has_op2 &&
+                    info_bit_ex(slot.op2, slot.fp_operands, fp_or_bits_);
+    const bool in1 = out[i].swapped ? b2 : b1;
+    const bool in2 = out[i].swapped ? b1 : b2;
+    const bool have1 = out[i].swapped ? slot.has_op2 : slot.has_op1;
+    const bool have2 = out[i].swapped ? slot.has_op1 : slot.has_op2;
+    if (have1) latch.b1 = in1;
+    if (have2) latch.b2 = in2;
+  }
+}
+
+}  // namespace mrisc::steer

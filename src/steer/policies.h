@@ -1,0 +1,175 @@
+// Steering policies (sections 4.1-4.3 of the paper, minus the LUT scheme
+// which lives in lut.h):
+//
+//  * FcfsSteering    - the "Original" superscalar behaviour: oldest ready
+//                      instruction to the lowest-numbered free module.
+//  * FullHamSteering - section 4.1's cost-optimal assignment: full Hamming
+//                      distance of each candidate against every module's
+//                      latched inputs, exhaustive minimization (Figure 2).
+//                      Cost-prohibitive in hardware; the upper bound.
+//  * OneBitHamSteering - section 4.2: the same minimization but with each
+//                      operand collapsed to its information bit. Upper bound
+//                      on what information bits alone can achieve.
+//
+// Each policy mirrors the module input latches it needs (values for FullHam,
+// information bits for OneBitHam) and composes with a SwapConfig.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/issue.h"
+#include "steer/swap.h"
+
+namespace mrisc::steer {
+
+class FcfsSteering final : public sim::SteeringPolicy {
+ public:
+  explicit FcfsSteering(SwapConfig swap = SwapConfig::none()) : swap_(swap) {}
+
+  void reset(int num_modules) override;
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override;
+
+ private:
+  SwapConfig swap_;
+};
+
+class FullHamSteering final : public sim::SteeringPolicy {
+ public:
+  explicit FullHamSteering(SwapConfig swap = SwapConfig::none())
+      : swap_(swap) {}
+
+  void reset(int num_modules) override;
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override;
+
+  /// Cost of routing `slot` to module `m` in its best orientation
+  /// (Figure 2). Exposed for the optimality property tests.
+  [[nodiscard]] int pair_cost(const sim::IssueSlot& slot, int m,
+                              bool& swapped) const;
+
+ private:
+  SwapConfig swap_;
+  struct Latch {
+    std::uint64_t op1 = 0, op2 = 0;
+  };
+  std::array<Latch, sim::kMaxModules> latch_{};
+};
+
+class OneBitHamSteering final : public sim::SteeringPolicy {
+ public:
+  /// `fp_or_bits` generalizes the FP information bit to the OR of the
+  /// mantissa's bottom N bits (paper default 4); used by the ablations.
+  explicit OneBitHamSteering(SwapConfig swap = SwapConfig::none(),
+                             int fp_or_bits = 4)
+      : swap_(swap), fp_or_bits_(fp_or_bits) {}
+
+  void reset(int num_modules) override;
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override;
+
+ private:
+  SwapConfig swap_;
+  int fp_or_bits_;
+  struct BitLatch {
+    bool b1 = false, b2 = false;
+  };
+  std::array<BitLatch, sim::kMaxModules> latch_{};
+};
+
+/// Round-robin baseline: rotate the starting module every cycle. A control
+/// for the ablations - it has the same hardware triviality as FCFS but
+/// deliberately *destroys* module locality, bounding from below what any
+/// informed assignment must beat.
+class RoundRobinSteering final : public sim::SteeringPolicy {
+ public:
+  explicit RoundRobinSteering(SwapConfig swap = SwapConfig::none())
+      : swap_(swap) {}
+
+  void reset(int) override { next_ = 0; }
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const int m = available[(next_ + i) % available.size()];
+      out[i] = sim::ModuleAssignment{m, static_swap(swap_, slots[i])};
+    }
+    next_ = (next_ + 1) % (available.empty() ? 1 : available.size());
+  }
+
+ private:
+  SwapConfig swap_;
+  std::size_t next_ = 0;
+};
+
+/// EXTENSION (not in the paper): PC-affinity steering. Ablation B shows
+/// that much of the steering win on loop-dominated code is *temporal value
+/// locality* - a static instruction re-executing with near-identical
+/// operands. This policy routes each instruction to a module chosen by
+/// hashing its PC, so every static instruction has a home module,
+/// independent of operand values entirely. Zero comparator hardware; only
+/// a PC hash. Quantified against the paper's schemes in bench_ablation.
+class PcHashSteering final : public sim::SteeringPolicy {
+ public:
+  explicit PcHashSteering(SwapConfig swap = SwapConfig::none()) : swap_(swap) {}
+
+  void reset(int num_modules) override { modules_ = num_modules; }
+  void assign(std::span<const sim::IssueSlot> slots,
+              std::span<const int> available,
+              std::span<sim::ModuleAssignment> out) override;
+
+ private:
+  SwapConfig swap_;
+  int modules_ = 4;
+};
+
+/// Exhaustive search shared by FullHam/OneBit: minimizes the total of
+/// cost(slot_index, module, &swapped) over all injective assignments of
+/// slots to `available` modules. Returns the best assignment in `out`.
+/// `cost` must be a callable (std::size_t slot, int module, bool& swapped)
+/// -> int. Complexity O(P(available, slots)), fine for <= 8 modules.
+template <typename CostFn>
+void min_cost_assignment(std::size_t num_slots, std::span<const int> available,
+                         CostFn&& cost, std::span<sim::ModuleAssignment> out);
+
+// --- implementation of the template ---
+
+template <typename CostFn>
+void min_cost_assignment(std::size_t num_slots, std::span<const int> available,
+                         CostFn&& cost, std::span<sim::ModuleAssignment> out) {
+  struct Frame {
+    long best = -1;
+    std::vector<sim::ModuleAssignment> best_assign;
+    std::vector<sim::ModuleAssignment> cur;
+  } frame;
+  frame.cur.resize(num_slots);
+  frame.best_assign.resize(num_slots);
+
+  std::uint64_t used = 0;
+  auto recurse = [&](auto&& self, std::size_t i, long acc) -> void {
+    if (frame.best >= 0 && acc >= frame.best) return;  // bound
+    if (i == num_slots) {
+      frame.best = acc;
+      frame.best_assign = frame.cur;
+      return;
+    }
+    for (const int m : available) {
+      if ((used >> m) & 1) continue;
+      bool swapped = false;
+      const int c = cost(i, m, swapped);
+      used |= std::uint64_t{1} << m;
+      frame.cur[i] = sim::ModuleAssignment{m, swapped};
+      self(self, i + 1, acc + c);
+      used &= ~(std::uint64_t{1} << m);
+    }
+  };
+  recurse(recurse, 0, 0);
+  for (std::size_t i = 0; i < num_slots; ++i) out[i] = frame.best_assign[i];
+}
+
+}  // namespace mrisc::steer

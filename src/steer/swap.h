@@ -1,0 +1,43 @@
+// Operand swapping (section 4.4).
+//
+// Hardware swapping uses a *static case rule*: among the two mixed cases
+// (01 and 10), the one with the lower frequency of non-commutative
+// instructions is always swapped when the instruction is commutative, so
+// both mixed cases funnel into a single orientation. Table 1 picks case 01
+// for the IALU and case 10 for the FPAU.
+//
+// FullHamSteering instead *explores* swapping inside its cost minimization
+// (Figure 2's Min term); that mode is selected with kExplore.
+#pragma once
+
+#include "isa/isa.h"
+#include "sim/issue.h"
+#include "steer/info_bit.h"
+
+namespace mrisc::steer {
+
+struct SwapConfig {
+  enum class Mode {
+    kNone,        ///< never swap
+    kStaticCase,  ///< swap commutative ops whose case equals `swap_case`
+    kExplore,     ///< policy searches both orientations (FullHam only)
+  };
+  Mode mode = Mode::kNone;
+  int swap_case = 0b01;  ///< case funneled into its mirror when kStaticCase
+
+  /// Paper defaults (derived from Table 1's non-commutative frequencies).
+  static SwapConfig none() { return {Mode::kNone, 0}; }
+  static SwapConfig hardware_for(isa::FuClass cls) {
+    return {Mode::kStaticCase, cls == isa::FuClass::kFpau ? 0b10 : 0b01};
+  }
+  static SwapConfig explore() { return {Mode::kExplore, 0}; }
+};
+
+/// Decision of the static hardware swap rule for one slot.
+inline bool static_swap(const SwapConfig& config,
+                        const sim::IssueSlot& slot) noexcept {
+  return config.mode == SwapConfig::Mode::kStaticCase && slot.commutative &&
+         slot.has_op2 && case_of(slot) == config.swap_case;
+}
+
+}  // namespace mrisc::steer

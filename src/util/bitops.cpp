@@ -1,0 +1,4 @@
+#include "util/bitops.h"
+
+// All of bitops is header-inline; this TU exists so the library has a stable
+// archive member and as the anchor for future non-inline additions.

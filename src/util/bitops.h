@@ -1,0 +1,71 @@
+// Bit-manipulation primitives used throughout the simulator and the power
+// model. All functions are branch-light and suitable for hot loops.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace mrisc::util {
+
+/// Number of set bits in `x`.
+inline int popcount(std::uint64_t x) noexcept { return std::popcount(x); }
+
+/// Hamming distance between two 64-bit words: the number of bit positions in
+/// which they differ. This is the paper's Ham(X, Y) for full-width operands.
+inline int hamming(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+/// Hamming distance restricted to the low `bits` bit positions.
+/// Used for FP operands where only the 52-bit mantissa is compared.
+inline int hamming_low(std::uint64_t a, std::uint64_t b, int bits) noexcept {
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  return std::popcount((a ^ b) & mask);
+}
+
+/// Sign-extend the low `bits` bits of `x` to a signed 64-bit value.
+inline std::int64_t sign_extend(std::uint64_t x, int bits) noexcept {
+  const int shift = 64 - bits;
+  return static_cast<std::int64_t>(x << shift) >> shift;
+}
+
+/// Sign bit (bit 31) of a 32-bit integer operand - the paper's integer
+/// "information bit" (section 4.2).
+inline bool int_sign_bit(std::uint32_t x) noexcept { return (x >> 31) & 1u; }
+
+/// Number of leading bits (from bit 31 downward) equal to the sign bit,
+/// excluding the sign bit itself. For 20 (0x00000014) this is 26: bits 30..5
+/// are all zero. Used by the compiler pass statistics.
+inline int sign_run_length(std::uint32_t x) noexcept {
+  const std::uint32_t y = int_sign_bit(x) ? ~x : x;
+  if (y == 0) return 31;  // all bits equal the sign bit
+  return std::countl_zero(y) - 1;
+}
+
+/// IEEE-754 double mantissa (low 52 bits of the raw representation).
+inline std::uint64_t fp_mantissa(std::uint64_t raw) noexcept {
+  return raw & ((std::uint64_t{1} << 52) - 1);
+}
+
+/// OR of the least-significant four mantissa bits - the paper's floating
+/// point "information bit" (section 4.2). Zero predicts many trailing zeros.
+inline bool fp_low4_or(std::uint64_t raw) noexcept { return (raw & 0xF) != 0; }
+
+/// Number of trailing zero bits in the 52-bit mantissa (52 when mantissa==0).
+inline int mantissa_trailing_zeros(std::uint64_t raw) noexcept {
+  const std::uint64_t m = fp_mantissa(raw);
+  if (m == 0) return 52;
+  return std::countr_zero(m);
+}
+
+/// Fraction helpers ------------------------------------------------------
+
+/// Number of set bits within the low `bits` positions.
+inline int popcount_low(std::uint64_t x, int bits) noexcept {
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  return std::popcount(x & mask);
+}
+
+}  // namespace mrisc::util

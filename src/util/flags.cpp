@@ -1,0 +1,71 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mrisc::util {
+
+Flags::Flags(int argc, const char* const* argv,
+             const std::vector<std::string>& known_flags,
+             const std::vector<std::string>& bool_flags) {
+  auto in = [](const std::vector<std::string>& list, const std::string& name) {
+    return std::find(list.begin(), list.end(), name) != list.end();
+  };
+  auto known = [&](const std::string& name) {
+    return in(known_flags, name) || in(bool_flags, name);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (!known(name)) {
+      unknown_.push_back(name);
+      continue;
+    }
+    if (!has_value && !in(bool_flags, name) && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_or(const std::string& name,
+                          const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 0);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+}  // namespace mrisc::util

@@ -1,0 +1,44 @@
+// Minimal command-line flag parser for the tools: `--name value`,
+// `--name=value`, boolean `--name`, and positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mrisc::util {
+
+class Flags {
+ public:
+  /// Parse argv. `known_flags` take a value (`--x v` or `--x=v`);
+  /// `bool_flags` never consume the next token. Unknown flags are kept and
+  /// reported by unknown().
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known_flags,
+        const std::vector<std::string>& bool_flags = {});
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& fallback) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::vector<std::string>& unknown() const {
+    return unknown_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> unknown_;
+};
+
+}  // namespace mrisc::util

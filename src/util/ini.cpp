@@ -1,0 +1,99 @@
+#include "util/ini.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mrisc::util {
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+Ini Ini::parse(std::string_view text) {
+  Ini ini;
+  std::string section;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    // Strip comments (# or ;) outside of values - keep it simple: anywhere.
+    if (const auto hash = raw.find_first_of("#;"); hash != std::string_view::npos)
+      raw = raw.substr(0, hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3)
+        throw IniError(line_no, "malformed section header '" + line + "'");
+      section = trim(std::string_view(line).substr(1, line.size() - 2));
+      if (section.empty()) throw IniError(line_no, "empty section name");
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw IniError(line_no, "expected 'key = value', got '" + line + "'");
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    const std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (key.empty()) throw IniError(line_no, "empty key");
+    const std::string full = section.empty() ? key : section + "." + key;
+    ini.values_[full] = value;
+  }
+  return ini;
+}
+
+Ini Ini::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::optional<std::string> Ini::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Ini::get_or(const std::string& key,
+                        const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t Ini::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 0);
+}
+
+double Ini::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Ini::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Ini::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mrisc::util

@@ -1,0 +1,60 @@
+// Tiny INI-style configuration reader used by the tools to describe machine
+// configurations in text files (gem5/SimpleScalar-style):
+//
+//   # comment
+//   [machine]
+//   ialus = 4
+//   issue_width = 4
+//   [cache]
+//   size_bytes = 16384
+//
+// Keys are looked up as "section.key". Values are strings; numeric
+// conversions are provided. Unknown sections/keys are preserved so callers
+// can validate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrisc::util {
+
+class IniError : public std::runtime_error {
+ public:
+  IniError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+class Ini {
+ public:
+  /// Parse INI text. Throws IniError on malformed lines.
+  static Ini parse(std::string_view text);
+  /// Parse a file. Throws IniError / std::runtime_error.
+  static Ini parse_file(const std::string& path);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All "section.key" entries, sorted (for validation / diagnostics).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mrisc::util

@@ -1,0 +1,31 @@
+// Deterministic xoshiro256** PRNG. The workloads and property tests need
+// reproducible pseudo-random streams that are identical across platforms;
+// std::mt19937 distributions are not guaranteed bit-identical, so we roll our
+// own small generator and integer/real mapping.
+#pragma once
+
+#include <cstdint>
+
+namespace mrisc::util {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mrisc::util

@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mrisc::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_rule() { rows_.emplace_back(); }
+
+std::string AsciiTable::to_string(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out << '+' << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  emit_rule();
+  return out.str();
+}
+
+std::string AsciiTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, v);
+  return buf;
+}
+
+}  // namespace mrisc::util

@@ -1,0 +1,38 @@
+// Minimal ASCII table renderer used by the bench binaries to print
+// paper-style tables (Table 1, Table 2, Table 3, Figure 4 series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrisc::util {
+
+/// Column-aligned ASCII table. Rows may be added with heterogeneous cell
+/// content (already formatted to strings); the renderer pads columns.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  /// Render with a leading title line and column separators.
+  [[nodiscard]] std::string to_string(const std::string& title = "") const;
+
+  /// Render as CSV (no padding, comma-separated, title ignored).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Format a double with `digits` decimal places.
+std::string fmt_fixed(double v, int digits);
+
+/// Format a percentage (value already in percent) with `digits` decimals and
+/// a trailing '%'.
+std::string fmt_pct(double v, int digits = 1);
+
+}  // namespace mrisc::util

@@ -1,0 +1,704 @@
+// Floating point workload kernels. The suite is engineered to produce the
+// mantissa populations the paper describes (section 4.2): cast-from-integer
+// values and round constants with long trailing-zero runs (information bit
+// 0) versus full-precision accumulators and chaotic values (information bit
+// 1). Reference models replicate every FP operation in the same order, so
+// expected outputs are bit-exact.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace mrisc::workloads {
+namespace {
+
+std::string s(int v) { return std::to_string(v); }
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+/// Shared assembly fragment: initialize an array of doubles from the integer
+/// LCG by casting (gives the cast-from-int trailing-zero population) with
+/// `a[i] = (double)((lcg >> shift) & 1023) * scale_label`.
+/// Registers: r1 lcg state, r2 lcg multiplier, uses r6-r9, f10.
+std::string init_cast_array(const std::string& base_label, int count,
+                            int shift, const std::string& scale_label) {
+  return
+      "  la r6, " + base_label + "\n"
+      "  li r7, 0\n"
+      "  la r9, " + scale_label + "\n"
+      "  lfd f10, 0(r9)\n"
+      "init_" + base_label + ":\n"
+      "    mul r1, r1, r2\n"
+      "    addi r1, r1, 12345\n"
+      "    srli r8, r1, " + s(shift) + "\n"
+      "    andi r8, r8, 1023\n"
+      "    cvtif f11, r8\n"
+      "    fmul f11, f11, f10\n"
+      "    slli r8, r7, 3\n"
+      "    add r8, r6, r8\n"
+      "    sfd f11, 0(r8)\n"
+      "    addi r7, r7, 1\n"
+      "    slti r8, r7, " + s(count) + "\n"
+      "    bne r8, r0, init_" + base_label + "\n";
+}
+
+struct Lcg {
+  std::uint32_t x;
+  std::uint32_t next() {
+    x = x * 1103515245u + 12345u;
+    return x;
+  }
+};
+
+/// C++ twin of init_cast_array.
+void ref_init_cast(Lcg& lcg, double* a, int count, int shift, double scale) {
+  for (int i = 0; i < count; ++i) {
+    const auto v = static_cast<std::int32_t>((lcg.next() >> shift) & 1023u);
+    a[i] = static_cast<double>(v) * scale;
+  }
+}
+
+}  // namespace
+
+// --- apsi: cast-dominated accumulation ------------------------------------
+// Loop counters repeatedly cast to double and scaled - the paper's prime
+// source of trailing-zero mantissas (reason 1 in section 4.2).
+Workload make_apsi(const SuiteConfig& config) {
+  const int n = config.scaled(11000);
+  Workload w;
+  w.name = "apsi";
+  w.floating_point = true;
+  w.source =
+      "la r9, tenth\n"
+      "lfd f2, 0(r9)\n"
+      "li r4, 0\n"
+      "li r10, 1\n"
+      "li r11, " + s(n) + "\n"
+      "loop:\n"
+      "  cvtif f3, r10\n"
+      "  fmul f4, f3, f2\n"
+      "  fadd f1, f1, f4\n"
+      "  cvtfi r5, f4\n"
+      "  add r4, r4, r5\n"
+      "  addi r10, r10, 1\n"
+      "  ble r10, r11, loop\n"
+      "outf f1\nout r4\nhalt\n"
+      ".data\n"
+      "tenth: .double 0.0625\n";
+
+  double f1 = 0.0;
+  std::int32_t acc = 0;
+  for (int i = 1; i <= n; ++i) {
+    const double f4 = static_cast<double>(i) * 0.0625;
+    f1 += f4;
+    acc += static_cast<std::int32_t>(f4);
+  }
+  w.expected_fp_bits = {bits_of(f1)};
+  w.expected_ints = {acc};
+  return w;
+}
+
+// --- applu: SSOR-style relaxation sweep ------------------------------------
+// x[i] = x[i] + omega*((b[i] - a*x[i-1]) - x[i]) with round omega (5/8) and
+// full-precision a = 1/3: a mix of trailing-zero and full mantissas.
+Workload make_applu(const SuiteConfig& config) {
+  const int m = 64;
+  const int sweeps = config.scaled(130);
+  Workload w;
+  w.name = "applu";
+  w.floating_point = true;
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0xA9C1))) + "\n"
+      "li r2, 0x41C64E6D\n" +
+      init_cast_array("xb", m, 9, "c1024") +
+      "  la r3, xarr\n"
+      "  la r4, xb\n"
+      "  la r9, omega\n"
+      "  lfd f2, 0(r9)\n"    // 0.625
+      "  la r9, one\n"
+      "  lfd f3, 0(r9)\n"
+      "  la r9, three\n"
+      "  lfd f4, 0(r9)\n"
+      "  fdiv f5, f3, f4\n"  // a = 1/3, full precision
+      "  li r10, " + s(sweeps) + "\n"
+      "sweep:\n"
+      "  li r11, 1\n"
+      "row:\n"
+      "    slli r12, r11, 3\n"
+      "    add r13, r3, r12\n"    // &x[i]
+      "    add r14, r4, r12\n"    // &b[i]
+      "    lfd f6, -8(r13)\n"     // x[i-1]
+      "    lfd f7, 0(r14)\n"      // b[i]
+      "    lfd f8, 0(r13)\n"      // x[i]
+      "    fmul f9, f5, f6\n"
+      "    fsub f9, f7, f9\n"     // t = b[i] - a*x[i-1]
+      "    fsub f9, f9, f8\n"
+      "    fmul f9, f2, f9\n"
+      "    fadd f8, f8, f9\n"     // x[i] += omega*(t - x[i])
+      "    cvtsd f8, f8\n"        // solution field is REAL*4
+      "    sfd f8, 0(r13)\n"
+      "    addi r11, r11, 1\n"
+      "    slti r12, r11, " + s(m) + "\n"
+      "    bne r12, r0, row\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, sweep\n"
+      // Checksum.
+      "li r11, 0\n"
+      "csum:\n"
+      "  slli r12, r11, 3\n"
+      "  add r13, r3, r12\n"
+      "  lfd f6, 0(r13)\n"
+      "  fadd f1, f1, f6\n"
+      "  addi r11, r11, 1\n"
+      "  slti r12, r11, " + s(m) + "\n"
+      "  bne r12, r0, csum\n"
+      "outf f1\nhalt\n"
+      ".data\n"
+      "omega: .double 0.625\n"
+      "one: .double 1.0\n"
+      "three: .double 3.0\n"
+      "c1024: .double 0.0009765625\n"  // 2^-10, round
+      "xarr: .space " + s(m * 8) + "\n"
+      "xb: .space " + s(m * 8) + "\n";
+
+  Lcg lcg{config.seed(0xA9C1)};
+  double b[64], x[64] = {};
+  ref_init_cast(lcg, b, m, 9, 0.0009765625);
+  const double a = 1.0 / 3.0, omega = 0.625;
+  for (int t = 0; t < sweeps; ++t) {
+    for (int i = 1; i < m; ++i) {
+      const double tv = (b[i] - a * x[i - 1]) - x[i];
+      x[i] = static_cast<double>(static_cast<float>(x[i] + omega * tv));
+    }
+  }
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) sum += x[i];
+  w.expected_fp_bits = {bits_of(sum)};
+  return w;
+}
+
+// --- hydro2d: flux/energy kernel -------------------------------------------
+// Multiply-heavy Navier-Stokes-style fluxes on full-precision fields
+// (initialized by division, which fills the mantissa).
+Workload make_hydro2d(const SuiteConfig& config) {
+  const int m = 48;
+  const int sweeps = config.scaled(110);
+  Workload w;
+  w.name = "hydro2d";
+  w.floating_point = true;
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x77AA1))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      // Full-precision init: q[i] = (lcg1 | 1) / (lcg2 | 1) via fdiv.
+      "la r3, qarr\n"
+      "la r4, varr\n"
+      "la r5, parr\n"
+      "li r7, 0\n"
+      "finit:\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r8, r1, 12\n"
+      "  ori r8, r8, 1\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r9, r1, 12\n"
+      "  ori r9, r9, 1\n"
+      "  cvtif f6, r8\n"
+      "  cvtif f7, r9\n"
+      "  fdiv f8, f6, f7\n"       // full mantissa
+      "  slli r10, r7, 3\n"
+      "  add r11, r3, r10\n"
+      "  sfd f8, 0(r11)\n"
+      "  fadd f9, f8, f8\n"
+      "  add r11, r4, r10\n"
+      "  sfd f9, 0(r11)\n"
+      "  fdiv f9, f7, f6\n"
+      "  add r11, r5, r10\n"
+      "  sfd f9, 0(r11)\n"
+      "  addi r7, r7, 1\n"
+      "  slti r10, r7, " + s(m) + "\n"
+      "  bne r10, r0, finit\n"
+      "la r9, quarter\n"
+      "lfd f2, 0(r9)\n"
+      "li r12, " + s(sweeps) + "\n"
+      "sweep:\n"
+      "  li r7, 1\n"
+      "cell:\n"
+      "    slli r10, r7, 3\n"
+      "    add r13, r3, r10\n"
+      "    add r14, r4, r10\n"
+      "    add r15, r5, r10\n"
+      "    lfd f5, 0(r13)\n"      // q[i]
+      "    lfd f6, 0(r14)\n"      // v[i]
+      "    lfd f7, -8(r13)\n"     // q[i-1]
+      "    lfd f8, -8(r14)\n"     // v[i-1]
+      "    fmul f9, f5, f6\n"     // fi
+      "    fmul f10, f7, f8\n"    // fim
+      "    fsub f9, f9, f10\n"
+      "    fmul f9, f9, f2\n"
+      "    lfd f11, 0(r15)\n"     // p[i]
+      "    fsub f11, f11, f9\n"
+      "    cvtsd f11, f11\n"      // pressure field is REAL*4
+      "    sfd f11, 0(r15)\n"     // p[i] -= 0.25*(fi-fim)
+      "    fmul f12, f6, f6\n"
+      "    fmul f12, f12, f5\n"
+      "    fadd f12, f12, f11\n"
+      "    fmul f12, f12, f6\n"   // e = (p + q*v*v)*v
+      "    fadd f1, f1, f12\n"
+      "    addi r7, r7, 1\n"
+      "    slti r10, r7, " + s(m) + "\n"
+      "    bne r10, r0, cell\n"
+      "  addi r12, r12, -1\n"
+      "  bne r12, r0, sweep\n"
+      "outf f1\nhalt\n"
+      ".data\n"
+      "quarter: .double 0.25\n"
+      "qarr: .space " + s(m * 8) + "\n"
+      "varr: .space " + s(m * 8) + "\n"
+      "parr: .space " + s(m * 8) + "\n";
+
+  Lcg lcg{config.seed(0x77AA1)};
+  double q[48], v[48], p[48];
+  for (int i = 0; i < m; ++i) {
+    const auto a = static_cast<std::int32_t>((lcg.next() >> 12) | 1u);
+    const auto b = static_cast<std::int32_t>((lcg.next() >> 12) | 1u);
+    q[i] = static_cast<double>(a) / static_cast<double>(b);
+    v[i] = q[i] + q[i];
+    p[i] = static_cast<double>(b) / static_cast<double>(a);
+  }
+  double esum = 0.0;
+  for (int t = 0; t < sweeps; ++t) {
+    for (int i = 1; i < m; ++i) {
+      const double fi = q[i] * v[i];
+      const double fim = q[i - 1] * v[i - 1];
+      p[i] = static_cast<double>(
+          static_cast<float>(p[i] - (fi - fim) * 0.25));
+      esum += (v[i] * v[i] * q[i] + p[i]) * v[i];
+    }
+  }
+  w.expected_fp_bits = {bits_of(esum)};
+  return w;
+}
+
+// --- wave5: leapfrog particle push ------------------------------------------
+// pos/vel updates with a power-of-two timestep (dt = 2^-10): the classic
+// "round constants" source of trailing zeros, against evolving full-
+// precision state.
+Workload make_wave5(const SuiteConfig& config) {
+  const int m = 56;
+  const int steps = config.scaled(120);
+  Workload w;
+  w.name = "wave5";
+  w.floating_point = true;
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x5EED5))) + "\n"
+      "li r2, 0x41C64E6D\n" +
+      init_cast_array("pos", m, 7, "c64") +
+      init_cast_array("vel", m, 11, "c1024") +
+      "la r3, pos\n"
+      "la r4, vel\n"
+      "la r9, dt\n"
+      "lfd f2, 0(r9)\n"
+      "la r9, spring\n"
+      "lfd f3, 0(r9)\n"
+      "li r10, " + s(steps) + "\n"
+      "step:\n"
+      "  li r11, 0\n"
+      "part:\n"
+      "    slli r12, r11, 3\n"
+      "    add r13, r3, r12\n"
+      "    add r14, r4, r12\n"
+      "    lfd f5, 0(r13)\n"
+      "    lfd f6, 0(r14)\n"
+      "    fmul f7, f3, f5\n"
+      "    fmul f7, f7, f2\n"
+      "    fsub f6, f6, f7\n"      // vel -= k*pos*dt
+      "    fmul f8, f6, f2\n"
+      "    fadd f5, f5, f8\n"      // pos += vel*dt
+      "    cvtsd f5, f5\n"         // positions kept in REAL*4
+      "    sfd f5, 0(r13)\n"
+      "    sfd f6, 0(r14)\n"
+      "    addi r11, r11, 1\n"
+      "    slti r12, r11, " + s(m) + "\n"
+      "    bne r12, r0, part\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, step\n"
+      // Checksums of both state arrays.
+      "li r11, 0\n"
+      "csum:\n"
+      "  slli r12, r11, 3\n"
+      "  add r13, r3, r12\n"
+      "  add r14, r4, r12\n"
+      "  lfd f5, 0(r13)\n"
+      "  lfd f6, 0(r14)\n"
+      "  fadd f1, f1, f5\n"
+      "  fadd f4, f4, f6\n"
+      "  addi r11, r11, 1\n"
+      "  slti r12, r11, " + s(m) + "\n"
+      "  bne r12, r0, csum\n"
+      "outf f1\noutf f4\nhalt\n"
+      ".data\n"
+      "dt: .double 0.0009765625\n"      // 2^-10
+      "spring: .double 0.81472369\n"    // full precision
+      "c64: .double 0.015625\n"
+      "c1024: .double 0.0009765625\n"
+      "pos: .space " + s(m * 8) + "\n"
+      "vel: .space " + s(m * 8) + "\n";
+
+  Lcg lcg{config.seed(0x5EED5)};
+  double pos[56], vel[56];
+  ref_init_cast(lcg, pos, m, 7, 0.015625);
+  ref_init_cast(lcg, vel, m, 11, 0.0009765625);
+  const double dt = 0.0009765625, k = 0.81472369;
+  for (int t = 0; t < steps; ++t) {
+    for (int i = 0; i < m; ++i) {
+      vel[i] -= k * pos[i] * dt;
+      pos[i] = static_cast<double>(static_cast<float>(pos[i] + vel[i] * dt));
+    }
+  }
+  double psum = 0.0, vsum = 0.0;
+  for (int i = 0; i < m; ++i) {
+    psum += pos[i];
+    vsum += vel[i];
+  }
+  w.expected_fp_bits = {bits_of(psum), bits_of(vsum)};
+  return w;
+}
+
+// --- swim: shallow-water stencil --------------------------------------------
+// Alternating u/v neighbour-difference updates with the round weight 0.5.
+Workload make_swim(const SuiteConfig& config) {
+  const int m = 64;
+  const int sweeps = config.scaled(95);
+  Workload w;
+  w.name = "swim";
+  w.floating_point = true;
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x3C9A7))) + "\n"
+      "li r2, 0x41C64E6D\n" +
+      init_cast_array("uarr", m, 8, "c16") +
+      init_cast_array("varr2", m, 13, "c64") +
+      "la r3, uarr\n"
+      "la r4, varr2\n"
+      "la r9, half\n"
+      "lfd f2, 0(r9)\n"
+      "li r10, " + s(sweeps) + "\n"
+      "sweep:\n"
+      "  li r11, 1\n"
+      "uloop:\n"
+      "    slli r12, r11, 3\n"
+      "    add r13, r3, r12\n"
+      "    add r14, r4, r12\n"
+      "    lfd f5, 8(r14)\n"
+      "    lfd f6, -8(r14)\n"
+      "    fsub f7, f5, f6\n"
+      "    fmul f7, f7, f2\n"
+      "    lfd f8, 0(r13)\n"
+      "    fadd f8, f8, f7\n"
+      "    cvtsd f8, f8\n"       // REAL*4 field storage
+      "    sfd f8, 0(r13)\n"
+      "    addi r11, r11, 1\n"
+      "    slti r12, r11, " + s(m - 1) + "\n"
+      "    bne r12, r0, uloop\n"
+      "  li r11, 1\n"
+      "vloop:\n"
+      "    slli r12, r11, 3\n"
+      "    add r13, r3, r12\n"
+      "    add r14, r4, r12\n"
+      "    lfd f5, 8(r13)\n"
+      "    lfd f6, -8(r13)\n"
+      "    fsub f7, f5, f6\n"
+      "    fmul f7, f7, f2\n"
+      "    lfd f8, 0(r14)\n"
+      "    fsub f8, f8, f7\n"
+      "    cvtsd f8, f8\n"
+      "    sfd f8, 0(r14)\n"
+      "    addi r11, r11, 1\n"
+      "    slti r12, r11, " + s(m - 1) + "\n"
+      "    bne r12, r0, vloop\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, sweep\n"
+      "li r11, 0\n"
+      "csum:\n"
+      "  slli r12, r11, 3\n"
+      "  add r13, r3, r12\n"
+      "  lfd f5, 0(r13)\n"
+      "  fadd f1, f1, f5\n"
+      "  addi r11, r11, 1\n"
+      "  slti r12, r11, " + s(m) + "\n"
+      "  bne r12, r0, csum\n"
+      "outf f1\nhalt\n"
+      ".data\n"
+      "half: .double 0.5\n"
+      "c16: .double 0.0625\n"
+      "c64: .double 0.015625\n"
+      "uarr: .space " + s(m * 8) + "\n"
+      "varr2: .space " + s(m * 8) + "\n";
+
+  Lcg lcg{config.seed(0x3C9A7)};
+  double u[64], v[64];
+  ref_init_cast(lcg, u, m, 8, 0.0625);
+  ref_init_cast(lcg, v, m, 13, 0.015625);
+  for (int t = 0; t < sweeps; ++t) {
+    for (int i = 1; i < m - 1; ++i)
+      u[i] = static_cast<double>(
+          static_cast<float>(u[i] + (v[i + 1] - v[i - 1]) * 0.5));
+    for (int i = 1; i < m - 1; ++i)
+      v[i] = static_cast<double>(
+          static_cast<float>(v[i] - (u[i + 1] - u[i - 1]) * 0.5));
+  }
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) sum += u[i];
+  w.expected_fp_bits = {bits_of(sum)};
+  return w;
+}
+
+// --- mgrid: multigrid relaxation ---------------------------------------------
+// Jacobi-style smoothing with the dyadic weights 0.5/0.25 on a cast-from-int
+// field: both paper sources of trailing zeros at once.
+Workload make_mgrid(const SuiteConfig& config) {
+  const int m = 72;
+  const int sweeps = config.scaled(110);
+  Workload w;
+  w.name = "mgrid";
+  w.floating_point = true;
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x61C88))) + "\n"
+      "li r2, 0x41C64E6D\n" +
+      init_cast_array("grid", m, 10, "cone") +
+      "la r3, grid\n"
+      "la r9, half\n"
+      "lfd f2, 0(r9)\n"
+      "la r9, quarter\n"
+      "lfd f3, 0(r9)\n"
+      "li r10, " + s(sweeps) + "\n"
+      "sweep:\n"
+      "  li r11, 1\n"
+      "cell:\n"
+      "    slli r12, r11, 3\n"
+      "    add r13, r3, r12\n"
+      "    lfd f5, 0(r13)\n"
+      "    lfd f6, -8(r13)\n"
+      "    lfd f7, 8(r13)\n"
+      "    fadd f8, f6, f7\n"
+      "    fmul f8, f8, f3\n"
+      "    fmul f5, f5, f2\n"
+      "    fadd f5, f5, f8\n"
+      "    cvtsd f5, f5\n"        // grid kept in REAL*4
+      "    sfd f5, 0(r13)\n"
+      "    addi r11, r11, 1\n"
+      "    slti r12, r11, " + s(m - 1) + "\n"
+      "    bne r12, r0, cell\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, sweep\n"
+      "li r11, 0\n"
+      "csum:\n"
+      "  slli r12, r11, 3\n"
+      "  add r13, r3, r12\n"
+      "  lfd f5, 0(r13)\n"
+      "  fadd f1, f1, f5\n"
+      "  addi r11, r11, 1\n"
+      "  slti r12, r11, " + s(m) + "\n"
+      "  bne r12, r0, csum\n"
+      "outf f1\nhalt\n"
+      ".data\n"
+      "half: .double 0.5\n"
+      "quarter: .double 0.25\n"
+      "cone: .double 1.0\n"
+      "grid: .space " + s(m * 8) + "\n";
+
+  Lcg lcg{config.seed(0x61C88)};
+  double grid[72];
+  ref_init_cast(lcg, grid, m, 10, 1.0);
+  for (int t = 0; t < sweeps; ++t) {
+    for (int i = 1; i < m - 1; ++i)
+      grid[i] = static_cast<double>(static_cast<float>(
+          grid[i] * 0.5 + (grid[i - 1] + grid[i + 1]) * 0.25));
+  }
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) sum += grid[i];
+  w.expected_fp_bits = {bits_of(sum)};
+  return w;
+}
+
+// --- turb3d: butterfly passes with polynomial twiddles ------------------------
+// FFT-shaped data movement: per-pair twiddle w = 1 - x^2/2 + x^4/24
+// (full-precision after the division by 24) applied as a real butterfly.
+Workload make_turb3d(const SuiteConfig& config) {
+  const int m = 64;  // even
+  const int passes = config.scaled(130);
+  Workload w;
+  w.name = "turb3d";
+  w.floating_point = true;
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0xB17D5))) + "\n"
+      "li r2, 0x41C64E6D\n" +
+      init_cast_array("re", m, 6, "c256") +
+      "la r3, re\n"
+      "la r9, cone\n"
+      "lfd f2, 0(r9)\n"        // 1.0
+      "la r9, chalf\n"
+      "lfd f3, 0(r9)\n"        // 0.5
+      "la r9, c24\n"
+      "lfd f9, 0(r9)\n"
+      "fdiv f4, f2, f9\n"      // 1/24, full precision
+      "la r9, cstep\n"
+      "lfd f5, 0(r9)\n"        // 0.03125 (x step)
+      "li r10, " + s(passes) + "\n"
+      "pass:\n"
+      "  li r11, 0\n"
+      "bfly:\n"
+      "    cvtif f6, r11\n"
+      "    fmul f6, f6, f5\n"     // x
+      "    fmul f7, f6, f6\n"     // x2
+      "    fmul f8, f7, f3\n"     // x2/2
+      "    fsub f8, f2, f8\n"     // 1 - x2/2
+      "    fmul f10, f7, f7\n"    // x4
+      "    fmul f10, f10, f4\n"   // x4/24
+      "    fadd f8, f8, f10\n"    // w
+      "    slli r12, r11, 3\n"
+      "    add r13, r3, r12\n"
+      "    lfd f11, 0(r13)\n"             // a = re[i]
+      "    lfd f12, " + s(m / 2 * 8) + "(r13)\n"  // b = re[i+m/2]
+      "    fmul f13, f8, f12\n"   // t = w*b
+      "    fsub f12, f11, f13\n"
+      "    fadd f11, f11, f13\n"
+      "    sfd f11, 0(r13)\n"
+      "    sfd f12, " + s(m / 2 * 8) + "(r13)\n"
+      "    addi r11, r11, 1\n"
+      "    slti r12, r11, " + s(m / 2) + "\n"
+      "    bne r12, r0, bfly\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, pass\n"
+      "li r11, 0\n"
+      "csum:\n"
+      "  slli r12, r11, 3\n"
+      "  add r13, r3, r12\n"
+      "  lfd f5, 0(r13)\n"
+      "  fadd f1, f1, f5\n"
+      "  addi r11, r11, 1\n"
+      "  slti r12, r11, " + s(m) + "\n"
+      "  bne r12, r0, csum\n"
+      "outf f1\nhalt\n"
+      ".data\n"
+      "cone: .double 1.0\n"
+      "chalf: .double 0.5\n"
+      "c24: .double 24.0\n"
+      "cstep: .double 0.03125\n"
+      "c256: .double 0.00390625\n"
+      "re: .space " + s(m * 8) + "\n";
+
+  Lcg lcg{config.seed(0xB17D5)};
+  double re[64];
+  ref_init_cast(lcg, re, m, 6, 0.00390625);
+  const double inv24 = 1.0 / 24.0;
+  for (int p = 0; p < passes; ++p) {
+    for (int i = 0; i < m / 2; ++i) {
+      const double x = static_cast<double>(i) * 0.03125;
+      const double x2 = x * x;
+      const double wtw = (1.0 - x2 * 0.5) + (x2 * x2) * inv24;
+      const double t = wtw * re[i + m / 2];
+      re[i + m / 2] = re[i] - t;
+      re[i] = re[i] + t;
+    }
+  }
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) sum += re[i];
+  w.expected_fp_bits = {bits_of(sum)};
+  return w;
+}
+
+// --- fpppp: Horner polynomial chains over a chaotic argument -------------------
+// Degree-7 Horner evaluation at logistic-map points (x = 3.9 x (1-x)):
+// everything full-precision, the paper's case-11 population.
+Workload make_fpppp(const SuiteConfig& config) {
+  const int n = config.scaled(4200);
+  Workload w;
+  w.name = "fpppp";
+  w.floating_point = true;
+  // The chaotic map makes the whole trajectory input-dependent: salt the
+  // starting point (printed with full precision so the reference matches).
+  const double x0 = 0.3141592653589793 +
+                    1.0e-6 * static_cast<double>(config.seed_salt % 1000u);
+  char x0_text[64];
+  std::snprintf(x0_text, sizeof x0_text, "%.17g", x0);
+  std::string body =
+      "la r9, x0\n"
+      "lfd f2, 0(r9)\n"        // x
+      "la r9, rate\n"
+      "lfd f3, 0(r9)\n"        // 3.9
+      "la r9, cone\n"
+      "lfd f4, 0(r9)\n"        // 1.0
+      "la r3, coef\n";
+  for (int j = 0; j < 8; ++j)
+    body += "lfd f" + s(10 + j) + ", " + s(8 * j) + "(r3)\n";
+  body +=
+      "li r10, " + s(n) + "\n"
+      "pt:\n"
+      "  fsub f5, f4, f2\n"
+      "  fmul f5, f5, f2\n"
+      "  fmul f2, f5, f3\n"    // x = 3.9*x*(1-x)
+      "  fmov f6, f17\n"       // p = c7
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f16\n"
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f15\n"
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f14\n"
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f13\n"
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f12\n"
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f11\n"
+      "  fmul f6, f6, f2\n"
+      "  fadd f6, f6, f10\n"
+      "  fadd f1, f1, f6\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, pt\n"
+      "outf f1\noutf f2\nhalt\n"
+      ".data\n"
+      "x0: .double " + std::string(x0_text) + "\n"
+      "rate: .double 3.9\n"
+      "cone: .double 1.0\n"
+      "coef: .double 0.7071067811865476, -0.5773502691896258, "
+      "0.4472135954999579, -0.3779644730092272, 0.3333333333333333, "
+      "-0.3015113445777636, 0.2773500981126146, -0.2581988897471611\n";
+  w.source = std::move(body);
+
+  const double coef[8] = {0.7071067811865476,  -0.5773502691896258,
+                          0.4472135954999579,  -0.3779644730092272,
+                          0.3333333333333333,  -0.3015113445777636,
+                          0.2773500981126146,  -0.2581988897471611};
+  double x = x0, sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x = ((1.0 - x) * x) * 3.9;
+    double p = coef[7];
+    for (int j = 6; j >= 0; --j) p = p * x + coef[j];
+    sum += p;
+  }
+  w.expected_fp_bits = {bits_of(sum), bits_of(x)};
+  return w;
+}
+
+std::vector<Workload> fp_suite(const SuiteConfig& config) {
+  return {make_apsi(config),  make_applu(config), make_hydro2d(config),
+          make_wave5(config), make_swim(config),  make_mgrid(config),
+          make_turb3d(config), make_fpppp(config)};
+}
+
+std::vector<Workload> full_suite(const SuiteConfig& config) {
+  auto suite = integer_suite(config);
+  auto fp = fp_suite(config);
+  suite.insert(suite.end(), std::make_move_iterator(fp.begin()),
+               std::make_move_iterator(fp.end()));
+  return suite;
+}
+
+}  // namespace mrisc::workloads

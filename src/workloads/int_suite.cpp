@@ -1,0 +1,584 @@
+// Integer workload kernels. Each mirrors the dominant loop of its SPEC95
+// namesake; the C++ reference model below each builder computes the exact
+// OUT values the assembly must produce (same 32-bit wrap-around arithmetic).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "workloads/workload.h"
+
+namespace mrisc::workloads {
+
+isa::Program Workload::assembled() const {
+  return isa::assemble(source, name);
+}
+
+namespace {
+
+/// The in-assembly data generator shared by all kernels:
+/// x = x * 1103515245 + 12345 (mod 2^32).
+struct Lcg {
+  std::uint32_t x;
+  std::uint32_t next() {
+    x = x * 1103515245u + 12345u;
+    return x;
+  }
+};
+
+std::string s(int v) { return std::to_string(v); }
+
+}  // namespace
+
+// --- m88ksim: instruction-decode loop -----------------------------------
+// Fetches pseudo-random "instruction" words, cracks opcode/register/imm
+// fields with shifts and masks, dispatches on opcode class and updates an
+// in-memory register file. Field extraction yields the small positive and
+// small negative (sign-extended immediate) operands typical of a CPU
+// simulator's decoder.
+Workload make_m88ksim(const SuiteConfig& config) {
+  const int n = config.scaled(9000);
+  Workload w;
+  w.name = "m88ksim";
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x2B4C1))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "la r3, regfile\n"
+      "li r4, 0\n"            // alu count
+      "li r5, 0\n"            // mem count
+      "li r6, 0\n"            // branch count
+      "li r10, " + s(n) + "\n"
+      "loop:\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r7, r1, 26\n"   // opcode
+      "  srli r8, r1, 21\n"
+      "  andi r8, r8, 31\n"   // rs
+      "  slli r9, r1, 16\n"
+      "  srai r9, r9, 16\n"   // imm16, sign-extended
+      "  slli r11, r8, 2\n"
+      "  add r11, r3, r11\n"
+      "  lw r12, 0(r11)\n"
+      "  slti r13, r7, 24\n"
+      "  beq r13, r0, notalu\n"
+      "  add r12, r12, r9\n"
+      "  sw r12, 0(r11)\n"
+      "  addi r4, r4, 1\n"
+      "  j next\n"
+      "notalu:\n"
+      "  slti r13, r7, 48\n"
+      "  beq r13, r0, isbr\n"
+      "  xor r12, r12, r9\n"
+      "  sw r12, 0(r11)\n"
+      "  addi r5, r5, 1\n"
+      "  j next\n"
+      "isbr:\n"
+      "  addi r6, r6, 1\n"
+      "next:\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, loop\n"
+      "li r14, 0\n"
+      "li r15, 0\n"
+      "csum:\n"
+      "  slli r17, r15, 2\n"
+      "  add r17, r3, r17\n"
+      "  lw r18, 0(r17)\n"
+      "  add r14, r14, r18\n"
+      "  addi r15, r15, 1\n"
+      "  slti r13, r15, 32\n"
+      "  bne r13, r0, csum\n"
+      "out r4\nout r5\nout r6\nout r14\nhalt\n"
+      ".data\n"
+      "regfile: .space 128\n";
+
+  // Reference model.
+  Lcg lcg{config.seed(0x2B4C1)};
+  std::uint32_t regfile[32] = {};
+  std::uint32_t alu = 0, mem = 0, br = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t word = lcg.next();
+    const std::uint32_t opc = word >> 26;
+    const std::uint32_t rs = (word >> 21) & 31;
+    const auto imm = static_cast<std::int32_t>(word << 16) >> 16;
+    if (opc < 24) {
+      regfile[rs] += static_cast<std::uint32_t>(imm);
+      ++alu;
+    } else if (opc < 48) {
+      regfile[rs] ^= static_cast<std::uint32_t>(imm);
+      ++mem;
+    } else {
+      ++br;
+    }
+  }
+  std::uint32_t sum = 0;
+  for (const std::uint32_t r : regfile) sum += r;
+  w.expected_ints = {static_cast<std::int32_t>(alu),
+                     static_cast<std::int32_t>(mem),
+                     static_cast<std::int32_t>(br),
+                     static_cast<std::int32_t>(sum)};
+  return w;
+}
+
+// --- ijpeg: 8-point integer DCT butterflies ------------------------------
+// Signed pixel residuals (-128..127) flow through three butterfly stages
+// with fixed-point rotations; subtraction produces the negative operands
+// (sign bit 1) that populate Table 1's mixed cases.
+Workload make_ijpeg(const SuiteConfig& config) {
+  const int blocks = config.scaled(2600);
+  Workload w;
+  w.name = "ijpeg";
+  std::string body =
+      "li r1, " + s(static_cast<int>(config.seed(0x77D1))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "li r4, 0\n"     // acc
+      "li r5, 0\n"     // xor-acc
+      "li r10, " + s(blocks) + "\n"
+      "block:\n";
+  // Draw eight pixel residuals into r11..r18.
+  for (int j = 0; j < 8; ++j) {
+    const std::string v = "r" + s(11 + j);
+    body +=
+        "  mul r1, r1, r2\n"
+        "  addi r1, r1, 12345\n"
+        "  srli r3, r1, 16\n"
+        "  andi r3, r3, 255\n"
+        "  addi " + v + ", r3, -128\n";
+  }
+  body +=
+      // Stage 1: sums/differences of mirrored pairs.
+      "  add r19, r11, r18\n"  // s0
+      "  add r20, r12, r17\n"  // s1
+      "  add r21, r13, r16\n"  // s2
+      "  add r22, r14, r15\n"  // s3
+      "  sub r23, r11, r18\n"  // d0
+      "  sub r24, r12, r17\n"  // d1
+      "  sub r25, r13, r16\n"  // d2
+      "  sub r26, r14, r15\n"  // d3
+      // Stage 2.
+      "  add r27, r19, r22\n"  // t0
+      "  add r28, r20, r21\n"  // t1
+      "  sub r29, r19, r22\n"  // t2
+      "  sub r30, r20, r21\n"  // t3
+      // Stage 3: rotations by 181/256 and 97/256.
+      "  add r6, r27, r28\n"   // u0
+      "  sub r7, r27, r28\n"   // u1
+      "  li r8, 181\n"
+      "  mul r9, r29, r8\n"
+      "  srai r9, r9, 8\n"     // m2
+      "  li r8, 97\n"
+      "  mul r3, r30, r8\n"
+      "  srai r3, r3, 8\n"     // m3
+      "  srai r19, r25, 1\n"
+      "  srai r20, r26, 2\n"
+      "  sub r21, r23, r24\n"
+      "  add r21, r21, r19\n"
+      "  sub r21, r21, r20\n"  // e
+      "  add r4, r4, r6\n"
+      "  add r4, r4, r7\n"
+      "  add r4, r4, r9\n"
+      "  add r4, r4, r3\n"
+      "  add r4, r4, r21\n"
+      "  xor r5, r5, r6\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, block\n"
+      "out r4\nout r5\nhalt\n";
+  w.source = std::move(body);
+
+  Lcg lcg{config.seed(0x77D1)};
+  std::uint32_t acc = 0, xacc = 0;
+  for (int b = 0; b < blocks; ++b) {
+    std::int32_t v[8];
+    for (auto& pixel : v)
+      pixel = static_cast<std::int32_t>((lcg.next() >> 16) & 255u) - 128;
+    const std::int32_t s0 = v[0] + v[7], s1 = v[1] + v[6], s2 = v[2] + v[5],
+                       s3 = v[3] + v[4];
+    const std::int32_t d0 = v[0] - v[7], d1 = v[1] - v[6], d2 = v[2] - v[5],
+                       d3 = v[3] - v[4];
+    const std::int32_t t0 = s0 + s3, t1 = s1 + s2, t2 = s0 - s3, t3 = s1 - s2;
+    const std::int32_t u0 = t0 + t1, u1 = t0 - t1;
+    const std::int32_t m2 = (t2 * 181) >> 8, m3 = (t3 * 97) >> 8;
+    const std::int32_t e = d0 - d1 + (d2 >> 1) - (d3 >> 2);
+    acc += static_cast<std::uint32_t>(u0 + u1 + m2 + m3 + e);
+    xacc ^= static_cast<std::uint32_t>(u0);
+  }
+  w.expected_ints = {static_cast<std::int32_t>(acc),
+                     static_cast<std::int32_t>(xacc)};
+  return w;
+}
+
+// --- li: cons-cell list build and traversal ------------------------------
+// Builds a linked list in an arena (front insertion) and walks it twice;
+// pointer chasing gives the mid-magnitude positive operands (heap
+// addresses) typical of a Lisp interpreter.
+Workload make_li(const SuiteConfig& config) {
+  const int cells = config.scaled(3800);
+  Workload w;
+  w.name = "li";
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x51F3))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "la r3, arena\n"
+      "li r5, 0\n"            // head (null)
+      "li r10, 0\n"           // i
+      "li r11, " + s(cells) + "\n"
+      "build:\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r6, r1, 20\n"
+      "  andi r6, r6, 255\n"  // value
+      "  slli r7, r10, 3\n"
+      "  add r7, r3, r7\n"    // cell
+      "  sw r6, 0(r7)\n"
+      "  sw r5, 4(r7)\n"
+      "  addi r5, r7, 0\n"    // head = cell
+      "  addi r10, r10, 1\n"
+      "  blt r10, r11, build\n"
+      // First traversal: sum and count.
+      "  li r4, 0\n"
+      "  li r6, 0\n"
+      "  addi r7, r5, 0\n"
+      "t1:\n"
+      "  beq r7, r0, t1done\n"
+      "  lw r8, 0(r7)\n"
+      "  add r4, r4, r8\n"
+      "  addi r6, r6, 1\n"
+      "  lw r7, 4(r7)\n"
+      "  j t1\n"
+      "t1done:\n"
+      // Second traversal: position-weighted sum (exercises the multiplier).
+      "  li r9, 0\n"
+      "  li r12, 1\n"
+      "  addi r7, r5, 0\n"
+      "t2:\n"
+      "  beq r7, r0, t2done\n"
+      "  lw r8, 0(r7)\n"
+      "  mul r8, r8, r12\n"
+      "  add r9, r9, r8\n"
+      "  addi r12, r12, 1\n"
+      "  lw r7, 4(r7)\n"
+      "  j t2\n"
+      "t2done:\n"
+      "out r4\nout r6\nout r9\nhalt\n"
+      ".data\n"
+      "arena: .space " + s(cells * 8) + "\n";
+
+  Lcg lcg{config.seed(0x51F3)};
+  std::vector<std::uint32_t> values(static_cast<std::size_t>(cells));
+  for (auto& v : values) v = (lcg.next() >> 20) & 255u;
+  std::uint32_t sum = 0, count = 0, wsum = 0;
+  // Traversal order is reverse insertion order (front insertion).
+  for (int i = cells - 1, pos = 1; i >= 0; --i, ++pos) {
+    sum += values[static_cast<std::size_t>(i)];
+    ++count;
+    wsum += values[static_cast<std::size_t>(i)] * static_cast<std::uint32_t>(pos);
+  }
+  w.expected_ints = {static_cast<std::int32_t>(sum),
+                     static_cast<std::int32_t>(count),
+                     static_cast<std::int32_t>(wsum)};
+  return w;
+}
+
+// --- go: board scan with neighbour counts --------------------------------
+// A 19x19 byte board of {empty, black, white}; repeated sweeps count
+// isolated stones and accumulate neighbour sums - compare/branch heavy with
+// tiny operand magnitudes, like a game-tree evaluator.
+Workload make_go(const SuiteConfig& config) {
+  const int sweeps = config.scaled(11);
+  Workload w;
+  w.name = "go";
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x9A3F))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "la r3, board\n"
+      "li r28, 3\n"
+      // init board[i] = (lcg >> 8) mod 3
+      "li r10, 0\n"
+      "init:\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r6, r1, 8\n"
+      "  rem r6, r6, r28\n"
+      "  add r7, r3, r10\n"
+      "  sb r6, 0(r7)\n"
+      "  addi r10, r10, 1\n"
+      "  slti r13, r10, 361\n"
+      "  bne r13, r0, init\n"
+      "li r4, 0\n"            // isolated count
+      "li r5, 0\n"            // liberty sum
+      "li r26, " + s(sweeps) + "\n"
+      "sweep:\n"
+      "  li r11, 1\n"         // y
+      "yloop:\n"
+      "    li r12, 1\n"       // x
+      "xloop:\n"
+      "      li r14, 19\n"
+      "      mul r15, r11, r14\n"
+      "      add r15, r15, r12\n"  // idx
+      "      add r16, r3, r15\n"
+      "      lbu r17, -1(r16)\n"
+      "      lbu r18, 1(r16)\n"
+      "      lbu r19, -19(r16)\n"
+      "      lbu r20, 19(r16)\n"
+      "      add r21, r17, r18\n"
+      "      add r21, r21, r19\n"
+      "      add r21, r21, r20\n"   // s
+      "      add r5, r5, r21\n"
+      "      lbu r22, 0(r16)\n"
+      "      li r23, 1\n"
+      "      bne r22, r23, notiso\n"
+      "      bne r21, r0, notiso\n"
+      "      addi r4, r4, 1\n"
+      "notiso:\n"
+      "      addi r12, r12, 1\n"
+      "      slti r13, r12, 18\n"
+      "      bne r13, r0, xloop\n"
+      "    addi r11, r11, 1\n"
+      "    slti r13, r11, 18\n"
+      "    bne r13, r0, yloop\n"
+      // Mutate one random interior cell per sweep.
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r6, r1, 10\n"
+      "  li r14, 361\n"
+      "  rem r6, r6, r14\n"
+      "  srli r7, r1, 3\n"
+      "  rem r7, r7, r28\n"
+      "  add r8, r3, r6\n"
+      "  sb r7, 0(r8)\n"
+      "  addi r26, r26, -1\n"
+      "  bne r26, r0, sweep\n"
+      "out r4\nout r5\nhalt\n"
+      ".data\n"
+      "board: .space 400\n";
+
+  Lcg lcg{config.seed(0x9A3F)};
+  std::uint8_t board[400] = {};
+  for (int i = 0; i < 361; ++i)
+    board[i] = static_cast<std::uint8_t>((lcg.next() >> 8) % 3u);
+  std::uint32_t iso = 0, libsum = 0;
+  for (int t = 0; t < sweeps; ++t) {
+    for (int y = 1; y < 18; ++y) {
+      for (int x = 1; x < 18; ++x) {
+        const int idx = y * 19 + x;
+        const std::uint32_t s4 = board[idx - 1] + board[idx + 1] +
+                                 board[idx - 19] + board[idx + 19];
+        libsum += s4;
+        if (board[idx] == 1 && s4 == 0) ++iso;
+      }
+    }
+    const std::uint32_t r = lcg.next();
+    board[(r >> 10) % 361u] = static_cast<std::uint8_t>((r >> 3) % 3u);
+  }
+  w.expected_ints = {static_cast<std::int32_t>(iso),
+                     static_cast<std::int32_t>(libsum)};
+  return w;
+}
+
+// --- compress: LZW-style hashing loop -------------------------------------
+// Streams pseudo-random bytes through a rolling code and a 4096-entry code
+// table, the classic compress95 inner loop: shifts, XOR hashing, table
+// probes - dominated by small positive operands (case 00).
+Workload make_compress(const SuiteConfig& config) {
+  const int n = config.scaled(13000);
+  Workload w;
+  w.name = "compress";
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0x13579B))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "la r3, table\n"
+      "li r4, 0\n"            // matches
+      "li r5, 0\n"            // rolling code
+      "li r10, " + s(n) + "\n"
+      "loop:\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r6, r1, 24\n"   // next byte
+      "  slli r7, r5, 4\n"
+      "  xor r5, r7, r6\n"
+      "  andi r8, r5, 4095\n"
+      "  slli r8, r8, 2\n"
+      "  add r9, r3, r8\n"
+      "  lw r11, 0(r9)\n"
+      "  beq r11, r5, hit\n"
+      "  sw r5, 0(r9)\n"
+      "  j next\n"
+      "hit:\n"
+      "  addi r4, r4, 1\n"
+      "next:\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, loop\n"
+      "out r4\nout r5\nhalt\n"
+      ".data\n"
+      "table: .space 16384\n";
+
+  Lcg lcg{config.seed(0x13579B)};
+  std::uint32_t table[4096] = {};
+  std::uint32_t matches = 0, code = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t byte = lcg.next() >> 24;
+    code = (code << 4) ^ byte;
+    const std::uint32_t idx = code & 4095u;
+    if (table[idx] == code) {
+      ++matches;
+    } else {
+      table[idx] = code;
+    }
+  }
+  w.expected_ints = {static_cast<std::int32_t>(matches),
+                     static_cast<std::int32_t>(code)};
+  return w;
+}
+
+// --- cc1: identifier hashing into a bitset --------------------------------
+// Hashes 8-character synthetic identifiers (h = h*31 + c) into a 512-bit
+// occupancy bitset, the shape of a compiler's symbol-table front end.
+Workload make_cc1(const SuiteConfig& config) {
+  const int idents = config.scaled(1800);
+  Workload w;
+  w.name = "cc1";
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0xC0FFEE))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "la r3, bits\n"
+      "li r4, 0\n"            // collisions
+      "li r5, 0\n"            // inserted
+      "li r6, 0\n"            // hash sum
+      "li r10, " + s(idents) + "\n"
+      "ident:\n"
+      "  li r7, 0\n"          // h
+      "  li r8, 8\n"          // chars left
+      "char:\n"
+      "    mul r1, r1, r2\n"
+      "    addi r1, r1, 12345\n"
+      "    srli r9, r1, 13\n"
+      "    andi r9, r9, 127\n"
+      "    li r11, 31\n"
+      "    mul r7, r7, r11\n"
+      "    add r7, r7, r9\n"
+      "    addi r8, r8, -1\n"
+      "    bne r8, r0, char\n"
+      "  add r6, r6, r7\n"
+      "  andi r12, r7, 511\n"
+      "  srli r13, r12, 5\n"  // word index
+      "  andi r14, r12, 31\n" // bit index
+      "  slli r13, r13, 2\n"
+      "  add r13, r3, r13\n"
+      "  lw r15, 0(r13)\n"
+      "  li r16, 1\n"
+      "  sll r16, r16, r14\n"
+      "  and r17, r15, r16\n"
+      "  beq r17, r0, insert\n"
+      "  addi r4, r4, 1\n"
+      "  j inext\n"
+      "insert:\n"
+      "  or r15, r15, r16\n"
+      "  sw r15, 0(r13)\n"
+      "  addi r5, r5, 1\n"
+      "inext:\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, ident\n"
+      "out r4\nout r5\nout r6\nhalt\n"
+      ".data\n"
+      "bits: .space 64\n";
+
+  Lcg lcg{config.seed(0xC0FFEE)};
+  std::uint32_t bits[16] = {};
+  std::uint32_t collisions = 0, inserted = 0, hsum = 0;
+  for (int i = 0; i < idents; ++i) {
+    std::uint32_t h = 0;
+    for (int j = 0; j < 8; ++j) h = h * 31u + ((lcg.next() >> 13) & 127u);
+    hsum += h;
+    const std::uint32_t b = h & 511u;
+    const std::uint32_t mask = 1u << (b & 31u);
+    if (bits[b >> 5] & mask) {
+      ++collisions;
+    } else {
+      bits[b >> 5] |= mask;
+      ++inserted;
+    }
+  }
+  w.expected_ints = {static_cast<std::int32_t>(collisions),
+                     static_cast<std::int32_t>(inserted),
+                     static_cast<std::int32_t>(hsum)};
+  return w;
+}
+
+// --- perl: open-addressing associative array ------------------------------
+// Knuth multiplicative hashing with linear probing over a 1024-slot table,
+// the shape of perl's hash-based data handling.
+Workload make_perl(const SuiteConfig& config) {
+  const int n = config.scaled(2600);
+  Workload w;
+  w.name = "perl";
+  w.source =
+      "li r1, " + s(static_cast<int>(config.seed(0xFACE5))) + "\n"
+      "li r2, 0x41C64E6D\n"
+      "li r3, 0x9E3779B1\n"   // Knuth's golden-ratio multiplier
+      "la r20, table\n"
+      "li r4, 0\n"            // found
+      "li r5, 0\n"            // stored
+      "li r6, 0\n"            // probes
+      "li r10, " + s(n) + "\n"
+      "op:\n"
+      "  mul r1, r1, r2\n"
+      "  addi r1, r1, 12345\n"
+      "  srli r7, r1, 16\n"
+      "  ori r7, r7, 1\n"     // key, never zero
+      "  mul r8, r7, r3\n"
+      "  srli r8, r8, 20\n"   // 12-bit bucket
+      "probe:\n"
+      "  slli r9, r8, 2\n"
+      "  add r9, r20, r9\n"
+      "  lw r11, 0(r9)\n"
+      "  beq r11, r7, hit\n"
+      "  beq r11, r0, empty\n"
+      "  addi r6, r6, 1\n"
+      "  addi r8, r8, 1\n"
+      "  andi r8, r8, 4095\n"
+      "  j probe\n"
+      "hit:\n"
+      "  addi r4, r4, 1\n"
+      "  j onext\n"
+      "empty:\n"
+      "  sw r7, 0(r9)\n"
+      "  addi r5, r5, 1\n"
+      "onext:\n"
+      "  addi r10, r10, -1\n"
+      "  bne r10, r0, op\n"
+      "out r4\nout r5\nout r6\nhalt\n"
+      ".data\n"
+      "table: .space 16384\n";
+
+  Lcg lcg{config.seed(0xFACE5)};
+  std::uint32_t table[4096] = {};
+  std::uint32_t found = 0, stored = 0, probes = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t key = (lcg.next() >> 16) | 1u;
+    std::uint32_t b = (key * 0x9E3779B1u) >> 20;
+    for (;;) {
+      if (table[b] == key) {
+        ++found;
+        break;
+      }
+      if (table[b] == 0) {
+        table[b] = key;
+        ++stored;
+        break;
+      }
+      ++probes;
+      b = (b + 1) & 4095u;
+    }
+  }
+  w.expected_ints = {static_cast<std::int32_t>(found),
+                     static_cast<std::int32_t>(stored),
+                     static_cast<std::int32_t>(probes)};
+  return w;
+}
+
+std::vector<Workload> integer_suite(const SuiteConfig& config) {
+  return {make_m88ksim(config), make_ijpeg(config), make_li(config),
+          make_go(config),      make_compress(config), make_cc1(config),
+          make_perl(config)};
+}
+
+}  // namespace mrisc::workloads

@@ -1,0 +1,79 @@
+// Synthetic SPEC95-like workloads (see DESIGN.md's substitution table).
+//
+// The paper evaluates on SPEC95: int {m88ksim, ijpeg, li, go, compress, cc1,
+// perl} and fp {apsi, applu, hydro2d, wave5, swim, mgrid, turb3d, fpppp}.
+// Each kernel here mimics the dominant inner loop of its namesake and is
+// built to reproduce the *operand populations* the paper's statistics
+// (Tables 1-3) depend on: small sign-extended integers, pointers, negative
+// intermediates, cast-from-int doubles with trailing-zero mantissas, round
+// constants, and full-precision accumulators.
+//
+// Every workload carries a C++ reference model computing the exact values
+// its OUT/OUTF instructions must produce; tests validate the emulator (and
+// hence all traces) against it bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace mrisc::workloads {
+
+struct Workload {
+  std::string name;       ///< SPEC95 namesake, e.g. "compress"
+  bool floating_point = false;
+  std::string source;     ///< mrisc assembly
+  /// Expected OUT / OUTF values (in emission order, exact bits).
+  std::vector<std::int64_t> expected_ints;
+  std::vector<std::uint64_t> expected_fp_bits;
+
+  [[nodiscard]] isa::Program assembled() const;
+};
+
+/// Iteration-scale knob: 1.0 is the default experiment size (about 10^5
+/// dynamic instructions per kernel); smaller values shrink everything
+/// proportionally for quick runs. `seed_salt` perturbs every kernel's data
+/// generator, producing a different *input* for the same program structure -
+/// used by the cross-input compiler-swapping study (the paper's section 4.4
+/// second compiler disadvantage: profiles are input-dependent).
+struct SuiteConfig {
+  double scale = 1.0;
+  std::uint32_t seed_salt = 0;
+
+  [[nodiscard]] int scaled(int base) const {
+    const int n = static_cast<int>(base * scale);
+    return n < 4 ? 4 : n;
+  }
+  /// Kernel-specific LCG seed derived from the salt.
+  [[nodiscard]] std::uint32_t seed(std::uint32_t base) const {
+    return base ^ (seed_salt * 2654435761u);
+  }
+};
+
+// Integer suite (paper order).
+Workload make_m88ksim(const SuiteConfig& config = {});
+Workload make_ijpeg(const SuiteConfig& config = {});
+Workload make_li(const SuiteConfig& config = {});
+Workload make_go(const SuiteConfig& config = {});
+Workload make_compress(const SuiteConfig& config = {});
+Workload make_cc1(const SuiteConfig& config = {});
+Workload make_perl(const SuiteConfig& config = {});
+
+// Floating point suite (paper order).
+Workload make_apsi(const SuiteConfig& config = {});
+Workload make_applu(const SuiteConfig& config = {});
+Workload make_hydro2d(const SuiteConfig& config = {});
+Workload make_wave5(const SuiteConfig& config = {});
+Workload make_swim(const SuiteConfig& config = {});
+Workload make_mgrid(const SuiteConfig& config = {});
+Workload make_turb3d(const SuiteConfig& config = {});
+Workload make_fpppp(const SuiteConfig& config = {});
+
+/// The full suites, in the paper's order.
+std::vector<Workload> integer_suite(const SuiteConfig& config = {});
+std::vector<Workload> fp_suite(const SuiteConfig& config = {});
+std::vector<Workload> full_suite(const SuiteConfig& config = {});
+
+}  // namespace mrisc::workloads

@@ -1,0 +1,31 @@
+#include "xform/profile.h"
+
+#include "power/energy.h"
+#include "sim/emulator.h"
+#include "steer/info_bit.h"
+#include "util/bitops.h"
+
+namespace mrisc::xform {
+
+std::vector<PcProfile> profile_program(const isa::Program& program,
+                                       std::uint64_t max_steps) {
+  std::vector<PcProfile> profile(program.code.size());
+  sim::Emulator emu(program);
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    const auto rec = emu.step();
+    if (!rec) break;
+    if (!rec->has_op1 || !rec->has_op2) continue;
+    PcProfile& p = profile[rec->pc];
+    const int width = power::domain_bits(rec->fp_operands);
+    p.executions += 1;
+    p.sum_bit1 += steer::info_bit(rec->op1, rec->fp_operands) ? 1.0 : 0.0;
+    p.sum_bit2 += steer::info_bit(rec->op2, rec->fp_operands) ? 1.0 : 0.0;
+    p.sum_frac1 +=
+        static_cast<double>(util::popcount_low(rec->op1, width)) / width;
+    p.sum_frac2 +=
+        static_cast<double>(util::popcount_low(rec->op2, width)) / width;
+  }
+  return profile;
+}
+
+}  // namespace mrisc::xform

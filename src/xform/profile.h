@@ -1,0 +1,39 @@
+// Per-static-instruction operand profiles (section 4.4, "Compiler-based
+// swapping"). A profiling run records, for every program counter, the
+// average information-bit value and the average high-bit fraction of each
+// operand - the "full number of high bits" the paper says a compiler can
+// afford to count, which the 1-bit hardware cannot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace mrisc::xform {
+
+struct PcProfile {
+  std::uint64_t executions = 0;
+  double sum_bit1 = 0.0, sum_bit2 = 0.0;  ///< info-bit frequency sums
+  double sum_frac1 = 0.0, sum_frac2 = 0.0;  ///< high-bit fraction sums
+
+  [[nodiscard]] double p_bit1() const {
+    return executions ? sum_bit1 / executions : 0.0;
+  }
+  [[nodiscard]] double p_bit2() const {
+    return executions ? sum_bit2 / executions : 0.0;
+  }
+  [[nodiscard]] double frac1() const {
+    return executions ? sum_frac1 / executions : 0.0;
+  }
+  [[nodiscard]] double frac2() const {
+    return executions ? sum_frac2 / executions : 0.0;
+  }
+};
+
+/// Functionally execute `program` (up to `max_steps` instructions) and
+/// collect per-PC operand statistics for all two-operand instructions.
+std::vector<PcProfile> profile_program(const isa::Program& program,
+                                       std::uint64_t max_steps = UINT64_MAX);
+
+}  // namespace mrisc::xform

@@ -1,0 +1,104 @@
+#include "xform/swap_pass.h"
+
+#include <sstream>
+#include <utility>
+
+namespace mrisc::xform {
+namespace {
+
+/// A two-register-source instruction whose operand order the compiler can
+/// change: either hardware-commutative or possessing a distinct flip twin.
+/// Both sources must live in the same register file and memory ops are
+/// excluded (their rs2 is a store value, not an FU operand pair).
+bool statically_swappable(const isa::Instruction& inst, bool& needs_flip) {
+  const auto& info = isa::op_info(inst.op);
+  needs_flip = false;
+  if (!info.reads_rs1 || !info.reads_rs2) return false;
+  if (info.is_store || info.is_load) return false;
+  if (info.rs1_is_fp != info.rs2_is_fp) return false;
+  if (info.commutative) return true;
+  if (info.flip != inst.op) {
+    needs_flip = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SwapReport::summary() const {
+  std::ostringstream out;
+  out << "swap pass: " << swapped << " of " << candidates
+      << " swappable instructions reoriented (" << flipped
+      << " via opcode flip)";
+  return out.str();
+}
+
+SwapReport compiler_swap_pass(isa::Program& program,
+                              const std::vector<PcProfile>& profile,
+                              const SwapPassConfig& config) {
+  SwapReport report;
+  for (std::uint32_t pc = 0; pc < program.code.size(); ++pc) {
+    isa::Instruction& inst = program.code[pc];
+    bool needs_flip = false;
+    if (!statically_swappable(inst, needs_flip)) continue;
+    ++report.candidates;
+    if (pc >= profile.size()) continue;
+    const PcProfile& p = profile[pc];
+    if (p.executions < config.min_executions) continue;
+
+    const auto& info = isa::op_info(inst.op);
+    const bool fp_domain = info.rs1_is_fp;
+    const auto cls = info.fu;
+
+    SwapDecision decision;
+    decision.pc = pc;
+
+    if (cls == isa::FuClass::kImult || cls == isa::FuClass::kFpmult) {
+      // Booth rule: fewer average ones in the second operand.
+      if (p.frac2() > p.frac1() + config.frac_margin) {
+        decision.swapped = true;
+        decision.reason = SwapReason::kBoothOnes;
+      }
+    } else {
+      const int expected_case = ((p.p_bit1() > 0.5 ? 1 : 0) << 1) |
+                                (p.p_bit2() > 0.5 ? 1 : 0);
+      const int swap_case =
+          fp_domain ? config.fpau_swap_case : config.ialu_swap_case;
+      if (expected_case == swap_case) {
+        decision.swapped = true;
+        decision.reason = SwapReason::kCaseRule;
+      } else if ((expected_case == 0b00 || expected_case == 0b11) &&
+                 p.frac2() > p.frac1() + config.frac_margin) {
+        // Uniform case: canonical heavy-first orientation. This matches the
+        // hardware rule's swap-to case (10 = heavy operand first), so the
+        // two mechanisms reinforce instead of fighting over port usage.
+        decision.swapped = true;
+        decision.reason = SwapReason::kFracOrder;
+      }
+    }
+
+    if (!decision.swapped) continue;
+    std::swap(inst.rs1, inst.rs2);
+    if (needs_flip) {
+      inst.op = info.flip;
+      decision.opcode_flipped = true;
+      ++report.flipped;
+    }
+    ++report.swapped;
+    report.decisions.push_back(decision);
+  }
+  return report;
+}
+
+isa::Program swapped_copy(const isa::Program& program,
+                          const SwapPassConfig& config, SwapReport* report,
+                          std::uint64_t profile_steps) {
+  isa::Program copy = program;
+  const auto profile = profile_program(program, profile_steps);
+  SwapReport r = compiler_swap_pass(copy, profile, config);
+  if (report) *report = std::move(r);
+  return copy;
+}
+
+}  // namespace mrisc::xform

@@ -1,0 +1,75 @@
+// Profile-guided operand swapping (section 4.4, "Compiler-based swapping").
+//
+// Operates on the assembled binary: for each static instruction whose
+// operands can legally be reordered, the pass decides a fixed orientation
+// from the profile. Three mechanisms, mirroring the paper's discussion:
+//
+//  * commutative ops (add, and, or, xor, nor, mul, fadd, fmul, beq, bne,
+//    fceq): rs1/rs2 exchanged directly;
+//  * comparison ops with a flippable twin (slt <-> sgt, fclt <-> fcgt, ...):
+//    opcode replaced and operands exchanged - the ">" becomes "<=" example;
+//  * immediate forms are never swapped (no encoding for it), the paper's
+//    third compiler disadvantage.
+//
+// Decision rules (our interpretation of the paper's "average number of high
+// bits" criterion; documented in DESIGN.md):
+//  * adder classes: if the profile's expected information-bit case equals
+//    the class's hardware swap-from case, orient statically into the mirror
+//    case; for uniform cases (00/11) order the operands by ascending average
+//    high-bit fraction (the "1 + 511" vs "511 + 1" refinement);
+//  * multiplier classes: put the operand with the smaller average popcount
+//    second (Booth rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xform/profile.h"
+
+namespace mrisc::xform {
+
+struct SwapPassConfig {
+  int ialu_swap_case = 0b01;  ///< expected case funneled into its mirror
+  int fpau_swap_case = 0b10;
+  /// Minimum |frac1 - frac2| before a uniform-case reorder is applied.
+  double frac_margin = 0.02;
+  /// Minimum executions before a static decision is trusted.
+  std::uint64_t min_executions = 8;
+};
+
+enum class SwapReason : std::uint8_t {
+  kNotSwapped,
+  kCaseRule,    ///< expected case matched the swap-from case
+  kFracOrder,   ///< uniform case, reordered by high-bit fraction
+  kBoothOnes,   ///< multiplier: fewer ones second
+};
+
+struct SwapDecision {
+  std::uint32_t pc = 0;
+  bool swapped = false;
+  bool opcode_flipped = false;
+  SwapReason reason = SwapReason::kNotSwapped;
+};
+
+struct SwapReport {
+  std::uint64_t candidates = 0;        ///< statically swappable instructions
+  std::uint64_t swapped = 0;
+  std::uint64_t flipped = 0;           ///< of which via opcode twin
+  std::vector<SwapDecision> decisions; ///< one per swapped instruction
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Rewrite `program` in place according to `profile`. Returns the report.
+SwapReport compiler_swap_pass(isa::Program& program,
+                              const std::vector<PcProfile>& profile,
+                              const SwapPassConfig& config = {});
+
+/// Convenience: profile then rewrite a copy, returning the new program.
+isa::Program swapped_copy(const isa::Program& program,
+                          const SwapPassConfig& config = {},
+                          SwapReport* report = nullptr,
+                          std::uint64_t profile_steps = UINT64_MAX);
+
+}  // namespace mrisc::xform

@@ -1,0 +1,14 @@
+# Every shipped INI preset must drive mrisc-sim successfully.
+file(WRITE ${WORK}/cfg_smoke.s "li r1, 5\nadd r2, r1, r1\nout r2\nhalt\n")
+file(GLOB presets ${CONFIGS}/*.ini)
+list(LENGTH presets count)
+if(count LESS 3)
+  message(FATAL_ERROR "expected shipped presets, found ${count}")
+endif()
+foreach(preset ${presets})
+  execute_process(COMMAND ${SIM} ${WORK}/cfg_smoke.s --config ${preset}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "preset ${preset} failed (${code}): ${out} ${err}")
+  endif()
+endforeach()

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace mrisc::isa {
+namespace {
+
+TEST(Assembler, BasicRType) {
+  const Program p = assemble("add r1, r2, r3\nhalt\n");
+  ASSERT_EQ(p.code.size(), 2u);
+  EXPECT_EQ(p.code[0], (Instruction{Opcode::kAdd, 1, 2, 3, 0}));
+  EXPECT_EQ(p.code[1].op, Opcode::kHalt);
+}
+
+TEST(Assembler, ImmediateFormsAndRanges) {
+  const Program p = assemble(
+      "addi r1, r0, -32768\n"
+      "ori r2, r1, 0xFFFF\n"
+      "lui r3, 65535\n"
+      "halt\n");
+  EXPECT_EQ(p.code[0].imm, -32768);
+  EXPECT_EQ(p.code[1].imm, 0xFFFF);
+  EXPECT_EQ(p.code[2].imm, 0xFFFF);
+  EXPECT_THROW(assemble("addi r1, r0, 32768\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("ori r1, r0, -1\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("ori r1, r0, 65536\nhalt\n"), AsmError);
+}
+
+TEST(Assembler, LoadStoreDisplacementSyntax) {
+  const Program p = assemble(
+      "lw r1, 8(r2)\n"
+      "sw r3, -4(r4)\n"
+      "lfd f1, 16(r5)\n"
+      "sfd f2, 0(r6)\n"
+      "halt\n");
+  EXPECT_EQ(p.code[0], (Instruction{Opcode::kLw, 1, 2, 0, 8}));
+  EXPECT_EQ(p.code[1], (Instruction{Opcode::kSw, 0, 4, 3, -4}));
+  EXPECT_EQ(p.code[2], (Instruction{Opcode::kLfd, 1, 5, 0, 16}));
+  EXPECT_EQ(p.code[3], (Instruction{Opcode::kSfd, 0, 6, 2, 0}));
+}
+
+TEST(Assembler, BranchesResolveLabelsForwardAndBackward) {
+  const Program p = assemble(
+      "top: addi r1, r1, 1\n"
+      "beq r1, r2, done\n"
+      "j top\n"
+      "done: halt\n");
+  // beq at index 1, target 3 -> offset 3 - 2 = 1.
+  EXPECT_EQ(p.code[1].imm, 1);
+  // j at index 2, absolute target 0.
+  EXPECT_EQ(p.code[2].imm, 0);
+  EXPECT_EQ(p.text_symbols.at("top"), 0u);
+  EXPECT_EQ(p.text_symbols.at("done"), 3u);
+}
+
+TEST(Assembler, PseudoLiSmallAndLarge) {
+  const Program p = assemble(
+      "li r1, 100\n"
+      "li r2, 0x12345678\n"
+      "halt\n");
+  ASSERT_EQ(p.code.size(), 4u);
+  EXPECT_EQ(p.code[0], (Instruction{Opcode::kAddi, 1, 0, 0, 100}));
+  EXPECT_EQ(p.code[1], (Instruction{Opcode::kLui, 2, 0, 0, 0x1234}));
+  EXPECT_EQ(p.code[2], (Instruction{Opcode::kOri, 2, 2, 0, 0x5678}));
+}
+
+TEST(Assembler, PseudoLaAndDataSegment) {
+  const Program p = assemble(
+      ".data\n"
+      "buf: .space 16\n"
+      "vals: .word 1, -2, 0x30\n"
+      "pi: .double 3.5\n"
+      ".text\n"
+      "la r1, vals\n"
+      "lw r2, 4(r1)\n"
+      "halt\n");
+  EXPECT_EQ(p.data_symbols.at("buf"), kDataBase);
+  EXPECT_EQ(p.data_symbols.at("vals"), kDataBase + 16);
+  EXPECT_EQ(p.data_symbols.at("pi"), kDataBase + 28);
+  ASSERT_EQ(p.data.size(), 36u);
+  // -2 little-endian at offset 20.
+  EXPECT_EQ(p.data[20], 0xFE);
+  EXPECT_EQ(p.data[21], 0xFF);
+  // la expands to lui+ori of the address.
+  EXPECT_EQ(p.code[0].op, Opcode::kLui);
+  EXPECT_EQ(p.code[1].op, Opcode::kOri);
+  EXPECT_EQ((static_cast<std::uint32_t>(p.code[0].imm) << 16) |
+                static_cast<std::uint32_t>(p.code[1].imm),
+            kDataBase + 16);
+}
+
+TEST(Assembler, PseudoBranchSwaps) {
+  const Program p = assemble(
+      "loop: bgt r1, r2, loop\n"
+      "ble r3, r4, loop\n"
+      "halt\n");
+  // bgt a,b == blt b,a.
+  EXPECT_EQ(p.code[0].op, Opcode::kBlt);
+  EXPECT_EQ(p.code[0].rs1, 2);
+  EXPECT_EQ(p.code[0].rs2, 1);
+  EXPECT_EQ(p.code[1].op, Opcode::kBge);
+  EXPECT_EQ(p.code[1].rs1, 4);
+  EXPECT_EQ(p.code[1].rs2, 3);
+}
+
+TEST(Assembler, AlignDirective) {
+  const Program p = assemble(
+      ".data\n"
+      "b: .space 3\n"
+      ".align 8\n"
+      "d: .double 1.0\n"
+      ".text\nhalt\n");
+  EXPECT_EQ(p.data_symbols.at("d"), kDataBase + 8);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(
+      "# full line comment\n"
+      "\n"
+      "add r1, r1, r2  ; trailing\n"
+      "halt # done\n");
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1\nhalt\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Assembler, RejectsFpIntRegisterMismatch) {
+  EXPECT_THROW(assemble("fadd f1, r2, f3\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("add r1, f2, r3\nhalt\n"), AsmError);
+}
+
+TEST(Assembler, RejectsDuplicateLabels) {
+  EXPECT_THROW(assemble("x: nop\nx: halt\n"), AsmError);
+}
+
+TEST(Assembler, RejectsUnknownLabel) {
+  EXPECT_THROW(assemble("j nowhere\nhalt\n"), AsmError);
+  EXPECT_THROW(assemble("la r1, nothing\nhalt\n"), AsmError);
+}
+
+TEST(Assembler, EncodeAllRoundTrips) {
+  const Program p = assemble(
+      "li r1, 0x7FFFABCD\n"
+      "add r2, r1, r1\n"
+      "sw r2, 0(r1)\n"
+      "beq r1, r2, 0\n"
+      "halt\n");
+  const auto words = p.encode_all();
+  ASSERT_EQ(words.size(), p.code.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const auto back = decode(words[i]);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p.code[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mrisc::isa

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace mrisc::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  DirectMappedCache cache({.size_bytes = 1024, .line_bytes = 32,
+                           .hit_latency = 1, .miss_penalty = 10});
+  EXPECT_EQ(cache.access(0), 11);
+  EXPECT_EQ(cache.access(4), 1);   // same line
+  EXPECT_EQ(cache.access(31), 1);  // same line
+  EXPECT_EQ(cache.access(32), 11);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, ConflictEviction) {
+  DirectMappedCache cache({.size_bytes = 1024, .line_bytes = 32,
+                           .hit_latency = 1, .miss_penalty = 10});
+  cache.access(0);
+  EXPECT_EQ(cache.access(1024), 11);  // same index, different tag
+  EXPECT_EQ(cache.access(0), 11);     // evicted
+}
+
+TEST(Cache, SequentialSweepHitsWithinLines) {
+  DirectMappedCache cache({.size_bytes = 4096, .line_bytes = 64,
+                           .hit_latency = 1, .miss_penalty = 20});
+  for (std::uint32_t a = 0; a < 4096; a += 4) cache.access(a);
+  EXPECT_EQ(cache.misses(), 64u);
+  EXPECT_EQ(cache.hits(), 1024u - 64u);
+}
+
+TEST(Cache, ResetClearsState) {
+  DirectMappedCache cache({});
+  cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_GT(cache.access(0), 1);  // cold again
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(DirectMappedCache({.size_bytes = 100, .line_bytes = 24}),
+               std::invalid_argument);
+  EXPECT_THROW(DirectMappedCache({.size_bytes = 100, .line_bytes = 32}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrisc::sim

@@ -1,0 +1,177 @@
+// Experiment-driver tests: scheme x swap-mode matrix runs, output
+// verification, and the paper's qualitative ordering on a reduced suite.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace mrisc::driver {
+namespace {
+
+workloads::SuiteConfig quick() { return workloads::SuiteConfig{0.15}; }
+
+TEST(Driver, RunsOneWorkloadAndAccounts) {
+  const auto w = workloads::make_compress(quick());
+  ExperimentConfig config;
+  config.scheme = Scheme::kOriginal;
+  const RunResult result = run_workload(w, config);
+  EXPECT_GT(result.ialu.ops, 1000u);
+  EXPECT_GT(result.ialu.switched_bits, 0u);
+  EXPECT_GT(result.pipeline.committed, 10'000u);
+  EXPECT_GT(result.pipeline.ipc(), 0.5);
+}
+
+TEST(Driver, VerifiesOutputsAgainstReference) {
+  auto w = workloads::make_compress(quick());
+  w.expected_ints.back() += 1;  // corrupt the reference
+  ExperimentConfig config;
+  EXPECT_THROW(run_workload(w, config), std::logic_error);
+}
+
+TEST(Driver, CompilerSwapPreservesOutputs) {
+  const auto w = workloads::make_ijpeg(quick());
+  ExperimentConfig config;
+  config.swap = SwapMode::kHardwareCompiler;
+  EXPECT_NO_THROW(run_workload(w, config));
+}
+
+TEST(Driver, AllSchemesRunOnIntAndFpWorkloads) {
+  const auto wi = workloads::make_m88ksim(quick());
+  const auto wf = workloads::make_mgrid(quick());
+  for (const Scheme scheme : kAllSchemes) {
+    for (const SwapMode swap :
+         {SwapMode::kNone, SwapMode::kHardware, SwapMode::kHardwareCompiler}) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      config.swap = swap;
+      EXPECT_NO_THROW(run_workload(wi, config))
+          << to_string(scheme) << " / " << to_string(swap);
+      EXPECT_NO_THROW(run_workload(wf, config))
+          << to_string(scheme) << " / " << to_string(swap);
+    }
+  }
+}
+
+TEST(Driver, SteeringReducesIaluSwitching) {
+  // The central claim: any informed policy beats Original on the suite.
+  const std::vector<workloads::Workload> suite = {
+      workloads::make_compress(quick()), workloads::make_ijpeg(quick()),
+      workloads::make_m88ksim(quick())};
+
+  ExperimentConfig base;
+  base.scheme = Scheme::kOriginal;
+  const RunResult original = run_suite(suite, base);
+
+  for (const Scheme scheme :
+       {Scheme::kFullHam, Scheme::kOneBitHam, Scheme::kLut4}) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    const RunResult result = run_suite(suite, config);
+    EXPECT_GT(reduction_pct(original, result, isa::FuClass::kIalu), 0.0)
+        << to_string(scheme);
+  }
+}
+
+TEST(Driver, FullHamDominatesEveryScheme) {
+  const std::vector<workloads::Workload> suite = {
+      workloads::make_compress(quick()), workloads::make_cc1(quick())};
+  ExperimentConfig base;
+  base.scheme = Scheme::kOriginal;
+  const RunResult original = run_suite(suite, base);
+
+  double best = -1e9;
+  ExperimentConfig full;
+  full.scheme = Scheme::kFullHam;
+  const double full_red =
+      reduction_pct(original, run_suite(suite, full), isa::FuClass::kIalu);
+  for (const Scheme scheme : {Scheme::kOneBitHam, Scheme::kLut8, Scheme::kLut4,
+                              Scheme::kLut2, Scheme::kOriginal}) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    best = std::max(best, reduction_pct(original, run_suite(suite, config),
+                                        isa::FuClass::kIalu));
+  }
+  EXPECT_GE(full_red, best - 1e-9);
+}
+
+TEST(Driver, HardwareSwapHelpsOriginalToo) {
+  // Figure 4: the Original column's gain is not zero once swapping exists.
+  const std::vector<workloads::Workload> suite = {
+      workloads::make_ijpeg(quick())};
+  ExperimentConfig base;
+  base.scheme = Scheme::kOriginal;
+  const RunResult original = run_suite(suite, base);
+  ExperimentConfig swapped = base;
+  swapped.swap = SwapMode::kHardware;
+  const RunResult with_swap = run_suite(suite, swapped);
+  EXPECT_GE(reduction_pct(original, with_swap, isa::FuClass::kIalu), 0.0);
+}
+
+TEST(Driver, MultSwapReducesBoothTerm) {
+  // The multiplier experiment (section 4.4): swapping cannot increase the
+  // Booth adds, and on mul-heavy kernels it should reduce them.
+  const auto w = workloads::make_li(quick());  // position-weighted mul loop
+  ExperimentConfig off;
+  const RunResult base = run_workload(w, off);
+  ExperimentConfig on;
+  on.mult_rule = steer::MultSwapSteering::Rule::kPopcount;
+  const RunResult swapped = run_workload(w, on);
+  EXPECT_LE(swapped.imult.booth_adds, base.imult.booth_adds);
+}
+
+TEST(Driver, CollectorsReceiveIssueTraffic) {
+  const auto w = workloads::make_compress(quick());
+  ExperimentConfig config;
+  stats::BitPatternCollector patterns;
+  stats::OccupancyAggregator occupancy;
+  run_workload(w, config, &patterns, &occupancy);
+  EXPECT_GT(patterns.total(isa::FuClass::kIalu), 1000u);
+  double sum = 0;
+  for (int k = 1; k <= 4; ++k) sum += occupancy.freq(isa::FuClass::kIalu, k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Driver, CompilerOnlySwapModeRunsAndVerifies) {
+  const auto w = workloads::make_ijpeg(quick());
+  ExperimentConfig config;
+  config.scheme = Scheme::kOriginal;
+  config.swap = SwapMode::kCompilerOnly;
+  // verify_outputs is on: the rewritten binary must still match the
+  // reference model.
+  EXPECT_NO_THROW(run_workload(w, config));
+}
+
+TEST(Driver, ExtensionSchemesRunCleanly) {
+  const auto w = workloads::make_compress(quick());
+  for (const Scheme scheme : {Scheme::kPcHash, Scheme::kRoundRobin}) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.swap = SwapMode::kHardware;
+    EXPECT_NO_THROW(run_workload(w, config)) << to_string(scheme);
+  }
+}
+
+TEST(Driver, SteeringNeverChangesTiming) {
+  // The schemes may only change module choice, never cycles.
+  const auto w = workloads::make_cc1(quick());
+  std::uint64_t cycles = 0;
+  for (const Scheme scheme :
+       {Scheme::kOriginal, Scheme::kLut4, Scheme::kFullHam, Scheme::kPcHash,
+        Scheme::kRoundRobin}) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    const auto result = run_workload(w, config);
+    if (cycles == 0) cycles = result.pipeline.cycles;
+    EXPECT_EQ(result.pipeline.cycles, cycles) << to_string(scheme);
+  }
+}
+
+TEST(Driver, ReductionPctIsZeroForIdenticalRuns) {
+  const auto w = workloads::make_perl(quick());
+  ExperimentConfig config;
+  const RunResult a = run_workload(w, config);
+  const RunResult b = run_workload(w, config);
+  EXPECT_DOUBLE_EQ(reduction_pct(a, b, isa::FuClass::kIalu), 0.0);
+}
+
+}  // namespace
+}  // namespace mrisc::driver

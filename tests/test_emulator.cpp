@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+
+namespace mrisc::sim {
+namespace {
+
+using isa::assemble;
+
+/// Assemble, run to halt, return the emulator for inspection.
+Emulator run_to_halt(const std::string& src, std::uint64_t cap = 1'000'000) {
+  Emulator emu(assemble(src));
+  emu.run(cap);
+  EXPECT_TRUE(emu.halted()) << "program did not halt";
+  return emu;
+}
+
+TEST(Emulator, ArithmeticBasics) {
+  const auto emu = run_to_halt(
+      "li r1, 7\n"
+      "li r2, -3\n"
+      "add r3, r1, r2\n"   // 4
+      "sub r4, r1, r2\n"   // 10
+      "mul r5, r1, r2\n"   // -21
+      "div r6, r4, r1\n"   // 1
+      "rem r7, r4, r1\n"   // 3
+      "halt\n");
+  EXPECT_EQ(emu.reg(3), 4u);
+  EXPECT_EQ(emu.reg(4), 10u);
+  EXPECT_EQ(static_cast<std::int32_t>(emu.reg(5)), -21);
+  EXPECT_EQ(emu.reg(6), 1u);
+  EXPECT_EQ(emu.reg(7), 3u);
+}
+
+TEST(Emulator, LogicAndShifts) {
+  const auto emu = run_to_halt(
+      "li r1, 0x0F0F\n"
+      "li r2, 0x00FF\n"
+      "and r3, r1, r2\n"
+      "or r4, r1, r2\n"
+      "xor r5, r1, r2\n"
+      "nor r6, r1, r2\n"
+      "slli r7, r1, 4\n"
+      "li r8, -16\n"
+      "srai r9, r8, 2\n"
+      "srli r10, r8, 28\n"
+      "halt\n");
+  EXPECT_EQ(emu.reg(3), 0x000Fu);
+  EXPECT_EQ(emu.reg(4), 0x0FFFu);
+  EXPECT_EQ(emu.reg(5), 0x0FF0u);
+  EXPECT_EQ(emu.reg(6), ~0x0FFFu);
+  EXPECT_EQ(emu.reg(7), 0xF0F0u);
+  EXPECT_EQ(static_cast<std::int32_t>(emu.reg(9)), -4);
+  EXPECT_EQ(emu.reg(10), 0xFu);
+}
+
+TEST(Emulator, CompareFamilyIncludingFlips) {
+  const auto emu = run_to_halt(
+      "li r1, -5\n"
+      "li r2, 3\n"
+      "slt r3, r1, r2\n"   // 1
+      "sgt r4, r1, r2\n"   // 0
+      "sltu r5, r1, r2\n"  // -5 unsigned is huge: 0
+      "sgtu r6, r1, r2\n"  // 1
+      "slti r7, r1, 0\n"   // 1
+      "halt\n");
+  EXPECT_EQ(emu.reg(3), 1u);
+  EXPECT_EQ(emu.reg(4), 0u);
+  EXPECT_EQ(emu.reg(5), 0u);
+  EXPECT_EQ(emu.reg(6), 1u);
+  EXPECT_EQ(emu.reg(7), 1u);
+}
+
+TEST(Emulator, SgtIsSltWithSwappedOperands) {
+  // The compiler-flip identity the swap pass relies on.
+  const auto emu = run_to_halt(
+      "li r1, 42\n"
+      "li r2, 17\n"
+      "sgt r3, r1, r2\n"
+      "slt r4, r2, r1\n"
+      "halt\n");
+  EXPECT_EQ(emu.reg(3), emu.reg(4));
+  EXPECT_EQ(emu.reg(3), 1u);
+}
+
+TEST(Emulator, DivisionEdgeCasesAreDefined) {
+  const auto emu = run_to_halt(
+      "li r1, 5\n"
+      "li r2, 0\n"
+      "div r3, r1, r2\n"   // defined: 0
+      "rem r4, r1, r2\n"   // defined: dividend
+      "li r5, 1\n"
+      "slli r5, r5, 31\n"  // INT_MIN
+      "li r6, -1\n"
+      "div r7, r5, r6\n"   // defined: 0
+      "halt\n");
+  EXPECT_EQ(emu.reg(3), 0u);
+  EXPECT_EQ(emu.reg(4), 5u);
+  EXPECT_EQ(emu.reg(7), 0u);
+}
+
+TEST(Emulator, MemoryWordAndByte) {
+  const auto emu = run_to_halt(
+      ".data\n"
+      "buf: .space 64\n"
+      ".text\n"
+      "la r1, buf\n"
+      "li r2, 0x12345678\n"
+      "sw r2, 0(r1)\n"
+      "lw r3, 0(r1)\n"
+      "lb r4, 3(r1)\n"    // 0x12 sign-extended
+      "lbu r5, 3(r1)\n"
+      "li r6, -1\n"
+      "sb r6, 8(r1)\n"
+      "lb r7, 8(r1)\n"    // -1
+      "lbu r8, 8(r1)\n"   // 255
+      "halt\n");
+  EXPECT_EQ(emu.reg(3), 0x12345678u);
+  EXPECT_EQ(emu.reg(4), 0x12u);
+  EXPECT_EQ(emu.reg(5), 0x12u);
+  EXPECT_EQ(static_cast<std::int32_t>(emu.reg(7)), -1);
+  EXPECT_EQ(emu.reg(8), 255u);
+}
+
+TEST(Emulator, FloatingPointArithmetic) {
+  const auto emu = run_to_halt(
+      ".data\n"
+      "a: .double 1.5\n"
+      "b: .double 2.25\n"
+      ".text\n"
+      "la r1, a\n"
+      "lfd f1, 0(r1)\n"
+      "lfd f2, 8(r1)\n"
+      "fadd f3, f1, f2\n"
+      "fsub f4, f1, f2\n"
+      "fmul f5, f1, f2\n"
+      "fdiv f6, f2, f1\n"
+      "fneg f7, f1\n"
+      "fabs f8, f7\n"
+      "fsqrt f9, f2\n"
+      "halt\n");
+  EXPECT_DOUBLE_EQ(emu.freg(3), 3.75);
+  EXPECT_DOUBLE_EQ(emu.freg(4), -0.75);
+  EXPECT_DOUBLE_EQ(emu.freg(5), 3.375);
+  EXPECT_DOUBLE_EQ(emu.freg(6), 1.5);
+  EXPECT_DOUBLE_EQ(emu.freg(7), -1.5);
+  EXPECT_DOUBLE_EQ(emu.freg(8), 1.5);
+  EXPECT_DOUBLE_EQ(emu.freg(9), 1.5);
+}
+
+TEST(Emulator, ConversionsAndFpCompares) {
+  const auto emu = run_to_halt(
+      "li r1, -7\n"
+      "cvtif f1, r1\n"        // -7.0
+      ".data\nc: .double 2.9\n.text\n"
+      "la r2, c\n"
+      "lfd f2, 0(r2)\n"
+      "cvtfi r3, f2\n"        // trunc 2.9 = 2
+      "fclt r4, f1, f2\n"     // 1
+      "fcgt r5, f1, f2\n"     // 0
+      "fceq r6, f2, f2\n"     // 1
+      "fcge r7, f2, f1\n"     // 1
+      "fcle r8, f2, f1\n"     // 0
+      "halt\n");
+  EXPECT_DOUBLE_EQ(emu.freg(1), -7.0);
+  EXPECT_EQ(static_cast<std::int32_t>(emu.reg(3)), 2);
+  EXPECT_EQ(emu.reg(4), 1u);
+  EXPECT_EQ(emu.reg(5), 0u);
+  EXPECT_EQ(emu.reg(6), 1u);
+  EXPECT_EQ(emu.reg(7), 1u);
+  EXPECT_EQ(emu.reg(8), 0u);
+}
+
+TEST(Emulator, ControlFlowLoopAndJal) {
+  const auto emu = run_to_halt(
+      "li r1, 0\n"        // sum
+      "li r2, 1\n"        // i
+      "li r3, 10\n"
+      "loop: add r1, r1, r2\n"
+      "addi r2, r2, 1\n"
+      "ble r2, r3, loop\n"
+      "jal sub\n"
+      "out r1\n"
+      "halt\n"
+      "sub: addi r1, r1, 100\n"
+      "jr r31\n");
+  // 1+..+10 = 55, +100 = 155.
+  ASSERT_EQ(emu.output().size(), 1u);
+  EXPECT_EQ(emu.output()[0].as_int(), 155);
+}
+
+TEST(Emulator, OutputChannelTypes) {
+  const auto emu = run_to_halt(
+      "li r1, -42\n"
+      "out r1\n"
+      "cvtif f1, r1\n"
+      "outf f1\n"
+      "halt\n");
+  ASSERT_EQ(emu.output().size(), 2u);
+  EXPECT_FALSE(emu.output()[0].is_fp);
+  EXPECT_EQ(emu.output()[0].as_int(), -42);
+  EXPECT_TRUE(emu.output()[1].is_fp);
+  EXPECT_DOUBLE_EQ(emu.output()[1].as_double(), -42.0);
+}
+
+TEST(Emulator, R0IsHardwiredZero) {
+  const auto emu = run_to_halt(
+      "li r1, 5\n"
+      "add r0, r1, r1\n"
+      "add r2, r0, r0\n"
+      "halt\n");
+  EXPECT_EQ(emu.reg(0), 0u);
+  EXPECT_EQ(emu.reg(2), 0u);
+}
+
+TEST(Emulator, TrapsOnBadAccess) {
+  Emulator unaligned(assemble("li r1, 2\nlw r2, 1(r1)\nhalt\n"));
+  EXPECT_THROW(unaligned.run(10), EmuError);
+  Emulator oob(assemble("li r1, 0x7FFFFFF0\nlw r2, 0(r1)\nhalt\n"));
+  EXPECT_THROW(oob.run(10), EmuError);
+}
+
+TEST(Emulator, TraceRecordsIaluOperands) {
+  Emulator emu(assemble(
+      "li r1, 20\n"
+      "li r2, -20\n"
+      "add r3, r1, r2\n"
+      "halt\n"));
+  emu.step();  // li
+  emu.step();  // li
+  const auto rec = emu.step();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->fu, isa::FuClass::kIalu);
+  EXPECT_TRUE(rec->commutative);
+  EXPECT_EQ(rec->op1, 20u);
+  EXPECT_EQ(rec->op2, 0xFFFFFFECu);  // -20, the paper's example value
+  EXPECT_FALSE(rec->fp_operands);
+  EXPECT_TRUE(rec->has_dest);
+  EXPECT_EQ(rec->dest_reg, 3);
+}
+
+TEST(Emulator, TraceRecordsImmediateOnSecondPort) {
+  Emulator emu(assemble("addi r1, r0, -5\nhalt\n"));
+  const auto rec = emu.step();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->has_op2);
+  EXPECT_EQ(rec->op2, 0xFFFFFFFBu);
+  EXPECT_FALSE(rec->commutative);
+}
+
+TEST(Emulator, TraceRecordsMemoryAndBranch) {
+  Emulator emu(assemble(
+      ".data\nw: .word 99\n.text\n"
+      "la r1, w\n"
+      "lw r2, 0(r1)\n"
+      "beq r2, r2, 4\n"
+      "nop\n"
+      "halt\n"));
+  emu.step();
+  emu.step();  // la = lui+ori
+  const auto load = emu.step();
+  ASSERT_TRUE(load.has_value());
+  EXPECT_TRUE(load->is_load);
+  EXPECT_EQ(load->fu, isa::FuClass::kMem);
+  EXPECT_EQ(load->mem_addr, isa::kDataBase);
+  const auto br = emu.step();
+  ASSERT_TRUE(br.has_value());
+  EXPECT_TRUE(br->is_branch);
+  EXPECT_TRUE(br->branch_taken);
+  EXPECT_EQ(br->fu, isa::FuClass::kIalu);
+  EXPECT_TRUE(br->commutative);  // beq
+}
+
+TEST(Emulator, FpTraceUsesRawDoubleBits) {
+  Emulator emu(assemble(
+      ".data\nx: .double 7.0\n.text\n"
+      "la r1, x\n"
+      "lfd f1, 0(r1)\n"
+      "fadd f2, f1, f1\n"
+      "halt\n"));
+  emu.step();
+  emu.step();
+  emu.step();  // lfd
+  const auto rec = emu.step();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->fu, isa::FuClass::kFpau);
+  EXPECT_TRUE(rec->fp_operands);
+  double d;
+  static_assert(sizeof d == sizeof rec->op1);
+  std::memcpy(&d, &rec->op1, sizeof d);
+  EXPECT_DOUBLE_EQ(d, 7.0);
+}
+
+TEST(Emulator, RunsLongLoopsToCompletion) {
+  const auto emu = run_to_halt(
+      "li r1, 0\n"
+      "li r2, 100000\n"
+      "loop: addi r1, r1, 3\n"
+      "addi r2, r2, -1\n"
+      "bne r2, r0, loop\n"
+      "out r1\n"
+      "halt\n",
+      1'000'000);
+  EXPECT_EQ(emu.output()[0].as_int(), 300000);
+  // li r2, 100000 expands to lui+ori, so setup is 3 instructions.
+  EXPECT_EQ(emu.retired(), 3u + 3u * 100000u + 2u);
+}
+
+}  // namespace
+}  // namespace mrisc::sim

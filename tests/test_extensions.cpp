@@ -1,0 +1,202 @@
+// Tests for the extension features: in-order (VLIW-like) issue, partially
+// guarded integer units, and the generalized FP information bit.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "isa/assembler.h"
+#include "power/energy.h"
+#include "sim/emulator.h"
+#include "sim/ooo.h"
+#include "steer/info_bit.h"
+#include "steer/policies.h"
+
+namespace mrisc {
+namespace {
+
+// --- in-order issue ------------------------------------------------------
+
+class IssueCycleRecorder final : public sim::IssueListener {
+ public:
+  std::vector<std::pair<std::uint64_t, isa::FuClass>> events;
+  std::uint64_t now = 0;
+  void on_issue(isa::FuClass cls, std::span<const sim::IssueSlot> slots,
+                std::span<const sim::ModuleAssignment>) override {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      events.emplace_back(now + 1, cls);  // on_cycle lags issue by one call
+  }
+  void on_cycle(std::uint64_t cycle) override { now = cycle; }
+};
+
+sim::PipelineStats run_core(const std::string& src, const sim::OooConfig& cfg,
+                            IssueCycleRecorder* recorder = nullptr) {
+  sim::Emulator emu(isa::assemble(src));
+  sim::EmulatorTraceSource source(emu);
+  sim::OooCore core(cfg, source);
+  if (recorder) core.add_listener(recorder);
+  core.run();
+  EXPECT_TRUE(emu.halted());
+  return core.stats();
+}
+
+TEST(InOrderIssue, NoOvertakingAroundLongLatency) {
+  // div (20 cycles), then a *dependent* add, then independent adds.
+  // Out-of-order lets the independent adds overtake the stalled consumer;
+  // in-order issue must hold every one of them behind it.
+  std::string src =
+      "li r1, 100\n"
+      "li r2, 5\n"
+      "div r3, r1, r2\n"
+      "add r4, r3, r1\n";  // waits on the divide
+  for (int i = 0; i < 16; ++i)
+    src += "add r" + std::to_string(5 + (i % 8)) + ", r1, r2\n";
+  src += "halt\n";
+
+  auto ialu_issue_cycles = [&](bool in_order) {
+    sim::OooConfig cfg;
+    cfg.in_order_issue = in_order;
+    IssueCycleRecorder recorder;
+    run_core(src, cfg, &recorder);
+    std::vector<std::uint64_t> cycles;
+    for (const auto& [cycle, cls] : recorder.events)
+      if (cls == isa::FuClass::kIalu) cycles.push_back(cycle);
+    return cycles;
+  };
+
+  const auto ooo = ialu_issue_cycles(false);
+  const auto vliw = ialu_issue_cycles(true);
+  ASSERT_EQ(ooo.size(), vliw.size());  // same instructions either way
+
+  // Median IALU issue time: OoO packs the adds right after dispatch;
+  // in-order holds them ~20 cycles behind the divide.
+  const std::uint64_t ooo_median = ooo[ooo.size() / 2];
+  const std::uint64_t vliw_median = vliw[vliw.size() / 2];
+  EXPECT_LT(ooo_median + 10, vliw_median);
+}
+
+TEST(InOrderIssue, StillReachesFullWidthOnIndependentCode) {
+  std::string src = "li r1, 1\n";
+  for (int i = 0; i < 64; ++i)
+    src += "add r" + std::to_string(2 + (i % 8)) + ", r1, r1\n";
+  src += "halt\n";
+  sim::OooConfig vliw;
+  vliw.in_order_issue = true;
+  const auto stats = run_core(src, vliw);
+  EXPECT_GT(stats.ipc(), 2.0);  // independent adds still multi-issue
+}
+
+TEST(InOrderIssue, SuiteRunsCommitEverything) {
+  const auto w = workloads::make_compress(workloads::SuiteConfig{0.1});
+  driver::ExperimentConfig config;
+  config.machine.in_order_issue = true;
+  const auto result = driver::run_workload(w, config);
+  EXPECT_GT(result.pipeline.committed, 10'000u);
+  // In-order can never beat out-of-order IPC on the same binary.
+  driver::ExperimentConfig ooo;
+  const auto ooo_result = driver::run_workload(w, ooo);
+  EXPECT_LE(result.pipeline.ipc(), ooo_result.pipeline.ipc() + 1e-9);
+}
+
+// --- partially guarded units ----------------------------------------------
+
+sim::IssueSlot int_slot(std::uint32_t a, std::uint32_t b) {
+  sim::IssueSlot slot;
+  slot.op1 = a;
+  slot.op2 = b;
+  slot.has_op1 = slot.has_op2 = true;
+  slot.commutative = true;
+  return slot;
+}
+
+TEST(GuardedUnits, NarrowOperandsChargeOnlyLowSlice) {
+  power::PowerConfig config;
+  config.guarded_int_units = true;
+  config.guard_low_bits = 16;
+  config.guard_overhead = 1.0;
+  power::EnergyAccountant acc(config);
+  sim::ModuleAssignment assign{0, false};
+
+  // 0x00FF fits in 16 signed bits; against the zeroed latch only the low
+  // slice switches: 8 bits, not 8 (same) - compare with unguarded.
+  const auto slot = int_slot(0x00FF, 0x0001);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, 9u);
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).gated_operands, 2u);
+  EXPECT_DOUBLE_EQ(acc.cls(isa::FuClass::kIalu).guard_overhead, 2.0);
+
+  // A wide operand (does not fit) pays the full-width Hamming distance.
+  const auto wide = int_slot(0x7FFF0000, 0x0001);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&wide, 1), std::span(&assign, 1));
+  // op1: full ham(0x7FFF0000, 0x00FF) = 15 + 8 = 23; op2: gated, 0 flips.
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, 9u + 23u);
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).gated_operands, 3u);
+}
+
+TEST(GuardedUnits, NegativeNarrowValuesAreGated) {
+  power::PowerConfig config;
+  config.guarded_int_units = true;
+  power::EnergyAccountant acc(config);
+  sim::ModuleAssignment assign{0, false};
+  // -5 sign-extends from 16 bits; both ports gated on repeat.
+  const auto slot = int_slot(static_cast<std::uint32_t>(-5),
+                             static_cast<std::uint32_t>(-5));
+  acc.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  const auto first = acc.cls(isa::FuClass::kIalu).switched_bits;
+  acc.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, first);
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).gated_operands, 4u);
+}
+
+TEST(GuardedUnits, FpClassesUnaffected) {
+  power::PowerConfig config;
+  config.guarded_int_units = true;
+  power::EnergyAccountant acc(config);
+  sim::ModuleAssignment assign{0, false};
+  sim::IssueSlot slot = int_slot(0xF, 0xF);
+  slot.fp_operands = true;
+  acc.on_issue(isa::FuClass::kFpau, std::span(&slot, 1), std::span(&assign, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kFpau).gated_operands, 0u);
+}
+
+TEST(GuardedUnits, HybridReducesSuiteEnergy) {
+  const auto w = workloads::make_m88ksim(workloads::SuiteConfig{0.1});
+  driver::ExperimentConfig plain;
+  const auto base = driver::run_workload(w, plain);
+  driver::ExperimentConfig guarded = plain;
+  guarded.power.guarded_int_units = true;
+  const auto result = driver::run_workload(w, guarded);
+  EXPECT_LT(result.ialu.switched_bits, base.ialu.switched_bits);
+  EXPECT_GT(result.ialu.gated_operands, 0u);
+}
+
+// --- generalized FP information bit ----------------------------------------
+
+TEST(FpOrWidth, WidthOneIsJustTheLsb) {
+  EXPECT_TRUE(steer::fp_info_bit(0x1, 1));
+  EXPECT_FALSE(steer::fp_info_bit(0x2, 1));
+  EXPECT_TRUE(steer::fp_info_bit(0x2, 2));
+  EXPECT_FALSE(steer::fp_info_bit(0x10, 4));
+  EXPECT_TRUE(steer::fp_info_bit(0x10, 8));
+}
+
+TEST(FpOrWidth, DefaultMatchesPaperDefinition) {
+  for (const std::uint64_t v : {0x0ull, 0x8ull, 0x10ull, 0xFFFFull}) {
+    EXPECT_EQ(steer::fp_info_bit(v, 4), steer::info_bit(v, true)) << v;
+    EXPECT_EQ(steer::info_bit_ex(v, true, 4), steer::info_bit(v, true)) << v;
+  }
+}
+
+TEST(FpOrWidth, OneBitHamLegalAcrossWidths) {
+  for (const int bits : {1, 2, 4, 8, 16}) {
+    steer::OneBitHamSteering policy(steer::SwapConfig::none(), bits);
+    policy.reset(4);
+    std::vector<sim::IssueSlot> slots = {int_slot(1, 2), int_slot(3, 4)};
+    for (auto& s : slots) s.fp_operands = true;
+    std::vector<sim::ModuleAssignment> out(2);
+    const std::vector<int> avail = {0, 1, 2, 3};
+    policy.assign(slots, avail, out);
+    EXPECT_NE(out[0].module, out[1].module) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace mrisc

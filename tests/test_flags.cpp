@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace mrisc::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args,
+            const std::vector<std::string>& known,
+            const std::vector<std::string>& bools = {}) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data(), known, bools);
+}
+
+TEST(Flags, ValueForms) {
+  const auto f = parse({"--scheme", "lut4", "--swap=hw"}, {"scheme", "swap"});
+  EXPECT_EQ(f.get_or("scheme", ""), "lut4");
+  EXPECT_EQ(f.get_or("swap", ""), "hw");
+  EXPECT_FALSE(f.get("missing").has_value());
+  EXPECT_EQ(f.get_or("missing", "dflt"), "dflt");
+}
+
+TEST(Flags, BooleanDoesNotConsumeNextToken) {
+  const auto f = parse({"--verbose", "input.s"}, {}, {"verbose"});
+  EXPECT_TRUE(f.has("verbose"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "input.s");
+}
+
+TEST(Flags, NumericConversions) {
+  const auto f = parse({"--n", "42", "--x", "2.5", "--hex", "0x10"},
+                       {"n", "x", "hex"});
+  EXPECT_EQ(f.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 0), 2.5);
+  EXPECT_EQ(f.get_int("hex", 0), 16);
+  EXPECT_EQ(f.get_int("absent", 7), 7);
+}
+
+TEST(Flags, UnknownFlagsReported) {
+  const auto f = parse({"--bogus", "v"}, {"real"});
+  ASSERT_EQ(f.unknown().size(), 1u);
+  EXPECT_EQ(f.unknown()[0], "bogus");
+}
+
+TEST(Flags, PositionalOrderPreserved) {
+  const auto f = parse({"a", "--k", "v", "b", "c"}, {"k"});
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace mrisc::util

@@ -1,0 +1,183 @@
+// FP instruction semantics property tests: every FPAU/FPMULT opcode swept
+// against host-double references with bit-exact comparison, including the
+// REAL*4 rounding semantics of cvtsd.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+#include "util/rng.h"
+
+namespace mrisc {
+namespace {
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+/// Interesting double population: round values, casts, full precision,
+/// denormal-adjacent, negatives.
+std::vector<double> fp_pool(std::uint64_t seed) {
+  std::vector<double> pool = {0.0,   1.0,    -1.0,  0.5,     0.25, 7.0,
+                              -20.0, 1.0 / 3.0, 3.9, 1e-300, 1e300, 3.14159};
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < 20; ++i) {
+    pool.push_back(rng.next_double() * 1000.0 - 500.0);
+    pool.push_back(static_cast<double>(static_cast<std::int32_t>(rng.next())));
+  }
+  return pool;
+}
+
+struct FpBinary {
+  const char* mnemonic;
+  double (*fn)(double, double);
+};
+
+const FpBinary kFpBinary[] = {
+    {"fadd", [](double a, double b) { return a + b; }},
+    {"fsub", [](double a, double b) { return a - b; }},
+    {"fmul", [](double a, double b) { return a * b; }},
+    {"fdiv", [](double a, double b) { return a / b; }},
+};
+
+class FpBinarySemantics : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FpBinarySemantics, BitExactAgainstHostDoubles) {
+  const FpBinary& op = kFpBinary[GetParam()];
+  const auto pool = fp_pool(500 + GetParam());
+
+  // Program: load pairs from .data, apply, outf.
+  std::string data = ".data\npool:\n";
+  for (const double v : pool) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    data += std::string(".double ") + buf + "\n";
+  }
+  std::string text = ".text\nla r1, pool\n";
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+    text += "lfd f1, " + std::to_string(8 * i) + "(r1)\n";
+    text += "lfd f2, " + std::to_string(8 * (i + 1)) + "(r1)\n";
+    text += std::string(op.mnemonic) + " f3, f1, f2\n";
+    text += "outf f3\n";
+    expected.push_back(bits_of(op.fn(pool[i], pool[i + 1])));
+  }
+  text += "halt\n";
+
+  sim::Emulator emu(isa::assemble(data + text));
+  emu.run(100'000);
+  ASSERT_TRUE(emu.halted());
+  ASSERT_EQ(emu.output().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(emu.output()[i].bits, expected[i]) << op.mnemonic << " #" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, FpBinarySemantics,
+                         ::testing::Range<std::size_t>(0, std::size(kFpBinary)),
+                         [](const auto& info) {
+                           return std::string(kFpBinary[info.param].mnemonic);
+                         });
+
+TEST(FpUnarySemantics, NegAbsSqrtMovCvtsd) {
+  const auto pool = fp_pool(99);
+  std::string data = ".data\npool:\n";
+  for (const double v : pool) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    data += std::string(".double ") + buf + "\n";
+  }
+  std::string text = ".text\nla r1, pool\n";
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    text += "lfd f1, " + std::to_string(8 * i) + "(r1)\n";
+    text += "fneg f2, f1\noutf f2\n";
+    expected.push_back(bits_of(-pool[i]));
+    text += "fabs f2, f1\noutf f2\n";
+    expected.push_back(bits_of(std::fabs(pool[i])));
+    text += "cvtsd f2, f1\noutf f2\n";
+    expected.push_back(
+        bits_of(static_cast<double>(static_cast<float>(pool[i]))));
+    if (pool[i] >= 0) {
+      text += "fsqrt f2, f1\noutf f2\n";
+      expected.push_back(bits_of(std::sqrt(pool[i])));
+    }
+  }
+  text += "halt\n";
+
+  sim::Emulator emu(isa::assemble(data + text));
+  emu.run(100'000);
+  ASSERT_TRUE(emu.halted());
+  ASSERT_EQ(emu.output().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(emu.output()[i].bits, expected[i]) << i;
+}
+
+TEST(FpCompareSemantics, AllFiveComparesOnOrderedPairs) {
+  const auto pool = fp_pool(7);
+  std::string data = ".data\npool:\n";
+  for (const double v : pool) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    data += std::string(".double ") + buf + "\n";
+  }
+  std::string text = ".text\nla r1, pool\n";
+  std::vector<std::int64_t> expected;
+  for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+    const double a = pool[i], b = pool[i + 1];
+    text += "lfd f1, " + std::to_string(8 * i) + "(r1)\n";
+    text += "lfd f2, " + std::to_string(8 * (i + 1)) + "(r1)\n";
+    text += "fclt r2, f1, f2\nout r2\n";
+    expected.push_back(a < b ? 1 : 0);
+    text += "fcle r2, f1, f2\nout r2\n";
+    expected.push_back(a <= b ? 1 : 0);
+    text += "fceq r2, f1, f2\nout r2\n";
+    expected.push_back(a == b ? 1 : 0);
+    text += "fcgt r2, f1, f2\nout r2\n";
+    expected.push_back(a > b ? 1 : 0);
+    text += "fcge r2, f1, f2\nout r2\n";
+    expected.push_back(a >= b ? 1 : 0);
+  }
+  text += "halt\n";
+
+  sim::Emulator emu(isa::assemble(data + text));
+  emu.run(100'000);
+  ASSERT_TRUE(emu.halted());
+  ASSERT_EQ(emu.output().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(emu.output()[i].as_int(), expected[i]) << i;
+}
+
+TEST(FpConversionSemantics, CvtifCvtfiRoundTripAndSaturation) {
+  sim::Emulator emu(isa::assemble(
+      "li r1, -2147483648\n"
+      "cvtif f1, r1\n"
+      "cvtfi r2, f1\n"
+      "out r2\n"
+      ".data\nbig: .double 1e300\nneg: .double -1e300\nnan_src: .double 0.0\n"
+      ".text\n"
+      "la r3, big\n"
+      "lfd f2, 0(r3)\n"
+      "cvtfi r4, f2\nout r4\n"          // saturates to INT32_MAX
+      "lfd f3, 8(r3)\n"
+      "cvtfi r5, f3\nout r5\n"          // saturates to INT32_MIN
+      "lfd f4, 16(r3)\n"
+      "fdiv f5, f4, f4\n"               // 0/0 = NaN
+      "cvtfi r6, f5\nout r6\n"          // NaN -> 0
+      "halt\n"));
+  emu.run(1000);
+  ASSERT_TRUE(emu.halted());
+  ASSERT_EQ(emu.output().size(), 4u);
+  EXPECT_EQ(emu.output()[0].as_int(), INT32_MIN);
+  EXPECT_EQ(emu.output()[1].as_int(), INT32_MAX);
+  EXPECT_EQ(emu.output()[2].as_int(), INT32_MIN);
+  EXPECT_EQ(emu.output()[3].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace mrisc

@@ -1,0 +1,116 @@
+// Quine-McCluskey minimizer and routing-cost estimator tests (section 5).
+#include <gtest/gtest.h>
+
+#include "hwcost/qm.h"
+#include "hwcost/routing_cost.h"
+#include "stats/paper_ref.h"
+#include "util/rng.h"
+
+namespace mrisc::hwcost {
+namespace {
+
+/// Evaluate a cover at a point.
+bool covers_point(const std::vector<Cube>& cover, std::uint32_t x) {
+  for (const Cube& c : cover)
+    if (c.covers(x)) return true;
+  return false;
+}
+
+TEST(Qm, MinimizesClassicExample) {
+  // f(a,b,c) = sum m(0,1,2,3,7): minimizes to a' + bc (2 terms).
+  const std::vector<std::uint32_t> on = {0, 1, 2, 3, 7};
+  const auto cover = minimize(3, on);
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    const bool expected =
+        std::find(on.begin(), on.end(), x) != on.end();
+    EXPECT_EQ(covers_point(cover, x), expected) << x;
+  }
+  EXPECT_LE(cover.size(), 2u);
+}
+
+TEST(Qm, ConstantFunctions) {
+  EXPECT_TRUE(minimize(3, {}).empty());
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t x = 0; x < 8; ++x) all.push_back(x);
+  const auto cover = minimize(3, all);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0u);  // constant-1 cube
+}
+
+class QmRandomFunctions : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QmRandomFunctions, CoverIsExact) {
+  // Property: for random truth tables the minimized cover computes exactly
+  // the original function.
+  util::Xoshiro256 rng(GetParam());
+  const int n = 5;
+  std::vector<std::uint32_t> on;
+  for (std::uint32_t x = 0; x < (1u << n); ++x)
+    if (rng.next_below(3) == 0) on.push_back(x);
+  const auto cover = minimize(n, on);
+  EXPECT_LE(cover.size(), on.size());
+  for (std::uint32_t x = 0; x < (1u << n); ++x) {
+    const bool expected = std::find(on.begin(), on.end(), x) != on.end();
+    EXPECT_EQ(covers_point(cover, x), expected) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmRandomFunctions,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(Qm, PrimeImplicantsCoverEveryMinterm) {
+  const std::vector<std::uint32_t> on = {1, 3, 5, 7, 9, 11};
+  const auto primes = prime_implicants(4, on);
+  for (const std::uint32_t m : on) {
+    bool covered = false;
+    for (const Cube& c : primes) covered |= c.covers(m);
+    EXPECT_TRUE(covered) << m;
+  }
+}
+
+TEST(SopCost, CountsSharedCubesOnce) {
+  // Two outputs sharing one 2-literal cube: 1 AND, no ORs (single-term
+  // outputs), plus inverters as needed.
+  const Cube shared{0b11, 0b01};  // x1' x0
+  const auto cost = sop_cost(2, {{shared}, {shared}});
+  EXPECT_EQ(cost.and_gates, 1);
+  EXPECT_EQ(cost.or_gates, 0);
+  EXPECT_EQ(cost.product_terms, 1);
+  EXPECT_EQ(cost.inverters, 1);
+}
+
+TEST(RoutingCost, FourBitLutIsInThePaperBallpark) {
+  // Section 5: "58 small logic gates and 6 logic levels" for a 4-bit LUT
+  // with 8 RS entries; "130 gates and 8 levels" at 32 entries. Allow a
+  // generous band - we reproduce the argument, not the exact netlist.
+  const auto table = steer::build_lut(
+      stats::paper_case_stats(isa::FuClass::kIalu), 4, 4);
+  const auto at8 = routing_logic_cost(table, 8);
+  EXPECT_GT(at8.total_gates(), 20);
+  EXPECT_LT(at8.total_gates(), 120);
+  EXPECT_GE(at8.total_levels(), 4);
+  EXPECT_LE(at8.total_levels(), 8);
+
+  const auto at32 = routing_logic_cost(table, 32);
+  EXPECT_GT(at32.total_gates(), at8.total_gates());
+  EXPECT_GT(at32.total_levels(), at8.total_levels());
+  EXPECT_LT(at32.total_gates(), 250);
+}
+
+TEST(RoutingCost, GrowsWithVectorWidth) {
+  const auto stats = stats::paper_case_stats(isa::FuClass::kIalu);
+  const auto lut2 = routing_logic_cost(steer::build_lut(stats, 4, 2), 8);
+  const auto lut4 = routing_logic_cost(steer::build_lut(stats, 4, 4), 8);
+  const auto lut8 = routing_logic_cost(steer::build_lut(stats, 4, 8), 8);
+  EXPECT_LE(lut2.lut.total_gates(), lut4.lut.total_gates());
+  EXPECT_LE(lut4.lut.total_gates(), lut8.lut.total_gates());
+}
+
+TEST(RoutingCost, RejectsTinyRs) {
+  const auto table = steer::build_lut(
+      stats::paper_case_stats(isa::FuClass::kIalu), 4, 4);
+  EXPECT_THROW(routing_logic_cost(table, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrisc::hwcost

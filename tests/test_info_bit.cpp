@@ -1,0 +1,112 @@
+// Information-bit tests, including the statistical properties the paper
+// claims in section 4.2 (the sign bit / low-4-OR predict the majority value
+// of the remaining bits).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "steer/info_bit.h"
+#include "util/rng.h"
+
+namespace mrisc::steer {
+namespace {
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+
+TEST(InfoBit, IntegerSignBit) {
+  EXPECT_FALSE(info_bit(20, false));
+  EXPECT_TRUE(info_bit(0xFFFFFFECull, false));  // -20
+  EXPECT_FALSE(info_bit(0, false));
+  EXPECT_TRUE(info_bit(0x80000000ull, false));
+}
+
+TEST(InfoBit, FpLow4Or) {
+  EXPECT_FALSE(info_bit(bits_of(7.0), true));    // 50 trailing zeros
+  EXPECT_FALSE(info_bit(bits_of(20.0), true));   // cast-from-int shape
+  EXPECT_TRUE(info_bit(bits_of(1.0 / 3.0), true));
+  EXPECT_FALSE(info_bit(bits_of(0.0), true));
+  EXPECT_FALSE(info_bit(bits_of(0.5), true));    // round constant
+}
+
+TEST(InfoBit, CaseEncoding) {
+  // case = bit(OP1) << 1 | bit(OP2).
+  EXPECT_EQ(case_of(20, 20, true, false), 0b00);
+  EXPECT_EQ(case_of(20, 0xFFFFFFECull, true, false), 0b01);
+  EXPECT_EQ(case_of(0xFFFFFFECull, 20, true, false), 0b10);
+  EXPECT_EQ(case_of(0xFFFFFFECull, 0xFFFFFFECull, true, false), 0b11);
+  // Missing second operand contributes a zero bit.
+  EXPECT_EQ(case_of(0xFFFFFFECull, 0xFFFFFFECull, false, false), 0b10);
+}
+
+TEST(InfoBit, SwappedCaseMirrors) {
+  EXPECT_EQ(swapped_case(0b00), 0b00);
+  EXPECT_EQ(swapped_case(0b01), 0b10);
+  EXPECT_EQ(swapped_case(0b10), 0b01);
+  EXPECT_EQ(swapped_case(0b11), 0b11);
+}
+
+TEST(InfoBit, SignBitPredictsMajorityForSmallMagnitudeInts) {
+  // Paper section 4.2: for sign-extended small-magnitude integers, the sign
+  // bit dominates the remaining bits. Verify over a geometric-ish magnitude
+  // population.
+  util::Xoshiro256 rng(11);
+  double agree = 0;
+  int total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int shift = static_cast<int>(rng.next_below(24));  // varied magnitude
+    std::int32_t v = static_cast<std::int32_t>(rng.next()) >> (shift + 7);
+    const auto u = static_cast<std::uint32_t>(v);
+    const bool bit = info_bit(u, false);
+    int match = 0;
+    for (int b = 0; b < 31; ++b) match += (((u >> b) & 1) != 0) == bit;
+    agree += match / 31.0;
+    ++total;
+  }
+  EXPECT_GT(agree / total, 0.75);  // paper: 91.2% / 63.7% depending on bit
+}
+
+TEST(InfoBit, Low4OrZeroPredictsTrailingZeros) {
+  // When the OR of the low four mantissa bits is zero, the paper derives
+  // that ~86.5% of mantissa bits are zero on their data. Build the same
+  // mixture: cast integers (trailing zeros) + full-precision values.
+  util::Xoshiro256 rng(12);
+  double zeros_when_bit0 = 0;
+  int n_bit0 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double value;
+    if (rng.next_below(2) == 0) {
+      value = static_cast<double>(static_cast<std::int32_t>(rng.next_below(1000)));
+    } else {
+      value = rng.next_double();
+    }
+    const std::uint64_t raw = bits_of(value);
+    if (!info_bit(raw, true)) {
+      const int ones = util::popcount_low(raw, 52);
+      zeros_when_bit0 += (52.0 - ones) / 52.0;
+      ++n_bit0;
+    }
+  }
+  ASSERT_GT(n_bit0, 1000);
+  EXPECT_GT(zeros_when_bit0 / n_bit0, 0.8);
+}
+
+TEST(InfoBit, FullPrecisionMisidentificationRate) {
+  // A full-precision mantissa has all-low-4-zero with probability 1/16; the
+  // paper uses this to size the predictor at 4 bits.
+  util::Xoshiro256 rng(13);
+  int mispredicted = 0;
+  const int n = 64000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t mantissa = rng.next() & ((std::uint64_t{1} << 52) - 1);
+    if (!info_bit(mantissa, true)) ++mispredicted;
+  }
+  const double rate = static_cast<double>(mispredicted) / n;
+  EXPECT_NEAR(rate, 1.0 / 16.0, 0.01);
+}
+
+}  // namespace
+}  // namespace mrisc::steer

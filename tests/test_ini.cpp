@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "driver/config_io.h"
+#include "util/ini.h"
+
+namespace mrisc {
+namespace {
+
+TEST(Ini, ParsesSectionsAndTypes) {
+  const auto ini = util::Ini::parse(
+      "# leading comment\n"
+      "top = 1\n"
+      "[machine]\n"
+      "ialus = 8   ; trailing comment\n"
+      "ratio = 2.5\n"
+      "flag = true\n"
+      "name = hello\n"
+      "\n"
+      "[cache]\n"
+      "size_bytes = 0x4000\n");
+  EXPECT_EQ(ini.get_int("top", 0), 1);
+  EXPECT_EQ(ini.get_int("machine.ialus", 0), 8);
+  EXPECT_DOUBLE_EQ(ini.get_double("machine.ratio", 0), 2.5);
+  EXPECT_TRUE(ini.get_bool("machine.flag", false));
+  EXPECT_EQ(ini.get_or("machine.name", ""), "hello");
+  EXPECT_EQ(ini.get_int("cache.size_bytes", 0), 0x4000);
+  EXPECT_EQ(ini.get_int("missing.key", 7), 7);
+}
+
+TEST(Ini, KeysAreSorted) {
+  const auto ini = util::Ini::parse("[b]\nx = 1\n[a]\ny = 2\n");
+  EXPECT_EQ(ini.keys(), (std::vector<std::string>{"a.y", "b.x"}));
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  try {
+    util::Ini::parse("ok = 1\nnot a kv pair\n");
+    FAIL();
+  } catch (const util::IniError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(util::Ini::parse("[unclosed\n"), util::IniError);
+  EXPECT_THROW(util::Ini::parse("[]\n"), util::IniError);
+  EXPECT_THROW(util::Ini::parse(" = v\n"), util::IniError);
+}
+
+TEST(ConfigIo, DefaultsMatchPaperMachine) {
+  const auto config = driver::config_from_ini(util::Ini::parse(""));
+  EXPECT_EQ(config.machine.modules[static_cast<std::size_t>(
+                isa::FuClass::kIalu)],
+            4);
+  EXPECT_EQ(config.machine.modules[static_cast<std::size_t>(
+                isa::FuClass::kFpmult)],
+            1);
+  EXPECT_EQ(config.scheme, driver::Scheme::kLut4);
+  EXPECT_EQ(config.swap, driver::SwapMode::kNone);
+  EXPECT_FALSE(config.machine.in_order_issue);
+}
+
+TEST(ConfigIo, ParsesFullConfig) {
+  const auto config = driver::config_from_ini(util::Ini::parse(
+      "[machine]\nialus = 2\nissue_width = 6\nin_order = yes\n"
+      "[cache]\nmiss_penalty = 40\n"
+      "[power]\nguarded_int_units = true\nguard_low_bits = 8\n"
+      "[steer]\nscheme = fullham\nswap = hwcc\nmult_swap = popcount\n"
+      "fp_or_bits = 8\naffinity = coverage\n"));
+  EXPECT_EQ(config.machine.modules[static_cast<std::size_t>(
+                isa::FuClass::kIalu)],
+            2);
+  EXPECT_EQ(config.machine.issue_width, 6);
+  EXPECT_TRUE(config.machine.in_order_issue);
+  EXPECT_EQ(config.machine.cache.miss_penalty, 40);
+  EXPECT_TRUE(config.power.guarded_int_units);
+  EXPECT_EQ(config.power.guard_low_bits, 8);
+  EXPECT_EQ(config.scheme, driver::Scheme::kFullHam);
+  EXPECT_EQ(config.swap, driver::SwapMode::kHardwareCompiler);
+  EXPECT_EQ(config.mult_rule, steer::MultSwapSteering::Rule::kPopcount);
+  EXPECT_EQ(config.fp_or_bits, 8);
+  EXPECT_EQ(config.affinity, steer::AffinityStrategy::kCoverage);
+}
+
+TEST(ConfigIo, RejectsUnknownKeysAndValues) {
+  EXPECT_THROW(
+      driver::config_from_ini(util::Ini::parse("[machine]\nbogus = 1\n")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      driver::config_from_ini(util::Ini::parse("[steer]\nscheme = magic\n")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      driver::config_from_ini(util::Ini::parse("[steer]\nswap = maybe\n")),
+      std::invalid_argument);
+}
+
+TEST(ConfigIo, NameParsersRoundTrip) {
+  EXPECT_EQ(driver::scheme_from_name("lut2"), driver::Scheme::kLut2);
+  EXPECT_EQ(driver::swap_from_name("cc"), driver::SwapMode::kCompilerOnly);
+  EXPECT_EQ(driver::mult_rule_from_name("infobit"),
+            steer::MultSwapSteering::Rule::kInfoBit);
+  EXPECT_FALSE(driver::scheme_from_name("nope").has_value());
+}
+
+TEST(ConfigIo, DescribeIsReadable) {
+  driver::ExperimentConfig config;
+  config.machine.in_order_issue = true;
+  config.power.guarded_int_units = true;
+  const std::string s = driver::describe(config);
+  EXPECT_NE(s.find("4-Bit LUT"), std::string::npos);
+  EXPECT_NE(s.find("in-order"), std::string::npos);
+  EXPECT_NE(s.find("guarded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrisc

@@ -1,0 +1,159 @@
+// End-to-end integration tests: the paper's qualitative results on the real
+// suites at reduced scale. These are the "shape" checks of EXPERIMENTS.md in
+// executable form.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace mrisc::driver {
+namespace {
+
+struct SuiteFixture : public ::testing::Test {
+  static constexpr double kScale = 0.2;
+
+  static const std::vector<workloads::Workload>& ints() {
+    static const auto suite =
+        workloads::integer_suite(workloads::SuiteConfig{kScale});
+    return suite;
+  }
+  static const std::vector<workloads::Workload>& fps() {
+    static const auto suite =
+        workloads::fp_suite(workloads::SuiteConfig{kScale});
+    return suite;
+  }
+
+  static RunResult run(std::span<const workloads::Workload> suite,
+                       Scheme scheme, SwapMode swap) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.swap = swap;
+    return run_suite(suite, config);
+  }
+};
+
+TEST_F(SuiteFixture, SchemeOrderingHoldsOnIntegerSuite) {
+  // Figure 4(a): Full Ham >= 1-bit Ham >= 8-bit LUT >= 4-bit LUT (roughly),
+  // and every informed scheme beats Original.
+  const RunResult original = run(ints(), Scheme::kOriginal, SwapMode::kNone);
+  const double full =
+      reduction_pct(original, run(ints(), Scheme::kFullHam, SwapMode::kNone),
+                    isa::FuClass::kIalu);
+  const double onebit =
+      reduction_pct(original, run(ints(), Scheme::kOneBitHam, SwapMode::kNone),
+                    isa::FuClass::kIalu);
+  const double lut4 =
+      reduction_pct(original, run(ints(), Scheme::kLut4, SwapMode::kNone),
+                    isa::FuClass::kIalu);
+  EXPECT_GT(full, onebit - 1.0);
+  EXPECT_GT(onebit, 0.0);
+  EXPECT_GT(lut4, 0.0);
+  EXPECT_GE(full, lut4);
+}
+
+TEST_F(SuiteFixture, SchemeOrderingHoldsOnFpSuite) {
+  const RunResult original = run(fps(), Scheme::kOriginal, SwapMode::kNone);
+  const double full =
+      reduction_pct(original, run(fps(), Scheme::kFullHam, SwapMode::kNone),
+                    isa::FuClass::kFpau);
+  const double lut4 =
+      reduction_pct(original, run(fps(), Scheme::kLut4, SwapMode::kNone),
+                    isa::FuClass::kFpau);
+  EXPECT_GT(full, 0.0);
+  EXPECT_GT(lut4, 0.0);
+  EXPECT_GE(full, lut4 - 1.0);
+}
+
+TEST_F(SuiteFixture, SwappingAddsOnTopForIntegers) {
+  // Figure 4(a): hardware swapping adds gain for the LUT schemes, compiler
+  // swapping adds more.
+  const RunResult original = run(ints(), Scheme::kOriginal, SwapMode::kNone);
+  const double base =
+      reduction_pct(original, run(ints(), Scheme::kLut4, SwapMode::kNone),
+                    isa::FuClass::kIalu);
+  const double hw =
+      reduction_pct(original, run(ints(), Scheme::kLut4, SwapMode::kHardware),
+                    isa::FuClass::kIalu);
+  const double hwc = reduction_pct(
+      original, run(ints(), Scheme::kLut4, SwapMode::kHardwareCompiler),
+      isa::FuClass::kIalu);
+  EXPECT_GE(hw, base - 0.5);
+  EXPECT_GE(hwc, hw - 0.5);
+}
+
+TEST_F(SuiteFixture, FpauInsensitiveToSwapping) {
+  // Figure 4(b) and its discussion: FP gains come from steering, not
+  // swapping; the swap delta must be small.
+  const RunResult original = run(fps(), Scheme::kOriginal, SwapMode::kNone);
+  const double base =
+      reduction_pct(original, run(fps(), Scheme::kLut4, SwapMode::kNone),
+                    isa::FuClass::kFpau);
+  const double hw =
+      reduction_pct(original, run(fps(), Scheme::kLut4, SwapMode::kHardware),
+                    isa::FuClass::kFpau);
+  EXPECT_LT(std::abs(hw - base), 6.0);
+}
+
+TEST_F(SuiteFixture, FpauInsensitiveToLutWidth) {
+  // Figure 4(b) fifth insight: the FPAU barely distinguishes 4- vs 8-bit
+  // vectors because multi-issue is rare (Table 2).
+  const RunResult original = run(fps(), Scheme::kOriginal, SwapMode::kNone);
+  const double lut4 =
+      reduction_pct(original, run(fps(), Scheme::kLut4, SwapMode::kNone),
+                    isa::FuClass::kFpau);
+  const double lut8 =
+      reduction_pct(original, run(fps(), Scheme::kLut8, SwapMode::kNone),
+                    isa::FuClass::kFpau);
+  EXPECT_LT(std::abs(lut8 - lut4), 4.0);
+}
+
+TEST_F(SuiteFixture, Table2ShapeHolds) {
+  // IALU is much more heavily multi-issued than FPAU.
+  stats::OccupancyAggregator occupancy;
+  ExperimentConfig config;
+  run_suite(ints(), config, nullptr, &occupancy);
+  run_suite(fps(), config, nullptr, &occupancy);
+  EXPECT_GT(occupancy.multi_issue_prob(isa::FuClass::kIalu),
+            occupancy.multi_issue_prob(isa::FuClass::kFpau));
+  EXPECT_GT(occupancy.freq(isa::FuClass::kFpau, 1), 0.6);
+}
+
+TEST_F(SuiteFixture, Table1ShapeHolds) {
+  // Integer operands are dominated by case 00; the FP suite has a large
+  // case-11 (full precision) population, per the paper.
+  stats::BitPatternCollector patterns;
+  ExperimentConfig config;
+  run_suite(ints(), config, &patterns);
+  EXPECT_GT(patterns.case_prob(isa::FuClass::kIalu, 0b00), 0.4);
+
+  stats::BitPatternCollector fp_patterns;
+  run_suite(fps(), config, &fp_patterns);
+  EXPECT_GT(fp_patterns.case_prob(isa::FuClass::kFpau, 0b11), 0.15);
+  // And a nontrivial trailing-zero population exists (cases with bit 0).
+  const double zeroish = fp_patterns.case_prob(isa::FuClass::kFpau, 0b00) +
+                         fp_patterns.case_prob(isa::FuClass::kFpau, 0b01) +
+                         fp_patterns.case_prob(isa::FuClass::kFpau, 0b10);
+  EXPECT_GT(zeroish, 0.2);
+}
+
+TEST_F(SuiteFixture, MeasuredStatsCanDriveTheLut) {
+  // Self-calibration loop: collect Table 1/2 from the suite, rebuild the
+  // LUT from measured statistics, and verify it still reduces switching.
+  stats::BitPatternCollector patterns;
+  stats::OccupancyAggregator occupancy;
+  ExperimentConfig collect;
+  collect.scheme = Scheme::kOriginal;
+  const RunResult original = run_suite(ints(), collect, &patterns, &occupancy);
+
+  ExperimentConfig config;
+  config.scheme = Scheme::kLut4;
+  config.lut_from_paper = false;
+  config.ialu_stats = patterns.case_stats(
+      isa::FuClass::kIalu, occupancy.multi_issue_prob(isa::FuClass::kIalu));
+  config.fpau_stats = patterns.case_stats(
+      isa::FuClass::kFpau, occupancy.multi_issue_prob(isa::FuClass::kFpau));
+  const RunResult tuned = run_suite(ints(), config);
+  EXPECT_GT(reduction_pct(original, tuned, isa::FuClass::kIalu), 0.0);
+}
+
+}  // namespace
+}  // namespace mrisc::driver

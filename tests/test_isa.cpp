@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/isa.h"
+
+namespace mrisc::isa {
+namespace {
+
+TEST(OpInfo, TableIsConsistent) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const OpInfo& info = op_info(op);
+    EXPECT_FALSE(info.mnemonic.empty());
+    // Flip twins must be mutual.
+    EXPECT_EQ(op_info(info.flip).flip, op) << info.mnemonic;
+    // Commutative requires two same-domain register sources.
+    if (info.commutative) {
+      EXPECT_TRUE(info.reads_rs1 && info.reads_rs2) << info.mnemonic;
+      EXPECT_EQ(info.rs1_is_fp, info.rs2_is_fp) << info.mnemonic;
+    }
+    // Loads/stores must be memory class.
+    if (info.is_load || info.is_store)
+      EXPECT_EQ(info.fu, FuClass::kMem) << info.mnemonic;
+  }
+}
+
+TEST(OpInfo, MnemonicLookupRoundTrips) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto found = opcode_from_mnemonic(op_info(op).mnemonic);
+    ASSERT_TRUE(found.has_value()) << op_info(op).mnemonic;
+    EXPECT_EQ(*found, op);
+  }
+  EXPECT_FALSE(opcode_from_mnemonic("bogus").has_value());
+}
+
+TEST(OpInfo, PaperCommutativitySet) {
+  EXPECT_TRUE(op_info(Opcode::kAdd).commutative);
+  EXPECT_FALSE(op_info(Opcode::kSub).commutative);
+  EXPECT_TRUE(op_info(Opcode::kMul).commutative);
+  EXPECT_TRUE(op_info(Opcode::kFadd).commutative);
+  EXPECT_FALSE(op_info(Opcode::kFsub).commutative);
+  EXPECT_TRUE(op_info(Opcode::kFmul).commutative);
+  EXPECT_FALSE(op_info(Opcode::kFdiv).commutative);
+  EXPECT_FALSE(op_info(Opcode::kAddi).commutative);  // immediate add: fixed order
+}
+
+TEST(OpInfo, FlipTwinsArePaperExamples) {
+  // ">" becomes "<=" under operand exchange: sgt <-> slt.
+  EXPECT_EQ(op_info(Opcode::kSlt).flip, Opcode::kSgt);
+  EXPECT_EQ(op_info(Opcode::kSgt).flip, Opcode::kSlt);
+  EXPECT_EQ(op_info(Opcode::kFclt).flip, Opcode::kFcgt);
+  EXPECT_EQ(op_info(Opcode::kFcge).flip, Opcode::kFcle);
+}
+
+TEST(Encode, RoundTripsAllFormatsExhaustively) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const OpInfo& info = op_info(op);
+    Instruction inst;
+    inst.op = op;
+    inst.rd = 5;
+    inst.rs1 = 17;
+    inst.rs2 = 31;
+    switch (info.format) {
+      case Format::kR:
+        break;
+      case Format::kI:
+        inst.imm = -42;
+        if (op == Opcode::kLui || op == Opcode::kAndi || op == Opcode::kOri ||
+            op == Opcode::kXori)
+          inst.imm = 0xBEEF;
+        break;
+      case Format::kB:
+        inst.imm = -100;
+        break;
+      case Format::kJ:
+        inst.rd = inst.rs1 = inst.rs2 = 0;
+        inst.imm = 123456;
+        if (op == Opcode::kJr) {
+          inst.imm = 0;
+          inst.rs1 = 17;
+        }
+        break;
+    }
+    // Zero the unused fields so equality is meaningful.
+    if (!info.writes_rd || info.format == Format::kB) inst.rd = 0;
+    if (info.is_store) inst.rd = 0;
+    if (!info.reads_rs1 && info.format != Format::kB) inst.rs1 = 0;
+    if ((!info.reads_rs2 || info.format == Format::kI) && info.format != Format::kB)
+      inst.rs2 = 0;
+    if (info.is_store) {
+      inst.rs2 = 9;  // store value register survives the rd-field detour
+    }
+
+    const std::uint32_t word = encode(inst);
+    const auto back = decode(word);
+    ASSERT_TRUE(back.has_value()) << info.mnemonic;
+    EXPECT_EQ(*back, inst) << info.mnemonic << " word=" << std::hex << word;
+  }
+}
+
+TEST(Decode, RejectsInvalidOpcode) {
+  const std::uint32_t bad = 0xFFFFFFFFu;  // opcode field 63
+  EXPECT_FALSE(decode(bad).has_value());
+}
+
+TEST(Disasm, ReadableOutput) {
+  Instruction add{Opcode::kAdd, 1, 2, 3, 0};
+  EXPECT_EQ(disassemble(add), "add r1, r2, r3");
+  Instruction lw{Opcode::kLw, 4, 2, 0, 8};
+  EXPECT_EQ(disassemble(lw), "lw r4, 8(r2)");
+  Instruction sw{Opcode::kSw, 0, 2, 7, -4};
+  EXPECT_EQ(disassemble(sw), "sw r7, -4(r2)");
+  Instruction fadd{Opcode::kFadd, 1, 2, 3, 0};
+  EXPECT_EQ(disassemble(fadd), "fadd f1, f2, f3");
+  Instruction beq{Opcode::kBeq, 0, 1, 2, 5};
+  EXPECT_EQ(disassemble(beq, 10), "beq r1, r2, 16");
+}
+
+}  // namespace
+}  // namespace mrisc::isa

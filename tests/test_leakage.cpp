@@ -1,0 +1,83 @@
+// Leakage/sleep tracker tests.
+#include <gtest/gtest.h>
+
+#include "power/leakage.h"
+#include "sim/ooo.h"
+
+namespace mrisc::power {
+namespace {
+
+std::array<int, isa::kNumFuClasses> one_ialu() {
+  std::array<int, isa::kNumFuClasses> modules{};
+  modules[static_cast<std::size_t>(isa::FuClass::kIalu)] = 1;
+  return modules;
+}
+
+sim::IssueSlot slot() {
+  sim::IssueSlot s;
+  s.op1 = s.op2 = 1;
+  s.has_op1 = s.has_op2 = true;
+  return s;
+}
+
+TEST(Leakage, AwakeModuleLeaksEveryCycle) {
+  LeakageConfig config;
+  config.leak_per_cycle = 1.0;
+  config.sleep_after_idle = 1000;
+  LeakageTracker tracker(config, one_ialu());
+  for (std::uint64_t cycle = 1; cycle <= 10; ++cycle) tracker.on_cycle(cycle);
+  EXPECT_DOUBLE_EQ(tracker.energy(isa::FuClass::kIalu), 10.0);
+  EXPECT_EQ(tracker.slept_cycles(isa::FuClass::kIalu), 0u);
+}
+
+TEST(Leakage, IdleModuleSleepsAfterThreshold) {
+  LeakageConfig config;
+  config.leak_per_cycle = 1.0;
+  config.sleep_leak_per_cycle = 0.1;
+  config.sleep_after_idle = 5;
+  LeakageTracker tracker(config, one_ialu());
+  for (std::uint64_t cycle = 1; cycle <= 20; ++cycle) tracker.on_cycle(cycle);
+  // Idle from cycle 1: sleeps once idle >= 5, i.e. from cycle 6 onward.
+  EXPECT_EQ(tracker.slept_cycles(isa::FuClass::kIalu), 15u);
+  EXPECT_NEAR(tracker.energy(isa::FuClass::kIalu), 5.0 + 15 * 0.1, 1e-9);
+}
+
+TEST(Leakage, UseWakesAndPaysWakeCost) {
+  LeakageConfig config;
+  config.leak_per_cycle = 1.0;
+  config.sleep_leak_per_cycle = 0.0;
+  config.sleep_after_idle = 2;
+  config.wake_cost = 7.0;
+  LeakageTracker tracker(config, one_ialu());
+  for (std::uint64_t cycle = 1; cycle <= 6; ++cycle) tracker.on_cycle(cycle);
+  EXPECT_GT(tracker.slept_cycles(isa::FuClass::kIalu), 0u);
+
+  const sim::IssueSlot s = slot();
+  const sim::ModuleAssignment assign{0, false};
+  tracker.on_issue(isa::FuClass::kIalu, std::span(&s, 1),
+                   std::span(&assign, 1));
+  EXPECT_EQ(tracker.wakeups(isa::FuClass::kIalu), 1u);
+  tracker.on_cycle(7);
+  // Awake again and leaking at the full rate.
+  const double before = tracker.energy(isa::FuClass::kIalu);
+  tracker.on_cycle(8);
+  EXPECT_DOUBLE_EQ(tracker.energy(isa::FuClass::kIalu), before + 1.0);
+}
+
+TEST(Leakage, BusyModuleNeverSleeps) {
+  LeakageConfig config;
+  config.sleep_after_idle = 3;
+  LeakageTracker tracker(config, one_ialu());
+  const sim::IssueSlot s = slot();
+  const sim::ModuleAssignment assign{0, false};
+  for (std::uint64_t cycle = 1; cycle <= 50; ++cycle) {
+    tracker.on_issue(isa::FuClass::kIalu, std::span(&s, 1),
+                     std::span(&assign, 1));
+    tracker.on_cycle(cycle);
+  }
+  EXPECT_EQ(tracker.slept_cycles(isa::FuClass::kIalu), 0u);
+  EXPECT_EQ(tracker.wakeups(isa::FuClass::kIalu), 0u);
+}
+
+}  // namespace
+}  // namespace mrisc::power

@@ -1,0 +1,217 @@
+// LUT construction (section 4.3) and runtime lookup tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/paper_ref.h"
+#include "steer/lut.h"
+#include "util/rng.h"
+
+namespace mrisc::steer {
+namespace {
+
+using sim::IssueSlot;
+using sim::ModuleAssignment;
+
+IssueSlot slot_with_case(int c, bool commutative = true) {
+  IssueSlot slot;
+  slot.op1 = (c & 2) ? 0xFFFFFFFFull : 0x1;
+  slot.op2 = (c & 1) ? 0xFFFFFFFFull : 0x1;
+  slot.has_op1 = slot.has_op2 = true;
+  slot.commutative = commutative;
+  return slot;
+}
+
+TEST(LutBuilder, IaluAffinityIsThreeZeroCasesPlusWildcard) {
+  // Paper: IALU case 00 has probability ~69.5%, so three of four modules
+  // are reserved for it and "the fourth module [serves] all three other
+  // cases" - a wildcard mask.
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               4, AffinityStrategy::kProportional);
+  const int zeros = static_cast<int>(std::count(
+      table.affinity.begin(), table.affinity.end(), std::uint8_t{0b0001}));
+  EXPECT_EQ(zeros, 3);
+  EXPECT_EQ(table.affinity.back(), 0b1110);
+}
+
+TEST(LutBuilder, FpauCoverageAssignsDistinctCases) {
+  // Paper: FPAU multi-issue is rare (Table 2), so each module gets its own
+  // case.
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kFpau), 4,
+                               4, AffinityStrategy::kCoverage);
+  auto affinity = table.affinity;
+  std::sort(affinity.begin(), affinity.end());
+  EXPECT_EQ(affinity, (std::vector<std::uint8_t>{1, 2, 4, 8}));
+}
+
+TEST(LutBuilder, AutoStrategyMinimizesModelCost) {
+  for (const auto cls : {isa::FuClass::kIalu, isa::FuClass::kFpau}) {
+    const auto stats = stats::paper_case_stats(cls);
+    const auto proportional =
+        build_lut(stats, 4, 4, AffinityStrategy::kProportional);
+    const auto coverage = build_lut(stats, 4, 4, AffinityStrategy::kCoverage);
+    const auto chosen = build_lut(stats, 4, 4, AffinityStrategy::kAuto);
+    const double c_prop = expected_layout_cost(stats, proportional.affinity, 4);
+    const double c_cov = expected_layout_cost(stats, coverage.affinity, 4);
+    const double c_auto = expected_layout_cost(stats, chosen.affinity, 4);
+    EXPECT_LE(c_auto, std::min(c_prop, c_cov) + 1e-12) << isa::to_string(cls);
+  }
+}
+
+TEST(LutBuilder, EveryVectorEntryAssignsDistinctModules) {
+  for (const int bits : {2, 4, 8}) {
+    const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu),
+                                 4, bits, AffinityStrategy::kAuto);
+    const std::size_t vectors = std::size_t{1} << bits;
+    for (std::size_t v = 0; v < vectors; ++v) {
+      std::uint64_t used = 0;
+      for (int i = 0; i < table.slots; ++i) {
+        const std::uint8_t m =
+            table.assign[v * static_cast<std::size_t>(table.slots) +
+                         static_cast<std::size_t>(i)];
+        ASSERT_LT(m, 4);
+        ASSERT_FALSE((used >> m) & 1) << "vector " << v;
+        used |= std::uint64_t{1} << m;
+      }
+    }
+  }
+}
+
+TEST(LutBuilder, SameCaseInstructionLandsOnAffineModule) {
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               4, AffinityStrategy::kProportional);
+  // A lone case-00 instruction (vector 00,least...) must route to a module
+  // whose affinity is case 00.
+  LutSteering policy(table);
+  policy.reset(4);
+  std::vector<IssueSlot> slots = {slot_with_case(0)};
+  std::vector<ModuleAssignment> out(1);
+  const std::vector<int> avail = {0, 1, 2, 3};
+  policy.assign(slots, avail, out);
+  EXPECT_TRUE(table.affinity[static_cast<std::size_t>(out[0].module)] & 0b0001);
+}
+
+TEST(LutBuilder, RejectsBadParameters) {
+  const auto stats = stats::paper_case_stats(isa::FuClass::kIalu);
+  EXPECT_THROW(build_lut(stats, 4, 3), std::invalid_argument);
+  EXPECT_THROW(build_lut(stats, 4, 0), std::invalid_argument);
+  EXPECT_THROW(build_lut(stats, 2, 8), std::invalid_argument);  // slots>modules
+}
+
+TEST(LutSteering, LegalOnRandomTraffic) {
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               4, AffinityStrategy::kAuto);
+  LutSteering policy(table, SwapConfig::hardware_for(isa::FuClass::kIalu));
+  policy.reset(4);
+  util::Xoshiro256 rng(55);
+  const std::vector<int> avail = {0, 1, 2, 3};
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t n = 1 + rng.next_below(4);
+    std::vector<IssueSlot> slots;
+    for (std::size_t i = 0; i < n; ++i)
+      slots.push_back(slot_with_case(static_cast<int>(rng.next_below(4)),
+                                     rng.next_below(2) == 0));
+    std::vector<ModuleAssignment> out(n);
+    policy.assign(slots, avail, out);
+    std::uint64_t used = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_FALSE((used >> out[i].module) & 1);
+      used |= std::uint64_t{1} << out[i].module;
+      if (out[i].swapped) ASSERT_TRUE(slots[i].commutative);
+    }
+  }
+}
+
+TEST(LutSteering, DistinctCasesGetDistinctAffineModules) {
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kFpau), 4,
+                               8, AffinityStrategy::kCoverage);
+  LutSteering policy(table);
+  policy.reset(4);
+  std::vector<IssueSlot> slots = {slot_with_case(0), slot_with_case(1),
+                                  slot_with_case(2), slot_with_case(3)};
+  std::vector<ModuleAssignment> out(4);
+  const std::vector<int> avail = {0, 1, 2, 3};
+  policy.assign(slots, avail, out);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(table.affinity[static_cast<std::size_t>(
+                  out[static_cast<std::size_t>(i)].module)],
+              std::uint8_t{1} << i);
+  }
+}
+
+TEST(LutSteering, VectorUsesPostSwapCases) {
+  // With the static rule swapping case 01, a case-01 commutative op must be
+  // routed like a case-10 op.
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               4, AffinityStrategy::kCoverage);
+  LutSteering swapping(table, SwapConfig{SwapConfig::Mode::kStaticCase, 0b01});
+  LutSteering plain(table);
+  swapping.reset(4);
+  plain.reset(4);
+  const std::vector<int> avail = {0, 1, 2, 3};
+
+  std::vector<IssueSlot> case01 = {slot_with_case(0b01, true)};
+  std::vector<IssueSlot> case10 = {slot_with_case(0b10, true)};
+  std::vector<ModuleAssignment> out_swapped(1), out_mirror(1);
+  swapping.assign(case01, avail, out_swapped);
+  plain.assign(case10, avail, out_mirror);
+  EXPECT_TRUE(out_swapped[0].swapped);
+  EXPECT_EQ(out_swapped[0].module, out_mirror[0].module);
+}
+
+TEST(LutSteering, ExtraSlotsBeyondVectorGetFreeModules) {
+  // 2-bit vector encodes one slot; a 4-wide group must still be legal.
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               2, AffinityStrategy::kAuto);
+  LutSteering policy(table);
+  policy.reset(4);
+  std::vector<IssueSlot> slots(4, slot_with_case(0));
+  std::vector<ModuleAssignment> out(4);
+  const std::vector<int> avail = {0, 1, 2, 3};
+  policy.assign(slots, avail, out);
+  std::uint64_t used = 0;
+  for (const auto& a : out) {
+    EXPECT_FALSE((used >> a.module) & 1);
+    used |= std::uint64_t{1} << a.module;
+  }
+}
+
+TEST(LutSteering, RejectsModuleCountMismatch) {
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               4, AffinityStrategy::kAuto);
+  LutSteering policy(table);
+  EXPECT_THROW(policy.reset(2), std::invalid_argument);
+}
+
+TEST(LutBuilder, LayoutCostModelPrefersSaneLayouts) {
+  // The analytic model must prefer giving the dominant case a home over an
+  // all-wildcard layout, and per-case homes over everything-on-one-mask.
+  const auto stats = stats::paper_case_stats(isa::FuClass::kIalu);
+  const std::vector<std::uint8_t> coverage = {0b0001, 0b0100, 0b0010, 0b1000};
+  const std::vector<std::uint8_t> all_wild = {0b1111, 0b1111, 0b1111, 0b1111};
+  EXPECT_LT(expected_layout_cost(stats, coverage, 4),
+            expected_layout_cost(stats, all_wild, 4));
+}
+
+TEST(LutBuilder, ExpectedCostIsSymmetricZeroDiagonalish) {
+  const auto table = build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                               4, AffinityStrategy::kAuto);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_NEAR(table.expected_cost[static_cast<std::size_t>(a)]
+                                     [static_cast<std::size_t>(b)],
+                  table.expected_cost[static_cast<std::size_t>(b)]
+                                     [static_cast<std::size_t>(a)],
+                  1e-12);
+    }
+    // Pairing a case with itself is never worse than with its complement.
+    const int comp = a ^ 3;
+    EXPECT_LE(table.expected_cost[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(a)],
+              table.expected_cost[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(comp)] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mrisc::steer

@@ -1,0 +1,119 @@
+// MROB object format round-trip and robustness tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "isa/assembler.h"
+#include "isa/object.h"
+#include "sim/emulator.h"
+#include "workloads/workload.h"
+
+namespace mrisc::isa {
+namespace {
+
+Program sample() {
+  return assemble(
+      ".data\n"
+      "buf: .space 8\n"
+      "vals: .word 1, -2\n"
+      ".text\n"
+      "entry: li r1, 42\n"
+      "la r2, vals\n"
+      "lw r3, 0(r2)\n"
+      "out r3\n"
+      "halt\n",
+      "sample");
+}
+
+TEST(Object, RoundTripsInMemory) {
+  const Program original = sample();
+  const Program loaded = load_object(save_object(original));
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.code, original.code);
+  EXPECT_EQ(loaded.data, original.data);
+  EXPECT_EQ(loaded.text_symbols, original.text_symbols);
+  EXPECT_EQ(loaded.data_symbols, original.data_symbols);
+}
+
+TEST(Object, RoundTripsEveryWorkload) {
+  for (const auto& w : workloads::full_suite(workloads::SuiteConfig{0.05})) {
+    const Program original = w.assembled();
+    const Program loaded = load_object(save_object(original));
+    EXPECT_EQ(loaded.code, original.code) << w.name;
+    EXPECT_EQ(loaded.data, original.data) << w.name;
+  }
+}
+
+TEST(Object, LoadedProgramRunsIdentically) {
+  const Program original = sample();
+  const Program loaded = load_object(save_object(original));
+  sim::Emulator a(original), b(loaded);
+  a.run(1000);
+  b.run(1000);
+  ASSERT_TRUE(a.halted());
+  ASSERT_TRUE(b.halted());
+  ASSERT_EQ(a.output().size(), b.output().size());
+  EXPECT_EQ(a.output()[0].bits, b.output()[0].bits);
+}
+
+TEST(Object, RejectsBadMagic) {
+  auto bytes = save_object(sample());
+  bytes[0] = 'X';
+  EXPECT_THROW(load_object(bytes), ObjectError);
+}
+
+TEST(Object, RejectsTruncation) {
+  const auto bytes = save_object(sample());
+  for (const std::size_t cut : {std::size_t{5}, std::size_t{12}, bytes.size() - 1}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(load_object(truncated), ObjectError) << cut;
+  }
+}
+
+TEST(Object, RejectsTrailingGarbage) {
+  auto bytes = save_object(sample());
+  bytes.push_back(0);
+  EXPECT_THROW(load_object(bytes), ObjectError);
+}
+
+TEST(Object, RejectsBadVersion) {
+  auto bytes = save_object(sample());
+  bytes[4] = 99;
+  EXPECT_THROW(load_object(bytes), ObjectError);
+}
+
+TEST(Object, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mrisc_object_test.mo";
+  const Program original = sample();
+  write_object_file(original, path);
+  const Program loaded = read_object_file(path);
+  EXPECT_EQ(loaded.code, original.code);
+  std::remove(path.c_str());
+}
+
+TEST(Object, LoadProgramFileDispatchesOnMagic) {
+  const std::string dir = ::testing::TempDir();
+  const std::string asm_path = dir + "/prog_dispatch_test.s";
+  const std::string obj_path = dir + "/prog_dispatch_test.mo";
+  {
+    std::ofstream out(asm_path);
+    out << "li r1, 7\nout r1\nhalt\n";
+  }
+  const Program from_asm = load_program_file(asm_path);
+  EXPECT_EQ(from_asm.code.size(), 3u);
+  write_object_file(from_asm, obj_path);
+  const Program from_obj = load_program_file(obj_path);
+  EXPECT_EQ(from_obj.code, from_asm.code);
+  std::remove(asm_path.c_str());
+  std::remove(obj_path.c_str());
+}
+
+TEST(Object, MissingFileThrows) {
+  EXPECT_THROW(read_object_file("/nonexistent/nope.mo"), ObjectError);
+  EXPECT_THROW(load_program_file("/nonexistent/nope.s"), ObjectError);
+}
+
+}  // namespace
+}  // namespace mrisc::isa

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "power/energy.h"
+
+namespace mrisc::power {
+namespace {
+
+using sim::IssueSlot;
+using sim::ModuleAssignment;
+
+IssueSlot int_slot(std::uint32_t a, std::uint32_t b, bool commutative = true) {
+  IssueSlot slot;
+  slot.op1 = a;
+  slot.op2 = b;
+  slot.has_op1 = slot.has_op2 = true;
+  slot.commutative = commutative;
+  return slot;
+}
+
+TEST(Hamming, DomainWidths) {
+  EXPECT_EQ(domain_bits(false), 32);
+  EXPECT_EQ(domain_bits(true), 52);
+  // Integer Hamming over the 32-bit word.
+  EXPECT_EQ(operand_hamming(0xFFFFFFFFu, 0, false), 32);
+  // FP Hamming over the 52-bit mantissa only: exponent/sign bits ignored.
+  const std::uint64_t exp_only = 0x7FF0000000000000ull;
+  EXPECT_EQ(operand_hamming(exp_only, 0, true), 0);
+  EXPECT_EQ(operand_hamming((std::uint64_t{1} << 52) - 1, 0, true), 52);
+}
+
+TEST(Accountant, ChargesHammingAgainstModuleLatch) {
+  EnergyAccountant acc;
+  const IssueSlot first = int_slot(0x0000000F, 0);  // 4 bits vs zeroed latch
+  ModuleAssignment assign{0, false};
+  acc.on_issue(isa::FuClass::kIalu, std::span(&first, 1), std::span(&assign, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, 4u);
+
+  // Same inputs again on the same module: zero switching.
+  acc.on_issue(isa::FuClass::kIalu, std::span(&first, 1), std::span(&assign, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, 4u);
+
+  // Different module: cold latch, full charge again.
+  ModuleAssignment other{1, false};
+  acc.on_issue(isa::FuClass::kIalu, std::span(&first, 1), std::span(&other, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, 8u);
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).ops, 3u);
+}
+
+TEST(Accountant, SwappedPresentsOperandsExchanged) {
+  EnergyAccountant acc;
+  ModuleAssignment plain{0, false};
+  const IssueSlot a = int_slot(0xFF, 0x00);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&a, 1), std::span(&plain, 1));
+  // Latch now (FF, 00). Swapped issue of (00, FF) presents (FF, 00): free.
+  const IssueSlot b = int_slot(0x00, 0xFF);
+  ModuleAssignment swapped{0, true};
+  const auto before = acc.cls(isa::FuClass::kIalu).switched_bits;
+  acc.on_issue(isa::FuClass::kIalu, std::span(&b, 1), std::span(&swapped, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, before);
+
+  // Unswapped it would have cost 16 bits.
+  acc.reset();
+  acc.on_issue(isa::FuClass::kIalu, std::span(&a, 1), std::span(&plain, 1));
+  acc.on_issue(isa::FuClass::kIalu, std::span(&b, 1), std::span(&plain, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, 8u + 16u);
+}
+
+TEST(Accountant, UnaryLeavesSecondPortLatched) {
+  EnergyAccountant acc;
+  ModuleAssignment assign{0, false};
+  const IssueSlot binary = int_slot(0, 0xFFFF);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&binary, 1),
+               std::span(&assign, 1));
+  const auto after_binary = acc.cls(isa::FuClass::kIalu).switched_bits;
+  EXPECT_EQ(after_binary, 16u);
+
+  IssueSlot unary;
+  unary.op1 = 0;
+  unary.has_op1 = true;
+  unary.has_op2 = false;
+  acc.on_issue(isa::FuClass::kIalu, std::span(&unary, 1), std::span(&assign, 1));
+  // op2 port untouched (transparent latch): no charge for it.
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, after_binary);
+
+  // Next binary op pays only against the *held* op2 value.
+  acc.on_issue(isa::FuClass::kIalu, std::span(&binary, 1),
+               std::span(&assign, 1));
+  EXPECT_EQ(acc.cls(isa::FuClass::kIalu).switched_bits, after_binary);
+}
+
+TEST(Accountant, BoothProxyCountsOnesInSecondOperand) {
+  PowerConfig config;
+  config.booth_model_for_mult = true;
+  EnergyAccountant acc(config);
+  ModuleAssignment assign{0, false};
+  const IssueSlot m = int_slot(0x3, 0xFF);
+  acc.on_issue(isa::FuClass::kImult, std::span(&m, 1), std::span(&assign, 1));
+  EXPECT_DOUBLE_EQ(acc.cls(isa::FuClass::kImult).booth_adds, 8.0);
+
+  // Swapped: op2 becomes 0x3 -> 2 adds.
+  acc.reset();
+  ModuleAssignment swapped{0, true};
+  acc.on_issue(isa::FuClass::kImult, std::span(&m, 1), std::span(&swapped, 1));
+  EXPECT_DOUBLE_EQ(acc.cls(isa::FuClass::kImult).booth_adds, 2.0);
+
+  // No Booth term outside multiplier classes.
+  acc.reset();
+  acc.on_issue(isa::FuClass::kIalu, std::span(&m, 1), std::span(&assign, 1));
+  EXPECT_DOUBLE_EQ(acc.cls(isa::FuClass::kIalu).booth_adds, 0.0);
+}
+
+TEST(Accountant, JoulesScaleWithConfig) {
+  PowerConfig config;
+  config.vdd_volts = 2.0;
+  config.c_per_flip[static_cast<std::size_t>(isa::FuClass::kIalu)] = 1e-12;
+  config.booth_model_for_mult = false;
+  EnergyAccountant acc(config);
+  ModuleAssignment assign{0, false};
+  const IssueSlot slot = int_slot(0xF, 0);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  // E = 0.5 * 4 V^2 * 1e-12 F * 4 flips = 8e-12 J.
+  EXPECT_DOUBLE_EQ(acc.joules(isa::FuClass::kIalu), 8e-12);
+}
+
+TEST(Accountant, BitsPerOp) {
+  EnergyAccountant acc;
+  ModuleAssignment assign{0, false};
+  const IssueSlot slot = int_slot(0xF0F0, 0);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  const IssueSlot slot2 = int_slot(0xF0F0, 0);
+  acc.on_issue(isa::FuClass::kIalu, std::span(&slot2, 1), std::span(&assign, 1));
+  EXPECT_DOUBLE_EQ(acc.bits_per_op(isa::FuClass::kIalu), 4.0);
+}
+
+}  // namespace
+}  // namespace mrisc::power

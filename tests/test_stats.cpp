@@ -1,0 +1,168 @@
+// Statistics collectors (Tables 1-3) and paper reference data tests.
+#include <gtest/gtest.h>
+
+#include "stats/bit_patterns.h"
+#include "stats/paper_ref.h"
+#include "stats/report.h"
+
+namespace mrisc::stats {
+namespace {
+
+using sim::IssueSlot;
+using sim::ModuleAssignment;
+
+IssueSlot make_slot(std::uint64_t a, std::uint64_t b, bool commutative,
+                    bool fp = false) {
+  IssueSlot slot;
+  slot.op1 = a;
+  slot.op2 = b;
+  slot.has_op1 = slot.has_op2 = true;
+  slot.commutative = commutative;
+  slot.fp_operands = fp;
+  return slot;
+}
+
+TEST(BitPatterns, ClassifiesCasesAndCommutativity) {
+  BitPatternCollector collector;
+  ModuleAssignment assign{0, false};
+  const IssueSlot c00 = make_slot(1, 1, true);
+  const IssueSlot c01 = make_slot(1, 0xFFFFFFFFull, false);
+  const IssueSlot c11 = make_slot(0xFFFFFFFFull, 0xFFFFFFFFull, true);
+  collector.on_issue(isa::FuClass::kIalu, std::span(&c00, 1),
+                     std::span(&assign, 1));
+  collector.on_issue(isa::FuClass::kIalu, std::span(&c01, 1),
+                     std::span(&assign, 1));
+  collector.on_issue(isa::FuClass::kIalu, std::span(&c11, 1),
+                     std::span(&assign, 1));
+
+  EXPECT_EQ(collector.row(isa::FuClass::kIalu, 0b00, true).count, 1u);
+  EXPECT_EQ(collector.row(isa::FuClass::kIalu, 0b01, false).count, 1u);
+  EXPECT_EQ(collector.row(isa::FuClass::kIalu, 0b11, true).count, 1u);
+  EXPECT_EQ(collector.total(isa::FuClass::kIalu), 3u);
+  EXPECT_DOUBLE_EQ(collector.case_prob(isa::FuClass::kIalu, 0b00), 1.0 / 3.0);
+}
+
+TEST(BitPatterns, OperandHighFractions) {
+  BitPatternCollector collector;
+  ModuleAssignment assign{0, false};
+  const IssueSlot slot = make_slot(0xFFFF0000ull, 0x0000FFFFull, true);
+  collector.on_issue(isa::FuClass::kIalu, std::span(&slot, 1),
+                     std::span(&assign, 1));
+  const CaseRow& row = collector.row(isa::FuClass::kIalu, 0b10, true);
+  EXPECT_DOUBLE_EQ(row.p1(), 0.5);
+  EXPECT_DOUBLE_EQ(row.p2(), 0.5);
+}
+
+TEST(BitPatterns, FpUsesMantissaDomain) {
+  BitPatternCollector collector;
+  ModuleAssignment assign{0, false};
+  // Mantissa all-ones (52 bits); exponent bits must not count.
+  const IssueSlot slot =
+      make_slot((std::uint64_t{1} << 52) - 1, 0, true, true);
+  collector.on_issue(isa::FuClass::kFpau, std::span(&slot, 1),
+                     std::span(&assign, 1));
+  const CaseRow& row = collector.row(isa::FuClass::kFpau, 0b10, true);
+  EXPECT_DOUBLE_EQ(row.p1(), 1.0);
+  EXPECT_DOUBLE_EQ(row.p2(), 0.0);
+}
+
+TEST(BitPatterns, UnaryCountedSeparately) {
+  BitPatternCollector collector;
+  ModuleAssignment assign{0, false};
+  IssueSlot unary;
+  unary.op1 = 5;
+  unary.has_op1 = true;
+  collector.on_issue(isa::FuClass::kFpau, std::span(&unary, 1),
+                     std::span(&assign, 1));
+  EXPECT_EQ(collector.total(isa::FuClass::kFpau), 0u);
+  EXPECT_EQ(collector.unary(isa::FuClass::kFpau), 1u);
+}
+
+TEST(BitPatterns, MergeAddsCounts) {
+  BitPatternCollector a, b;
+  ModuleAssignment assign{0, false};
+  const IssueSlot slot = make_slot(1, 1, true);
+  a.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  b.on_issue(isa::FuClass::kIalu, std::span(&slot, 1), std::span(&assign, 1));
+  a.merge(b);
+  EXPECT_EQ(a.total(isa::FuClass::kIalu), 2u);
+}
+
+TEST(BitPatterns, CaseStatsExport) {
+  BitPatternCollector collector;
+  ModuleAssignment assign{0, false};
+  const IssueSlot c00 = make_slot(0x3, 0x1, true);
+  for (int i = 0; i < 3; ++i)
+    collector.on_issue(isa::FuClass::kIalu, std::span(&c00, 1),
+                       std::span(&assign, 1));
+  const IssueSlot c11 = make_slot(0xFFFFFFFF, 0xFFFFFFFF, true);
+  collector.on_issue(isa::FuClass::kIalu, std::span(&c11, 1),
+                     std::span(&assign, 1));
+  const auto stats = collector.case_stats(isa::FuClass::kIalu, 0.4);
+  EXPECT_DOUBLE_EQ(stats.prob[0], 0.75);
+  EXPECT_DOUBLE_EQ(stats.prob[3], 0.25);
+  EXPECT_DOUBLE_EQ(stats.multi_issue_prob, 0.4);
+  EXPECT_DOUBLE_EQ(stats.p_high[3][0], 1.0);
+}
+
+TEST(PaperRef, Table1FrequenciesSumToHundred) {
+  double ialu = 0, fpau = 0;
+  for (const auto& row : kPaperTable1Ialu) ialu += row.freq_pct;
+  for (const auto& row : kPaperTable1Fpau) fpau += row.freq_pct;
+  EXPECT_NEAR(ialu, 100.0, 0.1);
+  EXPECT_NEAR(fpau, 100.0, 0.1);
+}
+
+TEST(PaperRef, CaseStatsMatchHeadlineNumbers) {
+  // Section 4.3: IALU case 00 is "by far the most common
+  // (40.11% + 29.38% = 69.49%)"; FP case 11 is 42.25%.
+  const auto ialu = paper_case_stats(isa::FuClass::kIalu);
+  EXPECT_NEAR(ialu.prob[0b00], 0.6949, 1e-4);
+  const auto fpau = paper_case_stats(isa::FuClass::kFpau);
+  EXPECT_NEAR(fpau.prob[0b11], 0.4225, 1e-4);
+}
+
+TEST(PaperRef, MultiIssueProbabilities) {
+  // Table 2: IALU 59.8% multi-issue, FPAU 9.8%.
+  EXPECT_NEAR(paper_multi_issue_prob(isa::FuClass::kIalu), 0.597, 0.01);
+  EXPECT_NEAR(paper_multi_issue_prob(isa::FuClass::kFpau), 0.098, 0.01);
+}
+
+TEST(Occupancy, AggregatesPipelineStats) {
+  OccupancyAggregator agg;
+  sim::PipelineStats stats;
+  const auto ialu = static_cast<std::size_t>(isa::FuClass::kIalu);
+  stats.occupancy[ialu][0] = 50;
+  stats.occupancy[ialu][1] = 30;
+  stats.occupancy[ialu][2] = 15;
+  stats.occupancy[ialu][4] = 5;
+  agg.add(stats);
+  EXPECT_DOUBLE_EQ(agg.freq(isa::FuClass::kIalu, 1), 0.6);
+  EXPECT_DOUBLE_EQ(agg.freq(isa::FuClass::kIalu, 2), 0.3);
+  EXPECT_DOUBLE_EQ(agg.freq(isa::FuClass::kIalu, 4), 0.1);
+  EXPECT_DOUBLE_EQ(agg.multi_issue_prob(isa::FuClass::kIalu), 0.4);
+}
+
+TEST(Report, TablesRenderWithPaperColumns) {
+  BitPatternCollector collector;
+  ModuleAssignment assign{0, false};
+  const IssueSlot slot = make_slot(20, 20, true);
+  collector.on_issue(isa::FuClass::kIalu, std::span(&slot, 1),
+                     std::span(&assign, 1));
+  const std::string t1 = render_table1(collector, isa::FuClass::kIalu);
+  EXPECT_NE(t1.find("Table 1"), std::string::npos);
+  EXPECT_NE(t1.find("40.11"), std::string::npos);  // paper column present
+
+  OccupancyAggregator agg;
+  sim::PipelineStats stats;
+  stats.occupancy[static_cast<std::size_t>(isa::FuClass::kIalu)][1] = 1;
+  agg.add(stats);
+  const std::string t2 = render_table2(agg);
+  EXPECT_NE(t2.find("90.2"), std::string::npos);  // paper FPAU column
+
+  const std::string t3 = render_table3(collector);
+  EXPECT_NE(t3.find("93.79"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrisc::stats

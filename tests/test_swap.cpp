@@ -1,0 +1,91 @@
+// Hardware swap rule (section 4.4) and multiplier swap policy tests.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "steer/mult_swap.h"
+#include "steer/swap.h"
+
+namespace mrisc::steer {
+namespace {
+
+using sim::IssueSlot;
+using sim::ModuleAssignment;
+
+IssueSlot make_slot(std::uint64_t a, std::uint64_t b, bool commutative,
+                    bool fp = false) {
+  IssueSlot slot;
+  slot.op1 = a;
+  slot.op2 = b;
+  slot.has_op1 = slot.has_op2 = true;
+  slot.commutative = commutative;
+  slot.fp_operands = fp;
+  return slot;
+}
+
+TEST(SwapConfig, PaperDefaults) {
+  EXPECT_EQ(SwapConfig::hardware_for(isa::FuClass::kIalu).swap_case, 0b01);
+  EXPECT_EQ(SwapConfig::hardware_for(isa::FuClass::kFpau).swap_case, 0b10);
+}
+
+TEST(StaticSwap, OnlyMatchingCommutativeCases) {
+  const SwapConfig config{SwapConfig::Mode::kStaticCase, 0b01};
+  EXPECT_TRUE(static_swap(config, make_slot(1, 0x80000000ull, true)));
+  EXPECT_FALSE(static_swap(config, make_slot(1, 0x80000000ull, false)));
+  EXPECT_FALSE(static_swap(config, make_slot(0x80000000ull, 1, true)));
+  EXPECT_FALSE(static_swap(config, make_slot(1, 1, true)));
+  const SwapConfig off = SwapConfig::none();
+  EXPECT_FALSE(static_swap(off, make_slot(1, 0x80000000ull, true)));
+}
+
+TEST(StaticSwap, UnarySlotsNeverSwap) {
+  const SwapConfig config{SwapConfig::Mode::kStaticCase, 0b00};
+  IssueSlot unary;
+  unary.op1 = 1;
+  unary.has_op1 = true;
+  unary.commutative = true;
+  EXPECT_FALSE(static_swap(config, unary));
+}
+
+TEST(MultSwap, PopcountRulePutsFewerOnesSecond) {
+  MultSwapSteering policy(MultSwapSteering::Rule::kPopcount);
+  EXPECT_TRUE(policy.should_swap(make_slot(0x3, 0xFF, true)));
+  EXPECT_FALSE(policy.should_swap(make_slot(0xFF, 0x3, true)));
+  EXPECT_FALSE(policy.should_swap(make_slot(0xF, 0xF, true)));
+  // Non-commutative (div): never.
+  EXPECT_FALSE(policy.should_swap(make_slot(0x3, 0xFF, false)));
+}
+
+TEST(MultSwap, InfoBitRuleSwapsCase01Only) {
+  MultSwapSteering policy(MultSwapSteering::Rule::kInfoBit);
+  // Integer: sign bits (0,1) -> swap.
+  EXPECT_TRUE(policy.should_swap(make_slot(5, 0xFFFFFFF0ull, true)));
+  EXPECT_FALSE(policy.should_swap(make_slot(0xFFFFFFF0ull, 5, true)));
+  EXPECT_FALSE(policy.should_swap(make_slot(5, 7, true)));
+  // FP: low-4-OR bits.
+  double full = 1.0 / 3.0, round = 0.5;
+  std::uint64_t full_bits, round_bits;
+  std::memcpy(&full_bits, &full, 8);
+  std::memcpy(&round_bits, &round, 8);
+  EXPECT_TRUE(policy.should_swap(make_slot(round_bits, full_bits, true, true)));
+  EXPECT_FALSE(policy.should_swap(make_slot(full_bits, round_bits, true, true)));
+}
+
+TEST(MultSwap, NoneRuleNeverSwaps) {
+  MultSwapSteering policy(MultSwapSteering::Rule::kNone);
+  EXPECT_FALSE(policy.should_swap(make_slot(0x3, 0xFFFFFFFFull, true)));
+}
+
+TEST(MultSwap, AssignsSequentiallyFromAvailable) {
+  MultSwapSteering policy(MultSwapSteering::Rule::kPopcount);
+  policy.reset(1);
+  std::vector<IssueSlot> slots = {make_slot(0x3, 0xFF, true)};
+  std::vector<ModuleAssignment> out(1);
+  const std::vector<int> avail = {0};
+  policy.assign(slots, avail, out);
+  EXPECT_EQ(out[0].module, 0);
+  EXPECT_TRUE(out[0].swapped);
+}
+
+}  // namespace
+}  // namespace mrisc::steer

@@ -1,0 +1,135 @@
+// Trace file format tests: pack/unpack bijection, file round trip, and
+// replay equivalence (a timing run from a trace file must match a live run).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "power/energy.h"
+#include "sim/emulator.h"
+#include "sim/ooo.h"
+#include "sim/trace_io.h"
+#include "util/rng.h"
+#include "workloads/workload.h"
+
+namespace mrisc::sim {
+namespace {
+
+TraceRecord random_record(util::Xoshiro256& rng) {
+  TraceRecord r;
+  r.pc = static_cast<std::uint32_t>(rng.next());
+  r.op = static_cast<isa::Opcode>(rng.next_below(isa::kNumOpcodes));
+  r.fu = static_cast<isa::FuClass>(rng.next_below(isa::kNumFuClasses));
+  r.op1 = rng.next();
+  r.op2 = rng.next();
+  r.has_op1 = rng.next_below(2);
+  r.has_op2 = rng.next_below(2);
+  r.fp_operands = rng.next_below(2);
+  r.commutative = rng.next_below(2);
+  r.has_src1 = rng.next_below(2);
+  r.has_src2 = rng.next_below(2);
+  r.src1_fp = rng.next_below(2);
+  r.src2_fp = rng.next_below(2);
+  r.has_dest = rng.next_below(2);
+  r.dest_fp = rng.next_below(2);
+  r.is_load = rng.next_below(2);
+  r.is_store = rng.next_below(2);
+  r.is_branch = rng.next_below(2);
+  r.branch_taken = rng.next_below(2);
+  r.src1_reg = static_cast<std::uint8_t>(rng.next_below(32));
+  r.src2_reg = static_cast<std::uint8_t>(rng.next_below(32));
+  r.dest_reg = static_cast<std::uint8_t>(rng.next_below(32));
+  r.mem_addr = static_cast<std::uint32_t>(rng.next());
+  return r;
+}
+
+bool records_equal(const TraceRecord& a, const TraceRecord& b) {
+  return a.pc == b.pc && a.op == b.op && a.fu == b.fu && a.op1 == b.op1 &&
+         a.op2 == b.op2 && a.has_op1 == b.has_op1 && a.has_op2 == b.has_op2 &&
+         a.fp_operands == b.fp_operands && a.commutative == b.commutative &&
+         a.has_src1 == b.has_src1 && a.has_src2 == b.has_src2 &&
+         a.src1_fp == b.src1_fp && a.src2_fp == b.src2_fp &&
+         a.has_dest == b.has_dest && a.dest_fp == b.dest_fp &&
+         a.is_load == b.is_load && a.is_store == b.is_store &&
+         a.is_branch == b.is_branch && a.branch_taken == b.branch_taken &&
+         a.src1_reg == b.src1_reg && a.src2_reg == b.src2_reg &&
+         a.dest_reg == b.dest_reg && a.mem_addr == b.mem_addr;
+}
+
+TEST(TraceIo, PackUnpackBijection) {
+  util::Xoshiro256 rng(404);
+  for (int i = 0; i < 500; ++i) {
+    const TraceRecord original = random_record(rng);
+    std::uint8_t buf[kTraceRecordBytes];
+    pack_record(original, buf);
+    EXPECT_TRUE(records_equal(unpack_record(buf), original)) << i;
+  }
+}
+
+TEST(TraceIo, FileRoundTripAndReplayEquivalence) {
+  const std::string path = ::testing::TempDir() + "/trace_io_test.trc";
+  const auto workload = workloads::make_compress(workloads::SuiteConfig{0.05});
+
+  // Record.
+  {
+    sim::Emulator emu(workload.assembled());
+    sim::EmulatorTraceSource source(emu);
+    TraceWriter writer(path);
+    writer.write_all(source);
+    EXPECT_TRUE(emu.halted());
+  }
+
+  // Live run vs trace replay: identical timing and energy.
+  auto simulate = [&](TraceSource& source) {
+    OooCore core(OooConfig{}, source);
+    power::EnergyAccountant accountant;
+    core.add_listener(&accountant);
+    core.run();
+    return std::pair(core.stats().cycles,
+                     accountant.cls(isa::FuClass::kIalu).switched_bits);
+  };
+
+  sim::Emulator live_emu(workload.assembled());
+  sim::EmulatorTraceSource live(live_emu);
+  const auto [live_cycles, live_bits] = simulate(live);
+
+  TraceFileSource replay(path);
+  const auto [replay_cycles, replay_bits] = simulate(replay);
+
+  EXPECT_EQ(replay_cycles, live_cycles);
+  EXPECT_EQ(replay_bits, live_bits);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadFiles) {
+  const std::string path = ::testing::TempDir() + "/bad_trace.trc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE-this-is-not-a-trace";
+  }
+  EXPECT_THROW(TraceFileSource{path}, TraceIoError);
+  EXPECT_THROW(TraceFileSource{"/nonexistent/x.trc"}, TraceIoError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, DetectsTruncatedRecords) {
+  const std::string path = ::testing::TempDir() + "/trunc_trace.trc";
+  {
+    TraceWriter writer(path);
+    util::Xoshiro256 rng(1);
+    writer.write(random_record(rng));
+  }
+  // Chop off the last few bytes.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  TraceFileSource source(path);
+  EXPECT_THROW(source.next(), TraceIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrisc::sim

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/bitops.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace mrisc::util {
+namespace {
+
+TEST(Bitops, HammingBasics) {
+  EXPECT_EQ(hamming(0, 0), 0);
+  EXPECT_EQ(hamming(0, ~std::uint64_t{0}), 64);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming(0xFF00FF00u, 0x00FF00FFu), 32);
+}
+
+TEST(Bitops, HammingLowMasks) {
+  EXPECT_EQ(hamming_low(~std::uint64_t{0}, 0, 52), 52);
+  EXPECT_EQ(hamming_low(~std::uint64_t{0}, 0, 64), 64);
+  EXPECT_EQ(hamming_low(0xF0, 0x0F, 4), 4);
+  EXPECT_EQ(hamming_low(0xF0, 0x0F, 8), 8);
+}
+
+TEST(Bitops, HammingSymmetricAndTriangle) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = rng.next(), b = rng.next(), c = rng.next();
+    EXPECT_EQ(hamming(a, b), hamming(b, a));
+    EXPECT_LE(hamming(a, c), hamming(a, b) + hamming(b, c));
+    EXPECT_EQ(hamming(a, a), 0);
+  }
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(20, 8), 20);
+}
+
+TEST(Bitops, IntSignBit) {
+  EXPECT_FALSE(int_sign_bit(20));
+  EXPECT_TRUE(int_sign_bit(static_cast<std::uint32_t>(-20)));
+  EXPECT_FALSE(int_sign_bit(0));
+  EXPECT_TRUE(int_sign_bit(0x80000000u));
+}
+
+TEST(Bitops, SignRunLengthMatchesPaperExample) {
+  // Decimal 20 = 0x00000014: 27 leading zeros follow the (zero) sign bit,
+  // i.e. bits 30..5 plus bit 31 itself; excluding the sign bit: 26.
+  EXPECT_EQ(sign_run_length(20), 26);
+  EXPECT_EQ(sign_run_length(static_cast<std::uint32_t>(-20)), 26);
+  EXPECT_EQ(sign_run_length(0), 31);
+  EXPECT_EQ(sign_run_length(0xFFFFFFFFu), 31);
+  EXPECT_EQ(sign_run_length(1), 30);
+}
+
+TEST(Bitops, FpMantissaAndLow4) {
+  const double seven = 7.0;  // mantissa 11 -> 50 trailing zeros
+  std::uint64_t bits;
+  std::memcpy(&bits, &seven, sizeof bits);
+  EXPECT_EQ(mantissa_trailing_zeros(bits), 50);
+  EXPECT_FALSE(fp_low4_or(bits));
+
+  const double third = 1.0 / 3.0;  // full-precision mantissa
+  std::memcpy(&bits, &third, sizeof bits);
+  EXPECT_TRUE(fp_low4_or(bits));
+  EXPECT_LT(mantissa_trailing_zeros(bits), 4);
+}
+
+TEST(Bitops, PopcountLow) {
+  EXPECT_EQ(popcount_low(0xFFFFFFFFFFFFFFFFull, 32), 32);
+  EXPECT_EQ(popcount_low(0xFFFFFFFFFFFFFFFFull, 52), 52);
+  EXPECT_EQ(popcount_low(0x10, 4), 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughUniformity) {
+  Xoshiro256 rng(3);
+  int buckets[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(8)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, n / 8 - n / 40);
+    EXPECT_LT(b, n / 8 + n / 40);
+  }
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_rule();
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string("title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(12.345, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace mrisc::util

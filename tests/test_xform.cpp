@@ -1,0 +1,195 @@
+// Compiler swap pass tests: semantic preservation (always), profile-driven
+// decisions, flip twins, and the paper's stated compiler advantages and
+// disadvantages.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+#include "workloads/workload.h"
+#include "xform/profile.h"
+#include "xform/swap_pass.h"
+
+namespace mrisc::xform {
+namespace {
+
+std::vector<std::int64_t> run_ints(const isa::Program& program) {
+  sim::Emulator emu(program);
+  emu.run(50'000'000);
+  EXPECT_TRUE(emu.halted());
+  std::vector<std::int64_t> out;
+  for (const auto& o : emu.output())
+    if (!o.is_fp) out.push_back(o.as_int());
+  return out;
+}
+
+TEST(Profile, CollectsPerPcOperandStatistics) {
+  const auto program = isa::assemble(
+      "li r1, 10\n"
+      "li r2, -10\n"
+      "li r3, 100\n"
+      "loop: add r4, r1, r2\n"    // pc 3: case 01 every time
+      "addi r3, r3, -1\n"
+      "bne r3, r0, loop\n"
+      "halt\n");
+  const auto profile = profile_program(program);
+  const PcProfile& add = profile[3];
+  EXPECT_EQ(add.executions, 100u);
+  EXPECT_DOUBLE_EQ(add.p_bit1(), 0.0);
+  EXPECT_DOUBLE_EQ(add.p_bit2(), 1.0);
+  EXPECT_LT(add.frac1(), 0.3);
+  EXPECT_GT(add.frac2(), 0.7);
+}
+
+TEST(SwapPass, SwapsCaseRuleInstructions) {
+  // add r4, r1, r2 runs as case 01 (IALU swap-from case): must swap.
+  auto program = isa::assemble(
+      "li r1, 10\n"
+      "li r2, -10\n"
+      "li r3, 100\n"
+      "loop: add r4, r1, r2\n"
+      "addi r3, r3, -1\n"
+      "bne r3, r0, loop\n"
+      "out r4\nhalt\n");
+  const auto before = run_ints(program);
+  const auto profile = profile_program(program);
+  const auto report = compiler_swap_pass(program, profile);
+  EXPECT_GE(report.swapped, 1u);
+  EXPECT_EQ(program.code[3].rs1, 2);  // operands exchanged
+  EXPECT_EQ(program.code[3].rs2, 1);
+  EXPECT_EQ(run_ints(program), before);  // semantics preserved
+}
+
+TEST(SwapPass, FlipsComparisonOpcodes) {
+  // sgt with a case-01 profile must become slt with swapped operands (the
+  // paper's ">" -> "<=" example, modulo strictness bookkeeping).
+  auto program = isa::assemble(
+      "li r1, 5\n"          // bit 0
+      "li r2, -7\n"         // bit 1
+      "li r3, 64\n"
+      "loop: slt r4, r1, r2\n"
+      "addi r3, r3, -1\n"
+      "bne r3, r0, loop\n"
+      "out r4\nhalt\n");
+  const auto before = run_ints(program);
+  const auto profile = profile_program(program);
+  const auto report = compiler_swap_pass(program, profile);
+  EXPECT_GE(report.flipped, 1u);
+  EXPECT_EQ(program.code[3].op, isa::Opcode::kSgt);
+  EXPECT_EQ(run_ints(program), before);
+}
+
+TEST(SwapPass, ImmediateFormsAreNeverTouched) {
+  // The paper's third compiler disadvantage: addi cannot encode a swap.
+  // (The loop uses blt, which is neither commutative nor flippable, so the
+  // immediate add is the only candidate in sight.)
+  auto program = isa::assemble(
+      "li r1, -5\n"
+      "li r3, 32\n"
+      "loop: addi r4, r1, 100\n"  // case 10-ish but immediate
+      "addi r3, r3, -1\n"
+      "blt r0, r3, loop\n"
+      "halt\n");
+  const auto profile = profile_program(program);
+  const auto report = compiler_swap_pass(program, profile);
+  EXPECT_EQ(report.swapped, 0u);
+}
+
+TEST(SwapPass, UniformCaseOrdersByOnesFraction) {
+  // "1 + 511" vs "511 + 1": both look like case 00 to the hardware; full
+  // counting canonicalizes to heavy-first (matching the hardware swap-to
+  // orientation).
+  auto program = isa::assemble(
+      "li r1, 511\n"
+      "li r2, 1\n"
+      "li r3, 64\n"
+      "loop: add r4, r2, r1\n"   // light first: must swap to heavy-first
+      "addi r3, r3, -1\n"
+      "blt r0, r3, loop\n"
+      "out r4\nhalt\n");
+  const auto before = run_ints(program);
+  const auto profile = profile_program(program);
+  const auto report = compiler_swap_pass(program, profile);
+  ASSERT_EQ(report.swapped, 1u);
+  EXPECT_EQ(report.decisions[0].reason, SwapReason::kFracOrder);
+  EXPECT_EQ(program.code[3].rs1, 1);
+  EXPECT_EQ(run_ints(program), before);
+
+  // The already-heavy-first version must NOT swap.
+  auto ordered = isa::assemble(
+      "li r1, 511\n"
+      "li r2, 1\n"
+      "li r3, 64\n"
+      "loop: add r4, r1, r2\n"
+      "addi r3, r3, -1\n"
+      "blt r0, r3, loop\n"
+      "out r4\nhalt\n");
+  const auto profile2 = profile_program(ordered);
+  EXPECT_EQ(compiler_swap_pass(ordered, profile2).swapped, 0u);
+}
+
+TEST(SwapPass, MultiplierUsesBoothRule) {
+  // mul with ones-heavy second operand must swap (fewer ones second).
+  auto program = isa::assemble(
+      "li r1, 3\n"
+      "li r2, 0x7FFFFFFF\n"
+      "li r3, 64\n"
+      "loop: mul r4, r1, r2\n"
+      "addi r3, r3, -1\n"
+      "blt r0, r3, loop\n"
+      "out r4\nhalt\n");
+  const auto before = run_ints(program);
+  const auto profile = profile_program(program);
+  const auto report = compiler_swap_pass(program, profile);
+  ASSERT_EQ(report.swapped, 1u);
+  EXPECT_EQ(report.decisions[0].reason, SwapReason::kBoothOnes);
+  EXPECT_EQ(run_ints(program), before);
+}
+
+TEST(SwapPass, ColdCodeIsLeftAlone) {
+  // Below min_executions the profile is not trusted.
+  auto program = isa::assemble(
+      "li r1, 10\n"
+      "li r2, -10\n"
+      "add r4, r1, r2\n"   // executes once
+      "out r4\nhalt\n");
+  const auto profile = profile_program(program);
+  SwapPassConfig config;
+  config.min_executions = 8;
+  EXPECT_EQ(compiler_swap_pass(program, profile, config).swapped, 0u);
+}
+
+TEST(SwapPass, EveryWorkloadSurvivesRewriting) {
+  // Property: the pass must preserve semantics on the entire suite (outputs
+  // are validated against the reference model).
+  for (const auto& w :
+       workloads::full_suite(workloads::SuiteConfig{0.25})) {
+    SwapReport report;
+    const isa::Program rewritten =
+        swapped_copy(w.assembled(), SwapPassConfig{}, &report);
+    sim::Emulator emu(rewritten);
+    emu.run(50'000'000);
+    ASSERT_TRUE(emu.halted()) << w.name;
+    std::vector<std::int64_t> ints;
+    std::vector<std::uint64_t> fps;
+    for (const auto& o : emu.output()) {
+      if (o.is_fp) {
+        fps.push_back(o.bits);
+      } else {
+        ints.push_back(o.as_int());
+      }
+    }
+    EXPECT_EQ(ints, w.expected_ints) << w.name << " " << report.summary();
+    EXPECT_EQ(fps, w.expected_fp_bits) << w.name;
+  }
+}
+
+TEST(SwapPass, ReportSummaryIsReadable) {
+  SwapReport report;
+  report.candidates = 10;
+  report.swapped = 3;
+  report.flipped = 1;
+  EXPECT_NE(report.summary().find("3 of 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrisc::xform

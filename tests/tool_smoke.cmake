@@ -1,0 +1,48 @@
+# End-to-end smoke test of the command-line tools:
+#   write source -> mrisc-asm -> mrisc-run (source and object agree)
+#   -> mrisc-swap -> mrisc-run (rewritten binary agrees)
+#   -> mrisc-sim prints energy accounting.
+file(WRITE ${WORK}/smoke.s
+"li r1, 10
+li r2, -3
+mul r3, r1, r2
+add r4, r3, r1
+out r4
+halt
+")
+
+function(run_checked out_var)
+  execute_process(COMMAND ${ARGN}
+    OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${stdout}\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+run_checked(src_out ${RUN} ${WORK}/smoke.s)
+if(NOT src_out MATCHES "-20")
+  message(FATAL_ERROR "mrisc-run source output wrong: '${src_out}'")
+endif()
+
+run_checked(asm_out ${ASM} ${WORK}/smoke.s -o ${WORK}/smoke.mo)
+run_checked(obj_out ${RUN} ${WORK}/smoke.mo)
+if(NOT obj_out STREQUAL src_out)
+  message(FATAL_ERROR "object output differs: '${obj_out}' vs '${src_out}'")
+endif()
+
+run_checked(dis_out ${ASM} --disasm ${WORK}/smoke.mo)
+if(NOT dis_out MATCHES "mul r3, r1, r2")
+  message(FATAL_ERROR "disassembly missing mul: '${dis_out}'")
+endif()
+
+run_checked(swap_out ${SWAP} ${WORK}/smoke.s -o ${WORK}/smoke_swapped.mo)
+run_checked(swapped_run ${RUN} ${WORK}/smoke_swapped.mo)
+if(NOT swapped_run STREQUAL src_out)
+  message(FATAL_ERROR "swap pass changed semantics: '${swapped_run}'")
+endif()
+
+run_checked(sim_out ${SIM} ${WORK}/smoke.s --scheme lut4 --swap hw)
+if(NOT sim_out MATCHES "IALU" OR NOT sim_out MATCHES "switched bits")
+  message(FATAL_ERROR "mrisc-sim report malformed: '${sim_out}'")
+endif()

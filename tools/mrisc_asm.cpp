@@ -1,0 +1,67 @@
+// mrisc-asm: assemble mrisc source to an MROB object, or disassemble an
+// object back to readable text.
+//
+//   mrisc-asm prog.s -o prog.mo          assemble
+//   mrisc-asm --disasm prog.mo           disassemble to stdout
+//   mrisc-asm --symbols prog.mo          also list symbols
+#include <cstdio>
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "isa/object.h"
+#include "util/flags.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mrisc-asm <input.s> [-o out.mo]\n"
+               "       mrisc-asm --disasm <input.mo|input.s> [--symbols]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrisc;
+  util::Flags flags(argc, argv, {"o"}, {"disasm", "symbols"});
+  // "-o" convention: also accept it as a positional pair.
+  std::vector<std::string> inputs;
+  std::string output;
+  const auto& pos = flags.positional();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (pos[i] == "-o" && i + 1 < pos.size()) {
+      output = pos[++i];
+    } else {
+      inputs.push_back(pos[i]);
+    }
+  }
+  if (const auto o = flags.get("o")) output = *o;
+  if (inputs.size() != 1 || !flags.unknown().empty()) return usage();
+
+  try {
+    const isa::Program program = isa::load_program_file(inputs[0]);
+    if (flags.has("disasm")) {
+      for (std::uint32_t pc = 0; pc < program.code.size(); ++pc)
+        std::printf("%5u:  %s\n", pc,
+                    isa::disassemble(program.code[pc], pc).c_str());
+      if (flags.has("symbols")) {
+        for (const auto& [name, value] : program.text_symbols)
+          std::printf("text %6u %s\n", value, name.c_str());
+        for (const auto& [name, value] : program.data_symbols)
+          std::printf("data %#8x %s\n", value, name.c_str());
+      }
+      return 0;
+    }
+    if (output.empty()) output = program.name + ".mo";
+    isa::write_object_file(program, output);
+    std::printf("%s: %zu instructions, %zu data bytes -> %s\n",
+                program.name.c_str(), program.code.size(),
+                program.data.size(), output.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-asm: %s\n", e.what());
+    return 1;
+  }
+}

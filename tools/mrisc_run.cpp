@@ -1,0 +1,53 @@
+// mrisc-run: functionally execute an mrisc program (assembly or MROB
+// object) and print its OUT/OUTF channel plus basic statistics.
+//
+//   mrisc-run prog.s [--max-steps N] [--trace]
+#include <cstdio>
+#include <inttypes.h>
+
+#include "isa/disasm.h"
+#include "isa/object.h"
+#include "sim/emulator.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace mrisc;
+  util::Flags flags(argc, argv, {"max-steps"}, {"trace"});
+  if (flags.positional().size() != 1 || !flags.unknown().empty()) {
+    std::fprintf(stderr, "usage: mrisc-run <prog.s|prog.mo> [--max-steps N]"
+                         " [--trace]\n");
+    return 2;
+  }
+  const auto max_steps =
+      static_cast<std::uint64_t>(flags.get_int("max-steps", 100'000'000));
+
+  try {
+    sim::Emulator emu(isa::load_program_file(flags.positional()[0]));
+    if (flags.has("trace")) {
+      std::uint64_t n = 0;
+      while (n < max_steps) {
+        const auto pc = emu.pc();
+        if (pc >= emu.program().code.size()) break;
+        const isa::Instruction inst = emu.program().code[pc];
+        if (!emu.step()) break;
+        std::printf("%8" PRIu64 "  %5u  %s\n", n++, pc,
+                    isa::disassemble(inst, pc).c_str());
+      }
+    } else {
+      emu.run(max_steps);
+    }
+    for (const auto& out : emu.output()) {
+      if (out.is_fp) {
+        std::printf("%.17g\n", out.as_double());
+      } else {
+        std::printf("%lld\n", static_cast<long long>(out.as_int()));
+      }
+    }
+    std::fprintf(stderr, "[%s after %" PRIu64 " instructions]\n",
+                 emu.halted() ? "halted" : "stopped", emu.retired());
+    return emu.halted() ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-run: %s\n", e.what());
+    return 1;
+  }
+}

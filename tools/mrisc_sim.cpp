@@ -1,0 +1,129 @@
+// mrisc-sim: the full power-aware out-of-order simulation of the paper on
+// one program, with the steering scheme, swap mode and machine shape
+// selectable from the command line or an INI config file.
+//
+//   mrisc-sim prog.s --scheme lut4 --swap hw --ialus 4
+//   mrisc-sim prog.s --config machine.ini --report all
+#include <cstdio>
+#include <inttypes.h>
+#include <string>
+
+#include "driver/config_io.h"
+#include "power/chip.h"
+#include "driver/experiment.h"
+#include "isa/object.h"
+#include "stats/report.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace mrisc;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrisc-sim <prog.s|prog.mo> [options]\n"
+      "  --config F  INI machine/steer config (see docs/architecture.md)\n"
+      "  --scheme    original|fullham|onebit|lut8|lut4|lut2   (default lut4)\n"
+      "  --swap      none|hw|hwcc|cc                          (default none)\n"
+      "  --mult-swap none|infobit|popcount                    (default none)\n"
+      "  --ialus N   --fpaus N   module counts                (default 4)\n"
+      "  --in-order  issue in program order (VLIW-like)\n"
+      "  --report    energy|tables|all                        (default energy)\n"
+      "(command-line flags override the config file)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      argc, argv,
+      {"config", "scheme", "swap", "mult-swap", "ialus", "fpaus", "report"},
+      {"in-order"});
+  if (flags.positional().size() != 1 || !flags.unknown().empty()) return usage();
+
+  try {
+    driver::ExperimentConfig config;
+    if (const auto path = flags.get("config"))
+      config = driver::config_from_ini(util::Ini::parse_file(*path));
+
+    if (const auto s = flags.get("scheme")) {
+      const auto parsed = driver::scheme_from_name(*s);
+      if (!parsed) return usage();
+      config.scheme = *parsed;
+    }
+    if (const auto s = flags.get("swap")) {
+      const auto parsed = driver::swap_from_name(*s);
+      if (!parsed) return usage();
+      config.swap = *parsed;
+    }
+    if (const auto s = flags.get("mult-swap")) {
+      const auto parsed = driver::mult_rule_from_name(*s);
+      if (!parsed) return usage();
+      config.mult_rule = *parsed;
+    }
+    if (flags.has("ialus"))
+      config.machine.modules[static_cast<std::size_t>(isa::FuClass::kIalu)] =
+          static_cast<int>(flags.get_int("ialus", 4));
+    if (flags.has("fpaus"))
+      config.machine.modules[static_cast<std::size_t>(isa::FuClass::kFpau)] =
+          static_cast<int>(flags.get_int("fpaus", 4));
+    if (flags.has("in-order")) config.machine.in_order_issue = true;
+    config.verify_outputs = false;
+
+    const std::string report = flags.get_or("report", "energy");
+    if (report != "energy" && report != "tables" && report != "all")
+      return usage();
+
+    const isa::Program program = isa::load_program_file(flags.positional()[0]);
+    stats::BitPatternCollector patterns;
+    stats::OccupancyAggregator occupancy;
+    const driver::RunResult result = driver::run_program(
+        program, program.name, config, &patterns, &occupancy);
+
+    std::printf("%s\n", driver::describe(config).c_str());
+    if (report == "tables" || report == "all") {
+      std::puts(stats::render_table1(patterns, isa::FuClass::kIalu).c_str());
+      std::puts(stats::render_table1(patterns, isa::FuClass::kFpau).c_str());
+      std::puts(stats::render_table2(occupancy).c_str());
+      std::puts(stats::render_table3(patterns).c_str());
+    }
+    if (report == "all") {
+      std::puts(power::chip_breakdown(result.pipeline, result.fu_energy())
+                    .to_string()
+                    .c_str());
+    }
+    if (report == "energy" || report == "all") {
+      std::printf("cycles %" PRIu64 ", instructions %" PRIu64 ", IPC %.2f\n",
+                  result.pipeline.cycles, result.pipeline.committed,
+                  result.pipeline.ipc());
+      auto line = [&](const char* name, const power::ClassEnergy& e) {
+        std::printf("%-7s ops %-10" PRIu64 " switched bits %-12" PRIu64
+                    " bits/op %.2f\n",
+                    name, e.ops, e.switched_bits,
+                    e.ops ? static_cast<double>(e.switched_bits) /
+                                static_cast<double>(e.ops)
+                          : 0.0);
+      };
+      line("IALU", result.ialu);
+      line("FPAU", result.fpau);
+      line("IMULT", result.imult);
+      line("FPMULT", result.fpmult);
+      if (result.pipeline.branches) {
+        std::printf("branches %" PRIu64 ", mispredicted %" PRIu64 " (%.1f%%)\n",
+                    result.pipeline.branches, result.pipeline.mispredictions,
+                    100.0 * static_cast<double>(result.pipeline.mispredictions) /
+                        static_cast<double>(result.pipeline.branches));
+      }
+      const auto chip =
+          power::chip_breakdown(result.pipeline, result.fu_energy());
+      std::printf("chip-level FU share: %.1f%% of %.3g energy units\n",
+                  100.0 * chip.fu_share(), chip.total());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-sim: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// mrisc-steer-report: inspect what the steering scheme actually does on a
+// program - the LUT's module affinities and contents, and the per-module
+// utilization/switching distribution under each scheme.
+//
+//   mrisc-steer-report prog.s [--scheme lut4] [--swap hw] [--lut]
+#include <cstdio>
+#include <string>
+
+#include "driver/config_io.h"
+#include "driver/experiment.h"
+#include "isa/object.h"
+#include "stats/paper_ref.h"
+#include "stats/report.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mrisc;
+
+void print_lut(const steer::LutTable& table, const char* name) {
+  std::printf("%s LUT: %d-bit vector, %d slots, least case %d\n", name,
+              table.vector_bits, table.slots, table.least_case);
+  std::printf("module affinities (case masks):");
+  for (int m = 0; m < table.num_modules; ++m) {
+    std::printf("  M%d={", m);
+    bool first = true;
+    for (int c = 0; c < 4; ++c) {
+      if ((table.affinity[static_cast<std::size_t>(m)] >> c) & 1) {
+        std::printf("%s%d%d", first ? "" : ",", c >> 1, c & 1);
+        first = false;
+      }
+    }
+    std::printf("}");
+  }
+  std::printf("\n");
+  const std::size_t vectors = std::size_t{1} << table.vector_bits;
+  for (std::size_t v = 0; v < vectors; ++v) {
+    std::printf("  vector ");
+    for (int b = table.vector_bits - 1; b >= 0; --b)
+      std::printf("%d", static_cast<int>((v >> b) & 1));
+    std::printf(" ->");
+    for (int i = 0; i < table.slots; ++i)
+      std::printf(" I%d:M%d", i + 1,
+                  table.assign[v * static_cast<std::size_t>(table.slots) +
+                               static_cast<std::size_t>(i)]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"scheme", "swap"}, {"lut"});
+  if (flags.positional().size() != 1 || !flags.unknown().empty()) {
+    std::fprintf(stderr,
+                 "usage: mrisc-steer-report <prog.s|prog.mo>"
+                 " [--scheme lut4] [--swap none] [--lut]\n");
+    return 2;
+  }
+
+  try {
+    driver::ExperimentConfig config;
+    config.verify_outputs = false;
+    if (const auto s = flags.get("scheme")) {
+      const auto parsed = driver::scheme_from_name(*s);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown scheme '%s'\n", s->c_str());
+        return 2;
+      }
+      config.scheme = *parsed;
+    }
+    if (const auto s = flags.get("swap")) {
+      const auto parsed = driver::swap_from_name(*s);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown swap mode '%s'\n", s->c_str());
+        return 2;
+      }
+      config.swap = *parsed;
+    }
+
+    if (flags.has("lut")) {
+      print_lut(steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu),
+                                 4, 4),
+                "IALU");
+      print_lut(steer::build_lut(stats::paper_case_stats(isa::FuClass::kFpau),
+                                 4, 4),
+                "FPAU");
+    }
+
+    const isa::Program program = isa::load_program_file(flags.positional()[0]);
+    const driver::RunResult result =
+        driver::run_program(program, program.name, config);
+
+    std::printf("\n%s\n", driver::describe(config).c_str());
+    util::AsciiTable table({"Unit", "Module", "ops", "ops share",
+                            "switched bits", "bits/op"});
+    for (const auto cls : {isa::FuClass::kIalu, isa::FuClass::kFpau}) {
+      const auto ci = static_cast<std::size_t>(cls);
+      const auto total = result.of(cls).ops;
+      for (int m = 0;
+           m < config.machine.modules[ci] && total > 0; ++m) {
+        const auto& me = result.per_module[ci][static_cast<std::size_t>(m)];
+        table.add_row(
+            {isa::to_string(cls), std::to_string(m), std::to_string(me.ops),
+             util::fmt_pct(total ? 100.0 * static_cast<double>(me.ops) /
+                                       static_cast<double>(total)
+                                 : 0.0),
+             std::to_string(me.switched_bits),
+             util::fmt_fixed(me.ops ? static_cast<double>(me.switched_bits) /
+                                          static_cast<double>(me.ops)
+                                    : 0.0,
+                             2)});
+      }
+      if (cls == isa::FuClass::kIalu) table.add_rule();
+    }
+    std::puts(table.to_string("Per-module steering distribution").c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-steer-report: %s\n", e.what());
+    return 1;
+  }
+}

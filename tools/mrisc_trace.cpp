@@ -1,0 +1,172 @@
+// mrisc-trace: record, inspect and replay dynamic instruction traces.
+//
+//   mrisc-trace record prog.s -o prog.trc [--max N]
+//   mrisc-trace dump prog.trc [--head N]
+//   mrisc-trace replay prog.trc [--scheme lut4] [--swap hw]
+//
+// Replay drives the out-of-order timing core directly from the trace file -
+// the same decoupling SimpleScalar-era power studies used to re-run timing
+// experiments without re-executing the program.
+#include <cstdio>
+#include <inttypes.h>
+#include <string>
+
+#include "driver/config_io.h"
+#include "driver/experiment.h"
+#include "isa/disasm.h"
+#include "isa/object.h"
+#include "power/energy.h"
+#include "sim/emulator.h"
+#include "sim/ooo.h"
+#include "sim/trace_io.h"
+#include "steer/lut.h"
+#include "steer/policies.h"
+#include "stats/paper_ref.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace mrisc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mrisc-trace record <prog.s|prog.mo> -o out.trc [--max N]\n"
+               "       mrisc-trace dump <trace.trc> [--head N]\n"
+               "       mrisc-trace replay <trace.trc> [--scheme S] [--swap M]\n");
+  return 2;
+}
+
+int cmd_record(const std::string& input, const std::string& output,
+               std::uint64_t max) {
+  sim::Emulator emu(isa::load_program_file(input));
+  sim::EmulatorTraceSource source(emu, max);
+  sim::TraceWriter writer(output);
+  const std::uint64_t n = writer.write_all(source);
+  std::printf("recorded %" PRIu64 " records -> %s (%s)\n", n, output.c_str(),
+              emu.halted() ? "program halted" : "limit reached");
+  return 0;
+}
+
+int cmd_dump(const std::string& input, std::uint64_t head) {
+  sim::TraceFileSource source(input);
+  std::uint64_t n = 0;
+  while (n < head) {
+    const auto r = source.next();
+    if (!r) break;
+    std::printf("%8" PRIu64 "  pc=%-6u %-6s op1=%016llx op2=%016llx%s%s%s\n",
+                n++, r->pc, isa::to_string(r->fu),
+                static_cast<unsigned long long>(r->op1),
+                static_cast<unsigned long long>(r->op2),
+                r->commutative ? " commut" : "", r->is_load ? " load" : "",
+                r->is_branch ? (r->branch_taken ? " taken" : " not-taken")
+                             : "");
+  }
+  return 0;
+}
+
+int cmd_replay(const std::string& input, const util::Flags& flags) {
+  driver::ExperimentConfig config;
+  if (const auto s = flags.get("scheme")) {
+    const auto parsed = driver::scheme_from_name(*s);
+    if (!parsed) return usage();
+    config.scheme = *parsed;
+  }
+  if (const auto s = flags.get("swap")) {
+    const auto parsed = driver::swap_from_name(*s);
+    if (!parsed) return usage();
+    config.swap = *parsed;
+  }
+
+  sim::TraceFileSource source(input);
+  sim::OooCore core(config.machine, source);
+  // Build policies as the driver would (compiler swapping is meaningless on
+  // a recorded trace and is ignored).
+  const bool hw = config.swap == driver::SwapMode::kHardware ||
+                  config.swap == driver::SwapMode::kHardwareCompiler;
+  steer::FullHamSteering fullham(hw ? steer::SwapConfig::explore()
+                                    : steer::SwapConfig::none());
+  steer::OneBitHamSteering onebit(hw ? steer::SwapConfig::explore()
+                                     : steer::SwapConfig::none());
+  steer::FcfsSteering fcfs(hw ? steer::SwapConfig::hardware_for(
+                                    isa::FuClass::kIalu)
+                              : steer::SwapConfig::none());
+  steer::LutSteering lut_ialu(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4,
+                       config.scheme == driver::Scheme::kLut8   ? 8
+                       : config.scheme == driver::Scheme::kLut2 ? 2
+                                                                : 4),
+      hw ? steer::SwapConfig::hardware_for(isa::FuClass::kIalu)
+         : steer::SwapConfig::none());
+  steer::LutSteering lut_fpau(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kFpau), 4,
+                       config.scheme == driver::Scheme::kLut8   ? 8
+                       : config.scheme == driver::Scheme::kLut2 ? 2
+                                                                : 4),
+      hw ? steer::SwapConfig::hardware_for(isa::FuClass::kFpau)
+         : steer::SwapConfig::none());
+
+  sim::SteeringPolicy* ialu = &fcfs;
+  sim::SteeringPolicy* fpau = &fcfs;
+  switch (config.scheme) {
+    case driver::Scheme::kFullHam: ialu = fpau = &fullham; break;
+    case driver::Scheme::kOneBitHam: ialu = fpau = &onebit; break;
+    case driver::Scheme::kLut8:
+    case driver::Scheme::kLut4:
+    case driver::Scheme::kLut2:
+      ialu = &lut_ialu;
+      fpau = &lut_fpau;
+      break;
+    case driver::Scheme::kOriginal: break;
+  }
+  core.set_policy(isa::FuClass::kIalu, ialu);
+  core.set_policy(isa::FuClass::kFpau, fpau);
+
+  power::EnergyAccountant accountant;
+  core.add_listener(&accountant);
+  core.run();
+
+  std::printf("replayed %" PRIu64 " records: %" PRIu64 " cycles, IPC %.2f\n",
+              source.read_count(), core.stats().cycles, core.stats().ipc());
+  std::printf("IALU switched bits %" PRIu64 ", FPAU switched bits %" PRIu64
+              "\n",
+              accountant.cls(isa::FuClass::kIalu).switched_bits,
+              accountant.cls(isa::FuClass::kFpau).switched_bits);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"o", "max", "head", "scheme", "swap"});
+  std::vector<std::string> inputs;
+  std::string output;
+  const auto& pos = flags.positional();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (pos[i] == "-o" && i + 1 < pos.size()) {
+      output = pos[++i];
+    } else {
+      inputs.push_back(pos[i]);
+    }
+  }
+  if (const auto o = flags.get("o")) output = *o;
+  if (inputs.size() != 2 || !flags.unknown().empty()) return usage();
+  const std::string& command = inputs[0];
+  const std::string& input = inputs[1];
+
+  try {
+    if (command == "record") {
+      if (output.empty()) return usage();
+      return cmd_record(input, output,
+                        static_cast<std::uint64_t>(
+                            flags.get_int("max", 100'000'000)));
+    }
+    if (command == "dump")
+      return cmd_dump(input,
+                      static_cast<std::uint64_t>(flags.get_int("head", 20)));
+    if (command == "replay") return cmd_replay(input, flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-trace: %s\n", e.what());
+    return 1;
+  }
+}
