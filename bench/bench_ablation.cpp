@@ -7,18 +7,50 @@
 //      bits (the paper fixes 4 for circuit speed);
 //   E. out-of-order vs in-order (VLIW-like) issue - the paper's section 2
 //      remark about VLIW applicability.
+//
+// All sections run on one shared trace-replay engine: machine-shape and
+// steering knobs never change the committed-path trace, so the whole bench
+// performs exactly one functional emulation per kernel and replays it for
+// every cell, in parallel.
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "steer/policies.h"
 #include "util/table.h"
 
-int main() {
-  using namespace mrisc;
+namespace {
+
+using namespace mrisc;
+
+/// Run a list of cells over a suite on the shared engine.
+std::vector<driver::CellResult> run_cells(
+    driver::ExperimentEngine& engine,
+    const std::vector<workloads::Workload>& suite,
+    std::vector<driver::ExperimentCell> cells) {
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite);
+  plan.cells = std::move(cells);
+  return engine.run(plan);
+}
+
+driver::ExperimentCell cell(const char* label,
+                            const driver::ExperimentConfig& config,
+                            bool collect_stats = false) {
+  driver::ExperimentCell c;
+  c.label = label;
+  c.config = config;
+  c.collect_stats = collect_stats;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const auto config0 = bench::suite_config();
   const auto ints = workloads::integer_suite(config0);
   const auto fps = workloads::fp_suite(config0);
+  driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
 
   // --- A: module count sweep -------------------------------------------
   {
@@ -30,18 +62,21 @@ int main() {
       base.machine.modules[static_cast<std::size_t>(isa::FuClass::kIalu)] =
           modules;
       base.machine.issue_width = modules + 2;
-      const auto original = driver::run_suite(ints, base);
 
-      auto run_scheme = [&](driver::Scheme scheme) {
-        driver::ExperimentConfig c = base;
-        c.scheme = scheme;
-        return driver::reduction_pct(original, driver::run_suite(ints, c),
-                                     isa::FuClass::kIalu);
-      };
+      driver::ExperimentConfig lut4 = base;
+      lut4.scheme = driver::Scheme::kLut4;
+      driver::ExperimentConfig fullham = base;
+      fullham.scheme = driver::Scheme::kFullHam;
       // 8-module LUT uses a 4-slot vector at most; keep kLut4 (2 slots).
+      const auto results = run_cells(
+          engine, ints,
+          {cell("base", base), cell("lut4", lut4), cell("fullham", fullham)});
+      const auto& original = results[0].total;
       table.add_row({std::to_string(modules),
-                     util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
-                     util::fmt_pct(run_scheme(driver::Scheme::kFullHam))});
+                     util::fmt_pct(driver::reduction_pct(
+                         original, results[1].total, isa::FuClass::kIalu)),
+                     util::fmt_pct(driver::reduction_pct(
+                         original, results[2].total, isa::FuClass::kIalu))});
     }
     std::puts(table.to_string("Ablation A: IALU module count").c_str());
   }
@@ -54,17 +89,21 @@ int main() {
       const auto cls = fp ? isa::FuClass::kFpau : isa::FuClass::kIalu;
       driver::ExperimentConfig base;
       base.scheme = driver::Scheme::kOriginal;
-      const auto original = driver::run_suite(suite, base);
-      std::vector<std::string> row{isa::to_string(cls)};
+
+      std::vector<driver::ExperimentCell> cells{cell("base", base)};
       for (const auto strategy :
            {steer::AffinityStrategy::kProportional,
             steer::AffinityStrategy::kCoverage, steer::AffinityStrategy::kAuto}) {
         driver::ExperimentConfig c;
         c.scheme = driver::Scheme::kLut4;
         c.affinity = strategy;
-        row.push_back(util::fmt_pct(
-            driver::reduction_pct(original, driver::run_suite(suite, c), cls)));
+        cells.push_back(cell("lut4", c));
       }
+      const auto results = run_cells(engine, suite, std::move(cells));
+      std::vector<std::string> row{isa::to_string(cls)};
+      for (std::size_t i = 1; i < results.size(); ++i)
+        row.push_back(util::fmt_pct(driver::reduction_pct(
+            results[0].total, results[i].total, cls)));
       table.add_row(std::move(row));
     }
     std::puts(
@@ -75,15 +114,13 @@ int main() {
   {
     driver::ExperimentConfig base;
     base.scheme = driver::Scheme::kOriginal;
-    stats::BitPatternCollector patterns;
-    stats::OccupancyAggregator occupancy;
-    const auto original =
-        driver::run_suite(ints, base, &patterns, &occupancy);
+    const auto baseline =
+        run_cells(engine, ints, {cell("base", base, /*collect_stats=*/true)});
+    const auto& patterns = baseline[0].patterns;
+    const auto& occupancy = baseline[0].occupancy;
 
     driver::ExperimentConfig paper;
     paper.scheme = driver::Scheme::kLut4;
-    const double with_paper = driver::reduction_pct(
-        original, driver::run_suite(ints, paper), isa::FuClass::kIalu);
 
     driver::ExperimentConfig measured = paper;
     measured.lut_from_paper = false;
@@ -91,8 +128,13 @@ int main() {
         isa::FuClass::kIalu, occupancy.multi_issue_prob(isa::FuClass::kIalu));
     measured.fpau_stats = patterns.case_stats(
         isa::FuClass::kFpau, occupancy.multi_issue_prob(isa::FuClass::kFpau));
+
+    const auto results = run_cells(
+        engine, ints, {cell("paper", paper), cell("measured", measured)});
+    const double with_paper = driver::reduction_pct(
+        baseline[0].total, results[0].total, isa::FuClass::kIalu);
     const double with_measured = driver::reduction_pct(
-        original, driver::run_suite(ints, measured), isa::FuClass::kIalu);
+        baseline[0].total, results[1].total, isa::FuClass::kIalu);
 
     util::AsciiTable table({"LUT statistics source", "IALU reduction"});
     table.add_row({"paper Table 1/2", util::fmt_pct(with_paper)});
@@ -104,15 +146,20 @@ int main() {
   {
     driver::ExperimentConfig base;
     base.scheme = driver::Scheme::kOriginal;
-    const auto original = driver::run_suite(fps, base);
-    util::AsciiTable table({"OR width (mantissa bits)", "FPAU 1-bit-Ham"});
+    std::vector<driver::ExperimentCell> cells{cell("base", base)};
     for (const int bits : {1, 2, 4, 8, 16}) {
       driver::ExperimentConfig config;
       config.scheme = driver::Scheme::kOneBitHam;
       config.fp_or_bits = bits;
-      table.add_row({std::to_string(bits),
+      cells.push_back(cell("onebit", config));
+    }
+    const auto results = run_cells(engine, fps, std::move(cells));
+    util::AsciiTable table({"OR width (mantissa bits)", "FPAU 1-bit-Ham"});
+    const int widths[] = {1, 2, 4, 8, 16};
+    for (std::size_t i = 0; i < 5; ++i) {
+      table.add_row({std::to_string(widths[i]),
                      util::fmt_pct(driver::reduction_pct(
-                         original, driver::run_suite(fps, config),
+                         results[0].total, results[i + 1].total,
                          isa::FuClass::kFpau))});
     }
     std::puts(table
@@ -129,16 +176,19 @@ int main() {
       driver::ExperimentConfig base;
       base.scheme = driver::Scheme::kOriginal;
       base.machine.in_order_issue = in_order;
-      const auto original = driver::run_suite(ints, base);
-      auto run_scheme = [&](driver::Scheme scheme) {
-        driver::ExperimentConfig c = base;
-        c.scheme = scheme;
-        return driver::reduction_pct(original, driver::run_suite(ints, c),
-                                     isa::FuClass::kIalu);
-      };
+      driver::ExperimentConfig lut4 = base;
+      lut4.scheme = driver::Scheme::kLut4;
+      driver::ExperimentConfig fullham = base;
+      fullham.scheme = driver::Scheme::kFullHam;
+      const auto results = run_cells(
+          engine, ints,
+          {cell("base", base), cell("lut4", lut4), cell("fullham", fullham)});
+      const auto& original = results[0].total;
       table.add_row({in_order ? "in-order (VLIW-like)" : "out-of-order",
-                     util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
-                     util::fmt_pct(run_scheme(driver::Scheme::kFullHam)),
+                     util::fmt_pct(driver::reduction_pct(
+                         original, results[1].total, isa::FuClass::kIalu)),
+                     util::fmt_pct(driver::reduction_pct(
+                         original, results[2].total, isa::FuClass::kIalu)),
                      util::fmt_fixed(original.pipeline.ipc(), 2)});
     }
     std::puts(table.to_string("Ablation E: issue-order sensitivity").c_str());
@@ -154,13 +204,14 @@ int main() {
       driver::ExperimentConfig base;
       base.scheme = driver::Scheme::kOriginal;
       base.machine.bpred.kind = kind;
-      const auto original = driver::run_suite(ints, base);
-      auto run_scheme = [&](driver::Scheme scheme) {
-        driver::ExperimentConfig c = base;
-        c.scheme = scheme;
-        return driver::reduction_pct(original, driver::run_suite(ints, c),
-                                     isa::FuClass::kIalu);
-      };
+      driver::ExperimentConfig lut4 = base;
+      lut4.scheme = driver::Scheme::kLut4;
+      driver::ExperimentConfig fullham = base;
+      fullham.scheme = driver::Scheme::kFullHam;
+      const auto results = run_cells(
+          engine, ints,
+          {cell("base", base), cell("lut4", lut4), cell("fullham", fullham)});
+      const auto& original = results[0].total;
       const double rate =
           original.pipeline.branches
               ? 100.0 * static_cast<double>(original.pipeline.mispredictions) /
@@ -170,8 +221,11 @@ int main() {
                          : kind == sim::BpredConfig::Kind::kBimodal
                              ? "bimodal"
                              : "gshare";
-      table.add_row({name, util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
-                     util::fmt_pct(run_scheme(driver::Scheme::kFullHam)),
+      table.add_row({name,
+                     util::fmt_pct(driver::reduction_pct(
+                         original, results[1].total, isa::FuClass::kIalu)),
+                     util::fmt_pct(driver::reduction_pct(
+                         original, results[2].total, isa::FuClass::kIalu)),
                      util::fmt_pct(rate),
                      util::fmt_fixed(original.pipeline.ipc(), 2)});
     }
@@ -188,22 +242,28 @@ int main() {
       const auto cls = fp ? isa::FuClass::kFpau : isa::FuClass::kIalu;
       driver::ExperimentConfig base;
       base.scheme = driver::Scheme::kOriginal;
-      const auto original = driver::run_suite(suite, base);
-      auto run_scheme = [&](driver::Scheme scheme) {
+      std::vector<driver::ExperimentCell> cells{cell("base", base)};
+      for (const driver::Scheme scheme :
+           {driver::Scheme::kRoundRobin, driver::Scheme::kLut4,
+            driver::Scheme::kPcHash, driver::Scheme::kOneBitHam}) {
         driver::ExperimentConfig c;
         c.scheme = scheme;
-        return driver::reduction_pct(original, driver::run_suite(suite, c), cls);
-      };
-      table.add_row({isa::to_string(cls),
-                     util::fmt_pct(run_scheme(driver::Scheme::kRoundRobin)),
-                     util::fmt_pct(run_scheme(driver::Scheme::kLut4)),
-                     util::fmt_pct(run_scheme(driver::Scheme::kPcHash)),
-                     util::fmt_pct(run_scheme(driver::Scheme::kOneBitHam))});
+        cells.push_back(cell(driver::to_string(scheme), c));
+      }
+      const auto results = run_cells(engine, suite, std::move(cells));
+      std::vector<std::string> row{isa::to_string(cls)};
+      for (std::size_t i = 1; i < results.size(); ++i)
+        row.push_back(util::fmt_pct(driver::reduction_pct(
+            results[0].total, results[i].total, cls)));
+      table.add_row(std::move(row));
     }
     std::puts(table
                   .to_string("Ablation G: PC-affinity steering - how much of "
                              "the win is temporal value locality?")
                   .c_str());
   }
+  std::fprintf(stderr, "[engine: %llu emulations, %llu replays]\n",
+               static_cast<unsigned long long>(engine.emulations()),
+               static_cast<unsigned long long>(engine.replays()));
   return 0;
 }

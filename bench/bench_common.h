@@ -5,11 +5,30 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 #include "util/table.h"
 #include "workloads/workload.h"
 
 namespace mrisc::bench {
+
+/// Experiment-engine parallelism: `--jobs N` on the command line (or
+/// MRISC_JOBS=N); 0, the default, means hardware_concurrency. Every value
+/// produces bit-identical output - jobs only changes wall-clock time.
+inline int parse_jobs(int argc, char** argv) {
+  int jobs = 0;
+  if (const char* env = std::getenv("MRISC_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) jobs = v;
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--jobs") {
+      const int v = std::atoi(argv[i + 1]);
+      if (v > 0) jobs = v;
+    }
+  }
+  return jobs;
+}
 
 /// Workload scale for bench runs: default 1.0 (the full experiment size),
 /// override with MRISC_SCALE=0.2 etc. for quick runs.

@@ -4,14 +4,21 @@
 // A and evaluate on input B (same program structure, different data), and
 // compare against the matched-input case and against hardware swapping,
 // which adapts dynamically and has no such exposure.
+//
+// Engine-based: baseline and hardware cells share input B's base traces;
+// the matched cell uses the compiler-swapped variant; the cross-input cell
+// supplies its transplanted binaries through the engine's prepare hook
+// (the trick: the swap pass operates on PCs, and the A/B program texts
+// differ only in their seed immediates, so the decision vector from A
+// applies to B's binary PC-for-PC).
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "util/table.h"
 #include "xform/swap_pass.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrisc;
   auto config_a = bench::suite_config();
   auto config_b = config_a;
@@ -20,52 +27,49 @@ int main() {
   const auto suite_a = workloads::integer_suite(config_a);
   const auto suite_b = workloads::integer_suite(config_b);
 
-  // Baseline on input B.
-  driver::ExperimentConfig base;
-  base.scheme = driver::Scheme::kOriginal;
-  const auto original_b = driver::run_suite(suite_b, base);
+  driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite_b);
 
-  // For each workload: rewrite using a profile from input A, then run the
-  // rewritten binary on input B. The trick: the swap pass operates on PCs,
-  // and the A/B program texts differ only in their seed immediates, so the
-  // decision vector from A applies to B's binary PC-for-PC.
-  double matched = 0, crossed = 0, hardware = 0;
+  driver::ExperimentConfig original;
+  original.scheme = driver::Scheme::kOriginal;
+  const std::size_t c_base = plan.add_cell("baseline", original);
+
+  // Matched-input compiler swap (profile B, run B).
+  driver::ExperimentConfig matched_config = original;
+  matched_config.swap = driver::SwapMode::kCompilerOnly;
+  const std::size_t c_matched = plan.add_cell("matched", matched_config);
+
+  // Cross-input: profile A's binary, transplant decisions onto B.
   {
-    driver::RunResult matched_total, crossed_total, hw_total;
-    for (std::size_t i = 0; i < suite_b.size(); ++i) {
-      // Matched-input compiler swap (profile B, run B).
-      {
-        driver::ExperimentConfig config;
-        config.scheme = driver::Scheme::kOriginal;
-        config.swap = driver::SwapMode::kCompilerOnly;
-        matched_total.accumulate(driver::run_workload(suite_b[i], config));
-      }
-      // Cross-input: profile A's binary, transplant decisions onto B.
-      {
-        const auto profile = xform::profile_program(suite_a[i].assembled());
-        isa::Program program_b = suite_b[i].assembled();
-        xform::compiler_swap_pass(program_b, profile);
-        driver::ExperimentConfig config;
-        config.scheme = driver::Scheme::kOriginal;
-        config.verify_outputs = false;
-        crossed_total.accumulate(driver::run_program(
-            program_b, suite_b[i].name, config));
-      }
-      // Hardware swapping (input-independent by construction).
-      {
-        driver::ExperimentConfig config;
-        config.scheme = driver::Scheme::kOriginal;
-        config.swap = driver::SwapMode::kHardware;
-        hw_total.accumulate(driver::run_workload(suite_b[i], config));
-      }
-    }
-    matched = driver::reduction_pct(original_b, matched_total,
-                                    isa::FuClass::kIalu);
-    crossed = driver::reduction_pct(original_b, crossed_total,
-                                    isa::FuClass::kIalu);
-    hardware = driver::reduction_pct(original_b, hw_total,
-                                     isa::FuClass::kIalu);
+    driver::ExperimentCell crossed;
+    crossed.label = "cross-input";
+    crossed.config = original;
+    crossed.config.verify_outputs = false;
+    crossed.fingerprint = "profileA";
+    crossed.prepare = [&suite_a](const driver::ExperimentUnit& unit,
+                                 std::size_t index) {
+      const auto profile = xform::profile_program(suite_a[index].assembled());
+      isa::Program program_b = unit.workload->assembled();
+      xform::compiler_swap_pass(program_b, profile);
+      return program_b;
+    };
+    plan.cells.push_back(std::move(crossed));
   }
+  const std::size_t c_crossed = plan.cells.size() - 1;
+
+  // Hardware swapping (input-independent by construction).
+  driver::ExperimentConfig hw_config = original;
+  hw_config.swap = driver::SwapMode::kHardware;
+  const std::size_t c_hw = plan.add_cell("hardware", hw_config);
+
+  const auto cells = engine.run(plan);
+  const double matched = driver::reduction_pct(
+      cells[c_base].total, cells[c_matched].total, isa::FuClass::kIalu);
+  const double crossed = driver::reduction_pct(
+      cells[c_base].total, cells[c_crossed].total, isa::FuClass::kIalu);
+  const double hardware = driver::reduction_pct(
+      cells[c_base].total, cells[c_hw].total, isa::FuClass::kIalu);
 
   util::AsciiTable table({"Swapping configuration", "IALU reduction on input B"});
   table.add_row({"compiler, profiled on input B (matched)",

@@ -3,11 +3,11 @@
 #include "bench/fig4_common.h"
 #include "stats/paper_ref.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrisc;
   const auto suite = workloads::fp_suite(bench::suite_config());
   bench::run_figure4(suite, isa::FuClass::kFpau,
                      "Figure 4(b): FPAU energy reduction (%)",
-                     stats::kPaperFpauLut4HwSwap);
+                     stats::kPaperFpauLut4HwSwap, bench::parse_jobs(argc, argv));
   return 0;
 }

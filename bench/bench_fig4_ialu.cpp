@@ -4,11 +4,11 @@
 #include "bench/fig4_common.h"
 #include "stats/paper_ref.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrisc;
   const auto suite = workloads::integer_suite(bench::suite_config());
   bench::run_figure4(suite, isa::FuClass::kIalu,
                      "Figure 4(a): IALU energy reduction (%)",
-                     stats::kPaperIaluLut4HwSwap);
+                     stats::kPaperIaluLut4HwSwap, bench::parse_jobs(argc, argv));
   return 0;
 }

@@ -7,26 +7,38 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrisc;
   const auto ints = workloads::integer_suite(bench::suite_config());
 
-  auto run = [&](bool steer, bool guard) {
+  // One 4-cell engine plan: every cell replays the same cached traces (no
+  // compiler swapping anywhere, so one emulation per kernel total).
+  driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  driver::ExperimentPlan plan;
+  plan.add_suite(ints);
+  auto cell = [&](bool steer, bool guard) {
     driver::ExperimentConfig config;
     config.scheme = steer ? driver::Scheme::kLut4 : driver::Scheme::kOriginal;
     config.swap =
         steer ? driver::SwapMode::kHardware : driver::SwapMode::kNone;
     config.power.guarded_int_units = guard;
-    return driver::run_suite(ints, config);
+    return plan.add_cell(std::string(steer ? "steer" : "nosteer") +
+                             (guard ? "+guard" : ""),
+                         config);
   };
+  const std::size_t c_neither = cell(false, false);
+  const std::size_t c_guard = cell(false, true);
+  const std::size_t c_steer = cell(true, false);
+  const std::size_t c_both = cell(true, true);
+  const auto cells = engine.run(plan);
 
-  const auto neither = run(false, false);
-  const auto guard_only = run(false, true);
-  const auto steer_only = run(true, false);
-  const auto both = run(true, true);
+  const auto& neither = cells[c_neither].total;
+  const auto& guard_only = cells[c_guard].total;
+  const auto& steer_only = cells[c_steer].total;
+  const auto& both = cells[c_both].total;
 
   const double beta = power::PowerConfig{}.booth_beta;
   auto units = [&](const driver::RunResult& r) {

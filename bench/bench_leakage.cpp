@@ -5,16 +5,16 @@
 // lowest-numbered modules (long sleeps for the rest), while case-affine
 // steering deliberately keeps several modules warm. This bench quantifies
 // the trade on the integer suite; see EXPERIMENTS.md for the finding.
+//
+// Engine-based: one emulation per kernel feeds all six (sleep x steering)
+// cells; each cell attaches a fresh LeakageTracker per workload via the
+// engine's listener factory.
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "power/energy.h"
+#include "driver/engine.h"
 #include "power/leakage.h"
-#include "sim/emulator.h"
 #include "sim/ooo.h"
-#include "stats/paper_ref.h"
-#include "steer/lut.h"
-#include "steer/policies.h"
 #include "util/table.h"
 
 namespace {
@@ -27,52 +27,56 @@ struct Outcome {
   std::uint64_t slept = 0, wakeups = 0, module_cycles = 0;
 };
 
-Outcome run(const std::vector<workloads::Workload>& suite, bool steered,
-            int sleep_after) {
+Outcome summarize(const driver::CellResult& cell) {
   Outcome total;
-  for (const auto& workload : suite) {
-    sim::Emulator emu(workload.assembled());
-    sim::EmulatorTraceSource source(emu);
-    sim::OooConfig machine;
-    sim::OooCore core(machine, source);
-
-    const auto swap = steer::SwapConfig::hardware_for(isa::FuClass::kIalu);
-    steer::FcfsSteering fcfs(swap);
-    steer::LutSteering lut(
-        steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4, 4),
-        swap);
-    core.set_policy(isa::FuClass::kIalu,
-                    steered ? static_cast<sim::SteeringPolicy*>(&lut) : &fcfs);
-
-    power::EnergyAccountant dynamic_energy;
-    power::LeakageConfig leak_config;
-    leak_config.sleep_after_idle = sleep_after;
-    power::LeakageTracker leakage(leak_config, machine.modules);
-    core.add_listener(&dynamic_energy);
-    core.add_listener(&leakage);
-    core.run();
-
-    total.dynamic_bits += static_cast<double>(
-        dynamic_energy.cls(isa::FuClass::kIalu).switched_bits);
-    total.leakage += leakage.energy(isa::FuClass::kIalu);
-    total.slept += leakage.slept_cycles(isa::FuClass::kIalu);
-    total.wakeups += leakage.wakeups(isa::FuClass::kIalu);
-    total.module_cycles += 4 * core.stats().cycles;
+  for (std::size_t i = 0; i < cell.per_unit.size(); ++i) {
+    const auto& result = cell.per_unit[i];
+    const auto* leakage =
+        static_cast<const power::LeakageTracker*>(cell.listeners[i].get());
+    total.dynamic_bits += static_cast<double>(result.ialu.switched_bits);
+    total.leakage += leakage->energy(isa::FuClass::kIalu);
+    total.slept += leakage->slept_cycles(isa::FuClass::kIalu);
+    total.wakeups += leakage->wakeups(isa::FuClass::kIalu);
+    total.module_cycles += 4 * result.pipeline.cycles;
   }
   return total;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto suite = mrisc::workloads::integer_suite(bench::suite_config());
+
+  driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite);
+  for (const int sleep_after : {8, 32, 128}) {
+    for (const bool steered : {false, true}) {
+      driver::ExperimentCell cell;
+      cell.label = std::string(steered ? "lut4" : "fcfs") + "/sleep" +
+                   std::to_string(sleep_after);
+      cell.config.scheme =
+          steered ? driver::Scheme::kLut4 : driver::Scheme::kOriginal;
+      cell.config.swap = driver::SwapMode::kHardware;
+      cell.make_listener = [sleep_after](const driver::ExperimentUnit&,
+                                         std::size_t) {
+        power::LeakageConfig leak_config;
+        leak_config.sleep_after_idle = sleep_after;
+        return std::make_unique<power::LeakageTracker>(
+            leak_config, sim::OooConfig{}.modules);
+      };
+      plan.cells.push_back(std::move(cell));
+    }
+  }
+  const auto cells = engine.run(plan);
 
   mrisc::util::AsciiTable table({"Assignment", "sleep after", "IALU leakage",
                                  "slept module-cycles", "wakeups",
                                  "dynamic bits"});
+  std::size_t index = 0;
   for (const int sleep_after : {8, 32, 128}) {
     for (const bool steered : {false, true}) {
-      const Outcome outcome = run(suite, steered, sleep_after);
+      const Outcome outcome = summarize(cells[index++]);
       table.add_row(
           {steered ? "4-bit LUT + hw swap" : "Original (FCFS)",
            std::to_string(sleep_after),

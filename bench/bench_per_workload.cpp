@@ -1,45 +1,57 @@
 // Per-workload view of Figure 4: the paper aggregates across the suite;
 // this bench shows each benchmark's own reduction under the recommended
 // configuration (4-bit LUT + hardware swapping) and the Full-Ham bound -
-// useful for seeing which operand populations the technique likes.
+// useful for seeing which operand populations the technique likes. Runs as
+// a 3-cell engine plan; the per-workload numbers come from the engine's
+// per-unit results instead of a re-run loop.
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mrisc;
   const auto suite = workloads::full_suite(bench::suite_config());
 
+  driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite);
+
+  driver::ExperimentConfig base;
+  base.scheme = driver::Scheme::kOriginal;
+  const std::size_t original = plan.add_cell("original", base);
+
+  driver::ExperimentConfig lut;
+  lut.scheme = driver::Scheme::kLut4;
+  lut.swap = driver::SwapMode::kHardware;
+  const std::size_t lut4 = plan.add_cell("lut4+hw", lut);
+
+  driver::ExperimentConfig full;
+  full.scheme = driver::Scheme::kFullHam;
+  full.swap = driver::SwapMode::kHardware;
+  const std::size_t fullham = plan.add_cell("fullham+hw", full);
+
+  const auto cells = engine.run(plan);
+
   util::AsciiTable table({"Workload", "Unit", "ops", "bits/op (orig)",
                           "4-bit LUT + hw", "Full Ham"});
-  for (const auto& workload : suite) {
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& workload = suite[i];
     const auto cls =
         workload.floating_point ? isa::FuClass::kFpau : isa::FuClass::kIalu;
-    driver::ExperimentConfig base;
-    base.scheme = driver::Scheme::kOriginal;
-    const auto original = driver::run_workload(workload, base);
-
-    driver::ExperimentConfig lut;
-    lut.scheme = driver::Scheme::kLut4;
-    lut.swap = driver::SwapMode::kHardware;
-    const auto lut_result = driver::run_workload(workload, lut);
-
-    driver::ExperimentConfig full;
-    full.scheme = driver::Scheme::kFullHam;
-    full.swap = driver::SwapMode::kHardware;
-    const auto full_result = driver::run_workload(workload, full);
-
-    const auto& e = original.of(cls);
+    const auto& orig = cells[original].per_unit[i];
+    const auto& e = orig.of(cls);
     table.add_row(
         {workload.name, isa::to_string(cls), std::to_string(e.ops),
          util::fmt_fixed(e.ops ? static_cast<double>(e.switched_bits) /
                                      static_cast<double>(e.ops)
                                : 0.0,
                          2),
-         util::fmt_pct(driver::reduction_pct(original, lut_result, cls)),
-         util::fmt_pct(driver::reduction_pct(original, full_result, cls))});
+         util::fmt_pct(
+             driver::reduction_pct(orig, cells[lut4].per_unit[i], cls)),
+         util::fmt_pct(
+             driver::reduction_pct(orig, cells[fullham].per_unit[i], cls))});
   }
   std::puts(table.to_string("Per-workload energy reduction").c_str());
   return 0;

@@ -1,49 +1,71 @@
 // Shared driver for the Figure 4 reproductions: sweeps every steering
 // scheme against the three swap stackings and prints the paper-style bar
-// values (percent energy reduction relative to Original/no-swap).
+// values (percent energy reduction relative to Original/no-swap). Runs on
+// the trace-replay experiment engine: each kernel is functionally emulated
+// once per swap variant, and the 19 grid cells replay the cached traces in
+// parallel (bit-identical to the old serial path at any --jobs count).
 #pragma once
 
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "util/table.h"
 
 namespace mrisc::bench {
 
 inline void run_figure4(const std::vector<workloads::Workload>& suite,
                         isa::FuClass cls, const char* title,
-                        double paper_lut4_hw_swap) {
+                        double paper_lut4_hw_swap, int jobs = 0) {
+  driver::ExperimentEngine engine(jobs);
+
   // Baseline run doubles as the profiling pass: the steering LUTs are built
   // from the suite's own Table 1/2 statistics, exactly as the authors built
-  // theirs from their SPEC95 measurements.
+  // theirs from their SPEC95 measurements. (A collect_stats cell replays
+  // sequentially, so the measured statistics match the serial driver bit
+  // for bit.)
+  driver::ExperimentPlan profile_plan;
+  profile_plan.add_suite(suite);
   driver::ExperimentConfig base;
   base.scheme = driver::Scheme::kOriginal;
   base.swap = driver::SwapMode::kNone;
-  stats::BitPatternCollector patterns;
-  stats::OccupancyAggregator occupancy;
-  const driver::RunResult original =
-      driver::run_suite(suite, base, &patterns, &occupancy);
+  profile_plan.add_cell("baseline", base, /*collect_stats=*/true);
+  const auto baseline = engine.run(profile_plan);
+  const driver::RunResult& original = baseline[0].total;
 
   driver::ExperimentConfig measured;
   measured.lut_from_paper = false;
-  measured.ialu_stats = patterns.case_stats(
-      isa::FuClass::kIalu, occupancy.multi_issue_prob(isa::FuClass::kIalu));
-  measured.fpau_stats = patterns.case_stats(
-      isa::FuClass::kFpau, occupancy.multi_issue_prob(isa::FuClass::kFpau));
+  measured.ialu_stats = baseline[0].patterns.case_stats(
+      isa::FuClass::kIalu,
+      baseline[0].occupancy.multi_issue_prob(isa::FuClass::kIalu));
+  measured.fpau_stats = baseline[0].patterns.case_stats(
+      isa::FuClass::kFpau,
+      baseline[0].occupancy.multi_issue_prob(isa::FuClass::kFpau));
 
-  util::AsciiTable table(
-      {"Scheme", "Base (no swap)", "+ Hardware swap", "+ HW + Compiler"});
+  // The scheme x swap grid: 18 cells replaying the cached traces.
+  driver::ExperimentPlan grid;
+  grid.add_suite(suite);
   for (const driver::Scheme scheme : driver::kAllSchemes) {
-    std::vector<std::string> row{driver::to_string(scheme)};
     for (const driver::SwapMode swap : driver::kAllSwapModes) {
       driver::ExperimentConfig config = measured;
       config.scheme = scheme;
       config.swap = swap;
-      const driver::RunResult result = driver::run_suite(suite, config);
-      row.push_back(
-          util::fmt_pct(driver::reduction_pct(original, result, cls)));
+      grid.add_cell(std::string(driver::to_string(scheme)) + " / " +
+                        driver::to_string(swap),
+                    config);
+    }
+  }
+  const auto cells = engine.run(grid);
+
+  util::AsciiTable table(
+      {"Scheme", "Base (no swap)", "+ Hardware swap", "+ HW + Compiler"});
+  std::size_t cell = 0;
+  for (const driver::Scheme scheme : driver::kAllSchemes) {
+    std::vector<std::string> row{driver::to_string(scheme)};
+    for ([[maybe_unused]] const driver::SwapMode swap : driver::kAllSwapModes) {
+      row.push_back(util::fmt_pct(
+          driver::reduction_pct(original, cells[cell++].total, cls)));
     }
     table.add_row(std::move(row));
   }
@@ -56,6 +78,11 @@ inline void run_figure4(const std::vector<workloads::Workload>& suite,
   std::printf("(energy = switched input bits of the %s modules; reduction "
               "relative to Original with no swapping)\n\n",
               isa::to_string(cls));
+  std::fprintf(stderr,
+               "[engine: %llu emulations, %llu replays across %zu cells]\n",
+               static_cast<unsigned long long>(engine.emulations()),
+               static_cast<unsigned long long>(engine.replays()),
+               grid.cells.size() + 1);
 }
 
 }  // namespace mrisc::bench

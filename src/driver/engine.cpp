@@ -1,0 +1,231 @@
+#include "driver/engine.h"
+
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "sim/emulator.h"
+#include "xform/swap_pass.h"
+
+namespace mrisc::driver {
+
+namespace {
+
+bool needs_compiler_swap(const ExperimentConfig& config) {
+  return config.swap == SwapMode::kHardwareCompiler ||
+         config.swap == SwapMode::kCompilerOnly;
+}
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+void ExperimentPlan::add_suite(std::span<const workloads::Workload> suite) {
+  for (const auto& workload : suite) {
+    ExperimentUnit unit;
+    unit.name = workload.name;
+    unit.workload = workload;  // copies share the memoized assembly
+    units.push_back(std::move(unit));
+  }
+}
+
+void ExperimentPlan::add_program(isa::Program program, std::string name) {
+  ExperimentUnit unit;
+  unit.name = std::move(name);
+  unit.program = std::move(program);
+  units.push_back(std::move(unit));
+}
+
+std::size_t ExperimentPlan::add_cell(std::string label,
+                                     const ExperimentConfig& config,
+                                     bool collect_stats) {
+  ExperimentCell cell;
+  cell.label = std::move(label);
+  cell.config = config;
+  cell.collect_stats = collect_stats;
+  cells.push_back(std::move(cell));
+  return cells.size() - 1;
+}
+
+ExperimentEngine::ExperimentEngine(int jobs) : jobs_(jobs) {}
+
+void ExperimentEngine::clear_cache() {
+  std::scoped_lock lock(cache_mu_);
+  cache_.clear();
+}
+
+ExperimentEngine::TracePtr ExperimentEngine::trace_for(
+    const ExperimentPlan& plan, std::size_t cell_index, std::size_t unit_index,
+    std::uint64_t plan_nonce) {
+  const ExperimentUnit& unit = plan.units[unit_index];
+  const ExperimentCell& cell = plan.cells[cell_index];
+
+  // Key = unit identity + trace variant. Workload identity hashes the
+  // assembly source, so same-named kernels at different scales or seed
+  // salts never collide; bare programs are keyed per plan and unit.
+  std::string key =
+      unit.workload
+          ? unit.name + "#" + fnv1a_hex(unit.workload->source)
+          : unit.name + "#prog" + std::to_string(plan_nonce) + "." +
+                std::to_string(unit_index);
+  if (cell.prepare) {
+    key += "#prep:" + cell.fingerprint;
+  } else {
+    key += needs_compiler_swap(cell.config) ? "#cc" : "#base";
+  }
+
+  std::promise<TracePtr> promise;
+  {
+    std::unique_lock lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      auto future = it->second;
+      lock.unlock();
+      return future.get();  // rethrows the recorder's exception, if any
+    }
+    cache_.emplace(key, promise.get_future().share());
+  }
+
+  try {
+    emulations_.fetch_add(1);
+    isa::Program program = cell.prepare ? cell.prepare(unit, unit_index)
+                           : unit.workload ? unit.workload->assembled()
+                                           : *unit.program;
+    if (!cell.prepare && needs_compiler_swap(cell.config))
+      program = xform::swapped_copy(program);
+
+    sim::Emulator emu(std::move(program));
+    auto buffer = std::make_shared<sim::TraceBuffer>();
+    sim::EmulatorTraceSource source(emu);
+    buffer->record_all(source);
+
+    // The reference model is checked once, at record time - every replay of
+    // this trace would have produced the same OUT channel.
+    if (!cell.prepare && cell.config.verify_outputs && unit.workload)
+      verify_outputs(*unit.workload, emu.output());
+
+    TracePtr trace = std::move(buffer);
+    promise.set_value(trace);
+    return trace;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
+  const std::uint64_t nonce = plan_nonce_++;
+
+  // Assemble up front, serially: deterministic, and worker threads then
+  // never contend on a workload's first assembly.
+  for (const auto& unit : plan.units)
+    if (unit.workload) (void)unit.workload->assembled();
+
+  std::vector<CellResult> results(plan.cells.size());
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    results[c].per_unit.resize(plan.units.size());
+    if (plan.cells[c].make_listener)
+      results[c].listeners.resize(plan.units.size());
+  }
+
+  // One task per (cell, unit); stats cells collapse into one sequential
+  // task so their collectors accumulate in the serial driver's order.
+  struct Task {
+    std::size_t cell;
+    std::ptrdiff_t unit;  ///< -1: all units, in order
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    if (plan.cells[c].collect_stats) {
+      tasks.push_back({c, -1});
+    } else {
+      for (std::size_t u = 0; u < plan.units.size(); ++u)
+        tasks.push_back({c, static_cast<std::ptrdiff_t>(u)});
+    }
+  }
+
+  auto run_unit = [&](std::size_t c, std::size_t u,
+                      stats::BitPatternCollector* patterns,
+                      stats::OccupancyAggregator* occupancy) {
+    const ExperimentCell& cell = plan.cells[c];
+    const TracePtr trace = trace_for(plan, c, u, nonce);
+    sim::MemoryTraceSource source(*trace);
+
+    std::unique_ptr<sim::IssueListener> extra;
+    sim::IssueListener* extra_ptr = nullptr;
+    if (cell.make_listener) {
+      extra = cell.make_listener(plan.units[u], u);
+      extra_ptr = extra.get();
+    }
+    replays_.fetch_add(1);
+    results[c].per_unit[u] = replay_trace(
+        source, plan.units[u].name, cell.config, patterns, occupancy,
+        extra_ptr ? std::span<sim::IssueListener* const>(&extra_ptr, 1)
+                  : std::span<sim::IssueListener* const>{});
+    if (extra) results[c].listeners[u] = std::move(extra);
+  };
+
+  auto run_task = [&](const Task& task) {
+    if (task.unit < 0) {
+      for (std::size_t u = 0; u < plan.units.size(); ++u)
+        run_unit(task.cell, u, &results[task.cell].patterns,
+                 &results[task.cell].occupancy);
+    } else {
+      run_unit(task.cell, static_cast<std::size_t>(task.unit), nullptr,
+               nullptr);
+    }
+  };
+
+  int workers = jobs_ > 0
+                    ? jobs_
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > tasks.size())
+    workers = static_cast<int>(tasks.size());
+
+  std::vector<std::exception_ptr> errors(tasks.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= tasks.size()) break;
+      try {
+        run_task(tasks[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+
+  // Aggregate in unit order - deterministic regardless of completion order.
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    results[c].total.workload = "suite";
+    for (const auto& unit_result : results[c].per_unit)
+      results[c].total.accumulate(unit_result);
+  }
+  return results;
+}
+
+}  // namespace mrisc::driver

@@ -1,0 +1,128 @@
+// Parallel trace-replay experiment engine: emulate once, replay the
+// (scheme x swap) grid concurrently.
+//
+// Every bench sweeps a grid of ExperimentConfigs over the same suite. The
+// committed-path trace fed to the timing core is bit-identical for every
+// cell that shares a swap variant (hardware swapping happens inside the
+// steering policies; only the compiler swap pass changes the binary), so
+// the engine functionally emulates each (workload x swap-variant) exactly
+// once into a shared TraceBuffer cache and replays the cached trace for
+// each grid cell on a thread pool. Results land in grid-indexed slots and
+// are aggregated in unit order, so an N-thread run is bit-identical to
+// --jobs 1 (tests/test_engine.cpp proves it).
+//
+// Per-cell state (steering policies, EnergyAccountant, collectors) is
+// constructed inside each task - nothing stateful is shared between cells.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "sim/trace_buffer.h"
+
+namespace mrisc::driver {
+
+/// One simulated subject: a workload (with reference model) or a bare
+/// program (e.g. loaded from file by mrisc-sim). Exactly one of `workload`
+/// / `program` is set.
+struct ExperimentUnit {
+  std::string name;
+  std::optional<workloads::Workload> workload;
+  std::optional<isa::Program> program;
+};
+
+/// One grid cell: a configuration to replay every unit under.
+struct ExperimentCell {
+  std::string label;
+  ExperimentConfig config;
+
+  /// Collect Table 1/2/3 statistics for this cell. Stats cells replay
+  /// their units sequentially in one task so the floating-point collector
+  /// sums accumulate in exactly the serial driver's order.
+  bool collect_stats = false;
+
+  /// Optional custom binary for this cell (e.g. a cross-input profile
+  /// transplant). When set, the engine does NOT apply the compiler swap
+  /// pass or verify outputs, and `fingerprint` must uniquely name the
+  /// produced binary for trace-cache keying. Must be deterministic.
+  std::function<isa::Program(const ExperimentUnit&, std::size_t)> prepare;
+  std::string fingerprint;
+
+  /// Optional per-unit extra issue listener (e.g. power::LeakageTracker),
+  /// attached to the replay core and returned in CellResult::listeners.
+  std::function<std::unique_ptr<sim::IssueListener>(const ExperimentUnit&,
+                                                    std::size_t)>
+      make_listener;
+};
+
+/// A grid of cells over a set of units.
+struct ExperimentPlan {
+  std::vector<ExperimentUnit> units;
+  std::vector<ExperimentCell> cells;
+
+  void add_suite(std::span<const workloads::Workload> suite);
+  void add_program(isa::Program program, std::string name);
+  /// Convenience: append a cell, returning its grid index.
+  std::size_t add_cell(std::string label, const ExperimentConfig& config,
+                       bool collect_stats = false);
+};
+
+/// Everything one cell produced, in unit order.
+struct CellResult {
+  RunResult total;                      ///< accumulated (workload "suite")
+  std::vector<RunResult> per_unit;
+  stats::BitPatternCollector patterns;  ///< filled when collect_stats
+  stats::OccupancyAggregator occupancy;
+  /// make_listener products, per unit (empty vector otherwise).
+  std::vector<std::unique_ptr<sim::IssueListener>> listeners;
+};
+
+class ExperimentEngine {
+ public:
+  /// `jobs` = worker threads; 0 means std::thread::hardware_concurrency().
+  explicit ExperimentEngine(int jobs = 0);
+
+  /// Execute every (cell x unit) of the plan, reusing (and extending) the
+  /// engine's trace cache. Deterministic: results are identical for any
+  /// jobs count. Exceptions from workers are rethrown (first task wins).
+  std::vector<CellResult> run(const ExperimentPlan& plan);
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+  /// Functional emulations performed so far (cache misses).
+  [[nodiscard]] std::uint64_t emulations() const noexcept {
+    return emulations_.load();
+  }
+  /// Timing replays performed so far (one per cell x unit).
+  [[nodiscard]] std::uint64_t replays() const noexcept {
+    return replays_.load();
+  }
+  /// Drop all cached traces (e.g. between unrelated suites).
+  void clear_cache();
+
+ private:
+  using TracePtr = std::shared_ptr<const sim::TraceBuffer>;
+
+  /// Get-or-record the trace for (cell, unit). Concurrent requests for the
+  /// same key block on one shared emulation.
+  TracePtr trace_for(const ExperimentPlan& plan, std::size_t cell_index,
+                     std::size_t unit_index, std::uint64_t plan_nonce);
+
+  int jobs_;
+  std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_future<TracePtr>> cache_;
+  std::atomic<std::uint64_t> emulations_{0};
+  std::atomic<std::uint64_t> replays_{0};
+  std::uint64_t plan_nonce_ = 0;  ///< distinguishes bare-program units
+};
+
+}  // namespace mrisc::driver

@@ -120,21 +120,16 @@ std::unique_ptr<sim::SteeringPolicy> make_policy(
   throw std::logic_error("unknown scheme");
 }
 
-}  // namespace
-
-RunResult run_program(const isa::Program& program, const std::string& name,
-                      const ExperimentConfig& config,
-                      stats::BitPatternCollector* patterns,
-                      stats::OccupancyAggregator* occupancy,
-                      std::vector<sim::Emulator::Output>* output) {
-  isa::Program prepared = program;
-  if (config.swap == SwapMode::kHardwareCompiler ||
-      config.swap == SwapMode::kCompilerOnly) {
-    prepared = xform::swapped_copy(prepared);
-  }
-
-  sim::Emulator emu(std::move(prepared));
-  sim::EmulatorTraceSource source(emu);
+/// The shared core of every experiment path: drive `source` through the
+/// timing core under `config` with freshly constructed per-run policies and
+/// accountant (no state leaks between runs). Both the live-emulation path
+/// (run_program) and the trace-replay path (replay_trace) end up here, which
+/// is what makes replayed results bit-identical to live ones.
+RunResult run_core(sim::TraceSource& source, const std::string& name,
+                   const ExperimentConfig& config,
+                   stats::BitPatternCollector* patterns,
+                   stats::OccupancyAggregator* occupancy,
+                   std::span<sim::IssueListener* const> extra_listeners) {
   sim::OooCore core(config.machine, source);
 
   auto ialu_policy = make_policy(config, isa::FuClass::kIalu);
@@ -148,10 +143,11 @@ RunResult run_program(const isa::Program& program, const std::string& name,
   power::EnergyAccountant accountant(config.power);
   core.add_listener(&accountant);
   if (patterns) core.add_listener(patterns);
+  for (sim::IssueListener* listener : extra_listeners)
+    if (listener) core.add_listener(listener);
 
   core.run();
 
-  if (output) *output = emu.output();
   if (occupancy) occupancy->add(core.stats());
 
   RunResult result;
@@ -168,6 +164,50 @@ RunResult run_program(const isa::Program& program, const std::string& name,
   return result;
 }
 
+}  // namespace
+
+RunResult run_program(const isa::Program& program, const std::string& name,
+                      const ExperimentConfig& config,
+                      stats::BitPatternCollector* patterns,
+                      stats::OccupancyAggregator* occupancy,
+                      std::vector<sim::Emulator::Output>* output) {
+  isa::Program prepared = program;
+  if (config.swap == SwapMode::kHardwareCompiler ||
+      config.swap == SwapMode::kCompilerOnly) {
+    prepared = xform::swapped_copy(prepared);
+  }
+
+  sim::Emulator emu(std::move(prepared));
+  sim::EmulatorTraceSource source(emu);
+  RunResult result = run_core(source, name, config, patterns, occupancy, {});
+  if (output) *output = emu.output();
+  return result;
+}
+
+RunResult replay_trace(sim::TraceSource& source, const std::string& name,
+                       const ExperimentConfig& config,
+                       stats::BitPatternCollector* patterns,
+                       stats::OccupancyAggregator* occupancy,
+                       std::span<sim::IssueListener* const> extra_listeners) {
+  return run_core(source, name, config, patterns, occupancy, extra_listeners);
+}
+
+void verify_outputs(const workloads::Workload& workload,
+                    std::span<const sim::Emulator::Output> output) {
+  std::vector<std::int64_t> ints;
+  std::vector<std::uint64_t> fps;
+  for (const auto& out : output) {
+    if (out.is_fp) {
+      fps.push_back(out.bits);
+    } else {
+      ints.push_back(out.as_int());
+    }
+  }
+  if (ints != workload.expected_ints || fps != workload.expected_fp_bits)
+    throw std::logic_error("workload '" + workload.name +
+                           "' output mismatch (bad swap pass or emulator)");
+}
+
 RunResult run_workload(const workloads::Workload& workload,
                        const ExperimentConfig& config,
                        stats::BitPatternCollector* patterns,
@@ -175,21 +215,7 @@ RunResult run_workload(const workloads::Workload& workload,
   std::vector<sim::Emulator::Output> output;
   RunResult result = run_program(workload.assembled(), workload.name, config,
                                  patterns, occupancy, &output);
-
-  if (config.verify_outputs) {
-    std::vector<std::int64_t> ints;
-    std::vector<std::uint64_t> fps;
-    for (const auto& out : output) {
-      if (out.is_fp) {
-        fps.push_back(out.bits);
-      } else {
-        ints.push_back(out.as_int());
-      }
-    }
-    if (ints != workload.expected_ints || fps != workload.expected_fp_bits)
-      throw std::logic_error("workload '" + workload.name +
-                             "' output mismatch (bad swap pass or emulator)");
-  }
+  if (config.verify_outputs) verify_outputs(workload, output);
   return result;
 }
 
@@ -202,6 +228,21 @@ RunResult run_suite(std::span<const workloads::Workload> suite,
   for (const auto& workload : suite)
     total.accumulate(run_workload(workload, config, patterns, occupancy));
   return total;
+}
+
+SuiteResult run_suite_detailed(std::span<const workloads::Workload> suite,
+                               const ExperimentConfig& config,
+                               stats::BitPatternCollector* patterns,
+                               stats::OccupancyAggregator* occupancy) {
+  SuiteResult result;
+  result.total.workload = "suite";
+  result.per_workload.reserve(suite.size());
+  for (const auto& workload : suite) {
+    result.per_workload.push_back(
+        run_workload(workload, config, patterns, occupancy));
+    result.total.accumulate(result.per_workload.back());
+  }
+  return result;
 }
 
 double reduction_pct(const RunResult& baseline, const RunResult& variant,

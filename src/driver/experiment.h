@@ -92,12 +92,34 @@ struct RunResult {
   }
 };
 
+/// Aggregate + per-workload results of a suite run.
+struct SuiteResult {
+  RunResult total;                       ///< summed (workload name "suite")
+  std::vector<RunResult> per_workload;   ///< suite order
+};
+
 /// Run one workload under one configuration. `patterns` / `occupancy`, when
 /// non-null, collect Table 1/3 and Table 2 statistics from the run.
 RunResult run_workload(const workloads::Workload& workload,
                        const ExperimentConfig& config,
                        stats::BitPatternCollector* patterns = nullptr,
                        stats::OccupancyAggregator* occupancy = nullptr);
+
+/// Replay a recorded committed-path trace through the timing core under
+/// `config`. Bit-identical to run_program on the program that produced the
+/// trace: the steering policies, energy accountant and collectors only see
+/// TraceRecords either way. `extra_listeners` (e.g. a LeakageTracker) are
+/// attached after the accountant and collectors.
+RunResult replay_trace(sim::TraceSource& source, const std::string& name,
+                       const ExperimentConfig& config,
+                       stats::BitPatternCollector* patterns = nullptr,
+                       stats::OccupancyAggregator* occupancy = nullptr,
+                       std::span<sim::IssueListener* const> extra_listeners = {});
+
+/// Check a finished emulation's OUT/OUTF channel against the workload's
+/// reference model; throws std::logic_error on any mismatch.
+void verify_outputs(const workloads::Workload& workload,
+                    std::span<const sim::Emulator::Output> output);
 
 /// Run a bare program (no reference model; used by the mrisc-sim tool and
 /// ad-hoc experiments). Applies the compiler swap pass when the config's
@@ -114,6 +136,12 @@ RunResult run_suite(std::span<const workloads::Workload> suite,
                     const ExperimentConfig& config,
                     stats::BitPatternCollector* patterns = nullptr,
                     stats::OccupancyAggregator* occupancy = nullptr);
+
+/// Like run_suite, but also keeps each workload's own RunResult.
+SuiteResult run_suite_detailed(std::span<const workloads::Workload> suite,
+                               const ExperimentConfig& config,
+                               stats::BitPatternCollector* patterns = nullptr,
+                               stats::OccupancyAggregator* occupancy = nullptr);
 
 /// Figure 4's y-axis: percent reduction in switched bits for `cls`,
 /// relative to the Original/no-swap baseline.

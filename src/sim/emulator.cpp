@@ -28,8 +28,9 @@ Emulator::Emulator(isa::Program program, std::size_t mem_size)
     : program_(std::move(program)), mem_(mem_size, 0) {
   if (isa::kDataBase + program_.data.size() > mem_.size())
     throw EmuError("data segment does not fit in memory");
-  std::memcpy(mem_.data() + isa::kDataBase, program_.data.data(),
-              program_.data.size());
+  if (!program_.data.empty())
+    std::memcpy(mem_.data() + isa::kDataBase, program_.data.data(),
+                program_.data.size());
 }
 
 double Emulator::freg(int i) const { return bits_to_double(fregs_[i]); }

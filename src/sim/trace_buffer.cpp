@@ -1,0 +1,31 @@
+#include "sim/trace_buffer.h"
+
+#include "sim/trace_io.h"
+
+namespace mrisc::sim {
+
+std::uint64_t TraceBuffer::record_all(TraceSource& source, std::uint64_t max) {
+  std::uint64_t n = 0;
+  while (n < max) {
+    const auto record = source.next();
+    if (!record) break;
+    records_.push_back(*record);
+    ++n;
+  }
+  return n;
+}
+
+void TraceBuffer::save(const std::string& path) const {
+  TraceWriter writer(path);
+  for (const auto& record : records_) writer.write(record);
+  writer.finish();
+}
+
+TraceBuffer TraceBuffer::load(const std::string& path) {
+  TraceBuffer buffer;
+  TraceFileSource source(path);
+  buffer.record_all(source);
+  return buffer;
+}
+
+}  // namespace mrisc::sim

@@ -1,0 +1,61 @@
+// In-memory committed-path traces: record one functional execution, feed
+// unlimited timing replays. This is the storage half of the emulate-once /
+// replay-many experiment engine (driver/engine.h); MemoryTraceSource is the
+// replay half. Buffers can spill to and load from the MRTR file format
+// (sim/trace_io.h) when a trace should outlive the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace mrisc::sim {
+
+class TraceBuffer {
+ public:
+  void push(const TraceRecord& record) { records_.push_back(record); }
+
+  /// Drain `source` into the buffer; returns records appended.
+  std::uint64_t record_all(TraceSource& source, std::uint64_t max = UINT64_MAX);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+  /// Spill to / load from an MRTR trace file. Throws TraceIoError on any
+  /// I/O failure (short write, truncated file, bad magic).
+  void save(const std::string& path) const;
+  [[nodiscard]] static TraceBuffer load(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// TraceSource over a recorded buffer. The buffer must outlive the source;
+/// any number of MemoryTraceSources may read one buffer concurrently (the
+/// buffer is never mutated through this view), which is what lets the
+/// experiment engine replay the same trace on several threads at once.
+class MemoryTraceSource final : public TraceSource {
+ public:
+  explicit MemoryTraceSource(const TraceBuffer& buffer) noexcept
+      : buffer_(buffer) {}
+
+  std::optional<TraceRecord> next() override {
+    if (pos_ >= buffer_.size()) return std::nullopt;
+    return buffer_.records()[pos_++];
+  }
+
+  /// Restart from the first record (a fresh replay of the same buffer).
+  void rewind() noexcept { pos_ = 0; }
+
+ private:
+  const TraceBuffer& buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mrisc::sim

@@ -76,19 +76,23 @@ TraceRecord unpack_record(const std::uint8_t* in) {
 }
 
 TraceWriter::TraceWriter(const std::string& path)
-    : out_(path, std::ios::binary) {
+    : path_(path), out_(path, std::ios::binary) {
   if (!out_) throw TraceIoError("cannot open '" + path + "' for writing");
   std::uint8_t header[8];
   std::memcpy(header, kMagic, 4);
   put_u32(header + 4, kVersion);
   out_.write(reinterpret_cast<const char*>(header), sizeof header);
+  out_.flush();
+  if (!out_)
+    throw TraceIoError("short write of trace header to '" + path_ + "'");
 }
 
 void TraceWriter::write(const TraceRecord& record) {
   std::uint8_t buf[kTraceRecordBytes];
   pack_record(record, buf);
   out_.write(reinterpret_cast<const char*>(buf), sizeof buf);
-  if (!out_) throw TraceIoError("trace write failed");
+  if (!out_)
+    throw TraceIoError("short write of trace record to '" + path_ + "'");
   ++count_;
 }
 
@@ -100,26 +104,55 @@ std::uint64_t TraceWriter::write_all(TraceSource& source, std::uint64_t max) {
     write(*record);
     ++n;
   }
+  finish();
   return n;
 }
 
+void TraceWriter::finish() {
+  out_.flush();
+  if (!out_) throw TraceIoError("trace flush failed for '" + path_ + "'");
+}
+
 TraceFileSource::TraceFileSource(const std::string& path)
-    : in_(path, std::ios::binary) {
+    : path_(path), in_(path, std::ios::binary) {
   if (!in_) throw TraceIoError("cannot open trace '" + path + "'");
   std::uint8_t header[8];
   in_.read(reinterpret_cast<char*>(header), sizeof header);
-  if (!in_ || std::memcmp(header, kMagic, 4) != 0)
-    throw TraceIoError("not an MRTR trace file");
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof header))
+    throw TraceIoError("truncated trace header in '" + path + "'");
+  if (std::memcmp(header, kMagic, 4) != 0)
+    throw TraceIoError("not an MRTR trace file: '" + path + "'");
   if (get_u32(header + 4) != kVersion)
     throw TraceIoError("unsupported trace version");
+  // Fail fast on a truncated payload: a regular file must hold a whole
+  // number of records after the header.
+  in_.clear();
+  if (in_.seekg(0, std::ios::end)) {
+    const auto end = in_.tellg();
+    if (end >= static_cast<std::streamoff>(sizeof header)) {
+      const auto payload =
+          static_cast<std::uint64_t>(end) - sizeof header;
+      if (payload % kTraceRecordBytes != 0)
+        throw TraceIoError("truncated trace file '" + path + "': " +
+                           std::to_string(payload % kTraceRecordBytes) +
+                           " trailing bytes of a partial record");
+    }
+    in_.seekg(static_cast<std::streamoff>(sizeof header), std::ios::beg);
+  } else {
+    in_.clear();  // non-seekable source: fall back to lazy detection
+  }
 }
 
 std::optional<TraceRecord> TraceFileSource::next() {
   std::uint8_t buf[kTraceRecordBytes];
   in_.read(reinterpret_cast<char*>(buf), sizeof buf);
-  if (in_.gcount() == 0) return std::nullopt;
+  if (in_.gcount() == 0) {
+    if (!in_.eof() && in_.bad())
+      throw TraceIoError("trace read failed for '" + path_ + "'");
+    return std::nullopt;
+  }
   if (in_.gcount() != static_cast<std::streamsize>(sizeof buf))
-    throw TraceIoError("truncated trace record");
+    throw TraceIoError("truncated trace record in '" + path_ + "'");
   ++count_;
   return unpack_record(buf);
 }

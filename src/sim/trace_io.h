@@ -32,21 +32,29 @@ inline constexpr std::size_t kTraceRecordBytes = 32;
 void pack_record(const TraceRecord& record, std::uint8_t* out);
 TraceRecord unpack_record(const std::uint8_t* in);
 
-/// Streams records to a trace file.
+/// Streams records to a trace file. Every write is checked: a short or
+/// failed write raises TraceIoError immediately rather than leaving a
+/// silently truncated trace behind.
 class TraceWriter {
  public:
   explicit TraceWriter(const std::string& path);
   void write(const TraceRecord& record);
   /// Drain an entire source into the file; returns records written.
   std::uint64_t write_all(TraceSource& source, std::uint64_t max = UINT64_MAX);
+  /// Flush and verify the stream; call when done writing (write_all does).
+  /// Throws TraceIoError if any buffered byte failed to reach the file.
+  void finish();
   [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
 
  private:
+  std::string path_;
   std::ofstream out_;
   std::uint64_t count_ = 0;
 };
 
-/// TraceSource over a trace file.
+/// TraceSource over a trace file. Truncation is detected eagerly: a file
+/// whose payload is not a whole number of records is rejected at open, a
+/// short header or mid-record EOF raises TraceIoError during reading.
 class TraceFileSource final : public TraceSource {
  public:
   explicit TraceFileSource(const std::string& path);
@@ -54,6 +62,7 @@ class TraceFileSource final : public TraceSource {
   [[nodiscard]] std::uint64_t read_count() const noexcept { return count_; }
 
  private:
+  std::string path_;
   std::ifstream in_;
   std::uint64_t count_ = 0;
 };

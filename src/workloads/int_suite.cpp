@@ -10,10 +10,6 @@
 
 namespace mrisc::workloads {
 
-isa::Program Workload::assembled() const {
-  return isa::assemble(source, name);
-}
-
 namespace {
 
 /// The in-assembly data generator shared by all kernels:

@@ -1,0 +1,26 @@
+#include "workloads/workload.h"
+
+#include <mutex>
+#include <optional>
+
+#include "isa/assembler.h"
+
+namespace mrisc::workloads {
+
+// The cache block is created at construction and shared by every copy of
+// the workload, so a suite copied into an experiment plan still assembles
+// each kernel exactly once process-wide.
+struct Workload::AssemblyCache {
+  std::once_flag once;
+  std::optional<isa::Program> program;
+};
+
+Workload::Workload() : assembly_(std::make_shared<AssemblyCache>()) {}
+
+const isa::Program& Workload::assembled() const {
+  std::call_once(assembly_->once,
+                 [&] { assembly_->program = isa::assemble(source, name); });
+  return *assembly_->program;
+}
+
+}  // namespace mrisc::workloads

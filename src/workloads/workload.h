@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 namespace mrisc::workloads {
 
 struct Workload {
+  Workload();
+
   std::string name;       ///< SPEC95 namesake, e.g. "compress"
   bool floating_point = false;
   std::string source;     ///< mrisc assembly
@@ -29,7 +32,15 @@ struct Workload {
   std::vector<std::int64_t> expected_ints;
   std::vector<std::uint64_t> expected_fp_bits;
 
-  [[nodiscard]] isa::Program assembled() const;
+  /// Assemble `source`. Memoized: the first call assembles, later calls
+  /// return the cached program, and copies of this workload share the cache
+  /// (a 19-cell sweep assembles each kernel once). Thread-safe. Do not
+  /// mutate `source` after the first call.
+  [[nodiscard]] const isa::Program& assembled() const;
+
+ private:
+  struct AssemblyCache;
+  std::shared_ptr<AssemblyCache> assembly_;
 };
 
 /// Iteration-scale knob: 1.0 is the default experiment size (about 10^5

@@ -1,0 +1,244 @@
+// Experiment-engine tests: the whole refactor rests on two equivalences -
+// (1) replaying a recorded trace is bit-identical to the live
+//     emulator-coupled run, and
+// (2) an N-thread engine run is bit-identical to --jobs 1 and to the serial
+//     driver (grid-indexed slots + fixed aggregation order, no FP
+//     reassociation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "driver/engine.h"
+#include "sim/trace_buffer.h"
+#include "sim/trace_io.h"
+
+namespace mrisc::driver {
+namespace {
+
+const workloads::SuiteConfig kSmall{0.05};
+
+void expect_class_equal(const power::ClassEnergy& a,
+                        const power::ClassEnergy& b, const char* what) {
+  EXPECT_EQ(a.switched_bits, b.switched_bits) << what;
+  EXPECT_EQ(a.ops, b.ops) << what;
+  EXPECT_EQ(a.gated_operands, b.gated_operands) << what;
+  EXPECT_EQ(a.booth_adds, b.booth_adds) << what;        // bit-identical, not
+  EXPECT_EQ(a.guard_overhead, b.guard_overhead) << what;  // merely close
+}
+
+void expect_result_equal(const RunResult& a, const RunResult& b) {
+  expect_class_equal(a.ialu, b.ialu, "ialu");
+  expect_class_equal(a.fpau, b.fpau, "fpau");
+  expect_class_equal(a.imult, b.imult, "imult");
+  expect_class_equal(a.fpmult, b.fpmult, "fpmult");
+  EXPECT_EQ(a.pipeline.cycles, b.pipeline.cycles);
+  EXPECT_EQ(a.pipeline.committed, b.pipeline.committed);
+  EXPECT_EQ(a.pipeline.occupancy, b.pipeline.occupancy);
+  EXPECT_EQ(a.pipeline.issued, b.pipeline.issued);
+  EXPECT_EQ(a.pipeline.cache_hits, b.pipeline.cache_hits);
+  EXPECT_EQ(a.pipeline.cache_misses, b.pipeline.cache_misses);
+  EXPECT_EQ(a.pipeline.branches, b.pipeline.branches);
+  EXPECT_EQ(a.pipeline.mispredictions, b.pipeline.mispredictions);
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m) {
+      EXPECT_EQ(a.per_module[c][m].switched_bits,
+                b.per_module[c][m].switched_bits);
+      EXPECT_EQ(a.per_module[c][m].ops, b.per_module[c][m].ops);
+    }
+}
+
+TEST(TraceBufferTest, MemoryReplayMatchesLiveRun) {
+  const auto workload = workloads::make_compress(kSmall);
+  ExperimentConfig config;
+  config.scheme = Scheme::kLut4;
+  config.swap = SwapMode::kHardware;
+
+  // Live: timing core coupled directly to the emulator.
+  sim::Emulator live_emu(workload.assembled());
+  sim::EmulatorTraceSource live(live_emu);
+  const RunResult live_result = replay_trace(live, workload.name, config);
+
+  // Recorded: same program captured into a TraceBuffer, replayed from RAM.
+  sim::Emulator rec_emu(workload.assembled());
+  sim::EmulatorTraceSource rec(rec_emu);
+  sim::TraceBuffer buffer;
+  buffer.record_all(rec);
+  sim::MemoryTraceSource memory(buffer);
+  const RunResult replayed = replay_trace(memory, workload.name, config);
+
+  expect_result_equal(replayed, live_result);
+}
+
+TEST(TraceBufferTest, SaveLoadRoundTrip) {
+  const auto workload = workloads::make_li(kSmall);
+  sim::Emulator emu(workload.assembled());
+  sim::EmulatorTraceSource source(emu);
+  sim::TraceBuffer buffer;
+  buffer.record_all(source);
+  ASSERT_FALSE(buffer.empty());
+
+  const std::string path = ::testing::TempDir() + "/engine_roundtrip.trc";
+  buffer.save(path);
+  const sim::TraceBuffer loaded = sim::TraceBuffer::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    std::uint8_t a[sim::kTraceRecordBytes], b[sim::kTraceRecordBytes];
+    sim::pack_record(buffer.records()[i], a);
+    sim::pack_record(loaded.records()[i], b);
+    EXPECT_EQ(0, std::memcmp(a, b, sim::kTraceRecordBytes)) << i;
+  }
+}
+
+std::vector<ExperimentConfig> grid() {
+  std::vector<ExperimentConfig> configs;
+  ExperimentConfig base;
+  base.scheme = Scheme::kOriginal;
+  base.swap = SwapMode::kNone;
+  configs.push_back(base);
+  ExperimentConfig lut = base;
+  lut.scheme = Scheme::kLut4;
+  lut.swap = SwapMode::kHardware;
+  configs.push_back(lut);
+  ExperimentConfig cc = base;
+  cc.scheme = Scheme::kFullHam;
+  cc.swap = SwapMode::kHardwareCompiler;
+  configs.push_back(cc);
+  return configs;
+}
+
+TEST(EngineTest, MatchesSerialDriver) {
+  const auto suite = workloads::integer_suite(kSmall);
+  ExperimentPlan plan;
+  plan.add_suite(suite);
+  for (const auto& config : grid()) plan.add_cell("cell", config);
+
+  ExperimentEngine engine(4);
+  const auto cells = engine.run(plan);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SuiteResult serial = run_suite_detailed(suite, grid()[i]);
+    expect_result_equal(cells[i].total, serial.total);
+    ASSERT_EQ(cells[i].per_unit.size(), serial.per_workload.size());
+    for (std::size_t w = 0; w < serial.per_workload.size(); ++w)
+      expect_result_equal(cells[i].per_unit[w], serial.per_workload[w]);
+  }
+}
+
+TEST(EngineTest, ParallelMatchesSingleJob) {
+  const auto suite = workloads::full_suite(kSmall);
+  auto make_plan = [&] {
+    ExperimentPlan plan;
+    plan.add_suite(suite);
+    ExperimentConfig stats_config;
+    stats_config.scheme = Scheme::kOriginal;
+    plan.add_cell("stats", stats_config, /*collect_stats=*/true);
+    for (const auto& config : grid()) plan.add_cell("cell", config);
+    return plan;
+  };
+
+  ExperimentEngine serial(1);
+  ExperimentEngine parallel(8);
+  const auto one = serial.run(make_plan());
+  const auto many = parallel.run(make_plan());
+
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_result_equal(many[i].total, one[i].total);
+    for (std::size_t w = 0; w < one[i].per_unit.size(); ++w)
+      expect_result_equal(many[i].per_unit[w], one[i].per_unit[w]);
+  }
+  // The stats cell's collectors accumulate doubles; sequential stats tasks
+  // keep the summation order fixed, so even the rendered tables match
+  // byte for byte.
+  EXPECT_EQ(stats::render_table1(many[0].patterns, isa::FuClass::kIalu),
+            stats::render_table1(one[0].patterns, isa::FuClass::kIalu));
+  EXPECT_EQ(stats::render_table1(many[0].patterns, isa::FuClass::kFpau),
+            stats::render_table1(one[0].patterns, isa::FuClass::kFpau));
+  EXPECT_EQ(stats::render_table2(many[0].occupancy),
+            stats::render_table2(one[0].occupancy));
+  EXPECT_EQ(stats::render_table3(many[0].patterns),
+            stats::render_table3(one[0].patterns));
+}
+
+TEST(EngineTest, EmulatesOncePerSwapVariant) {
+  const auto suite = workloads::integer_suite(kSmall);
+  ExperimentPlan plan;
+  plan.add_suite(suite);
+  ExperimentConfig config;
+  config.scheme = Scheme::kOriginal;
+  for (const auto swap : {SwapMode::kNone, SwapMode::kHardware,
+                          SwapMode::kHardwareCompiler, SwapMode::kCompilerOnly}) {
+    config.swap = swap;
+    plan.add_cell("cell", config);
+  }
+  ExperimentEngine engine(4);
+  const auto cells = engine.run(plan);
+  ASSERT_EQ(cells.size(), 4u);
+
+  // kNone/kHardware share the base binary; kHardwareCompiler/kCompilerOnly
+  // share the compiler-swapped one: 2 traces per workload, not 4.
+  EXPECT_EQ(engine.emulations(), 2 * suite.size());
+  EXPECT_EQ(engine.replays(), 4 * suite.size());
+
+  // Hardware swapping must not change the committed trace - only how the
+  // policies latch operands. Sanity: same ops, different switched bits.
+  EXPECT_EQ(cells[0].total.ialu.ops, cells[1].total.ialu.ops);
+
+  // Re-running an overlapping plan hits the warm cache entirely.
+  ExperimentPlan again;
+  again.add_suite(suite);
+  again.add_cell("cell", config);
+  engine.run(again);
+  EXPECT_EQ(engine.emulations(), 2 * suite.size());
+}
+
+TEST(EngineTest, VerifiesOutputsAtRecordTime) {
+  auto workload = workloads::make_go(kSmall);
+  ASSERT_FALSE(workload.expected_ints.empty());
+  workload.expected_ints[0] ^= 1;  // corrupt the reference model
+
+  ExperimentPlan plan;
+  plan.units.push_back({workload.name, workload, std::nullopt});
+  ExperimentConfig config;
+  plan.add_cell("cell", config);
+  ExperimentEngine engine(1);
+  EXPECT_THROW(engine.run(plan), std::logic_error);
+
+  // With verification off the same plan runs fine.
+  config.verify_outputs = false;
+  ExperimentPlan relaxed;
+  relaxed.units.push_back({workload.name, workload, std::nullopt});
+  relaxed.add_cell("cell", config);
+  ExperimentEngine fresh(1);
+  EXPECT_EQ(fresh.run(relaxed).size(), 1u);
+}
+
+TEST(EngineTest, SuiteDetailedTotalMatchesAccumulation) {
+  const auto suite = workloads::fp_suite(kSmall);
+  ExperimentConfig config;
+  config.scheme = Scheme::kOneBitHam;
+  const SuiteResult detailed = run_suite_detailed(suite, config);
+  ASSERT_EQ(detailed.per_workload.size(), suite.size());
+
+  RunResult sum;
+  sum.workload = "suite";
+  for (const auto& r : detailed.per_workload) sum.accumulate(r);
+  expect_result_equal(detailed.total, sum);
+
+  // And the detailed total matches the plain run_suite path.
+  expect_result_equal(detailed.total, run_suite(suite, config));
+}
+
+TEST(EngineTest, WorkloadAssemblyIsMemoized) {
+  const auto workload = workloads::make_perl(kSmall);
+  const isa::Program& first = workload.assembled();
+  EXPECT_EQ(&first, &workload.assembled());
+  const auto copy = workload;  // copies share the cache
+  EXPECT_EQ(&first, &copy.assembled());
+}
+
+}  // namespace
+}  // namespace mrisc::driver

@@ -117,8 +117,10 @@ TEST(TraceIo, DetectsTruncatedRecords) {
     TraceWriter writer(path);
     util::Xoshiro256 rng(1);
     writer.write(random_record(rng));
+    writer.finish();
   }
-  // Chop off the last few bytes.
+  // Chop off the last few bytes. The payload is no longer a whole number of
+  // records, which the reader now detects eagerly, at open time.
   {
     std::ifstream in(path, std::ios::binary);
     std::string bytes{std::istreambuf_iterator<char>(in),
@@ -126,9 +128,58 @@ TEST(TraceIo, DetectsTruncatedRecords) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
   }
-  TraceFileSource source(path);
-  EXPECT_THROW(source.next(), TraceIoError);
+  EXPECT_THROW(TraceFileSource{path}, TraceIoError);
   std::remove(path.c_str());
+}
+
+TEST(TraceIo, DetectsTruncatedHeader) {
+  const std::string path = ::testing::TempDir() + "/trunc_header.trc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "MRT";  // less than the 8-byte magic+version header
+  }
+  EXPECT_THROW(TraceFileSource{path}, TraceIoError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, WholeRecordTruncationStillReplays) {
+  // Chopping an exact number of records leaves a well-formed (short) file:
+  // the reader must NOT reject it, only partial records are errors.
+  const std::string path = ::testing::TempDir() + "/short_trace.trc";
+  {
+    TraceWriter writer(path);
+    util::Xoshiro256 rng(7);
+    writer.write(random_record(rng));
+    writer.write(random_record(rng));
+    writer.finish();
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - kTraceRecordBytes));
+  }
+  TraceFileSource source(path);
+  int count = 0;
+  while (source.next()) ++count;
+  EXPECT_EQ(count, 1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReportsShortWrites) {
+  // /dev/full accepts opens but fails every write with ENOSPC, which is
+  // exactly the short-write path TraceWriter must report instead of
+  // silently dropping records.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "no /dev/full";
+  util::Xoshiro256 rng(2);
+  auto write_some = [&] {
+    TraceWriter writer("/dev/full");
+    for (int i = 0; i < 4096; ++i) writer.write(random_record(rng));
+    writer.finish();
+  };
+  EXPECT_THROW(write_some(), TraceIoError);
 }
 
 }  // namespace

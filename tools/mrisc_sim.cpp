@@ -10,7 +10,7 @@
 
 #include "driver/config_io.h"
 #include "power/chip.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "isa/object.h"
 #include "stats/report.h"
 #include "util/flags.h"
@@ -29,6 +29,7 @@ int usage() {
       "  --mult-swap none|infobit|popcount                    (default none)\n"
       "  --ialus N   --fpaus N   module counts                (default 4)\n"
       "  --in-order  issue in program order (VLIW-like)\n"
+      "  --jobs N    replay worker threads (default: hardware concurrency)\n"
       "  --report    energy|tables|all                        (default energy)\n"
       "(command-line flags override the config file)\n");
   return 2;
@@ -39,7 +40,8 @@ int usage() {
 int main(int argc, char** argv) {
   util::Flags flags(
       argc, argv,
-      {"config", "scheme", "swap", "mult-swap", "ialus", "fpaus", "report"},
+      {"config", "scheme", "swap", "mult-swap", "ialus", "fpaus", "jobs",
+       "report"},
       {"in-order"});
   if (flags.positional().size() != 1 || !flags.unknown().empty()) return usage();
 
@@ -77,10 +79,15 @@ int main(int argc, char** argv) {
       return usage();
 
     const isa::Program program = isa::load_program_file(flags.positional()[0]);
-    stats::BitPatternCollector patterns;
-    stats::OccupancyAggregator occupancy;
-    const driver::RunResult result = driver::run_program(
-        program, program.name, config, &patterns, &occupancy);
+    driver::ExperimentEngine engine(
+        static_cast<int>(flags.get_int("jobs", 0)));
+    driver::ExperimentPlan plan;
+    plan.add_program(program, program.name);
+    plan.add_cell("run", config, /*collect_stats=*/true);
+    const auto cells = engine.run(plan);
+    const driver::RunResult& result = cells[0].per_unit[0];
+    const stats::BitPatternCollector& patterns = cells[0].patterns;
+    const stats::OccupancyAggregator& occupancy = cells[0].occupancy;
 
     std::printf("%s\n", driver::describe(config).c_str());
     if (report == "tables" || report == "all") {
