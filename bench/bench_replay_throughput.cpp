@@ -1,0 +1,267 @@
+// bench_replay_throughput: how fast is one trace replay?
+//
+// The experiment engine (driver/engine.h) made the grid sweeps
+// emulate-once/replay-many, so nearly all suite wall-clock now sits in the
+// replay path: MemoryTraceSource feeding OooCore + EnergyAccountant. This
+// bench isolates exactly that path on the Figure 4 suites: each workload is
+// functionally emulated once into a TraceBuffer, then replayed back-to-back
+// under the paper's shipping configuration (4-bit LUT + hardware swapping)
+// until a minimum measurement window is filled.
+//
+//   bench_replay_throughput [--out BENCH_replay.json] [--min-time-ms 300]
+//                           [--scheme lut4|original|fullham]
+//                           [--baseline prior.json] [--label NAME]
+//
+// Metrics per workload and aggregated: traces-replayed/sec, simulated
+// cycles/sec and committed instructions/sec. Output is machine-readable
+// JSON (schema mrisc-bench-replay/v1) so the numbers can be tracked
+// PR-over-PR; `--baseline` embeds a previous run's JSON and computes the
+// speedup of aggregate replays/sec against it. See docs/performance.md.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "driver/experiment.h"
+#include "sim/emulator.h"
+#include "sim/trace_buffer.h"
+
+namespace {
+
+using namespace mrisc;
+using Clock = std::chrono::steady_clock;
+
+struct WorkloadRate {
+  std::string name;
+  std::uint64_t records = 0;          ///< trace length (dynamic instructions)
+  std::uint64_t cycles_per_replay = 0;
+  std::uint64_t replays = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double replays_per_sec() const {
+    return seconds > 0 ? static_cast<double>(replays) / seconds : 0.0;
+  }
+  [[nodiscard]] double sim_cycles_per_sec() const {
+    return seconds > 0 ? static_cast<double>(replays * cycles_per_replay) /
+                             seconds
+                       : 0.0;
+  }
+  [[nodiscard]] double sim_instrs_per_sec() const {
+    return seconds > 0
+               ? static_cast<double>(replays * records) / seconds
+               : 0.0;
+  }
+};
+
+/// Time back-to-back replays of one recorded trace until `min_time_ms` of
+/// wall clock is filled (at least two replays, so one-off warmup effects
+/// are amortized).
+WorkloadRate measure(const workloads::Workload& workload,
+                     const driver::ExperimentConfig& config, int min_time_ms) {
+  WorkloadRate rate;
+  rate.name = workload.name;
+
+  sim::Emulator emu(workload.assembled());
+  sim::EmulatorTraceSource record_source(emu);
+  sim::TraceBuffer buffer;
+  buffer.record_all(record_source);
+  rate.records = buffer.size();
+
+  // Warmup replay (also pins cycles_per_replay for the report).
+  {
+    sim::MemoryTraceSource source(buffer);
+    const driver::RunResult r =
+        driver::replay_trace(source, workload.name, config);
+    rate.cycles_per_replay = r.pipeline.cycles;
+  }
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(min_time_ms);
+  auto now = start;
+  do {
+    sim::MemoryTraceSource source(buffer);
+    (void)driver::replay_trace(source, workload.name, config);
+    ++rate.replays;
+    now = Clock::now();
+  } while (now < deadline || rate.replays < 2);
+  rate.seconds = std::chrono::duration<double>(now - start).count();
+  return rate;
+}
+
+/// Pull `"aggregate": { ... "replays_per_sec": X ... }` out of a previous
+/// run's JSON without a JSON library: find the aggregate object, then the
+/// key inside it. Returns 0 when not found.
+double extract_aggregate_rate(const std::string& json) {
+  const auto agg = json.find("\"aggregate\"");
+  if (agg == std::string::npos) return 0.0;
+  const auto key = json.find("\"replays_per_sec\"", agg);
+  if (key == std::string::npos) return 0.0;
+  const auto colon = json.find(':', key);
+  if (colon == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_replay.json";
+  std::string baseline_path;
+  std::string label = "current";
+  std::string scheme_name = "lut4";
+  int min_time_ms = 300;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--baseline") {
+      if (const char* v = next()) baseline_path = v;
+    } else if (arg == "--label") {
+      if (const char* v = next()) label = v;
+    } else if (arg == "--scheme") {
+      if (const char* v = next()) scheme_name = v;
+    } else if (arg == "--min-time-ms") {
+      if (const char* v = next()) min_time_ms = std::atoi(v);
+    } else if (arg != "--jobs") {  // accepted for uniformity, unused
+      std::fprintf(stderr,
+                   "usage: bench_replay_throughput [--out FILE] "
+                   "[--baseline FILE] [--label NAME] [--scheme S] "
+                   "[--min-time-ms N]\n");
+      return 2;
+    }
+  }
+
+  driver::ExperimentConfig config;
+  config.swap = driver::SwapMode::kHardware;
+  if (scheme_name == "lut4") {
+    config.scheme = driver::Scheme::kLut4;
+  } else if (scheme_name == "original") {
+    config.scheme = driver::Scheme::kOriginal;
+  } else if (scheme_name == "fullham") {
+    config.scheme = driver::Scheme::kFullHam;
+  } else {
+    std::fprintf(stderr, "unknown --scheme '%s'\n", scheme_name.c_str());
+    return 2;
+  }
+
+  const auto suite_cfg = mrisc::bench::suite_config();
+  const auto suite = workloads::full_suite(suite_cfg);
+
+  std::vector<WorkloadRate> rates;
+  std::uint64_t total_replays = 0, weighted_cycles = 0, weighted_instrs = 0;
+  double total_seconds = 0.0;
+  for (const auto& workload : suite) {
+    const WorkloadRate rate = measure(workload, config, min_time_ms);
+    std::printf("%-12s %9llu records  %9llu cycles/replay  "
+                "%8.2f replays/s  %8.2f Mcycles/s\n",
+                rate.name.c_str(),
+                static_cast<unsigned long long>(rate.records),
+                static_cast<unsigned long long>(rate.cycles_per_replay),
+                rate.replays_per_sec(), rate.sim_cycles_per_sec() / 1e6);
+    total_replays += rate.replays;
+    weighted_cycles += rate.replays * rate.cycles_per_replay;
+    weighted_instrs += rate.replays * rate.records;
+    total_seconds += rate.seconds;
+    rates.push_back(rate);
+  }
+
+  const double agg_replays_per_sec =
+      total_seconds > 0 ? static_cast<double>(total_replays) / total_seconds
+                        : 0.0;
+  const double agg_cycles_per_sec =
+      total_seconds > 0 ? static_cast<double>(weighted_cycles) / total_seconds
+                        : 0.0;
+  const double agg_instrs_per_sec =
+      total_seconds > 0 ? static_cast<double>(weighted_instrs) / total_seconds
+                        : 0.0;
+  std::printf("aggregate: %.2f replays/s, %.2f Msim-cycles/s, "
+              "%.2f Msim-instrs/s over %zu workloads\n",
+              agg_replays_per_sec, agg_cycles_per_sec / 1e6,
+              agg_instrs_per_sec / 1e6, rates.size());
+
+  std::string baseline_json;
+  double baseline_rate = 0.0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "warning: cannot read baseline %s\n",
+                   baseline_path.c_str());
+    } else {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      baseline_json = ss.str();
+      baseline_rate = extract_aggregate_rate(baseline_json);
+      if (baseline_rate > 0)
+        std::printf("speedup vs baseline (%s): %.2fx replays/s\n",
+                    baseline_path.c_str(),
+                    agg_replays_per_sec / baseline_rate);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"mrisc-bench-replay/v1\",\n";
+  out << "  \"label\": \"" << json_escape(label) << "\",\n";
+  out << "  \"scheme\": \"" << json_escape(scheme_name)
+      << "\",\n  \"swap\": \"hardware\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "  \"scale\": %g,\n", suite_cfg.scale);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"min_time_ms\": %d,\n", min_time_ms);
+  out << buf;
+  out << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const WorkloadRate& r = rates[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"records\": %llu, "
+                  "\"cycles_per_replay\": %llu, \"replays\": %llu, "
+                  "\"seconds\": %.6f, \"replays_per_sec\": %.3f, "
+                  "\"sim_cycles_per_sec\": %.1f, "
+                  "\"sim_instrs_per_sec\": %.1f}%s\n",
+                  json_escape(r.name).c_str(),
+                  static_cast<unsigned long long>(r.records),
+                  static_cast<unsigned long long>(r.cycles_per_replay),
+                  static_cast<unsigned long long>(r.replays), r.seconds,
+                  r.replays_per_sec(), r.sim_cycles_per_sec(),
+                  r.sim_instrs_per_sec(),
+                  i + 1 < rates.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"aggregate\": {\"replays\": %llu, \"seconds\": %.6f, "
+                "\"replays_per_sec\": %.3f, \"sim_cycles_per_sec\": %.1f, "
+                "\"sim_instrs_per_sec\": %.1f}",
+                static_cast<unsigned long long>(total_replays), total_seconds,
+                agg_replays_per_sec, agg_cycles_per_sec, agg_instrs_per_sec);
+  out << buf;
+  if (baseline_rate > 0) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"baseline_replays_per_sec\": %.3f,\n"
+                  "  \"speedup\": %.3f,\n  \"baseline\": ",
+                  baseline_rate, agg_replays_per_sec / baseline_rate);
+    out << buf << baseline_json;
+  }
+  out << "\n}\n";
+  std::fprintf(stderr, "[json written to %s]\n", out_path.c_str());
+  return 0;
+}

@@ -1,14 +1,16 @@
 // Record/replay workflow: record a workload's dynamic trace once, then
 // replay it through the timing core under several steering schemes without
 // re-executing the program - the way trace-driven power studies iterate on
-// microarchitecture knobs. Demonstrates TraceWriter / TraceFileSource and
-// manual policy wiring (everything the driver does, spelled out).
+// microarchitecture knobs. Demonstrates TraceWriter, decode-once loading via
+// TraceBuffer/MemoryTraceSource and manual policy wiring (everything the
+// driver does, spelled out).
 #include <cstdio>
 #include <string>
 
 #include "power/energy.h"
 #include "sim/emulator.h"
 #include "sim/ooo.h"
+#include "sim/trace_buffer.h"
 #include "sim/trace_io.h"
 #include "stats/paper_ref.h"
 #include "steer/lut.h"
@@ -31,7 +33,11 @@ int main() {
                 static_cast<unsigned long long>(n), trace_path.c_str());
   }
 
-  // 2. Replay under three schemes; the functional program never runs again.
+  // 2. Decode the trace file once; every replay below is a pointer bump over
+  //    the same flat record vector (no per-variant re-deserialization).
+  const sim::TraceBuffer trace = sim::TraceBuffer::load(trace_path);
+
+  // 3. Replay under three schemes; the functional program never runs again.
   struct Variant {
     const char* name;
     sim::SteeringPolicy* policy;
@@ -47,7 +53,7 @@ int main() {
        {Variant{"Original (FCFS)", &original},
         Variant{"4-bit LUT + hw swap", &lut},
         Variant{"Full Ham (bound)", &fullham}}) {
-    sim::TraceFileSource source(trace_path);
+    sim::MemoryTraceSource source(trace);
     sim::OooCore core(sim::OooConfig{}, source);
     core.set_policy(isa::FuClass::kIalu, variant.policy);
     power::EnergyAccountant energy;

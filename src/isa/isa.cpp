@@ -1,86 +1,9 @@
 #include "isa/isa.h"
 
-#include <array>
 #include <string>
 #include <unordered_map>
 
 namespace mrisc::isa {
-namespace {
-
-constexpr OpInfo make_op(std::string_view mnem, Format fmt, FuClass fu,
-                         bool commutative, Opcode flip, bool r1, bool r2,
-                         bool wd, bool fd, bool f1, bool f2, bool br = false,
-                         bool ld = false, bool st = false) {
-  return OpInfo{mnem, fmt, fu, commutative, flip, r1, r2, wd,
-                fd,   f1,  f2, br,          ld,   st};
-}
-
-// One row per Opcode, in enum order. `flip == self` means no compiler twin.
-constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
-    // mnemonic  fmt        fu               comm  flip           rs1    rs2    rd     fpd    fp1    fp2
-    make_op("add",  Format::kR, FuClass::kIalu,  true,  Opcode::kAdd,  true,  true,  true,  false, false, false),
-    make_op("sub",  Format::kR, FuClass::kIalu,  false, Opcode::kSub,  true,  true,  true,  false, false, false),
-    make_op("and",  Format::kR, FuClass::kIalu,  true,  Opcode::kAnd,  true,  true,  true,  false, false, false),
-    make_op("or",   Format::kR, FuClass::kIalu,  true,  Opcode::kOr,   true,  true,  true,  false, false, false),
-    make_op("xor",  Format::kR, FuClass::kIalu,  true,  Opcode::kXor,  true,  true,  true,  false, false, false),
-    make_op("nor",  Format::kR, FuClass::kIalu,  true,  Opcode::kNor,  true,  true,  true,  false, false, false),
-    make_op("sll",  Format::kR, FuClass::kIalu,  false, Opcode::kSll,  true,  true,  true,  false, false, false),
-    make_op("srl",  Format::kR, FuClass::kIalu,  false, Opcode::kSrl,  true,  true,  true,  false, false, false),
-    make_op("sra",  Format::kR, FuClass::kIalu,  false, Opcode::kSra,  true,  true,  true,  false, false, false),
-    make_op("slt",  Format::kR, FuClass::kIalu,  false, Opcode::kSgt,  true,  true,  true,  false, false, false),
-    make_op("sltu", Format::kR, FuClass::kIalu,  false, Opcode::kSgtu, true,  true,  true,  false, false, false),
-    make_op("sgt",  Format::kR, FuClass::kIalu,  false, Opcode::kSlt,  true,  true,  true,  false, false, false),
-    make_op("sgtu", Format::kR, FuClass::kIalu,  false, Opcode::kSltu, true,  true,  true,  false, false, false),
-    make_op("addi", Format::kI, FuClass::kIalu,  false, Opcode::kAddi, true,  false, true,  false, false, false),
-    make_op("andi", Format::kI, FuClass::kIalu,  false, Opcode::kAndi, true,  false, true,  false, false, false),
-    make_op("ori",  Format::kI, FuClass::kIalu,  false, Opcode::kOri,  true,  false, true,  false, false, false),
-    make_op("xori", Format::kI, FuClass::kIalu,  false, Opcode::kXori, true,  false, true,  false, false, false),
-    make_op("slti", Format::kI, FuClass::kIalu,  false, Opcode::kSlti, true,  false, true,  false, false, false),
-    make_op("slli", Format::kI, FuClass::kIalu,  false, Opcode::kSlli, true,  false, true,  false, false, false),
-    make_op("srli", Format::kI, FuClass::kIalu,  false, Opcode::kSrli, true,  false, true,  false, false, false),
-    make_op("srai", Format::kI, FuClass::kIalu,  false, Opcode::kSrai, true,  false, true,  false, false, false),
-    make_op("lui",  Format::kI, FuClass::kIalu,  false, Opcode::kLui,  false, false, true,  false, false, false),
-    make_op("mul",  Format::kR, FuClass::kImult, true,  Opcode::kMul,  true,  true,  true,  false, false, false),
-    make_op("div",  Format::kR, FuClass::kImult, false, Opcode::kDiv,  true,  true,  true,  false, false, false),
-    make_op("rem",  Format::kR, FuClass::kImult, false, Opcode::kRem,  true,  true,  true,  false, false, false),
-    make_op("lw",   Format::kI, FuClass::kMem,   false, Opcode::kLw,   true,  false, true,  false, false, false, false, true,  false),
-    make_op("lb",   Format::kI, FuClass::kMem,   false, Opcode::kLb,   true,  false, true,  false, false, false, false, true,  false),
-    make_op("lbu",  Format::kI, FuClass::kMem,   false, Opcode::kLbu,  true,  false, true,  false, false, false, false, true,  false),
-    make_op("sw",   Format::kI, FuClass::kMem,   false, Opcode::kSw,   true,  true,  false, false, false, false, false, false, true),
-    make_op("sb",   Format::kI, FuClass::kMem,   false, Opcode::kSb,   true,  true,  false, false, false, false, false, false, true),
-    make_op("lfd",  Format::kI, FuClass::kMem,   false, Opcode::kLfd,  true,  false, true,  true,  false, false, false, true,  false),
-    make_op("sfd",  Format::kI, FuClass::kMem,   false, Opcode::kSfd,  true,  true,  false, false, false, true,  false, false, true),
-    make_op("fadd", Format::kR, FuClass::kFpau,  true,  Opcode::kFadd, true,  true,  true,  true,  true,  true),
-    make_op("fsub", Format::kR, FuClass::kFpau,  false, Opcode::kFsub, true,  true,  true,  true,  true,  true),
-    make_op("fclt", Format::kR, FuClass::kFpau,  false, Opcode::kFcgt, true,  true,  true,  false, true,  true),
-    make_op("fcle", Format::kR, FuClass::kFpau,  false, Opcode::kFcge, true,  true,  true,  false, true,  true),
-    make_op("fceq", Format::kR, FuClass::kFpau,  true,  Opcode::kFceq, true,  true,  true,  false, true,  true),
-    make_op("fcgt", Format::kR, FuClass::kFpau,  false, Opcode::kFclt, true,  true,  true,  false, true,  true),
-    make_op("fcge", Format::kR, FuClass::kFpau,  false, Opcode::kFcle, true,  true,  true,  false, true,  true),
-    make_op("cvtif",Format::kR, FuClass::kFpau,  false, Opcode::kCvtif,true,  false, true,  true,  false, false),
-    make_op("cvtfi",Format::kR, FuClass::kFpau,  false, Opcode::kCvtfi,true,  false, true,  false, true,  false),
-    make_op("fmov", Format::kR, FuClass::kFpau,  false, Opcode::kFmov, true,  false, true,  true,  true,  false),
-    make_op("fneg", Format::kR, FuClass::kFpau,  false, Opcode::kFneg, true,  false, true,  true,  true,  false),
-    make_op("fabs", Format::kR, FuClass::kFpau,  false, Opcode::kFabs, true,  false, true,  true,  true,  false),
-    make_op("cvtsd",Format::kR, FuClass::kFpau,  false, Opcode::kCvtsd,true,  false, true,  true,  true,  false),
-    make_op("fmul", Format::kR, FuClass::kFpmult,true,  Opcode::kFmul, true,  true,  true,  true,  true,  true),
-    make_op("fdiv", Format::kR, FuClass::kFpmult,false, Opcode::kFdiv, true,  true,  true,  true,  true,  true),
-    make_op("fsqrt",Format::kR, FuClass::kFpmult,false, Opcode::kFsqrt,true,  false, true,  true,  true,  false),
-    make_op("beq",  Format::kB, FuClass::kIalu,  true,  Opcode::kBeq,  true,  true,  false, false, false, false, true),
-    make_op("bne",  Format::kB, FuClass::kIalu,  true,  Opcode::kBne,  true,  true,  false, false, false, false, true),
-    make_op("blt",  Format::kB, FuClass::kIalu,  false, Opcode::kBlt,  true,  true,  false, false, false, false, true),
-    make_op("bge",  Format::kB, FuClass::kIalu,  false, Opcode::kBge,  true,  true,  false, false, false, false, true),
-    make_op("bltu", Format::kB, FuClass::kIalu,  false, Opcode::kBltu, true,  true,  false, false, false, false, true),
-    make_op("bgeu", Format::kB, FuClass::kIalu,  false, Opcode::kBgeu, true,  true,  false, false, false, false, true),
-    make_op("j",    Format::kJ, FuClass::kNone,  false, Opcode::kJ,    false, false, false, false, false, false, true),
-    make_op("jal",  Format::kJ, FuClass::kNone,  false, Opcode::kJal,  false, false, true,  false, false, false, true),
-    make_op("jr",   Format::kR, FuClass::kNone,  false, Opcode::kJr,   true,  false, false, false, false, false, true),
-    make_op("halt", Format::kR, FuClass::kNone,  false, Opcode::kHalt, false, false, false, false, false, false),
-    make_op("out",  Format::kR, FuClass::kIalu,  false, Opcode::kOut,  true,  false, false, false, false, false),
-    make_op("outf", Format::kR, FuClass::kFpau,  false, Opcode::kOutf, true,  false, false, false, true,  false),
-}};
-
-}  // namespace
 
 const char* to_string(FuClass c) noexcept {
   switch (c) {
@@ -92,10 +15,6 @@ const char* to_string(FuClass c) noexcept {
     case FuClass::kNone: return "NONE";
   }
   return "?";
-}
-
-const OpInfo& op_info(Opcode op) noexcept {
-  return kOpTable[static_cast<std::size_t>(op)];
 }
 
 std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) noexcept {

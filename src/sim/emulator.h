@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -84,20 +85,26 @@ class Emulator {
 };
 
 /// TraceSource adapter over a live emulator (streams without buffering).
+/// The returned pointer refers to the adapter's internal record and is
+/// valid until the following next() call.
 class EmulatorTraceSource final : public TraceSource {
  public:
   explicit EmulatorTraceSource(Emulator& emu, std::uint64_t max_steps = UINT64_MAX)
       : emu_(emu), remaining_(max_steps) {}
 
-  std::optional<TraceRecord> next() override {
-    if (remaining_ == 0) return std::nullopt;
+  const TraceRecord* next() override {
+    if (remaining_ == 0) return nullptr;
     --remaining_;
-    return emu_.step();
+    const auto record = emu_.step();
+    if (!record) return nullptr;
+    current_ = *record;
+    return &current_;
   }
 
  private:
   Emulator& emu_;
   std::uint64_t remaining_;
+  TraceRecord current_;
 };
 
 }  // namespace mrisc::sim

@@ -5,39 +5,6 @@
 
 namespace mrisc::sim {
 
-int op_latency(isa::Opcode op, bool& pipelined) noexcept {
-  using isa::FuClass;
-  using isa::Opcode;
-  pipelined = true;
-  switch (isa::op_info(op).fu) {
-    case FuClass::kIalu:
-      return 1;
-    case FuClass::kImult:
-      if (op == Opcode::kDiv || op == Opcode::kRem) {
-        pipelined = false;
-        return 20;
-      }
-      return 3;
-    case FuClass::kFpau:
-      return 2;
-    case FuClass::kFpmult:
-      if (op == Opcode::kFdiv) {
-        pipelined = false;
-        return 12;
-      }
-      if (op == Opcode::kFsqrt) {
-        pipelined = false;
-        return 24;
-      }
-      return 4;
-    case FuClass::kMem:
-      return 1;  // address generation; cache latency added at issue
-    case FuClass::kNone:
-      return 1;
-  }
-  return 1;
-}
-
 namespace {
 
 /// Default routing: oldest instruction to the lowest-numbered free module,
@@ -68,6 +35,17 @@ OooCore::OooCore(const OooConfig& config, TraceSource& source)
   }
   rob_.resize(static_cast<std::size_t>(config_.rob_size));
   policies_.fill(nullptr);
+  // Pre-size everything the cycle loop touches so the steady state never
+  // allocates: RS vectors to their capacity, the ready list to the most
+  // entries that can wait at once, listeners to the usual accountant count.
+  for (auto& rs : rs_)
+    rs.reserve(static_cast<std::size_t>(std::max(config_.rs_per_class, 1)));
+  const auto max_waiting = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.rob_size),
+      static_cast<std::size_t>(std::max(config_.rs_per_class, 0)) *
+          static_cast<std::size_t>(isa::kNumFuClasses));
+  ready_scratch_.reserve(std::max<std::size_t>(max_waiting, 1));
+  listeners_.reserve(4);
 }
 
 void OooCore::set_policy(isa::FuClass cls, SteeringPolicy* policy) {
@@ -81,7 +59,7 @@ void OooCore::add_listener(IssueListener* listener) {
 }
 
 bool OooCore::done() const noexcept {
-  return trace_done_ && !pending_ && rob_count_ == 0;
+  return trace_done_ && pending_ == nullptr && rob_count_ == 0;
 }
 
 bool OooCore::source_ready(int slot, std::uint64_t seq) const {
@@ -132,87 +110,88 @@ void OooCore::writeback_stage() {
 
 void OooCore::issue_stage() {
   // 1. Select ready instructions, oldest first across all classes, limited
-  //    by global issue width and per-class free-module counts.
-  struct Selected {
-    int slot;
-  };
-  std::array<std::vector<int>, isa::kNumFuClasses> picked;  // ROB slots
-  std::array<std::vector<int>, isa::kNumFuClasses> available;
+  //    by global issue width and per-class free-module counts. All selection
+  //    state lives in reusable member scratch: per-class groups are bounded
+  //    by the module count, the ready list by total RS capacity (reserved in
+  //    the constructor), so the steady state performs no heap allocation.
+  picked_count_.fill(0);
   for (int c = 0; c < isa::kNumFuClasses; ++c) {
     const auto cu = static_cast<std::size_t>(c);
+    available_count_[cu] = 0;
     for (int m = 0; m < config_.modules[cu]; ++m) {
       if (module_busy_[cu][static_cast<std::size_t>(m)] <= cycle_)
-        available[cu].push_back(m);
+        available_[cu][static_cast<std::size_t>(available_count_[cu]++)] = m;
     }
   }
 
-  // Gather ready RS entries from all classes and order by age.
-  std::vector<int> ready_slots;
-  for (int c = 0; c < isa::kNumFuClasses; ++c) {
-    for (const int slot : rs_[static_cast<std::size_t>(c)]) {
-      if (entry_ready(rob_[static_cast<std::size_t>(slot)]))
-        ready_slots.push_back(slot);
-    }
-  }
-  std::sort(ready_slots.begin(), ready_slots.end(), [this](int a, int b) {
-    return rob_[static_cast<std::size_t>(a)].seq <
-           rob_[static_cast<std::size_t>(b)].seq;
-  });
-
+  ready_scratch_.clear();
   if (config_.in_order_issue) {
     // An instruction may not overtake an older waiting one: keep only the
     // age-prefix of waiting instructions that are all ready.
-    std::vector<int> prefix;
     for (int i = 0, slot = rob_head_; i < rob_count_;
          ++i, slot = (slot + 1) % config_.rob_size) {
       const RobEntry& entry = rob_[static_cast<std::size_t>(slot)];
       if (entry.state != RobEntry::State::kWaiting) continue;
       if (!entry_ready(entry)) break;
-      prefix.push_back(slot);
+      ready_scratch_.push_back(slot);
     }
-    ready_slots = std::move(prefix);
+  } else {
+    // Gather ready RS entries from all classes and order by age.
+    for (int c = 0; c < isa::kNumFuClasses; ++c) {
+      for (const int slot : rs_[static_cast<std::size_t>(c)]) {
+        if (entry_ready(rob_[static_cast<std::size_t>(slot)]))
+          ready_scratch_.push_back(slot);
+      }
+    }
+    std::sort(ready_scratch_.begin(), ready_scratch_.end(),
+              [this](int a, int b) {
+                return rob_[static_cast<std::size_t>(a)].seq <
+                       rob_[static_cast<std::size_t>(b)].seq;
+              });
   }
 
   int width_left = config_.issue_width;
-  for (const int slot : ready_slots) {
+  for (const int slot : ready_scratch_) {
     if (width_left == 0) break;
     const auto cu =
         static_cast<std::size_t>(rob_[static_cast<std::size_t>(slot)].rec.fu);
-    if (picked[cu].size() >= available[cu].size()) {
+    if (picked_count_[cu] >= available_count_[cu]) {
       if (config_.in_order_issue) break;  // structural stall, no overtaking
       continue;
     }
-    picked[cu].push_back(slot);
+    picked_[cu][static_cast<std::size_t>(picked_count_[cu]++)] = slot;
     --width_left;
   }
 
   // 2. Per class: steer the group onto modules, start execution, notify.
   for (int c = 0; c < isa::kNumFuClasses; ++c) {
     const auto cu = static_cast<std::size_t>(c);
-    const auto& group = picked[cu];
-    const std::size_t n = group.size();
+    const auto n = static_cast<std::size_t>(picked_count_[cu]);
     stats_.occupancy[cu][n] += 1;
     if (n == 0) continue;
     stats_.issued[cu] += n;
 
-    std::vector<IssueSlot> slots(n);
+    const int* group = picked_[cu].data();
     for (std::size_t i = 0; i < n; ++i) {
       const TraceRecord& rec = rob_[static_cast<std::size_t>(group[i])].rec;
-      slots[i] = IssueSlot{rec.op1,    rec.op2,         rec.has_op1,
-                           rec.has_op2, rec.fp_operands, rec.commutative,
-                           rec.op,     rec.pc};
+      slot_scratch_[i] = IssueSlot{rec.op1,    rec.op2,         rec.has_op1,
+                                   rec.has_op2, rec.fp_operands, rec.commutative,
+                                   rec.op,     rec.pc};
     }
+    const std::span<const IssueSlot> slots(slot_scratch_.data(), n);
+    const std::span<const int> available(
+        available_[cu].data(), static_cast<std::size_t>(available_count_[cu]));
+    const std::span<ModuleAssignment> assign(assign_scratch_.data(), n);
+    std::fill_n(assign_scratch_.begin(), n, ModuleAssignment{});
 
     SteeringPolicy* policy = policies_[cu] ? policies_[cu] : &g_default_policy;
-    std::vector<ModuleAssignment> assign(n);
-    policy->assign(slots, available[cu], assign);
+    policy->assign(slots, available, assign);
 
     std::uint64_t used_mask = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const int m = assign[i].module;
       const bool legal =
-          std::find(available[cu].begin(), available[cu].end(), m) !=
-          available[cu].end();
+          std::find(available.begin(), available.end(), m) != available.end();
       if (!legal || (used_mask >> m) & 1)
         throw std::logic_error("steering policy returned an illegal module");
       if (assign[i].swapped && !slots[i].commutative)
@@ -302,12 +281,12 @@ void OooCore::fetch_dispatch_stage() {
         ++stats_.mispredictions;
         mispredicted_slot_ = slot;
         mispredicted_seq_ = entry.seq;
-        pending_.reset();
+        pending_ = nullptr;
         ++fetched;
         break;
       }
     }
-    pending_.reset();
+    pending_ = nullptr;
     ++fetched;
     if (taken_branch && config_.fetch_break_on_taken_branch) break;
   }

@@ -12,9 +12,7 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "sim/bpred.h"
@@ -60,9 +58,68 @@ struct PipelineStats {
   }
 };
 
+namespace detail {
+
+struct OpLatency {
+  std::uint8_t cycles;
+  bool pipelined;
+};
+
+/// Latency model of the paper's test machine (SimpleScalar sim-outorder
+/// defaults): single-cycle IALU and address generation, pipelined 3-cycle
+/// integer multiply with non-pipelined 20-cycle divide/remainder, 2-cycle FP
+/// add, 4-cycle pipelined FP multiply with non-pipelined divide (12) and
+/// sqrt (24). Built at compile time from the opcode metadata so the issue
+/// stage pays a single table load instead of a branch tree.
+consteval std::array<OpLatency, isa::kNumOpcodes> make_latency_table() {
+  std::array<OpLatency, isa::kNumOpcodes> table{};
+  for (int i = 0; i < isa::kNumOpcodes; ++i) {
+    const auto op = static_cast<isa::Opcode>(i);
+    OpLatency lat{1, true};
+    switch (isa::op_info(op).fu) {
+      case isa::FuClass::kIalu:
+        lat = {1, true};
+        break;
+      case isa::FuClass::kImult:
+        lat = (op == isa::Opcode::kDiv || op == isa::Opcode::kRem)
+                  ? OpLatency{20, false}
+                  : OpLatency{3, true};
+        break;
+      case isa::FuClass::kFpau:
+        lat = {2, true};
+        break;
+      case isa::FuClass::kFpmult:
+        if (op == isa::Opcode::kFdiv)
+          lat = {12, false};
+        else if (op == isa::Opcode::kFsqrt)
+          lat = {24, false};
+        else
+          lat = {4, true};
+        break;
+      case isa::FuClass::kMem:
+        lat = {1, true};  // address generation; cache latency added at issue
+        break;
+      case isa::FuClass::kNone:
+        lat = {1, true};
+        break;
+    }
+    table[static_cast<std::size_t>(i)] = lat;
+  }
+  return table;
+}
+
+inline constexpr std::array<OpLatency, isa::kNumOpcodes> kOpLatencyTable =
+    make_latency_table();
+
+}  // namespace detail
+
 /// Execution latency in cycles for `op`; `pipelined` reports whether the
 /// module can accept a new operation the next cycle.
-int op_latency(isa::Opcode op, bool& pipelined) noexcept;
+inline int op_latency(isa::Opcode op, bool& pipelined) noexcept {
+  const auto& lat = detail::kOpLatencyTable[static_cast<std::size_t>(op)];
+  pipelined = lat.pipelined;
+  return lat.cycles;
+}
 
 class OooCore {
  public:
@@ -131,8 +188,10 @@ class OooCore {
   };
   std::array<Producer, 64> rename_{};
 
-  // Reservation stations: ROB slot indices in age order, per class.
-  std::array<std::deque<int>, isa::kNumFuClasses> rs_{};
+  // Reservation stations: ROB slot indices in age order, per class. Flat
+  // vectors reserved to rs_per_class in the constructor - entries come and
+  // go every cycle without touching the allocator.
+  std::array<std::vector<int>, isa::kNumFuClasses> rs_{};
 
   // Per-module "busy until cycle" (exclusive) per class.
   std::array<std::array<std::uint64_t, kMaxModules>, isa::kNumFuClasses>
@@ -141,7 +200,21 @@ class OooCore {
   std::array<SteeringPolicy*, isa::kNumFuClasses> policies_{};
   std::vector<IssueListener*> listeners_;
 
-  std::optional<TraceRecord> pending_;
+  // Reusable issue-stage scratch state. Per-class groups are bounded by the
+  // module count (<= kMaxModules), so fixed arrays plus counts replace the
+  // per-cycle vectors the selection loop used to allocate; the ready list is
+  // a member vector reserved once (bounded by total RS capacity).
+  std::array<std::array<int, kMaxModules>, isa::kNumFuClasses> picked_{};
+  std::array<int, isa::kNumFuClasses> picked_count_{};
+  std::array<std::array<int, kMaxModules>, isa::kNumFuClasses> available_{};
+  std::array<int, isa::kNumFuClasses> available_count_{};
+  std::array<IssueSlot, kMaxModules> slot_scratch_{};
+  std::array<ModuleAssignment, kMaxModules> assign_scratch_{};
+  std::vector<int> ready_scratch_;
+
+  // Record fetched from the source but not yet dispatched (ROB or RS full).
+  // Points at source-owned storage; valid until the next source_.next().
+  const TraceRecord* pending_ = nullptr;
   bool trace_done_ = false;
 
   std::uint64_t cycle_ = 0;

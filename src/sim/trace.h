@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "isa/isa.h"
 
@@ -39,12 +38,20 @@ struct TraceRecord {
 };
 
 /// A pull-based stream of trace records. EmulatorTraceSource wraps the
-/// functional emulator so full traces never need to be materialized.
+/// functional emulator so full traces never need to be materialized;
+/// MemoryTraceSource replays a resident buffer as a pure pointer bump.
+///
+/// Records are handed out by const pointer so sources whose trace is
+/// already decoded never copy: the pointer stays valid until the next
+/// next() call (streaming sources return a pointer into internal storage;
+/// buffer-backed sources return a pointer into the buffer, valid for the
+/// buffer's lifetime). Callers that need a record past the following
+/// next() must copy it.
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
-  /// Next committed-path record, or nullopt at end of program.
-  virtual std::optional<TraceRecord> next() = 0;
+  /// Next committed-path record, or nullptr at end of program.
+  virtual const TraceRecord* next() = 0;
 };
 
 }  // namespace mrisc::sim

@@ -1,5 +1,7 @@
 #include "sim/trace_buffer.h"
 
+#include <filesystem>
+
 #include "sim/trace_io.h"
 
 namespace mrisc::sim {
@@ -7,7 +9,7 @@ namespace mrisc::sim {
 std::uint64_t TraceBuffer::record_all(TraceSource& source, std::uint64_t max) {
   std::uint64_t n = 0;
   while (n < max) {
-    const auto record = source.next();
+    const TraceRecord* record = source.next();
     if (!record) break;
     records_.push_back(*record);
     ++n;
@@ -23,6 +25,11 @@ void TraceBuffer::save(const std::string& path) const {
 
 TraceBuffer TraceBuffer::load(const std::string& path) {
   TraceBuffer buffer;
+  // Reserve from the file size so the decode loop never reallocates; a
+  // non-regular file (pipe) just skips the hint.
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  if (!ec && bytes > 8) buffer.reserve((bytes - 8) / kTraceRecordBytes);
   TraceFileSource source(path);
   buffer.record_all(source);
   return buffer;

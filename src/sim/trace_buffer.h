@@ -17,6 +17,9 @@ class TraceBuffer {
  public:
   void push(const TraceRecord& record) { records_.push_back(record); }
 
+  /// Pre-size the flat record store (e.g. from a known file size).
+  void reserve(std::size_t records) { records_.reserve(records); }
+
   /// Drain `source` into the buffer; returns records appended.
   std::uint64_t record_all(TraceSource& source, std::uint64_t max = UINT64_MAX);
 
@@ -28,7 +31,9 @@ class TraceBuffer {
   void clear() noexcept { records_.clear(); }
 
   /// Spill to / load from an MRTR trace file. Throws TraceIoError on any
-  /// I/O failure (short write, truncated file, bad magic).
+  /// I/O failure (short write, truncated file, bad magic). `load` decodes
+  /// the byte stream exactly once into the flat record vector (reserved up
+  /// front from the file size); replays then never touch MRTR bytes again.
   void save(const std::string& path) const;
   [[nodiscard]] static TraceBuffer load(const std::string& path);
 
@@ -36,25 +41,28 @@ class TraceBuffer {
   std::vector<TraceRecord> records_;
 };
 
-/// TraceSource over a recorded buffer. The buffer must outlive the source;
+/// TraceSource over a recorded buffer: a pure index bump over the decoded
+/// records, no per-record copy or per-replay deserialization. The buffer
+/// must outlive the source (returned pointers alias the buffer's storage);
 /// any number of MemoryTraceSources may read one buffer concurrently (the
 /// buffer is never mutated through this view), which is what lets the
 /// experiment engine replay the same trace on several threads at once.
 class MemoryTraceSource final : public TraceSource {
  public:
   explicit MemoryTraceSource(const TraceBuffer& buffer) noexcept
-      : buffer_(buffer) {}
+      : data_(buffer.records().data()), size_(buffer.size()) {}
 
-  std::optional<TraceRecord> next() override {
-    if (pos_ >= buffer_.size()) return std::nullopt;
-    return buffer_.records()[pos_++];
+  const TraceRecord* next() override {
+    if (pos_ >= size_) return nullptr;
+    return &data_[pos_++];
   }
 
   /// Restart from the first record (a fresh replay of the same buffer).
   void rewind() noexcept { pos_ = 0; }
 
  private:
-  const TraceBuffer& buffer_;
+  const TraceRecord* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

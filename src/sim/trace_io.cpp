@@ -1,5 +1,6 @@
 #include "sim/trace_io.h"
 
+#include <bit>
 #include <cstring>
 
 namespace mrisc::sim {
@@ -8,21 +9,44 @@ namespace {
 constexpr char kMagic[4] = {'M', 'R', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
 
+// The wire format is little-endian; on a little-endian host the integer
+// fields are plain memcpy (which the compiler folds into single loads and
+// stores), with a byte-shuffle fallback for big-endian targets.
 void put_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
 }
 void put_u64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
 }
 std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
-  return v;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  } else {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+  }
 }
 std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
-  return v;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+  }
 }
 
 }  // namespace
@@ -31,15 +55,14 @@ void pack_record(const TraceRecord& r, std::uint8_t* out) {
   put_u32(out, r.pc);
   out[4] = static_cast<std::uint8_t>(r.op);
   out[5] = static_cast<std::uint8_t>(r.fu);
-  std::uint16_t flags = 0;
-  int bit = 0;
-  for (const bool f : {r.has_op1, r.has_op2, r.fp_operands, r.commutative,
-                       r.has_src1, r.has_src2, r.src1_fp, r.src2_fp,
-                       r.has_dest, r.dest_fp, r.is_load, r.is_store,
-                       r.is_branch, r.branch_taken}) {
-    if (f) flags |= static_cast<std::uint16_t>(1u << bit);
-    ++bit;
-  }
+  const std::uint16_t flags = static_cast<std::uint16_t>(
+      (r.has_op1 ? 1u : 0u) | (r.has_op2 ? 1u << 1 : 0u) |
+      (r.fp_operands ? 1u << 2 : 0u) | (r.commutative ? 1u << 3 : 0u) |
+      (r.has_src1 ? 1u << 4 : 0u) | (r.has_src2 ? 1u << 5 : 0u) |
+      (r.src1_fp ? 1u << 6 : 0u) | (r.src2_fp ? 1u << 7 : 0u) |
+      (r.has_dest ? 1u << 8 : 0u) | (r.dest_fp ? 1u << 9 : 0u) |
+      (r.is_load ? 1u << 10 : 0u) | (r.is_store ? 1u << 11 : 0u) |
+      (r.is_branch ? 1u << 12 : 0u) | (r.branch_taken ? 1u << 13 : 0u));
   out[6] = static_cast<std::uint8_t>(flags);
   out[7] = static_cast<std::uint8_t>(flags >> 8);
   put_u64(out + 8, r.op1);
@@ -58,14 +81,20 @@ TraceRecord unpack_record(const std::uint8_t* in) {
   r.fu = static_cast<isa::FuClass>(in[5]);
   const std::uint16_t flags =
       static_cast<std::uint16_t>(in[6] | (std::uint16_t{in[7]} << 8));
-  int bit = 0;
-  for (bool* f : {&r.has_op1, &r.has_op2, &r.fp_operands, &r.commutative,
-                  &r.has_src1, &r.has_src2, &r.src1_fp, &r.src2_fp,
-                  &r.has_dest, &r.dest_fp, &r.is_load, &r.is_store,
-                  &r.is_branch, &r.branch_taken}) {
-    *f = (flags >> bit) & 1;
-    ++bit;
-  }
+  r.has_op1 = flags & 1;
+  r.has_op2 = (flags >> 1) & 1;
+  r.fp_operands = (flags >> 2) & 1;
+  r.commutative = (flags >> 3) & 1;
+  r.has_src1 = (flags >> 4) & 1;
+  r.has_src2 = (flags >> 5) & 1;
+  r.src1_fp = (flags >> 6) & 1;
+  r.src2_fp = (flags >> 7) & 1;
+  r.has_dest = (flags >> 8) & 1;
+  r.dest_fp = (flags >> 9) & 1;
+  r.is_load = (flags >> 10) & 1;
+  r.is_store = (flags >> 11) & 1;
+  r.is_branch = (flags >> 12) & 1;
+  r.branch_taken = (flags >> 13) & 1;
   r.op1 = get_u64(in + 8);
   r.op2 = get_u64(in + 16);
   r.src1_reg = in[24];
@@ -99,7 +128,7 @@ void TraceWriter::write(const TraceRecord& record) {
 std::uint64_t TraceWriter::write_all(TraceSource& source, std::uint64_t max) {
   std::uint64_t n = 0;
   while (n < max) {
-    const auto record = source.next();
+    const TraceRecord* record = source.next();
     if (!record) break;
     write(*record);
     ++n;
@@ -143,18 +172,19 @@ TraceFileSource::TraceFileSource(const std::string& path)
   }
 }
 
-std::optional<TraceRecord> TraceFileSource::next() {
+const TraceRecord* TraceFileSource::next() {
   std::uint8_t buf[kTraceRecordBytes];
   in_.read(reinterpret_cast<char*>(buf), sizeof buf);
   if (in_.gcount() == 0) {
     if (!in_.eof() && in_.bad())
       throw TraceIoError("trace read failed for '" + path_ + "'");
-    return std::nullopt;
+    return nullptr;
   }
   if (in_.gcount() != static_cast<std::streamsize>(sizeof buf))
     throw TraceIoError("truncated trace record in '" + path_ + "'");
   ++count_;
-  return unpack_record(buf);
+  current_ = unpack_record(buf);
+  return &current_;
 }
 
 }  // namespace mrisc::sim

@@ -55,16 +55,20 @@ class TraceWriter {
 /// TraceSource over a trace file. Truncation is detected eagerly: a file
 /// whose payload is not a whole number of records is rejected at open, a
 /// short header or mid-record EOF raises TraceIoError during reading.
+/// For replay loops prefer decoding once via TraceBuffer::load and
+/// replaying with MemoryTraceSource - this streaming source re-unpacks
+/// every record on every pass.
 class TraceFileSource final : public TraceSource {
  public:
   explicit TraceFileSource(const std::string& path);
-  std::optional<TraceRecord> next() override;
+  const TraceRecord* next() override;
   [[nodiscard]] std::uint64_t read_count() const noexcept { return count_; }
 
  private:
   std::string path_;
   std::ifstream in_;
   std::uint64_t count_ = 0;
+  TraceRecord current_;
 };
 
 }  // namespace mrisc::sim

@@ -1,6 +1,7 @@
 #include "steer/lut.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <numeric>
 #include <stdexcept>
@@ -249,8 +250,9 @@ void LutSteering::assign(std::span<const sim::IssueSlot> slots,
   const int k = table_.slots;
 
   // Swap decisions first: the vector encodes the case as presented to the
-  // FU, i.e. after the static swap rule.
-  std::vector<int> eff_case(slots.size());
+  // FU, i.e. after the static swap rule. Issue groups never exceed
+  // kMaxModules, so a fixed array avoids a per-cycle allocation.
+  std::array<int, sim::kMaxModules> eff_case{};
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const bool swap = static_swap(swap_, slots[i]);
     out[i].swapped = swap;

@@ -142,13 +142,14 @@ void min_cost_assignment(std::size_t num_slots, std::span<const int> available,
 template <typename CostFn>
 void min_cost_assignment(std::size_t num_slots, std::span<const int> available,
                          CostFn&& cost, std::span<sim::ModuleAssignment> out) {
+  // num_slots <= available.size() <= kMaxModules by the SteeringPolicy
+  // contract, so the search state fits in fixed stack arrays - this runs
+  // every cycle and must not allocate.
   struct Frame {
     long best = -1;
-    std::vector<sim::ModuleAssignment> best_assign;
-    std::vector<sim::ModuleAssignment> cur;
+    std::array<sim::ModuleAssignment, sim::kMaxModules> best_assign{};
+    std::array<sim::ModuleAssignment, sim::kMaxModules> cur{};
   } frame;
-  frame.cur.resize(num_slots);
-  frame.best_assign.resize(num_slots);
 
   std::uint64_t used = 0;
   auto recurse = [&](auto&& self, std::size_t i, long acc) -> void {

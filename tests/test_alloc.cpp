@@ -1,0 +1,134 @@
+// Steady-state allocation audit of the timing-core hot loop: once a replay
+// core is warmed up, advancing it must perform ZERO heap allocations per
+// simulated cycle - the issue stage runs out of fixed member scratch, the
+// reservation stations are reserved flat vectors, the steering policies use
+// stack frames, and the trace source is a pointer bump over a decoded
+// buffer. This test binary replaces the global allocation functions with
+// counting wrappers and asserts the counter does not move while cycles run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "power/energy.h"
+#include "sim/emulator.h"
+#include "sim/ooo.h"
+#include "sim/trace_buffer.h"
+#include "stats/paper_ref.h"
+#include "steer/lut.h"
+#include "steer/policies.h"
+#include "workloads/workload.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting global allocator: malloc-backed so it composes with sanitizer
+// interposition; every operator new variant funnels through here.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace mrisc {
+namespace {
+
+sim::TraceBuffer record_trace() {
+  const auto workload = workloads::make_compress(workloads::SuiteConfig{0.25});
+  sim::Emulator emu(workload.assembled());
+  sim::EmulatorTraceSource source(emu);
+  sim::TraceBuffer buffer;
+  buffer.record_all(source);
+  return buffer;
+}
+
+/// Warm the core past cold-start effects, then count allocations across a
+/// block of cycles. Returns the number of allocations observed.
+std::uint64_t allocations_during_cycles(sim::OooCore& core,
+                                        std::uint64_t warmup,
+                                        std::uint64_t measured) {
+  core.run_cycles(warmup);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  core.run_cycles(measured);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocFree, LutSteeringSteadyStateDoesNotAllocate) {
+  const sim::TraceBuffer trace = record_trace();
+  ASSERT_GT(trace.size(), 20000u);
+
+  sim::MemoryTraceSource source(trace);
+  sim::OooCore core(sim::OooConfig{}, source);
+  steer::LutSteering lut_ialu(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4, 4),
+      steer::SwapConfig::hardware_for(isa::FuClass::kIalu));
+  steer::LutSteering lut_fpau(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kFpau), 4, 4),
+      steer::SwapConfig::hardware_for(isa::FuClass::kFpau));
+  core.set_policy(isa::FuClass::kIalu, &lut_ialu);
+  core.set_policy(isa::FuClass::kFpau, &lut_fpau);
+  power::EnergyAccountant accountant;
+  core.add_listener(&accountant);
+
+  EXPECT_EQ(allocations_during_cycles(core, 1000, 5000), 0u);
+  EXPECT_GT(core.stats().committed, 0u);
+}
+
+TEST(AllocFree, FullHamSearchSteadyStateDoesNotAllocate) {
+  const sim::TraceBuffer trace = record_trace();
+
+  sim::MemoryTraceSource source(trace);
+  sim::OooCore core(sim::OooConfig{}, source);
+  steer::FullHamSteering fullham(steer::SwapConfig::explore());
+  core.set_policy(isa::FuClass::kIalu, &fullham);
+  power::EnergyAccountant accountant;
+  core.add_listener(&accountant);
+
+  EXPECT_EQ(allocations_during_cycles(core, 1000, 5000), 0u);
+}
+
+TEST(AllocFree, InOrderIssueSteadyStateDoesNotAllocate) {
+  const sim::TraceBuffer trace = record_trace();
+
+  sim::OooConfig config;
+  config.in_order_issue = true;
+  sim::MemoryTraceSource source(trace);
+  sim::OooCore core(config, source);
+  steer::FcfsSteering fcfs;
+  core.set_policy(isa::FuClass::kIalu, &fcfs);
+
+  EXPECT_EQ(allocations_during_cycles(core, 1000, 5000), 0u);
+}
+
+/// The counting allocator itself must be live in this binary, or the zero
+/// deltas above would be vacuous.
+TEST(AllocFree, CountingAllocatorIsActive) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  auto* p = new std::uint64_t[32];
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  delete[] p;
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace mrisc

@@ -241,8 +241,25 @@ TEST(OooCore, LatencyTableMatchesClasses) {
   EXPECT_FALSE(pipelined);
   EXPECT_EQ(op_latency(isa::Opcode::kFadd, pipelined), 2);
   EXPECT_TRUE(pipelined);
-  op_latency(isa::Opcode::kFdiv, pipelined);
+  EXPECT_EQ(op_latency(isa::Opcode::kFdiv, pipelined), 12);
   EXPECT_FALSE(pipelined);
+  EXPECT_EQ(op_latency(isa::Opcode::kFsqrt, pipelined), 24);
+  EXPECT_FALSE(pipelined);
+  EXPECT_EQ(op_latency(isa::Opcode::kMul, pipelined), 3);
+  EXPECT_TRUE(pipelined);
+  EXPECT_EQ(op_latency(isa::Opcode::kRem, pipelined), 20);
+  EXPECT_FALSE(pipelined);
+  EXPECT_EQ(op_latency(isa::Opcode::kFmul, pipelined), 4);
+  EXPECT_TRUE(pipelined);
+  EXPECT_EQ(op_latency(isa::Opcode::kLw, pipelined), 1);
+  EXPECT_TRUE(pipelined);
+  // The table is built at compile time from the opcode metadata.
+  static_assert(detail::kOpLatencyTable[static_cast<std::size_t>(
+                                            isa::Opcode::kDiv)]
+                    .cycles == 20);
+  static_assert(!detail::kOpLatencyTable[static_cast<std::size_t>(
+                                             isa::Opcode::kFsqrt)]
+                     .pipelined);
 }
 
 }  // namespace

@@ -28,6 +28,33 @@ TEST(Hamming, DomainWidths) {
   EXPECT_EQ(operand_hamming((std::uint64_t{1} << 52) - 1, 0, true), 52);
 }
 
+TEST(Hamming, PopcountMaskEdgeCases) {
+  // FP domain: bit 51 is the top mantissa bit (counted), bit 52 the lowest
+  // exponent bit (ignored), bit 63 the sign (ignored).
+  EXPECT_EQ(operand_hamming(std::uint64_t{1} << 51, 0, true), 1);
+  EXPECT_EQ(operand_hamming(std::uint64_t{1} << 52, 0, true), 0);
+  EXPECT_EQ(operand_hamming(std::uint64_t{1} << 63, 0, true), 0);
+  // -0.0 vs +0.0 differ only in the sign bit: free in the mantissa domain.
+  EXPECT_EQ(operand_hamming(0x8000000000000000ull, 0, true), 0);
+  // All exponent+sign bits flipped, mantissa identical: still free.
+  const std::uint64_t mantissa = 0x000FA5A5A5A5A5A5ull;
+  EXPECT_EQ(operand_hamming(mantissa | 0xFFF0000000000000ull, mantissa, true),
+            0);
+
+  // Integer domain: bit 31 (the sign) is counted, anything above is not -
+  // sign-extended copies in the upper word never reach the FU latches.
+  EXPECT_EQ(operand_hamming(std::uint64_t{1} << 31, 0, false), 1);
+  EXPECT_EQ(operand_hamming(std::uint64_t{1} << 32, 0, false), 0);
+  EXPECT_EQ(operand_hamming(0xFFFFFFFF00000000ull, 0, false), 0);
+  // A sign-extended -1 against +1 differs in 31 of the low 32 positions.
+  EXPECT_EQ(operand_hamming(0xFFFFFFFFFFFFFFFFull, 1, false), 31);
+
+  // Symmetric and zero on equal inputs, like any metric.
+  EXPECT_EQ(operand_hamming(0x12345678, 0x87654321, false),
+            operand_hamming(0x87654321, 0x12345678, false));
+  EXPECT_EQ(operand_hamming(0xDEADBEEF, 0xDEADBEEF, false), 0);
+}
+
 TEST(Accountant, ChargesHammingAgainstModuleLatch) {
   EnergyAccountant acc;
   const IssueSlot first = int_slot(0x0000000F, 0);  // 4 bits vs zeroed latch

@@ -1,0 +1,99 @@
+// Golden-stats regression over the hot path: the decode-once replay engine
+// must produce bit-identical PipelineStats and ClassEnergy to the live
+// emulator-coupled driver for every workload of the full int+fp suite under
+// every swap variant. This pins the allocation-free issue stage, the
+// constexpr latency table and the pointer-based trace handout against the
+// semantics of the original implementation.
+#include <gtest/gtest.h>
+
+#include "driver/engine.h"
+
+namespace mrisc::driver {
+namespace {
+
+const workloads::SuiteConfig kSmall{0.05};
+
+void expect_class_equal(const power::ClassEnergy& a,
+                        const power::ClassEnergy& b, const char* what) {
+  EXPECT_EQ(a.switched_bits, b.switched_bits) << what;
+  EXPECT_EQ(a.ops, b.ops) << what;
+  EXPECT_EQ(a.gated_operands, b.gated_operands) << what;
+  EXPECT_EQ(a.booth_adds, b.booth_adds) << what;          // bit-identical,
+  EXPECT_EQ(a.guard_overhead, b.guard_overhead) << what;  // not merely close
+}
+
+void expect_result_equal(const RunResult& a, const RunResult& b) {
+  expect_class_equal(a.ialu, b.ialu, "ialu");
+  expect_class_equal(a.fpau, b.fpau, "fpau");
+  expect_class_equal(a.imult, b.imult, "imult");
+  expect_class_equal(a.fpmult, b.fpmult, "fpmult");
+  EXPECT_EQ(a.pipeline.cycles, b.pipeline.cycles);
+  EXPECT_EQ(a.pipeline.committed, b.pipeline.committed);
+  EXPECT_EQ(a.pipeline.occupancy, b.pipeline.occupancy);
+  EXPECT_EQ(a.pipeline.issued, b.pipeline.issued);
+  EXPECT_EQ(a.pipeline.cache_hits, b.pipeline.cache_hits);
+  EXPECT_EQ(a.pipeline.cache_misses, b.pipeline.cache_misses);
+  EXPECT_EQ(a.pipeline.branches, b.pipeline.branches);
+  EXPECT_EQ(a.pipeline.mispredictions, b.pipeline.mispredictions);
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m) {
+      EXPECT_EQ(a.per_module[c][m].switched_bits,
+                b.per_module[c][m].switched_bits);
+      EXPECT_EQ(a.per_module[c][m].ops, b.per_module[c][m].ops);
+    }
+}
+
+/// Every workload (int + fp) x every swap variant: the engine's cached-trace
+/// replay against the serial live driver, workload by workload.
+TEST(ReplayGolden, FullSuiteAllSwapVariantsBitIdentical) {
+  const auto suite = workloads::full_suite(kSmall);
+  ASSERT_FALSE(suite.empty());
+
+  ExperimentPlan plan;
+  plan.add_suite(suite);
+  std::vector<ExperimentConfig> configs;
+  for (const auto swap : {SwapMode::kNone, SwapMode::kHardware,
+                          SwapMode::kHardwareCompiler}) {
+    ExperimentConfig config;
+    config.scheme = Scheme::kLut4;
+    config.swap = swap;
+    configs.push_back(config);
+    plan.add_cell("golden", config);
+  }
+
+  ExperimentEngine engine(2);
+  const auto cells = engine.run(plan);
+  ASSERT_EQ(cells.size(), configs.size());
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "swap variant " << i);
+    const SuiteResult live = run_suite_detailed(suite, configs[i]);
+    expect_result_equal(cells[i].total, live.total);
+    ASSERT_EQ(cells[i].per_unit.size(), live.per_workload.size());
+    for (std::size_t w = 0; w < live.per_workload.size(); ++w) {
+      SCOPED_TRACE(::testing::Message() << "workload " << suite[w].name);
+      expect_result_equal(cells[i].per_unit[w], live.per_workload[w]);
+    }
+  }
+}
+
+/// The FullHam upper bound exercises min_cost_assignment's fixed-array
+/// search frame; pin it against the live driver on the integer suite.
+TEST(ReplayGolden, FullHamSearchBitIdentical) {
+  const auto suite = workloads::integer_suite(kSmall);
+  ExperimentConfig config;
+  config.scheme = Scheme::kFullHam;
+  config.swap = SwapMode::kHardware;
+
+  ExperimentPlan plan;
+  plan.add_suite(suite);
+  plan.add_cell("fullham", config);
+
+  ExperimentEngine engine(2);
+  const auto cells = engine.run(plan);
+  const SuiteResult live = run_suite_detailed(suite, config);
+  expect_result_equal(cells[0].total, live.total);
+}
+
+}  // namespace
+}  // namespace mrisc::driver

@@ -18,6 +18,7 @@
 #include "power/energy.h"
 #include "sim/emulator.h"
 #include "sim/ooo.h"
+#include "sim/trace_buffer.h"
 #include "sim/trace_io.h"
 #include "steer/lut.h"
 #include "steer/policies.h"
@@ -77,7 +78,10 @@ int cmd_replay(const std::string& input, const util::Flags& flags) {
     config.swap = *parsed;
   }
 
-  sim::TraceFileSource source(input);
+  // Decode the MRTR bytes exactly once; the timing core then replays a
+  // pointer bump over the flat record vector.
+  const sim::TraceBuffer trace = sim::TraceBuffer::load(input);
+  sim::MemoryTraceSource source(trace);
   sim::OooCore core(config.machine, source);
   // Build policies as the driver would (compiler swapping is meaningless on
   // a recorded trace and is ignored).
@@ -126,7 +130,8 @@ int cmd_replay(const std::string& input, const util::Flags& flags) {
   core.run();
 
   std::printf("replayed %" PRIu64 " records: %" PRIu64 " cycles, IPC %.2f\n",
-              source.read_count(), core.stats().cycles, core.stats().ipc());
+              static_cast<std::uint64_t>(trace.size()), core.stats().cycles,
+              core.stats().ipc());
   std::printf("IALU switched bits %" PRIu64 ", FPAU switched bits %" PRIu64
               "\n",
               accountant.cls(isa::FuClass::kIalu).switched_bits,
