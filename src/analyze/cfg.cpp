@@ -1,0 +1,140 @@
+#include "analyze/cfg.h"
+
+#include <algorithm>
+
+namespace mrisc::analyze {
+namespace {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+/// Does control never fall through past `inst` to pc+1?
+bool always_diverts(const Instruction& inst) noexcept {
+  switch (inst.op) {
+    case Opcode::kJ:
+    case Opcode::kJal:
+    case Opcode::kJr:
+    case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_control(const Instruction& inst) noexcept {
+  return isa::op_info(inst.op).is_branch || inst.op == Opcode::kHalt;
+}
+
+}  // namespace
+
+std::int64_t direct_target(const Instruction& inst, std::uint32_t pc) noexcept {
+  if (!isa::op_info(inst.op).is_branch) return -1;
+  switch (isa::op_info(inst.op).format) {
+    case Format::kB:
+      return static_cast<std::int64_t>(pc) + 1 + inst.imm;
+    case Format::kJ:
+      return inst.imm;
+    default:
+      return -1;  // jr
+  }
+}
+
+std::uint64_t use_mask(const Instruction& inst) noexcept {
+  const auto& info = isa::op_info(inst.op);
+  std::uint64_t mask = 0;
+  if (info.reads_rs1)
+    mask |= std::uint64_t{1} << reg_slot(inst.rs1, info.rs1_is_fp);
+  if (info.reads_rs2)
+    mask |= std::uint64_t{1} << reg_slot(inst.rs2, info.rs2_is_fp);
+  return mask;
+}
+
+int def_slot(const Instruction& inst) noexcept {
+  if (inst.op == Opcode::kJal) return reg_slot(31, false);
+  const auto& info = isa::op_info(inst.op);
+  if (!info.writes_rd) return -1;
+  return reg_slot(inst.rd, info.rd_is_fp);
+}
+
+Cfg build_cfg(const isa::Program& program) {
+  Cfg cfg;
+  const std::uint32_t n = static_cast<std::uint32_t>(program.code.size());
+  if (n == 0) return cfg;
+
+  // Conservative successor set for `jr`: every text symbol plus every
+  // call-return point. Out-of-range entries are dropped below.
+  std::vector<std::uint32_t> indirect_targets;
+  for (const auto& [name, pc] : program.text_symbols)
+    if (pc < n) indirect_targets.push_back(pc);
+  for (std::uint32_t pc = 0; pc < n; ++pc)
+    if (program.code[pc].op == Opcode::kJal && pc + 1 < n)
+      indirect_targets.push_back(pc + 1);
+  std::sort(indirect_targets.begin(), indirect_targets.end());
+  indirect_targets.erase(
+      std::unique(indirect_targets.begin(), indirect_targets.end()),
+      indirect_targets.end());
+
+  // Pass 1: leaders.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  bool has_jr = false;
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    const Instruction& inst = program.code[pc];
+    if (!is_control(inst)) continue;
+    if (pc + 1 < n) leader[pc + 1] = true;
+    const std::int64_t target = direct_target(inst, pc);
+    if (target >= 0 && target < n) leader[static_cast<std::uint32_t>(target)] = true;
+    if (inst.op == Opcode::kJr) has_jr = true;
+  }
+  if (has_jr)
+    for (const std::uint32_t t : indirect_targets) leader[t] = true;
+
+  // Pass 2: block ranges and the pc -> block map.
+  cfg.block_of.assign(n, 0);
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      BasicBlock block;
+      block.begin = pc;
+      cfg.blocks.push_back(block);
+    }
+    cfg.block_of[pc] = static_cast<std::uint32_t>(cfg.blocks.size() - 1);
+    cfg.blocks.back().end = pc + 1;
+  }
+
+  // Pass 3: edges.
+  auto link = [&cfg](std::uint32_t from, std::uint32_t to) {
+    auto& succs = cfg.blocks[from].succs;
+    if (std::find(succs.begin(), succs.end(), to) == succs.end()) {
+      succs.push_back(to);
+      cfg.blocks[to].preds.push_back(from);
+    }
+  };
+  for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    const std::uint32_t last = cfg.blocks[b].end - 1;
+    const Instruction& inst = program.code[last];
+    const std::int64_t target = direct_target(inst, last);
+    if (is_control(inst) && target >= 0 && target < n)
+      link(b, cfg.block_of[static_cast<std::uint32_t>(target)]);
+    if (inst.op == Opcode::kJr)
+      for (const std::uint32_t t : indirect_targets) link(b, cfg.block_of[t]);
+    if (!always_diverts(inst) && last + 1 < n) link(b, cfg.block_of[last + 1]);
+  }
+
+  // Pass 4: reachability from the entry block.
+  cfg.reachable.assign(cfg.blocks.size(), false);
+  std::vector<std::uint32_t> work{0};
+  cfg.reachable[0] = true;
+  while (!work.empty()) {
+    const std::uint32_t b = work.back();
+    work.pop_back();
+    for (const std::uint32_t s : cfg.blocks[b].succs)
+      if (!cfg.reachable[s]) {
+        cfg.reachable[s] = true;
+        work.push_back(s);
+      }
+  }
+  return cfg;
+}
+
+}  // namespace mrisc::analyze

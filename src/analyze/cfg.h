@@ -1,0 +1,65 @@
+// Basic-block discovery and control-flow graph construction over an
+// assembled isa::Program.
+//
+// Blocks are maximal straight-line runs of instructions: a leader starts at
+// pc 0, at every branch/jump target, and at the instruction after any
+// control transfer. Edges follow the machine semantics (B-format targets are
+// pc+1+imm, J-format targets are absolute instruction indices).
+//
+// Indirect jumps (`jr`) are handled conservatively: since the register value
+// is unknown statically, a `jr` is given an edge to every text symbol and to
+// every call-return point (the instruction after each `jal`). This
+// over-approximates the dynamic successor set, which is the safe direction
+// for the may-analyses built on top (liveness, reaching definitions) and for
+// the must-analysis (sign bits), whose join only loses precision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace mrisc::analyze {
+
+/// Register slots: a uniform index space over both register files so one
+/// 64-bit mask covers every architectural register. Integer r0..r31 occupy
+/// slots 0..31, floating point f0..f31 occupy slots 32..63.
+inline constexpr int kNumRegSlots = 64;
+
+constexpr int reg_slot(std::uint8_t reg, bool fp) noexcept {
+  return fp ? 32 + reg : reg;
+}
+
+/// Mask of register slots read by `inst` (jr reads rs1; B-format reads both).
+std::uint64_t use_mask(const isa::Instruction& inst) noexcept;
+
+/// Direct control-transfer target of `inst` at `pc` (B-format: pc+1+imm,
+/// J-format: absolute), or -1 for indirect (`jr`) and non-control ops. May
+/// lie outside the program's text range; callers range-check.
+std::int64_t direct_target(const isa::Instruction& inst,
+                           std::uint32_t pc) noexcept;
+
+/// Register slot written by `inst`, or -1 if it writes none. `jal` writes
+/// the link register r31 regardless of its (absent) rd field.
+int def_slot(const isa::Instruction& inst) noexcept;
+
+/// A basic block: the half-open pc range [begin, end).
+struct BasicBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::vector<std::uint32_t> succs;  ///< successor block indices
+  std::vector<std::uint32_t> preds;  ///< predecessor block indices
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;      ///< in ascending pc order
+  std::vector<std::uint32_t> block_of; ///< pc -> owning block index
+  std::vector<bool> reachable;         ///< per block, from the entry (pc 0)
+
+  [[nodiscard]] std::size_t size() const noexcept { return blocks.size(); }
+};
+
+/// Build the CFG for `program`. An empty program yields an empty graph.
+Cfg build_cfg(const isa::Program& program);
+
+}  // namespace mrisc::analyze

@@ -1,0 +1,101 @@
+// Generic iterative dataflow solver over a Cfg.
+//
+// A problem type P supplies:
+//
+//   using State = ...;                     // a join-semilattice element
+//   static constexpr Direction kDirection; // kForward or kBackward
+//   State bottom() const;                  // identity of join
+//   State boundary() const;                // entry in (forward) / exit out
+//   void join(State& into, const State& from) const;
+//   State transfer(std::uint32_t block, State state) const;
+//
+// solve() iterates round-robin to a fixpoint (states grow monotonically
+// under join, so termination follows from finite lattice height). Programs
+// here are small - tens to a few hundred instructions - so the simple
+// schedule beats a worklist's bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/cfg.h"
+
+namespace mrisc::analyze {
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+
+template <typename P>
+struct Solution {
+  std::vector<typename P::State> in;   ///< per block, at block entry
+  std::vector<typename P::State> out;  ///< per block, at block exit
+};
+
+template <typename P>
+Solution<P> solve(const Cfg& cfg, const P& problem) {
+  const std::size_t n = cfg.size();
+  Solution<P> sol;
+  sol.in.assign(n, problem.bottom());
+  sol.out.assign(n, problem.bottom());
+  if (n == 0) return sol;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if constexpr (P::kDirection == Direction::kForward) {
+        const std::uint32_t b = static_cast<std::uint32_t>(i);
+        typename P::State in =
+            b == 0 ? problem.boundary() : problem.bottom();
+        for (const std::uint32_t p : cfg.blocks[b].preds)
+          problem.join(in, sol.out[p]);
+        typename P::State out = problem.transfer(b, in);
+        if (!(out == sol.out[b]) || !(in == sol.in[b])) {
+          sol.in[b] = std::move(in);
+          sol.out[b] = std::move(out);
+          changed = true;
+        }
+      } else {
+        // Visit in reverse pc order so information flows fast against edges.
+        const std::uint32_t b = static_cast<std::uint32_t>(n - 1 - i);
+        typename P::State out = cfg.blocks[b].succs.empty()
+                                    ? problem.boundary()
+                                    : problem.bottom();
+        for (const std::uint32_t s : cfg.blocks[b].succs)
+          problem.join(out, sol.in[s]);
+        typename P::State in = problem.transfer(b, out);
+        if (!(out == sol.out[b]) || !(in == sol.in[b])) {
+          sol.in[b] = std::move(in);
+          sol.out[b] = std::move(out);
+          changed = true;
+        }
+      }
+    }
+  }
+  return sol;
+}
+
+/// A dynamically sized bitset for dataflow states whose universe exceeds 64
+/// bits (reaching definitions: one bit per definition site).
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  void reset(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+  void operator|=(const Bitset& o) {
+    if (words_.size() < o.words_.size()) words_.resize(o.words_.size(), 0);
+    for (std::size_t w = 0; w < o.words_.size(); ++w) words_[w] |= o.words_[w];
+  }
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mrisc::analyze

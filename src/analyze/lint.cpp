@@ -1,0 +1,238 @@
+#include "analyze/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analyze/cfg.h"
+#include "analyze/liveness.h"
+#include "analyze/reaching.h"
+#include "isa/disasm.h"
+
+namespace mrisc::analyze {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+/// Allowed-ID sets per 1-based source line, parsed from `# lint:` pragmas.
+/// "all" allows every ID on that line.
+std::unordered_map<std::int32_t, std::unordered_set<std::string>>
+parse_pragmas(std::string_view source) {
+  std::unordered_map<std::int32_t, std::unordered_set<std::string>> pragmas;
+  std::int32_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    ++line_no;
+    const std::size_t eol = std::min(source.find('\n', pos), source.size());
+    const std::string_view line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment == std::string_view::npos) continue;
+    std::string_view rest = line.substr(comment + 1);
+    const std::size_t tag = rest.find("lint:");
+    if (tag == std::string_view::npos) continue;
+    std::istringstream words{std::string(rest.substr(tag + 5))};
+    std::string word;
+    if (!(words >> word) || word != "allow") continue;
+    while (words >> word) pragmas[line_no].insert(word);
+    if (eol == source.size()) break;
+  }
+  return pragmas;
+}
+
+class Linter {
+ public:
+  Linter(const isa::Program& program, std::string_view source,
+         const LintOptions& options)
+      : program_(program),
+        options_(options),
+        cfg_(build_cfg(program)),
+        pragmas_(parse_pragmas(source)) {
+    for (const auto& [name, pc] : program.text_symbols)
+      label_at_[pc] = name;
+  }
+
+  LintReport run() {
+    check_unreachable();
+    check_dataflow();
+    check_per_instruction();
+    std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.pc < b.pc;
+                     });
+    return std::move(report_);
+  }
+
+ private:
+  void add(std::string id, std::uint32_t pc, std::string message) {
+    Diagnostic d;
+    d.id = std::move(id);
+    d.pc = pc;
+    d.line = program_.line_of(pc);
+    // Nearest preceding text label.
+    auto it = label_at_.upper_bound(pc);
+    if (it != label_at_.begin()) d.label = std::prev(it)->second;
+    d.message = std::move(message);
+    if (d.line > 0) {
+      auto allowed = pragmas_.find(d.line);
+      d.suppressed = allowed != pragmas_.end() &&
+                     (allowed->second.count(d.id) > 0 ||
+                      allowed->second.count("all") > 0);
+    }
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  [[nodiscard]] bool reachable_pc(std::uint32_t pc) const {
+    return cfg_.reachable[cfg_.block_of[pc]];
+  }
+
+  void check_unreachable() {
+    for (std::uint32_t b = 0; b < cfg_.size(); ++b) {
+      if (cfg_.reachable[b]) continue;
+      const std::uint32_t pc = cfg_.blocks[b].begin;
+      std::ostringstream msg;
+      msg << "block at pc " << pc << " ("
+          << cfg_.blocks[b].end - cfg_.blocks[b].begin
+          << " instructions) is unreachable from the entry point";
+      add("UNREACHABLE", pc, msg.str());
+    }
+  }
+
+  void check_dataflow() {
+    const auto live = liveness(program_, cfg_);
+    const auto reach = reaching_definitions(program_, cfg_);
+    for (std::uint32_t pc = 0; pc < program_.code.size(); ++pc) {
+      if (!reachable_pc(pc)) continue;  // UNREACHABLE already covers these
+      const Instruction& inst = program_.code[pc];
+
+      // UNINIT-READ: a use whose synthetic entry definition still reaches.
+      const std::uint64_t exempt =
+          options_.live_in_mask | 1;  // r0 is always defined
+      std::uint64_t uninit =
+          use_mask(inst) & reach.entry_reaches[pc] & ~exempt;
+      for (int slot = 0; uninit != 0; ++slot, uninit >>= 1) {
+        if (!(uninit & 1)) continue;
+        add("UNINIT-READ", pc,
+            slot_name(slot) + " may be read before any write (holds the "
+            "reset value); in `" + isa::disassemble(inst, pc) + "`");
+      }
+
+      // DEAD-WRITE: a definition never observed afterwards. The link
+      // register is exempt (calling convention, not a data value).
+      const int def = def_slot(inst);
+      if (def > 0 && inst.op != Opcode::kJal &&
+          (live.live_after[pc] & (std::uint64_t{1} << def)) == 0) {
+        add("DEAD-WRITE", pc,
+            slot_name(def) + " is written but never read afterwards; in `" +
+                isa::disassemble(inst, pc) + "`");
+      }
+    }
+  }
+
+  void check_per_instruction() {
+    const std::int64_t n = static_cast<std::int64_t>(program_.code.size());
+    for (std::uint32_t pc = 0; pc < program_.code.size(); ++pc) {
+      const Instruction& inst = program_.code[pc];
+      const auto& info = isa::op_info(inst.op);
+
+      // WRITE-R0: discarded by hardware. The canonical `nop`
+      // (addi r0, r0, 0) is idiomatic and exempt.
+      const bool is_nop = inst.op == Opcode::kAddi && inst.rd == 0 &&
+                          inst.rs1 == 0 && inst.imm == 0;
+      if (info.writes_rd && !info.rd_is_fp && inst.rd == 0 &&
+          inst.op != Opcode::kJal && !is_nop) {
+        add("WRITE-R0", pc,
+            "write to the hardwired-zero register is discarded; in `" +
+                isa::disassemble(inst, pc) + "`");
+      }
+
+      // BRANCH-RANGE: direct target outside [0, code.size()).
+      const std::int64_t target = direct_target(inst, pc);
+      if (info.is_branch && target != -1 && (target < 0 || target >= n)) {
+        std::ostringstream msg;
+        msg << "control transfer to pc " << target << " is outside .text "
+            << "[0, " << n << "); in `" << isa::disassemble(inst, pc) << "`";
+        add("BRANCH-RANGE", pc, msg.str());
+      }
+
+      // MISALIGNED-MEM: displacement breaks the access's natural alignment.
+      // (The emulator faults on any misaligned effective address; a
+      // misaligned displacement off an aligned base guarantees that.)
+      int align = 0;
+      if (inst.op == Opcode::kLw || inst.op == Opcode::kSw) align = 4;
+      if (inst.op == Opcode::kLfd || inst.op == Opcode::kSfd) align = 8;
+      if (align != 0 && ((inst.imm % align) + align) % align != 0) {
+        std::ostringstream msg;
+        msg << "displacement " << inst.imm << " is not " << align
+            << "-byte aligned; in `" << isa::disassemble(inst, pc) << "`";
+        add("MISALIGNED-MEM", pc, msg.str());
+      }
+    }
+  }
+
+  const isa::Program& program_;
+  const LintOptions& options_;
+  Cfg cfg_;
+  std::unordered_map<std::int32_t, std::unordered_set<std::string>> pragmas_;
+  std::map<std::uint32_t, std::string> label_at_;
+  LintReport report_;
+};
+
+}  // namespace
+
+std::string slot_name(int slot) {
+  return (slot < 32 ? "r" : "f") + std::to_string(slot % 32);
+}
+
+LintReport lint_program(const isa::Program& program, std::string_view source,
+                        const LintOptions& options) {
+  return Linter(program, source, options).run();
+}
+
+std::vector<Diagnostic> check_swap_legality(
+    const isa::Program& program, const std::vector<ProposedSwap>& swaps) {
+  std::vector<Diagnostic> diagnostics;
+  auto add = [&](const ProposedSwap& swap, const std::string& why) {
+    Diagnostic d;
+    d.id = "SWAP-ILLEGAL";
+    d.pc = swap.pc;
+    d.line = program.line_of(swap.pc);
+    d.message = why;
+    diagnostics.push_back(std::move(d));
+  };
+  for (const ProposedSwap& swap : swaps) {
+    if (swap.pc >= program.code.size()) {
+      add(swap, "swap proposed at pc " + std::to_string(swap.pc) +
+                    ", outside .text");
+      continue;
+    }
+    const Instruction& inst = program.code[swap.pc];
+    // The program passed in is pre-swap, so legality is judged on the
+    // original opcode. A flip decision lands on the twin opcode; judge the
+    // instruction the decision was made for.
+    switch (isa::swap_kind(inst)) {
+      case isa::SwapKind::kNotSwappable:
+        add(swap, "operands of `" + isa::disassemble(inst, swap.pc) +
+                      "` cannot legally be reordered (immediate form, "
+                      "single-source, memory, or mixed register files)");
+        break;
+      case isa::SwapKind::kCommutative:
+        if (swap.opcode_flipped)
+          add(swap, "`" + isa::disassemble(inst, swap.pc) +
+                        "` is commutative; an opcode flip is not legal");
+        break;
+      case isa::SwapKind::kFlip:
+        if (!swap.opcode_flipped)
+          add(swap, "`" + isa::disassemble(inst, swap.pc) +
+                        "` is not commutative; swapping requires flipping "
+                        "to its twin opcode");
+        break;
+    }
+  }
+  return diagnostics;
+}
+
+}  // namespace mrisc::analyze

@@ -1,0 +1,81 @@
+// Static diagnostics over assembled programs ("mrisc-lint").
+//
+// Diagnostic catalog (IDs are stable; docs/analysis.md documents each):
+//
+//   UNINIT-READ     register read before any write on some path from entry
+//   DEAD-WRITE      register written but never read afterwards
+//   UNREACHABLE     basic block unreachable from the entry point
+//   BRANCH-RANGE    branch/jump target outside the .text range
+//   MISALIGNED-MEM  lw/sw displacement not 4-aligned, lfd/sfd not 8-aligned
+//   WRITE-R0        write targets the hardwired-zero register (except `nop`)
+//   SWAP-ILLEGAL    proposed operand swap on a non-swappable instruction
+//
+// Suppression: an inline pragma on the offending source line acknowledges a
+// diagnostic, e.g.
+//
+//   lw r1, 2(r5)   # lint: allow MISALIGNED-MEM
+//
+// `# lint: allow all` silences every ID on that line. Suppressed diagnostics
+// are still returned (with `suppressed = true`) so tools can count them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace mrisc::analyze {
+
+struct Diagnostic {
+  std::string id;        ///< catalog ID, e.g. "UNINIT-READ"
+  std::uint32_t pc = 0;  ///< instruction index
+  std::int32_t line = 0; ///< 1-based source line, 0 when unknown
+  std::string label;     ///< nearest preceding text label, "" if none
+  std::string message;
+  bool suppressed = false;  ///< acknowledged by an inline `# lint:` pragma
+};
+
+struct LintOptions {
+  /// Register slots the environment guarantees initialized at entry (the
+  /// ABI live-in contract). Bit i = int ri for i < 32, fp f(i-32) above.
+  /// r0 is always exempt regardless of this mask.
+  std::uint64_t live_in_mask = 0;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  ///< ascending pc, suppressed included
+
+  /// Diagnostics not acknowledged by a pragma.
+  [[nodiscard]] int active_count() const noexcept {
+    int n = 0;
+    for (const auto& d : diagnostics) n += d.suppressed ? 0 : 1;
+    return n;
+  }
+};
+
+/// Run every check over `program`. `source` is the assembly text the program
+/// was built from (used only for `# lint:` pragmas; pass "" when the source
+/// is unavailable, e.g. for a loaded object - no suppression then).
+LintReport lint_program(const isa::Program& program, std::string_view source,
+                        const LintOptions& options = {});
+
+/// A swap the compiler proposes to apply at `pc` (mirror of
+/// xform::SwapDecision, redeclared here so analyze does not depend on
+/// xform - the dependency runs the other way).
+struct ProposedSwap {
+  std::uint32_t pc = 0;
+  bool opcode_flipped = false;
+};
+
+/// Validate proposed swaps against isa::swap_kind: swapping a non-swappable
+/// instruction, flipping a commutative one, or not flipping a flip-only one
+/// each yield a SWAP-ILLEGAL diagnostic. Empty result means all legal.
+std::vector<Diagnostic> check_swap_legality(
+    const isa::Program& program, const std::vector<ProposedSwap>& swaps);
+
+/// Human-readable register slot name ("r5" / "f12").
+std::string slot_name(int slot);
+
+}  // namespace mrisc::analyze

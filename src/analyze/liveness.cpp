@@ -1,0 +1,55 @@
+#include "analyze/liveness.h"
+
+#include "analyze/dataflow.h"
+
+namespace mrisc::analyze {
+namespace {
+
+struct LivenessProblem {
+  using State = std::uint64_t;
+  static constexpr Direction kDirection = Direction::kBackward;
+
+  const isa::Program& program;
+  const Cfg& cfg;
+
+  [[nodiscard]] State bottom() const { return 0; }
+  [[nodiscard]] State boundary() const { return 1; }  // r0 only
+  void join(State& into, const State& from) const { into |= from; }
+
+  [[nodiscard]] State transfer(std::uint32_t block, State live) const {
+    const BasicBlock& bb = cfg.blocks[block];
+    for (std::uint32_t pc = bb.end; pc-- > bb.begin;) {
+      const isa::Instruction& inst = program.code[pc];
+      const int def = def_slot(inst);
+      if (def >= 0) live &= ~(std::uint64_t{1} << def);
+      live |= use_mask(inst);
+    }
+    return live;
+  }
+};
+
+}  // namespace
+
+LivenessResult liveness(const isa::Program& program, const Cfg& cfg) {
+  LivenessResult result;
+  const LivenessProblem problem{program, cfg};
+  auto sol = solve(cfg, problem);
+  result.live_in = std::move(sol.in);
+  result.live_out = std::move(sol.out);
+
+  result.live_after.assign(program.code.size(), 0);
+  for (std::uint32_t b = 0; b < cfg.size(); ++b) {
+    std::uint64_t live = result.live_out[b];
+    const BasicBlock& bb = cfg.blocks[b];
+    for (std::uint32_t pc = bb.end; pc-- > bb.begin;) {
+      result.live_after[pc] = live;
+      const isa::Instruction& inst = program.code[pc];
+      const int def = def_slot(inst);
+      if (def >= 0) live &= ~(std::uint64_t{1} << def);
+      live |= use_mask(inst);
+    }
+  }
+  return result;
+}
+
+}  // namespace mrisc::analyze

@@ -1,0 +1,28 @@
+// Backward liveness analysis over register slots.
+//
+// A register slot is live at a point if some path from that point reads it
+// before writing it. The 64-slot space (32 int + 32 fp) fits one machine
+// word, so states are plain std::uint64_t masks.
+//
+// Exit boundary: r0 only. Nothing is observable after the program stops
+// except what `out`/`outf` already emitted, so every other register is dead
+// at `halt`. Dead-write diagnostics come from comparing each definition
+// against the per-instruction live-after set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/cfg.h"
+
+namespace mrisc::analyze {
+
+struct LivenessResult {
+  std::vector<std::uint64_t> live_in;     ///< per block
+  std::vector<std::uint64_t> live_out;    ///< per block
+  std::vector<std::uint64_t> live_after;  ///< per pc: slots live after it
+};
+
+LivenessResult liveness(const isa::Program& program, const Cfg& cfg);
+
+}  // namespace mrisc::analyze

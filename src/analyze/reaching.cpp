@@ -1,0 +1,72 @@
+#include "analyze/reaching.h"
+
+#include <array>
+
+namespace mrisc::analyze {
+namespace {
+
+struct ReachingProblem {
+  using State = Bitset;
+  static constexpr Direction kDirection = Direction::kForward;
+
+  const isa::Program& program;
+  const Cfg& cfg;
+  std::size_t num_defs;  // code.size() + kNumRegSlots
+  /// Definition sites per register slot (real pcs; the synthetic entry
+  /// definition of slot s is id code.size() + s).
+  std::array<std::vector<std::uint32_t>, kNumRegSlots> defs_of;
+
+  [[nodiscard]] State bottom() const { return Bitset(num_defs); }
+  [[nodiscard]] State boundary() const {
+    Bitset state(num_defs);
+    for (int slot = 0; slot < kNumRegSlots; ++slot)
+      state.set(program.code.size() + slot);
+    return state;
+  }
+  void join(State& into, const State& from) const { into |= from; }
+
+  [[nodiscard]] State transfer(std::uint32_t block, State state) const {
+    const BasicBlock& bb = cfg.blocks[block];
+    for (std::uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+      const int def = def_slot(program.code[pc]);
+      if (def < 0) continue;
+      // Kill every other definition of this slot, then generate our own.
+      for (const std::uint32_t other : defs_of[def]) state.reset(other);
+      state.reset(program.code.size() + def);
+      state.set(pc);
+    }
+    return state;
+  }
+};
+
+}  // namespace
+
+ReachingResult reaching_definitions(const isa::Program& program,
+                                    const Cfg& cfg) {
+  ReachingResult result;
+  const std::size_t n = program.code.size();
+  ReachingProblem problem{program, cfg, n + kNumRegSlots, {}};
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    const int def = def_slot(program.code[pc]);
+    if (def >= 0) problem.defs_of[def].push_back(pc);
+  }
+  auto sol = solve(cfg, problem);
+  result.in = std::move(sol.in);
+  result.out = std::move(sol.out);
+
+  result.entry_reaches.assign(n, 0);
+  for (std::uint32_t b = 0; b < cfg.size(); ++b) {
+    std::uint64_t mask = 0;
+    for (int slot = 0; slot < kNumRegSlots; ++slot)
+      if (result.in[b].test(n + slot)) mask |= std::uint64_t{1} << slot;
+    const BasicBlock& bb = cfg.blocks[b];
+    for (std::uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+      result.entry_reaches[pc] = mask;
+      const int def = def_slot(program.code[pc]);
+      if (def >= 0) mask &= ~(std::uint64_t{1} << def);
+    }
+  }
+  return result;
+}
+
+}  // namespace mrisc::analyze

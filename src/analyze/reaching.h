@@ -1,0 +1,36 @@
+// Forward reaching-definitions analysis.
+//
+// Definition sites are numbered: pc of every register-writing instruction,
+// plus one synthetic "entry definition" per register slot (ids
+// code.size() + slot) modelling the machine's reset state. A read at pc of
+// slot s is possibly uninitialized when the entry definition of s reaches pc
+// - i.e. some path from the entry performs the read before any real write.
+//
+// The machine zeroes all registers at reset, so such reads are deterministic
+// (they see zero), but in every workload kernel they indicate a logic bug or
+// an implicit dependence on reset state worth an explicit `li`. Slots in the
+// configured live-in set (the "ABI" contract; by default just r0) are
+// exempt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/cfg.h"
+#include "analyze/dataflow.h"
+
+namespace mrisc::analyze {
+
+struct ReachingResult {
+  std::vector<Bitset> in;   ///< per block: definitions reaching block entry
+  std::vector<Bitset> out;  ///< per block: definitions reaching block exit
+
+  /// Per pc: mask of register slots whose synthetic entry definition still
+  /// reaches this instruction (reads of them are possibly uninitialized).
+  std::vector<std::uint64_t> entry_reaches;
+};
+
+ReachingResult reaching_definitions(const isa::Program& program,
+                                    const Cfg& cfg);
+
+}  // namespace mrisc::analyze

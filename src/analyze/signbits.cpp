@@ -1,0 +1,189 @@
+#include "analyze/signbits.h"
+
+#include "analyze/dataflow.h"
+
+namespace mrisc::analyze {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr Bit known(bool bit) noexcept { return bit ? Bit::kOne : Bit::kZero; }
+
+constexpr Bit and_bit(Bit a, Bit b) noexcept {
+  if (a == Bit::kBottom || b == Bit::kBottom) return Bit::kBottom;
+  if (a == Bit::kZero || b == Bit::kZero) return Bit::kZero;
+  if (a == Bit::kOne && b == Bit::kOne) return Bit::kOne;
+  return Bit::kTop;
+}
+
+constexpr Bit or_bit(Bit a, Bit b) noexcept {
+  if (a == Bit::kBottom || b == Bit::kBottom) return Bit::kBottom;
+  if (a == Bit::kOne || b == Bit::kOne) return Bit::kOne;
+  if (a == Bit::kZero && b == Bit::kZero) return Bit::kZero;
+  return Bit::kTop;
+}
+
+constexpr Bit not_bit(Bit a) noexcept {
+  switch (a) {
+    case Bit::kZero: return Bit::kOne;
+    case Bit::kOne: return Bit::kZero;
+    default: return a;
+  }
+}
+
+constexpr Bit xor_bit(Bit a, Bit b) noexcept {
+  if (a == Bit::kBottom || b == Bit::kBottom) return Bit::kBottom;
+  if (a == Bit::kTop || b == Bit::kTop) return Bit::kTop;
+  return known(a != b);
+}
+
+struct SignProblem {
+  using State = SignState;
+  static constexpr Direction kDirection = Direction::kForward;
+
+  const isa::Program& program;
+  const Cfg& cfg;
+
+  [[nodiscard]] State bottom() const {
+    State s;
+    s.fill(Bit::kBottom);
+    return s;
+  }
+  [[nodiscard]] State boundary() const {
+    State s;
+    s.fill(Bit::kZero);  // the machine zeroes every register at reset
+    return s;
+  }
+  void join(State& into, const State& from) const {
+    for (int i = 0; i < kNumRegSlots; ++i)
+      into[i] = analyze::join(into[i], from[i]);
+  }
+  [[nodiscard]] State transfer(std::uint32_t block, State state) const {
+    const BasicBlock& bb = cfg.blocks[block];
+    for (std::uint32_t pc = bb.begin; pc < bb.end; ++pc)
+      state = sign_transfer(program.code[pc], state);
+    return state;
+  }
+};
+
+}  // namespace
+
+const char* to_string(Bit b) noexcept {
+  switch (b) {
+    case Bit::kBottom: return "_";
+    case Bit::kZero: return "0";
+    case Bit::kOne: return "1";
+    case Bit::kTop: return "T";
+  }
+  return "?";
+}
+
+SignState sign_transfer(const Instruction& inst, SignState state) {
+  const int def = def_slot(inst);
+  if (def < 0) return state;
+  if (def == reg_slot(0, false)) return state;  // writes to r0 are discarded
+
+  const auto& info = isa::op_info(inst.op);
+  const Bit a = info.reads_rs1
+                    ? state[reg_slot(inst.rs1, info.rs1_is_fp)]
+                    : Bit::kTop;
+  const Bit b = info.reads_rs2
+                    ? state[reg_slot(inst.rs2, info.rs2_is_fp)]
+                    : Bit::kTop;
+
+  Bit r = Bit::kTop;
+  switch (inst.op) {
+    // Bitwise ops map the sign bit exactly.
+    case Opcode::kAnd: r = and_bit(a, b); break;
+    case Opcode::kOr: r = or_bit(a, b); break;
+    case Opcode::kXor: r = xor_bit(a, b); break;
+    case Opcode::kNor: r = not_bit(or_bit(a, b)); break;
+
+    // Immediate logicals: the immediate is zero-extended 16-bit, so bit 31
+    // is cleared by andi and untouched by ori/xori.
+    case Opcode::kAndi: r = Bit::kZero; break;
+    case Opcode::kOri: r = a; break;
+    case Opcode::kXori: r = a; break;
+
+    // addi from r0 materializes the (sign-extended) immediate; adding zero
+    // is a move. Any other addition can carry into the sign bit.
+    case Opcode::kAddi:
+      if (inst.rs1 == 0)
+        r = known(inst.imm < 0);
+      else if (inst.imm == 0)
+        r = a;
+      break;
+    case Opcode::kLui: r = known(((inst.imm >> 15) & 1) != 0); break;
+
+    // Shifts. A logical right shift can only clear the sign bit; an
+    // arithmetic right shift replicates it.
+    case Opcode::kSra: r = a; break;
+    case Opcode::kSrai: r = a; break;
+    case Opcode::kSrli: r = inst.imm == 0 ? a : Bit::kZero; break;
+    case Opcode::kSrl: r = a == Bit::kZero ? Bit::kZero : Bit::kTop; break;
+    case Opcode::kSlli: r = inst.imm == 0 ? a : Bit::kTop; break;
+
+    // Comparison results are 0 or 1: provably non-negative.
+    case Opcode::kSlt: case Opcode::kSltu:
+    case Opcode::kSgt: case Opcode::kSgtu:
+    case Opcode::kSlti:
+    case Opcode::kFclt: case Opcode::kFcle: case Opcode::kFceq:
+    case Opcode::kFcgt: case Opcode::kFcge:
+      r = Bit::kZero;
+      break;
+
+    // Zero-extending load; the link register holds a small positive pc.
+    case Opcode::kLbu: r = Bit::kZero; break;
+    case Opcode::kJal: r = Bit::kZero; break;
+
+    // FP information bit (OR of the mantissa's low four bits). An int32
+    // converted to double leaves >= 20 trailing mantissa zeros; a float
+    // widened to double leaves 29. Sign operations touch only the sign bit.
+    case Opcode::kCvtif: r = Bit::kZero; break;
+    case Opcode::kCvtsd: r = Bit::kZero; break;
+    case Opcode::kFmov: case Opcode::kFneg: case Opcode::kFabs:
+      r = a;
+      break;
+
+    // Everything else (add/sub/mul/div/rem, FP arithmetic, sign-extending
+    // or word loads, cvtfi) is data-dependent: kTop.
+    default:
+      break;
+  }
+  state[def] = r;
+  return state;
+}
+
+Bit SignResult::operand_bit(const isa::Program& program, std::uint32_t pc,
+                            int operand) const {
+  if (pc >= at.size()) return Bit::kBottom;
+  const Instruction& inst = program.code[pc];
+  const auto& info = isa::op_info(inst.op);
+  if (operand == 1 && info.reads_rs1)
+    return at[pc][reg_slot(inst.rs1, info.rs1_is_fp)];
+  if (operand == 2 && info.reads_rs2)
+    return at[pc][reg_slot(inst.rs2, info.rs2_is_fp)];
+  return Bit::kBottom;
+}
+
+SignResult sign_analysis(const isa::Program& program, const Cfg& cfg) {
+  SignResult result;
+  const SignProblem problem{program, cfg};
+  auto sol = solve(cfg, problem);
+
+  SignState bottom;
+  bottom.fill(Bit::kBottom);
+  result.at.assign(program.code.size(), bottom);
+  for (std::uint32_t b = 0; b < cfg.size(); ++b) {
+    SignState state = sol.in[b];
+    const BasicBlock& bb = cfg.blocks[b];
+    for (std::uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+      result.at[pc] = state;
+      state = sign_transfer(program.code[pc], state);
+    }
+  }
+  return result;
+}
+
+}  // namespace mrisc::analyze

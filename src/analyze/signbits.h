@@ -1,0 +1,62 @@
+// Abstract interpretation over the paper's information bit (section 4.2).
+//
+// Each register slot is abstracted to one lattice element describing its
+// information bit - the integer sign bit, or for FP registers the OR of the
+// mantissa's low four bits:
+//
+//           kTop           (bit could be either)
+//          .    .
+//      kZero    kOne       (bit statically proven)
+//          .    .
+//          kBottom         (unreached; identity of join)
+//
+// The entry state is all-kZero: the machine zeroes every register at reset
+// (a positive integer and the double +0.0 both carry information bit 0).
+//
+// Transfer functions exploit the algebra of the sign bit: logical ops map
+// bitwise (sign(a&b) = sign(a)&sign(b)), immediate logicals with their
+// zero-extended 16-bit immediate preserve or clear it, comparison results
+// and zero-extending loads are provably non-negative, and the FP side uses
+// the representation guarantees of cvtif (an int32 leaves >= 20 trailing
+// mantissa zeros) and cvtsd (a widened float leaves 29). Arithmetic
+// (add/sub/mul/fadd/...) goes to kTop: carries make the result bit
+// data-dependent, which is precisely why the dynamic schemes exist.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analyze/cfg.h"
+
+namespace mrisc::analyze {
+
+enum class Bit : std::uint8_t { kBottom, kZero, kOne, kTop };
+
+const char* to_string(Bit b) noexcept;
+
+constexpr Bit join(Bit a, Bit b) noexcept {
+  if (a == b || b == Bit::kBottom) return a;
+  if (a == Bit::kBottom) return b;
+  return Bit::kTop;
+}
+
+/// Abstract machine state: one lattice element per register slot.
+using SignState = std::array<Bit, kNumRegSlots>;
+
+/// Apply one instruction to `state`. Exposed for per-opcode-class tests.
+SignState sign_transfer(const isa::Instruction& inst, SignState state);
+
+struct SignResult {
+  std::vector<SignState> at;  ///< per pc: state *before* the instruction
+
+  /// Lattice value of the slot read as OPn (1 or 2) by the instruction at
+  /// `pc`, or kBottom when the instruction has no such operand.
+  [[nodiscard]] Bit operand_bit(const isa::Program& program, std::uint32_t pc,
+                                int operand) const;
+};
+
+/// Run the analysis to fixpoint. Unreachable blocks stay all-kBottom.
+SignResult sign_analysis(const isa::Program& program, const Cfg& cfg);
+
+}  // namespace mrisc::analyze

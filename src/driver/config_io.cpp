@@ -23,6 +23,7 @@ std::optional<SwapMode> swap_from_name(const std::string& name) {
   if (name == "hw") return SwapMode::kHardware;
   if (name == "hwcc") return SwapMode::kHardwareCompiler;
   if (name == "cc") return SwapMode::kCompilerOnly;
+  if (name == "static") return SwapMode::kStaticOnly;
   return std::nullopt;
 }
 

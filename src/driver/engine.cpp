@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/emulator.h"
+#include "xform/static_swap.h"
 #include "xform/swap_pass.h"
 
 namespace mrisc::driver {
@@ -15,6 +16,10 @@ namespace {
 bool needs_compiler_swap(const ExperimentConfig& config) {
   return config.swap == SwapMode::kHardwareCompiler ||
          config.swap == SwapMode::kCompilerOnly;
+}
+
+bool needs_static_swap(const ExperimentConfig& config) {
+  return config.swap == SwapMode::kStaticOnly;
 }
 
 std::string fnv1a_hex(const std::string& text) {
@@ -82,7 +87,9 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
   if (cell.prepare) {
     key += "#prep:" + cell.fingerprint;
   } else {
-    key += needs_compiler_swap(cell.config) ? "#cc" : "#base";
+    key += needs_compiler_swap(cell.config) ? "#cc"
+           : needs_static_swap(cell.config) ? "#static"
+                                            : "#base";
   }
 
   std::promise<TracePtr> promise;
@@ -104,6 +111,8 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
                                            : *unit.program;
     if (!cell.prepare && needs_compiler_swap(cell.config))
       program = xform::swapped_copy(program);
+    if (!cell.prepare && needs_static_swap(cell.config))
+      program = xform::static_swapped_copy(program);
 
     sim::Emulator emu(std::move(program));
     auto buffer = std::make_shared<sim::TraceBuffer>();

@@ -6,6 +6,7 @@
 #include "sim/emulator.h"
 #include "stats/paper_ref.h"
 #include "steer/policies.h"
+#include "xform/static_swap.h"
 #include "xform/swap_pass.h"
 
 namespace mrisc::driver {
@@ -30,6 +31,7 @@ const char* to_string(SwapMode mode) noexcept {
     case SwapMode::kHardware: return "Base + Hardware swapping";
     case SwapMode::kHardwareCompiler: return "Base + Hardware + Compiler";
     case SwapMode::kCompilerOnly: return "Compiler swapping only";
+    case SwapMode::kStaticOnly: return "Static compiler swapping only";
   }
   return "?";
 }
@@ -175,6 +177,8 @@ RunResult run_program(const isa::Program& program, const std::string& name,
   if (config.swap == SwapMode::kHardwareCompiler ||
       config.swap == SwapMode::kCompilerOnly) {
     prepared = xform::swapped_copy(prepared);
+  } else if (config.swap == SwapMode::kStaticOnly) {
+    prepared = xform::static_swapped_copy(prepared);
   }
 
   sim::Emulator emu(std::move(prepared));

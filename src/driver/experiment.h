@@ -42,6 +42,7 @@ enum class SwapMode {
   kHardware,            ///< Base + hardware swapping
   kHardwareCompiler,    ///< Base + hardware + compiler swapping
   kCompilerOnly,        ///< compiler swapping alone (discussed in section 6)
+  kStaticOnly,          ///< profile-free xform::static_swap_pass alone
 };
 inline constexpr SwapMode kAllSwapModes[] = {
     SwapMode::kNone, SwapMode::kHardware, SwapMode::kHardwareCompiler};

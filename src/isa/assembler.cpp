@@ -11,6 +11,7 @@ namespace {
 
 struct Token {
   std::string text;
+  int column = 0;  ///< 1-based column of the token's first character
 };
 
 /// Split a statement into tokens. Commas and parentheses are separators;
@@ -18,18 +19,22 @@ struct Token {
 std::vector<Token> tokenize(std::string_view line) {
   std::vector<Token> tokens;
   std::string cur;
+  int cur_column = 0;
   auto flush = [&] {
-    if (!cur.empty()) tokens.push_back({std::move(cur)});
+    if (!cur.empty()) tokens.push_back({std::move(cur), cur_column});
     cur.clear();
   };
-  for (char ch : line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    const int column = static_cast<int>(i) + 1;
     if (ch == '#' || ch == ';') break;
     if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
       flush();
     } else if (ch == '(' || ch == ')' || ch == ':') {
       flush();
-      tokens.push_back({std::string(1, ch)});
+      tokens.push_back({std::string(1, ch), column});
     } else {
+      if (cur.empty()) cur_column = column;
       cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
     }
   }
@@ -98,6 +103,10 @@ class Assembler {
   [[noreturn]] void fail(int line, const std::string& msg) const {
     throw AsmError(line, msg);
   }
+  [[noreturn]] void fail_at(int line, const Token& token,
+                            const std::string& msg) const {
+    throw AsmError(line, token.column, msg);
+  }
 
   /// Pass 1: split into statements, lay out labels and data.
   void parse(std::string_view source) {
@@ -117,13 +126,13 @@ class Assembler {
         const std::string label = tokens[0].text;
         if (in_text) {
           if (!prog_.text_symbols.emplace(label, text_addr).second)
-            fail(line_no, "duplicate label '" + label + "'");
+            fail_at(line_no, tokens[0], "duplicate label '" + label + "'");
         } else {
           if (!prog_.data_symbols
                    .emplace(label, kDataBase +
                                        static_cast<std::uint32_t>(prog_.data.size()))
                    .second)
-            fail(line_no, "duplicate label '" + label + "'");
+            fail_at(line_no, tokens[0], "duplicate label '" + label + "'");
         }
         tokens.erase(tokens.begin(), tokens.begin() + 2);
       }
@@ -154,7 +163,7 @@ class Assembler {
     if (d == ".word") {
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         const auto v = parse_int(tokens[i].text);
-        if (!v) fail(line, "bad .word value '" + tokens[i].text + "'");
+        if (!v) fail_at(line, tokens[i], "bad .word value '" + tokens[i].text + "'");
         const auto u = static_cast<std::uint32_t>(*v);
         for (int b = 0; b < 4; ++b)
           prog_.data.push_back(static_cast<std::uint8_t>(u >> (8 * b)));
@@ -164,7 +173,7 @@ class Assembler {
         char* end = nullptr;
         const double v = std::strtod(tokens[i].text.c_str(), &end);
         if (end == tokens[i].text.c_str() || *end != '\0')
-          fail(line, "bad .double value '" + tokens[i].text + "'");
+          fail_at(line, tokens[i], "bad .double value '" + tokens[i].text + "'");
         std::uint64_t bits;
         std::memcpy(&bits, &v, sizeof bits);
         for (int b = 0; b < 8; ++b)
@@ -180,7 +189,7 @@ class Assembler {
       while (prog_.data.size() % static_cast<std::size_t>(*n) != 0)
         prog_.data.push_back(0);
     } else {
-      fail(line, "unknown directive '" + d + "'");
+      fail_at(line, tokens[0], "unknown directive '" + d + "'");
     }
   }
 
@@ -208,15 +217,18 @@ class Assembler {
     bool is_fp = false;
     const auto r = parse_reg(stmt.tokens[idx].text, is_fp);
     if (!r || is_fp != want_fp)
-      fail(stmt.line, "bad register '" + stmt.tokens[idx].text + "' (expected " +
-                          (want_fp ? "f0..f31" : "r0..r31") + ")");
+      fail_at(stmt.line, stmt.tokens[idx],
+              "bad register '" + stmt.tokens[idx].text + "' (expected " +
+                  (want_fp ? "f0..f31" : "r0..r31") + ")");
     return *r;
   }
 
   std::int64_t expect_imm(const Stmt& stmt, std::size_t idx) const {
     if (idx >= stmt.tokens.size()) fail(stmt.line, "missing immediate");
     const auto v = parse_int(stmt.tokens[idx].text);
-    if (!v) fail(stmt.line, "bad immediate '" + stmt.tokens[idx].text + "'");
+    if (!v)
+      fail_at(stmt.line, stmt.tokens[idx],
+              "bad immediate '" + stmt.tokens[idx].text + "'");
     return *v;
   }
 
@@ -227,13 +239,14 @@ class Assembler {
     if (const auto it = prog_.text_symbols.find(t); it != prog_.text_symbols.end())
       return it->second;
     const auto v = parse_int(t);
-    if (!v || *v < 0) fail(stmt.line, "unknown label '" + t + "'");
+    if (!v || *v < 0)
+      fail_at(stmt.line, stmt.tokens[idx], "unknown label '" + t + "'");
     return static_cast<std::uint32_t>(*v);
   }
 
   void push(const Stmt& stmt, Instruction inst) {
-    (void)stmt;
     prog_.code.push_back(inst);
+    prog_.source_lines.push_back(stmt.line);
   }
 
   void emit_li(const Stmt& stmt, int rd, std::int64_t value) {
@@ -276,7 +289,7 @@ class Assembler {
       const std::string& label = stmt.tokens[2].text;
       const auto it = prog_.data_symbols.find(label);
       if (it == prog_.data_symbols.end())
-        fail(stmt.line, "unknown data label '" + label + "'");
+        fail_at(stmt.line, stmt.tokens[2], "unknown data label '" + label + "'");
       const std::uint32_t addr = it->second;
       push(stmt, {Opcode::kLui, static_cast<std::uint8_t>(rd), 0, 0,
                   static_cast<std::int32_t>(addr >> 16)});
@@ -303,7 +316,7 @@ class Assembler {
     }
 
     const auto opc = opcode_from_mnemonic(m);
-    if (!opc) fail(stmt.line, "unknown mnemonic '" + m + "'");
+    if (!opc) fail_at(stmt.line, stmt.tokens[0], "unknown mnemonic '" + m + "'");
     const auto& info = op_info(*opc);
     Instruction inst;
     inst.op = *opc;

@@ -24,7 +24,8 @@
 //   la   rd, data_label    -> lui+ori (always two instructions)
 //   bgt/ble/bgtu/bleu a, b, L  -> blt/bge/bltu/bgeu with swapped operands
 //
-// Errors raise AsmError carrying the 1-based source line.
+// Errors raise AsmError carrying the 1-based source line and, when the
+// offending token is known, its 1-based column.
 #pragma once
 
 #include <stdexcept>
@@ -38,12 +39,20 @@ namespace mrisc::isa {
 class AsmError : public std::runtime_error {
  public:
   AsmError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+      : AsmError(line, 0, message) {}
+  AsmError(int line, int column, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) +
+                           (column > 0 ? ":" + std::to_string(column) : "") +
+                           ": " + message),
+        line_(line),
+        column_(column) {}
   [[nodiscard]] int line() const noexcept { return line_; }
+  /// 1-based column of the offending token; 0 when not attributable.
+  [[nodiscard]] int column() const noexcept { return column_; }
 
  private:
   int line_;
+  int column_;
 };
 
 /// Assemble `source` into a Program. Throws AsmError on the first error.

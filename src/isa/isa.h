@@ -193,4 +193,27 @@ std::uint32_t encode(const Instruction& inst) noexcept;
 /// Decode a machine word. Returns nullopt for an invalid opcode field.
 std::optional<Instruction> decode(std::uint32_t word) noexcept;
 
+/// How (if at all) a static instruction's source operands may legally be
+/// reordered by the compiler. Shared by the swap passes (xform) and the
+/// lint swap-legality check (analyze) so they can never disagree.
+enum class SwapKind : std::uint8_t {
+  kNotSwappable,  ///< immediate form, single-source, memory op, or mixed
+                  ///< register files - no legal reordering exists
+  kCommutative,   ///< rs1/rs2 exchange directly (add, and, fadd, beq, ...)
+  kFlip,          ///< exchange plus opcode twin (slt <-> sgt, fclt <-> fcgt)
+};
+
+/// Swap legality of the instruction `inst`. Memory ops are excluded even
+/// though they read two registers: their rs2 is a store value, not an
+/// FU operand pair.
+constexpr SwapKind swap_kind(const Instruction& inst) noexcept {
+  const OpInfo& info = op_info(inst.op);
+  if (!info.reads_rs1 || !info.reads_rs2) return SwapKind::kNotSwappable;
+  if (info.is_store || info.is_load) return SwapKind::kNotSwappable;
+  if (info.rs1_is_fp != info.rs2_is_fp) return SwapKind::kNotSwappable;
+  if (info.commutative) return SwapKind::kCommutative;
+  if (info.flip != inst.op) return SwapKind::kFlip;
+  return SwapKind::kNotSwappable;
+}
+
 }  // namespace mrisc::isa

@@ -9,7 +9,10 @@ namespace mrisc::isa {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'R', 'O', 'B'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends the pc -> source-line table after the symbol section
+// (count == 0 when the program carries no line information). Version-1
+// objects remain loadable; their programs simply have no source lines.
+constexpr std::uint32_t kVersion = 2;
 
 class Writer {
  public:
@@ -82,6 +85,9 @@ std::vector<std::uint8_t> save_object(const Program& program) {
     w.u32(value);
     w.str(name);
   }
+  w.u32(static_cast<std::uint32_t>(program.source_lines.size()));
+  for (const std::int32_t line : program.source_lines)
+    w.u32(static_cast<std::uint32_t>(line));
   return w.take();
 }
 
@@ -92,7 +98,7 @@ Program load_object(const std::vector<std::uint8_t>& bytes) {
       throw ObjectError("bad magic (not an MROB object)");
   }
   const std::uint32_t version = r.u32();
-  if (version != kVersion)
+  if (version < 1 || version > kVersion)
     throw ObjectError("unsupported object version " + std::to_string(version));
 
   Program program;
@@ -119,6 +125,14 @@ Program load_object(const std::vector<std::uint8_t>& bytes) {
     } else {
       throw ObjectError("bad symbol kind");
     }
+  }
+  if (version >= 2) {
+    const std::uint32_t line_count = r.u32();
+    if (line_count != 0 && line_count != code_count)
+      throw ObjectError("source-line table size mismatch");
+    program.source_lines.reserve(line_count);
+    for (std::uint32_t i = 0; i < line_count; ++i)
+      program.source_lines.push_back(static_cast<std::int32_t>(r.u32()));
   }
   if (!r.exhausted()) throw ObjectError("trailing bytes in object");
   return program;

@@ -22,6 +22,15 @@ struct Program {
   std::vector<std::uint8_t> data;
   std::unordered_map<std::string, std::uint32_t> text_symbols;  // instr index
   std::unordered_map<std::string, std::uint32_t> data_symbols;  // byte address
+  /// 1-based source line of each instruction, parallel to `code`. Filled by
+  /// the assembler and carried through MROB objects (version >= 2); empty
+  /// for programs built by hand or loaded from version-1 objects.
+  std::vector<std::int32_t> source_lines;
+
+  /// Source line of the instruction at `pc`, or 0 when unknown.
+  [[nodiscard]] std::int32_t line_of(std::uint32_t pc) const noexcept {
+    return pc < source_lines.size() ? source_lines[pc] : 0;
+  }
 
   /// Machine words for the whole code segment (for round-trip tests and the
   /// binary-rewriting compiler pass, which operates on re-encoded words).

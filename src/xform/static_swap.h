@@ -1,0 +1,40 @@
+// Profile-free operand swapping driven by the sign-bit abstract
+// interpretation (analyze::sign_analysis) instead of a profiling run.
+//
+// Where the profile pass asks "what case did this instruction see on
+// average?", the static pass asks "what case can I *prove* it always sees?"
+// and only acts on proven facts:
+//
+//  * adder classes (IALU / FPAU): when both operand information bits are
+//    statically known and their case equals the class's hardware swap-from
+//    case, orient into the mirror case (SwapReason::kCaseRule);
+//  * multiplier classes: when OP1 is proven info-bit 0 and OP2 proven
+//    info-bit 1, exchange them so the low-information operand arrives
+//    second - the static shadow of the Booth fewer-ones-second rule
+//    (SwapReason::kBoothOnes).
+//
+// Strictly weaker than the profile pass by construction (a proof covers
+// every execution; a profile summarizes the observed ones) - the comparison
+// between the two is the point of the static-vs-profile experiment.
+#pragma once
+
+#include "xform/swap_pass.h"
+
+namespace mrisc::xform {
+
+struct StaticSwapConfig {
+  int ialu_swap_case = 0b01;  ///< must match the hardware steer config
+  int fpau_swap_case = 0b10;
+};
+
+/// Rewrite `program` in place using only static facts. Returns the report
+/// (same shape as the profile pass; decisions are lint-checkable).
+SwapReport static_swap_pass(isa::Program& program,
+                            const StaticSwapConfig& config = {});
+
+/// Convenience: rewrite a copy, leaving `program` untouched.
+isa::Program static_swapped_copy(const isa::Program& program,
+                                 const StaticSwapConfig& config = {},
+                                 SwapReport* report = nullptr);
+
+}  // namespace mrisc::xform

@@ -4,27 +4,6 @@
 #include <utility>
 
 namespace mrisc::xform {
-namespace {
-
-/// A two-register-source instruction whose operand order the compiler can
-/// change: either hardware-commutative or possessing a distinct flip twin.
-/// Both sources must live in the same register file and memory ops are
-/// excluded (their rs2 is a store value, not an FU operand pair).
-bool statically_swappable(const isa::Instruction& inst, bool& needs_flip) {
-  const auto& info = isa::op_info(inst.op);
-  needs_flip = false;
-  if (!info.reads_rs1 || !info.reads_rs2) return false;
-  if (info.is_store || info.is_load) return false;
-  if (info.rs1_is_fp != info.rs2_is_fp) return false;
-  if (info.commutative) return true;
-  if (info.flip != inst.op) {
-    needs_flip = true;
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::string SwapReport::summary() const {
   std::ostringstream out;
@@ -40,8 +19,8 @@ SwapReport compiler_swap_pass(isa::Program& program,
   SwapReport report;
   for (std::uint32_t pc = 0; pc < program.code.size(); ++pc) {
     isa::Instruction& inst = program.code[pc];
-    bool needs_flip = false;
-    if (!statically_swappable(inst, needs_flip)) continue;
+    const isa::SwapKind kind = isa::swap_kind(inst);
+    if (kind == isa::SwapKind::kNotSwappable) continue;
     ++report.candidates;
     if (pc >= profile.size()) continue;
     const PcProfile& p = profile[pc];
@@ -80,7 +59,7 @@ SwapReport compiler_swap_pass(isa::Program& program,
 
     if (!decision.swapped) continue;
     std::swap(inst.rs1, inst.rs2);
-    if (needs_flip) {
+    if (kind == isa::SwapKind::kFlip) {
       inst.op = info.flip;
       decision.opcode_flipped = true;
       ++report.flipped;

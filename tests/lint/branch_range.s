@@ -1,0 +1,5 @@
+# Fixture: numeric branch target past the end of .text.
+  addi r1, r0, 1
+  beq r1, r0, 9
+  out r1
+  halt

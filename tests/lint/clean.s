@@ -1,0 +1,18 @@
+# Fixture: no diagnostics. Exercises loops, loads, FP, and calls.
+.data
+vals: .double 1.5, 2.5
+.text
+  la r1, vals
+  lfd f1, 0(r1)
+  lfd f2, 8(r1)
+  fadd f3, f1, f2
+  outf f3
+  addi r2, r0, 3
+loop:
+  addi r2, r2, -1
+  bne r2, r0, loop
+  jal emit
+  halt
+emit:
+  out r2
+  jr r31

@@ -1,0 +1,5 @@
+# Fixture: the first value of r1 is overwritten before any read.
+  addi r1, r0, 7
+  addi r1, r0, 8
+  out r1
+  halt

@@ -1,0 +1,10 @@
+# Fixture: word and double displacements off their natural alignment.
+.data
+buf: .space 16
+.text
+  la r1, buf
+  cvtif f1, r0
+  lw r2, 2(r1)
+  sfd f1, 4(r1)
+  out r2
+  halt

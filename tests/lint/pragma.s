@@ -1,0 +1,5 @@
+# Fixture: the deliberate reset-state read is acknowledged inline, so the
+# file lints clean (exit 0) despite the diagnostic.
+  add r2, r1, r1   # lint: allow UNINIT-READ
+  out r2
+  halt

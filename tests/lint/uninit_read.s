@@ -1,0 +1,5 @@
+# Fixture: r5 is read before any instruction writes it.
+  addi r1, r0, 3
+  add r2, r1, r5
+  out r2
+  halt

@@ -1,0 +1,8 @@
+# Fixture: the tail after the unconditional jump has no incoming edge.
+  addi r1, r0, 1
+  j done
+  addi r2, r0, 2
+  out r2
+done:
+  out r1
+  halt

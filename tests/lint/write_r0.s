@@ -1,0 +1,5 @@
+# Fixture: the result of the add is discarded by the hardwired zero.
+  addi r1, r0, 3
+  add r0, r1, r1
+  out r1
+  halt

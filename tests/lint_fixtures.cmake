@@ -1,0 +1,61 @@
+# Runs mrisc-lint over every fixture in tests/lint/ and compares the emitted
+# diagnostic IDs against the .expected file next to each .s:
+#
+#   * every ID listed in .expected must appear (in order, with multiplicity)
+#     in the lint output;
+#   * an empty .expected means the fixture must lint clean (exit 0);
+#   * a non-empty .expected means lint must exit 1 (active diagnostics).
+#
+# Variables: LINT = path to mrisc-lint, FIXTURES = tests/lint directory.
+file(GLOB fixtures ${FIXTURES}/*.s)
+if(NOT fixtures)
+  message(FATAL_ERROR "no lint fixtures found in ${FIXTURES}")
+endif()
+
+foreach(fixture ${fixtures})
+  get_filename_component(stem ${fixture} NAME_WE)
+  set(expected_file ${FIXTURES}/${stem}.expected)
+  if(NOT EXISTS ${expected_file})
+    message(FATAL_ERROR "missing ${expected_file}")
+  endif()
+  file(STRINGS ${expected_file} expected_ids)
+
+  execute_process(COMMAND ${LINT} ${fixture}
+    OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+
+  if(expected_ids)
+    if(NOT code EQUAL 1)
+      message(FATAL_ERROR
+        "${stem}: expected exit 1 (diagnostics), got ${code}\n${stdout}${stderr}")
+    endif()
+  else()
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+        "${stem}: expected a clean lint (exit 0), got ${code}\n${stdout}${stderr}")
+    endif()
+  endif()
+
+  # Each expected ID must appear; consume matches left to right so repeated
+  # IDs require repeated diagnostics.
+  set(remaining "${stdout}")
+  foreach(id ${expected_ids})
+    string(FIND "${remaining}" "${id}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+        "${stem}: expected diagnostic ${id} not found in:\n${stdout}")
+    endif()
+    string(LENGTH "${id}" id_len)
+    math(EXPR cut "${at} + ${id_len}")
+    string(SUBSTRING "${remaining}" ${cut} -1 remaining)
+  endforeach()
+
+  # No *unexpected* IDs: the active count printed in the summary line must
+  # match the expected list length.
+  list(LENGTH expected_ids expected_count)
+  if(NOT stdout MATCHES "${expected_count} active diagnostic")
+    message(FATAL_ERROR
+      "${stem}: expected exactly ${expected_count} active diagnostics:\n${stdout}")
+  endif()
+endforeach()
+
+message(STATUS "lint fixtures: all passed")

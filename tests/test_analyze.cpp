@@ -1,0 +1,500 @@
+// Static-analysis framework tests: CFG shapes, liveness, reaching
+// definitions, the sign-bit lattice, lint diagnostics, and the profile-free
+// static swap pass.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyze/cfg.h"
+#include "analyze/lint.h"
+#include "analyze/liveness.h"
+#include "analyze/reaching.h"
+#include "analyze/signbits.h"
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+#include "workloads/workload.h"
+#include "xform/static_swap.h"
+
+namespace mrisc::analyze {
+namespace {
+
+isa::Program asm_prog(const char* source) {
+  return isa::assemble(source, "test");
+}
+
+bool has_diag(const LintReport& report, const std::string& id,
+              std::uint32_t pc) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.id == id && d.pc == pc && !d.suppressed;
+                     });
+}
+
+// ---------------------------------------------------------------- CFG
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  const auto prog = asm_prog(
+      "addi r1, r0, 1\n"
+      "addi r2, r1, 2\n"
+      "out r2\n"
+      "halt\n");
+  const Cfg cfg = build_cfg(prog);
+  ASSERT_EQ(cfg.size(), 1u);
+  EXPECT_EQ(cfg.blocks[0].begin, 0u);
+  EXPECT_EQ(cfg.blocks[0].end, 4u);
+  EXPECT_TRUE(cfg.blocks[0].succs.empty());
+  EXPECT_TRUE(cfg.reachable[0]);
+}
+
+TEST(Cfg, DiamondHasFourBlocksAndJoin) {
+  const auto prog = asm_prog(
+      "beq r1, r0, else\n"   // pc 0
+      "addi r2, r0, 1\n"     // pc 1
+      "j end\n"              // pc 2
+      "else: addi r2, r0, 2\n"  // pc 3
+      "end: out r2\n"        // pc 4
+      "halt\n");             // pc 5
+  const Cfg cfg = build_cfg(prog);
+  ASSERT_EQ(cfg.size(), 4u);
+  EXPECT_EQ(cfg.blocks[0].succs.size(), 2u);  // then + else
+  // Both arms converge on the join block.
+  const std::uint32_t join = cfg.block_of[4];
+  EXPECT_EQ(cfg.blocks[1].succs, std::vector<std::uint32_t>{join});
+  EXPECT_EQ(cfg.blocks[2].succs, std::vector<std::uint32_t>{join});
+  EXPECT_EQ(cfg.blocks[join].preds.size(), 2u);
+  for (std::size_t b = 0; b < cfg.size(); ++b)
+    EXPECT_TRUE(cfg.reachable[b]) << "block " << b;
+}
+
+TEST(Cfg, LoopHasBackEdge) {
+  const auto prog = asm_prog(
+      "addi r1, r0, 5\n"       // pc 0
+      "loop: addi r1, r1, -1\n"  // pc 1
+      "bne r1, r0, loop\n"     // pc 2
+      "halt\n");               // pc 3
+  const Cfg cfg = build_cfg(prog);
+  ASSERT_EQ(cfg.size(), 3u);
+  const std::uint32_t body = cfg.block_of[1];
+  const auto& succs = cfg.blocks[body].succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), body), succs.end())
+      << "loop block must be its own successor";
+  EXPECT_EQ(succs.size(), 2u);
+}
+
+TEST(Cfg, UnreachableTailIsDetected) {
+  const auto prog = asm_prog(
+      "halt\n"            // pc 0
+      "addi r1, r0, 1\n"  // pc 1: dead
+      "out r1\n"          // pc 2
+      "halt\n");          // pc 3
+  const Cfg cfg = build_cfg(prog);
+  ASSERT_EQ(cfg.size(), 2u);
+  EXPECT_TRUE(cfg.reachable[0]);
+  EXPECT_FALSE(cfg.reachable[1]);
+}
+
+TEST(Cfg, JrLinksToTextSymbolsAndReturnPoints) {
+  const auto prog = asm_prog(
+      "jal fn\n"        // pc 0
+      "halt\n"          // pc 1: return point
+      "fn: jr r31\n");  // pc 2
+  const Cfg cfg = build_cfg(prog);
+  const std::uint32_t fn_block = cfg.block_of[2];
+  const auto& succs = cfg.blocks[fn_block].succs;
+  // The jr must reach the instruction after the jal.
+  EXPECT_NE(std::find(succs.begin(), succs.end(), cfg.block_of[1]),
+            succs.end());
+  for (std::size_t b = 0; b < cfg.size(); ++b)
+    EXPECT_TRUE(cfg.reachable[b]) << "block " << b;
+}
+
+TEST(Cfg, UseDefMasks) {
+  using isa::Opcode;
+  isa::Instruction add{Opcode::kAdd, 3, 1, 2, 0};
+  EXPECT_EQ(use_mask(add), (std::uint64_t{1} << 1) | (std::uint64_t{1} << 2));
+  EXPECT_EQ(def_slot(add), 3);
+
+  isa::Instruction fadd{Opcode::kFadd, 3, 1, 2, 0};
+  EXPECT_EQ(use_mask(fadd),
+            (std::uint64_t{1} << 33) | (std::uint64_t{1} << 34));
+  EXPECT_EQ(def_slot(fadd), 35);
+
+  isa::Instruction jal{Opcode::kJal, 0, 0, 0, 7};
+  EXPECT_EQ(use_mask(jal), 0u);
+  EXPECT_EQ(def_slot(jal), 31) << "jal writes the link register";
+
+  isa::Instruction jr{Opcode::kJr, 0, 31, 0, 0};
+  EXPECT_EQ(use_mask(jr), std::uint64_t{1} << 31);
+  EXPECT_EQ(def_slot(jr), -1);
+
+  isa::Instruction halt{Opcode::kHalt, 0, 0, 0, 0};
+  EXPECT_EQ(use_mask(halt), 0u);
+  EXPECT_EQ(def_slot(halt), -1);
+}
+
+// ------------------------------------------------------------ liveness
+
+TEST(Liveness, OverwrittenValueIsDead) {
+  const auto prog = asm_prog(
+      "addi r1, r0, 7\n"  // pc 0: dead (overwritten at pc 1)
+      "addi r1, r0, 8\n"  // pc 1: live (read at pc 2)
+      "out r1\n"
+      "halt\n");
+  const Cfg cfg = build_cfg(prog);
+  const auto live = liveness(prog, cfg);
+  EXPECT_EQ(live.live_after[0] & (std::uint64_t{1} << 1), 0u);
+  EXPECT_NE(live.live_after[1] & (std::uint64_t{1} << 1), 0u);
+}
+
+TEST(Liveness, LoopCarriedValueStaysLive) {
+  const auto prog = asm_prog(
+      "addi r1, r0, 5\n"
+      "addi r2, r0, 0\n"
+      "loop: add r2, r2, r1\n"
+      "addi r1, r1, -1\n"
+      "bne r1, r0, loop\n"
+      "out r2\n"
+      "halt\n");
+  const Cfg cfg = build_cfg(prog);
+  const auto live = liveness(prog, cfg);
+  // r1 and r2 are both live around the back edge.
+  const std::uint32_t body = cfg.block_of[2];
+  EXPECT_NE(live.live_in[body] & (std::uint64_t{1} << 1), 0u);
+  EXPECT_NE(live.live_in[body] & (std::uint64_t{1} << 2), 0u);
+}
+
+// ------------------------------------------------- reaching definitions
+
+TEST(Reaching, EntryDefinitionKilledByWrite) {
+  const auto prog = asm_prog(
+      "addi r1, r0, 3\n"  // pc 0
+      "out r1\n"          // pc 1
+      "out r2\n"          // pc 2: r2 still holds its reset value
+      "halt\n");
+  const Cfg cfg = build_cfg(prog);
+  const auto reach = reaching_definitions(prog, cfg);
+  EXPECT_EQ(reach.entry_reaches[1] & (std::uint64_t{1} << 1), 0u)
+      << "write at pc 0 kills r1's entry definition";
+  EXPECT_NE(reach.entry_reaches[2] & (std::uint64_t{1} << 2), 0u)
+      << "nothing ever writes r2";
+}
+
+TEST(Reaching, WriteOnOneArmOnlyStillReaches) {
+  const auto prog = asm_prog(
+      "beq r1, r0, skip\n"   // pc 0 (r1 itself is uninitialized, by design)
+      "addi r2, r0, 1\n"     // pc 1: writes r2 on one arm only
+      "skip: out r2\n"       // pc 2: r2 may still be uninitialized
+      "halt\n");
+  const Cfg cfg = build_cfg(prog);
+  const auto reach = reaching_definitions(prog, cfg);
+  EXPECT_NE(reach.entry_reaches[2] & (std::uint64_t{1} << 2), 0u);
+}
+
+// ------------------------------------------------------- sign lattice
+
+TEST(SignBits, JoinLattice) {
+  EXPECT_EQ(join(Bit::kBottom, Bit::kZero), Bit::kZero);
+  EXPECT_EQ(join(Bit::kZero, Bit::kZero), Bit::kZero);
+  EXPECT_EQ(join(Bit::kZero, Bit::kOne), Bit::kTop);
+  EXPECT_EQ(join(Bit::kTop, Bit::kZero), Bit::kTop);
+  EXPECT_EQ(join(Bit::kOne, Bit::kBottom), Bit::kOne);
+}
+
+SignState all_top() {
+  SignState s;
+  s.fill(Bit::kTop);
+  return s;
+}
+
+TEST(SignBits, TransferImmediateForms) {
+  using isa::Opcode;
+  SignState s = all_top();
+  s[0] = Bit::kZero;  // r0
+
+  // li rd, imm lowers to addi rd, r0, imm: the immediate's sign is known.
+  s = sign_transfer({Opcode::kAddi, 1, 0, 0, -5}, s);
+  EXPECT_EQ(s[1], Bit::kOne);
+  s = sign_transfer({Opcode::kAddi, 2, 0, 0, 7}, s);
+  EXPECT_EQ(s[2], Bit::kZero);
+  // addi rd, rs, 0 is a move; any other addition can carry.
+  s = sign_transfer({Opcode::kAddi, 3, 1, 0, 0}, s);
+  EXPECT_EQ(s[3], Bit::kOne);
+  s = sign_transfer({Opcode::kAddi, 4, 1, 0, 1}, s);
+  EXPECT_EQ(s[4], Bit::kTop);
+
+  // andi clears bit 31; ori/xori cannot touch it.
+  s = sign_transfer({Opcode::kAndi, 5, 1, 0, 0xFFFF}, s);
+  EXPECT_EQ(s[5], Bit::kZero);
+  s = sign_transfer({Opcode::kOri, 6, 1, 0, 0xFFFF}, s);
+  EXPECT_EQ(s[6], Bit::kOne);
+  s = sign_transfer({Opcode::kXori, 7, 2, 0, 0xFFFF}, s);
+  EXPECT_EQ(s[7], Bit::kZero);
+
+  // lui materializes bit 15 of the immediate as the sign.
+  s = sign_transfer({Opcode::kLui, 8, 0, 0, 0x8000}, s);
+  EXPECT_EQ(s[8], Bit::kOne);
+  s = sign_transfer({Opcode::kLui, 9, 0, 0, 0x7FFF}, s);
+  EXPECT_EQ(s[9], Bit::kZero);
+}
+
+TEST(SignBits, TransferShiftsAndCompares) {
+  using isa::Opcode;
+  SignState s = all_top();
+  s[1] = Bit::kOne;
+
+  s = sign_transfer({Opcode::kSrai, 2, 1, 0, 4}, s);
+  EXPECT_EQ(s[2], Bit::kOne) << "arithmetic shift replicates the sign";
+  s = sign_transfer({Opcode::kSrli, 3, 1, 0, 4}, s);
+  EXPECT_EQ(s[3], Bit::kZero) << "logical shift clears it";
+  s = sign_transfer({Opcode::kSrli, 4, 1, 0, 0}, s);
+  EXPECT_EQ(s[4], Bit::kOne) << "zero-distance shift is a move";
+  s = sign_transfer({Opcode::kSlli, 5, 1, 0, 3}, s);
+  EXPECT_EQ(s[5], Bit::kTop);
+
+  s = sign_transfer({Opcode::kSlt, 6, 1, 2, 0}, s);
+  EXPECT_EQ(s[6], Bit::kZero) << "comparison results are 0 or 1";
+  s = sign_transfer({Opcode::kLbu, 7, 1, 0, 0}, s);
+  EXPECT_EQ(s[7], Bit::kZero) << "zero-extending load";
+  s = sign_transfer({Opcode::kLw, 8, 1, 0, 0}, s);
+  EXPECT_EQ(s[8], Bit::kTop);
+}
+
+TEST(SignBits, TransferBitwiseAlgebra) {
+  using isa::Opcode;
+  SignState s = all_top();
+  s[1] = Bit::kZero;
+  s[2] = Bit::kOne;
+  s[3] = Bit::kTop;
+
+  s = sign_transfer({Opcode::kAnd, 4, 1, 3, 0}, s);
+  EXPECT_EQ(s[4], Bit::kZero) << "0 & x == 0";
+  s = sign_transfer({Opcode::kOr, 5, 2, 3, 0}, s);
+  EXPECT_EQ(s[5], Bit::kOne) << "1 | x == 1";
+  s = sign_transfer({Opcode::kXor, 6, 1, 2, 0}, s);
+  EXPECT_EQ(s[6], Bit::kOne);
+  s = sign_transfer({Opcode::kNor, 7, 1, 1, 0}, s);
+  EXPECT_EQ(s[7], Bit::kOne) << "~(0 | 0) == 1";
+  s = sign_transfer({Opcode::kAnd, 8, 2, 3, 0}, s);
+  EXPECT_EQ(s[8], Bit::kTop);
+}
+
+TEST(SignBits, TransferFpForms) {
+  using isa::Opcode;
+  SignState s = all_top();
+  s[1] = Bit::kZero;  // int r1
+
+  // cvtif: an int32 fits the 52-bit mantissa with >= 20 trailing zeros.
+  s = sign_transfer({Opcode::kCvtif, 2, 1, 0, 0}, s);
+  EXPECT_EQ(s[reg_slot(2, true)], Bit::kZero);
+  // Sign ops copy the mantissa fact; arithmetic destroys it.
+  s = sign_transfer({Opcode::kFneg, 3, 2, 0, 0}, s);
+  EXPECT_EQ(s[reg_slot(3, true)], Bit::kZero);
+  s = sign_transfer({Opcode::kCvtsd, 4, 5, 0, 0}, s);
+  EXPECT_EQ(s[reg_slot(4, true)], Bit::kZero) << "widened float";
+  s = sign_transfer({Opcode::kFadd, 6, 2, 3, 0}, s);
+  EXPECT_EQ(s[reg_slot(6, true)], Bit::kTop);
+}
+
+TEST(SignBits, WritesToR0AreDiscarded) {
+  using isa::Opcode;
+  SignState s = all_top();
+  s[0] = Bit::kZero;
+  s = sign_transfer({Opcode::kAddi, 0, 0, 0, -1}, s);
+  EXPECT_EQ(s[0], Bit::kZero);
+}
+
+TEST(SignBits, AnalysisJoinsOverDiamond) {
+  const auto prog = asm_prog(
+      "beq r3, r0, else\n"
+      "addi r1, r0, 5\n"     // r1 = +
+      "j end\n"
+      "else: addi r1, r0, -5\n"  // r1 = -
+      "end: add r2, r1, r1\n"    // join: r1 is kTop here
+      "halt\n");
+  const Cfg cfg = build_cfg(prog);
+  const auto signs = sign_analysis(prog, cfg);
+  EXPECT_EQ(signs.at[4][1], Bit::kTop);
+  // Registers start at the reset value on the entry in-state.
+  EXPECT_EQ(signs.at[0][3], Bit::kZero);
+}
+
+// ------------------------------------------------------------- lint
+
+TEST(Lint, SeededBugsEachProduceTheirId) {
+  const auto prog = asm_prog(
+      "out r5\n"             // pc 0: UNINIT-READ (r5 never written)
+      "addi r1, r0, 7\n"     // pc 1: DEAD-WRITE (overwritten at pc 2)
+      "addi r1, r0, 8\n"     // pc 2
+      "out r1\n"             // pc 3
+      "add r0, r1, r1\n"     // pc 4: WRITE-R0
+      "lw r2, 2(r0)\n"       // pc 5: MISALIGNED-MEM
+      "out r2\n"             // pc 6
+      "halt\n"               // pc 7
+      "addi r3, r0, 1\n"     // pc 8: UNREACHABLE
+      "halt\n");
+  const auto report = lint_program(prog, "");
+  EXPECT_TRUE(has_diag(report, "UNINIT-READ", 0));
+  EXPECT_TRUE(has_diag(report, "DEAD-WRITE", 1));
+  EXPECT_TRUE(has_diag(report, "WRITE-R0", 4));
+  EXPECT_TRUE(has_diag(report, "MISALIGNED-MEM", 5));
+  EXPECT_TRUE(has_diag(report, "UNREACHABLE", 8));
+}
+
+TEST(Lint, BranchRangeOnNumericOffset) {
+  // Branch targets can be numeric offsets; one past the end is an error.
+  const auto prog = asm_prog(
+      "addi r1, r0, 1\n"
+      "beq r1, r0, 5\n"
+      "halt\n");
+  const auto report = lint_program(prog, "");
+  EXPECT_TRUE(has_diag(report, "BRANCH-RANGE", 1));
+}
+
+TEST(Lint, CleanProgramIsClean) {
+  const auto prog = asm_prog(
+      "addi r1, r0, 3\n"
+      "addi r2, r0, 4\n"
+      "add r3, r1, r2\n"
+      "out r3\n"
+      "halt\n");
+  const auto report = lint_program(prog, "");
+  EXPECT_EQ(report.active_count(), 0);
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Lint, PragmaSuppressesOnItsLine) {
+  const char* source =
+      "out r5   # lint: allow UNINIT-READ\n"
+      "out r6\n"
+      "halt\n";
+  const auto prog = asm_prog(source);
+  const auto report = lint_program(prog, source);
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_TRUE(report.diagnostics[0].suppressed);
+  EXPECT_FALSE(report.diagnostics[1].suppressed);
+  EXPECT_EQ(report.active_count(), 1);
+}
+
+TEST(Lint, LiveInMaskExemptsAbiRegisters) {
+  const auto prog = asm_prog("out r4\nhalt\n");
+  LintOptions options;
+  options.live_in_mask = std::uint64_t{1} << 4;
+  const auto report = lint_program(prog, "", options);
+  EXPECT_EQ(report.active_count(), 0);
+}
+
+TEST(Lint, DiagnosticsCarrySourceLinesAndLabels) {
+  const char* source =
+      "start: addi r1, r0, 1\n"  // line 1
+      "out r1\n"                 // line 2
+      "loop: out r9\n"           // line 3: UNINIT-READ
+      "halt\n";
+  const auto prog = asm_prog(source);
+  const auto report = lint_program(prog, source);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].line, 3);
+  EXPECT_EQ(report.diagnostics[0].label, "loop");
+}
+
+TEST(Lint, SwapLegality) {
+  const auto prog = asm_prog(
+      "add r3, r1, r2\n"    // pc 0: commutative
+      "slt r3, r1, r2\n"    // pc 1: flip-only
+      "addi r3, r1, 5\n"    // pc 2: immediate form, never swappable
+      "halt\n");
+  // Legal: plain swap on commutative, flip on the comparison.
+  EXPECT_TRUE(check_swap_legality(prog, {{0, false}, {1, true}}).empty());
+  // Illegal: flipping a commutative op, not flipping slt, swapping addi.
+  EXPECT_EQ(check_swap_legality(prog, {{0, true}}).size(), 1u);
+  EXPECT_EQ(check_swap_legality(prog, {{1, false}}).size(), 1u);
+  const auto diags = check_swap_legality(prog, {{2, false}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].id, "SWAP-ILLEGAL");
+}
+
+// ------------------------------------------------------ static swap pass
+
+TEST(StaticSwap, ProvenCaseIsReoriented) {
+  // r1 proven info-bit 0, r2 proven 1: case 01 == the IALU swap-from case.
+  auto prog = asm_prog(
+      "addi r1, r0, 5\n"
+      "addi r2, r0, -5\n"
+      "add r3, r1, r2\n"   // pc 2: swap expected
+      "out r3\n"
+      "halt\n");
+  const auto report = xform::static_swap_pass(prog);
+  ASSERT_EQ(report.swapped, 1u);
+  EXPECT_EQ(report.decisions[0].pc, 2u);
+  EXPECT_EQ(report.decisions[0].reason, xform::SwapReason::kCaseRule);
+  EXPECT_EQ(prog.code[2].rs1, 2) << "operands exchanged";
+  EXPECT_EQ(prog.code[2].rs2, 1);
+}
+
+TEST(StaticSwap, FlipTwinUsedForComparisons) {
+  auto prog = asm_prog(
+      "addi r1, r0, 5\n"
+      "addi r2, r0, -5\n"
+      "slt r3, r1, r2\n"
+      "out r3\n"
+      "halt\n");
+  const auto report = xform::static_swap_pass(prog);
+  ASSERT_EQ(report.swapped, 1u);
+  EXPECT_TRUE(report.decisions[0].opcode_flipped);
+  EXPECT_EQ(prog.code[2].op, isa::Opcode::kSgt);
+}
+
+TEST(StaticSwap, MultiplierUsesBoothOrdering) {
+  auto prog = asm_prog(
+      "addi r1, r0, 5\n"
+      "addi r2, r0, -5\n"
+      "mul r3, r1, r2\n"   // OP1 proven 0, OP2 proven 1: heavy-first
+      "out r3\n"
+      "halt\n");
+  const auto report = xform::static_swap_pass(prog);
+  ASSERT_EQ(report.swapped, 1u);
+  EXPECT_EQ(report.decisions[0].reason, xform::SwapReason::kBoothOnes);
+}
+
+TEST(StaticSwap, UnprovenOperandsAreLeftAlone) {
+  auto prog = asm_prog(
+      "lw r1, 0(r0)\n"     // kTop
+      "addi r2, r0, -5\n"
+      "add r3, r1, r2\n"
+      "out r3\n"
+      "halt\n");
+  const auto report = xform::static_swap_pass(prog);
+  EXPECT_EQ(report.swapped, 0u);
+  EXPECT_EQ(report.candidates, 1u);
+}
+
+TEST(StaticSwap, DecisionsAreLegalOnTheWholeSuite) {
+  for (const auto& workload : workloads::full_suite({0.05})) {
+    xform::SwapReport report;
+    xform::static_swapped_copy(workload.assembled(), {}, &report);
+    std::vector<ProposedSwap> proposed;
+    for (const auto& d : report.decisions)
+      proposed.push_back({d.pc, d.opcode_flipped});
+    EXPECT_TRUE(
+        check_swap_legality(workload.assembled(), proposed).empty())
+        << workload.name;
+  }
+}
+
+TEST(StaticSwap, PreservesProgramSemantics) {
+  for (const auto& workload : workloads::full_suite({0.05})) {
+    sim::Emulator original(workload.assembled());
+    sim::Emulator swapped(xform::static_swapped_copy(workload.assembled()));
+    original.run();
+    swapped.run();
+    const auto& a = original.output();
+    const auto& b = swapped.output();
+    ASSERT_EQ(a.size(), b.size()) << workload.name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].is_fp, b[i].is_fp) << workload.name << " #" << i;
+      EXPECT_EQ(a[i].bits, b[i].bits) << workload.name << " #" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrisc::analyze

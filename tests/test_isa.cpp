@@ -19,8 +19,9 @@ TEST(OpInfo, TableIsConsistent) {
       EXPECT_EQ(info.rs1_is_fp, info.rs2_is_fp) << info.mnemonic;
     }
     // Loads/stores must be memory class.
-    if (info.is_load || info.is_store)
+    if (info.is_load || info.is_store) {
       EXPECT_EQ(info.fu, FuClass::kMem) << info.mnemonic;
+    }
   }
 }
 

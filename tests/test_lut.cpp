@@ -117,7 +117,9 @@ TEST(LutSteering, LegalOnRandomTraffic) {
     for (std::size_t i = 0; i < n; ++i) {
       ASSERT_FALSE((used >> out[i].module) & 1);
       used |= std::uint64_t{1} << out[i].module;
-      if (out[i].swapped) ASSERT_TRUE(slots[i].commutative);
+      if (out[i].swapped) {
+        ASSERT_TRUE(slots[i].commutative);
+      }
     }
   }
 }

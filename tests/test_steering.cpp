@@ -49,7 +49,9 @@ void check_legality(Policy& policy, std::uint64_t seed) {
       ASSERT_LT(out[i].module, 4);
       ASSERT_FALSE((used >> out[i].module) & 1) << "duplicate module";
       used |= std::uint64_t{1} << out[i].module;
-      if (out[i].swapped) ASSERT_TRUE(slots[i].commutative);
+      if (out[i].swapped) {
+        ASSERT_TRUE(slots[i].commutative);
+      }
     }
   }
 }

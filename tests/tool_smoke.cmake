@@ -1,7 +1,7 @@
 # End-to-end smoke test of the command-line tools:
 #   write source -> mrisc-asm -> mrisc-run (source and object agree)
-#   -> mrisc-swap -> mrisc-run (rewritten binary agrees)
-#   -> mrisc-sim prints energy accounting.
+#   -> mrisc-swap -> mrisc-run (rewritten binary agrees, profile and static)
+#   -> mrisc-lint reports it clean -> mrisc-sim prints energy accounting.
 file(WRITE ${WORK}/smoke.s
 "li r1, 10
 li r2, -3
@@ -42,7 +42,22 @@ if(NOT swapped_run STREQUAL src_out)
   message(FATAL_ERROR "swap pass changed semantics: '${swapped_run}'")
 endif()
 
-run_checked(sim_out ${SIM} ${WORK}/smoke.s --scheme lut4 --swap hw)
+run_checked(static_out ${SWAP} ${WORK}/smoke.s --static -o ${WORK}/smoke_static.mo)
+run_checked(static_run ${RUN} ${WORK}/smoke_static.mo)
+if(NOT static_run STREQUAL src_out)
+  message(FATAL_ERROR "static swap pass changed semantics: '${static_run}'")
+endif()
+
+run_checked(lint_out ${LINT} ${WORK}/smoke.s --check-swaps)
+if(NOT lint_out MATCHES "0 active diagnostic")
+  message(FATAL_ERROR "mrisc-lint found problems in smoke.s: '${lint_out}'")
+endif()
+run_checked(lint_json ${LINT} ${WORK}/smoke.s --json)
+if(NOT lint_json MATCHES "\"total_active\": 0")
+  message(FATAL_ERROR "mrisc-lint JSON malformed: '${lint_json}'")
+endif()
+
+run_checked(sim_out ${SIM} ${WORK}/smoke.s --scheme lut4 --swap static)
 if(NOT sim_out MATCHES "IALU" OR NOT sim_out MATCHES "switched bits")
   message(FATAL_ERROR "mrisc-sim report malformed: '${sim_out}'")
 endif()

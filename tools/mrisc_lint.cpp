@@ -1,0 +1,194 @@
+// mrisc-lint: static diagnostics for mrisc assembly (docs/analysis.md).
+//
+//   mrisc-lint prog.s [more.s ...]        lint assembly files
+//   mrisc-lint prog.mo                    lint a linked object (no pragmas)
+//   mrisc-lint --suite                    lint all 15 workload kernels
+//
+// Options:
+//   --json              machine-readable report on stdout
+//   --check-swaps       also validate StaticSwapPass decisions (SWAP-ILLEGAL)
+//   --live-in r4,f2     registers guaranteed initialized at entry
+//   --show-suppressed   print pragma-acknowledged diagnostics too
+//
+// Exit status: 0 clean (only suppressed diagnostics, if any), 1 active
+// diagnostics found, 2 usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/cfg.h"
+#include "analyze/lint.h"
+#include "isa/assembler.h"
+#include "isa/object.h"
+#include "util/flags.h"
+#include "workloads/workload.h"
+#include "xform/static_swap.h"
+
+namespace {
+
+using namespace mrisc;
+
+struct FileReport {
+  std::string name;
+  analyze::LintReport lint;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Parse "r4,f2,..." into a live-in slot mask. Throws on bad names.
+std::uint64_t parse_live_in(const std::string& spec) {
+  std::uint64_t mask = 0;
+  std::istringstream in(spec);
+  std::string reg;
+  while (std::getline(in, reg, ',')) {
+    if (reg.size() < 2 || (reg[0] != 'r' && reg[0] != 'f'))
+      throw std::runtime_error("bad register name in --live-in: " + reg);
+    const int index = std::stoi(reg.substr(1));
+    if (index < 0 || index > 31)
+      throw std::runtime_error("bad register index in --live-in: " + reg);
+    mask |= std::uint64_t{1} << analyze::reg_slot(
+                static_cast<std::uint8_t>(index), reg[0] == 'f');
+  }
+  return mask;
+}
+
+void lint_one(const std::string& name, const isa::Program& program,
+              const std::string& source, const analyze::LintOptions& options,
+              bool check_swaps, std::vector<FileReport>& reports) {
+  FileReport report;
+  report.name = name;
+  report.lint = analyze::lint_program(program, source, options);
+  if (check_swaps) {
+    xform::SwapReport swap_report;
+    xform::static_swapped_copy(program, {}, &swap_report);
+    std::vector<analyze::ProposedSwap> proposed;
+    proposed.reserve(swap_report.decisions.size());
+    for (const auto& d : swap_report.decisions)
+      proposed.push_back({d.pc, d.opcode_flipped});
+    for (auto& d : analyze::check_swap_legality(program, proposed))
+      report.lint.diagnostics.push_back(std::move(d));
+  }
+  reports.push_back(std::move(report));
+}
+
+void print_text(const std::vector<FileReport>& reports,
+                bool show_suppressed) {
+  for (const FileReport& file : reports) {
+    for (const auto& d : file.lint.diagnostics) {
+      if (d.suppressed && !show_suppressed) continue;
+      std::string where = file.name;
+      if (d.line > 0) where += ":" + std::to_string(d.line);
+      std::printf("%s: %s: %s (pc %u%s%s)%s\n", where.c_str(), d.id.c_str(),
+                  d.message.c_str(), d.pc, d.label.empty() ? "" : ", after ",
+                  d.label.c_str(), d.suppressed ? " [suppressed]" : "");
+    }
+  }
+}
+
+void print_json(const std::vector<FileReport>& reports) {
+  std::printf("{\n  \"files\": [\n");
+  for (std::size_t f = 0; f < reports.size(); ++f) {
+    const FileReport& file = reports[f];
+    std::printf("    {\"name\": \"%s\", \"diagnostics\": [\n",
+                json_escape(file.name).c_str());
+    for (std::size_t i = 0; i < file.lint.diagnostics.size(); ++i) {
+      const auto& d = file.lint.diagnostics[i];
+      std::printf(
+          "      {\"id\": \"%s\", \"pc\": %u, \"line\": %d, "
+          "\"label\": \"%s\", \"suppressed\": %s, \"message\": \"%s\"}%s\n",
+          d.id.c_str(), d.pc, d.line, json_escape(d.label).c_str(),
+          d.suppressed ? "true" : "false", json_escape(d.message).c_str(),
+          i + 1 < file.lint.diagnostics.size() ? "," : "");
+    }
+    std::printf("    ], \"active\": %d}%s\n", file.lint.active_count(),
+                f + 1 < reports.size() ? "," : "");
+  }
+  int total = 0;
+  for (const FileReport& file : reports) total += file.lint.active_count();
+  std::printf("  ],\n  \"total_active\": %d\n}\n", total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"live-in"},
+                    {"suite", "json", "check-swaps", "show-suppressed"});
+  const auto& inputs = flags.positional();
+  if ((inputs.empty() && !flags.has("suite")) || !flags.unknown().empty()) {
+    std::fprintf(stderr,
+                 "usage: mrisc-lint <prog.s|prog.mo>... | --suite"
+                 " [--json] [--check-swaps] [--live-in r4,f2,...]"
+                 " [--show-suppressed]\n");
+    return 2;
+  }
+
+  try {
+    analyze::LintOptions options;
+    if (const auto spec = flags.get("live-in"))
+      options.live_in_mask = parse_live_in(*spec);
+    const bool check_swaps = flags.has("check-swaps");
+
+    std::vector<FileReport> reports;
+    for (const std::string& path : inputs) {
+      if (path.size() > 2 && path.substr(path.size() - 2) == ".s") {
+        std::ifstream in(path);
+        if (!in) throw std::runtime_error("cannot open " + path);
+        std::stringstream text;
+        text << in.rdbuf();
+        lint_one(path, isa::assemble(text.str(), path), text.str(), options,
+                 check_swaps, reports);
+      } else {
+        // Objects carry no source text, so pragmas cannot apply.
+        lint_one(path, isa::load_program_file(path), "", options,
+                 check_swaps, reports);
+      }
+    }
+    if (flags.has("suite")) {
+      for (const auto& workload : workloads::full_suite())
+        lint_one(workload.name, workload.assembled(), workload.source,
+                 options, check_swaps, reports);
+    }
+
+    if (flags.has("json"))
+      print_json(reports);
+    else
+      print_text(reports, flags.has("show-suppressed"));
+
+    int active = 0, suppressed = 0;
+    for (const FileReport& file : reports) {
+      active += file.lint.active_count();
+      suppressed += static_cast<int>(file.lint.diagnostics.size()) -
+                    file.lint.active_count();
+    }
+    if (!flags.has("json"))
+      std::printf("mrisc-lint: %zu file(s), %d active diagnostic(s), "
+                  "%d suppressed\n",
+                  reports.size(), active, suppressed);
+    return active > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -5,7 +5,7 @@
 //   mrisc-sim prog.s --scheme lut4 --swap hw --ialus 4
 //   mrisc-sim prog.s --config machine.ini --report all
 #include <cstdio>
-#include <inttypes.h>
+#include <cinttypes>
 #include <string>
 
 #include "driver/config_io.h"
@@ -25,7 +25,7 @@ int usage() {
       "usage: mrisc-sim <prog.s|prog.mo> [options]\n"
       "  --config F  INI machine/steer config (see docs/architecture.md)\n"
       "  --scheme    original|fullham|onebit|lut8|lut4|lut2   (default lut4)\n"
-      "  --swap      none|hw|hwcc|cc                          (default none)\n"
+      "  --swap      none|hw|hwcc|cc|static                   (default none)\n"
       "  --mult-swap none|infobit|popcount                    (default none)\n"
       "  --ialus N   --fpaus N   module counts                (default 4)\n"
       "  --in-order  issue in program order (VLIW-like)\n"

@@ -1,18 +1,22 @@
-// mrisc-swap: the profile-guided compiler operand-swapping pass (section
-// 4.4) as a standalone binary-rewriting tool.
+// mrisc-swap: the compiler operand-swapping pass (section 4.4) as a
+// standalone binary-rewriting tool. Profile-guided by default; --static
+// uses the sign-bit abstract interpretation instead of a profiling run
+// (see docs/analysis.md).
 //
 //   mrisc-swap prog.s -o prog_swapped.mo [--profile-steps N] [--verbose]
+//   mrisc-swap prog.s -o prog_swapped.mo --static
 #include <cstdio>
 #include <string>
 
 #include "isa/disasm.h"
 #include "isa/object.h"
 #include "util/flags.h"
+#include "xform/static_swap.h"
 #include "xform/swap_pass.h"
 
 int main(int argc, char** argv) {
   using namespace mrisc;
-  util::Flags flags(argc, argv, {"o", "profile-steps"}, {"verbose"});
+  util::Flags flags(argc, argv, {"o", "profile-steps"}, {"verbose", "static"});
   std::vector<std::string> inputs;
   std::string output;
   const auto& pos = flags.positional();
@@ -27,16 +31,20 @@ int main(int argc, char** argv) {
   if (inputs.size() != 1 || !flags.unknown().empty()) {
     std::fprintf(stderr,
                  "usage: mrisc-swap <prog.s|prog.mo> [-o out.mo]"
-                 " [--profile-steps N] [--verbose]\n");
+                 " [--profile-steps N] [--static] [--verbose]\n");
     return 2;
   }
 
   try {
     const isa::Program original = isa::load_program_file(inputs[0]);
     xform::SwapReport report;
-    const isa::Program rewritten = xform::swapped_copy(
-        original, xform::SwapPassConfig{}, &report,
-        static_cast<std::uint64_t>(flags.get_int("profile-steps", 50'000'000)));
+    const isa::Program rewritten =
+        flags.has("static")
+            ? xform::static_swapped_copy(original, {}, &report)
+            : xform::swapped_copy(original, xform::SwapPassConfig{}, &report,
+                                  static_cast<std::uint64_t>(
+                                      flags.get_int("profile-steps",
+                                                    50'000'000)));
 
     std::printf("%s\n", report.summary().c_str());
     if (flags.has("verbose")) {

@@ -108,6 +108,12 @@ int cmd_replay(const std::string& input, const util::Flags& flags) {
                                                                 : 4),
       hw ? steer::SwapConfig::hardware_for(isa::FuClass::kFpau)
          : steer::SwapConfig::none());
+  steer::PcHashSteering pchash(hw ? steer::SwapConfig::hardware_for(
+                                        isa::FuClass::kIalu)
+                                  : steer::SwapConfig::none());
+  steer::RoundRobinSteering roundrobin(hw ? steer::SwapConfig::hardware_for(
+                                                isa::FuClass::kIalu)
+                                          : steer::SwapConfig::none());
 
   sim::SteeringPolicy* ialu = &fcfs;
   sim::SteeringPolicy* fpau = &fcfs;
@@ -120,6 +126,8 @@ int cmd_replay(const std::string& input, const util::Flags& flags) {
       ialu = &lut_ialu;
       fpau = &lut_fpau;
       break;
+    case driver::Scheme::kPcHash: ialu = fpau = &pchash; break;
+    case driver::Scheme::kRoundRobin: ialu = fpau = &roundrobin; break;
     case driver::Scheme::kOriginal: break;
   }
   core.set_policy(isa::FuClass::kIalu, ialu);
