@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   const auto ints = workloads::integer_suite(config0);
   const auto fps = workloads::fp_suite(config0);
   driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  bench::ManifestScope manifest("bench_ablation", engine.jobs(), &engine);
 
   // --- A: module count sweep -------------------------------------------
   {

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace mrisc;
+  bench::ManifestScope manifest("bench_chip", 0);
   const auto suite = workloads::full_suite(bench::suite_config());
 
   driver::ExperimentConfig base;

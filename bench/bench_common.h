@@ -1,12 +1,19 @@
 // Shared helpers for the bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "driver/engine.h"
+#include "obs/manifest.h"
+#include "util/hash.h"
 #include "util/table.h"
 #include "workloads/workload.h"
 
@@ -40,6 +47,78 @@ inline workloads::SuiteConfig suite_config() {
   }
   return config;
 }
+
+/// Run-manifest support for bench binaries (docs/observability.md). One of
+/// these at the top of main() writes an mrisc-manifest/v1 JSON file when it
+/// goes out of scope, to $MRISC_MANIFEST (set by CI) or to a path supplied
+/// via set_path() (benches that parse a --manifest flag). Construct it
+/// AFTER the ExperimentEngine so the engine outlives the scope:
+///   driver::ExperimentEngine engine(jobs);
+///   bench::ManifestScope manifest("bench_fig4_ialu", jobs, &engine);
+///   manifest.note("scale", ...);
+class ManifestScope {
+ public:
+  ManifestScope(std::string tool, int jobs,
+                const driver::ExperimentEngine* engine = nullptr)
+      : tool_(std::move(tool)),
+        jobs_(jobs),
+        engine_(engine),
+        wall_start_(std::chrono::steady_clock::now()) {
+    if (const char* env = std::getenv("MRISC_MANIFEST")) path_ = env;
+  }
+
+  ManifestScope(const ManifestScope&) = delete;
+  ManifestScope& operator=(const ManifestScope&) = delete;
+
+  void set_path(std::string path) { path_ = std::move(path); }
+  /// Free-form extras (scheme names, suite scale, speedups, ...).
+  void note(const std::string& key, std::string value) {
+    extra_[key] = std::move(value);
+  }
+  void add_cell(std::string label, double wall_seconds, std::uint64_t units) {
+    cells_.emplace_back(std::move(label), wall_seconds, units);
+  }
+
+  ~ManifestScope() {
+    if (path_.empty()) return;
+    try {
+      obs::RunManifest manifest;
+      manifest.tool = tool_;
+      const char* label = std::getenv("MRISC_BENCH_LABEL");
+      manifest.label = label && *label ? label : tool_;
+      manifest.jobs = jobs_;
+      manifest.git_describe = obs::RunManifest::build_git_describe();
+      manifest.tidy_warning_count = obs::RunManifest::tidy_count_from_env();
+      manifest.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start_)
+              .count();
+      manifest.cpu_seconds = obs::process_cpu_seconds();
+      manifest.cells = std::move(cells_);
+      if (engine_) manifest.phases = engine_->profile();
+      manifest.metrics = obs::MetricsRegistry::global().snapshot();
+      std::string fingerprint = tool_;
+      for (const auto& [key, value] : extra_)
+        fingerprint.append("|").append(key).append("=").append(value);
+      manifest.config_hash = util::fnv1a_hex(fingerprint);
+      manifest.extra = std::move(extra_);
+      manifest.write(path_);
+      std::fprintf(stderr, "[manifest written to %s]\n", path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: cannot write manifest %s: %s\n",
+                   path_.c_str(), e.what());
+    }
+  }
+
+ private:
+  std::string tool_;
+  std::string path_;
+  int jobs_;
+  const driver::ExperimentEngine* engine_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::vector<obs::RunManifest::Cell> cells_;
+  std::map<std::string, std::string> extra_;
+};
 
 /// When MRISC_CSV names a directory, also write each rendered table there as
 /// `<name>.csv` (for plotting); otherwise a no-op.

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   const auto suite_b = workloads::integer_suite(config_b);
 
   driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  bench::ManifestScope manifest("bench_cross_input", engine.jobs(), &engine);
   driver::ExperimentPlan plan;
   plan.add_suite(suite_b);
 

@@ -4,12 +4,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "power/energy.h"
 #include "steer/policies.h"
 #include "util/table.h"
 
 int main() {
   using namespace mrisc;
+  bench::ManifestScope manifest("bench_fig1", 0);
   using sim::IssueSlot;
   using sim::ModuleAssignment;
 

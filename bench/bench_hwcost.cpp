@@ -4,12 +4,14 @@
 // levels for the 4-bit LUT).
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "hwcost/routing_cost.h"
 #include "stats/paper_ref.h"
 #include "util/table.h"
 
 int main() {
   using namespace mrisc;
+  bench::ManifestScope manifest("bench_hwcost", 0);
 
   util::AsciiTable table({"Vector", "RS entries", "LUT gates", "LUT levels",
                           "select gates", "total gates", "total levels",

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   // One 4-cell engine plan: every cell replays the same cached traces (no
   // compiler swapping anywhere, so one emulation per kernel total).
   driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  bench::ManifestScope manifest("bench_hybrid", engine.jobs(), &engine);
   driver::ExperimentPlan plan;
   plan.add_suite(ints);
   auto cell = [&](bool steer, bool guard) {

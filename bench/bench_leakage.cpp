@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   const auto suite = mrisc::workloads::integer_suite(bench::suite_config());
 
   driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  bench::ManifestScope manifest("bench_leakage", engine.jobs(), &engine);
   driver::ExperimentPlan plan;
   plan.add_suite(suite);
   for (const int sleep_after : {8, 32, 128}) {

@@ -9,6 +9,7 @@
 
 int main() {
   using namespace mrisc;
+  bench::ManifestScope manifest("bench_mult_swap", 0);
 
   const auto suite = workloads::full_suite(bench::suite_config());
 

@@ -30,6 +30,16 @@
 #include "sim/emulator.h"
 #include "sim/trace_buffer.h"
 
+#if !MRISC_OBS_TRACING
+// The compile-out contract this bench's numbers rely on: a build configured
+// with -DMRISC_OBS_TRACING=OFF must carry no tracer hooks in the timing
+// core's hot loop (not even the null-pointer tests). kTraceHooksCompiledIn
+// is the single source of truth (sim/ooo.h), so this fails the build if the
+// flag ever stops reaching the core.
+static_assert(!mrisc::sim::kTraceHooksCompiledIn,
+              "MRISC_OBS_TRACING=0 build must compile trace hooks out");
+#endif
+
 namespace {
 
 using namespace mrisc;
@@ -119,6 +129,7 @@ std::string json_escape(const std::string& s) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_replay.json";
   std::string baseline_path;
+  std::string manifest_path;
   std::string label = "current";
   std::string scheme_name = "lut4";
   int min_time_ms = 300;
@@ -137,14 +148,21 @@ int main(int argc, char** argv) {
       if (const char* v = next()) scheme_name = v;
     } else if (arg == "--min-time-ms") {
       if (const char* v = next()) min_time_ms = std::atoi(v);
-    } else if (arg != "--jobs") {  // accepted for uniformity, unused
+    } else if (arg == "--manifest") {
+      if (const char* v = next()) manifest_path = v;
+    } else if (arg == "--jobs") {
+      (void)next();  // accepted for uniformity with the other benches, unused
+    } else {
       std::fprintf(stderr,
                    "usage: bench_replay_throughput [--out FILE] "
                    "[--baseline FILE] [--label NAME] [--scheme S] "
-                   "[--min-time-ms N]\n");
+                   "[--min-time-ms N] [--manifest FILE]\n");
       return 2;
     }
   }
+
+  bench::ManifestScope manifest("bench_replay_throughput", 1);
+  if (!manifest_path.empty()) manifest.set_path(manifest_path);
 
   driver::ExperimentConfig config;
   config.swap = driver::SwapMode::kHardware;
@@ -223,6 +241,11 @@ int main(int argc, char** argv) {
   out << "  \"label\": \"" << json_escape(label) << "\",\n";
   out << "  \"scheme\": \"" << json_escape(scheme_name)
       << "\",\n  \"swap\": \"hardware\",\n";
+  // Whether this binary carries the obs tracing hooks (MRISC_OBS_TRACING):
+  // hooks-off numbers are the zero-instrumentation reference, hooks-on pays
+  // one never-taken branch per hook site.
+  out << "  \"trace_hooks\": " << (sim::kTraceHooksCompiledIn ? "true" : "false")
+      << ",\n";
   char buf[256];
   std::snprintf(buf, sizeof buf, "  \"scale\": %g,\n", suite_cfg.scale);
   out << buf;
@@ -263,5 +286,14 @@ int main(int argc, char** argv) {
   }
   out << "\n}\n";
   std::fprintf(stderr, "[json written to %s]\n", out_path.c_str());
+
+  manifest.note("scheme", scheme_name);
+  manifest.note("trace_hooks", sim::kTraceHooksCompiledIn ? "true" : "false");
+  manifest.note("out", out_path);
+  char agg_buf[64];
+  std::snprintf(agg_buf, sizeof agg_buf, "%.3f", agg_replays_per_sec);
+  manifest.note("replays_per_sec", agg_buf);
+  for (const WorkloadRate& r : rates)
+    manifest.add_cell(r.name, r.seconds, r.replays);
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const auto suite = workloads::full_suite(bench::suite_config());
 
   driver::ExperimentEngine engine(bench::parse_jobs(argc, argv));
+  bench::ManifestScope manifest("bench_static_swap", engine.jobs(), &engine);
   driver::ExperimentPlan plan;
   plan.add_suite(suite);
 

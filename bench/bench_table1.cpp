@@ -9,6 +9,7 @@
 
 int main() {
   using namespace mrisc;
+  bench::ManifestScope manifest("bench_table1", 0);
 
   const auto config = bench::suite_config();
   const auto suite = workloads::full_suite(config);

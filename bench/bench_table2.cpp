@@ -9,6 +9,7 @@
 
 int main() {
   using namespace mrisc;
+  bench::ManifestScope manifest("bench_table2", 0);
 
   const auto suite = workloads::full_suite(bench::suite_config());
   driver::ExperimentConfig experiment;

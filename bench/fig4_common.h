@@ -19,6 +19,10 @@ inline void run_figure4(const std::vector<workloads::Workload>& suite,
                         isa::FuClass cls, const char* title,
                         double paper_lut4_hw_swap, int jobs = 0) {
   driver::ExperimentEngine engine(jobs);
+  ManifestScope manifest(
+      cls == isa::FuClass::kIalu ? "bench_fig4_ialu" : "bench_fig4_fpau",
+      engine.jobs(), &engine);
+  manifest.note("title", title);
 
   // Baseline run doubles as the profiling pass: the steering LUTs are built
   // from the suite's own Table 1/2 statistics, exactly as the authors built

@@ -1,11 +1,12 @@
 #include "driver/engine.h"
 
-#include <cstdio>
+#include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "sim/emulator.h"
+#include "util/hash.h"
 #include "xform/static_swap.h"
 #include "xform/swap_pass.h"
 
@@ -20,18 +21,6 @@ bool needs_compiler_swap(const ExperimentConfig& config) {
 
 bool needs_static_swap(const ExperimentConfig& config) {
   return config.swap == SwapMode::kStaticOnly;
-}
-
-std::string fnv1a_hex(const std::string& text) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : text) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
 }
 
 }  // namespace
@@ -72,7 +61,8 @@ void ExperimentEngine::clear_cache() {
 
 ExperimentEngine::TracePtr ExperimentEngine::trace_for(
     const ExperimentPlan& plan, std::size_t cell_index, std::size_t unit_index,
-    std::uint64_t plan_nonce) {
+    std::uint64_t plan_nonce, obs::MetricsShard& shard,
+    obs::PhaseProfile& profile) {
   const ExperimentUnit& unit = plan.units[unit_index];
   const ExperimentCell& cell = plan.cells[cell_index];
 
@@ -81,7 +71,7 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
   // salts never collide; bare programs are keyed per plan and unit.
   std::string key =
       unit.workload
-          ? unit.name + "#" + fnv1a_hex(unit.workload->source)
+          ? unit.name + "#" + util::fnv1a_hex(unit.workload->source)
           : unit.name + "#prog" + std::to_string(plan_nonce) + "." +
                 std::to_string(unit_index);
   if (cell.prepare) {
@@ -99,13 +89,17 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
     if (it != cache_.end()) {
       auto future = it->second;
       lock.unlock();
+      shard.counter("engine.trace_cache.hits").inc();
       return future.get();  // rethrows the recorder's exception, if any
     }
     cache_.emplace(key, promise.get_future().share());
   }
+  shard.counter("engine.trace_cache.misses").inc();
 
   try {
     emulations_.fetch_add(1);
+    shard.counter("engine.emulations").inc();
+    obs::ScopedTimer timer(profile, "emulate");
     isa::Program program = cell.prepare ? cell.prepare(unit, unit_index)
                            : unit.workload ? unit.workload->assembled()
                                            : *unit.program;
@@ -118,6 +112,9 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
     auto buffer = std::make_shared<sim::TraceBuffer>();
     sim::EmulatorTraceSource source(emu);
     buffer->record_all(source);
+    shard.counter("engine.trace_cache.records").inc(buffer->size());
+    shard.counter("engine.trace_cache.bytes")
+        .inc(buffer->size() * sizeof(sim::TraceRecord));
 
     // The reference model is checked once, at record time - every replay of
     // this trace would have produced the same OUT channel.
@@ -138,8 +135,11 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
 
   // Assemble up front, serially: deterministic, and worker threads then
   // never contend on a workload's first assembly.
-  for (const auto& unit : plan.units)
-    if (unit.workload) (void)unit.workload->assembled();
+  {
+    obs::ScopedTimer timer(profile_, "assemble");
+    for (const auto& unit : plan.units)
+      if (unit.workload) (void)unit.workload->assembled();
+  }
 
   std::vector<CellResult> results(plan.cells.size());
   for (std::size_t c = 0; c < plan.cells.size(); ++c) {
@@ -157,18 +157,32 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
   std::vector<Task> tasks;
   for (std::size_t c = 0; c < plan.cells.size(); ++c) {
     if (plan.cells[c].collect_stats) {
-      tasks.push_back({c, -1});
+      tasks.emplace_back(c, std::ptrdiff_t{-1});
     } else {
       for (std::size_t u = 0; u < plan.units.size(); ++u)
-        tasks.push_back({c, static_cast<std::ptrdiff_t>(u)});
+        tasks.emplace_back(c, static_cast<std::ptrdiff_t>(u));
     }
   }
 
+  int workers = jobs_ > 0
+                    ? jobs_
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > tasks.size())
+    workers = static_cast<int>(tasks.size());
+
+  // Per-worker telemetry: each worker writes only its own shard/profile on
+  // the hot path (no locks); all are merged below. Merge operations are
+  // commutative, so the published metrics are the same for any jobs count.
+  std::vector<obs::MetricsShard> shards(static_cast<std::size_t>(workers));
+  std::vector<obs::PhaseProfile> profiles(static_cast<std::size_t>(workers));
+
   auto run_unit = [&](std::size_t c, std::size_t u,
                       stats::BitPatternCollector* patterns,
-                      stats::OccupancyAggregator* occupancy) {
+                      stats::OccupancyAggregator* occupancy,
+                      obs::MetricsShard& shard, obs::PhaseProfile& profile) {
     const ExperimentCell& cell = plan.cells[c];
-    const TracePtr trace = trace_for(plan, c, u, nonce);
+    const TracePtr trace = trace_for(plan, c, u, nonce, shard, profile);
     sim::MemoryTraceSource source(*trace);
 
     std::unique_ptr<sim::IssueListener> extra;
@@ -178,6 +192,8 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
       extra_ptr = extra.get();
     }
     replays_.fetch_add(1);
+    shard.counter("engine.replays").inc();
+    obs::ScopedTimer timer(profile, "replay");
     results[c].per_unit[u] = replay_trace(
         source, plan.units[u].name, cell.config, patterns, occupancy,
         extra_ptr ? std::span<sim::IssueListener* const>(&extra_ptr, 1)
@@ -185,55 +201,76 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
     if (extra) results[c].listeners[u] = std::move(extra);
   };
 
-  auto run_task = [&](const Task& task) {
+  auto run_task = [&](const Task& task, obs::MetricsShard& shard,
+                      obs::PhaseProfile& profile) {
     if (task.unit < 0) {
       for (std::size_t u = 0; u < plan.units.size(); ++u)
         run_unit(task.cell, u, &results[task.cell].patterns,
-                 &results[task.cell].occupancy);
+                 &results[task.cell].occupancy, shard, profile);
     } else {
       run_unit(task.cell, static_cast<std::size_t>(task.unit), nullptr,
-               nullptr);
+               nullptr, shard, profile);
     }
   };
 
-  int workers = jobs_ > 0
-                    ? jobs_
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  if (workers < 1) workers = 1;
-  if (static_cast<std::size_t>(workers) > tasks.size())
-    workers = static_cast<int>(tasks.size());
-
   std::vector<std::exception_ptr> errors(tasks.size());
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](int w) {
+    const auto wu = static_cast<std::size_t>(w);
+    const auto busy_start = std::chrono::steady_clock::now();
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= tasks.size()) break;
+      shards[wu].counter("engine.tasks").inc();
       try {
-        run_task(tasks[i]);
+        run_task(tasks[i], shards[wu], profiles[wu]);
       } catch (...) {
         errors[i] = std::current_exception();
       }
     }
+    // Worker lifetime, for pool-utilization reporting (busy / (jobs x
+    // longest-worker)); micros keep the counter integral.
+    const auto lifetime = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - busy_start);
+    shards[wu].counter("engine.worker.busy_micros")
+        .inc(static_cast<std::uint64_t>(lifetime.count()));
   };
 
   if (workers <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
-    for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (int i = 0; i < workers; ++i) pool.emplace_back(worker, i);
     for (auto& thread : pool) thread.join();
   }
   for (const auto& error : errors)
     if (error) std::rethrow_exception(error);
 
   // Aggregate in unit order - deterministic regardless of completion order.
-  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
-    results[c].total.workload = "suite";
-    for (const auto& unit_result : results[c].per_unit)
-      results[c].total.accumulate(unit_result);
+  {
+    obs::ScopedTimer timer(profile_, "aggregate");
+    for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+      results[c].total.workload = "suite";
+      for (const auto& unit_result : results[c].per_unit)
+        results[c].total.accumulate(unit_result);
+    }
   }
+
+  // Publish this run's telemetry: fold the worker shards/profiles into one
+  // per-run shard, then into both the engine's accumulated view and the
+  // process-global registry (merging the accumulated view would re-count
+  // earlier runs).
+  obs::MetricsShard run_total;
+  run_total.gauge("engine.jobs").to_max(workers);
+  run_total.counter("engine.runs").inc();
+  for (int w = 0; w < workers; ++w) {
+    const auto wu = static_cast<std::size_t>(w);
+    profile_.merge(profiles[wu]);
+    run_total.merge(shards[wu]);
+  }
+  metrics_.merge(run_total);
+  obs::MetricsRegistry::global().merge(run_total);
   return results;
 }
 

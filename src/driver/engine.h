@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/trace_buffer.h"
 
 namespace mrisc::driver {
@@ -109,13 +111,28 @@ class ExperimentEngine {
   /// Drop all cached traces (e.g. between unrelated suites).
   void clear_cache();
 
+  /// Self-profiling accumulated across run() calls: assemble / emulate /
+  /// replay / aggregate phase timings, merged from the per-worker profiles
+  /// after each run (workers time their own phases lock free).
+  [[nodiscard]] const obs::PhaseProfile& profile() const noexcept {
+    return profile_;
+  }
+  /// Engine telemetry (engine.* counters/gauges: tasks, trace-cache
+  /// hits/misses/bytes, worker busy time) accumulated across run() calls.
+  /// Each run also merges this telemetry into MetricsRegistry::global().
+  [[nodiscard]] const obs::MetricsShard& metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   using TracePtr = std::shared_ptr<const sim::TraceBuffer>;
 
   /// Get-or-record the trace for (cell, unit). Concurrent requests for the
-  /// same key block on one shared emulation.
+  /// same key block on one shared emulation. Cache telemetry and emulation
+  /// timing land in the calling worker's shard/profile.
   TracePtr trace_for(const ExperimentPlan& plan, std::size_t cell_index,
-                     std::size_t unit_index, std::uint64_t plan_nonce);
+                     std::size_t unit_index, std::uint64_t plan_nonce,
+                     obs::MetricsShard& shard, obs::PhaseProfile& profile);
 
   int jobs_;
   std::mutex cache_mu_;
@@ -123,6 +140,8 @@ class ExperimentEngine {
   std::atomic<std::uint64_t> emulations_{0};
   std::atomic<std::uint64_t> replays_{0};
   std::uint64_t plan_nonce_ = 0;  ///< distinguishes bare-program units
+  obs::PhaseProfile profile_;     ///< merged after each run()
+  obs::MetricsShard metrics_;     ///< merged after each run()
 };
 
 }  // namespace mrisc::driver

@@ -1,8 +1,13 @@
 #include "driver/experiment.h"
 
+#include <cctype>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/pipeline_tracer.h"
+#include "obs/steering_probe.h"
 #include "sim/emulator.h"
 #include "stats/paper_ref.h"
 #include "steer/policies.h"
@@ -77,6 +82,13 @@ void RunResult::accumulate(const RunResult& other) {
 
 namespace {
 
+/// Metric-name slug for a FU class ("ialu", "fpau", ...).
+std::string lower_class_name(isa::FuClass cls) {
+  std::string name = isa::to_string(cls);
+  for (char& ch : name) ch = static_cast<char>(std::tolower(ch));
+  return name;
+}
+
 /// Build the steering policy for one adder class under the configuration.
 std::unique_ptr<sim::SteeringPolicy> make_policy(
     const ExperimentConfig& config, isa::FuClass cls) {
@@ -122,6 +134,38 @@ std::unique_ptr<sim::SteeringPolicy> make_policy(
   throw std::logic_error("unknown scheme");
 }
 
+/// Publish a finished run's pipeline statistics into a metrics shard:
+/// sim.* counters plus one sim.occupancy.<class> histogram per FU class
+/// (bucket k = cycles in which exactly k instructions of that class issued,
+/// i.e. the Table 2 rows).
+void export_pipeline_metrics(obs::MetricsShard& shard,
+                             const sim::PipelineStats& stats) {
+  shard.counter("sim.cycles").inc(stats.cycles);
+  shard.counter("sim.committed").inc(stats.committed);
+  shard.counter("sim.cache.hits").inc(stats.cache_hits);
+  shard.counter("sim.cache.misses").inc(stats.cache_misses);
+  shard.counter("sim.branches").inc(stats.branches);
+  shard.counter("sim.mispredictions").inc(stats.mispredictions);
+
+  static constexpr std::array<double, sim::kMaxModules + 1> kOccEdges = [] {
+    std::array<double, sim::kMaxModules + 1> edges{};
+    for (std::size_t k = 0; k <= sim::kMaxModules; ++k)
+      edges[k] = static_cast<double>(k);
+    return edges;
+  }();
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cls = static_cast<isa::FuClass>(c);
+    if (stats.issued[c] == 0) continue;
+    shard.counter(std::string("sim.issued.") + lower_class_name(cls))
+        .inc(stats.issued[c]);
+    auto& hist = shard.histogram(
+        std::string("sim.occupancy.") + lower_class_name(cls), kOccEdges);
+    for (std::size_t k = 0; k <= sim::kMaxModules; ++k)
+      if (stats.occupancy[c][k])
+        hist.observe(static_cast<double>(k), stats.occupancy[c][k]);
+  }
+}
+
 /// The shared core of every experiment path: drive `source` through the
 /// timing core under `config` with freshly constructed per-run policies and
 /// accountant (no state leaks between runs). Both the live-emulation path
@@ -131,7 +175,8 @@ RunResult run_core(sim::TraceSource& source, const std::string& name,
                    const ExperimentConfig& config,
                    stats::BitPatternCollector* patterns,
                    stats::OccupancyAggregator* occupancy,
-                   std::span<sim::IssueListener* const> extra_listeners) {
+                   std::span<sim::IssueListener* const> extra_listeners,
+                   const Observability& obs) {
   sim::OooCore core(config.machine, source);
 
   auto ialu_policy = make_policy(config, isa::FuClass::kIalu);
@@ -148,9 +193,17 @@ RunResult run_core(sim::TraceSource& source, const std::string& name,
   for (sim::IssueListener* listener : extra_listeners)
     if (listener) core.add_listener(listener);
 
+  std::optional<obs::SteeringProbe> probe;
+  if (obs.metrics) {
+    probe.emplace(*obs.metrics);
+    core.add_listener(&*probe);
+  }
+  if (obs.tracer) core.set_tracer(obs.tracer);
+
   core.run();
 
   if (occupancy) occupancy->add(core.stats());
+  if (obs.metrics) export_pipeline_metrics(*obs.metrics, core.stats());
 
   RunResult result;
   result.workload = name;
@@ -172,7 +225,8 @@ RunResult run_program(const isa::Program& program, const std::string& name,
                       const ExperimentConfig& config,
                       stats::BitPatternCollector* patterns,
                       stats::OccupancyAggregator* occupancy,
-                      std::vector<sim::Emulator::Output>* output) {
+                      std::vector<sim::Emulator::Output>* output,
+                      const Observability& obs) {
   isa::Program prepared = program;
   if (config.swap == SwapMode::kHardwareCompiler ||
       config.swap == SwapMode::kCompilerOnly) {
@@ -183,7 +237,8 @@ RunResult run_program(const isa::Program& program, const std::string& name,
 
   sim::Emulator emu(std::move(prepared));
   sim::EmulatorTraceSource source(emu);
-  RunResult result = run_core(source, name, config, patterns, occupancy, {});
+  RunResult result =
+      run_core(source, name, config, patterns, occupancy, {}, obs);
   if (output) *output = emu.output();
   return result;
 }
@@ -192,8 +247,10 @@ RunResult replay_trace(sim::TraceSource& source, const std::string& name,
                        const ExperimentConfig& config,
                        stats::BitPatternCollector* patterns,
                        stats::OccupancyAggregator* occupancy,
-                       std::span<sim::IssueListener* const> extra_listeners) {
-  return run_core(source, name, config, patterns, occupancy, extra_listeners);
+                       std::span<sim::IssueListener* const> extra_listeners,
+                       const Observability& obs) {
+  return run_core(source, name, config, patterns, occupancy, extra_listeners,
+                  obs);
 }
 
 void verify_outputs(const workloads::Workload& workload,

@@ -18,7 +18,26 @@
 #include "steer/mult_swap.h"
 #include "workloads/workload.h"
 
+namespace mrisc::obs {
+class MetricsShard;
+class PipelineTracer;
+}
+
 namespace mrisc::driver {
+
+/// Optional observability attachments for a single run (src/obs). Both are
+/// borrowed; pass nullptr members (or no struct at all) for a plain run -
+/// the timing core then pays nothing beyond a null-pointer test per hook.
+struct Observability {
+  /// When set, receives the run's sim.* counters and per-class occupancy
+  /// histograms after the core drains, and a SteeringProbe is attached for
+  /// live steer.* telemetry. Merge the shard into a MetricsRegistry to
+  /// publish it.
+  obs::MetricsShard* metrics = nullptr;
+  /// When set, records pipeline event spans (requires a build with
+  /// MRISC_OBS_TRACING=1, the default; silently idle otherwise).
+  obs::PipelineTracer* tracer = nullptr;
+};
 
 /// The steering schemes of Figure 4, in the paper's bar order.
 enum class Scheme {
@@ -115,7 +134,8 @@ RunResult replay_trace(sim::TraceSource& source, const std::string& name,
                        const ExperimentConfig& config,
                        stats::BitPatternCollector* patterns = nullptr,
                        stats::OccupancyAggregator* occupancy = nullptr,
-                       std::span<sim::IssueListener* const> extra_listeners = {});
+                       std::span<sim::IssueListener* const> extra_listeners = {},
+                       const Observability& obs = {});
 
 /// Check a finished emulation's OUT/OUTF channel against the workload's
 /// reference model; throws std::logic_error on any mismatch.
@@ -130,7 +150,8 @@ RunResult run_program(const isa::Program& program, const std::string& name,
                       const ExperimentConfig& config,
                       stats::BitPatternCollector* patterns = nullptr,
                       stats::OccupancyAggregator* occupancy = nullptr,
-                      std::vector<sim::Emulator::Output>* output = nullptr);
+                      std::vector<sim::Emulator::Output>* output = nullptr,
+                      const Observability& obs = {});
 
 /// Run a whole suite; returns the summed result (workload name "suite").
 RunResult run_suite(std::span<const workloads::Workload> suite,

@@ -1,0 +1,90 @@
+#include "obs/manifest.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+#ifndef MRISC_GIT_DESCRIBE
+#define MRISC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mrisc::obs {
+
+std::string RunManifest::build_git_describe() {
+  if (const char* env = std::getenv("MRISC_GIT_DESCRIBE"))
+    if (*env) return env;
+  return MRISC_GIT_DESCRIBE;
+}
+
+int RunManifest::tidy_count_from_env() {
+  const char* env = std::getenv("MRISC_TIDY_COUNT");
+  if (!env || !*env) return -1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 0) return -1;
+  return static_cast<int>(v);
+}
+
+std::string RunManifest::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("tool");
+  w.value(tool);
+  w.key("label");
+  w.value(label);
+  w.key("config_hash");
+  w.value(config_hash);
+  w.key("git_describe");
+  w.value(git_describe);
+  w.key("jobs");
+  w.value(jobs);
+  w.key("wall_seconds");
+  w.value(wall_seconds);
+  w.key("cpu_seconds");
+  w.value(cpu_seconds);
+  if (tidy_warning_count >= 0) {
+    w.key("tidy_warning_count");
+    w.value(tidy_warning_count);
+  }
+  w.key("cells");
+  w.begin_array();
+  for (const Cell& cell : cells) {
+    w.begin_object();
+    w.key("label");
+    w.value(cell.label);
+    w.key("wall_seconds");
+    w.value(cell.wall_seconds);
+    w.key("units");
+    w.value(cell.units);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("phases");
+  phases.write_json(w);
+  w.key("metrics");
+  metrics.write_json(w);
+  w.key("extra");
+  w.begin_object();
+  for (const auto& [k, v] : extra) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+void RunManifest::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write manifest to " + path);
+  const std::string text = to_json();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.put('\n');
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace mrisc::obs

@@ -1,0 +1,57 @@
+// Machine-readable run manifest (schema mrisc-manifest/v1): what ran, on
+// what code, how long each piece took, and the full metrics snapshot.
+// Written by mrisc-sim --manifest and by every bench binary (either a
+// --manifest flag or the MRISC_MANIFEST environment variable); consumed by
+// tools/mrisc-stats for summaries and cross-run deltas, and uploaded as a
+// CI artifact. See docs/observability.md for the field reference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace mrisc::obs {
+
+struct RunManifest {
+  static constexpr const char* kSchema = "mrisc-manifest/v1";
+
+  std::string tool;         ///< binary name, e.g. "mrisc-sim"
+  std::string label;        ///< free-form run label
+  std::string config_hash;  ///< fnv1a of the configuration description
+  std::string git_describe; ///< build provenance (see build_git_describe)
+  int jobs = 0;             ///< engine worker threads (0 = hardware)
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;  ///< process CPU, all threads
+  /// clang-tidy warning count for the tree that produced this run, when the
+  /// environment provides it (MRISC_TIDY_COUNT, set by CI); -1 = unknown.
+  int tidy_warning_count = -1;
+
+  /// One entry per experiment cell (grid configuration) that ran.
+  struct Cell {
+    std::string label;
+    double wall_seconds = 0.0;
+    std::uint64_t units = 0;  ///< workloads/programs replayed in this cell
+  };
+  std::vector<Cell> cells;
+
+  PhaseProfile phases;
+  MetricsSnapshot metrics;
+  /// Free-form extras (suite scale, scheme names, ...).
+  std::map<std::string, std::string> extra;
+
+  /// Provenance string: $MRISC_GIT_DESCRIBE when set, otherwise the value
+  /// baked in at configure time, otherwise "unknown".
+  [[nodiscard]] static std::string build_git_describe();
+  /// $MRISC_TIDY_COUNT as an int, or -1 when unset/invalid.
+  [[nodiscard]] static int tidy_count_from_env();
+
+  [[nodiscard]] std::string to_json() const;
+  /// Write to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+};
+
+}  // namespace mrisc::obs

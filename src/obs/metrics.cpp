@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace mrisc::obs {
+
+Histogram::Histogram(std::span<const double> upper_edges)
+    : edges_(upper_edges.begin(), upper_edges.end()),
+      counts_(upper_edges.size() + 1, 0) {
+  if (!std::is_sorted(edges_.begin(), edges_.end()))
+    throw std::invalid_argument("histogram edges must be ascending");
+}
+
+void Histogram::observe(double v, std::uint64_t weight) noexcept {
+  // First bucket whose inclusive upper edge admits v; last = overflow.
+  std::size_t i = 0;
+  while (i < edges_.size() && v > edges_[i]) ++i;
+  counts_[i] += weight;
+  total_ += weight;
+  sum_ += v * static_cast<double>(weight);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (edges_ != other.edges_)
+    throw std::invalid_argument("merging histograms with different buckets");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+Counter& MetricsShard::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsShard::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsShard::histogram(std::string_view name,
+                                   std::span<const double> upper_edges) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(upper_edges))
+      .first->second;
+}
+
+void MetricsShard::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsShard::merge(const MetricsShard& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).value += c.value;
+  for (const auto& [name, g] : other.gauges_) gauge(name).to_max(g.value);
+  for (const auto& [name, h] : other.histograms_)
+    histogram(name, h.edges()).merge(h);
+}
+
+void MetricsSnapshot::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("edges");
+    w.begin_array();
+    for (const double e : h.edges) w.value(e);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.key("sum");
+    w.value(h.sum);
+    w.key("total");
+    w.value(h.total);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::merge(const MetricsShard& shard) {
+  if (shard.empty()) return;
+  std::scoped_lock lock(mu_);
+  merged_.merge(shard);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : merged_.counters())
+    snap.counters.emplace(name, c.value);
+  for (const auto& [name, g] : merged_.gauges())
+    snap.gauges.emplace(name, g.value);
+  for (const auto& [name, h] : merged_.histograms()) {
+    MetricsSnapshot::Hist out;
+    out.edges.assign(h.edges().begin(), h.edges().end());
+    out.counts.assign(h.counts().begin(), h.counts().end());
+    out.sum = h.sum();
+    out.total = h.total();
+    snap.histograms.emplace(name, std::move(out));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mu_);
+  merged_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace mrisc::obs

@@ -1,0 +1,156 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms with
+// thread-sharded collection.
+//
+// Hot paths never touch a lock: each engine worker thread owns a private
+// MetricsShard and bumps plain integers through stable references obtained
+// once (std::map nodes never move). When a unit of work completes, the
+// shard is merged into the process-wide MetricsRegistry under its mutex.
+// All merge operations are commutative (counters and histogram buckets
+// add, gauges take the maximum), so the merged snapshot is deterministic
+// for any worker count and completion order - the property
+// tests/test_obs.cpp locks in for `--jobs N` vs serial runs.
+//
+// Naming convention (docs/observability.md): lower-case dotted paths,
+// `<subsystem>.<noun>[.<detail>]`, e.g. `sim.cycles`,
+// `steer.ialu.swapped`, `engine.trace_cache.hits`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrisc::util {
+class JsonWriter;
+}
+
+namespace mrisc::obs {
+
+/// Monotonic event count. Merge: addition.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) noexcept { value += n; }
+};
+
+/// Last-known level (queue depth, utilization, warning count).
+/// Merge: maximum - the only order-independent choice for sharded last
+/// values; use counters for anything that must aggregate exactly.
+struct Gauge {
+  double value = 0.0;
+  void set(double v) noexcept { value = v; }
+  void to_max(double v) noexcept {
+    if (v > value) value = v;
+  }
+};
+
+/// Fixed-bucket histogram. `upper_edges` are inclusive upper bounds in
+/// ascending order; an observation lands in the first bucket whose edge is
+/// >= the value, or in the implicit overflow bucket past the last edge.
+/// Merge: per-bucket addition (edges must match).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_edges);
+
+  void observe(double v, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::span<const double> edges() const noexcept {
+    return edges_;
+  }
+  /// counts().size() == edges().size() + 1; the last entry is overflow.
+  [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Throws std::invalid_argument when bucket edges differ.
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  double sum_ = 0.0;
+  std::uint64_t total_ = 0;
+};
+
+/// One thread's private metric slice. NOT thread safe; lock free by
+/// construction. References returned by counter()/gauge()/histogram() stay
+/// valid for the shard's lifetime (map nodes are stable), so hot loops
+/// resolve the name once and increment through the reference.
+class MetricsShard {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Creates the histogram on first use; later calls ignore `upper_edges`
+  /// (the first registration wins) and return the existing histogram.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_edges);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Fold `other` into this shard (same semantics as registry merging).
+  void merge(const MetricsShard& other);
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Point-in-time copy of merged metrics, ordered by name. This is what
+/// lands in run manifests.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<double> edges;
+    std::vector<std::uint64_t> counts;
+    double sum = 0.0;
+    std::uint64_t total = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Serialize as one JSON object ({"counters":{...},...}).
+  void write_json(util::JsonWriter& w) const;
+};
+
+/// Process-wide merge point. All methods are thread safe.
+class MetricsRegistry {
+ public:
+  void merge(const MetricsShard& shard);
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Drop everything (tests; between unrelated experiment batches).
+  void reset();
+
+  /// The process-global registry every subsystem reports into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  MetricsShard merged_;
+};
+
+}  // namespace mrisc::obs

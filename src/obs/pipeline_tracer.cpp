@@ -1,0 +1,124 @@
+#include "obs/pipeline_tracer.h"
+
+#include <string>
+
+#include "util/bitops.h"
+
+namespace mrisc::obs {
+
+namespace {
+
+/// The paper's information bit (steer/info_bit.h): integer sign bit, or
+/// the OR of the FP mantissa's low four bits. Recomputed here from the raw
+/// operand value so the tracer shows exactly what the steering logic saw.
+bool information_bit(std::uint64_t value, bool fp) noexcept {
+  return fp ? util::fp_low4_or(value)
+            : util::int_sign_bit(static_cast<std::uint32_t>(value));
+}
+
+}  // namespace
+
+PipelineTracer::PipelineTracer(
+    EventTracer& sink, int rob_size,
+    const std::array<int, isa::kNumFuClasses>& modules)
+    : sink_(sink), slots_(static_cast<std::size_t>(rob_size)) {
+  sink_.set_track(kCounterTid, "rob", 0);
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cls = static_cast<isa::FuClass>(c);
+    for (int m = 0; m < modules[static_cast<std::size_t>(c)]; ++m) {
+      sink_.set_track(fu_tid(cls, m),
+                      std::string(isa::to_string(cls)) + " m" +
+                          std::to_string(m),
+                      static_cast<int>(fu_tid(cls, m)));
+    }
+  }
+  for (int slot = 0; slot < rob_size; ++slot) {
+    sink_.set_track(rob_tid(slot), "rob slot " + std::to_string(slot),
+                    static_cast<int>(rob_tid(slot)));
+  }
+}
+
+void PipelineTracer::on_dispatch(int slot, std::uint64_t seq,
+                                 std::uint64_t cycle, isa::Opcode op,
+                                 std::uint32_t pc) {
+  SlotState& s = slots_[static_cast<std::size_t>(slot)];
+  s.seq = seq;
+  s.dispatch_cycle = cycle;
+  s.issue_cycle = 0;
+  s.writeback_cycle = 0;
+  s.op = op;
+  s.pc = pc;
+  s.sampled = sink_.sample(seq);
+}
+
+void PipelineTracer::on_issue(int slot, std::uint64_t cycle, isa::FuClass cls,
+                              int module, bool swapped, int latency_cycles,
+                              std::uint64_t op1, std::uint64_t op2,
+                              bool has_op2, bool fp_operands) {
+  SlotState& s = slots_[static_cast<std::size_t>(slot)];
+  s.issue_cycle = cycle;
+  if (!s.sampled) return;
+
+  // Execution span on the FU-module lane.
+  TraceEvent exec;
+  exec.name = isa::op_info(s.op).mnemonic;
+  exec.cat = "exec";
+  exec.phase = 'X';
+  exec.tid = fu_tid(cls, module);
+  exec.ts = cycle;
+  exec.dur = static_cast<std::uint64_t>(latency_cycles);
+  exec.add_arg("pc", std::uint64_t{s.pc});
+  exec.add_arg("seq", s.seq);
+  sink_.emit(exec);
+
+  // Steering decision: instant event with the chosen module and the
+  // information bits the paper's schemes key on.
+  TraceEvent steer;
+  steer.name = "steer";
+  steer.cat = "steer";
+  steer.phase = 'i';
+  steer.tid = fu_tid(cls, module);
+  steer.ts = cycle;
+  steer.add_arg("module", static_cast<std::uint64_t>(module));
+  steer.add_arg("ib1", std::uint64_t{information_bit(op1, fp_operands)});
+  steer.add_arg("ib2", std::uint64_t{
+                           has_op2 && information_bit(op2, fp_operands)});
+  steer.add_arg("swapped", std::uint64_t{swapped});
+  steer.add_arg("pc", std::uint64_t{s.pc});
+  sink_.emit(steer);
+}
+
+void PipelineTracer::on_writeback(int slot, std::uint64_t cycle) {
+  slots_[static_cast<std::size_t>(slot)].writeback_cycle = cycle;
+}
+
+void PipelineTracer::on_commit(int slot, std::uint64_t cycle) {
+  const SlotState& s = slots_[static_cast<std::size_t>(slot)];
+  if (!s.sampled) return;
+  TraceEvent span;
+  span.name = isa::op_info(s.op).mnemonic;
+  span.cat = "rob";
+  span.phase = 'X';
+  span.tid = rob_tid(slot);
+  span.ts = s.dispatch_cycle;
+  span.dur = cycle >= s.dispatch_cycle ? cycle - s.dispatch_cycle : 0;
+  span.add_arg("pc", std::uint64_t{s.pc});
+  span.add_arg("issue", s.issue_cycle);
+  span.add_arg("writeback", s.writeback_cycle);
+  span.add_arg("commit", cycle);
+  sink_.emit(span);
+}
+
+void PipelineTracer::on_cycle(std::uint64_t cycle, int rob_count) {
+  if (!sink_.sample(cycle)) return;
+  TraceEvent counter;
+  counter.name = "rob occupancy";
+  counter.cat = "sim";
+  counter.phase = 'C';
+  counter.tid = kCounterTid;
+  counter.ts = cycle;
+  counter.add_arg("entries", static_cast<std::uint64_t>(rob_count));
+  sink_.emit(counter);
+}
+
+}  // namespace mrisc::obs

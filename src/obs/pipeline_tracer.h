@@ -1,0 +1,75 @@
+// Pipeline event tracer: turns the timing core's hook points into Chrome
+// trace_event records (obs/trace_events.h).
+//
+// Track (tid) layout, one simulated process (pid 1):
+//   100 + cls*kMaxModules + m   FU-module occupancy: one lane per module,
+//                               an 'X' span per executed instruction plus a
+//                               "steer" instant event per steering decision
+//                               carrying the chosen module and the
+//                               information bits of both operands.
+//   400 + rob_slot              ROB-entry lifecycle: an 'X' span from
+//                               dispatch to commit, with the issue and
+//                               writeback cycles in args.
+//   90                          "rob occupancy" counter track ('C').
+//
+// The tracer is attached to one OooCore via set_tracer() and must outlive
+// the run. Hook calls compile away entirely when MRISC_OBS_TRACING is 0
+// (see sim/ooo.h); with hooks compiled in but no tracer attached the only
+// cost is a null-pointer test per event site.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+#include "obs/trace_events.h"
+
+namespace mrisc::obs {
+
+inline constexpr int kMaxModulesPerClass = 8;  ///< mirrors sim::kMaxModules
+
+class PipelineTracer {
+ public:
+  /// `rob_size` and `modules` describe the machine being traced; the
+  /// constructor emits the track metadata for every FU module lane.
+  PipelineTracer(EventTracer& sink, int rob_size,
+                 const std::array<int, isa::kNumFuClasses>& modules);
+
+  void on_dispatch(int slot, std::uint64_t seq, std::uint64_t cycle,
+                   isa::Opcode op, std::uint32_t pc);
+  void on_issue(int slot, std::uint64_t cycle, isa::FuClass cls, int module,
+                bool swapped, int latency_cycles, std::uint64_t op1,
+                std::uint64_t op2, bool has_op2, bool fp_operands);
+  void on_writeback(int slot, std::uint64_t cycle);
+  void on_commit(int slot, std::uint64_t cycle);
+  void on_cycle(std::uint64_t cycle, int rob_count);
+
+  [[nodiscard]] EventTracer& sink() noexcept { return sink_; }
+
+  [[nodiscard]] static std::uint32_t fu_tid(isa::FuClass cls, int module) {
+    return 100 +
+           static_cast<std::uint32_t>(cls) *
+               static_cast<std::uint32_t>(kMaxModulesPerClass) +
+           static_cast<std::uint32_t>(module);
+  }
+  [[nodiscard]] static std::uint32_t rob_tid(int slot) {
+    return 400 + static_cast<std::uint32_t>(slot);
+  }
+  static constexpr std::uint32_t kCounterTid = 90;
+
+ private:
+  struct SlotState {
+    std::uint64_t seq = 0;
+    std::uint64_t dispatch_cycle = 0;
+    std::uint64_t issue_cycle = 0;
+    std::uint64_t writeback_cycle = 0;
+    isa::Opcode op = isa::Opcode::kHalt;
+    std::uint32_t pc = 0;
+    bool sampled = false;
+  };
+
+  EventTracer& sink_;
+  std::vector<SlotState> slots_;
+};
+
+}  // namespace mrisc::obs

@@ -1,0 +1,76 @@
+#include "obs/profile.h"
+
+#include <ctime>
+
+#include "util/json.h"
+
+namespace mrisc::obs {
+
+void PhaseProfile::add(std::string_view phase, double wall_seconds,
+                       double cpu_seconds) {
+  const auto it = entries_.find(phase);
+  Entry& e = it != entries_.end()
+                 ? it->second
+                 : entries_.emplace(std::string(phase), Entry{}).first->second;
+  e.calls += 1;
+  e.wall_seconds += wall_seconds;
+  e.cpu_seconds += cpu_seconds;
+}
+
+void PhaseProfile::merge(const PhaseProfile& other) {
+  for (const auto& [phase, e] : other.entries_) {
+    const auto it = entries_.find(phase);
+    Entry& mine =
+        it != entries_.end()
+            ? it->second
+            : entries_.emplace(phase, Entry{}).first->second;
+    mine.calls += e.calls;
+    mine.wall_seconds += e.wall_seconds;
+    mine.cpu_seconds += e.cpu_seconds;
+  }
+}
+
+void PhaseProfile::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [phase, e] : entries_) {
+    w.key(phase);
+    w.begin_object();
+    w.key("calls");
+    w.value(e.calls);
+    w.key("wall_seconds");
+    w.value(e.wall_seconds);
+    w.key("cpu_seconds");
+    w.value(e.cpu_seconds);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+namespace {
+
+double clock_seconds(clockid_t id) noexcept {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+double thread_cpu_seconds() noexcept {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  return clock_seconds(CLOCK_THREAD_CPUTIME_ID);
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
+
+double process_cpu_seconds() noexcept {
+#ifdef CLOCK_PROCESS_CPUTIME_ID
+  return clock_seconds(CLOCK_PROCESS_CPUTIME_ID);
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
+
+}  // namespace mrisc::obs

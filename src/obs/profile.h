@@ -1,0 +1,81 @@
+// Engine self-profiling: named phase accumulators fed by RAII scoped
+// timers that capture both wall-clock and per-thread CPU time. Each engine
+// worker owns a private PhaseProfile (no locks on the timing path); the
+// per-worker profiles are merged when the run completes, mirroring the
+// metrics-shard pattern (obs/metrics.h).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mrisc::util {
+class JsonWriter;
+}
+
+namespace mrisc::obs {
+
+class PhaseProfile {
+ public:
+  struct Entry {
+    std::uint64_t calls = 0;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+  };
+
+  void add(std::string_view phase, double wall_seconds, double cpu_seconds);
+  void merge(const PhaseProfile& other);
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const std::map<std::string, Entry, std::less<>>& entries()
+      const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Serialize as {"phase": {"calls":N,"wall_seconds":X,"cpu_seconds":Y}}.
+  void write_json(util::JsonWriter& w) const;
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// CPU time consumed by the calling thread, in seconds (CLOCK_THREAD_CPUTIME
+/// where available, process clock() otherwise).
+[[nodiscard]] double thread_cpu_seconds() noexcept;
+
+/// Process-wide CPU time, in seconds (all threads).
+[[nodiscard]] double process_cpu_seconds() noexcept;
+
+/// Times one scope into a PhaseProfile entry. Not copyable or movable; keep
+/// it on the stack around the phase body:
+///   { obs::ScopedTimer t(profile, "emulate"); ...work... }
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseProfile& profile, std::string_view phase)
+      : profile_(profile),
+        phase_(phase),
+        wall_start_(std::chrono::steady_clock::now()),
+        cpu_start_(thread_cpu_seconds()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start_)
+            .count();
+    profile_.add(phase_, wall, thread_cpu_seconds() - cpu_start_);
+  }
+
+ private:
+  PhaseProfile& profile_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point wall_start_;
+  double cpu_start_;
+};
+
+}  // namespace mrisc::obs

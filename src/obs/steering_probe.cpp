@@ -1,0 +1,55 @@
+#include "obs/steering_probe.h"
+
+#include <cctype>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mrisc::obs {
+
+namespace {
+
+std::string lower_class_name(isa::FuClass cls) {
+  std::string name = isa::to_string(cls);
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  return name;
+}
+
+}  // namespace
+
+SteeringProbe::SteeringProbe(MetricsShard& shard) {
+  static constexpr std::array<double, sim::kMaxModules> kModuleEdges = {
+      0, 1, 2, 3, 4, 5, 6, 7};
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    const std::string prefix =
+        "steer." + lower_class_name(static_cast<isa::FuClass>(c));
+    ClassSinks& s = sinks_[static_cast<std::size_t>(c)];
+    s.issued = &shard.counter(prefix + ".issued");
+    s.swapped = &shard.counter(prefix + ".swapped");
+    s.sticky_hits = &shard.counter(prefix + ".pc_sticky_hits");
+    s.sticky_lookups = &shard.counter(prefix + ".pc_sticky_lookups");
+    s.module_dist = &shard.histogram(prefix + ".module", kModuleEdges);
+  }
+}
+
+void SteeringProbe::on_issue(isa::FuClass cls,
+                             std::span<const sim::IssueSlot> slots,
+                             std::span<const sim::ModuleAssignment> assign) {
+  ClassSinks& s = sinks_[static_cast<std::size_t>(cls)];
+  s.issued->inc(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (assign[i].swapped) s.swapped->inc();
+    s.module_dist->observe(static_cast<double>(assign[i].module));
+
+    PcEntry& entry = last_module_[slots[i].pc % kPcTableSize];
+    if (entry.module >= 0 && entry.pc == slots[i].pc &&
+        entry.cls == static_cast<std::uint8_t>(cls)) {
+      s.sticky_lookups->inc();
+      if (entry.module == assign[i].module) s.sticky_hits->inc();
+    }
+    entry = PcEntry{slots[i].pc, static_cast<std::int16_t>(assign[i].module),
+                    static_cast<std::uint8_t>(cls)};
+  }
+}
+
+}  // namespace mrisc::obs

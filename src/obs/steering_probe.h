@@ -1,0 +1,50 @@
+// Steering observability: an IssueListener that feeds the metrics shard
+// with per-class steering telemetry - slots issued, hardware swaps, the
+// module distribution, and a policy-agnostic "PC-sticky" hit rate (how
+// often a static instruction lands on the same module as its previous
+// dynamic instance - the temporal-locality signal the paper's schemes
+// exploit). Attached by the experiment driver only when a metrics shard is
+// present, so plain replays pay nothing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "sim/issue.h"
+
+namespace mrisc::obs {
+
+class MetricsShard;
+struct Counter;
+class Histogram;
+
+class SteeringProbe final : public sim::IssueListener {
+ public:
+  explicit SteeringProbe(MetricsShard& shard);
+
+  void on_issue(isa::FuClass cls, std::span<const sim::IssueSlot> slots,
+                std::span<const sim::ModuleAssignment> assign) override;
+
+ private:
+  struct ClassSinks {
+    Counter* issued = nullptr;
+    Counter* swapped = nullptr;
+    Counter* sticky_hits = nullptr;   ///< same module as this pc's last issue
+    Counter* sticky_lookups = nullptr;
+    Histogram* module_dist = nullptr;
+  };
+
+  /// Direct-mapped pc -> last module table (approximate; collisions evict).
+  struct PcEntry {
+    std::uint32_t pc = 0;
+    std::int16_t module = -1;
+    std::uint8_t cls = 0xFF;
+  };
+  static constexpr std::size_t kPcTableSize = 4096;
+
+  std::array<ClassSinks, isa::kNumFuClasses> sinks_{};
+  std::array<PcEntry, kPcTableSize> last_module_{};
+};
+
+}  // namespace mrisc::obs

@@ -1,0 +1,147 @@
+#include "obs/trace_events.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.h"
+
+namespace mrisc::obs {
+
+EventTracer::EventTracer(const Config& config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.sample_period == 0) config_.sample_period = 1;
+  ring_.reserve(config_.capacity);
+}
+
+void EventTracer::set_track(std::uint32_t tid, std::string name,
+                            int sort_index) {
+  tracks_.push_back(TrackMeta{tid, std::move(name), sort_index});
+}
+
+void EventTracer::emit(const TraceEvent& event) {
+  ++emitted_;
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(event);
+    next_ = ring_.size() % config_.capacity;
+    wrapped_ = next_ == 0 && ring_.size() == config_.capacity;
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % config_.capacity;
+  wrapped_ = true;
+}
+
+namespace {
+
+void write_event(util::JsonWriter& w, const TraceEvent& e) {
+  w.begin_object();
+  w.key("name");
+  w.value(e.name);
+  w.key("cat");
+  w.value(e.cat);
+  w.key("ph");
+  w.value(std::string_view(&e.phase, 1));
+  w.key("pid");
+  w.value(std::uint64_t{1});
+  w.key("tid");
+  w.value(std::uint64_t{e.tid});
+  w.key("ts");
+  w.value(e.ts);
+  if (e.phase == 'X') {
+    w.key("dur");
+    w.value(e.dur);
+  }
+  if (e.phase == 'i') {
+    w.key("s");  // instant scope: thread
+    w.value("t");
+  }
+  if (e.num_args > 0) {
+    w.key("args");
+    w.begin_object();
+    for (int i = 0; i < e.num_args; ++i) {
+      const TraceEvent::Arg& a = e.args[static_cast<std::size_t>(i)];
+      w.key(a.key);
+      if (!a.str.empty())
+        w.value(a.str);
+      else
+        w.value(a.value);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string EventTracer::json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("otherData");
+  w.begin_object();
+  w.key("generator");
+  w.value("mrisc-fua");
+  w.key("time_unit");
+  w.value("1 event ts == 1 simulated cycle (written as us)");
+  w.key("events_emitted");
+  w.value(emitted());
+  w.key("events_dropped");
+  w.value(dropped());
+  w.key("sample_period");
+  w.value(config_.sample_period);
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TrackMeta& t : tracks_) {
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(std::uint64_t{t.tid});
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(t.name);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.key("name");
+    w.value("thread_sort_index");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(std::uint64_t{t.tid});
+    w.key("args");
+    w.begin_object();
+    w.key("sort_index");
+    w.value(std::int64_t{t.sort_index});
+    w.end_object();
+    w.end_object();
+  }
+  // Chronological order: oldest surviving event first.
+  const std::size_t n = ring_.size();
+  const std::size_t start = wrapped_ ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i)
+    write_event(w, ring_[(start + i) % n]);
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+void EventTracer::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write trace to " + path);
+  const std::string text = json();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace mrisc::obs

@@ -1,0 +1,97 @@
+// Chrome trace_event JSON sink: the storage and serialization half of the
+// pipeline event tracer (obs/pipeline_tracer.h drives it from the timing
+// core's hook points). Events land in a bounded ring buffer - full-length
+// workloads keep the *last* `capacity` events - and an optional sampling
+// period records only every Nth instruction's spans so long traces stay
+// proportionally small. Output is the Trace Event Format JSON object that
+// chrome://tracing and Perfetto load directly; simulated cycles are written
+// as microseconds (1 cycle == 1us on the timeline).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrisc::obs {
+
+/// One event. Name/category/argument-key strings must outlive the tracer
+/// (they are static mnemonics and literals on every call site), so the
+/// ring buffer never allocates per event.
+struct TraceEvent {
+  static constexpr int kMaxArgs = 6;
+
+  struct Arg {
+    std::string_view key;
+    std::uint64_t value = 0;
+    std::string_view str;  ///< when non-empty, a string argument
+  };
+
+  std::string_view name;
+  std::string_view cat = "sim";
+  char phase = 'X';          ///< 'X' complete, 'i' instant, 'C' counter
+  std::uint32_t tid = 0;     ///< track id (see pipeline_tracer.h layout)
+  std::uint64_t ts = 0;      ///< cycle number, written as microseconds
+  std::uint64_t dur = 0;     ///< 'X' only: duration in cycles
+  std::array<Arg, kMaxArgs> args{};
+  int num_args = 0;
+
+  void add_arg(std::string_view key, std::uint64_t value) {
+    if (num_args < kMaxArgs) args[static_cast<std::size_t>(num_args++)] = Arg{key, value, {}};
+  }
+  void add_arg(std::string_view key, std::string_view str) {
+    if (num_args < kMaxArgs) args[static_cast<std::size_t>(num_args++)] = Arg{key, 0, str};
+  }
+};
+
+class EventTracer {
+ public:
+  struct Config {
+    std::size_t capacity = std::size_t{1} << 20;  ///< ring: keep last N events
+    std::uint64_t sample_period = 1;  ///< record every Nth instruction (>=1)
+  };
+
+  EventTracer() : EventTracer(Config{}) {}
+  explicit EventTracer(const Config& config);
+
+  /// Name a track; emitted as 'M' thread_name/thread_sort_index metadata.
+  void set_track(std::uint32_t tid, std::string name, int sort_index);
+
+  /// Should the instruction with this sequence number be traced?
+  [[nodiscard]] bool sample(std::uint64_t seq) const noexcept {
+    return config_.sample_period <= 1 || seq % config_.sample_period == 0;
+  }
+
+  void emit(const TraceEvent& event);
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  /// Events overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return emitted_ - kept();
+  }
+  [[nodiscard]] std::uint64_t kept() const noexcept {
+    return wrapped_ ? ring_.size() : next_;
+  }
+
+  /// The complete Trace Event Format document.
+  [[nodiscard]] std::string json() const;
+  /// Write json() to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct TrackMeta {
+    std::uint32_t tid;
+    std::string name;
+    int sort_index;
+  };
+
+  Config config_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t emitted_ = 0;
+  std::vector<TrackMeta> tracks_;
+};
+
+}  // namespace mrisc::obs

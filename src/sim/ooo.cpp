@@ -3,6 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#if MRISC_OBS_TRACING
+#include "obs/pipeline_tracer.h"
+/// Tracer hook: a null-pointer test when hooks are compiled in, nothing at
+/// all when MRISC_OBS_TRACING is 0 (the argument is never evaluated).
+#define MRISC_TRACE_HOOK(call)          \
+  do {                                  \
+    if (tracer_) tracer_->call;         \
+  } while (0)
+#else
+#define MRISC_TRACE_HOOK(call) \
+  do {                         \
+  } while (0)
+#endif
+
 namespace mrisc::sim {
 
 namespace {
@@ -81,6 +95,7 @@ void OooCore::commit_stage() {
   while (rob_count_ > 0 && committed < config_.commit_width) {
     RobEntry& head = rob_[static_cast<std::size_t>(rob_head_)];
     if (head.state != RobEntry::State::kCompleted) break;
+    MRISC_TRACE_HOOK(on_commit(rob_head_, cycle_));
     if (head.rec.has_dest) {
       const int id = reg_id(head.rec.dest_reg, head.rec.dest_fp);
       if (rename_[static_cast<std::size_t>(id)].slot == rob_head_ &&
@@ -103,8 +118,10 @@ void OooCore::writeback_stage() {
        ++i, slot = (slot + 1) % config_.rob_size) {
     RobEntry& entry = rob_[static_cast<std::size_t>(slot)];
     if (entry.state == RobEntry::State::kIssued &&
-        entry.finish_cycle <= cycle_)
+        entry.finish_cycle <= cycle_) {
       entry.state = RobEntry::State::kCompleted;
+      MRISC_TRACE_HOOK(on_writeback(slot, cycle_));
+    }
   }
 }
 
@@ -206,6 +223,10 @@ void OooCore::issue_stage() {
       entry.finish_cycle = cycle_ + static_cast<std::uint64_t>(latency);
       module_busy_[cu][static_cast<std::size_t>(m)] =
           pipelined ? cycle_ + 1 : entry.finish_cycle;
+      MRISC_TRACE_HOOK(on_issue(group[i], cycle_, static_cast<isa::FuClass>(c),
+                                m, assign[i].swapped, latency, entry.rec.op1,
+                                entry.rec.op2, entry.rec.has_op2,
+                                entry.rec.fp_operands));
 
       auto& q = rs_[cu];
       q.erase(std::find(q.begin(), q.end(), group[i]));
@@ -270,6 +291,8 @@ void OooCore::fetch_dispatch_stage() {
     }
     ++rob_count_;
     rs_[cu].push_back(slot);
+    MRISC_TRACE_HOOK(on_dispatch(slot, entry.seq, cycle_, entry.rec.op,
+                                 entry.rec.pc));
 
     const bool taken_branch = entry.rec.is_branch && entry.rec.branch_taken;
     // Conditional branches consult the predictor; a miss stalls fetch
@@ -301,6 +324,7 @@ bool OooCore::run_cycles(std::uint64_t max_cycles) {
     issue_stage();
     fetch_dispatch_stage();
     for (IssueListener* listener : listeners_) listener->on_cycle(cycle_);
+    MRISC_TRACE_HOOK(on_cycle(cycle_, rob_count_));
     if (rob_count_ > 0 && cycle_ - last_commit_cycle_ > 100000)
       throw std::logic_error("pipeline deadlock: no commit in 100000 cycles");
   }

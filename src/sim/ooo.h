@@ -20,7 +20,22 @@
 #include "sim/issue.h"
 #include "sim/trace.h"
 
+/// Observability hook switch: 1 (default) compiles the pipeline tracer
+/// call sites into the cycle loop (a null-pointer test each when no tracer
+/// is attached); configuring with -DMRISC_OBS_TRACING=OFF defines this to 0
+/// and removes the hooks entirely (see bench_replay_throughput's guard).
+#ifndef MRISC_OBS_TRACING
+#define MRISC_OBS_TRACING 1
+#endif
+
+namespace mrisc::obs {
+class PipelineTracer;
+}
+
 namespace mrisc::sim {
+
+/// Whether this build carries trace-event hooks in the timing core.
+inline constexpr bool kTraceHooksCompiledIn = MRISC_OBS_TRACING != 0;
 
 struct OooConfig {
   int fetch_width = 4;
@@ -134,6 +149,14 @@ class OooCore {
   /// Attach an issue listener (power accountant, statistics collector).
   void add_listener(IssueListener* listener);
 
+  /// Attach a pipeline event tracer (obs/pipeline_tracer.h); it must
+  /// outlive the run. A no-op in builds with MRISC_OBS_TRACING=0.
+#if MRISC_OBS_TRACING
+  void set_tracer(obs::PipelineTracer* tracer) noexcept { tracer_ = tracer; }
+#else
+  void set_tracer(obs::PipelineTracer* /*tracer*/) noexcept {}
+#endif
+
   /// Run to completion: trace exhausted and pipeline drained.
   void run();
 
@@ -199,6 +222,9 @@ class OooCore {
 
   std::array<SteeringPolicy*, isa::kNumFuClasses> policies_{};
   std::vector<IssueListener*> listeners_;
+#if MRISC_OBS_TRACING
+  obs::PipelineTracer* tracer_ = nullptr;
+#endif
 
   // Reusable issue-stage scratch state. Per-class groups are bounded by the
   // module count (<= kMaxModules), so fixed arrays plus counts replace the

@@ -1,5 +1,7 @@
 #include "stats/report.h"
 
+#include <cassert>
+
 #include "stats/paper_ref.h"
 #include "util/table.h"
 
@@ -10,9 +12,21 @@ using util::fmt_fixed;
 using util::fmt_pct;
 
 void OccupancyAggregator::add(const sim::PipelineStats& stats) {
+  cycles_ += stats.cycles;
   for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
     for (std::size_t k = 0; k <= sim::kMaxModules; ++k)
       counts_[c][k] += stats.occupancy[c][k];
+  assert(validate() &&
+         "occupancy rows out of step with cycles (stats fed twice?)");
+}
+
+bool OccupancyAggregator::validate() const noexcept {
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    std::uint64_t row_sum = 0;
+    for (std::size_t k = 0; k <= sim::kMaxModules; ++k) row_sum += counts_[c][k];
+    if (row_sum != cycles_) return false;
+  }
+  return true;
 }
 
 double OccupancyAggregator::freq(isa::FuClass cls, int k) const {

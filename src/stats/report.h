@@ -23,10 +23,20 @@ class OccupancyAggregator {
   /// P(Num(I) >= 2 | Num(I) >= 1) - the LUT builder's strategy input.
   [[nodiscard]] double multi_issue_prob(isa::FuClass cls) const;
 
+  /// Simulated cycles aggregated so far (sum of every add()'s
+  /// stats.cycles). Every class's occupancy row sums to exactly this -
+  /// each cycle issues some k in 0..kMaxModules instructions of the class -
+  /// which validate() checks and add() asserts in debug builds.
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept { return cycles_; }
+
+  /// True when every class's occupancy counts sum to total_cycles().
+  [[nodiscard]] bool validate() const noexcept;
+
  private:
   std::array<std::array<std::uint64_t, sim::kMaxModules + 1>,
              isa::kNumFuClasses>
       counts_{};
+  std::uint64_t cycles_ = 0;
 };
 
 /// Table 1 (bit patterns in data) for one FU class, measured vs paper.

@@ -1,0 +1,30 @@
+// FNV-1a hashing, shared by the experiment engine's trace-cache keys and
+// the run manifest's config fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mrisc::util {
+
+/// 64-bit FNV-1a of `text`.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// fnv1a rendered as 16 lower-case hex digits.
+[[nodiscard]] inline std::string fnv1a_hex(std::string_view text) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(text)));
+  return buf;
+}
+
+}  // namespace mrisc::util

@@ -1,0 +1,346 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mrisc::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  first_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  first_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(v);
+  out_.push_back('"');
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value_null() {
+  comma();
+  out_ += "null";
+}
+
+// --- reader ---
+
+struct Json::Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos) +
+                    ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences - good enough for diagnostics).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_value() {
+    if (++depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    Json v;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      v.type_ = Type::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+      } else {
+        while (true) {
+          skip_ws();
+          std::string k = parse_string();
+          skip_ws();
+          expect(':');
+          v.obj_.emplace(std::move(k), parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          expect('}');
+          break;
+        }
+      }
+    } else if (c == '[') {
+      ++pos;
+      v.type_ = Type::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+      } else {
+        while (true) {
+          v.arr_.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          expect(']');
+          break;
+        }
+      }
+    } else if (c == '"') {
+      v.type_ = Type::kString;
+      v.str_ = parse_string();
+    } else if (consume_literal("true")) {
+      v.type_ = Type::kBool;
+      v.bool_ = true;
+    } else if (consume_literal("false")) {
+      v.type_ = Type::kBool;
+      v.bool_ = false;
+    } else if (consume_literal("null")) {
+      v.type_ = Type::kNull;
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      const char* start = text.data() + pos;
+      char* end = nullptr;
+      v.type_ = Type::kNumber;
+      v.num_ = std::strtod(start, &end);
+      if (end == start) fail("malformed number");
+      pos += static_cast<std::size_t>(end - start);
+    } else {
+      fail("unexpected character");
+    }
+    --depth;
+    return v;
+  }
+};
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing data after document");
+  return v;
+}
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+double Json::number() const {
+  if (type_ != Type::kNumber) throw JsonError("not a number");
+  return num_;
+}
+
+bool Json::boolean() const {
+  if (type_ != Type::kBool) throw JsonError("not a bool");
+  return bool_;
+}
+
+const std::string& Json::str() const {
+  if (type_ != Type::kString) throw JsonError("not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::array() const {
+  if (type_ != Type::kArray) throw JsonError("not an array");
+  return arr_;
+}
+
+const std::map<std::string, Json>& Json::object() const {
+  if (type_ != Type::kObject) throw JsonError("not an object");
+  return obj_;
+}
+
+const Json& Json::at(const std::string& k) const {
+  const Json* v = find(k);
+  if (!v) throw JsonError("missing key '" + k + "'");
+  return *v;
+}
+
+const Json* Json::find(const std::string& k) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = obj_.find(k);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (type_ != Type::kArray || i >= arr_.size())
+    throw JsonError("array index out of range");
+  return arr_[i];
+}
+
+std::size_t Json::size() const noexcept {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+double Json::number_or(const std::string& k, double fallback) const {
+  const Json* v = find(k);
+  return v && v->is_number() ? v->number() : fallback;
+}
+
+}  // namespace mrisc::util

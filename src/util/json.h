@@ -1,0 +1,120 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (run manifests, trace-event files) and a small recursive-descent reader
+// (mrisc-stats, the JSON well-formedness tests). No external dependency;
+// numbers are doubles, objects preserve key order via std::map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrisc::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (without quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("run");
+///   w.key("cells"); w.begin_array(); w.value(1.5); w.end_array();
+///   w.end_object();
+///   std::string text = std::move(w).str();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value_null();
+
+  /// Finished document. The writer must be at nesting depth zero.
+  [[nodiscard]] const std::string& str() const& { return out_; }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per open scope: no element written yet
+  bool after_key_ = false;
+};
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parsed JSON value. Throws JsonError on malformed input or wrong-type
+/// access. Intended for small documents (manifests, bench JSON).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  [[nodiscard]] static Json parse(std::string_view text);
+  /// Parse the contents of a file; throws JsonError if unreadable.
+  [[nodiscard]] static Json parse_file(const std::string& path);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+
+  [[nodiscard]] double number() const;
+  [[nodiscard]] bool boolean() const;
+  [[nodiscard]] const std::string& str() const;
+  [[nodiscard]] const std::vector<Json>& array() const;
+  [[nodiscard]] const std::map<std::string, Json>& object() const;
+
+  /// Object member access; at() throws on a missing key, find() returns
+  /// nullptr.
+  [[nodiscard]] const Json& at(const std::string& k) const;
+  [[nodiscard]] const Json* find(const std::string& k) const;
+  [[nodiscard]] bool contains(const std::string& k) const {
+    return find(k) != nullptr;
+  }
+  /// Array element access, bounds-checked.
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  /// Elements of an array / members of an object; 0 otherwise.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// `at(k).number()` with a fallback when the key is absent.
+  [[nodiscard]] double number_or(const std::string& k, double fallback) const;
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace mrisc::util

@@ -1,0 +1,121 @@
+// util::Json / util::JsonWriter tests: escaping, nesting, writer->parser
+// round-trips, and the error paths mrisc-stats depends on for friendly
+// diagnostics on malformed manifests.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/json.h"
+
+namespace mrisc::util {
+namespace {
+
+TEST(JsonWriter, EscapesStringsAndKeys) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("we\"ird");
+  w.value("v\n");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":\"v\\n\"}");
+}
+
+TEST(JsonWriter, CommasAndNestingAreAutomatic) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.value(1);
+  w.key("b");
+  w.begin_array();
+  w.value(true);
+  w.value_null();
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.key("c");
+  w.value(2.5);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[true,null,{}],\"c\":2.5}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const Json doc = Json::parse(
+      R"({"n": -2.5e1, "s": "aA\n", "t": true, "z": null,
+          "arr": [1, 2, 3], "obj": {"k": "v"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("n").number(), -25.0);
+  EXPECT_EQ(doc.at("s").str(), "aA\n");
+  EXPECT_TRUE(doc.at("t").boolean());
+  EXPECT_TRUE(doc.at("z").is_null());
+  ASSERT_EQ(doc.at("arr").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("arr").at(2).number(), 3.0);
+  EXPECT_EQ(doc.at("obj").at("k").str(), "v");
+  EXPECT_TRUE(doc.contains("n"));
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.number_or("n", 7.0), -25.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 7.0), 7.0);
+}
+
+TEST(Json, WriterOutputRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("label");
+  w.value("bench \"quoted\"\n");
+  w.key("count");
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.key("cells");
+  w.begin_array();
+  w.begin_object();
+  w.key("wall");
+  w.value(0.125);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  const Json doc = Json::parse(w.str());
+  EXPECT_EQ(doc.at("label").str(), "bench \"quoted\"\n");
+  // 2^64-1 is not exactly representable as a double; just require a
+  // successful numeric parse in the right ballpark.
+  EXPECT_GT(doc.at("count").number(), 1.8e19);
+  EXPECT_DOUBLE_EQ(doc.at("cells").at(0).at("wall").number(), 0.125);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+}
+
+TEST(Json, WrongTypeAccessThrows) {
+  const Json doc = Json::parse(R"({"a": 1})");
+  EXPECT_THROW(static_cast<void>(doc.at("a").str()), JsonError);
+  EXPECT_THROW(static_cast<void>(doc.at("a").array()), JsonError);
+  EXPECT_THROW(static_cast<void>(doc.at("missing")), JsonError);
+  EXPECT_THROW(static_cast<void>(doc.at("a").at(std::size_t{0})), JsonError);
+  EXPECT_THROW(static_cast<void>(doc.number()), JsonError);
+}
+
+TEST(Json, ParseFileErrorsOnMissingPath) {
+  EXPECT_THROW(Json::parse_file("/nonexistent/manifest.json"), JsonError);
+}
+
+}  // namespace
+}  // namespace mrisc::util

@@ -1,0 +1,272 @@
+// Observability-layer tests: the metrics registry's merge semantics (the
+// determinism story for --jobs N), histogram bucket edges, the trace-event
+// ring buffer, and well-formedness of every JSON document the layer emits.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "driver/engine.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_tracer.h"
+#include "obs/profile.h"
+#include "obs/trace_events.h"
+#include "util/json.h"
+
+namespace mrisc::obs {
+namespace {
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsShard shard;
+  EXPECT_TRUE(shard.empty());
+  Counter& c = shard.counter("sim.cycles");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(shard.counter("sim.cycles").value, 42u);
+  // References are stable: the same node is returned on re-lookup.
+  EXPECT_EQ(&c, &shard.counter("sim.cycles"));
+
+  Gauge& g = shard.gauge("engine.jobs");
+  g.to_max(4);
+  g.to_max(2);  // max-merge semantics: lower values never win
+  EXPECT_DOUBLE_EQ(shard.gauge("engine.jobs").value, 4.0);
+  EXPECT_FALSE(shard.empty());
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpper) {
+  const double edges[] = {1.0, 2.0, 4.0};
+  MetricsShard shard;
+  Histogram& h = shard.histogram("sim.occupancy.ialu", edges);
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 edges + overflow
+
+  h.observe(0.0);  // <= 1.0 -> bucket 0
+  h.observe(1.0);  // == edge is inclusive -> bucket 0
+  h.observe(1.5);  // -> bucket 1
+  h.observe(2.0);  // inclusive -> bucket 1
+  h.observe(4.0);  // inclusive -> bucket 2
+  h.observe(9.0);  // past the last edge -> overflow
+  h.observe(3.0, 10);  // weighted -> bucket 2
+
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 11u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total(), 16u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0 + 3.0 * 10);
+}
+
+TEST(Metrics, HistogramMergeRequiresMatchingEdges) {
+  const double a_edges[] = {1.0, 2.0};
+  const double b_edges[] = {1.0, 3.0};
+  MetricsShard a, b;
+  a.histogram("h", a_edges).observe(1.0);
+  b.histogram("h", b_edges).observe(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+
+  // First registration wins: re-registering with different edges returns
+  // the existing histogram unchanged.
+  Histogram& again = a.histogram("h", b_edges);
+  ASSERT_EQ(again.edges().size(), 2u);
+  EXPECT_DOUBLE_EQ(again.edges()[1], 2.0);
+}
+
+/// Build a shard the way worker `w` of `n` would: each worker observes a
+/// distinct slice of the same global event stream.
+MetricsShard make_worker_shard(int w, int n) {
+  const double edges[] = {1.0, 2.0, 4.0, 8.0};
+  MetricsShard shard;
+  for (int i = w; i < 1000; i += n) {
+    shard.counter("sim.cycles").inc(static_cast<std::uint64_t>(i));
+    if (i % 3 == 0) shard.counter("steer.ialu.swapped").inc();
+    shard.gauge("sim.peak_rob").to_max(i % 97);
+    shard.histogram("sim.occupancy.ialu", edges).observe(i % 10);
+  }
+  return shard;
+}
+
+TEST(Metrics, ShardMergeIsDeterministicAcrossWorkerCounts) {
+  // The same event stream split across 1, 2, 4, or 7 workers and merged in
+  // any completion order must produce the identical snapshot - this is the
+  // property that makes `--jobs N` metrics reproducible.
+  MetricsRegistry serial;
+  serial.merge(make_worker_shard(0, 1));
+  const MetricsSnapshot expected = serial.snapshot();
+
+  for (const int n : {2, 4, 7}) {
+    MetricsRegistry sharded;
+    // Merge in reverse completion order to prove order independence.
+    for (int w = n - 1; w >= 0; --w) sharded.merge(make_worker_shard(w, n));
+    const MetricsSnapshot got = sharded.snapshot();
+    EXPECT_EQ(got.counters, expected.counters) << n << " workers";
+    EXPECT_EQ(got.gauges, expected.gauges) << n << " workers";
+    ASSERT_EQ(got.histograms.size(), expected.histograms.size());
+    for (const auto& [name, hist] : expected.histograms) {
+      const auto it = got.histograms.find(name);
+      ASSERT_NE(it, got.histograms.end()) << name;
+      EXPECT_EQ(it->second.counts, hist.counts) << name;
+      EXPECT_EQ(it->second.total, hist.total) << name;
+      EXPECT_DOUBLE_EQ(it->second.sum, hist.sum) << name;
+    }
+  }
+}
+
+TEST(Metrics, EngineCountersMatchSerialRun) {
+  // End-to-end determinism: the engine's own counters (replays, cache
+  // hits/misses, emulations) are identical for --jobs 1 and --jobs 4.
+  // Wall-clock metrics (worker busy time) are excluded - they measure the
+  // run, not the experiment.
+  const workloads::SuiteConfig small{0.05};
+  auto make_plan = [&] {
+    driver::ExperimentPlan plan;
+    plan.add_suite(workloads::integer_suite(small));
+    driver::ExperimentConfig config;
+    config.scheme = driver::Scheme::kOriginal;
+    plan.add_cell("a", config);
+    config.scheme = driver::Scheme::kLut4;
+    config.swap = driver::SwapMode::kHardware;
+    plan.add_cell("b", config);
+    return plan;
+  };
+
+  driver::ExperimentEngine serial(1);
+  driver::ExperimentEngine parallel(4);
+  serial.run(make_plan());
+  parallel.run(make_plan());
+
+  auto deterministic_counters = [](const driver::ExperimentEngine& engine) {
+    auto counters = engine.metrics().counters();
+    counters.erase("engine.worker.busy_micros");
+    std::map<std::string, std::uint64_t> plain;
+    for (const auto& [name, c] : counters) plain[name] = c.value;
+    return plain;
+  };
+  EXPECT_EQ(deterministic_counters(serial), deterministic_counters(parallel));
+  EXPECT_GT(serial.metrics().counters().at("engine.replays").value, 0u);
+}
+
+TEST(Metrics, SnapshotJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.merge(make_worker_shard(0, 1));
+  util::JsonWriter w;
+  registry.snapshot().write_json(w);
+  const util::Json doc = util::Json::parse(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("steer.ialu.swapped").number(), 334);
+  const util::Json& hist = doc.at("histograms").at("sim.occupancy.ialu");
+  EXPECT_EQ(hist.at("counts").size(), hist.at("edges").size() + 1);
+}
+
+TEST(Profile, ScopedTimerAccumulates) {
+  PhaseProfile profile;
+  {
+    ScopedTimer t1(profile, "emulate");
+  }
+  {
+    ScopedTimer t2(profile, "emulate");
+  }
+  { ScopedTimer t3(profile, "replay"); }
+  ASSERT_EQ(profile.entries().size(), 2u);
+  EXPECT_EQ(profile.entries().at("emulate").calls, 2u);
+  EXPECT_EQ(profile.entries().at("replay").calls, 1u);
+  EXPECT_GE(profile.entries().at("emulate").wall_seconds, 0.0);
+
+  PhaseProfile other;
+  { ScopedTimer t(other, "emulate"); }
+  profile.merge(other);
+  EXPECT_EQ(profile.entries().at("emulate").calls, 3u);
+}
+
+TEST(TraceEvents, RingKeepsLastCapacityEvents) {
+  EventTracer::Config config;
+  config.capacity = 4;
+  EventTracer tracer(config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.name = "span";
+    e.ts = i;
+    e.dur = 1;
+    tracer.emit(e);
+  }
+  EXPECT_EQ(tracer.emitted(), 10u);
+  EXPECT_EQ(tracer.kept(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  // The survivors are the *last* four (ts 6..9).
+  const util::Json doc = util::Json::parse(tracer.json());
+  const auto& events = doc.at("traceEvents").array();
+  std::uint64_t min_ts = ~0ull;
+  std::size_t spans = 0;
+  for (const auto& e : events) {
+    if (e.at("ph").str() != "X") continue;  // skip 'M' track metadata
+    ++spans;
+    if (e.at("ts").number() < static_cast<double>(min_ts))
+      min_ts = static_cast<std::uint64_t>(e.at("ts").number());
+  }
+  EXPECT_EQ(spans, 4u);
+  EXPECT_EQ(min_ts, 6u);
+}
+
+TEST(TraceEvents, SamplingSelectsEveryNthInstruction) {
+  EventTracer::Config config;
+  config.sample_period = 3;
+  const EventTracer tracer(config);
+  EXPECT_TRUE(tracer.sample(0));
+  EXPECT_FALSE(tracer.sample(1));
+  EXPECT_FALSE(tracer.sample(2));
+  EXPECT_TRUE(tracer.sample(3));
+
+  const EventTracer unsampled;
+  EXPECT_TRUE(unsampled.sample(7));
+}
+
+TEST(TraceEvents, PipelineTracerEmitsWellFormedChromeTrace) {
+  EventTracer sink;
+  std::array<int, isa::kNumFuClasses> modules{};
+  modules[static_cast<std::size_t>(isa::FuClass::kIalu)] = 2;
+  PipelineTracer tracer(sink, /*rob_size=*/8, modules);
+
+  // One instruction's full lifecycle through ROB slot 3 on IALU module 1.
+  tracer.on_dispatch(3, /*seq=*/0, /*cycle=*/10, isa::Opcode::kAdd, 0x40);
+  tracer.on_issue(3, 12, isa::FuClass::kIalu, /*module=*/1, /*swapped=*/true,
+                  /*latency_cycles=*/1, /*op1=*/0xFF, /*op2=*/0x1,
+                  /*has_op2=*/true, /*fp_operands=*/false);
+  tracer.on_writeback(3, 13);
+  tracer.on_commit(3, 15);
+  tracer.on_cycle(15, /*rob_count=*/1);
+
+  const util::Json doc = util::Json::parse(sink.json());
+  ASSERT_TRUE(doc.is_object());
+  const auto& events = doc.at("traceEvents").array();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_fu_span = false, saw_rob_span = false, saw_steer = false,
+       saw_counter = false, saw_fu_track_name = false;
+  for (const auto& e : events) {
+    const std::string& ph = e.at("ph").str();
+    const auto tid = static_cast<std::uint32_t>(e.at("tid").number());
+    if (ph == "X" && tid == PipelineTracer::fu_tid(isa::FuClass::kIalu, 1))
+      saw_fu_span = true;
+    if (ph == "X" && tid == PipelineTracer::rob_tid(3)) {
+      saw_rob_span = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").number(), 10);   // dispatch cycle
+      EXPECT_DOUBLE_EQ(e.at("dur").number(), 5);   // commit - dispatch
+    }
+    if (ph == "i" && e.at("name").str() == "steer") {
+      saw_steer = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("module").number(), 1);
+      EXPECT_DOUBLE_EQ(e.at("args").at("swapped").number(), 1);
+    }
+    if (ph == "C" && tid == PipelineTracer::kCounterTid) saw_counter = true;
+    if (ph == "M" && e.at("name").str() == "thread_name" &&
+        tid == PipelineTracer::fu_tid(isa::FuClass::kIalu, 0))
+      saw_fu_track_name = true;
+  }
+  EXPECT_TRUE(saw_fu_span);
+  EXPECT_TRUE(saw_rob_span);
+  EXPECT_TRUE(saw_steer);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_fu_track_name);
+}
+
+}  // namespace
+}  // namespace mrisc::obs

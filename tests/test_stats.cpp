@@ -22,6 +22,26 @@ IssueSlot make_slot(std::uint64_t a, std::uint64_t b, bool commutative,
   return slot;
 }
 
+/// Make synthetic PipelineStats shaped like the timing core's: every
+/// class's occupancy row sums to `cycles` (idle cycles land in bucket 0) -
+/// the invariant OccupancyAggregator asserts on.
+void finalize_occupancy(sim::PipelineStats& stats) {
+  std::uint64_t cycles = 0;
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    std::uint64_t row = 0;
+    for (std::size_t k = 0; k <= sim::kMaxModules; ++k)
+      row += stats.occupancy[c][k];
+    if (row > cycles) cycles = row;
+  }
+  stats.cycles = cycles;
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    std::uint64_t row = 0;
+    for (std::size_t k = 1; k <= sim::kMaxModules; ++k)
+      row += stats.occupancy[c][k];
+    stats.occupancy[c][0] = cycles - row;
+  }
+}
+
 TEST(BitPatterns, ClassifiesCasesAndCommutativity) {
   BitPatternCollector collector;
   ModuleAssignment assign{0, false};
@@ -136,11 +156,29 @@ TEST(Occupancy, AggregatesPipelineStats) {
   stats.occupancy[ialu][1] = 30;
   stats.occupancy[ialu][2] = 15;
   stats.occupancy[ialu][4] = 5;
+  finalize_occupancy(stats);
   agg.add(stats);
   EXPECT_DOUBLE_EQ(agg.freq(isa::FuClass::kIalu, 1), 0.6);
   EXPECT_DOUBLE_EQ(agg.freq(isa::FuClass::kIalu, 2), 0.3);
   EXPECT_DOUBLE_EQ(agg.freq(isa::FuClass::kIalu, 4), 0.1);
   EXPECT_DOUBLE_EQ(agg.multi_issue_prob(isa::FuClass::kIalu), 0.4);
+  EXPECT_EQ(agg.total_cycles(), 100u);
+  EXPECT_TRUE(agg.validate());
+}
+
+TEST(Occupancy, TotalCyclesAccumulatesAcrossRuns) {
+  OccupancyAggregator agg;
+  EXPECT_EQ(agg.total_cycles(), 0u);
+  EXPECT_TRUE(agg.validate());
+
+  sim::PipelineStats stats;
+  const auto fpau = static_cast<std::size_t>(isa::FuClass::kFpau);
+  stats.occupancy[fpau][2] = 7;
+  finalize_occupancy(stats);
+  agg.add(stats);
+  agg.add(stats);
+  EXPECT_EQ(agg.total_cycles(), 14u);
+  EXPECT_TRUE(agg.validate());
 }
 
 TEST(Report, TablesRenderWithPaperColumns) {
@@ -156,6 +194,7 @@ TEST(Report, TablesRenderWithPaperColumns) {
   OccupancyAggregator agg;
   sim::PipelineStats stats;
   stats.occupancy[static_cast<std::size_t>(isa::FuClass::kIalu)][1] = 1;
+  finalize_occupancy(stats);
   agg.add(stats);
   const std::string t2 = render_table2(agg);
   EXPECT_NE(t2.find("90.2"), std::string::npos);  // paper FPAU column

@@ -61,3 +61,24 @@ run_checked(sim_out ${SIM} ${WORK}/smoke.s --scheme lut4 --swap static)
 if(NOT sim_out MATCHES "IALU" OR NOT sim_out MATCHES "switched bits")
   message(FATAL_ERROR "mrisc-sim report malformed: '${sim_out}'")
 endif()
+
+# Observability: pipeline trace + run manifest, then mrisc-stats over both.
+run_checked(trace_out ${SIM} ${WORK}/smoke.s
+  --trace-events ${WORK}/smoke_trace.json --manifest ${WORK}/smoke_manifest.json)
+file(READ ${WORK}/smoke_trace.json trace_json)
+if(NOT trace_json MATCHES "traceEvents" OR NOT trace_json MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "trace-event JSON malformed: '${trace_json}'")
+endif()
+file(READ ${WORK}/smoke_manifest.json manifest_json)
+if(NOT manifest_json MATCHES "mrisc-manifest/v1" OR NOT manifest_json MATCHES "sim.cycles")
+  message(FATAL_ERROR "run manifest malformed: '${manifest_json}'")
+endif()
+
+run_checked(stats_out ${STATS} summarize ${WORK}/smoke_manifest.json)
+if(NOT stats_out MATCHES "mrisc-sim" OR NOT stats_out MATCHES "sim.cycles")
+  message(FATAL_ERROR "mrisc-stats summarize malformed: '${stats_out}'")
+endif()
+run_checked(diff_out ${STATS} diff ${WORK}/smoke_manifest.json ${WORK}/smoke_manifest.json)
+if(NOT diff_out MATCHES "wall")
+  message(FATAL_ERROR "mrisc-stats diff malformed: '${diff_out}'")
+endif()

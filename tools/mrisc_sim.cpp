@@ -4,6 +4,7 @@
 //
 //   mrisc-sim prog.s --scheme lut4 --swap hw --ialus 4
 //   mrisc-sim prog.s --config machine.ini --report all
+#include <chrono>
 #include <cstdio>
 #include <cinttypes>
 #include <string>
@@ -12,8 +13,12 @@
 #include "power/chip.h"
 #include "driver/engine.h"
 #include "isa/object.h"
+#include "obs/manifest.h"
+#include "obs/pipeline_tracer.h"
+#include "obs/trace_events.h"
 #include "stats/report.h"
 #include "util/flags.h"
+#include "util/hash.h"
 
 namespace {
 
@@ -31,6 +36,11 @@ int usage() {
       "  --in-order  issue in program order (VLIW-like)\n"
       "  --jobs N    replay worker threads (default: hardware concurrency)\n"
       "  --report    energy|tables|all                        (default energy)\n"
+      "  --trace-events F   write Chrome trace_event JSON of the pipeline\n"
+      "                     (load in chrome://tracing or ui.perfetto.dev)\n"
+      "  --trace-capacity N ring capacity in events  (default 1048576)\n"
+      "  --trace-sample N   trace every Nth instruction (default 1)\n"
+      "  --manifest F       write a machine-readable run manifest (JSON)\n"
       "(command-line flags override the config file)\n");
   return 2;
 }
@@ -41,7 +51,7 @@ int main(int argc, char** argv) {
   util::Flags flags(
       argc, argv,
       {"config", "scheme", "swap", "mult-swap", "ialus", "fpaus", "jobs",
-       "report"},
+       "report", "trace-events", "trace-capacity", "trace-sample", "manifest"},
       {"in-order"});
   if (flags.positional().size() != 1 || !flags.unknown().empty()) return usage();
 
@@ -84,7 +94,12 @@ int main(int argc, char** argv) {
     driver::ExperimentPlan plan;
     plan.add_program(program, program.name);
     plan.add_cell("run", config, /*collect_stats=*/true);
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto cells = engine.run(plan);
+    const double run_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     const driver::RunResult& result = cells[0].per_unit[0];
     const stats::BitPatternCollector& patterns = cells[0].patterns;
     const stats::OccupancyAggregator& occupancy = cells[0].occupancy;
@@ -127,6 +142,58 @@ int main(int argc, char** argv) {
           power::chip_breakdown(result.pipeline, result.fu_energy());
       std::printf("chip-level FU share: %.1f%% of %.3g energy units\n",
                   100.0 * chip.fu_share(), chip.total());
+    }
+
+    // Pipeline event trace: one extra instrumented run (live emulation with
+    // the tracer attached; the swap passes are applied exactly as above, so
+    // the traced pipeline is the one the reported numbers came from).
+    if (const auto trace_path = flags.get("trace-events")) {
+      if (!sim::kTraceHooksCompiledIn) {
+        std::fprintf(stderr,
+                     "mrisc-sim: warning: built with MRISC_OBS_TRACING=0, "
+                     "'%s' will contain no pipeline events\n",
+                     trace_path->c_str());
+      }
+      obs::EventTracer::Config trace_config;
+      trace_config.capacity = static_cast<std::size_t>(
+          flags.get_int("trace-capacity", 1 << 20));
+      trace_config.sample_period =
+          static_cast<std::uint64_t>(flags.get_int("trace-sample", 1));
+      obs::EventTracer tracer(trace_config);
+      obs::PipelineTracer pipeline(tracer, config.machine.rob_size,
+                                   config.machine.modules);
+      obs::MetricsShard shard;
+      (void)driver::run_program(program, program.name, config, nullptr,
+                                nullptr, nullptr,
+                                driver::Observability{&shard, &pipeline});
+      obs::MetricsRegistry::global().merge(shard);
+      tracer.write(*trace_path);
+      std::printf("trace-events: %s (%" PRIu64 " events kept, %" PRIu64
+                  " dropped)\n",
+                  trace_path->c_str(), tracer.kept(), tracer.dropped());
+    }
+
+    if (const auto manifest_path = flags.get("manifest")) {
+      obs::RunManifest manifest;
+      manifest.tool = "mrisc-sim";
+      manifest.label = program.name;
+      manifest.config_hash = util::fnv1a_hex(driver::describe(config));
+      manifest.git_describe = obs::RunManifest::build_git_describe();
+      manifest.jobs = engine.jobs();
+      manifest.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      manifest.cpu_seconds = obs::process_cpu_seconds();
+      manifest.tidy_warning_count = obs::RunManifest::tidy_count_from_env();
+      manifest.cells.push_back({"run", run_wall, 1});
+      manifest.phases = engine.profile();
+      manifest.metrics = obs::MetricsRegistry::global().snapshot();
+      manifest.extra["scheme"] = driver::to_string(config.scheme);
+      manifest.extra["swap"] = driver::to_string(config.swap);
+      manifest.extra["program"] = program.name;
+      manifest.write(*manifest_path);
+      std::printf("manifest: %s\n", manifest_path->c_str());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,0 +1,278 @@
+// mrisc-stats: summarize and compare observability artifacts - the run
+// manifests written by mrisc-sim/bench binaries (schema mrisc-manifest/v1)
+// and the replay-throughput bench JSON (schema mrisc-bench-replay/v1).
+//
+//   mrisc-stats summarize run.json
+//   mrisc-stats diff before.json after.json --markdown
+//   mrisc-stats bench-diff BENCH_replay.json new_replay.json --tolerance-pct 3
+//
+// bench-diff always exits 0 (it is CI's non-gating perf report; the verdict
+// line carries the signal); summarize/diff exit 1 on unreadable input.
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace mrisc;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mrisc-stats <command> [files] [options]\n"
+      "  summarize M.json           one-manifest summary\n"
+      "  diff A.json B.json         manifest deltas (A = before, B = after)\n"
+      "  bench-diff BASE.json CUR.json\n"
+      "                             replay-bench comparison (never fails)\n"
+      "  --markdown                 GitHub-flavoured table output\n"
+      "  --tolerance-pct P          bench-diff verdict threshold (default 3)\n");
+  return 2;
+}
+
+double pct_delta(double base, double cur) {
+  return base != 0.0 ? 100.0 * (cur - base) / base : 0.0;
+}
+
+/// `label` guarded against markdown table breakage (no pipes in our data).
+void print_row(bool markdown, const char* name, const std::string& a,
+               const std::string& b) {
+  if (markdown)
+    std::printf("| %s | %s | %s |\n", name, a.c_str(), b.c_str());
+  else
+    std::printf("  %-22s %-28s %s\n", name, a.c_str(), b.c_str());
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.2f%%", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------- summarize
+
+int summarize(const util::Json& m, bool markdown) {
+  std::printf("manifest: %s  tool=%s  label=%s\n",
+              m.at("schema").str().c_str(), m.at("tool").str().c_str(),
+              m.at("label").str().c_str());
+  std::printf("config %s  build %s  jobs %d  wall %.3fs  cpu %.3fs\n",
+              m.at("config_hash").str().c_str(),
+              m.at("git_describe").str().c_str(),
+              static_cast<int>(m.number_or("jobs", 0)),
+              m.number_or("wall_seconds", 0.0),
+              m.number_or("cpu_seconds", 0.0));
+  const double tidy = m.number_or("tidy_warning_count", -1);
+  if (tidy >= 0) std::printf("clang-tidy warnings: %d\n", static_cast<int>(tidy));
+
+  if (const util::Json* cells = m.find("cells"); cells && cells->size()) {
+    std::printf("cells:\n");
+    for (const auto& cell : cells->array())
+      std::printf("  %-28s %8.3fs  %" PRIu64 " units\n",
+                  cell.at("label").str().c_str(),
+                  cell.number_or("wall_seconds", 0.0),
+                  static_cast<std::uint64_t>(cell.number_or("units", 0)));
+  }
+
+  if (const util::Json* phases = m.find("phases"); phases && phases->size()) {
+    if (markdown)
+      std::printf("\n| phase | calls | wall s | cpu s |\n|---|---|---|---|\n");
+    else
+      std::printf("phases:\n");
+    for (const auto& [name, entry] : phases->object()) {
+      const auto calls =
+          static_cast<std::uint64_t>(entry.number_or("calls", 0));
+      if (markdown)
+        std::printf("| %s | %" PRIu64 " | %.3f | %.3f |\n", name.c_str(),
+                    calls, entry.number_or("wall_seconds", 0.0),
+                    entry.number_or("cpu_seconds", 0.0));
+      else
+        std::printf("  %-22s %8" PRIu64 " calls  wall %8.3fs  cpu %8.3fs\n",
+                    name.c_str(), calls, entry.number_or("wall_seconds", 0.0),
+                    entry.number_or("cpu_seconds", 0.0));
+    }
+  }
+
+  const util::Json* metrics = m.find("metrics");
+  if (metrics) {
+    if (const util::Json* counters = metrics->find("counters");
+        counters && counters->size()) {
+      std::printf("counters:\n");
+      for (const auto& [name, v] : counters->object())
+        std::printf("  %-38s %" PRIu64 "\n", name.c_str(),
+                    static_cast<std::uint64_t>(v.number()));
+    }
+    if (const util::Json* gauges = metrics->find("gauges");
+        gauges && gauges->size()) {
+      std::printf("gauges:\n");
+      for (const auto& [name, v] : gauges->object())
+        std::printf("  %-38s %g\n", name.c_str(), v.number());
+    }
+    if (const util::Json* hists = metrics->find("histograms");
+        hists && hists->size()) {
+      std::printf("histograms:\n");
+      for (const auto& [name, h] : hists->object()) {
+        const auto total = static_cast<std::uint64_t>(h.number_or("total", 0));
+        const double mean = total ? h.number_or("sum", 0.0) /
+                                        static_cast<double>(total)
+                                  : 0.0;
+        std::printf("  %-38s total %" PRIu64 "  mean %.3f\n", name.c_str(),
+                    total, mean);
+      }
+    }
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------- diff
+
+int diff_manifests(const util::Json& a, const util::Json& b, bool markdown) {
+  std::printf("diff: %s (%s) -> %s (%s)\n", a.at("label").str().c_str(),
+              a.at("git_describe").str().c_str(), b.at("label").str().c_str(),
+              b.at("git_describe").str().c_str());
+  if (a.at("config_hash").str() != b.at("config_hash").str())
+    std::printf("note: config hashes differ (%s vs %s)\n",
+                a.at("config_hash").str().c_str(),
+                b.at("config_hash").str().c_str());
+
+  if (markdown)
+    std::printf("\n| metric | before -> after | delta |\n|---|---|---|\n");
+  auto num_row = [&](const char* name, double before, double after) {
+    print_row(markdown, name, fmt(before) + " -> " + fmt(after),
+              fmt_pct(pct_delta(before, after)));
+  };
+  num_row("wall_seconds", a.number_or("wall_seconds", 0.0),
+          b.number_or("wall_seconds", 0.0));
+  num_row("cpu_seconds", a.number_or("cpu_seconds", 0.0),
+          b.number_or("cpu_seconds", 0.0));
+  const double tidy_a = a.number_or("tidy_warning_count", -1);
+  const double tidy_b = b.number_or("tidy_warning_count", -1);
+  if (tidy_a >= 0 && tidy_b >= 0)
+    print_row(markdown, "tidy_warnings",
+              fmt(tidy_a) + " -> " + fmt(tidy_b),
+              fmt(tidy_b - tidy_a));
+
+  // Counters: union of both manifests' names, in order.
+  const util::Json* ma = a.find("metrics");
+  const util::Json* mb = b.find("metrics");
+  const util::Json* ca = ma ? ma->find("counters") : nullptr;
+  const util::Json* cb = mb ? mb->find("counters") : nullptr;
+  if (ca || cb) {
+    std::map<std::string, std::pair<double, double>> merged;
+    if (ca)
+      for (const auto& [name, v] : ca->object()) merged[name].first = v.number();
+    if (cb)
+      for (const auto& [name, v] : cb->object())
+        merged[name].second = v.number();
+    for (const auto& [name, pair] : merged)
+      num_row(name.c_str(), pair.first, pair.second);
+  }
+
+  // Phase wall-clock deltas.
+  const util::Json* pa = a.find("phases");
+  const util::Json* pb = b.find("phases");
+  if (pa && pb) {
+    for (const auto& [name, entry] : pb->object()) {
+      const util::Json* before = pa->find(name);
+      if (!before) continue;
+      num_row(("phase." + name + ".wall_s").c_str(),
+              before->number_or("wall_seconds", 0.0),
+              entry.number_or("wall_seconds", 0.0));
+    }
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- bench-diff
+
+int bench_diff(const util::Json& base, const util::Json& cur, bool markdown,
+               double tolerance_pct) {
+  const double base_rate = base.at("aggregate").at("replays_per_sec").number();
+  const double cur_rate = cur.at("aggregate").at("replays_per_sec").number();
+  const double delta = pct_delta(base_rate, cur_rate);
+
+  if (markdown) {
+    std::printf("### bench_replay_throughput: %s vs %s\n\n",
+                cur.contains("label") ? cur.at("label").str().c_str()
+                                      : "current",
+                base.contains("label") ? base.at("label").str().c_str()
+                                       : "baseline");
+    std::printf("| workload | baseline replays/s | current replays/s | delta |\n");
+    std::printf("|---|---|---|---|\n");
+  } else {
+    std::printf("%-12s %18s %18s %9s\n", "workload", "baseline r/s",
+                "current r/s", "delta");
+  }
+
+  std::map<std::string, double> base_rates;
+  for (const auto& w : base.at("workloads").array())
+    base_rates[w.at("name").str()] = w.at("replays_per_sec").number();
+  for (const auto& w : cur.at("workloads").array()) {
+    const std::string& name = w.at("name").str();
+    const auto it = base_rates.find(name);
+    const double b = it != base_rates.end() ? it->second : 0.0;
+    const double c = w.at("replays_per_sec").number();
+    if (markdown)
+      std::printf("| %s | %.2f | %.2f | %s |\n", name.c_str(), b, c,
+                  fmt_pct(pct_delta(b, c)).c_str());
+    else
+      std::printf("%-12s %18.2f %18.2f %9s\n", name.c_str(), b, c,
+                  fmt_pct(pct_delta(b, c)).c_str());
+  }
+  if (markdown)
+    std::printf("| **aggregate** | **%.2f** | **%.2f** | **%s** |\n\n",
+                base_rate, cur_rate, fmt_pct(delta).c_str());
+  else
+    std::printf("%-12s %18.2f %18.2f %9s\n", "aggregate", base_rate, cur_rate,
+                fmt_pct(delta).c_str());
+
+  if (delta <= -tolerance_pct)
+    std::printf("verdict: REGRESSION - aggregate replay rate down %.2f%% "
+                "(tolerance %.1f%%)\n",
+                -delta, tolerance_pct);
+  else if (delta >= tolerance_pct)
+    std::printf("verdict: improvement - aggregate replay rate up %.2f%%\n",
+                delta);
+  else
+    std::printf("verdict: OK - within %.1f%% of baseline (%+.2f%%)\n",
+                tolerance_pct, delta);
+  return 0;  // informational by design; CI gates on tests, not throughput
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"tolerance-pct"}, {"markdown"});
+  const auto& pos = flags.positional();
+  if (pos.empty() || !flags.unknown().empty()) return usage();
+  const bool markdown = flags.has("markdown");
+
+  try {
+    const std::string& command = pos[0];
+    if (command == "summarize" && pos.size() == 2)
+      return summarize(util::Json::parse_file(pos[1]), markdown);
+    if (command == "diff" && pos.size() == 3)
+      return diff_manifests(util::Json::parse_file(pos[1]),
+                            util::Json::parse_file(pos[2]), markdown);
+    if (command == "bench-diff" && pos.size() == 3) {
+      double tolerance = 3.0;
+      if (flags.has("tolerance-pct"))
+        tolerance = static_cast<double>(flags.get_int("tolerance-pct", 3));
+      return bench_diff(util::Json::parse_file(pos[1]),
+                        util::Json::parse_file(pos[2]), markdown, tolerance);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrisc-stats: %s\n", e.what());
+    return 1;
+  }
+}
