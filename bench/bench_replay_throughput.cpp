@@ -1,4 +1,5 @@
-// bench_replay_throughput: how fast is one trace replay?
+// bench_replay_throughput: how fast is one timing replay - and how much
+// faster is a group replay?
 //
 // The experiment engine (driver/engine.h) made the grid sweeps
 // emulate-once/replay-many, so nearly all suite wall-clock now sits in the
@@ -6,28 +7,40 @@
 // bench isolates exactly that path on the Figure 4 suites: each workload is
 // functionally emulated once into a TraceBuffer, then replayed back-to-back
 // under the paper's shipping configuration (4-bit LUT + hardware swapping)
-// until a minimum measurement window is filled.
+// until a minimum measurement window is filled. Since the "time once, steer
+// many" layer (sim/group_buffer.h), each workload is additionally captured
+// into an IssueGroupBuffer once and steered back-to-back through the
+// lightweight GroupReplayer - the per-workload group_replays_per_sec /
+// trace replays_per_sec ratio is the per-replay speedup of skipping the
+// Tomasulo machinery. A final engine-level section times the full
+// fig4-style scheme sweep (every scheme x hardware swap) with the group
+// cache off vs on.
 //
 //   bench_replay_throughput [--out BENCH_replay.json] [--min-time-ms 300]
 //                           [--scheme lut4|original|fullham]
 //                           [--baseline prior.json] [--label NAME]
+//                           [--jobs N]
 //
-// Metrics per workload and aggregated: traces-replayed/sec, simulated
-// cycles/sec and committed instructions/sec. Output is machine-readable
-// JSON (schema mrisc-bench-replay/v1) so the numbers can be tracked
-// PR-over-PR; `--baseline` embeds a previous run's JSON and computes the
-// speedup of aggregate replays/sec against it. See docs/performance.md.
+// Metrics per workload and aggregated: traces-replayed/sec, group
+// replays/sec, simulated cycles/sec and committed instructions/sec. Output
+// is machine-readable JSON (schema mrisc-bench-replay/v2; v1 files are
+// accepted as --baseline) so the numbers can be tracked PR-over-PR;
+// `--baseline` embeds a previous run's JSON and computes the speedup of
+// aggregate replays/sec against it. See docs/performance.md.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "driver/experiment.h"
+#include "driver/engine.h"
 #include "sim/emulator.h"
+#include "sim/group_buffer.h"
 #include "sim/trace_buffer.h"
 
 #if !MRISC_OBS_TRACING
@@ -51,9 +64,16 @@ struct WorkloadRate {
   std::uint64_t cycles_per_replay = 0;
   std::uint64_t replays = 0;
   double seconds = 0.0;
+  std::uint64_t group_replays = 0;    ///< GroupReplayer passes (v2)
+  double group_seconds = 0.0;
 
   [[nodiscard]] double replays_per_sec() const {
     return seconds > 0 ? static_cast<double>(replays) / seconds : 0.0;
+  }
+  [[nodiscard]] double group_replays_per_sec() const {
+    return group_seconds > 0
+               ? static_cast<double>(group_replays) / group_seconds
+               : 0.0;
   }
   [[nodiscard]] double sim_cycles_per_sec() const {
     return seconds > 0 ? static_cast<double>(replays * cycles_per_replay) /
@@ -69,7 +89,8 @@ struct WorkloadRate {
 
 /// Time back-to-back replays of one recorded trace until `min_time_ms` of
 /// wall clock is filled (at least two replays, so one-off warmup effects
-/// are amortized).
+/// are amortized), then the same window of group replays over a one-time
+/// capture of the trace's issue groups.
 WorkloadRate measure(const workloads::Workload& workload,
                      const driver::ExperimentConfig& config, int min_time_ms) {
   WorkloadRate rate;
@@ -99,7 +120,79 @@ WorkloadRate measure(const workloads::Workload& workload,
     now = Clock::now();
   } while (now < deadline || rate.replays < 2);
   rate.seconds = std::chrono::duration<double>(now - start).count();
+
+  // Group replays: time once (the capture, not timed into the loop), steer
+  // back to back. Same policies, accountant and result extraction - only
+  // the Tomasulo machinery is skipped.
+  sim::MemoryTraceSource capture_source(buffer);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(config.machine, capture_source);
+  {
+    (void)driver::replay_groups(groups, workload.name, config);  // warmup
+  }
+  const auto gstart = Clock::now();
+  const auto gdeadline = gstart + std::chrono::milliseconds(min_time_ms);
+  auto gnow = gstart;
+  do {
+    (void)driver::replay_groups(groups, workload.name, config);
+    ++rate.group_replays;
+    gnow = Clock::now();
+  } while (gnow < gdeadline || rate.group_replays < 2);
+  rate.group_seconds = std::chrono::duration<double>(gnow - gstart).count();
   return rate;
+}
+
+/// Engine-level fig4-style sweep (every scheme x hardware swap over the
+/// suite) timed with the group cache off vs on; the trace cache is
+/// pre-warmed in both modes so the comparison isolates the steering sweep.
+struct SteerSweep {
+  std::size_t schemes = 0;
+  double trace_path_seconds = 0.0;
+  double group_path_seconds = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return group_path_seconds > 0 ? trace_path_seconds / group_path_seconds
+                                  : 0.0;
+  }
+};
+
+SteerSweep measure_steer_sweep(std::span<const workloads::Workload> suite,
+                               int jobs) {
+  SteerSweep sweep;
+  auto make_plan = [&] {
+    driver::ExperimentPlan plan;
+    plan.add_suite(suite);
+    for (const driver::Scheme scheme : driver::kAllSchemesExtended) {
+      driver::ExperimentConfig config;
+      config.scheme = scheme;
+      config.swap = driver::SwapMode::kHardware;
+      plan.add_cell(driver::to_string(scheme), config);
+    }
+    return plan;
+  };
+  auto warm_plan = [&] {
+    driver::ExperimentPlan plan;
+    plan.add_suite(suite);
+    driver::ExperimentConfig config;
+    config.scheme = driver::Scheme::kOriginal;
+    config.swap = driver::SwapMode::kHardware;
+    plan.add_cell("warm", config);
+    return plan;
+  };
+  sweep.schemes = std::size(driver::kAllSchemesExtended);
+
+  for (const bool groups_on : {false, true}) {
+    driver::ExperimentEngine engine(jobs);
+    engine.set_group_replay(groups_on);
+    engine.run(warm_plan());  // fills the trace cache, untimed
+    const auto start = Clock::now();
+    engine.run(make_plan());
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    (groups_on ? sweep.group_path_seconds : sweep.trace_path_seconds) =
+        seconds;
+  }
+  return sweep;
 }
 
 /// Pull `"aggregate": { ... "replays_per_sec": X ... }` out of a previous
@@ -133,6 +226,7 @@ int main(int argc, char** argv) {
   std::string label = "current";
   std::string scheme_name = "lut4";
   int min_time_ms = 300;
+  int jobs = bench::parse_jobs(argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -151,12 +245,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--manifest") {
       if (const char* v = next()) manifest_path = v;
     } else if (arg == "--jobs") {
-      (void)next();  // accepted for uniformity with the other benches, unused
+      if (const char* v = next()) jobs = std::atoi(v);
     } else {
       std::fprintf(stderr,
                    "usage: bench_replay_throughput [--out FILE] "
                    "[--baseline FILE] [--label NAME] [--scheme S] "
-                   "[--min-time-ms N] [--manifest FILE]\n");
+                   "[--min-time-ms N] [--manifest FILE] [--jobs N]\n");
       return 2;
     }
   }
@@ -182,19 +276,23 @@ int main(int argc, char** argv) {
 
   std::vector<WorkloadRate> rates;
   std::uint64_t total_replays = 0, weighted_cycles = 0, weighted_instrs = 0;
-  double total_seconds = 0.0;
+  std::uint64_t total_group_replays = 0;
+  double total_seconds = 0.0, total_group_seconds = 0.0;
   for (const auto& workload : suite) {
     const WorkloadRate rate = measure(workload, config, min_time_ms);
     std::printf("%-12s %9llu records  %9llu cycles/replay  "
-                "%8.2f replays/s  %8.2f Mcycles/s\n",
+                "%8.2f replays/s  %8.2f group-replays/s  %8.2f Mcycles/s\n",
                 rate.name.c_str(),
                 static_cast<unsigned long long>(rate.records),
                 static_cast<unsigned long long>(rate.cycles_per_replay),
-                rate.replays_per_sec(), rate.sim_cycles_per_sec() / 1e6);
+                rate.replays_per_sec(), rate.group_replays_per_sec(),
+                rate.sim_cycles_per_sec() / 1e6);
     total_replays += rate.replays;
     weighted_cycles += rate.replays * rate.cycles_per_replay;
     weighted_instrs += rate.replays * rate.records;
     total_seconds += rate.seconds;
+    total_group_replays += rate.group_replays;
+    total_group_seconds += rate.group_seconds;
     rates.push_back(rate);
   }
 
@@ -207,10 +305,25 @@ int main(int argc, char** argv) {
   const double agg_instrs_per_sec =
       total_seconds > 0 ? static_cast<double>(weighted_instrs) / total_seconds
                         : 0.0;
-  std::printf("aggregate: %.2f replays/s, %.2f Msim-cycles/s, "
-              "%.2f Msim-instrs/s over %zu workloads\n",
-              agg_replays_per_sec, agg_cycles_per_sec / 1e6,
-              agg_instrs_per_sec / 1e6, rates.size());
+  const double agg_group_replays_per_sec =
+      total_group_seconds > 0
+          ? static_cast<double>(total_group_replays) / total_group_seconds
+          : 0.0;
+  const double group_speedup = agg_replays_per_sec > 0
+                                   ? agg_group_replays_per_sec /
+                                         agg_replays_per_sec
+                                   : 0.0;
+  std::printf("aggregate: %.2f replays/s, %.2f group-replays/s (%.2fx), "
+              "%.2f Msim-cycles/s, %.2f Msim-instrs/s over %zu workloads\n",
+              agg_replays_per_sec, agg_group_replays_per_sec, group_speedup,
+              agg_cycles_per_sec / 1e6, agg_instrs_per_sec / 1e6,
+              rates.size());
+
+  const SteerSweep sweep = measure_steer_sweep(suite, jobs);
+  std::printf("steer sweep (%zu schemes x hardware, jobs=%d): "
+              "trace path %.3fs, group path %.3fs, %.2fx\n",
+              sweep.schemes, jobs, sweep.trace_path_seconds,
+              sweep.group_path_seconds, sweep.speedup());
 
   std::string baseline_json;
   double baseline_rate = 0.0;
@@ -237,7 +350,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n";
-  out << "  \"schema\": \"mrisc-bench-replay/v1\",\n";
+  out << "  \"schema\": \"mrisc-bench-replay/v2\",\n";
   out << "  \"label\": \"" << json_escape(label) << "\",\n";
   out << "  \"scheme\": \"" << json_escape(scheme_name)
       << "\",\n  \"swap\": \"hardware\",\n";
@@ -254,29 +367,50 @@ int main(int argc, char** argv) {
   out << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const WorkloadRate& r = rates[i];
-    std::snprintf(buf, sizeof buf,
+    char big[512];
+    std::snprintf(big, sizeof big,
                   "    {\"name\": \"%s\", \"records\": %llu, "
                   "\"cycles_per_replay\": %llu, \"replays\": %llu, "
                   "\"seconds\": %.6f, \"replays_per_sec\": %.3f, "
+                  "\"group_replays\": %llu, \"group_seconds\": %.6f, "
+                  "\"group_replays_per_sec\": %.3f, "
                   "\"sim_cycles_per_sec\": %.1f, "
                   "\"sim_instrs_per_sec\": %.1f}%s\n",
                   json_escape(r.name).c_str(),
                   static_cast<unsigned long long>(r.records),
                   static_cast<unsigned long long>(r.cycles_per_replay),
                   static_cast<unsigned long long>(r.replays), r.seconds,
-                  r.replays_per_sec(), r.sim_cycles_per_sec(),
-                  r.sim_instrs_per_sec(),
+                  r.replays_per_sec(),
+                  static_cast<unsigned long long>(r.group_replays),
+                  r.group_seconds, r.group_replays_per_sec(),
+                  r.sim_cycles_per_sec(), r.sim_instrs_per_sec(),
                   i + 1 < rates.size() ? "," : "");
-    out << buf;
+    out << big;
   }
   out << "  ],\n";
-  std::snprintf(buf, sizeof buf,
+  // "replays_per_sec" stays the first key in "aggregate" so v1 readers
+  // (extract_aggregate_rate above, older bench-diff builds) keep parsing
+  // v2 files.
+  char big[512];
+  std::snprintf(big, sizeof big,
                 "  \"aggregate\": {\"replays\": %llu, \"seconds\": %.6f, "
-                "\"replays_per_sec\": %.3f, \"sim_cycles_per_sec\": %.1f, "
-                "\"sim_instrs_per_sec\": %.1f}",
+                "\"replays_per_sec\": %.3f, \"group_replays\": %llu, "
+                "\"group_seconds\": %.6f, \"group_replays_per_sec\": %.3f, "
+                "\"group_speedup\": %.3f, \"sim_cycles_per_sec\": %.1f, "
+                "\"sim_instrs_per_sec\": %.1f},\n",
                 static_cast<unsigned long long>(total_replays), total_seconds,
-                agg_replays_per_sec, agg_cycles_per_sec, agg_instrs_per_sec);
-  out << buf;
+                agg_replays_per_sec,
+                static_cast<unsigned long long>(total_group_replays),
+                total_group_seconds, agg_group_replays_per_sec, group_speedup,
+                agg_cycles_per_sec, agg_instrs_per_sec);
+  out << big;
+  std::snprintf(big, sizeof big,
+                "  \"steer_sweep\": {\"schemes\": %zu, \"jobs\": %d, "
+                "\"trace_path_seconds\": %.6f, \"group_path_seconds\": %.6f, "
+                "\"speedup\": %.3f}",
+                sweep.schemes, jobs, sweep.trace_path_seconds,
+                sweep.group_path_seconds, sweep.speedup());
+  out << big;
   if (baseline_rate > 0) {
     std::snprintf(buf, sizeof buf,
                   ",\n  \"baseline_replays_per_sec\": %.3f,\n"
@@ -293,6 +427,10 @@ int main(int argc, char** argv) {
   char agg_buf[64];
   std::snprintf(agg_buf, sizeof agg_buf, "%.3f", agg_replays_per_sec);
   manifest.note("replays_per_sec", agg_buf);
+  std::snprintf(agg_buf, sizeof agg_buf, "%.3f", agg_group_replays_per_sec);
+  manifest.note("group_replays_per_sec", agg_buf);
+  std::snprintf(agg_buf, sizeof agg_buf, "%.3f", sweep.speedup());
+  manifest.note("steer_sweep_speedup", agg_buf);
   for (const WorkloadRate& r : rates)
     manifest.add_cell(r.name, r.seconds, r.replays);
   return 0;

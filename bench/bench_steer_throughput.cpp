@@ -1,0 +1,222 @@
+// bench_steer_throughput: wall-clock of the full scheme sweep, trace path
+// vs group path.
+//
+// The acceptance question for the "time once, steer many" layer
+// (sim/group_buffer.h + the engine's group cache) is end to end: how much
+// faster does the fig4-style scheme sweep - every scheme in
+// kAllSchemesExtended crossed with hardware swapping over the Figure 4
+// suite - finish when the engine steers cached issue-group captures instead
+// of replaying the full Tomasulo core per cell? This bench times exactly
+// that sweep both ways on the same ExperimentEngine configuration (trace
+// cache pre-warmed in both modes so emulation cost is excluded), repeats
+// the measurement, and reports the best-of-N wall clock per mode plus the
+// speedup. It also cross-checks that the two modes render byte-identical
+// result tables - a perf number for a wrong answer is worthless.
+//
+//   bench_steer_throughput [--out BENCH_steer.json] [--repeat 3]
+//                          [--jobs N] [--manifest FILE]
+//
+// Output: human-readable summary on stdout and machine-readable JSON
+// (schema mrisc-bench-steer/v1) for PR-over-PR tracking; the manifest
+// (docs/observability.md) carries the engine's phase profile and the
+// engine.groupcache.* counters. See docs/performance.md.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "driver/engine.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mrisc;
+using Clock = std::chrono::steady_clock;
+
+/// The measured sweep: every extended scheme x hardware swapping over the
+/// whole suite (one column of Figure 4, widened to the shipped scheme set).
+driver::ExperimentPlan sweep_plan(const std::vector<workloads::Workload>& suite) {
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite);
+  for (const driver::Scheme scheme : driver::kAllSchemesExtended) {
+    driver::ExperimentConfig config;
+    config.scheme = scheme;
+    config.swap = driver::SwapMode::kHardware;
+    plan.add_cell(driver::to_string(scheme), config);
+  }
+  return plan;
+}
+
+/// One cell is enough to emulate + record every suite trace, so the timed
+/// runs below never pay emulation or capture-input cost.
+driver::ExperimentPlan warm_plan(const std::vector<workloads::Workload>& suite) {
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite);
+  driver::ExperimentConfig config;
+  config.scheme = driver::Scheme::kOriginal;
+  config.swap = driver::SwapMode::kHardware;
+  plan.add_cell("warm", config);
+  return plan;
+}
+
+/// Render the sweep's per-cell energies so the two modes can be compared
+/// byte for byte.
+std::string render(const std::vector<driver::CellResult>& cells) {
+  util::AsciiTable table({"Scheme", "IALU bits", "FPAU bits", "Cycles"});
+  std::size_t i = 0;
+  for (const driver::Scheme scheme : driver::kAllSchemesExtended) {
+    const driver::CellResult& cell = cells[i++];
+    table.add_row({std::string(driver::to_string(scheme)),
+                   std::to_string(cell.total.ialu.switched_bits),
+                   std::to_string(cell.total.fpau.switched_bits),
+                   std::to_string(cell.total.pipeline.cycles)});
+  }
+  return table.to_string("steer sweep");
+}
+
+struct ModeTiming {
+  double best_seconds = 0.0;
+  std::vector<double> runs;
+  std::string rendered;
+  std::uint64_t group_replays = 0;
+  std::uint64_t captures = 0;
+};
+
+ModeTiming time_mode(const std::vector<workloads::Workload>& suite, int jobs,
+                     bool group_replay, int repeat) {
+  ModeTiming timing;
+  driver::ExperimentEngine engine(jobs);
+  engine.set_group_replay(group_replay);
+  engine.run(warm_plan(suite));  // untimed: fills the trace cache
+  for (int r = 0; r < repeat; ++r) {
+    // A fresh group cache per repetition: the capture cost is part of what
+    // the group path must amortize inside a single sweep.
+    engine.clear_cache();
+    engine.run(warm_plan(suite));
+    const auto start = Clock::now();
+    const auto cells = engine.run(sweep_plan(suite));
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    timing.runs.push_back(seconds);
+    if (timing.best_seconds == 0.0 || seconds < timing.best_seconds)
+      timing.best_seconds = seconds;
+    if (r == 0) timing.rendered = render(cells);
+  }
+  timing.group_replays = engine.group_replays();
+  timing.captures = engine.captures();
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_steer.json";
+  std::string manifest_path;
+  int repeat = 3;
+  int jobs = mrisc::bench::parse_jobs(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--repeat") {
+      if (const char* v = next()) repeat = std::atoi(v);
+    } else if (arg == "--manifest") {
+      if (const char* v = next()) manifest_path = v;
+    } else if (arg == "--jobs") {
+      (void)next();  // consumed by parse_jobs
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_steer_throughput [--out FILE] [--repeat N] "
+                   "[--jobs N] [--manifest FILE]\n");
+      return 2;
+    }
+  }
+  if (repeat < 1) repeat = 1;
+
+  const auto suite_cfg = bench::suite_config();
+  const auto suite = workloads::full_suite(suite_cfg);
+
+  driver::ExperimentEngine profile_engine(jobs);
+  bench::ManifestScope manifest("bench_steer_throughput", profile_engine.jobs(),
+                                &profile_engine);
+  if (!manifest_path.empty()) manifest.set_path(manifest_path);
+
+  const ModeTiming trace_mode = time_mode(suite, jobs, /*group_replay=*/false,
+                                          repeat);
+  const ModeTiming group_mode = time_mode(suite, jobs, /*group_replay=*/true,
+                                          repeat);
+  if (trace_mode.rendered != group_mode.rendered) {
+    std::fprintf(stderr,
+                 "FATAL: trace-path and group-path sweeps disagree\n%s\n%s\n",
+                 trace_mode.rendered.c_str(), group_mode.rendered.c_str());
+    return 1;
+  }
+  std::fputs(group_mode.rendered.c_str(), stdout);
+
+  // One profiled group-path run so the manifest carries the capture/steer
+  // phase breakdown and engine.groupcache.* counters.
+  profile_engine.run(sweep_plan(suite));
+
+  const double speedup = group_mode.best_seconds > 0
+                             ? trace_mode.best_seconds / group_mode.best_seconds
+                             : 0.0;
+  std::printf("schemes: %zu x hardware swap over %zu workloads, jobs=%d, "
+              "best of %d\n",
+              std::size(driver::kAllSchemesExtended), suite.size(),
+              profile_engine.jobs(), repeat);
+  std::printf("trace path: %.3fs   group path: %.3fs   speedup: %.2fx\n",
+              trace_mode.best_seconds, group_mode.best_seconds, speedup);
+  std::printf("group path: %llu captures, %llu group replays per sweep "
+              "repetition set\n",
+              static_cast<unsigned long long>(group_mode.captures),
+              static_cast<unsigned long long>(group_mode.group_replays));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  char buf[512];
+  out << "{\n  \"schema\": \"mrisc-bench-steer/v1\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"schemes\": %zu,\n  \"workloads\": %zu,\n"
+                "  \"scale\": %g,\n  \"jobs\": %d,\n  \"repeat\": %d,\n",
+                std::size(driver::kAllSchemesExtended), suite.size(),
+                suite_cfg.scale, profile_engine.jobs(), repeat);
+  out << buf;
+  auto write_runs = [&](const char* key, const ModeTiming& mode) {
+    std::snprintf(buf, sizeof buf, "  \"%s\": {\"best_seconds\": %.6f, "
+                  "\"runs\": [", key, mode.best_seconds);
+    out << buf;
+    for (std::size_t i = 0; i < mode.runs.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s%.6f", i ? ", " : "", mode.runs[i]);
+      out << buf;
+    }
+    out << "]}";
+  };
+  write_runs("trace_path", trace_mode);
+  out << ",\n";
+  write_runs("group_path", group_mode);
+  std::snprintf(buf, sizeof buf, ",\n  \"speedup\": %.3f\n}\n", speedup);
+  out << buf;
+  std::fprintf(stderr, "[json written to %s]\n", out_path.c_str());
+
+  std::snprintf(buf, sizeof buf, "%.3f", speedup);
+  manifest.note("speedup", buf);
+  std::snprintf(buf, sizeof buf, "%.6f", trace_mode.best_seconds);
+  manifest.note("trace_path_best_seconds", buf);
+  std::snprintf(buf, sizeof buf, "%.6f", group_mode.best_seconds);
+  manifest.note("group_path_best_seconds", buf);
+  manifest.note("out", out_path);
+  manifest.add_cell("trace_path", trace_mode.best_seconds,
+                    std::size(driver::kAllSchemesExtended));
+  manifest.add_cell("group_path", group_mode.best_seconds,
+                    std::size(driver::kAllSchemesExtended));
+  return 0;
+}

@@ -2,8 +2,12 @@
 // scheme against the three swap stackings and prints the paper-style bar
 // values (percent energy reduction relative to Original/no-swap). Runs on
 // the trace-replay experiment engine: each kernel is functionally emulated
-// once per swap variant, and the 19 grid cells replay the cached traces in
-// parallel (bit-identical to the old serial path at any --jobs count).
+// once per swap variant, each (trace, machine) pair is timed once into an
+// issue-group capture, and the 19 grid cells steer the cached groups in
+// parallel (bit-identical to the old serial path at any --jobs count; see
+// docs/performance.md for the "time once, steer many" layer). The grid
+// deliberately stays on kAllSchemes - the paper's six bars - not the
+// extended scheme list; bench_steer_throughput sweeps the full list.
 #pragma once
 
 #include <cstdio>

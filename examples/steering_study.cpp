@@ -1,7 +1,8 @@
-// Steering study: compare every scheme of the paper on one SPEC95-like
-// workload and print the Figure-4-style reductions, plus the per-scheme
-// bits/op. Shows the experiment-driver API (the one the bench binaries
-// use) on a single workload.
+// Steering study: compare every shipped scheme (the paper's plus the
+// PC-hash and round-robin extensions) on one SPEC95-like workload and print
+// the Figure-4-style reductions, plus the per-scheme bits/op. Shows the
+// experiment-driver API (the one the bench binaries use) on a single
+// workload.
 #include <cstdio>
 
 #include "driver/experiment.h"
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
 
   util::AsciiTable table(
       {"Scheme", "bits/op", "reduction", "+hw swap", "+hw+compiler"});
-  for (const auto scheme : driver::kAllSchemes) {
+  for (const auto scheme : driver::kAllSchemesExtended) {
     std::vector<std::string> row{driver::to_string(scheme)};
     bool first = true;
     for (const auto swap : driver::kAllSwapModes) {

@@ -23,6 +23,66 @@ bool needs_static_swap(const ExperimentConfig& config) {
   return config.swap == SwapMode::kStaticOnly;
 }
 
+/// Trace-cache key for (cell, unit): unit identity + trace variant.
+/// Workload identity hashes the assembly source, so same-named kernels at
+/// different scales or seed salts never collide; bare programs are keyed
+/// per plan and unit.
+std::string trace_key(const ExperimentPlan& plan, std::size_t cell_index,
+                      std::size_t unit_index, std::uint64_t plan_nonce) {
+  const ExperimentUnit& unit = plan.units[unit_index];
+  const ExperimentCell& cell = plan.cells[cell_index];
+  std::string key =
+      unit.workload
+          ? unit.name + "#" + util::fnv1a_hex(unit.workload->source)
+          : unit.name + "#prog" + std::to_string(plan_nonce) + "." +
+                std::to_string(unit_index);
+  if (cell.prepare) {
+    key += "#prep:" + cell.fingerprint;
+  } else {
+    key += needs_compiler_swap(cell.config) ? "#cc"
+           : needs_static_swap(cell.config) ? "#static"
+                                            : "#base";
+  }
+  return key;
+}
+
+/// Fingerprint of everything that shapes the timing core's behaviour: the
+/// full OooConfig, cache and branch-predictor geometry included. Cells that
+/// agree on (trace key x machine fingerprint) see bit-identical issue
+/// groups and may share one capture.
+std::string machine_fingerprint(const sim::OooConfig& machine) {
+  std::string text;
+  const auto add = [&text](std::int64_t v) {
+    text += std::to_string(v);
+    text += ':';
+  };
+  add(machine.fetch_width);
+  add(machine.issue_width);
+  add(machine.commit_width);
+  add(machine.rob_size);
+  add(machine.rs_per_class);
+  for (const int n : machine.modules) add(n);
+  add(machine.cache.size_bytes);
+  add(machine.cache.line_bytes);
+  add(machine.cache.hit_latency);
+  add(machine.cache.miss_penalty);
+  add(static_cast<std::int64_t>(machine.bpred.kind));
+  add(machine.bpred.table_bits);
+  add(machine.bpred.history_bits);
+  add(machine.bpred.mispredict_penalty);
+  add(machine.fetch_break_on_taken_branch ? 1 : 0);
+  add(machine.in_order_issue ? 1 : 0);
+  return util::fnv1a_hex(text);
+}
+
+/// Group-cache key for (cell, unit): the trace key plus the machine
+/// fingerprint - the two inputs the captured groups depend on.
+std::string group_key(const ExperimentPlan& plan, std::size_t cell_index,
+                      std::size_t unit_index, std::uint64_t plan_nonce) {
+  return trace_key(plan, cell_index, unit_index, plan_nonce) + "#m:" +
+         machine_fingerprint(plan.cells[cell_index].config.machine);
+}
+
 }  // namespace
 
 void ExperimentPlan::add_suite(std::span<const workloads::Workload> suite) {
@@ -57,6 +117,7 @@ ExperimentEngine::ExperimentEngine(int jobs) : jobs_(jobs) {}
 void ExperimentEngine::clear_cache() {
   std::scoped_lock lock(cache_mu_);
   cache_.clear();
+  group_cache_.clear();
 }
 
 ExperimentEngine::TracePtr ExperimentEngine::trace_for(
@@ -65,22 +126,7 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
     obs::PhaseProfile& profile) {
   const ExperimentUnit& unit = plan.units[unit_index];
   const ExperimentCell& cell = plan.cells[cell_index];
-
-  // Key = unit identity + trace variant. Workload identity hashes the
-  // assembly source, so same-named kernels at different scales or seed
-  // salts never collide; bare programs are keyed per plan and unit.
-  std::string key =
-      unit.workload
-          ? unit.name + "#" + util::fnv1a_hex(unit.workload->source)
-          : unit.name + "#prog" + std::to_string(plan_nonce) + "." +
-                std::to_string(unit_index);
-  if (cell.prepare) {
-    key += "#prep:" + cell.fingerprint;
-  } else {
-    key += needs_compiler_swap(cell.config) ? "#cc"
-           : needs_static_swap(cell.config) ? "#static"
-                                            : "#base";
-  }
+  std::string key = trace_key(plan, cell_index, unit_index, plan_nonce);
 
   std::promise<TracePtr> promise;
   {
@@ -130,6 +176,53 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
   }
 }
 
+ExperimentEngine::GroupPtr ExperimentEngine::groups_for(
+    const ExperimentPlan& plan, std::size_t cell_index, std::size_t unit_index,
+    std::uint64_t plan_nonce, obs::MetricsShard& shard,
+    obs::PhaseProfile& profile) {
+  std::string key = group_key(plan, cell_index, unit_index, plan_nonce);
+
+  std::promise<GroupPtr> promise;
+  {
+    std::unique_lock lock(cache_mu_);
+    const auto it = group_cache_.find(key);
+    if (it != group_cache_.end()) {
+      auto future = it->second;
+      lock.unlock();
+      shard.counter("engine.groupcache.hits").inc();
+      return future.get();  // rethrows the capture's exception, if any
+    }
+    group_cache_.emplace(key, promise.get_future().share());
+  }
+  shard.counter("engine.groupcache.misses").inc();
+
+  try {
+    // The trace lookup happens outside the capture timer so the emulate and
+    // capture phases stay disjoint in the profile.
+    const TracePtr trace =
+        trace_for(plan, cell_index, unit_index, plan_nonce, shard, profile);
+
+    captures_.fetch_add(1);
+    shard.counter("engine.captures").inc();
+    obs::ScopedTimer timer(profile, "capture");
+    sim::MemoryTraceSource source(*trace);
+    auto buffer = std::make_shared<sim::IssueGroupBuffer>(
+        sim::capture_groups(plan.cells[cell_index].config.machine, source));
+    shard.counter("engine.groupcache.groups").inc(buffer->groups().size());
+    shard.counter("engine.groupcache.slots").inc(buffer->slots().size());
+    shard.counter("engine.groupcache.bytes")
+        .inc(buffer->groups().size() * sizeof(sim::IssueGroup) +
+             buffer->slots().size() * sizeof(sim::IssueSlot));
+
+    GroupPtr groups = std::move(buffer);
+    promise.set_value(groups);
+    return groups;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
 std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
   const std::uint64_t nonce = plan_nonce_++;
 
@@ -171,6 +264,17 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
   if (static_cast<std::size_t>(workers) > tasks.size())
     workers = static_cast<int>(tasks.size());
 
+  // Decide, up front, which (cell x unit) pairs take the group-replay fast
+  // path: capturing groups costs one full timing run, so it only pays when
+  // at least two cells share the (trace x machine) key. Single-sharer pairs
+  // replay the trace directly, exactly as before.
+  std::unordered_map<std::string, int> group_sharers;
+  if (group_replay_) {
+    for (std::size_t c = 0; c < plan.cells.size(); ++c)
+      for (std::size_t u = 0; u < plan.units.size(); ++u)
+        ++group_sharers[group_key(plan, c, u, nonce)];
+  }
+
   // Per-worker telemetry: each worker writes only its own shard/profile on
   // the hot path (no locks); all are merged below. Merge operations are
   // commutative, so the published metrics are the same for any jobs count.
@@ -182,8 +286,12 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
                       stats::OccupancyAggregator* occupancy,
                       obs::MetricsShard& shard, obs::PhaseProfile& profile) {
     const ExperimentCell& cell = plan.cells[c];
-    const TracePtr trace = trace_for(plan, c, u, nonce, shard, profile);
-    sim::MemoryTraceSource source(*trace);
+
+    bool use_groups = false;
+    if (group_replay_) {
+      const auto it = group_sharers.find(group_key(plan, c, u, nonce));
+      use_groups = it != group_sharers.end() && it->second >= 2;
+    }
 
     std::unique_ptr<sim::IssueListener> extra;
     sim::IssueListener* extra_ptr = nullptr;
@@ -191,13 +299,28 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
       extra = cell.make_listener(plan.units[u], u);
       extra_ptr = extra.get();
     }
+    const auto extra_span =
+        extra_ptr ? std::span<sim::IssueListener* const>(&extra_ptr, 1)
+                  : std::span<sim::IssueListener* const>{};
+
     replays_.fetch_add(1);
     shard.counter("engine.replays").inc();
-    obs::ScopedTimer timer(profile, "replay");
-    results[c].per_unit[u] = replay_trace(
-        source, plan.units[u].name, cell.config, patterns, occupancy,
-        extra_ptr ? std::span<sim::IssueListener* const>(&extra_ptr, 1)
-                  : std::span<sim::IssueListener* const>{});
+    if (use_groups) {
+      const GroupPtr groups = groups_for(plan, c, u, nonce, shard, profile);
+      group_replays_.fetch_add(1);
+      shard.counter("engine.group_replays").inc();
+      obs::ScopedTimer timer(profile, "steer");
+      results[c].per_unit[u] =
+          replay_groups(*groups, plan.units[u].name, cell.config, patterns,
+                        occupancy, extra_span);
+    } else {
+      const TracePtr trace = trace_for(plan, c, u, nonce, shard, profile);
+      sim::MemoryTraceSource source(*trace);
+      obs::ScopedTimer timer(profile, "replay");
+      results[c].per_unit[u] =
+          replay_trace(source, plan.units[u].name, cell.config, patterns,
+                       occupancy, extra_span);
+    }
     if (extra) results[c].listeners[u] = std::move(extra);
   };
 

@@ -1,15 +1,25 @@
-// Parallel trace-replay experiment engine: emulate once, replay the
-// (scheme x swap) grid concurrently.
+// Parallel trace-replay experiment engine: emulate once, time once, steer
+// the (scheme x swap) grid concurrently.
 //
-// Every bench sweeps a grid of ExperimentConfigs over the same suite. The
-// committed-path trace fed to the timing core is bit-identical for every
-// cell that shares a swap variant (hardware swapping happens inside the
-// steering policies; only the compiler swap pass changes the binary), so
-// the engine functionally emulates each (workload x swap-variant) exactly
-// once into a shared TraceBuffer cache and replays the cached trace for
-// each grid cell on a thread pool. Results land in grid-indexed slots and
-// are aggregated in unit order, so an N-thread run is bit-identical to
-// --jobs 1 (tests/test_engine.cpp proves it).
+// Every bench sweeps a grid of ExperimentConfigs over the same suite. Two
+// levels of work are invariant across grid cells and cached behind
+// promise/shared_future keys:
+//
+//  1. The committed-path trace fed to the timing core is bit-identical for
+//     every cell that shares a swap variant (hardware swapping happens
+//     inside the steering policies; only the compiler swap pass changes the
+//     binary), so each (workload x swap-variant) is functionally emulated
+//     exactly once into a shared TraceBuffer cache.
+//  2. The timing core's behaviour is steering-invariant (sim/group_buffer.h),
+//     so when several cells share a (trace x machine-config) the engine runs
+//     the timing core over that trace exactly once, captures its issue
+//     groups, and every scheme cell replays the groups with a lightweight
+//     GroupReplayer instead of re-running the Tomasulo machinery.
+//
+// Results land in grid-indexed slots and are aggregated in unit order, so
+// an N-thread run is bit-identical to --jobs 1 (tests/test_engine.cpp
+// proves it), and group replay is bit-identical to full trace replay
+// (tests/test_group_replay.cpp proves that).
 //
 // Per-cell state (steering policies, EnergyAccountant, collectors) is
 // constructed inside each task - nothing stateful is shared between cells.
@@ -100,15 +110,30 @@ class ExperimentEngine {
   std::vector<CellResult> run(const ExperimentPlan& plan);
 
   [[nodiscard]] int jobs() const noexcept { return jobs_; }
-  /// Functional emulations performed so far (cache misses).
+  /// Functional emulations performed so far (trace-cache misses).
   [[nodiscard]] std::uint64_t emulations() const noexcept {
     return emulations_.load();
   }
-  /// Timing replays performed so far (one per cell x unit).
+  /// Timing replays performed so far (one per cell x unit, whichever path).
   [[nodiscard]] std::uint64_t replays() const noexcept {
     return replays_.load();
   }
-  /// Drop all cached traces (e.g. between unrelated suites).
+  /// Full timing-core runs that captured an issue-group buffer (group-cache
+  /// misses).
+  [[nodiscard]] std::uint64_t captures() const noexcept {
+    return captures_.load();
+  }
+  /// Replays served by the lightweight GroupReplayer (subset of replays()).
+  [[nodiscard]] std::uint64_t group_replays() const noexcept {
+    return group_replays_.load();
+  }
+  /// Enable/disable the group-replay fast path (default on). With it off
+  /// every cell re-runs the full timing core over the cached trace -
+  /// bit-identical results, more wall clock; bench_steer_throughput sweeps
+  /// both to measure the speedup.
+  void set_group_replay(bool on) noexcept { group_replay_ = on; }
+  [[nodiscard]] bool group_replay() const noexcept { return group_replay_; }
+  /// Drop all cached traces and group buffers (e.g. between suites).
   void clear_cache();
 
   /// Self-profiling accumulated across run() calls: assemble / emulate /
@@ -126,6 +151,7 @@ class ExperimentEngine {
 
  private:
   using TracePtr = std::shared_ptr<const sim::TraceBuffer>;
+  using GroupPtr = std::shared_ptr<const sim::IssueGroupBuffer>;
 
   /// Get-or-record the trace for (cell, unit). Concurrent requests for the
   /// same key block on one shared emulation. Cache telemetry and emulation
@@ -134,11 +160,23 @@ class ExperimentEngine {
                      std::size_t unit_index, std::uint64_t plan_nonce,
                      obs::MetricsShard& shard, obs::PhaseProfile& profile);
 
+  /// Get-or-capture the issue-group buffer for (cell, unit): the cached
+  /// trace run through the timing core once under the cell's machine
+  /// config. Concurrent requests for the same key block on one shared
+  /// capture; the key is the trace key plus the machine fingerprint.
+  GroupPtr groups_for(const ExperimentPlan& plan, std::size_t cell_index,
+                      std::size_t unit_index, std::uint64_t plan_nonce,
+                      obs::MetricsShard& shard, obs::PhaseProfile& profile);
+
   int jobs_;
   std::mutex cache_mu_;
   std::unordered_map<std::string, std::shared_future<TracePtr>> cache_;
+  std::unordered_map<std::string, std::shared_future<GroupPtr>> group_cache_;
   std::atomic<std::uint64_t> emulations_{0};
   std::atomic<std::uint64_t> replays_{0};
+  std::atomic<std::uint64_t> captures_{0};
+  std::atomic<std::uint64_t> group_replays_{0};
+  bool group_replay_ = true;      ///< group-replay fast path enabled
   std::uint64_t plan_nonce_ = 0;  ///< distinguishes bare-program units
   obs::PhaseProfile profile_;     ///< merged after each run()
   obs::MetricsShard metrics_;     ///< merged after each run()

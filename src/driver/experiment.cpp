@@ -166,6 +166,47 @@ void export_pipeline_metrics(obs::MetricsShard& shard,
   }
 }
 
+/// Freshly constructed per-run steering policies (no state leaks between
+/// runs); installs into anything with OooCore's set_policy signature - the
+/// timing core and the group replayer share this setup, which is one half
+/// of what makes their results bit-identical.
+struct PolicySet {
+  std::unique_ptr<sim::SteeringPolicy> ialu, fpau;
+  steer::MultSwapSteering mult;
+
+  explicit PolicySet(const ExperimentConfig& config)
+      : ialu(make_policy(config, isa::FuClass::kIalu)),
+        fpau(make_policy(config, isa::FuClass::kFpau)),
+        mult(config.mult_rule) {}
+
+  template <typename Machine>
+  void install(Machine& machine) {
+    machine.set_policy(isa::FuClass::kIalu, ialu.get());
+    machine.set_policy(isa::FuClass::kFpau, fpau.get());
+    machine.set_policy(isa::FuClass::kImult, &mult);
+    machine.set_policy(isa::FuClass::kFpmult, &mult);
+  }
+};
+
+/// Package a finished run: accountant totals + per-module breakdown + the
+/// run's pipeline statistics.
+RunResult make_result(const std::string& name,
+                      const power::EnergyAccountant& accountant,
+                      const sim::PipelineStats& stats) {
+  RunResult result;
+  result.workload = name;
+  result.ialu = accountant.cls(isa::FuClass::kIalu);
+  result.fpau = accountant.cls(isa::FuClass::kFpau);
+  result.imult = accountant.cls(isa::FuClass::kImult);
+  result.fpmult = accountant.cls(isa::FuClass::kFpmult);
+  result.pipeline = stats;
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m)
+      result.per_module[c][m] = accountant.module_energy(
+          static_cast<isa::FuClass>(c), static_cast<int>(m));
+  return result;
+}
+
 /// The shared core of every experiment path: drive `source` through the
 /// timing core under `config` with freshly constructed per-run policies and
 /// accountant (no state leaks between runs). Both the live-emulation path
@@ -179,13 +220,8 @@ RunResult run_core(sim::TraceSource& source, const std::string& name,
                    const Observability& obs) {
   sim::OooCore core(config.machine, source);
 
-  auto ialu_policy = make_policy(config, isa::FuClass::kIalu);
-  auto fpau_policy = make_policy(config, isa::FuClass::kFpau);
-  steer::MultSwapSteering mult_policy(config.mult_rule);
-  core.set_policy(isa::FuClass::kIalu, ialu_policy.get());
-  core.set_policy(isa::FuClass::kFpau, fpau_policy.get());
-  core.set_policy(isa::FuClass::kImult, &mult_policy);
-  core.set_policy(isa::FuClass::kFpmult, &mult_policy);
+  PolicySet policies(config);
+  policies.install(core);
 
   power::EnergyAccountant accountant(config.power);
   core.add_listener(&accountant);
@@ -205,18 +241,7 @@ RunResult run_core(sim::TraceSource& source, const std::string& name,
   if (occupancy) occupancy->add(core.stats());
   if (obs.metrics) export_pipeline_metrics(*obs.metrics, core.stats());
 
-  RunResult result;
-  result.workload = name;
-  result.ialu = accountant.cls(isa::FuClass::kIalu);
-  result.fpau = accountant.cls(isa::FuClass::kFpau);
-  result.imult = accountant.cls(isa::FuClass::kImult);
-  result.fpmult = accountant.cls(isa::FuClass::kFpmult);
-  result.pipeline = core.stats();
-  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
-    for (std::size_t m = 0; m < sim::kMaxModules; ++m)
-      result.per_module[c][m] = accountant.module_energy(
-          static_cast<isa::FuClass>(c), static_cast<int>(m));
-  return result;
+  return make_result(name, accountant, core.stats());
 }
 
 }  // namespace
@@ -251,6 +276,30 @@ RunResult replay_trace(sim::TraceSource& source, const std::string& name,
                        const Observability& obs) {
   return run_core(source, name, config, patterns, occupancy, extra_listeners,
                   obs);
+}
+
+RunResult replay_groups(const sim::IssueGroupBuffer& groups,
+                        const std::string& name,
+                        const ExperimentConfig& config,
+                        stats::BitPatternCollector* patterns,
+                        stats::OccupancyAggregator* occupancy,
+                        std::span<sim::IssueListener* const> extra_listeners) {
+  sim::GroupReplayer replayer(config.machine, groups);
+
+  PolicySet policies(config);
+  policies.install(replayer);
+
+  power::EnergyAccountant accountant(config.power);
+  replayer.add_listener(&accountant);
+  if (patterns) replayer.add_listener(patterns);
+  for (sim::IssueListener* listener : extra_listeners)
+    if (listener) replayer.add_listener(listener);
+
+  replayer.run();
+
+  if (occupancy) occupancy->add(replayer.stats());
+
+  return make_result(name, accountant, replayer.stats());
 }
 
 void verify_outputs(const workloads::Workload& workload,

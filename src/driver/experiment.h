@@ -11,6 +11,7 @@
 
 #include "power/energy.h"
 #include "sim/emulator.h"
+#include "sim/group_buffer.h"
 #include "sim/ooo.h"
 #include "stats/bit_patterns.h"
 #include "stats/report.h"
@@ -50,9 +51,21 @@ enum class Scheme {
   kPcHash,     ///< EXTENSION: PC-affinity steering (not in Figure 4's bars)
   kRoundRobin, ///< control baseline: rotates modules, destroying locality
 };
+/// Figure 4's bars, in the paper's order (what the fig4 benches sweep).
 inline constexpr Scheme kAllSchemes[] = {Scheme::kFullHam, Scheme::kOneBitHam,
                                          Scheme::kLut8,    Scheme::kLut4,
                                          Scheme::kLut2,    Scheme::kOriginal};
+/// Every shipped scheme, extensions included - what "all schemes" means for
+/// coverage sweeps and contract tests. Must list each enumerator exactly
+/// once; tests/test_driver.cpp holds the exhaustiveness check against
+/// kNumSchemes and to_string.
+inline constexpr Scheme kAllSchemesExtended[] = {
+    Scheme::kFullHam, Scheme::kOneBitHam, Scheme::kLut8,
+    Scheme::kLut4,    Scheme::kLut2,      Scheme::kOriginal,
+    Scheme::kPcHash,  Scheme::kRoundRobin};
+/// Number of Scheme enumerators; update together with the enum and
+/// kAllSchemesExtended.
+inline constexpr int kNumSchemes = static_cast<int>(Scheme::kRoundRobin) + 1;
 const char* to_string(Scheme scheme) noexcept;
 
 /// The swap stacking of Figure 4's bars.
@@ -136,6 +149,21 @@ RunResult replay_trace(sim::TraceSource& source, const std::string& name,
                        stats::OccupancyAggregator* occupancy = nullptr,
                        std::span<sim::IssueListener* const> extra_listeners = {},
                        const Observability& obs = {});
+
+/// Replay a captured issue-group stream (sim/group_buffer.h) under
+/// `config`'s steering scheme, swap mode and power model. Bit-identical to
+/// replay_trace on the trace that produced the groups - the policies,
+/// accountant and collectors see the same groups in the same order - but
+/// skips the Tomasulo machinery entirely: "time once, steer many". The
+/// groups must have been captured under the same machine config
+/// (`config.machine`); PipelineStats are steering-invariant and are
+/// returned from the capture verbatim.
+RunResult replay_groups(const sim::IssueGroupBuffer& groups,
+                        const std::string& name,
+                        const ExperimentConfig& config,
+                        stats::BitPatternCollector* patterns = nullptr,
+                        stats::OccupancyAggregator* occupancy = nullptr,
+                        std::span<sim::IssueListener* const> extra_listeners = {});
 
 /// Check a finished emulation's OUT/OUTF channel against the workload's
 /// reference model; throws std::logic_error on any mismatch.

@@ -1,0 +1,153 @@
+#include "sim/group_buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrisc::sim {
+
+namespace {
+
+/// Default routing for classes without an installed policy: oldest
+/// instruction to the lowest-numbered free module, no swapping (the same
+/// "Original" behaviour OooCore falls back to).
+class FcfsDefault final : public SteeringPolicy {
+ public:
+  void reset(int) override {}
+  void assign(std::span<const IssueSlot> slots, std::span<const int> available,
+              std::span<ModuleAssignment> out) override {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      out[i] = ModuleAssignment{available[i], false};
+  }
+};
+
+FcfsDefault g_default_policy;
+
+}  // namespace
+
+void IssueGroupBuffer::append(isa::FuClass cls,
+                              std::span<const IssueSlot> slots) {
+  IssueGroup group;
+  group.first = static_cast<std::uint32_t>(slots_.size());
+  group.count = static_cast<std::uint8_t>(slots.size());
+  group.cls = cls;
+  slots_.insert(slots_.end(), slots.begin(), slots.end());
+  groups_.push_back(group);
+}
+
+void IssueGroupBuffer::seal_cycle(std::uint64_t cycle) {
+  for (std::size_t i = sealed_; i < groups_.size(); ++i)
+    groups_[i].cycle = cycle;
+  sealed_ = groups_.size();
+}
+
+void IssueGroupBuffer::clear() noexcept {
+  slots_.clear();
+  groups_.clear();
+  sealed_ = 0;
+  stats_ = PipelineStats{};
+}
+
+void IssueGroupRecorder::on_issue(isa::FuClass cls,
+                                  std::span<const IssueSlot> slots,
+                                  std::span<const ModuleAssignment> /*assign*/) {
+  buffer_.append(cls, slots);
+}
+
+IssueGroupBuffer capture_groups(const OooConfig& config, TraceSource& source) {
+  IssueGroupBuffer buffer;
+  OooCore core(config, source);
+  IssueGroupRecorder recorder(buffer);
+  core.add_listener(&recorder);
+  core.run();
+  buffer.set_stats(core.stats());
+  return buffer;
+}
+
+GroupReplayer::GroupReplayer(const OooConfig& config,
+                             const IssueGroupBuffer& buffer)
+    : config_(config), buffer_(buffer) {
+  for (int c = 0; c < isa::kNumFuClasses; ++c) {
+    if (config_.modules[static_cast<std::size_t>(c)] > kMaxModules)
+      throw std::invalid_argument("too many modules for one FU class");
+  }
+  policies_.fill(nullptr);
+  listeners_.reserve(4);
+}
+
+void GroupReplayer::set_policy(isa::FuClass cls, SteeringPolicy* policy) {
+  const auto idx = static_cast<std::size_t>(cls);
+  policies_[idx] = policy;
+  if (policy) policy->reset(config_.modules[idx]);
+}
+
+void GroupReplayer::add_listener(IssueListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void GroupReplayer::replay_group(const IssueGroup& group) {
+  const auto cu = static_cast<std::size_t>(group.cls);
+  const auto n = static_cast<std::size_t>(group.count);
+
+  // Modules free this cycle, ascending - exactly what OooCore's issue stage
+  // presents. Which ids are free depends on this replay's own past
+  // assignments; how many are free does not (the recorded group fits).
+  int available_count = 0;
+  for (int m = 0; m < config_.modules[cu]; ++m) {
+    if (module_busy_[cu][static_cast<std::size_t>(m)] <= group.cycle)
+      available_scratch_[static_cast<std::size_t>(available_count++)] = m;
+  }
+
+  const std::span<const IssueSlot> slots(&buffer_.slots()[group.first], n);
+  const std::span<const int> available(available_scratch_.data(),
+                                       static_cast<std::size_t>(available_count));
+  const std::span<ModuleAssignment> assign(assign_scratch_.data(), n);
+  std::fill_n(assign_scratch_.begin(), n, ModuleAssignment{});
+
+  SteeringPolicy* policy = policies_[cu] ? policies_[cu] : &g_default_policy;
+  policy->assign(slots, available, assign);
+
+  std::uint64_t used_mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int m = assign[i].module;
+    const bool legal =
+        std::find(available.begin(), available.end(), m) != available.end();
+    if (!legal || (used_mask >> m) & 1)
+      throw std::logic_error("steering policy returned an illegal module");
+    if (assign[i].swapped && !slots[i].commutative)
+      throw std::logic_error("steering policy swapped a non-commutative op");
+    used_mask |= std::uint64_t{1} << m;
+
+    // Same occupancy rule as the issue stage: pipelined modules accept a
+    // new operation next cycle, non-pipelined ones hold until completion.
+    // (Cache latency never reaches module_busy: loads are pipelined.)
+    bool pipelined = true;
+    const int latency = op_latency(slots[i].op, pipelined);
+    module_busy_[cu][static_cast<std::size_t>(m)] =
+        pipelined ? group.cycle + 1
+                  : group.cycle + static_cast<std::uint64_t>(latency);
+  }
+
+  for (IssueListener* listener : listeners_)
+    listener->on_issue(group.cls, slots, assign);
+}
+
+bool GroupReplayer::run_cycles(std::uint64_t max_cycles) {
+  const auto& groups = buffer_.groups();
+  const std::uint64_t total = buffer_.stats().cycles;
+  for (std::uint64_t i = 0; i < max_cycles && cycle_ < total; ++i) {
+    ++cycle_;
+    while (next_group_ < groups.size() && groups[next_group_].cycle == cycle_) {
+      replay_group(groups[next_group_]);
+      ++next_group_;
+    }
+    for (IssueListener* listener : listeners_) listener->on_cycle(cycle_);
+  }
+  return done();
+}
+
+void GroupReplayer::run() {
+  while (!run_cycles(std::uint64_t{1} << 20)) {
+  }
+}
+
+}  // namespace mrisc::sim

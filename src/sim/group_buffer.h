@@ -1,0 +1,149 @@
+// "Time once, steer many": steering-invariant issue-group capture and the
+// lightweight group replayer.
+//
+// The timing behaviour of OooCore is steering-invariant by construction:
+// a SteeringPolicy only permutes already-formed per-cycle issue groups onto
+// interchangeable modules of one FU class, so ROB/RS/fetch/commit - and with
+// them the group *contents*, the cycle each group issues, and the *count* of
+// free modules - are identical for every policy. Only the module identities
+// (and swap flags) differ. IssueGroupBuffer captures the groups plus the
+// final PipelineStats from ONE full OooCore run; GroupReplayer then drives
+// any policy + listeners straight over the captured groups, tracking its own
+// per-module busy-until from the constexpr latency table and skipping the
+// Tomasulo machinery entirely. This is the second-level cache of the
+// experiment engine: emulate once -> trace, time once -> groups, steer many.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/issue.h"
+#include "sim/ooo.h"
+
+namespace mrisc::sim {
+
+/// One captured per-cycle, per-class issue group: `count` IssueSlots
+/// starting at `first` in the owning buffer's flat slot store.
+struct IssueGroup {
+  std::uint64_t cycle = 0;  ///< simulated cycle the group issued in
+  std::uint32_t first = 0;  ///< index into IssueGroupBuffer::slots()
+  std::uint8_t count = 0;   ///< slots in the group (<= kMaxModules)
+  isa::FuClass cls = isa::FuClass::kNone;
+};
+
+/// Flat storage for every issue group of one timing run, in issue order
+/// (ascending cycle; classes in FuClass order within a cycle - exactly the
+/// order OooCore notifies its listeners), plus the run's final
+/// PipelineStats. Both are steering-invariant, so one buffer serves every
+/// scheme. Any number of GroupReplayers may read one buffer concurrently.
+class IssueGroupBuffer {
+ public:
+  /// Append a group whose cycle is not known yet (IssueListener::on_issue
+  /// does not carry the cycle); seal_cycle() stamps it.
+  void append(isa::FuClass cls, std::span<const IssueSlot> slots);
+
+  /// Stamp `cycle` on every group appended since the previous seal.
+  void seal_cycle(std::uint64_t cycle);
+
+  /// Record the finished run's pipeline statistics (identical for every
+  /// steering policy; replays hand them back verbatim).
+  void set_stats(const PipelineStats& stats) { stats_ = stats; }
+
+  [[nodiscard]] const std::vector<IssueGroup>& groups() const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] const std::vector<IssueSlot>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
+  void clear() noexcept;
+
+ private:
+  std::vector<IssueSlot> slots_;
+  std::vector<IssueGroup> groups_;
+  std::size_t sealed_ = 0;  ///< groups already stamped with their cycle
+  PipelineStats stats_{};
+};
+
+/// IssueListener that records every post-steering issue group into a
+/// buffer. Attach to the one full OooCore run per (workload x swap x
+/// machine); the module assignments of the recording policy are ignored -
+/// only the steering-invariant group contents are kept.
+class IssueGroupRecorder final : public IssueListener {
+ public:
+  explicit IssueGroupRecorder(IssueGroupBuffer& buffer) noexcept
+      : buffer_(buffer) {}
+
+  void on_issue(isa::FuClass cls, std::span<const IssueSlot> slots,
+                std::span<const ModuleAssignment> assign) override;
+  void on_cycle(std::uint64_t cycle) override { buffer_.seal_cycle(cycle); }
+
+ private:
+  IssueGroupBuffer& buffer_;
+};
+
+/// Run the timing core once over `source` under `config` (default FCFS
+/// steering, no accountant) and capture its issue groups + stats.
+[[nodiscard]] IssueGroupBuffer capture_groups(const OooConfig& config,
+                                              TraceSource& source);
+
+/// Replays a captured group stream under any steering policy, driving the
+/// installed listeners exactly as OooCore would: per group, the policy maps
+/// the slots onto the modules free that cycle (identity is policy-dependent
+/// even though the free count is not, so the replayer tracks its own
+/// per-module busy-until from the constexpr latency table); per cycle,
+/// on_cycle fires after the cycle's groups. Enforces the same policy
+/// contract as OooCore (distinct modules drawn from `available`, swaps only
+/// on commutative slots) with the same std::logic_error diagnostics. The
+/// steady state performs no heap allocation (tests/test_alloc.cpp).
+class GroupReplayer {
+ public:
+  GroupReplayer(const OooConfig& config, const IssueGroupBuffer& buffer);
+
+  /// Install a steering policy for one FU class (resets it to the class's
+  /// module count); classes without one use first-come-first-serve.
+  void set_policy(isa::FuClass cls, SteeringPolicy* policy);
+
+  /// Attach an issue listener (power accountant, statistics collector).
+  void add_listener(IssueListener* listener);
+
+  /// Replay to completion.
+  void run();
+
+  /// Replay at most `max_cycles` further cycles; returns true if finished.
+  bool run_cycles(std::uint64_t max_cycles);
+
+  [[nodiscard]] bool done() const noexcept {
+    return cycle_ >= buffer_.stats().cycles;
+  }
+  /// The recorded run's statistics (steering-invariant, returned verbatim).
+  [[nodiscard]] const PipelineStats& stats() const noexcept {
+    return buffer_.stats();
+  }
+
+ private:
+  void replay_group(const IssueGroup& group);
+
+  OooConfig config_;
+  const IssueGroupBuffer& buffer_;
+  std::array<SteeringPolicy*, isa::kNumFuClasses> policies_{};
+  std::vector<IssueListener*> listeners_;
+
+  // Per-module "busy until cycle" (exclusive) per class; the only timing
+  // state the group stream does not already carry.
+  std::array<std::array<std::uint64_t, kMaxModules>, isa::kNumFuClasses>
+      module_busy_{};
+
+  // Reusable per-group scratch, bounded by kMaxModules.
+  std::array<int, kMaxModules> available_scratch_{};
+  std::array<ModuleAssignment, kMaxModules> assign_scratch_{};
+
+  std::size_t next_group_ = 0;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace mrisc::sim

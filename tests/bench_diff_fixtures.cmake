@@ -1,0 +1,78 @@
+# Regression-tests `mrisc-stats bench-diff` against a checked-in pair of
+# BENCH_replay.json fixtures: a v1 file (trace-replay rates only) and a v2
+# file (adds group-replay rates and the steer_sweep section). Every base /
+# current schema combination must work; group columns print "-" where a
+# side has no group data, and the v2-only lines (group replays/s, steer
+# sweep) appear exactly when a v2 file is involved.
+#
+# Variables: STATS = path to mrisc-stats, FIXTURES = tests/bench_fixtures.
+set(v1 ${FIXTURES}/replay_v1.json)
+set(v2 ${FIXTURES}/replay_v2.json)
+foreach(f ${v1} ${v2})
+  if(NOT EXISTS ${f})
+    message(FATAL_ERROR "missing fixture ${f}")
+  endif()
+endforeach()
+
+function(run_diff base cur out_var)
+  execute_process(COMMAND ${STATS} bench-diff ${base} ${cur}
+    OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "bench-diff ${base} ${cur}: expected exit 0, got ${code}\n${stdout}${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(expect output label)
+  set(patterns ${ARGN})
+  foreach(pattern ${patterns})
+    string(FIND "${output}" "${pattern}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR "${label}: missing \"${pattern}\" in:\n${output}")
+    endif()
+  endforeach()
+endfunction()
+
+function(expect_not output label)
+  set(patterns ${ARGN})
+  foreach(pattern ${patterns})
+    string(FIND "${output}" "${pattern}" at)
+    if(NOT at EQUAL -1)
+      message(FATAL_ERROR "${label}: unexpected \"${pattern}\" in:\n${output}")
+    endif()
+  endforeach()
+endfunction()
+
+# v1 -> v2: the upgrade path CI takes the first time a v2 file lands. The
+# fixtures encode a +10% replay-rate improvement, so the verdict line must
+# say improvement, and all three v2 sections must render.
+run_diff(${v1} ${v2} out)
+expect("${out}" "v1->v2"
+  "compress" "fft" "aggregate"
+  "group replays/s: - -> 1000"
+  "steer-sweep speedup (group cache on vs off): -x -> 3.048x"
+  "verdict: improvement - aggregate replay rate up 10.00%")
+
+# v2 -> v1: downgrade direction must not crash and must drop group data
+# back to "-" on the current side.
+run_diff(${v2} ${v1} out)
+expect("${out}" "v2->v1"
+  "group replays/s: 1000 -> -"
+  "verdict: REGRESSION - aggregate replay rate down 9.09%")
+
+# v1 -> v1: pre-group behaviour unchanged - no group or steer lines at all.
+run_diff(${v1} ${v1} out)
+expect("${out}" "v1->v1" "verdict: OK - within 3.0% of baseline")
+expect_not("${out}" "v1->v1" "group replays/s" "steer-sweep")
+
+# v2 -> v2: identical files - OK verdict, both group sections populated,
+# per-replay speedup line present (group_speedup is in both aggregates).
+run_diff(${v2} ${v2} out)
+expect("${out}" "v2->v2"
+  "group replays/s: 1000 -> 1000 (+0.00%)"
+  "per-replay group speedup: 7.273x -> 7.273x"
+  "steer-sweep speedup (group cache on vs off): 3.048x -> 3.048x"
+  "verdict: OK - within 3.0% of baseline")
+
+message(STATUS "bench-diff fixtures: all passed")

@@ -13,6 +13,7 @@
 
 #include "power/energy.h"
 #include "sim/emulator.h"
+#include "sim/group_buffer.h"
 #include "sim/ooo.h"
 #include "sim/trace_buffer.h"
 #include "stats/paper_ref.h"
@@ -118,6 +119,38 @@ TEST(AllocFree, InOrderIssueSteadyStateDoesNotAllocate) {
   core.set_policy(isa::FuClass::kIalu, &fcfs);
 
   EXPECT_EQ(allocations_during_cycles(core, 1000, 5000), 0u);
+}
+
+/// The group replayer is the per-scheme hot loop of the "time once, steer
+/// many" engine path: once constructed (fixed scratch arrays, reserved
+/// listener vector), replaying cycles must not allocate at all - the LUT
+/// policy, the accountant and the replayer's own bookkeeping all run out of
+/// preallocated state.
+TEST(AllocFree, GroupReplayerSteadyStateDoesNotAllocate) {
+  const sim::TraceBuffer trace = record_trace();
+  const sim::OooConfig config{};
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(config, capture_source);
+  ASSERT_GT(groups.groups().size(), 10000u);
+
+  sim::GroupReplayer replayer(config, groups);
+  steer::LutSteering lut_ialu(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4, 4),
+      steer::SwapConfig::hardware_for(isa::FuClass::kIalu));
+  steer::LutSteering lut_fpau(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kFpau), 4, 4),
+      steer::SwapConfig::hardware_for(isa::FuClass::kFpau));
+  replayer.set_policy(isa::FuClass::kIalu, &lut_ialu);
+  replayer.set_policy(isa::FuClass::kFpau, &lut_fpau);
+  power::EnergyAccountant accountant;
+  replayer.add_listener(&accountant);
+
+  replayer.run_cycles(1000);  // warmup
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  replayer.run_cycles(5000);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_GT(accountant.cls(isa::FuClass::kIalu).ops, 0u);
 }
 
 /// The counting allocator itself must be live in this binary, or the zero

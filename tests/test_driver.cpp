@@ -2,6 +2,9 @@
 // verification, and the paper's qualitative ordering on a reduced suite.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "driver/experiment.h"
 
 namespace mrisc::driver {
@@ -34,10 +37,31 @@ TEST(Driver, CompilerSwapPreservesOutputs) {
   EXPECT_NO_THROW(run_workload(w, config));
 }
 
+TEST(Driver, SchemeListsAreExhaustiveAndNamed) {
+  // kAllSchemesExtended must list every enumerator exactly once, and every
+  // scheme must render to a unique, real name. A new enumerator that is not
+  // added to the list (or to to_string) fails here.
+  EXPECT_EQ(std::size(kAllSchemesExtended),
+            static_cast<std::size_t>(kNumSchemes));
+  std::set<int> seen;
+  std::set<std::string> names;
+  for (const Scheme scheme : kAllSchemesExtended) {
+    EXPECT_TRUE(seen.insert(static_cast<int>(scheme)).second)
+        << "duplicate enumerator in kAllSchemesExtended";
+    const std::string name = to_string(scheme);
+    EXPECT_NE(name, "?") << "missing to_string case";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  // The Figure 4 list is a strict prefix-subset of the extended list.
+  EXPECT_LT(std::size(kAllSchemes), std::size(kAllSchemesExtended));
+  for (const Scheme scheme : kAllSchemes)
+    EXPECT_TRUE(seen.count(static_cast<int>(scheme)));
+}
+
 TEST(Driver, AllSchemesRunOnIntAndFpWorkloads) {
   const auto wi = workloads::make_m88ksim(quick());
   const auto wf = workloads::make_mgrid(quick());
-  for (const Scheme scheme : kAllSchemes) {
+  for (const Scheme scheme : kAllSchemesExtended) {
     for (const SwapMode swap :
          {SwapMode::kNone, SwapMode::kHardware, SwapMode::kHardwareCompiler}) {
       ExperimentConfig config;

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 
 #include "driver/engine.h"
 #include "sim/trace_buffer.h"
@@ -193,6 +194,124 @@ TEST(EngineTest, EmulatesOncePerSwapVariant) {
   again.add_cell("cell", config);
   engine.run(again);
   EXPECT_EQ(engine.emulations(), 2 * suite.size());
+}
+
+/// A scheme sweep (the fig4 shape): every cell shares one (trace x machine)
+/// key per workload, so the engine captures issue groups once per workload
+/// and serves every scheme cell from the GroupReplayer; with the fast path
+/// toggled off, every cell re-runs the full timing core. Both paths must
+/// agree bit for bit, and the telemetry must show the sharing.
+TEST(EngineTest, GroupReplayPathMatchesFullReplayAndCountsCaptures) {
+  const auto suite = workloads::integer_suite(kSmall);
+  auto make_plan = [&] {
+    ExperimentPlan plan;
+    plan.add_suite(suite);
+    for (const Scheme scheme : kAllSchemesExtended) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      config.swap = SwapMode::kHardware;
+      plan.add_cell(to_string(scheme), config);
+    }
+    return plan;
+  };
+  const auto num_schemes = std::size(kAllSchemesExtended);
+
+  ExperimentEngine fast(4);
+  ASSERT_TRUE(fast.group_replay());
+  const auto via_groups = fast.run(make_plan());
+  EXPECT_EQ(fast.emulations(), suite.size());
+  EXPECT_EQ(fast.captures(), suite.size());
+  EXPECT_EQ(fast.replays(), num_schemes * suite.size());
+  EXPECT_EQ(fast.group_replays(), num_schemes * suite.size());
+
+  ExperimentEngine slow(4);
+  slow.set_group_replay(false);
+  const auto via_trace = slow.run(make_plan());
+  EXPECT_EQ(slow.captures(), 0u);
+  EXPECT_EQ(slow.group_replays(), 0u);
+  EXPECT_EQ(slow.replays(), num_schemes * suite.size());
+
+  ASSERT_EQ(via_groups.size(), via_trace.size());
+  for (std::size_t i = 0; i < via_groups.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "cell " << i);
+    expect_result_equal(via_groups[i].total, via_trace[i].total);
+    for (std::size_t w = 0; w < via_groups[i].per_unit.size(); ++w)
+      expect_result_equal(via_groups[i].per_unit[w], via_trace[i].per_unit[w]);
+  }
+
+  // A lone cell never pays a capture: one sharer means direct trace replay
+  // is strictly cheaper.
+  ExperimentPlan lone;
+  lone.add_suite(suite);
+  ExperimentConfig config;
+  config.scheme = Scheme::kLut4;
+  lone.add_cell("lone", config);
+  ExperimentEngine single(2);
+  single.run(lone);
+  EXPECT_EQ(single.captures(), 0u);
+  EXPECT_EQ(single.group_replays(), 0u);
+}
+
+/// The jobs-count bit-identity guarantee extends to the group path,
+/// stats-collecting cells included.
+TEST(EngineTest, GroupPathParallelMatchesSingleJob) {
+  const auto suite = workloads::fp_suite(kSmall);
+  auto make_plan = [&] {
+    ExperimentPlan plan;
+    plan.add_suite(suite);
+    ExperimentConfig stats_config;
+    stats_config.scheme = Scheme::kOriginal;
+    plan.add_cell("stats", stats_config, /*collect_stats=*/true);
+    for (const Scheme scheme : kAllSchemesExtended) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      plan.add_cell(to_string(scheme), config);
+    }
+    return plan;
+  };
+
+  ExperimentEngine serial(1);
+  ExperimentEngine parallel(8);
+  const auto one = serial.run(make_plan());
+  const auto many = parallel.run(make_plan());
+  EXPECT_GT(serial.group_replays(), 0u);
+  EXPECT_EQ(serial.group_replays(), parallel.group_replays());
+
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_result_equal(many[i].total, one[i].total);
+    for (std::size_t w = 0; w < one[i].per_unit.size(); ++w)
+      expect_result_equal(many[i].per_unit[w], one[i].per_unit[w]);
+  }
+  EXPECT_EQ(stats::render_table1(many[0].patterns, isa::FuClass::kFpau),
+            stats::render_table1(one[0].patterns, isa::FuClass::kFpau));
+  EXPECT_EQ(stats::render_table2(many[0].occupancy),
+            stats::render_table2(one[0].occupancy));
+}
+
+/// Different machine configs must never share a capture: the fingerprint
+/// separates them even when the trace is shared.
+TEST(EngineTest, MachineVariantsGetSeparateCaptures) {
+  const auto suite = workloads::integer_suite(kSmall);
+  ExperimentPlan plan;
+  plan.add_suite(suite);
+  for (const bool gshare : {false, true}) {
+    for (const Scheme scheme : {Scheme::kOriginal, Scheme::kLut4}) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      if (gshare) config.machine.bpred.kind = sim::BpredConfig::Kind::kGshare;
+      plan.add_cell(gshare ? "gshare" : "perfect", config);
+    }
+  }
+  ExperimentEngine engine(4);
+  const auto cells = engine.run(plan);
+  ASSERT_EQ(cells.size(), 4u);
+  // One trace, but one capture per machine variant per workload.
+  EXPECT_EQ(engine.emulations(), suite.size());
+  EXPECT_EQ(engine.captures(), 2 * suite.size());
+  // The gshare machine really timed differently (else the fingerprint
+  // split tested nothing).
+  EXPECT_NE(cells[0].total.pipeline.cycles, cells[2].total.pipeline.cycles);
 }
 
 TEST(EngineTest, VerifiesOutputsAtRecordTime) {

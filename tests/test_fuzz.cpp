@@ -120,9 +120,9 @@ TEST_P(FuzzPrograms, WholeStackInvariants) {
   EXPECT_EQ(a.output()[0].bits, b.output()[0].bits);
   const std::uint64_t retired = a.retired();
 
-  // Pipeline invariants under every scheme.
+  // Pipeline invariants under every scheme, extensions included.
   std::uint64_t reference_cycles = 0;
-  for (const auto scheme : driver::kAllSchemes) {
+  for (const auto scheme : driver::kAllSchemesExtended) {
     driver::ExperimentConfig config;
     config.scheme = scheme;
     config.swap = driver::SwapMode::kHardware;

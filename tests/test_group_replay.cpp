@@ -1,0 +1,258 @@
+// Golden equivalence for the "time once, steer many" layer: replaying a
+// captured issue-group stream (sim/group_buffer.h) must be bit-identical to
+// a full timing-core replay of the trace that produced it - same
+// ClassEnergy, per-module breakdown, PipelineStats, bit-pattern rows,
+// occupancy histogram and leakage totals - for every shipped scheme, every
+// swap variant and every suite workload. This is what licenses the
+// experiment engine to run the Tomasulo machinery once per
+// (workload x swap x machine) and steer every scheme cell over the groups.
+#include <gtest/gtest.h>
+
+#include "driver/engine.h"
+#include "power/leakage.h"
+#include "sim/group_buffer.h"
+#include "sim/trace_buffer.h"
+#include "xform/static_swap.h"
+#include "xform/swap_pass.h"
+
+namespace mrisc::driver {
+namespace {
+
+const workloads::SuiteConfig kSmall{0.05};
+
+void expect_class_equal(const power::ClassEnergy& a,
+                        const power::ClassEnergy& b, const char* what) {
+  EXPECT_EQ(a.switched_bits, b.switched_bits) << what;
+  EXPECT_EQ(a.ops, b.ops) << what;
+  EXPECT_EQ(a.gated_operands, b.gated_operands) << what;
+  EXPECT_EQ(a.booth_adds, b.booth_adds) << what;          // bit-identical,
+  EXPECT_EQ(a.guard_overhead, b.guard_overhead) << what;  // not merely close
+}
+
+void expect_result_equal(const RunResult& a, const RunResult& b) {
+  expect_class_equal(a.ialu, b.ialu, "ialu");
+  expect_class_equal(a.fpau, b.fpau, "fpau");
+  expect_class_equal(a.imult, b.imult, "imult");
+  expect_class_equal(a.fpmult, b.fpmult, "fpmult");
+  EXPECT_EQ(a.pipeline.cycles, b.pipeline.cycles);
+  EXPECT_EQ(a.pipeline.committed, b.pipeline.committed);
+  EXPECT_EQ(a.pipeline.occupancy, b.pipeline.occupancy);
+  EXPECT_EQ(a.pipeline.issued, b.pipeline.issued);
+  EXPECT_EQ(a.pipeline.cache_hits, b.pipeline.cache_hits);
+  EXPECT_EQ(a.pipeline.cache_misses, b.pipeline.cache_misses);
+  EXPECT_EQ(a.pipeline.branches, b.pipeline.branches);
+  EXPECT_EQ(a.pipeline.mispredictions, b.pipeline.mispredictions);
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m) {
+      EXPECT_EQ(a.per_module[c][m].switched_bits,
+                b.per_module[c][m].switched_bits);
+      EXPECT_EQ(a.per_module[c][m].ops, b.per_module[c][m].ops);
+    }
+}
+
+void expect_patterns_equal(const stats::BitPatternCollector& a,
+                           const stats::BitPatternCollector& b) {
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cls = static_cast<isa::FuClass>(c);
+    EXPECT_EQ(a.total(cls), b.total(cls));
+    EXPECT_EQ(a.unary(cls), b.unary(cls));
+    for (int cs = 0; cs < 4; ++cs)
+      for (const bool comm : {false, true}) {
+        const auto& ra = a.row(cls, cs, comm);
+        const auto& rb = b.row(cls, cs, comm);
+        EXPECT_EQ(ra.count, rb.count);
+        // Identical slots in identical order: the double sums accumulate
+        // in the same order and must match exactly.
+        EXPECT_EQ(ra.sum_frac1, rb.sum_frac1);
+        EXPECT_EQ(ra.sum_frac2, rb.sum_frac2);
+      }
+  }
+}
+
+void expect_occupancy_equal(const stats::OccupancyAggregator& a,
+                            const stats::OccupancyAggregator& b) {
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cls = static_cast<isa::FuClass>(c);
+    for (int k = 1; k <= static_cast<int>(sim::kMaxModules); ++k)
+      EXPECT_EQ(a.freq(cls, k), b.freq(cls, k));
+  }
+}
+
+/// Record the committed-path trace for `workload` under `swap` (mirroring
+/// run_program's compiler-pass handling).
+sim::TraceBuffer record_trace(const workloads::Workload& workload,
+                              SwapMode swap) {
+  isa::Program program = workload.assembled();
+  if (swap == SwapMode::kHardwareCompiler || swap == SwapMode::kCompilerOnly)
+    program = xform::swapped_copy(program);
+  else if (swap == SwapMode::kStaticOnly)
+    program = xform::static_swapped_copy(program);
+  sim::Emulator emu(std::move(program));
+  sim::EmulatorTraceSource source(emu);
+  sim::TraceBuffer buffer;
+  buffer.record_all(source);
+  return buffer;
+}
+
+/// Both paths over the same trace/groups with full collectors attached;
+/// asserts every observable output matches bit for bit.
+void expect_paths_equal(const sim::TraceBuffer& trace,
+                        const sim::IssueGroupBuffer& groups,
+                        const ExperimentConfig& config,
+                        const std::string& name) {
+  const power::LeakageConfig leak_config{};
+
+  stats::BitPatternCollector trace_patterns;
+  stats::OccupancyAggregator trace_occupancy;
+  power::LeakageTracker trace_leak(leak_config, config.machine.modules);
+  sim::IssueListener* trace_extra = &trace_leak;
+  sim::MemoryTraceSource source(trace);
+  const RunResult via_trace = replay_trace(
+      source, name, config, &trace_patterns, &trace_occupancy,
+      std::span<sim::IssueListener* const>(&trace_extra, 1));
+
+  stats::BitPatternCollector group_patterns;
+  stats::OccupancyAggregator group_occupancy;
+  power::LeakageTracker group_leak(leak_config, config.machine.modules);
+  sim::IssueListener* group_extra = &group_leak;
+  const RunResult via_groups = replay_groups(
+      groups, name, config, &group_patterns, &group_occupancy,
+      std::span<sim::IssueListener* const>(&group_extra, 1));
+
+  expect_result_equal(via_trace, via_groups);
+  expect_patterns_equal(trace_patterns, group_patterns);
+  expect_occupancy_equal(trace_occupancy, group_occupancy);
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+    const auto cls = static_cast<isa::FuClass>(c);
+    EXPECT_EQ(trace_leak.energy(cls), group_leak.energy(cls));
+    EXPECT_EQ(trace_leak.slept_cycles(cls), group_leak.slept_cycles(cls));
+    EXPECT_EQ(trace_leak.wakeups(cls), group_leak.wakeups(cls));
+  }
+}
+
+/// The headline guarantee: every scheme (extensions included) x every swap
+/// variant x every suite workload, group replay == full trace replay.
+TEST(GroupReplay, EverySchemeSwapWorkloadBitIdentical) {
+  const auto suite = workloads::full_suite(kSmall);
+  ASSERT_FALSE(suite.empty());
+
+  for (const auto& workload : suite) {
+    for (const SwapMode swap : kAllSwapModes) {
+      SCOPED_TRACE(::testing::Message()
+                   << workload.name << " / " << to_string(swap));
+      const sim::TraceBuffer trace = record_trace(workload, swap);
+      ExperimentConfig config;
+      config.swap = swap;
+      sim::MemoryTraceSource capture_source(trace);
+      const sim::IssueGroupBuffer groups =
+          sim::capture_groups(config.machine, capture_source);
+      ASSERT_FALSE(groups.empty());
+      for (const Scheme scheme : kAllSchemesExtended) {
+        SCOPED_TRACE(to_string(scheme));
+        config.scheme = scheme;
+        expect_paths_equal(trace, groups, config, workload.name);
+      }
+    }
+  }
+}
+
+/// The multiplier swap rules steer kImult/kFpmult through the same policy
+/// object on both paths; pin them too.
+TEST(GroupReplay, MultSwapRulesBitIdentical) {
+  const auto suite = workloads::fp_suite(kSmall);
+  ASSERT_FALSE(suite.empty());
+  const auto& workload = suite.front();
+  const sim::TraceBuffer trace = record_trace(workload, SwapMode::kHardware);
+
+  for (const auto rule : {steer::MultSwapSteering::Rule::kInfoBit,
+                          steer::MultSwapSteering::Rule::kPopcount}) {
+    ExperimentConfig config;
+    config.scheme = Scheme::kLut4;
+    config.swap = SwapMode::kHardware;
+    config.mult_rule = rule;
+    sim::MemoryTraceSource capture_source(trace);
+    const sim::IssueGroupBuffer groups =
+        sim::capture_groups(config.machine, capture_source);
+    expect_paths_equal(trace, groups, config, workload.name);
+  }
+}
+
+/// A non-default machine (gshare front end, small cache, wider ROB): the
+/// captured groups differ from the default machine's, and replay must stay
+/// bit-identical under the variant config.
+TEST(GroupReplay, MachineVariantBitIdentical) {
+  const auto suite = workloads::integer_suite(kSmall);
+  ASSERT_FALSE(suite.empty());
+  const auto& workload = suite.front();
+  const sim::TraceBuffer trace = record_trace(workload, SwapMode::kNone);
+
+  ExperimentConfig config;
+  config.machine.bpred.kind = sim::BpredConfig::Kind::kGshare;
+  config.machine.cache.size_bytes = 1024;
+  config.machine.rob_size = 32;
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(config.machine, capture_source);
+
+  for (const Scheme scheme : kAllSchemesExtended) {
+    SCOPED_TRACE(to_string(scheme));
+    config.scheme = scheme;
+    expect_paths_equal(trace, groups, config, workload.name);
+  }
+}
+
+/// The replayer enforces OooCore's policy contract with the same
+/// diagnostics: an assignment outside the available set throws.
+TEST(GroupReplay, IllegalPolicyThrows) {
+  struct BadPolicy final : sim::SteeringPolicy {
+    void reset(int) override {}
+    void assign(std::span<const sim::IssueSlot> slots,
+                std::span<const int> /*available*/,
+                std::span<sim::ModuleAssignment> out) override {
+      for (std::size_t i = 0; i < slots.size(); ++i)
+        out[i] = sim::ModuleAssignment{static_cast<int>(sim::kMaxModules) - 1,
+                                       false};
+    }
+  };
+
+  const auto suite = workloads::integer_suite(kSmall);
+  const sim::TraceBuffer trace = record_trace(suite.front(), SwapMode::kNone);
+  sim::OooConfig machine;
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(machine, capture_source);
+
+  sim::GroupReplayer replayer(machine, groups);
+  BadPolicy bad;
+  replayer.set_policy(isa::FuClass::kIalu, &bad);
+  EXPECT_THROW(replayer.run(), std::logic_error);
+}
+
+/// The capture's PipelineStats are handed back verbatim and equal a direct
+/// OooCore run's stats.
+TEST(GroupReplay, CaptureStatsMatchDirectRun) {
+  const auto suite = workloads::integer_suite(kSmall);
+  const sim::TraceBuffer trace = record_trace(suite.front(), SwapMode::kNone);
+  sim::OooConfig machine;
+
+  sim::MemoryTraceSource direct_source(trace);
+  sim::OooCore core(machine, direct_source);
+  core.run();
+
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(machine, capture_source);
+  EXPECT_EQ(groups.stats().cycles, core.stats().cycles);
+  EXPECT_EQ(groups.stats().committed, core.stats().committed);
+  EXPECT_EQ(groups.stats().occupancy, core.stats().occupancy);
+  EXPECT_EQ(groups.stats().issued, core.stats().issued);
+
+  sim::GroupReplayer replayer(machine, groups);
+  replayer.run();
+  EXPECT_TRUE(replayer.done());
+  EXPECT_EQ(replayer.stats().cycles, core.stats().cycles);
+}
+
+}  // namespace
+}  // namespace mrisc::driver

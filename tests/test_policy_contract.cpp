@@ -1,0 +1,222 @@
+// Randomized contract checking for every shipped steering policy.
+//
+// The SteeringPolicy contract (sim/issue.h): given slots.size() <= free
+// module count, write one assignment per slot, each module drawn from
+// `available` and used at most once, swapping only commutative slots.
+// OooCore and GroupReplayer both *enforce* this with std::logic_error; here
+// we hammer the policies directly with randomized issue groups and
+// availability sets, then drive random whole programs through both the full
+// trace-replay path and the capture + group-replay path (whose built-in
+// validation turns any contract breach into a thrown test failure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+#include "sim/group_buffer.h"
+#include "sim/trace_buffer.h"
+#include "stats/paper_ref.h"
+#include "steer/lut.h"
+#include "steer/mult_swap.h"
+#include "steer/policies.h"
+#include "util/rng.h"
+
+namespace mrisc {
+namespace {
+
+struct NamedPolicy {
+  std::string name;
+  std::unique_ptr<sim::SteeringPolicy> policy;
+};
+
+/// Every shipped policy, constructed as driver::make_policy would for `cls`
+/// (hardware swapping on, so the swap half of the contract is exercised).
+std::vector<NamedPolicy> shipped_policies(isa::FuClass cls) {
+  using steer::SwapConfig;
+  std::vector<NamedPolicy> out;
+  out.push_back({"fcfs", std::make_unique<steer::FcfsSteering>(
+                             SwapConfig::hardware_for(cls))});
+  out.push_back({"fullham", std::make_unique<steer::FullHamSteering>(
+                                SwapConfig::explore())});
+  out.push_back({"onebitham", std::make_unique<steer::OneBitHamSteering>(
+                                  SwapConfig::explore(), 4)});
+  for (const int bits : {2, 4, 8}) {
+    out.push_back(
+        {"lut" + std::to_string(bits),
+         std::make_unique<steer::LutSteering>(
+             steer::build_lut(stats::paper_case_stats(cls), 4, bits),
+             SwapConfig::hardware_for(cls))});
+  }
+  out.push_back({"pchash", std::make_unique<steer::PcHashSteering>(
+                               SwapConfig::hardware_for(cls))});
+  out.push_back({"roundrobin", std::make_unique<steer::RoundRobinSteering>(
+                                   SwapConfig::hardware_for(cls))});
+  out.push_back({"multswap-infobit",
+                 std::make_unique<steer::MultSwapSteering>(
+                     steer::MultSwapSteering::Rule::kInfoBit)});
+  out.push_back({"multswap-popcount",
+                 std::make_unique<steer::MultSwapSteering>(
+                     steer::MultSwapSteering::Rule::kPopcount)});
+  return out;
+}
+
+sim::IssueSlot random_slot(util::Xoshiro256& rng, bool fp) {
+  sim::IssueSlot slot;
+  slot.op1 = rng.next();
+  slot.op2 = rng.next();
+  // Occasionally small/zero operands: the information-bit cases the LUT and
+  // Hamming schemes branch on.
+  if (rng.next_below(3) == 0) slot.op1 &= 0xff;
+  if (rng.next_below(3) == 0) slot.op2 = 0;
+  slot.has_op1 = true;
+  slot.has_op2 = rng.next_below(8) != 0;
+  slot.fp_operands = fp;
+  slot.commutative = rng.next_below(2) != 0;
+  slot.op = fp ? (slot.commutative ? isa::Opcode::kFadd : isa::Opcode::kFsub)
+               : (slot.commutative ? isa::Opcode::kAdd : isa::Opcode::kSub);
+  slot.pc = static_cast<std::uint32_t>(rng.next());
+  return slot;
+}
+
+/// Randomized direct contract check: for random groups over random
+/// availability sets, every assignment uses a distinct module from
+/// `available` and never swaps a non-commutative slot.
+TEST(PolicyContract, RandomGroupsSatisfyContract) {
+  constexpr int kModules = 4;
+  constexpr int kIterations = 2000;
+
+  for (const auto cls : {isa::FuClass::kIalu, isa::FuClass::kFpau}) {
+    const bool fp = cls == isa::FuClass::kFpau;
+    for (auto& [name, policy] : shipped_policies(cls)) {
+      SCOPED_TRACE(::testing::Message() << isa::to_string(cls) << "/" << name);
+      policy->reset(kModules);
+      util::Xoshiro256 rng(0xC0FFEEu + (fp ? 1 : 0));
+
+      for (int iter = 0; iter < kIterations; ++iter) {
+        // Random ascending availability subset, then a group that fits.
+        std::vector<int> available;
+        for (int m = 0; m < kModules; ++m)
+          if (rng.next_below(3) != 0) available.push_back(m);
+        if (available.empty())
+          available.push_back(static_cast<int>(rng.next_below(kModules)));
+
+        const auto n = 1 + rng.next_below(available.size());
+        std::vector<sim::IssueSlot> slots;
+        for (std::size_t i = 0; i < n; ++i)
+          slots.push_back(random_slot(rng, fp));
+
+        std::vector<sim::ModuleAssignment> out(slots.size());
+        policy->assign(slots, available, out);
+
+        std::uint64_t used = 0;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          const int m = out[i].module;
+          const bool in_available =
+              std::find(available.begin(), available.end(), m) !=
+              available.end();
+          ASSERT_TRUE(in_available)
+              << "slot " << i << " -> module " << m << " (iteration " << iter
+              << ")";
+          ASSERT_FALSE((used >> m) & 1)
+              << "module " << m << " assigned twice (iteration " << iter << ")";
+          used |= std::uint64_t{1} << m;
+          if (out[i].swapped) {
+            ASSERT_TRUE(slots[i].commutative)
+                << "non-commutative slot " << i << " swapped (iteration "
+                << iter << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+/// A compact always-terminating random program: bounded loop of random
+/// arithmetic (int + fp) - enough to produce varied issue groups.
+std::string random_program(std::uint64_t seed, int body_len, int trips) {
+  util::Xoshiro256 rng(seed);
+  std::string src =
+      ".data\nfconst: .double 1.5, 0.25, 3.25, 0.125\n.text\n"
+      "la r22, fconst\n"
+      "lfd f1, 0(r22)\n"
+      "lfd f2, 8(r22)\n"
+      "li r20, " + std::to_string(trips) + "\n";
+  for (int r = 1; r <= 8; ++r)
+    src += "li r" + std::to_string(r) + ", " +
+           std::to_string(static_cast<std::int32_t>(rng.next())) + "\n";
+  src += "loop:\n";
+  auto reg = [&] {
+    return "r" + std::to_string(static_cast<int>(rng.next_range(1, 8)));
+  };
+  auto freg = [&] {
+    return "f" + std::to_string(static_cast<int>(rng.next_range(1, 6)));
+  };
+  for (int i = 0; i < body_len; ++i) {
+    switch (rng.next_below(8)) {
+      case 0: src += "  add " + reg() + ", " + reg() + ", " + reg() + "\n"; break;
+      case 1: src += "  sub " + reg() + ", " + reg() + ", " + reg() + "\n"; break;
+      case 2: src += "  xor " + reg() + ", " + reg() + ", " + reg() + "\n"; break;
+      case 3: src += "  mul " + reg() + ", " + reg() + ", " + reg() + "\n"; break;
+      case 4: src += "  fadd " + freg() + ", " + freg() + ", " + freg() + "\n"; break;
+      case 5: src += "  fmul " + freg() + ", " + freg() + ", " + freg() + "\n"; break;
+      case 6: src += "  cvtif " + freg() + ", " + reg() + "\n"; break;
+      default: src += "  addi " + reg() + ", " + reg() + ", " +
+                      std::to_string(rng.next_range(-100, 100)) + "\n"; break;
+    }
+  }
+  src += "  addi r20, r20, -1\n  bne r20, r0, loop\nout r1\nhalt\n";
+  return src;
+}
+
+/// Whole-stack contract fuzz: random programs through both replay paths for
+/// every scheme. Both paths validate the contract internally (throwing
+/// std::logic_error on breach), and the two paths must agree bit for bit.
+TEST(PolicyContract, RandomProgramsThroughBothReplayPaths) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::string src = random_program(seed, 16, 40);
+    const isa::Program program = isa::assemble(src, "contract-fuzz");
+
+    sim::Emulator emu(program);
+    sim::EmulatorTraceSource emu_source(emu);
+    sim::TraceBuffer trace;
+    trace.record_all(emu_source);
+
+    driver::ExperimentConfig config;
+    config.swap = driver::SwapMode::kHardware;
+    config.mult_rule = steer::MultSwapSteering::Rule::kInfoBit;
+    config.verify_outputs = false;
+    sim::MemoryTraceSource capture_source(trace);
+    const sim::IssueGroupBuffer groups =
+        sim::capture_groups(config.machine, capture_source);
+
+    for (const auto scheme : driver::kAllSchemesExtended) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << seed << " " << driver::to_string(scheme));
+      config.scheme = scheme;
+
+      sim::MemoryTraceSource source(trace);
+      driver::RunResult via_trace;
+      driver::RunResult via_groups;
+      ASSERT_NO_THROW(via_trace = driver::replay_trace(source, "fuzz", config));
+      ASSERT_NO_THROW(via_groups =
+                          driver::replay_groups(groups, "fuzz", config));
+
+      EXPECT_EQ(via_trace.ialu.switched_bits, via_groups.ialu.switched_bits);
+      EXPECT_EQ(via_trace.fpau.switched_bits, via_groups.fpau.switched_bits);
+      EXPECT_EQ(via_trace.imult.switched_bits, via_groups.imult.switched_bits);
+      EXPECT_EQ(via_trace.fpmult.switched_bits,
+                via_groups.fpmult.switched_bits);
+      EXPECT_EQ(via_trace.pipeline.cycles, via_groups.pipeline.cycles);
+      EXPECT_EQ(via_trace.pipeline.committed, via_groups.pipeline.committed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrisc

@@ -194,11 +194,23 @@ int diff_manifests(const util::Json& a, const util::Json& b, bool markdown) {
 
 // --------------------------------------------------------------- bench-diff
 
+/// Handles both schema generations: v1 files (mrisc-bench-replay/v1) carry
+/// trace-replay rates only; v2 adds per-workload and aggregate group-replay
+/// rates plus a "steer_sweep" section. Any mix of v1/v2 as base/current
+/// works - group columns print "-" where a side has no group data.
 int bench_diff(const util::Json& base, const util::Json& cur, bool markdown,
                double tolerance_pct) {
   const double base_rate = base.at("aggregate").at("replays_per_sec").number();
   const double cur_rate = cur.at("aggregate").at("replays_per_sec").number();
   const double delta = pct_delta(base_rate, cur_rate);
+
+  // Group rate (v2); 0 means "absent" (a real group rate is never 0).
+  auto group_rate_of = [](const util::Json& w) {
+    return w.number_or("group_replays_per_sec", 0.0);
+  };
+  auto fmt_group = [](double v) {
+    return v > 0 ? fmt(v) : std::string("-");
+  };
 
   if (markdown) {
     std::printf("### bench_replay_throughput: %s vs %s\n\n",
@@ -206,34 +218,67 @@ int bench_diff(const util::Json& base, const util::Json& cur, bool markdown,
                                       : "current",
                 base.contains("label") ? base.at("label").str().c_str()
                                        : "baseline");
-    std::printf("| workload | baseline replays/s | current replays/s | delta |\n");
-    std::printf("|---|---|---|---|\n");
+    std::printf("| workload | baseline replays/s | current replays/s | delta "
+                "| baseline group r/s | current group r/s |\n");
+    std::printf("|---|---|---|---|---|---|\n");
   } else {
-    std::printf("%-12s %18s %18s %9s\n", "workload", "baseline r/s",
-                "current r/s", "delta");
+    std::printf("%-12s %16s %16s %9s %14s %14s\n", "workload", "baseline r/s",
+                "current r/s", "delta", "base group r/s", "cur group r/s");
   }
 
-  std::map<std::string, double> base_rates;
+  std::map<std::string, std::pair<double, double>> base_rates;
   for (const auto& w : base.at("workloads").array())
-    base_rates[w.at("name").str()] = w.at("replays_per_sec").number();
+    base_rates[w.at("name").str()] = {w.at("replays_per_sec").number(),
+                                      group_rate_of(w)};
   for (const auto& w : cur.at("workloads").array()) {
     const std::string& name = w.at("name").str();
     const auto it = base_rates.find(name);
-    const double b = it != base_rates.end() ? it->second : 0.0;
+    const double b = it != base_rates.end() ? it->second.first : 0.0;
+    const double bg = it != base_rates.end() ? it->second.second : 0.0;
     const double c = w.at("replays_per_sec").number();
+    const double cg = group_rate_of(w);
     if (markdown)
-      std::printf("| %s | %.2f | %.2f | %s |\n", name.c_str(), b, c,
-                  fmt_pct(pct_delta(b, c)).c_str());
+      std::printf("| %s | %.2f | %.2f | %s | %s | %s |\n", name.c_str(), b, c,
+                  fmt_pct(pct_delta(b, c)).c_str(), fmt_group(bg).c_str(),
+                  fmt_group(cg).c_str());
     else
-      std::printf("%-12s %18.2f %18.2f %9s\n", name.c_str(), b, c,
-                  fmt_pct(pct_delta(b, c)).c_str());
+      std::printf("%-12s %16.2f %16.2f %9s %14s %14s\n", name.c_str(), b, c,
+                  fmt_pct(pct_delta(b, c)).c_str(), fmt_group(bg).c_str(),
+                  fmt_group(cg).c_str());
   }
+  const double base_group = group_rate_of(base.at("aggregate"));
+  const double cur_group = group_rate_of(cur.at("aggregate"));
   if (markdown)
-    std::printf("| **aggregate** | **%.2f** | **%.2f** | **%s** |\n\n",
-                base_rate, cur_rate, fmt_pct(delta).c_str());
+    std::printf("| **aggregate** | **%.2f** | **%.2f** | **%s** | %s | %s |\n\n",
+                base_rate, cur_rate, fmt_pct(delta).c_str(),
+                fmt_group(base_group).c_str(), fmt_group(cur_group).c_str());
   else
-    std::printf("%-12s %18.2f %18.2f %9s\n", "aggregate", base_rate, cur_rate,
-                fmt_pct(delta).c_str());
+    std::printf("%-12s %16.2f %16.2f %9s %14s %14s\n", "aggregate", base_rate,
+                cur_rate, fmt_pct(delta).c_str(), fmt_group(base_group).c_str(),
+                fmt_group(cur_group).c_str());
+
+  if (base_group > 0 || cur_group > 0) {
+    std::printf("group replays/s: %s -> %s%s\n", fmt_group(base_group).c_str(),
+                fmt_group(cur_group).c_str(),
+                base_group > 0 && cur_group > 0
+                    ? (" (" + fmt_pct(pct_delta(base_group, cur_group)) + ")")
+                          .c_str()
+                    : "");
+    const double base_spd =
+        base.at("aggregate").number_or("group_speedup", 0.0);
+    const double cur_spd = cur.at("aggregate").number_or("group_speedup", 0.0);
+    if (base_spd > 0 || cur_spd > 0)
+      std::printf("per-replay group speedup: %sx -> %sx\n",
+                  fmt_group(base_spd).c_str(), fmt_group(cur_spd).c_str());
+  }
+  const util::Json* base_sweep = base.find("steer_sweep");
+  const util::Json* cur_sweep = cur.find("steer_sweep");
+  if (base_sweep || cur_sweep) {
+    const double bs = base_sweep ? base_sweep->number_or("speedup", 0.0) : 0.0;
+    const double cs = cur_sweep ? cur_sweep->number_or("speedup", 0.0) : 0.0;
+    std::printf("steer-sweep speedup (group cache on vs off): %sx -> %sx\n",
+                fmt_group(bs).c_str(), fmt_group(cs).c_str());
+  }
 
   if (delta <= -tolerance_pct)
     std::printf("verdict: REGRESSION - aggregate replay rate down %.2f%% "
