@@ -13,8 +13,11 @@
 // lightweight GroupReplayer - the per-workload group_replays_per_sec /
 // trace replays_per_sec ratio is the per-replay speedup of skipping the
 // Tomasulo machinery. A final engine-level section times the full
-// fig4-style scheme sweep (every scheme x hardware swap) with the group
-// cache off vs on.
+// fig4-style scheme sweep (every scheme x hardware swap) three ways: group
+// cache off (trace path), group cache on with per-scheme GroupReplayer
+// walks (group path), and the "sweep once, score all" MultiSchemeReplayer
+// pass that scores every score-expressible scheme in one capture walk
+// (multi path, driver/multi_scheme.h) - the schemes-per-pass axis.
 //
 //   bench_replay_throughput [--out BENCH_replay.json] [--min-time-ms 300]
 //                           [--scheme lut4|original|fullham]
@@ -23,7 +26,7 @@
 //
 // Metrics per workload and aggregated: traces-replayed/sec, group
 // replays/sec, simulated cycles/sec and committed instructions/sec. Output
-// is machine-readable JSON (schema mrisc-bench-replay/v2; v1 files are
+// is machine-readable JSON (schema mrisc-bench-replay/v3; v1/v2 files are
 // accepted as --baseline) so the numbers can be tracked PR-over-PR;
 // `--baseline` embeds a previous run's JSON and computes the speedup of
 // aggregate replays/sec against it. See docs/performance.md.
@@ -39,6 +42,7 @@
 
 #include "bench/bench_common.h"
 #include "driver/engine.h"
+#include "driver/multi_scheme.h"
 #include "sim/emulator.h"
 #include "sim/group_buffer.h"
 #include "sim/trace_buffer.h"
@@ -143,15 +147,23 @@ WorkloadRate measure(const workloads::Workload& workload,
 }
 
 /// Engine-level fig4-style sweep (every scheme x hardware swap over the
-/// suite) timed with the group cache off vs on; the trace cache is
-/// pre-warmed in both modes so the comparison isolates the steering sweep.
+/// suite) timed three ways - group cache off (trace path), group cache on
+/// with per-scheme walks (group path), and the all-schemes pass (multi
+/// path); the trace cache is pre-warmed in every mode so the comparison
+/// isolates the steering sweep.
 struct SteerSweep {
   std::size_t schemes = 0;
+  std::size_t schemes_per_pass = 1;  ///< lanes one multi-path pass steers
   double trace_path_seconds = 0.0;
   double group_path_seconds = 0.0;
+  double multi_path_seconds = 0.0;
 
   [[nodiscard]] double speedup() const {
     return group_path_seconds > 0 ? trace_path_seconds / group_path_seconds
+                                  : 0.0;
+  }
+  [[nodiscard]] double multi_speedup() const {
+    return multi_path_seconds > 0 ? group_path_seconds / multi_path_seconds
                                   : 0.0;
   }
 };
@@ -181,16 +193,31 @@ SteerSweep measure_steer_sweep(std::span<const workloads::Workload> suite,
   };
   sweep.schemes = std::size(driver::kAllSchemesExtended);
 
-  for (const bool groups_on : {false, true}) {
+  struct ModeSetup {
+    bool group_replay;
+    bool multi_scheme;
+    double SteerSweep::* slot;
+  };
+  constexpr ModeSetup kModes[] = {
+      {false, false, &SteerSweep::trace_path_seconds},
+      {true, false, &SteerSweep::group_path_seconds},
+      {true, true, &SteerSweep::multi_path_seconds},
+  };
+  for (const ModeSetup& mode : kModes) {
     driver::ExperimentEngine engine(jobs);
-    engine.set_group_replay(groups_on);
-    engine.run(warm_plan());  // fills the trace cache, untimed
+    engine.set_group_replay(mode.group_replay);
+    engine.set_multi_scheme(mode.multi_scheme);
+    // Untimed warm run: fills the trace cache, and (capture-on-replay) the
+    // group cache too, so the timed sweep is pure steering work on every
+    // path.
+    engine.run(warm_plan());
     const auto start = Clock::now();
     engine.run(make_plan());
-    const double seconds =
+    sweep.*mode.slot =
         std::chrono::duration<double>(Clock::now() - start).count();
-    (groups_on ? sweep.group_path_seconds : sweep.trace_path_seconds) =
-        seconds;
+    if (engine.multischeme_passes() > 0)
+      sweep.schemes_per_pass = static_cast<std::size_t>(
+          engine.multischeme_lanes() / engine.multischeme_passes());
   }
   return sweep;
 }
@@ -321,9 +348,12 @@ int main(int argc, char** argv) {
 
   const SteerSweep sweep = measure_steer_sweep(suite, jobs);
   std::printf("steer sweep (%zu schemes x hardware, jobs=%d): "
-              "trace path %.3fs, group path %.3fs, %.2fx\n",
+              "trace path %.3fs, group path %.3fs (%.2fx), "
+              "multi path %.3fs (%.2fx more, %zu schemes/pass)\n",
               sweep.schemes, jobs, sweep.trace_path_seconds,
-              sweep.group_path_seconds, sweep.speedup());
+              sweep.group_path_seconds, sweep.speedup(),
+              sweep.multi_path_seconds, sweep.multi_speedup(),
+              sweep.schemes_per_pass);
 
   std::string baseline_json;
   double baseline_rate = 0.0;
@@ -350,7 +380,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n";
-  out << "  \"schema\": \"mrisc-bench-replay/v2\",\n";
+  out << "  \"schema\": \"mrisc-bench-replay/v3\",\n";
   out << "  \"label\": \"" << json_escape(label) << "\",\n";
   out << "  \"scheme\": \"" << json_escape(scheme_name)
       << "\",\n  \"swap\": \"hardware\",\n";
@@ -404,12 +434,17 @@ int main(int argc, char** argv) {
                 total_group_seconds, agg_group_replays_per_sec, group_speedup,
                 agg_cycles_per_sec, agg_instrs_per_sec);
   out << big;
+  // v2 key order is preserved; the v3 multi-path keys are appended after
+  // "speedup" so v2 readers keep parsing v3 files.
   std::snprintf(big, sizeof big,
                 "  \"steer_sweep\": {\"schemes\": %zu, \"jobs\": %d, "
                 "\"trace_path_seconds\": %.6f, \"group_path_seconds\": %.6f, "
-                "\"speedup\": %.3f}",
+                "\"speedup\": %.3f, \"schemes_per_pass\": %zu, "
+                "\"multi_path_seconds\": %.6f, \"multi_speedup\": %.3f}",
                 sweep.schemes, jobs, sweep.trace_path_seconds,
-                sweep.group_path_seconds, sweep.speedup());
+                sweep.group_path_seconds, sweep.speedup(),
+                sweep.schemes_per_pass, sweep.multi_path_seconds,
+                sweep.multi_speedup());
   out << big;
   if (baseline_rate > 0) {
     std::snprintf(buf, sizeof buf,
@@ -431,6 +466,10 @@ int main(int argc, char** argv) {
   manifest.note("group_replays_per_sec", agg_buf);
   std::snprintf(agg_buf, sizeof agg_buf, "%.3f", sweep.speedup());
   manifest.note("steer_sweep_speedup", agg_buf);
+  std::snprintf(agg_buf, sizeof agg_buf, "%.3f", sweep.multi_speedup());
+  manifest.note("steer_sweep_multi_speedup", agg_buf);
+  std::snprintf(agg_buf, sizeof agg_buf, "%zu", sweep.schemes_per_pass);
+  manifest.note("schemes_per_pass", agg_buf);
   for (const WorkloadRate& r : rates)
     manifest.add_cell(r.name, r.seconds, r.replays);
   return 0;

@@ -1,34 +1,54 @@
-// bench_steer_throughput: wall-clock of the full scheme sweep, trace path
-// vs group path.
+// bench_steer_throughput: wall-clock of the full scheme sweep - trace path
+// vs group path vs all-schemes path.
 //
-// The acceptance question for the "time once, steer many" layer
-// (sim/group_buffer.h + the engine's group cache) is end to end: how much
-// faster does the fig4-style scheme sweep - every scheme in
+// The acceptance question for the engine's steering cache tiers is end to
+// end: how much faster does the fig4-style scheme sweep - every scheme in
 // kAllSchemesExtended crossed with hardware swapping over the Figure 4
-// suite - finish when the engine steers cached issue-group captures instead
-// of replaying the full Tomasulo core per cell? This bench times exactly
-// that sweep both ways on the same ExperimentEngine configuration (trace
-// cache pre-warmed in both modes so emulation cost is excluded), repeats
-// the measurement, and reports the best-of-N wall clock per mode plus the
-// speedup. It also cross-checks that the two modes render byte-identical
-// result tables - a perf number for a wrong answer is worthless.
+// suite - finish as each tier comes on?
+//
+//   trace path  every cell re-runs the full Tomasulo core over the cached
+//               trace (group cache off),
+//   group path  "time once, steer many": each cell steers a cached
+//               issue-group capture through its own GroupReplayer
+//               (PR 5's fast path; all-schemes pass off),
+//   multi path  "sweep once, score all": all cells of a unit that share the
+//               capture ride ONE MultiSchemeReplayer walk
+//               (driver/multi_scheme.h), so one pass steers every scheme in
+//               the sweep.
+//
+// The schemes-per-pass axis makes the third tier legible: the trace and
+// group paths steer 1 scheme per pass over the workload, the multi path
+// steers the whole sweep per pass (reported from the engine's
+// multischeme.lanes / multischeme.passes counters). This bench times the
+// same sweep all three ways on the same ExperimentEngine configuration
+// (trace cache pre-warmed in every mode so emulation cost is excluded),
+// repeats the measurement, and reports the best-of-N wall clock per mode
+// plus the speedups. It also cross-checks that all three modes render
+// byte-identical result tables - a perf number for a wrong answer is
+// worthless.
 //
 //   bench_steer_throughput [--out BENCH_steer.json] [--repeat 3]
-//                          [--jobs N] [--manifest FILE]
+//                          [--jobs N] [--manifest FILE] [--baseline FILE]
 //
 // Output: human-readable summary on stdout and machine-readable JSON
-// (schema mrisc-bench-steer/v1) for PR-over-PR tracking; the manifest
-// (docs/observability.md) carries the engine's phase profile and the
-// engine.groupcache.* counters. See docs/performance.md.
+// (schema mrisc-bench-steer/v2; v1 files are accepted as --baseline) for
+// PR-over-PR tracking; `--baseline` embeds a previous run's JSON and
+// computes the full-sweep speedup of this run's fastest path against the
+// baseline's group path. The manifest (docs/observability.md) carries the
+// engine's phase profile (including the multisteer phase) and the
+// engine.multischeme.* counters. See docs/performance.md.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "driver/engine.h"
+#include "driver/multi_scheme.h"
 #include "util/table.h"
 
 namespace {
@@ -62,8 +82,8 @@ driver::ExperimentPlan warm_plan(const std::vector<workloads::Workload>& suite) 
   return plan;
 }
 
-/// Render the sweep's per-cell energies so the two modes can be compared
-/// byte for byte.
+/// Render the sweep's per-cell energies so the modes can be compared byte
+/// for byte.
 std::string render(const std::vector<driver::CellResult>& cells) {
   util::AsciiTable table({"Scheme", "IALU bits", "FPAU bits", "Cycles"});
   std::size_t i = 0;
@@ -77,23 +97,42 @@ std::string render(const std::vector<driver::CellResult>& cells) {
   return table.to_string("steer sweep");
 }
 
+/// The three engine configurations the sweep is timed under.
+enum class Mode { kTracePath, kGroupPath, kMultiPath };
+
+const char* mode_key(Mode mode) {
+  switch (mode) {
+    case Mode::kTracePath: return "trace_path";
+    case Mode::kGroupPath: return "group_path";
+    case Mode::kMultiPath: return "multi_path";
+  }
+  return "?";
+}
+
 struct ModeTiming {
   double best_seconds = 0.0;
   std::vector<double> runs;
   std::string rendered;
   std::uint64_t group_replays = 0;
   std::uint64_t captures = 0;
+  std::uint64_t multischeme_passes = 0;
+  std::size_t schemes_per_pass = 1;  ///< lanes steered per capture walk
 };
 
 ModeTiming time_mode(const std::vector<workloads::Workload>& suite, int jobs,
-                     bool group_replay, int repeat) {
+                     Mode mode, int repeat) {
   ModeTiming timing;
   driver::ExperimentEngine engine(jobs);
-  engine.set_group_replay(group_replay);
-  engine.run(warm_plan(suite));  // untimed: fills the trace cache
+  engine.set_group_replay(mode != Mode::kTracePath);
+  engine.set_multi_scheme(mode == Mode::kMultiPath);
+  // Untimed warm run, repeated after every cache clear below: it fills the
+  // trace cache, and - because the engine records issue groups as a
+  // byproduct of any full-core replay while the group path is on
+  // (capture-on-replay) - the group cache too. The timed sweep therefore
+  // measures pure steering work on every path; the one timing-core walk per
+  // workload happens exactly once, in the warm run, on every mode equally.
+  engine.run(warm_plan(suite));
   for (int r = 0; r < repeat; ++r) {
-    // A fresh group cache per repetition: the capture cost is part of what
-    // the group path must amortize inside a single sweep.
     engine.clear_cache();
     engine.run(warm_plan(suite));
     const auto start = Clock::now();
@@ -107,7 +146,34 @@ ModeTiming time_mode(const std::vector<workloads::Workload>& suite, int jobs,
   }
   timing.group_replays = engine.group_replays();
   timing.captures = engine.captures();
+  timing.multischeme_passes = engine.multischeme_passes();
+  if (timing.multischeme_passes > 0)
+    timing.schemes_per_pass = static_cast<std::size_t>(
+        engine.multischeme_lanes() / timing.multischeme_passes);
   return timing;
+}
+
+/// Pull the baseline's group-path seconds out of a previous run's JSON
+/// without a JSON library. Understands this bench's own schema (a
+/// `"group_path"` object holding `"best_seconds"`, v1 or v2) and falls back
+/// to bench_replay_throughput's steer_sweep key (`"group_path_seconds"`,
+/// any schema version) - the replay bench is where the sweep timing lived
+/// before this bench existed, so old checkouts only have that file.
+/// Returns 0 when neither is found.
+double extract_group_path_best(const std::string& json) {
+  const auto obj = json.find("\"group_path\"");
+  if (obj != std::string::npos) {
+    const auto key = json.find("\"best_seconds\"", obj);
+    if (key == std::string::npos) return 0.0;
+    const auto colon = json.find(':', key);
+    if (colon == std::string::npos) return 0.0;
+    return std::strtod(json.c_str() + colon + 1, nullptr);
+  }
+  const auto key = json.find("\"group_path_seconds\"");
+  if (key == std::string::npos) return 0.0;
+  const auto colon = json.find(':', key);
+  if (colon == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
 }
 
 }  // namespace
@@ -115,6 +181,7 @@ ModeTiming time_mode(const std::vector<workloads::Workload>& suite, int jobs,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_steer.json";
   std::string manifest_path;
+  std::string baseline_path;
   int repeat = 3;
   int jobs = mrisc::bench::parse_jobs(argc, argv);
   for (int i = 1; i < argc; ++i) {
@@ -128,12 +195,14 @@ int main(int argc, char** argv) {
       if (const char* v = next()) repeat = std::atoi(v);
     } else if (arg == "--manifest") {
       if (const char* v = next()) manifest_path = v;
+    } else if (arg == "--baseline") {
+      if (const char* v = next()) baseline_path = v;
     } else if (arg == "--jobs") {
       (void)next();  // consumed by parse_jobs
     } else {
       std::fprintf(stderr,
                    "usage: bench_steer_throughput [--out FILE] [--repeat N] "
-                   "[--jobs N] [--manifest FILE]\n");
+                   "[--jobs N] [--manifest FILE] [--baseline FILE]\n");
       return 2;
     }
   }
@@ -147,35 +216,73 @@ int main(int argc, char** argv) {
                                 &profile_engine);
   if (!manifest_path.empty()) manifest.set_path(manifest_path);
 
-  const ModeTiming trace_mode = time_mode(suite, jobs, /*group_replay=*/false,
-                                          repeat);
-  const ModeTiming group_mode = time_mode(suite, jobs, /*group_replay=*/true,
-                                          repeat);
-  if (trace_mode.rendered != group_mode.rendered) {
+  const ModeTiming trace_mode =
+      time_mode(suite, jobs, Mode::kTracePath, repeat);
+  const ModeTiming group_mode =
+      time_mode(suite, jobs, Mode::kGroupPath, repeat);
+  const ModeTiming multi_mode =
+      time_mode(suite, jobs, Mode::kMultiPath, repeat);
+  if (trace_mode.rendered != group_mode.rendered ||
+      group_mode.rendered != multi_mode.rendered) {
     std::fprintf(stderr,
-                 "FATAL: trace-path and group-path sweeps disagree\n%s\n%s\n",
-                 trace_mode.rendered.c_str(), group_mode.rendered.c_str());
+                 "FATAL: trace/group/multi sweeps disagree\n%s\n%s\n%s\n",
+                 trace_mode.rendered.c_str(), group_mode.rendered.c_str(),
+                 multi_mode.rendered.c_str());
     return 1;
   }
-  std::fputs(group_mode.rendered.c_str(), stdout);
+  std::fputs(multi_mode.rendered.c_str(), stdout);
 
-  // One profiled group-path run so the manifest carries the capture/steer
-  // phase breakdown and engine.groupcache.* counters.
+  // One profiled multi-path run so the manifest carries the capture /
+  // multisteer phase breakdown and the engine.multischeme.* counters.
   profile_engine.run(sweep_plan(suite));
 
   const double speedup = group_mode.best_seconds > 0
                              ? trace_mode.best_seconds / group_mode.best_seconds
                              : 0.0;
+  const double multi_speedup =
+      multi_mode.best_seconds > 0
+          ? group_mode.best_seconds / multi_mode.best_seconds
+          : 0.0;
+  const double full_speedup =
+      multi_mode.best_seconds > 0
+          ? trace_mode.best_seconds / multi_mode.best_seconds
+          : 0.0;
   std::printf("schemes: %zu x hardware swap over %zu workloads, jobs=%d, "
               "best of %d\n",
               std::size(driver::kAllSchemesExtended), suite.size(),
               profile_engine.jobs(), repeat);
-  std::printf("trace path: %.3fs   group path: %.3fs   speedup: %.2fx\n",
-              trace_mode.best_seconds, group_mode.best_seconds, speedup);
-  std::printf("group path: %llu captures, %llu group replays per sweep "
-              "repetition set\n",
-              static_cast<unsigned long long>(group_mode.captures),
-              static_cast<unsigned long long>(group_mode.group_replays));
+  std::printf("trace path: %.3fs (1 scheme/pass)   "
+              "group path: %.3fs (1 scheme/pass)   "
+              "multi path: %.3fs (%zu schemes/pass)\n",
+              trace_mode.best_seconds, group_mode.best_seconds,
+              multi_mode.best_seconds, multi_mode.schemes_per_pass);
+  std::printf("speedup: group vs trace %.2fx, multi vs group %.2fx, "
+              "multi vs trace %.2fx\n",
+              speedup, multi_speedup, full_speedup);
+  std::printf("multi path: %llu captures, %llu group replays, "
+              "%llu all-schemes passes per sweep repetition set\n",
+              static_cast<unsigned long long>(multi_mode.captures),
+              static_cast<unsigned long long>(multi_mode.group_replays),
+              static_cast<unsigned long long>(multi_mode.multischeme_passes));
+
+  std::string baseline_json;
+  double baseline_group_best = 0.0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "warning: cannot read baseline %s\n",
+                   baseline_path.c_str());
+    } else {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      baseline_json = ss.str();
+      baseline_group_best = extract_group_path_best(baseline_json);
+      if (baseline_group_best > 0 && multi_mode.best_seconds > 0)
+        std::printf("full-sweep speedup vs baseline group path (%s): %.2fx\n",
+                    baseline_path.c_str(),
+                    baseline_group_best / multi_mode.best_seconds);
+    }
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -183,16 +290,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   char buf[512];
-  out << "{\n  \"schema\": \"mrisc-bench-steer/v1\",\n";
+  out << "{\n  \"schema\": \"mrisc-bench-steer/v2\",\n";
   std::snprintf(buf, sizeof buf,
                 "  \"schemes\": %zu,\n  \"workloads\": %zu,\n"
                 "  \"scale\": %g,\n  \"jobs\": %d,\n  \"repeat\": %d,\n",
                 std::size(driver::kAllSchemesExtended), suite.size(),
                 suite_cfg.scale, profile_engine.jobs(), repeat);
   out << buf;
-  auto write_runs = [&](const char* key, const ModeTiming& mode) {
+  auto write_runs = [&](Mode key, const ModeTiming& mode) {
+    // "best_seconds" stays the first key in each mode object so v1 readers
+    // (older bench-diff builds) keep parsing v2 files.
     std::snprintf(buf, sizeof buf, "  \"%s\": {\"best_seconds\": %.6f, "
-                  "\"runs\": [", key, mode.best_seconds);
+                  "\"schemes_per_pass\": %zu, \"runs\": [",
+                  mode_key(key), mode.best_seconds, mode.schemes_per_pass);
     out << buf;
     for (std::size_t i = 0; i < mode.runs.size(); ++i) {
       std::snprintf(buf, sizeof buf, "%s%.6f", i ? ", " : "", mode.runs[i]);
@@ -200,23 +310,47 @@ int main(int argc, char** argv) {
     }
     out << "]}";
   };
-  write_runs("trace_path", trace_mode);
+  write_runs(Mode::kTracePath, trace_mode);
   out << ",\n";
-  write_runs("group_path", group_mode);
-  std::snprintf(buf, sizeof buf, ",\n  \"speedup\": %.3f\n}\n", speedup);
+  write_runs(Mode::kGroupPath, group_mode);
+  out << ",\n";
+  write_runs(Mode::kMultiPath, multi_mode);
+  std::snprintf(buf, sizeof buf,
+                ",\n  \"speedup\": %.3f,\n  \"multi_speedup\": %.3f,\n"
+                "  \"full_speedup\": %.3f",
+                speedup, multi_speedup, full_speedup);
   out << buf;
+  if (baseline_group_best > 0) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"baseline_group_path_best_seconds\": %.6f,\n"
+                  "  \"sweep_speedup_vs_baseline\": %.3f,\n  \"baseline\": ",
+                  baseline_group_best,
+                  multi_mode.best_seconds > 0
+                      ? baseline_group_best / multi_mode.best_seconds
+                      : 0.0);
+    out << buf << baseline_json;
+  }
+  out << "\n}\n";
   std::fprintf(stderr, "[json written to %s]\n", out_path.c_str());
 
   std::snprintf(buf, sizeof buf, "%.3f", speedup);
   manifest.note("speedup", buf);
+  std::snprintf(buf, sizeof buf, "%.3f", multi_speedup);
+  manifest.note("multi_speedup", buf);
   std::snprintf(buf, sizeof buf, "%.6f", trace_mode.best_seconds);
   manifest.note("trace_path_best_seconds", buf);
   std::snprintf(buf, sizeof buf, "%.6f", group_mode.best_seconds);
   manifest.note("group_path_best_seconds", buf);
+  std::snprintf(buf, sizeof buf, "%.6f", multi_mode.best_seconds);
+  manifest.note("multi_path_best_seconds", buf);
+  std::snprintf(buf, sizeof buf, "%zu", multi_mode.schemes_per_pass);
+  manifest.note("schemes_per_pass", buf);
   manifest.note("out", out_path);
   manifest.add_cell("trace_path", trace_mode.best_seconds,
                     std::size(driver::kAllSchemesExtended));
   manifest.add_cell("group_path", group_mode.best_seconds,
+                    std::size(driver::kAllSchemesExtended));
+  manifest.add_cell("multi_path", multi_mode.best_seconds,
                     std::size(driver::kAllSchemesExtended));
   return 0;
 }

@@ -1,10 +1,13 @@
 #include "driver/engine.h"
 
+#include <array>
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "driver/multi_scheme.h"
 #include "sim/emulator.h"
 #include "util/hash.h"
 #include "xform/static_swap.h"
@@ -209,10 +212,8 @@ ExperimentEngine::GroupPtr ExperimentEngine::groups_for(
     auto buffer = std::make_shared<sim::IssueGroupBuffer>(
         sim::capture_groups(plan.cells[cell_index].config.machine, source));
     shard.counter("engine.groupcache.groups").inc(buffer->groups().size());
-    shard.counter("engine.groupcache.slots").inc(buffer->slots().size());
-    shard.counter("engine.groupcache.bytes")
-        .inc(buffer->groups().size() * sizeof(sim::IssueGroup) +
-             buffer->slots().size() * sizeof(sim::IssueSlot));
+    shard.counter("engine.groupcache.slots").inc(buffer->slot_count());
+    shard.counter("engine.groupcache.bytes").inc(buffer->lane_bytes());
 
     GroupPtr groups = std::move(buffer);
     promise.set_value(groups);
@@ -241,29 +242,6 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
       results[c].listeners.resize(plan.units.size());
   }
 
-  // One task per (cell, unit); stats cells collapse into one sequential
-  // task so their collectors accumulate in the serial driver's order.
-  struct Task {
-    std::size_t cell;
-    std::ptrdiff_t unit;  ///< -1: all units, in order
-  };
-  std::vector<Task> tasks;
-  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
-    if (plan.cells[c].collect_stats) {
-      tasks.emplace_back(c, std::ptrdiff_t{-1});
-    } else {
-      for (std::size_t u = 0; u < plan.units.size(); ++u)
-        tasks.emplace_back(c, static_cast<std::ptrdiff_t>(u));
-    }
-  }
-
-  int workers = jobs_ > 0
-                    ? jobs_
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  if (workers < 1) workers = 1;
-  if (static_cast<std::size_t>(workers) > tasks.size())
-    workers = static_cast<int>(tasks.size());
-
   // Decide, up front, which (cell x unit) pairs take the group-replay fast
   // path: capturing groups costs one full timing run, so it only pays when
   // at least two cells share the (trace x machine) key. Single-sharer pairs
@@ -274,6 +252,82 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
       for (std::size_t u = 0; u < plan.units.size(); ++u)
         ++group_sharers[group_key(plan, c, u, nonce)];
   }
+
+  // Bundle the group-replaying cells further: per unit, every non-stats
+  // cell that shares its capture with others joins one all-schemes pass
+  // (driver/multi_scheme.h). The pass forms when it would carry at least
+  // two score-expressible lanes (steer/scored.h) - those are the lanes
+  // whose scoring amortizes over the shared walk; positional cells
+  // (Original/PcHash/RoundRobin) of the same capture then ride along so
+  // the sweep walks the group stream exactly once. Bundles below the
+  // two-scored-lanes threshold dissolve back to per-scheme group replay.
+  struct Bundle {
+    std::size_t unit;
+    std::vector<std::size_t> cells;  ///< ascending grid order
+    int scored = 0;                  ///< score-expressible members
+  };
+  std::vector<Bundle> bundles;
+  // (cell, unit) -> bundle index, keyed as cell * units + unit.
+  std::unordered_map<std::size_t, std::size_t> bundle_of;
+  if (group_replay_ && multi_scheme_) {
+    std::unordered_map<std::string, std::size_t> bundle_ids;
+    for (std::size_t u = 0; u < plan.units.size(); ++u) {
+      bundle_ids.clear();
+      for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+        const ExperimentCell& cell = plan.cells[c];
+        if (cell.collect_stats) continue;
+        const std::string key = group_key(plan, c, u, nonce);
+        const auto sharers = group_sharers.find(key);
+        if (sharers == group_sharers.end() || sharers->second < 2) continue;
+        const auto [it, inserted] = bundle_ids.try_emplace(key, bundles.size());
+        if (inserted) bundles.push_back(Bundle{u, {}});
+        bundles[it->second].cells.push_back(c);
+        if (scheme_is_score_expressible(cell.config.scheme))
+          ++bundles[it->second].scored;
+        bundle_of[c * plan.units.size() + u] = it->second;
+      }
+    }
+    for (std::size_t b = 0; b < bundles.size(); ++b) {
+      if (bundles[b].scored >= 2) continue;
+      for (const std::size_t c : bundles[b].cells)
+        bundle_of.erase(c * plan.units.size() + bundles[b].unit);
+      bundles[b].cells.clear();  // dissolved; per-scheme path takes over
+    }
+  }
+
+  // One task per (cell, unit); stats cells collapse into one sequential
+  // task so their collectors accumulate in the serial driver's order, and
+  // bundled cells collapse into one all-schemes task carried by the
+  // bundle's first member.
+  struct Task {
+    std::size_t cell;
+    std::ptrdiff_t unit;        ///< -1: all units, in order
+    std::ptrdiff_t bundle = -1; ///< >= 0: all-schemes pass over this bundle
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+    if (plan.cells[c].collect_stats) {
+      tasks.emplace_back(c, std::ptrdiff_t{-1});
+    } else {
+      for (std::size_t u = 0; u < plan.units.size(); ++u) {
+        const auto it = bundle_of.find(c * plan.units.size() + u);
+        if (it == bundle_of.end()) {
+          tasks.emplace_back(c, static_cast<std::ptrdiff_t>(u));
+        } else if (bundles[it->second].cells.front() == c) {
+          tasks.emplace_back(c, static_cast<std::ptrdiff_t>(u),
+                             static_cast<std::ptrdiff_t>(it->second));
+        }
+        // Other bundle members ride the first member's task.
+      }
+    }
+  }
+
+  int workers = jobs_ > 0
+                    ? jobs_
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > tasks.size())
+    workers = static_cast<int>(tasks.size());
 
   // Per-worker telemetry: each worker writes only its own shard/profile on
   // the hot path (no locks); all are merged below. Merge operations are
@@ -287,10 +341,20 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
                       obs::MetricsShard& shard, obs::PhaseProfile& profile) {
     const ExperimentCell& cell = plan.cells[c];
 
+    // The group path pays off when at least two cells of THIS plan share
+    // the capture - or when a previous plan (e.g. a sweep's warm run) left
+    // the buffer in the cache already, in which case the replay is free to
+    // take.
     bool use_groups = false;
+    std::string gkey;
     if (group_replay_) {
-      const auto it = group_sharers.find(group_key(plan, c, u, nonce));
+      gkey = group_key(plan, c, u, nonce);
+      const auto it = group_sharers.find(gkey);
       use_groups = it != group_sharers.end() && it->second >= 2;
+      if (!use_groups) {
+        std::scoped_lock lock(cache_mu_);
+        use_groups = group_cache_.find(gkey) != group_cache_.end();
+      }
     }
 
     std::unique_ptr<sim::IssueListener> extra;
@@ -316,17 +380,111 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
     } else {
       const TracePtr trace = trace_for(plan, c, u, nonce, shard, profile);
       sim::MemoryTraceSource source(*trace);
-      obs::ScopedTimer timer(profile, "replay");
-      results[c].per_unit[u] =
-          replay_trace(source, plan.units[u].name, cell.config, patterns,
-                       occupancy, extra_span);
+
+      // Capture-on-replay: a full timing-core walk is exactly what a
+      // dedicated capture costs, so while the group path is enabled this
+      // replay doubles as the capture for its (trace x machine) key - an
+      // IssueGroupRecorder rides the listener list (groups are
+      // steering-invariant, so ANY policy's replay records the same buffer)
+      // and the buffer is published to the group cache. A later plan that
+      // shares the key - e.g. the sweep after its warm run - then group-
+      // replays without ever paying a second timing-core run.
+      std::shared_ptr<sim::IssueGroupBuffer> capture;
+      std::optional<std::promise<GroupPtr>> capture_promise;
+      if (group_replay_) {
+        std::scoped_lock lock(cache_mu_);
+        if (group_cache_.find(gkey) == group_cache_.end()) {
+          capture_promise.emplace();
+          group_cache_.emplace(gkey, capture_promise->get_future().share());
+          capture = std::make_shared<sim::IssueGroupBuffer>();
+        }
+      }
+      std::optional<sim::IssueGroupRecorder> recorder;
+      std::array<sim::IssueListener*, 2> extra_arr{};
+      std::size_t extra_count = 0;
+      if (extra_ptr) extra_arr[extra_count++] = extra_ptr;
+      if (capture) {
+        recorder.emplace(*capture);
+        extra_arr[extra_count++] = &*recorder;
+      }
+      const std::span<sim::IssueListener* const> replay_extras(extra_arr.data(),
+                                                               extra_count);
+      try {
+        obs::ScopedTimer timer(profile, "replay");
+        results[c].per_unit[u] =
+            replay_trace(source, plan.units[u].name, cell.config, patterns,
+                         occupancy, replay_extras);
+      } catch (...) {
+        if (capture_promise) capture_promise->set_exception(std::current_exception());
+        throw;
+      }
+      if (capture) {
+        // PipelineStats are steering-invariant; the replay's own result
+        // carries exactly what a dedicated capture would have recorded.
+        capture->set_stats(results[c].per_unit[u].pipeline);
+        captures_.fetch_add(1);
+        shard.counter("engine.captures").inc();
+        shard.counter("engine.captures.on_replay").inc();
+        shard.counter("engine.groupcache.groups").inc(capture->groups().size());
+        shard.counter("engine.groupcache.slots").inc(capture->slot_count());
+        shard.counter("engine.groupcache.bytes").inc(capture->lane_bytes());
+        capture_promise->set_value(GroupPtr(std::move(capture)));
+      }
     }
     if (extra) results[c].listeners[u] = std::move(extra);
   };
 
+  // One all-schemes pass: every bundled cell becomes a lane of one
+  // MultiSchemeReplayer walk over the shared capture. Counter semantics
+  // match the per-scheme path (one replay + one group replay per lane), so
+  // sweeps report the same totals either way.
+  auto run_bundle = [&](const Bundle& bundle, obs::MetricsShard& shard,
+                        obs::PhaseProfile& profile) {
+    const std::size_t u = bundle.unit;
+    const GroupPtr groups =
+        groups_for(plan, bundle.cells.front(), u, nonce, shard, profile);
+
+    multischeme_passes_.fetch_add(1);
+    multischeme_lanes_.fetch_add(bundle.cells.size());
+    shard.counter("engine.multischeme.passes").inc();
+    shard.counter("engine.multischeme.lanes").inc(bundle.cells.size());
+
+    obs::ScopedTimer timer(profile, "multisteer");
+    MultiSchemeReplayer replayer(plan.cells[bundle.cells.front()].config.machine,
+                                 *groups);
+    std::vector<std::unique_ptr<sim::IssueListener>> extras(
+        bundle.cells.size());
+    for (std::size_t i = 0; i < bundle.cells.size(); ++i) {
+      const std::size_t c = bundle.cells[i];
+      const ExperimentCell& cell = plan.cells[c];
+      replays_.fetch_add(1);
+      shard.counter("engine.replays").inc();
+      group_replays_.fetch_add(1);
+      shard.counter("engine.group_replays").inc();
+      sim::IssueListener* extra_ptr = nullptr;
+      if (cell.make_listener) {
+        extras[i] = cell.make_listener(plan.units[u], u);
+        extra_ptr = extras[i].get();
+      }
+      const auto extra_span =
+          extra_ptr ? std::span<sim::IssueListener* const>(&extra_ptr, 1)
+                    : std::span<sim::IssueListener* const>{};
+      replayer.add_lane(cell.config, nullptr, nullptr, extra_span);
+    }
+    replayer.run();
+    for (std::size_t i = 0; i < bundle.cells.size(); ++i) {
+      const std::size_t c = bundle.cells[i];
+      results[c].per_unit[u] = replayer.result(i, plan.units[u].name);
+      if (extras[i]) results[c].listeners[u] = std::move(extras[i]);
+    }
+  };
+
   auto run_task = [&](const Task& task, obs::MetricsShard& shard,
                       obs::PhaseProfile& profile) {
-    if (task.unit < 0) {
+    if (task.bundle >= 0) {
+      run_bundle(bundles[static_cast<std::size_t>(task.bundle)], shard,
+                 profile);
+    } else if (task.unit < 0) {
       for (std::size_t u = 0; u < plan.units.size(); ++u)
         run_unit(task.cell, u, &results[task.cell].patterns,
                  &results[task.cell].occupancy, shard, profile);

@@ -15,6 +15,17 @@
 //     the timing core over that trace exactly once, captures its issue
 //     groups, and every scheme cell replays the groups with a lightweight
 //     GroupReplayer instead of re-running the Tomasulo machinery.
+//  3. Cells of one unit that share a capture are steered together whenever
+//     at least two of them carry score-expressible schemes (steer/scored.h):
+//     one MultiSchemeReplayer pass (driver/multi_scheme.h) materializes each
+//     captured group once and lets every cell's lane - positional schemes
+//     included - steer it: "sweep once, score all".
+//
+// The capture itself is free whenever the engine already owes a full-core
+// replay: any trace-path replay performed while the group path is enabled
+// records its (steering-invariant) issue groups as a byproduct and
+// publishes them, so e.g. a sweep's warm run leaves the group cache hot and
+// the sweep proper never pays a dedicated capture.
 //
 // Results land in grid-indexed slots and are aggregated in unit order, so
 // an N-thread run is bit-identical to --jobs 1 (tests/test_engine.cpp
@@ -118,8 +129,9 @@ class ExperimentEngine {
   [[nodiscard]] std::uint64_t replays() const noexcept {
     return replays_.load();
   }
-  /// Full timing-core runs that captured an issue-group buffer (group-cache
-  /// misses).
+  /// Full timing-core runs that captured an issue-group buffer - dedicated
+  /// captures (group-cache misses) plus trace-path replays that recorded
+  /// groups as a byproduct (engine.captures.on_replay counts the latter).
   [[nodiscard]] std::uint64_t captures() const noexcept {
     return captures_.load();
   }
@@ -127,12 +139,32 @@ class ExperimentEngine {
   [[nodiscard]] std::uint64_t group_replays() const noexcept {
     return group_replays_.load();
   }
+  /// All-schemes passes performed so far: one MultiSchemeReplayer walk of a
+  /// capture that served >= 2 score-expressible scheme lanes at once
+  /// (positional lanes of the same capture ride along).
+  [[nodiscard]] std::uint64_t multischeme_passes() const noexcept {
+    return multischeme_passes_.load();
+  }
+  /// Scheme lanes served by those passes; lanes/passes is the mean
+  /// schemes-per-pass of the sweeps run so far.
+  [[nodiscard]] std::uint64_t multischeme_lanes() const noexcept {
+    return multischeme_lanes_.load();
+  }
   /// Enable/disable the group-replay fast path (default on). With it off
   /// every cell re-runs the full timing core over the cached trace -
   /// bit-identical results, more wall clock; bench_steer_throughput sweeps
   /// both to measure the speedup.
   void set_group_replay(bool on) noexcept { group_replay_ = on; }
   [[nodiscard]] bool group_replay() const noexcept { return group_replay_; }
+  /// Enable/disable the all-schemes pass (default on; requires group replay).
+  /// When >= 2 cells of a unit share a capture and carry score-expressible
+  /// schemes, every cell of that capture - positional schemes included - is
+  /// steered by one MultiSchemeReplayer walk instead of one GroupReplayer
+  /// walk each: bit-identical results, less wall clock; "sweep once, score
+  /// all". With it off every such cell replays the groups independently,
+  /// exactly as before.
+  void set_multi_scheme(bool on) noexcept { multi_scheme_ = on; }
+  [[nodiscard]] bool multi_scheme() const noexcept { return multi_scheme_; }
   /// Drop all cached traces and group buffers (e.g. between suites).
   void clear_cache();
 
@@ -176,7 +208,10 @@ class ExperimentEngine {
   std::atomic<std::uint64_t> replays_{0};
   std::atomic<std::uint64_t> captures_{0};
   std::atomic<std::uint64_t> group_replays_{0};
+  std::atomic<std::uint64_t> multischeme_passes_{0};
+  std::atomic<std::uint64_t> multischeme_lanes_{0};
   bool group_replay_ = true;      ///< group-replay fast path enabled
+  bool multi_scheme_ = true;      ///< all-schemes pass enabled
   std::uint64_t plan_nonce_ = 0;  ///< distinguishes bare-program units
   obs::PhaseProfile profile_;     ///< merged after each run()
   obs::MetricsShard metrics_;     ///< merged after each run()

@@ -5,12 +5,11 @@
 #include <optional>
 #include <stdexcept>
 
+#include "driver/policy_set.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_tracer.h"
 #include "obs/steering_probe.h"
 #include "sim/emulator.h"
-#include "stats/paper_ref.h"
-#include "steer/policies.h"
 #include "xform/static_swap.h"
 #include "xform/swap_pass.h"
 
@@ -89,51 +88,6 @@ std::string lower_class_name(isa::FuClass cls) {
   return name;
 }
 
-/// Build the steering policy for one adder class under the configuration.
-std::unique_ptr<sim::SteeringPolicy> make_policy(
-    const ExperimentConfig& config, isa::FuClass cls) {
-  const bool hw_swap = config.swap == SwapMode::kHardware ||
-                       config.swap == SwapMode::kHardwareCompiler;
-  const steer::SwapConfig static_swap =
-      hw_swap ? steer::SwapConfig::hardware_for(cls) : steer::SwapConfig::none();
-  const steer::SwapConfig explore_swap =
-      hw_swap ? steer::SwapConfig::explore() : steer::SwapConfig::none();
-
-  const auto lut_stats = [&] {
-    if (config.lut_from_paper) return stats::paper_case_stats(cls);
-    return cls == isa::FuClass::kFpau ? config.fpau_stats : config.ialu_stats;
-  };
-  const int modules =
-      config.machine.modules[static_cast<std::size_t>(cls)];
-
-  switch (config.scheme) {
-    case Scheme::kFullHam:
-      return std::make_unique<steer::FullHamSteering>(explore_swap);
-    case Scheme::kOneBitHam:
-      return std::make_unique<steer::OneBitHamSteering>(explore_swap,
-                                                        config.fp_or_bits);
-    case Scheme::kLut8:
-      return std::make_unique<steer::LutSteering>(
-          steer::build_lut(lut_stats(), modules, 8, config.affinity),
-          static_swap);
-    case Scheme::kLut4:
-      return std::make_unique<steer::LutSteering>(
-          steer::build_lut(lut_stats(), modules, 4, config.affinity),
-          static_swap);
-    case Scheme::kLut2:
-      return std::make_unique<steer::LutSteering>(
-          steer::build_lut(lut_stats(), modules, 2, config.affinity),
-          static_swap);
-    case Scheme::kOriginal:
-      return std::make_unique<steer::FcfsSteering>(static_swap);
-    case Scheme::kPcHash:
-      return std::make_unique<steer::PcHashSteering>(static_swap);
-    case Scheme::kRoundRobin:
-      return std::make_unique<steer::RoundRobinSteering>(static_swap);
-  }
-  throw std::logic_error("unknown scheme");
-}
-
 /// Publish a finished run's pipeline statistics into a metrics shard:
 /// sim.* counters plus one sim.occupancy.<class> histogram per FU class
 /// (bucket k = cycles in which exactly k instructions of that class issued,
@@ -166,46 +120,8 @@ void export_pipeline_metrics(obs::MetricsShard& shard,
   }
 }
 
-/// Freshly constructed per-run steering policies (no state leaks between
-/// runs); installs into anything with OooCore's set_policy signature - the
-/// timing core and the group replayer share this setup, which is one half
-/// of what makes their results bit-identical.
-struct PolicySet {
-  std::unique_ptr<sim::SteeringPolicy> ialu, fpau;
-  steer::MultSwapSteering mult;
-
-  explicit PolicySet(const ExperimentConfig& config)
-      : ialu(make_policy(config, isa::FuClass::kIalu)),
-        fpau(make_policy(config, isa::FuClass::kFpau)),
-        mult(config.mult_rule) {}
-
-  template <typename Machine>
-  void install(Machine& machine) {
-    machine.set_policy(isa::FuClass::kIalu, ialu.get());
-    machine.set_policy(isa::FuClass::kFpau, fpau.get());
-    machine.set_policy(isa::FuClass::kImult, &mult);
-    machine.set_policy(isa::FuClass::kFpmult, &mult);
-  }
-};
-
-/// Package a finished run: accountant totals + per-module breakdown + the
-/// run's pipeline statistics.
-RunResult make_result(const std::string& name,
-                      const power::EnergyAccountant& accountant,
-                      const sim::PipelineStats& stats) {
-  RunResult result;
-  result.workload = name;
-  result.ialu = accountant.cls(isa::FuClass::kIalu);
-  result.fpau = accountant.cls(isa::FuClass::kFpau);
-  result.imult = accountant.cls(isa::FuClass::kImult);
-  result.fpmult = accountant.cls(isa::FuClass::kFpmult);
-  result.pipeline = stats;
-  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
-    for (std::size_t m = 0; m < sim::kMaxModules; ++m)
-      result.per_module[c][m] = accountant.module_energy(
-          static_cast<isa::FuClass>(c), static_cast<int>(m));
-  return result;
-}
+using detail::make_result;
+using detail::PolicySet;
 
 /// The shared core of every experiment path: drive `source` through the
 /// timing core under `config` with freshly constructed per-run policies and

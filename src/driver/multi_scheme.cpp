@@ -1,0 +1,153 @@
+#include "driver/multi_scheme.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "driver/policy_set.h"
+
+namespace mrisc::driver {
+
+bool scheme_is_score_expressible(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kFullHam:
+    case Scheme::kOneBitHam:
+    case Scheme::kLut8:
+    case Scheme::kLut4:
+    case Scheme::kLut2:
+      return true;
+    case Scheme::kOriginal:
+    case Scheme::kPcHash:
+    case Scheme::kRoundRobin:
+      return false;
+  }
+  return false;
+}
+
+/// One scheme's private state: policies, busy-until tracking (inside the
+/// steer lane), accountant and collectors. Nothing here is shared across
+/// lanes, which is what keeps each lane bit-identical to a dedicated
+/// GroupReplayer run.
+struct MultiSchemeReplayer::Lane {
+  detail::PolicySet policies;
+  power::EnergyAccountant accountant;
+  sim::GroupSteerLane steer;
+  stats::OccupancyAggregator* occupancy = nullptr;
+  /// Cached steer.has_cycle_listeners(): lanes whose listeners are all
+  /// issue-driven skip the per-cycle walk of each window entirely.
+  bool cycle_fanout = false;
+
+  Lane(const ExperimentConfig& config, const sim::OooConfig& machine)
+      : policies(config), accountant(config.power), steer(machine) {}
+};
+
+MultiSchemeReplayer::MultiSchemeReplayer(const sim::OooConfig& machine,
+                                         const sim::IssueGroupBuffer& buffer)
+    : machine_(machine), buffer_(buffer) {
+  // Worst-case window demand, reserved once: the steady state must never
+  // allocate (tests/test_alloc.cpp), and a window holds at most one group
+  // per (cycle x FU class) with kMaxModules slots each.
+  window_entries_.reserve(kWindowCycles * isa::kNumFuClasses);
+  window_slots_.reserve(kWindowCycles * isa::kNumFuClasses * sim::kMaxModules);
+}
+
+MultiSchemeReplayer::~MultiSchemeReplayer() = default;
+
+std::size_t MultiSchemeReplayer::add_lane(
+    const ExperimentConfig& config, stats::BitPatternCollector* patterns,
+    stats::OccupancyAggregator* occupancy,
+    std::span<sim::IssueListener* const> extra_listeners) {
+  if (config.machine.modules != machine_.modules)
+    throw std::invalid_argument(
+        "multi-scheme lane config disagrees with the capture's machine shape");
+  if (cycle_ != 0)
+    throw std::logic_error("cannot add a lane to a started multi-scheme pass");
+
+  auto lane = std::make_unique<Lane>(config, machine_);
+  lane->policies.install(lane->steer);
+  lane->steer.add_listener(&lane->accountant);
+  if (patterns) lane->steer.add_listener(patterns);
+  for (sim::IssueListener* listener : extra_listeners)
+    if (listener) lane->steer.add_listener(listener);
+  lane->occupancy = occupancy;
+  lane->cycle_fanout = lane->steer.has_cycle_listeners();
+  lanes_.push_back(std::move(lane));
+  return lanes_.size() - 1;
+}
+
+bool MultiSchemeReplayer::run_cycles(std::uint64_t max_cycles) {
+  const auto& groups = buffer_.groups();
+  const std::uint64_t total = buffer_.stats().cycles;
+  std::uint64_t remaining = max_cycles;
+  while (remaining > 0 && cycle_ < total) {
+    // Decode one window of cycles from the SoA lanes into slots, once.
+    const std::uint64_t begin = cycle_;
+    const std::uint64_t end =
+        std::min(total, begin + std::min(kWindowCycles, remaining));
+    window_entries_.clear();
+    window_slots_.clear();
+    while (next_group_ < groups.size() && groups[next_group_].cycle <= end) {
+      const sim::IssueGroup& group = groups[next_group_];
+      const auto offset = static_cast<std::uint32_t>(window_slots_.size());
+      window_slots_.resize(offset + group.count);
+      buffer_.materialize(
+          group, std::span<sim::IssueSlot>(window_slots_.data() + offset,
+                                           group.count));
+      window_entries_.push_back(WindowEntry{group, offset});
+      ++next_group_;
+    }
+
+    // Each lane then walks the whole window: its policy latches, busy table
+    // and accountant stay cache-resident across the window's groups. Every
+    // lane sees exactly the order a dedicated GroupReplayer would produce -
+    // groups ascending, end_cycle after each cycle's groups (skipped
+    // wholesale when no attached listener wants it; it is a no-op then).
+    for (auto& lane : lanes_) {
+      if (lane->cycle_fanout) {
+        std::size_t g = 0;
+        for (std::uint64_t c = begin + 1; c <= end; ++c) {
+          while (g < window_entries_.size() &&
+                 window_entries_[g].group.cycle == c) {
+            const WindowEntry& entry = window_entries_[g];
+            lane->steer.steer_group(
+                entry.group,
+                std::span<const sim::IssueSlot>(
+                    window_slots_.data() + entry.offset, entry.group.count));
+            ++g;
+          }
+          lane->steer.end_cycle(c);
+        }
+      } else {
+        for (const WindowEntry& entry : window_entries_)
+          lane->steer.steer_group(
+              entry.group,
+              std::span<const sim::IssueSlot>(
+                  window_slots_.data() + entry.offset, entry.group.count));
+      }
+    }
+    remaining -= end - begin;
+    cycle_ = end;
+  }
+  if (done() && !finalized_) {
+    finalized_ = true;
+    for (auto& lane : lanes_)
+      if (lane->occupancy) lane->occupancy->add(buffer_.stats());
+  }
+  return done();
+}
+
+void MultiSchemeReplayer::run() {
+  while (!run_cycles(std::uint64_t{1} << 20)) {
+  }
+}
+
+std::size_t MultiSchemeReplayer::lane_count() const noexcept {
+  return lanes_.size();
+}
+
+RunResult MultiSchemeReplayer::result(std::size_t lane,
+                                      const std::string& name) const {
+  return detail::make_result(name, lanes_.at(lane)->accountant,
+                             buffer_.stats());
+}
+
+}  // namespace mrisc::driver

@@ -1,0 +1,112 @@
+// "Sweep once, score all": evaluate many steering schemes in one pass over
+// a captured issue-group stream.
+//
+// A sweep cell differs from its siblings only in (scheme, swap) - the
+// capture, the cycle loop, and the per-group slot materialization are
+// shared. MultiSchemeReplayer exploits that: it walks the capture ONCE and,
+// per group, materializes the SoA lanes into slots a single time, then lets
+// every scheme lane steer the same slots. Each lane owns its policies,
+// busy-until state, energy accountant and listeners, so its results are
+// bit-identical to a dedicated GroupReplayer run of the same config - the
+// third tier of the engine's cache hierarchy (emulate once -> trace, time
+// once -> groups, sweep once -> all scored schemes).
+//
+// Any scheme can be a lane - each lane just drives its PolicySet through a
+// GroupSteerLane. The engine forms a pass when it would carry at least two
+// score-expressible lanes (steer/scored.h): those are the ones whose
+// per-slot scoring funnels through the shared kernels and dominates a
+// sweep, so they set the amortization threshold. Positional lanes
+// (Original/PcHash/RoundRobin) of the same capture then ride along, so a
+// full sweep walks the group stream exactly once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "sim/group_buffer.h"
+#include "stats/bit_patterns.h"
+#include "stats/report.h"
+
+namespace mrisc::driver {
+
+/// True when `scheme`'s steering decision is expressed through the
+/// ScoredSteeringPolicy cost kernel (FullHam, OneBitHam, the LUT family) -
+/// the schemes the engine bundles into one all-schemes pass.
+[[nodiscard]] bool scheme_is_score_expressible(Scheme scheme) noexcept;
+
+/// One shared pass over a capture, N independent scheme lanes.
+class MultiSchemeReplayer {
+ public:
+  /// `machine` must be the shape the capture was recorded under.
+  MultiSchemeReplayer(const sim::OooConfig& machine,
+                      const sim::IssueGroupBuffer& buffer);
+  ~MultiSchemeReplayer();
+  MultiSchemeReplayer(const MultiSchemeReplayer&) = delete;
+  MultiSchemeReplayer& operator=(const MultiSchemeReplayer&) = delete;
+
+  /// Add one scheme lane; returns its index. Listener order per lane
+  /// mirrors replay_groups: accountant first, then `patterns`, then
+  /// `extra_listeners`. Throws std::invalid_argument when `config.machine`
+  /// disagrees with the capture's machine shape. Must be called before the
+  /// replay starts.
+  std::size_t add_lane(const ExperimentConfig& config,
+                       stats::BitPatternCollector* patterns = nullptr,
+                       stats::OccupancyAggregator* occupancy = nullptr,
+                       std::span<sim::IssueListener* const> extra_listeners = {});
+
+  /// Replay the whole capture through every lane.
+  void run();
+
+  /// Replay at most `max_cycles` further cycles; returns true if finished.
+  bool run_cycles(std::uint64_t max_cycles);
+
+  [[nodiscard]] bool done() const noexcept {
+    return cycle_ >= buffer_.stats().cycles;
+  }
+  [[nodiscard]] std::size_t lane_count() const noexcept;
+
+  /// Package lane `lane`'s accumulated energy into a RunResult (identical
+  /// to what replay_groups would have returned for that lane's config).
+  [[nodiscard]] RunResult result(std::size_t lane,
+                                 const std::string& name) const;
+
+  /// The recorded run's statistics (steering-invariant, shared by lanes).
+  [[nodiscard]] const sim::PipelineStats& stats() const noexcept {
+    return buffer_.stats();
+  }
+
+ private:
+  struct Lane;
+
+  /// Cycles materialized per window. The pass runs window-at-a-time: all
+  /// groups of a cycle window are decoded from the SoA lanes into slots
+  /// once, then every lane walks the whole window before the next one is
+  /// decoded. Lane-per-window (rather than lane-per-group) keeps one lane's
+  /// policy latches, busy table and accountant resident in L1 across many
+  /// groups - interleaving all lanes on every group was measurably slower
+  /// than dedicated per-scheme walks.
+  static constexpr std::uint64_t kWindowCycles = 256;
+
+  /// One materialized group of the current window: the group record plus
+  /// the offset of its slots in window_slots_.
+  struct WindowEntry {
+    sim::IssueGroup group;
+    std::uint32_t offset;
+  };
+
+  sim::OooConfig machine_;
+  const sim::IssueGroupBuffer& buffer_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<WindowEntry> window_entries_;  ///< reserved up front; no
+  std::vector<sim::IssueSlot> window_slots_; ///< steady-state allocation
+  std::size_t next_group_ = 0;
+  std::uint64_t cycle_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mrisc::driver

@@ -1,0 +1,108 @@
+// Internal driver plumbing shared by the per-scheme run paths
+// (experiment.cpp: run_core / replay_groups) and the all-schemes pass
+// (multi_scheme.cpp): per-run steering-policy construction, installation
+// into a machine, and result packaging. A single definition of each is one
+// half of what makes those paths bit-identical - every path constructs the
+// exact same policies from the exact same config and reads the accountant
+// out the exact same way.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "driver/experiment.h"
+#include "power/energy.h"
+#include "stats/paper_ref.h"
+#include "steer/mult_swap.h"
+#include "steer/policies.h"
+
+namespace mrisc::driver::detail {
+
+/// Build the steering policy for one adder class under the configuration.
+inline std::unique_ptr<sim::SteeringPolicy> make_policy(
+    const ExperimentConfig& config, isa::FuClass cls) {
+  const bool hw_swap = config.swap == SwapMode::kHardware ||
+                       config.swap == SwapMode::kHardwareCompiler;
+  const steer::SwapConfig static_swap =
+      hw_swap ? steer::SwapConfig::hardware_for(cls) : steer::SwapConfig::none();
+  const steer::SwapConfig explore_swap =
+      hw_swap ? steer::SwapConfig::explore() : steer::SwapConfig::none();
+
+  const auto lut_stats = [&] {
+    if (config.lut_from_paper) return stats::paper_case_stats(cls);
+    return cls == isa::FuClass::kFpau ? config.fpau_stats : config.ialu_stats;
+  };
+  const int modules =
+      config.machine.modules[static_cast<std::size_t>(cls)];
+
+  switch (config.scheme) {
+    case Scheme::kFullHam:
+      return std::make_unique<steer::FullHamSteering>(explore_swap);
+    case Scheme::kOneBitHam:
+      return std::make_unique<steer::OneBitHamSteering>(explore_swap,
+                                                        config.fp_or_bits);
+    case Scheme::kLut8:
+      return std::make_unique<steer::LutSteering>(
+          steer::build_lut(lut_stats(), modules, 8, config.affinity),
+          static_swap);
+    case Scheme::kLut4:
+      return std::make_unique<steer::LutSteering>(
+          steer::build_lut(lut_stats(), modules, 4, config.affinity),
+          static_swap);
+    case Scheme::kLut2:
+      return std::make_unique<steer::LutSteering>(
+          steer::build_lut(lut_stats(), modules, 2, config.affinity),
+          static_swap);
+    case Scheme::kOriginal:
+      return std::make_unique<steer::FcfsSteering>(static_swap);
+    case Scheme::kPcHash:
+      return std::make_unique<steer::PcHashSteering>(static_swap);
+    case Scheme::kRoundRobin:
+      return std::make_unique<steer::RoundRobinSteering>(static_swap);
+  }
+  throw std::logic_error("unknown scheme");
+}
+
+/// Freshly constructed per-run steering policies (no state leaks between
+/// runs); installs into anything with OooCore's set_policy signature - the
+/// timing core, the group replayer and the multi-scheme lanes share this
+/// setup.
+struct PolicySet {
+  std::unique_ptr<sim::SteeringPolicy> ialu, fpau;
+  steer::MultSwapSteering mult;
+
+  explicit PolicySet(const ExperimentConfig& config)
+      : ialu(make_policy(config, isa::FuClass::kIalu)),
+        fpau(make_policy(config, isa::FuClass::kFpau)),
+        mult(config.mult_rule) {}
+
+  template <typename Machine>
+  void install(Machine& machine) {
+    machine.set_policy(isa::FuClass::kIalu, ialu.get());
+    machine.set_policy(isa::FuClass::kFpau, fpau.get());
+    machine.set_policy(isa::FuClass::kImult, &mult);
+    machine.set_policy(isa::FuClass::kFpmult, &mult);
+  }
+};
+
+/// Package a finished run: accountant totals + per-module breakdown + the
+/// run's pipeline statistics.
+inline RunResult make_result(const std::string& name,
+                             const power::EnergyAccountant& accountant,
+                             const sim::PipelineStats& stats) {
+  RunResult result;
+  result.workload = name;
+  result.ialu = accountant.cls(isa::FuClass::kIalu);
+  result.fpau = accountant.cls(isa::FuClass::kFpau);
+  result.imult = accountant.cls(isa::FuClass::kImult);
+  result.fpmult = accountant.cls(isa::FuClass::kFpmult);
+  result.pipeline = stats;
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m)
+      result.per_module[c][m] = accountant.module_energy(
+          static_cast<isa::FuClass>(c), static_cast<int>(m));
+  return result;
+}
+
+}  // namespace mrisc::driver::detail

@@ -1,19 +1,8 @@
 #include "power/energy.h"
 
-#include <bit>
-
 #include "util/bitops.h"
 
 namespace mrisc::power {
-
-int operand_hamming(std::uint64_t a, std::uint64_t b, bool fp) noexcept {
-  // One XOR + mask + popcount, no per-bit loop: the comparison domain is the
-  // 52-bit mantissa for FP operands (exponent and sign excluded) and the low
-  // 32-bit word for integers (bits above 31, including a copied sign, never
-  // reach the FU input latches).
-  const std::uint64_t mask = (std::uint64_t{1} << domain_bits(fp)) - 1;
-  return std::popcount((a ^ b) & mask);
-}
 
 EnergyAccountant::EnergyAccountant(const PowerConfig& config)
     : config_(config) {}

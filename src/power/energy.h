@@ -19,6 +19,7 @@
 
 #include "isa/isa.h"
 #include "sim/issue.h"
+#include "util/bitops.h"
 
 namespace mrisc::power {
 
@@ -26,8 +27,17 @@ namespace mrisc::power {
 inline constexpr int domain_bits(bool fp) noexcept { return fp ? 52 : 32; }
 
 /// Ham(X, Y) as defined by the paper: full 32-bit word for integers, mantissa
-/// only for floating point.
-int operand_hamming(std::uint64_t a, std::uint64_t b, bool fp) noexcept;
+/// only for floating point. Inline: this runs per issued operand in every
+/// accountant and steering hot loop.
+inline int operand_hamming(std::uint64_t a, std::uint64_t b,
+                           bool fp) noexcept {
+  // One XOR + mask + popcount, no per-bit loop: the comparison domain is the
+  // 52-bit mantissa for FP operands (exponent and sign excluded) and the low
+  // 32-bit word for integers (bits above 31, including a copied sign, never
+  // reach the FU input latches).
+  const std::uint64_t mask = (std::uint64_t{1} << domain_bits(fp)) - 1;
+  return util::popcount((a ^ b) & mask);
+}
 
 struct PowerConfig {
   double vdd_volts = 1.2;
@@ -74,6 +84,8 @@ class EnergyAccountant final : public sim::IssueListener {
 
   void on_issue(isa::FuClass cls, std::span<const sim::IssueSlot> slots,
                 std::span<const sim::ModuleAssignment> assign) override;
+  /// Energy accounting is entirely issue-driven; skip the per-cycle fan-out.
+  [[nodiscard]] bool wants_on_cycle() const noexcept override { return false; }
 
   [[nodiscard]] const ClassEnergy& cls(isa::FuClass c) const {
     return energy_[static_cast<std::size_t>(c)];

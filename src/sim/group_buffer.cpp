@@ -1,7 +1,10 @@
 #include "sim/group_buffer.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace mrisc::sim {
 
@@ -22,15 +25,38 @@ class FcfsDefault final : public SteeringPolicy {
 
 FcfsDefault g_default_policy;
 
+constexpr std::uint64_t align8(std::uint64_t n) { return (n + 7) & ~std::uint64_t{7}; }
+
 }  // namespace
 
 void IssueGroupBuffer::append(isa::FuClass cls,
                               std::span<const IssueSlot> slots) {
+  if (slots.size() > static_cast<std::size_t>(kMaxModules))
+    throw std::invalid_argument("issue group exceeds kMaxModules slots");
+  const std::size_t base = op1_.size();
+  if (base + slots.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()))
+    throw std::length_error(
+        "issue-group capture overflows the 32-bit slot index at slot " +
+        std::to_string(base + slots.size()) +
+        "; split the workload or shard the capture");
+
   IssueGroup group;
-  group.first = static_cast<std::uint32_t>(slots_.size());
+  group.first = static_cast<std::uint32_t>(base);
   group.count = static_cast<std::uint8_t>(slots.size());
   group.cls = cls;
-  slots_.insert(slots_.end(), slots.begin(), slots.end());
+  for (const IssueSlot& s : slots) {
+    op1_.push_back(s.op1);
+    op2_.push_back(s.op2);
+    std::uint8_t flags = 0;
+    if (s.has_op1) flags |= SlotLanes::kHasOp1;
+    if (s.has_op2) flags |= SlotLanes::kHasOp2;
+    if (s.fp_operands) flags |= SlotLanes::kFpOperands;
+    if (s.commutative) flags |= SlotLanes::kCommutative;
+    flags_.push_back(flags);
+    opcode_.push_back(s.op);
+    pc_.push_back(s.pc);
+  }
   groups_.push_back(group);
 }
 
@@ -40,11 +66,133 @@ void IssueGroupBuffer::seal_cycle(std::uint64_t cycle) {
   sealed_ = groups_.size();
 }
 
+std::size_t IssueGroupBuffer::lane_bytes() const noexcept {
+  const std::size_t n = slot_count();
+  return n * (sizeof(std::uint64_t) * 2 + sizeof(std::uint8_t) +
+              sizeof(isa::Opcode) + sizeof(std::uint32_t)) +
+         groups_.size() * sizeof(IssueGroup);
+}
+
+void IssueGroupBuffer::materialize(const IssueGroup& group,
+                                   std::span<IssueSlot> out) const {
+  const SlotLanes lanes = this->lanes();
+  const auto first = static_cast<std::size_t>(group.first);
+  const auto n = static_cast<std::size_t>(group.count);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lanes.slot(first + i);
+}
+
 void IssueGroupBuffer::clear() noexcept {
-  slots_.clear();
+  op1_.clear();
+  op2_.clear();
+  flags_.clear();
+  opcode_.clear();
+  pc_.clear();
   groups_.clear();
   sealed_ = 0;
   stats_ = PipelineStats{};
+}
+
+std::vector<std::byte> IssueGroupBuffer::pack() const {
+  CaptureLayout layout;
+  layout.group_count = groups_.size();
+  layout.slot_count = slot_count();
+  const std::uint64_t n = layout.slot_count;
+
+  std::uint64_t offset = align8(sizeof(CaptureLayout));
+  layout.groups_offset = offset;
+  offset = align8(offset + layout.group_count * sizeof(IssueGroup));
+  layout.op1_offset = offset;
+  offset = align8(offset + n * sizeof(std::uint64_t));
+  layout.op2_offset = offset;
+  offset = align8(offset + n * sizeof(std::uint64_t));
+  layout.flags_offset = offset;
+  offset = align8(offset + n * sizeof(std::uint8_t));
+  layout.opcode_offset = offset;
+  offset = align8(offset + n * sizeof(isa::Opcode));
+  layout.pc_offset = offset;
+  offset = align8(offset + n * sizeof(std::uint32_t));
+  layout.total_bytes = offset;
+  layout.stats = stats_;
+
+  std::vector<std::byte> image(static_cast<std::size_t>(offset), std::byte{});
+  std::memcpy(image.data(), &layout, sizeof(layout));
+  auto copy_region = [&](std::uint64_t at, const void* src, std::size_t bytes) {
+    if (bytes) std::memcpy(image.data() + at, src, bytes);
+  };
+  copy_region(layout.groups_offset, groups_.data(),
+              groups_.size() * sizeof(IssueGroup));
+  copy_region(layout.op1_offset, op1_.data(), op1_.size() * sizeof(std::uint64_t));
+  copy_region(layout.op2_offset, op2_.data(), op2_.size() * sizeof(std::uint64_t));
+  copy_region(layout.flags_offset, flags_.data(), flags_.size());
+  copy_region(layout.opcode_offset, opcode_.data(),
+              opcode_.size() * sizeof(isa::Opcode));
+  copy_region(layout.pc_offset, pc_.data(), pc_.size() * sizeof(std::uint32_t));
+  return image;
+}
+
+CaptureView IssueGroupBuffer::view(std::span<const std::byte> image) {
+  if (image.size() < sizeof(CaptureLayout))
+    throw std::invalid_argument("capture image truncated before header");
+  CaptureLayout layout;
+  std::memcpy(&layout, image.data(), sizeof(layout));
+  if (layout.magic != CaptureLayout::kMagic)
+    throw std::invalid_argument("capture image has wrong magic");
+  if (layout.version != CaptureLayout::kVersion)
+    throw std::invalid_argument("capture image has unsupported version " +
+                                std::to_string(layout.version));
+  if (layout.total_bytes != image.size())
+    throw std::invalid_argument("capture image size does not match header");
+  auto region = [&](std::uint64_t at, std::uint64_t elem_bytes,
+                    std::uint64_t count) {
+    if (at % 8 != 0 || at > image.size() ||
+        elem_bytes * count > image.size() - at)
+      throw std::invalid_argument("capture image region out of bounds");
+    return image.data() + at;
+  };
+  const std::uint64_t g = layout.group_count;
+  const std::uint64_t n = layout.slot_count;
+  CaptureView out;
+  out.groups = {reinterpret_cast<const IssueGroup*>(
+                    region(layout.groups_offset, sizeof(IssueGroup), g)),
+                static_cast<std::size_t>(g)};
+  out.lanes.op1 = {reinterpret_cast<const std::uint64_t*>(
+                       region(layout.op1_offset, sizeof(std::uint64_t), n)),
+                   static_cast<std::size_t>(n)};
+  out.lanes.op2 = {reinterpret_cast<const std::uint64_t*>(
+                       region(layout.op2_offset, sizeof(std::uint64_t), n)),
+                   static_cast<std::size_t>(n)};
+  out.lanes.flags = {reinterpret_cast<const std::uint8_t*>(
+                         region(layout.flags_offset, 1, n)),
+                     static_cast<std::size_t>(n)};
+  out.lanes.opcode = {reinterpret_cast<const isa::Opcode*>(
+                          region(layout.opcode_offset, sizeof(isa::Opcode), n)),
+                      static_cast<std::size_t>(n)};
+  out.lanes.pc = {reinterpret_cast<const std::uint32_t*>(
+                      region(layout.pc_offset, sizeof(std::uint32_t), n)),
+                  static_cast<std::size_t>(n)};
+  out.stats = &reinterpret_cast<const CaptureLayout*>(image.data())->stats;
+  return out;
+}
+
+IssueGroupBuffer IssueGroupBuffer::unpack(std::span<const std::byte> image) {
+  const CaptureView v = view(image);
+  IssueGroupBuffer buffer;
+  buffer.op1_.assign(v.lanes.op1.begin(), v.lanes.op1.end());
+  buffer.op2_.assign(v.lanes.op2.begin(), v.lanes.op2.end());
+  buffer.flags_.assign(v.lanes.flags.begin(), v.lanes.flags.end());
+  buffer.opcode_.assign(v.lanes.opcode.begin(), v.lanes.opcode.end());
+  buffer.pc_.assign(v.lanes.pc.begin(), v.lanes.pc.end());
+  buffer.groups_.assign(v.groups.begin(), v.groups.end());
+  for (const IssueGroup& group : buffer.groups_) {
+    if (group.count > kMaxModules ||
+        static_cast<std::size_t>(group.first) + group.count >
+            buffer.slot_count() ||
+        static_cast<int>(group.cls) >= isa::kNumFuClasses)
+      throw std::invalid_argument("capture image has a corrupt group record");
+  }
+  buffer.sealed_ = buffer.groups_.size();
+  buffer.stats_ = *v.stats;
+  return buffer;
 }
 
 void IssueGroupRecorder::on_issue(isa::FuClass cls,
@@ -63,59 +211,66 @@ IssueGroupBuffer capture_groups(const OooConfig& config, TraceSource& source) {
   return buffer;
 }
 
-GroupReplayer::GroupReplayer(const OooConfig& config,
-                             const IssueGroupBuffer& buffer)
-    : config_(config), buffer_(buffer) {
+GroupSteerLane::GroupSteerLane(const OooConfig& config) : config_(config) {
   for (int c = 0; c < isa::kNumFuClasses; ++c) {
     if (config_.modules[static_cast<std::size_t>(c)] > kMaxModules)
       throw std::invalid_argument("too many modules for one FU class");
   }
-  policies_.fill(nullptr);
+  // Precomputed per-class policy table: every entry resolves, so the
+  // per-group hot path never tests for a missing policy.
+  policies_.fill(&g_default_policy);
   listeners_.reserve(4);
+  cycle_listeners_.reserve(4);
 }
 
-void GroupReplayer::set_policy(isa::FuClass cls, SteeringPolicy* policy) {
+void GroupSteerLane::set_policy(isa::FuClass cls, SteeringPolicy* policy) {
   const auto idx = static_cast<std::size_t>(cls);
-  policies_[idx] = policy;
-  if (policy) policy->reset(config_.modules[idx]);
+  policies_[idx] = policy ? policy : &g_default_policy;
+  policies_[idx]->reset(config_.modules[idx]);
 }
 
-void GroupReplayer::add_listener(IssueListener* listener) {
+void GroupSteerLane::add_listener(IssueListener* listener) {
   listeners_.push_back(listener);
+  if (listener->wants_on_cycle()) cycle_listeners_.push_back(listener);
 }
 
-void GroupReplayer::replay_group(const IssueGroup& group) {
+void GroupSteerLane::steer_group(const IssueGroup& group,
+                                 std::span<const IssueSlot> slots) {
   const auto cu = static_cast<std::size_t>(group.cls);
-  const auto n = static_cast<std::size_t>(group.count);
+  const auto n = slots.size();
 
   // Modules free this cycle, ascending - exactly what OooCore's issue stage
-  // presents. Which ids are free depends on this replay's own past
-  // assignments; how many are free does not (the recorded group fits).
+  // presents. Which ids are free depends on this lane's own past
+  // assignments; how many are free does not (the recorded group fits). The
+  // id list feeds the policy; the mirror bitmask feeds the legality check.
   int available_count = 0;
+  std::uint32_t avail_mask = 0;
   for (int m = 0; m < config_.modules[cu]; ++m) {
-    if (module_busy_[cu][static_cast<std::size_t>(m)] <= group.cycle)
+    if (module_busy_[cu][static_cast<std::size_t>(m)] <= group.cycle) {
       available_scratch_[static_cast<std::size_t>(available_count++)] = m;
+      avail_mask |= std::uint32_t{1} << m;
+    }
   }
 
-  const std::span<const IssueSlot> slots(&buffer_.slots()[group.first], n);
   const std::span<const int> available(available_scratch_.data(),
                                        static_cast<std::size_t>(available_count));
   const std::span<ModuleAssignment> assign(assign_scratch_.data(), n);
   std::fill_n(assign_scratch_.begin(), n, ModuleAssignment{});
 
-  SteeringPolicy* policy = policies_[cu] ? policies_[cu] : &g_default_policy;
-  policy->assign(slots, available, assign);
+  policies_[cu]->assign(slots, available, assign);
 
-  std::uint64_t used_mask = 0;
+  std::uint32_t used_mask = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const int m = assign[i].module;
-    const bool legal =
-        std::find(available.begin(), available.end(), m) != available.end();
-    if (!legal || (used_mask >> m) & 1)
+    const std::uint32_t bit =
+        static_cast<unsigned>(m) < static_cast<unsigned>(kMaxModules)
+            ? std::uint32_t{1} << m
+            : 0;
+    if (!(avail_mask & bit) || (used_mask & bit))
       throw std::logic_error("steering policy returned an illegal module");
     if (assign[i].swapped && !slots[i].commutative)
       throw std::logic_error("steering policy swapped a non-commutative op");
-    used_mask |= std::uint64_t{1} << m;
+    used_mask |= bit;
 
     // Same occupancy rule as the issue stage: pipelined modules accept a
     // new operation next cycle, non-pipelined ones hold until completion.
@@ -131,16 +286,27 @@ void GroupReplayer::replay_group(const IssueGroup& group) {
     listener->on_issue(group.cls, slots, assign);
 }
 
+void GroupSteerLane::end_cycle(std::uint64_t cycle) {
+  for (IssueListener* listener : cycle_listeners_) listener->on_cycle(cycle);
+}
+
+GroupReplayer::GroupReplayer(const OooConfig& config,
+                             const IssueGroupBuffer& buffer)
+    : buffer_(buffer), lane_(config) {}
+
 bool GroupReplayer::run_cycles(std::uint64_t max_cycles) {
   const auto& groups = buffer_.groups();
   const std::uint64_t total = buffer_.stats().cycles;
   for (std::uint64_t i = 0; i < max_cycles && cycle_ < total; ++i) {
     ++cycle_;
     while (next_group_ < groups.size() && groups[next_group_].cycle == cycle_) {
-      replay_group(groups[next_group_]);
+      const IssueGroup& group = groups[next_group_];
+      buffer_.materialize(group, slot_scratch_);
+      lane_.steer_group(group, std::span<const IssueSlot>(
+                                   slot_scratch_.data(), group.count));
       ++next_group_;
     }
-    for (IssueListener* listener : listeners_) listener->on_cycle(cycle_);
+    lane_.end_cycle(cycle_);
   }
   return done();
 }

@@ -12,12 +12,21 @@
 // per-module busy-until from the constexpr latency table and skipping the
 // Tomasulo machinery entirely. This is the second-level cache of the
 // experiment engine: emulate once -> trace, time once -> groups, steer many.
+//
+// Storage is structure-of-arrays: one contiguous lane per IssueSlot field
+// (op1, op2, packed flags, opcode, pc) plus a group index, so a scoring
+// kernel streams exactly the operand bits it reads and a multi-scheme pass
+// (driver/multi_scheme.h) touches each lane once for all schemes. pack()
+// serialises the whole capture into a single trivially-copyable, offset-based
+// image (no pointers) that view() can reinterpret in place - the layout a
+// future on-disk capture store can mmap verbatim.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "sim/issue.h"
@@ -25,13 +34,76 @@
 
 namespace mrisc::sim {
 
-/// One captured per-cycle, per-class issue group: `count` IssueSlots
-/// starting at `first` in the owning buffer's flat slot store.
+/// One captured per-cycle, per-class issue group: `count` slots starting at
+/// lane index `first` in the owning buffer's SoA slot lanes.
 struct IssueGroup {
   std::uint64_t cycle = 0;  ///< simulated cycle the group issued in
-  std::uint32_t first = 0;  ///< index into IssueGroupBuffer::slots()
+  std::uint32_t first = 0;  ///< index into the buffer's slot lanes
   std::uint8_t count = 0;   ///< slots in the group (<= kMaxModules)
   isa::FuClass cls = isa::FuClass::kNone;
+};
+
+static_assert(std::is_trivially_copyable_v<IssueGroup>);
+
+/// Read-only view of the slot lanes: element i of every span describes slot
+/// i. Boolean slot fields are packed into one flag byte per slot.
+struct SlotLanes {
+  static constexpr std::uint8_t kHasOp1 = 1u << 0;
+  static constexpr std::uint8_t kHasOp2 = 1u << 1;
+  static constexpr std::uint8_t kFpOperands = 1u << 2;
+  static constexpr std::uint8_t kCommutative = 1u << 3;
+
+  std::span<const std::uint64_t> op1;
+  std::span<const std::uint64_t> op2;
+  std::span<const std::uint8_t> flags;
+  std::span<const isa::Opcode> opcode;
+  std::span<const std::uint32_t> pc;
+
+  /// Reassemble one slot from its lane entries (the recorder's AoS input
+  /// round-trips exactly; tests/test_group_replay.cpp pins this).
+  [[nodiscard]] IssueSlot slot(std::size_t i) const {
+    IssueSlot s;
+    s.op1 = op1[i];
+    s.op2 = op2[i];
+    s.has_op1 = (flags[i] & kHasOp1) != 0;
+    s.has_op2 = (flags[i] & kHasOp2) != 0;
+    s.fp_operands = (flags[i] & kFpOperands) != 0;
+    s.commutative = (flags[i] & kCommutative) != 0;
+    s.op = opcode[i];
+    s.pc = pc[i];
+    return s;
+  }
+};
+
+/// Header of a packed capture image. Every region is located by a byte
+/// offset from the image start - no pointers, 8-byte aligned, so the image
+/// is position-independent and mmap-able verbatim.
+struct CaptureLayout {
+  static constexpr std::uint64_t kMagic = 0x31425247'43534952ull;  // "RISCGRB1"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t group_count = 0;
+  std::uint64_t slot_count = 0;
+  std::uint64_t groups_offset = 0;
+  std::uint64_t op1_offset = 0;
+  std::uint64_t op2_offset = 0;
+  std::uint64_t flags_offset = 0;
+  std::uint64_t opcode_offset = 0;
+  std::uint64_t pc_offset = 0;
+  std::uint64_t total_bytes = 0;
+  PipelineStats stats{};
+};
+
+static_assert(std::is_trivially_copyable_v<CaptureLayout>);
+
+/// Zero-copy view of a packed capture image (see IssueGroupBuffer::pack).
+struct CaptureView {
+  std::span<const IssueGroup> groups;
+  SlotLanes lanes;
+  const PipelineStats* stats = nullptr;
 };
 
 /// Flat storage for every issue group of one timing run, in issue order
@@ -42,7 +114,10 @@ struct IssueGroup {
 class IssueGroupBuffer {
  public:
   /// Append a group whose cycle is not known yet (IssueListener::on_issue
-  /// does not carry the cycle); seal_cycle() stamps it.
+  /// does not carry the cycle); seal_cycle() stamps it. Throws
+  /// std::length_error when the capture outgrows the 32-bit slot index
+  /// (previously a silent narrowing) and std::invalid_argument when the
+  /// group exceeds kMaxModules slots.
   void append(isa::FuClass cls, std::span<const IssueSlot> slots);
 
   /// Stamp `cycle` on every group appended since the previous seal.
@@ -55,15 +130,41 @@ class IssueGroupBuffer {
   [[nodiscard]] const std::vector<IssueGroup>& groups() const noexcept {
     return groups_;
   }
-  [[nodiscard]] const std::vector<IssueSlot>& slots() const noexcept {
-    return slots_;
+  /// SoA lane view over all captured slots.
+  [[nodiscard]] SlotLanes lanes() const noexcept {
+    return SlotLanes{op1_, op2_, flags_, opcode_, pc_};
   }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return op1_.size(); }
+  /// Bytes held by the slot lanes plus the group index (capacity metric for
+  /// the engine's group-cache telemetry).
+  [[nodiscard]] std::size_t lane_bytes() const noexcept;
+
+  /// Reconstruct `group`'s slots into `out` (out.size() >= group.count).
+  void materialize(const IssueGroup& group, std::span<IssueSlot> out) const;
+
   [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
   void clear() noexcept;
 
+  /// Serialise into one contiguous offset-based image (CaptureLayout header
+  /// followed by 8-byte-aligned lane regions).
+  [[nodiscard]] std::vector<std::byte> pack() const;
+
+  /// Reinterpret a packed image in place without copying. Validates the
+  /// header (magic, version, region bounds); throws std::invalid_argument
+  /// on a malformed image. The view borrows `image`.
+  [[nodiscard]] static CaptureView view(std::span<const std::byte> image);
+
+  /// Deep-copy a packed image back into an owning buffer, validating every
+  /// group record on the way in.
+  [[nodiscard]] static IssueGroupBuffer unpack(std::span<const std::byte> image);
+
  private:
-  std::vector<IssueSlot> slots_;
+  std::vector<std::uint64_t> op1_;
+  std::vector<std::uint64_t> op2_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<isa::Opcode> opcode_;
+  std::vector<std::uint32_t> pc_;
   std::vector<IssueGroup> groups_;
   std::size_t sealed_ = 0;  ///< groups already stamped with their cycle
   PipelineStats stats_{};
@@ -91,25 +192,81 @@ class IssueGroupRecorder final : public IssueListener {
 [[nodiscard]] IssueGroupBuffer capture_groups(const OooConfig& config,
                                               TraceSource& source);
 
+/// One independent steering lane over a captured group stream: the policy
+/// table, per-module busy-until state, and listener fan-out that both
+/// GroupReplayer (one lane) and the driver's MultiSchemeReplayer (N lanes
+/// over one shared pass) drive. Policies resolve through a per-class table
+/// precomputed at construction - classes without an installed policy point
+/// at the shared FCFS default, so the hot path never branches on a null
+/// policy - and assignment legality is checked against an `available`
+/// bitmask instead of a linear scan. Enforces the same policy contract as
+/// OooCore (distinct modules drawn from `available`, swaps only on
+/// commutative slots) with the same std::logic_error diagnostics. The
+/// steady state performs no heap allocation (tests/test_alloc.cpp).
+class GroupSteerLane {
+ public:
+  explicit GroupSteerLane(const OooConfig& config);
+
+  /// Install a steering policy for one FU class (resets it to the class's
+  /// module count); nullptr restores the first-come-first-serve default.
+  void set_policy(isa::FuClass cls, SteeringPolicy* policy);
+
+  /// Attach an issue listener (power accountant, statistics collector).
+  void add_listener(IssueListener* listener);
+
+  /// Steer one group (slots already materialized from the buffer's lanes),
+  /// update this lane's busy-until state, and notify listeners.
+  void steer_group(const IssueGroup& group, std::span<const IssueSlot> slots);
+
+  /// Fire IssueListener::on_cycle on every listener that wants it
+  /// (IssueListener::wants_on_cycle). Listeners whose on_cycle is a no-op
+  /// are skipped - cycles outnumber groups several-fold, so the empty
+  /// virtual calls add up across a multi-lane sweep.
+  void end_cycle(std::uint64_t cycle);
+
+  [[nodiscard]] const OooConfig& config() const noexcept { return config_; }
+
+  /// True when at least one attached listener wants the per-cycle callback.
+  /// When false, end_cycle is a no-op and a caller driving many lanes may
+  /// skip its own per-cycle bookkeeping for this lane.
+  [[nodiscard]] bool has_cycle_listeners() const noexcept {
+    return !cycle_listeners_.empty();
+  }
+
+ private:
+  OooConfig config_;
+  std::array<SteeringPolicy*, isa::kNumFuClasses> policies_{};
+  std::vector<IssueListener*> listeners_;
+  std::vector<IssueListener*> cycle_listeners_;  ///< wants_on_cycle() subset
+
+  // Per-module "busy until cycle" (exclusive) per class; the only timing
+  // state the group stream does not already carry.
+  std::array<std::array<std::uint64_t, kMaxModules>, isa::kNumFuClasses>
+      module_busy_{};
+
+  // Reusable per-group scratch, bounded by kMaxModules.
+  std::array<int, kMaxModules> available_scratch_{};
+  std::array<ModuleAssignment, kMaxModules> assign_scratch_{};
+};
+
 /// Replays a captured group stream under any steering policy, driving the
 /// installed listeners exactly as OooCore would: per group, the policy maps
 /// the slots onto the modules free that cycle (identity is policy-dependent
-/// even though the free count is not, so the replayer tracks its own
-/// per-module busy-until from the constexpr latency table); per cycle,
-/// on_cycle fires after the cycle's groups. Enforces the same policy
-/// contract as OooCore (distinct modules drawn from `available`, swaps only
-/// on commutative slots) with the same std::logic_error diagnostics. The
-/// steady state performs no heap allocation (tests/test_alloc.cpp).
+/// even though the free count is not); per cycle, on_cycle fires after the
+/// cycle's groups. One GroupSteerLane carries all steering state; this class
+/// adds the cursor over the buffer and the lane materialization scratch.
 class GroupReplayer {
  public:
   GroupReplayer(const OooConfig& config, const IssueGroupBuffer& buffer);
 
   /// Install a steering policy for one FU class (resets it to the class's
   /// module count); classes without one use first-come-first-serve.
-  void set_policy(isa::FuClass cls, SteeringPolicy* policy);
+  void set_policy(isa::FuClass cls, SteeringPolicy* policy) {
+    lane_.set_policy(cls, policy);
+  }
 
   /// Attach an issue listener (power accountant, statistics collector).
-  void add_listener(IssueListener* listener);
+  void add_listener(IssueListener* listener) { lane_.add_listener(listener); }
 
   /// Replay to completion.
   void run();
@@ -126,22 +283,9 @@ class GroupReplayer {
   }
 
  private:
-  void replay_group(const IssueGroup& group);
-
-  OooConfig config_;
   const IssueGroupBuffer& buffer_;
-  std::array<SteeringPolicy*, isa::kNumFuClasses> policies_{};
-  std::vector<IssueListener*> listeners_;
-
-  // Per-module "busy until cycle" (exclusive) per class; the only timing
-  // state the group stream does not already carry.
-  std::array<std::array<std::uint64_t, kMaxModules>, isa::kNumFuClasses>
-      module_busy_{};
-
-  // Reusable per-group scratch, bounded by kMaxModules.
-  std::array<int, kMaxModules> available_scratch_{};
-  std::array<ModuleAssignment, kMaxModules> assign_scratch_{};
-
+  GroupSteerLane lane_;
+  std::array<IssueSlot, kMaxModules> slot_scratch_{};
   std::size_t next_group_ = 0;
   std::uint64_t cycle_ = 0;
 };

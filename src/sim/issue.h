@@ -63,6 +63,12 @@ class IssueListener {
                         std::span<const ModuleAssignment> assign) = 0;
   /// Called once per simulated cycle after all classes issued.
   virtual void on_cycle(std::uint64_t /*cycle*/) {}
+  /// Listeners whose on_cycle is a no-op may return false so the group
+  /// replayer skips them in its per-cycle fan-out (cycles vastly outnumber
+  /// issue events; the empty virtual calls are measurable across a sweep).
+  /// Defaults to true - opting out is an explicit promise that on_cycle has
+  /// no observable effect.
+  [[nodiscard]] virtual bool wants_on_cycle() const noexcept { return true; }
 };
 
 }  // namespace mrisc::sim

@@ -244,10 +244,27 @@ void LutSteering::reset(int num_modules) {
     throw std::invalid_argument("LUT built for a different module count");
 }
 
+void LutSteering::score_slot(const sim::IssueSlot& slot,
+                             std::span<const int> available,
+                             std::span<int> cost,
+                             std::span<std::uint8_t> swapped) {
+  const bool swap = static_swap(swap_, slot);
+  const int c = case_of(slot);
+  const int eff = swap ? swapped_case(c) : c;
+  for (std::size_t j = 0; j < available.size(); ++j) {
+    const auto m = static_cast<std::size_t>(available[j]);
+    const bool affine = (table_.affinity[m] >> eff) & 1;
+    cost[j] = affine ? 0 : 1;
+    swapped[j] = swap ? 1 : 0;
+  }
+}
+
 void LutSteering::assign(std::span<const sim::IssueSlot> slots,
                          std::span<const int> available,
                          std::span<sim::ModuleAssignment> out) {
   const int k = table_.slots;
+  std::uint32_t avail_mask = 0;
+  for (const int m : available) avail_mask |= std::uint32_t{1} << m;
 
   // Swap decisions first: the vector encodes the case as presented to the
   // FU, i.e. after the static swap rule. Issue groups never exceed
@@ -283,10 +300,8 @@ void LutSteering::assign(std::span<const sim::IssueSlot> slots,
     int m = -1;
     if (static_cast<int>(i) < k) {
       const int cand = table_.assign[v * static_cast<std::size_t>(k) + i];
-      const bool free =
-          ((used >> cand) & 1) == 0 &&
-          std::find(available.begin(), available.end(), cand) != available.end();
-      if (free) m = cand;
+      const std::uint32_t bit = std::uint32_t{1} << cand;
+      if ((avail_mask & bit) && !(used & bit)) m = cand;
     }
     if (m < 0) m = take_fallback();
     used |= std::uint64_t{1} << m;

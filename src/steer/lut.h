@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/issue.h"
+#include "steer/scored.h"
 #include "steer/swap.h"
 
 namespace mrisc::steer {
@@ -87,7 +88,7 @@ LutTable build_lut(const CaseStats& stats, int num_modules, int vector_bits,
                    AffinityStrategy strategy = AffinityStrategy::kAuto);
 
 /// The runtime policy: stateless table lookup on the issue group's cases.
-class LutSteering final : public sim::SteeringPolicy {
+class LutSteering final : public ScoredSteeringPolicy {
  public:
   LutSteering(LutTable table, SwapConfig swap = SwapConfig::none());
 
@@ -95,6 +96,13 @@ class LutSteering final : public sim::SteeringPolicy {
   void assign(std::span<const sim::IssueSlot> slots,
               std::span<const int> available,
               std::span<sim::ModuleAssignment> out) override;
+
+  /// Affinity score: 0 when the module homes the slot's (post-swap)
+  /// information-bit case, 1 otherwise. The LUT is stateless, so this is
+  /// trivially pure; it expresses the table's placement preference in the
+  /// ScoredSteeringPolicy vocabulary.
+  void score_slot(const sim::IssueSlot& slot, std::span<const int> available,
+                  std::span<int> cost, std::span<std::uint8_t> swapped) override;
 
   [[nodiscard]] const LutTable& table() const noexcept { return table_; }
 

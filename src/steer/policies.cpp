@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "power/energy.h"
+#include "util/bitops_simd.h"
 
 namespace mrisc::steer {
 
@@ -19,51 +20,124 @@ void FcfsSteering::assign(std::span<const sim::IssueSlot> slots,
 
 // --- FullHamSteering ---
 
-void FullHamSteering::reset(int) { latch_ = {}; }
+void FullHamSteering::reset(int num_modules) {
+  modules_ = num_modules;
+  latch_op1_ = {};
+  latch_op2_ = {};
+}
 
 int FullHamSteering::pair_cost(const sim::IssueSlot& slot, int m,
                                bool& swapped) const {
-  const Latch& latch = latch_[static_cast<std::size_t>(m)];
+  const auto mi = static_cast<std::size_t>(m);
   const bool fp = slot.fp_operands;
   int base = 0;
-  if (slot.has_op1) base += power::operand_hamming(slot.op1, latch.op1, fp);
-  if (slot.has_op2) base += power::operand_hamming(slot.op2, latch.op2, fp);
+  if (slot.has_op1)
+    base += power::operand_hamming(slot.op1, latch_op1_[mi], fp);
+  if (slot.has_op2)
+    base += power::operand_hamming(slot.op2, latch_op2_[mi], fp);
   swapped = false;
   if (swap_.mode == SwapConfig::Mode::kExplore && slot.commutative &&
       slot.has_op1 && slot.has_op2) {
-    const int alt = power::operand_hamming(slot.op2, latch.op1, fp) +
-                    power::operand_hamming(slot.op1, latch.op2, fp);
+    const int alt = power::operand_hamming(slot.op2, latch_op1_[mi], fp) +
+                    power::operand_hamming(slot.op1, latch_op2_[mi], fp);
     if (alt < base) {
       swapped = true;
       return alt;
     }
   } else if (static_swap(swap_, slot)) {
     swapped = true;
-    return power::operand_hamming(slot.op2, latch.op1, fp) +
-           power::operand_hamming(slot.op1, latch.op2, fp);
+    return power::operand_hamming(slot.op2, latch_op1_[mi], fp) +
+           power::operand_hamming(slot.op1, latch_op2_[mi], fp);
   }
   return base;
+}
+
+void FullHamSteering::score_slot(const sim::IssueSlot& slot,
+                                 std::span<const int> available,
+                                 std::span<int> cost,
+                                 std::span<std::uint8_t> swapped) {
+  const std::uint64_t mask =
+      (std::uint64_t{1} << power::domain_bits(slot.fp_operands)) - 1;
+  // Only this class's modules have latches worth scoring; `available` never
+  // names a module >= modules_, so entries past it are dead.
+  const auto lanes = static_cast<std::size_t>(modules_);
+  const std::span<const std::uint64_t> l1(latch_op1_.data(), lanes);
+  const std::span<const std::uint64_t> l2(latch_op2_.data(), lanes);
+
+  // Lane-wise Hamming against every module latch at once (bit-exact with
+  // pair_cost's per-module operand_hamming calls).
+  std::array<int, sim::kMaxModules> base;
+  if (slot.has_op1 && slot.has_op2) {
+    util::hamming_lanes(slot.op1, l1, mask, base);
+    util::hamming_lanes_add(slot.op2, l2, mask, base);
+  } else if (slot.has_op1) {
+    util::hamming_lanes(slot.op1, l1, mask, base);
+  } else if (slot.has_op2) {
+    util::hamming_lanes(slot.op2, l2, mask, base);
+  } else {
+    std::fill_n(base.begin(), lanes, 0);
+  }
+
+  const bool explore = swap_.mode == SwapConfig::Mode::kExplore &&
+                       slot.commutative && slot.has_op1 && slot.has_op2;
+  const bool forced_swap = !explore && static_swap(swap_, slot);
+  if (explore || forced_swap) {
+    std::array<int, sim::kMaxModules> alt;
+    util::hamming_lanes(slot.op2, l1, mask, alt);
+    util::hamming_lanes_add(slot.op1, l2, mask, alt);
+    for (std::size_t j = 0; j < available.size(); ++j) {
+      const auto m = static_cast<std::size_t>(available[j]);
+      if (forced_swap || alt[m] < base[m]) {
+        cost[j] = alt[m];
+        swapped[j] = 1;
+      } else {
+        cost[j] = base[m];
+        swapped[j] = 0;
+      }
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < available.size(); ++j) {
+    cost[j] = base[static_cast<std::size_t>(available[j])];
+    swapped[j] = 0;
+  }
 }
 
 void FullHamSteering::assign(std::span<const sim::IssueSlot> slots,
                              std::span<const int> available,
                              std::span<sim::ModuleAssignment> out) {
+  // Precompute the full score matrix once; the branch-and-bound search
+  // below revisits (slot, module) pairs many times and previously recomputed
+  // the two-port Hamming distance on every visit. Deliberately left
+  // uninitialized: score_slot writes every (slot, available) entry the
+  // search can read.
+  std::array<std::array<int, sim::kMaxModules>, sim::kMaxModules> cost;
+  std::array<std::array<std::uint8_t, sim::kMaxModules>, sim::kMaxModules>
+      swap_flag;
+  std::array<std::uint8_t, sim::kMaxModules> pos{};
+  for (std::size_t j = 0; j < available.size(); ++j)
+    pos[static_cast<std::size_t>(available[j])] = static_cast<std::uint8_t>(j);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    score_slot(slots[i], available, cost[i], swap_flag[i]);
+
   min_cost_assignment(
       slots.size(), available,
       [&](std::size_t i, int m, bool& swapped) {
-        return pair_cost(slots[i], m, swapped);
+        const auto j = static_cast<std::size_t>(pos[static_cast<std::size_t>(m)]);
+        swapped = swap_flag[i][j] != 0;
+        return cost[i][j];
       },
       out);
   // Mirror what the module latches will hold after this cycle.
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    Latch& latch = latch_[static_cast<std::size_t>(out[i].module)];
+    const auto m = static_cast<std::size_t>(out[i].module);
     const auto& slot = slots[i];
     const std::uint64_t in1 = out[i].swapped ? slot.op2 : slot.op1;
     const std::uint64_t in2 = out[i].swapped ? slot.op1 : slot.op2;
     const bool have1 = out[i].swapped ? slot.has_op2 : slot.has_op1;
     const bool have2 = out[i].swapped ? slot.has_op1 : slot.has_op2;
-    if (have1) latch.op1 = in1;
-    if (have2) latch.op2 = in2;
+    if (have1) latch_op1_[m] = in1;
+    if (have2) latch_op2_[m] = in2;
   }
 }
 
@@ -72,7 +146,9 @@ void FullHamSteering::assign(std::span<const sim::IssueSlot> slots,
 void PcHashSteering::assign(std::span<const sim::IssueSlot> slots,
                             std::span<const int> available,
                             std::span<sim::ModuleAssignment> out) {
-  std::uint64_t used = 0;
+  std::uint32_t avail_mask = 0;
+  for (const int m : available) avail_mask |= std::uint32_t{1} << m;
+  std::uint32_t used = 0;
   auto fallback = [&]() {
     for (const int m : available) {
       if (((used >> m) & 1) == 0) return m;
@@ -84,63 +160,92 @@ void PcHashSteering::assign(std::span<const sim::IssueSlot> slots,
     const int preferred = static_cast<int>(
         (slots[i].pc * 2654435761u) % static_cast<std::uint32_t>(modules_));
     int m = -1;
-    const bool free =
-        ((used >> preferred) & 1) == 0 &&
-        std::find(available.begin(), available.end(), preferred) !=
-            available.end();
-    if (free) m = preferred;
+    const std::uint32_t bit = std::uint32_t{1} << preferred;
+    if ((avail_mask & bit) && !(used & bit)) m = preferred;
     if (m < 0) m = fallback();
-    used |= std::uint64_t{1} << m;
+    used |= std::uint32_t{1} << m;
     out[i] = sim::ModuleAssignment{m, static_swap(swap_, slots[i])};
   }
 }
 
 // --- OneBitHamSteering ---
 
-void OneBitHamSteering::reset(int) { latch_ = {}; }
+void OneBitHamSteering::reset(int) {
+  latch_b1_bits_ = 0;
+  latch_b2_bits_ = 0;
+}
+
+void OneBitHamSteering::score_slot(const sim::IssueSlot& slot,
+                                   std::span<const int> available,
+                                   std::span<int> cost,
+                                   std::span<std::uint8_t> swapped) {
+  const bool b1 =
+      slot.has_op1 && info_bit_ex(slot.op1, slot.fp_operands, fp_or_bits_);
+  const bool b2 =
+      slot.has_op2 && info_bit_ex(slot.op2, slot.fp_operands, fp_or_bits_);
+
+  // Bit-parallel distance words: bit m of d1 is set iff the slot's port-1
+  // information bit differs from module m's latched one. One XOR scores the
+  // slot against all modules.
+  const std::uint32_t d1 = latch_b1_bits_ ^ (b1 ? ~0u : 0u);
+  const std::uint32_t d2 = latch_b2_bits_ ^ (b2 ? ~0u : 0u);
+  const std::uint32_t ds1 = latch_b1_bits_ ^ (b2 ? ~0u : 0u);
+  const std::uint32_t ds2 = latch_b2_bits_ ^ (b1 ? ~0u : 0u);
+
+  const bool explore = swap_.mode == SwapConfig::Mode::kExplore &&
+                       slot.commutative && slot.has_op1 && slot.has_op2;
+  const bool forced_swap = !explore && static_swap(swap_, slot);
+  for (std::size_t j = 0; j < available.size(); ++j) {
+    const int m = available[j];
+    const int base = (slot.has_op1 && ((d1 >> m) & 1) ? 1 : 0) +
+                     (slot.has_op2 && ((d2 >> m) & 1) ? 1 : 0);
+    const int alt =
+        static_cast<int>((ds1 >> m) & 1) + static_cast<int>((ds2 >> m) & 1);
+    if (forced_swap || (explore && alt < base)) {
+      cost[j] = alt;
+      swapped[j] = 1;
+    } else {
+      cost[j] = base;
+      swapped[j] = 0;
+    }
+  }
+}
 
 void OneBitHamSteering::assign(std::span<const sim::IssueSlot> slots,
                                std::span<const int> available,
                                std::span<sim::ModuleAssignment> out) {
+  // Uninitialized on purpose: score_slot writes every entry the search reads.
+  std::array<std::array<int, sim::kMaxModules>, sim::kMaxModules> cost;
+  std::array<std::array<std::uint8_t, sim::kMaxModules>, sim::kMaxModules>
+      swap_flag;
+  std::array<std::uint8_t, sim::kMaxModules> pos{};
+  for (std::size_t j = 0; j < available.size(); ++j)
+    pos[static_cast<std::size_t>(available[j])] = static_cast<std::uint8_t>(j);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    score_slot(slots[i], available, cost[i], swap_flag[i]);
+
   min_cost_assignment(
       slots.size(), available,
       [&](std::size_t i, int m, bool& swapped) {
-        const auto& slot = slots[i];
-        const BitLatch& latch = latch_[static_cast<std::size_t>(m)];
-        const bool b1 = slot.has_op1 &&
-                        info_bit_ex(slot.op1, slot.fp_operands, fp_or_bits_);
-        const bool b2 = slot.has_op2 &&
-                        info_bit_ex(slot.op2, slot.fp_operands, fp_or_bits_);
-        const int base = (slot.has_op1 && b1 != latch.b1 ? 1 : 0) +
-                         (slot.has_op2 && b2 != latch.b2 ? 1 : 0);
-        swapped = false;
-        if (swap_.mode == SwapConfig::Mode::kExplore && slot.commutative &&
-            slot.has_op1 && slot.has_op2) {
-          const int alt = (b2 != latch.b1 ? 1 : 0) + (b1 != latch.b2 ? 1 : 0);
-          if (alt < base) {
-            swapped = true;
-            return alt;
-          }
-        } else if (static_swap(swap_, slot)) {
-          swapped = true;
-          return (b2 != latch.b1 ? 1 : 0) + (b1 != latch.b2 ? 1 : 0);
-        }
-        return base;
+        const auto j = static_cast<std::size_t>(pos[static_cast<std::size_t>(m)]);
+        swapped = swap_flag[i][j] != 0;
+        return cost[i][j];
       },
       out);
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    BitLatch& latch = latch_[static_cast<std::size_t>(out[i].module)];
+    const std::uint32_t bit = std::uint32_t{1}
+                              << static_cast<unsigned>(out[i].module);
     const auto& slot = slots[i];
-    const bool b1 = slot.has_op1 &&
-                    info_bit_ex(slot.op1, slot.fp_operands, fp_or_bits_);
-    const bool b2 = slot.has_op2 &&
-                    info_bit_ex(slot.op2, slot.fp_operands, fp_or_bits_);
+    const bool b1 =
+        slot.has_op1 && info_bit_ex(slot.op1, slot.fp_operands, fp_or_bits_);
+    const bool b2 =
+        slot.has_op2 && info_bit_ex(slot.op2, slot.fp_operands, fp_or_bits_);
     const bool in1 = out[i].swapped ? b2 : b1;
     const bool in2 = out[i].swapped ? b1 : b2;
     const bool have1 = out[i].swapped ? slot.has_op2 : slot.has_op1;
     const bool have2 = out[i].swapped ? slot.has_op1 : slot.has_op2;
-    if (have1) latch.b1 = in1;
-    if (have2) latch.b2 = in2;
+    if (have1) latch_b1_bits_ = (latch_b1_bits_ & ~bit) | (in1 ? bit : 0);
+    if (have2) latch_b2_bits_ = (latch_b2_bits_ & ~bit) | (in2 ? bit : 0);
   }
 }
 

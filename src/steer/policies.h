@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/issue.h"
+#include "steer/scored.h"
 #include "steer/swap.h"
 
 namespace mrisc::steer {
@@ -37,7 +38,7 @@ class FcfsSteering final : public sim::SteeringPolicy {
   SwapConfig swap_;
 };
 
-class FullHamSteering final : public sim::SteeringPolicy {
+class FullHamSteering final : public ScoredSteeringPolicy {
  public:
   explicit FullHamSteering(SwapConfig swap = SwapConfig::none())
       : swap_(swap) {}
@@ -46,6 +47,8 @@ class FullHamSteering final : public sim::SteeringPolicy {
   void assign(std::span<const sim::IssueSlot> slots,
               std::span<const int> available,
               std::span<sim::ModuleAssignment> out) override;
+  void score_slot(const sim::IssueSlot& slot, std::span<const int> available,
+                  std::span<int> cost, std::span<std::uint8_t> swapped) override;
 
   /// Cost of routing `slot` to module `m` in its best orientation
   /// (Figure 2). Exposed for the optimality property tests.
@@ -54,13 +57,14 @@ class FullHamSteering final : public sim::SteeringPolicy {
 
  private:
   SwapConfig swap_;
-  struct Latch {
-    std::uint64_t op1 = 0, op2 = 0;
-  };
-  std::array<Latch, sim::kMaxModules> latch_{};
+  int modules_ = sim::kMaxModules;  ///< lanes worth scoring (set by reset)
+  // Latched module inputs as SoA lanes so score_slot feeds one operand to
+  // the lane-wise Hamming kernel against all modules at once.
+  std::array<std::uint64_t, sim::kMaxModules> latch_op1_{};
+  std::array<std::uint64_t, sim::kMaxModules> latch_op2_{};
 };
 
-class OneBitHamSteering final : public sim::SteeringPolicy {
+class OneBitHamSteering final : public ScoredSteeringPolicy {
  public:
   /// `fp_or_bits` generalizes the FP information bit to the OR of the
   /// mantissa's bottom N bits (paper default 4); used by the ablations.
@@ -72,14 +76,16 @@ class OneBitHamSteering final : public sim::SteeringPolicy {
   void assign(std::span<const sim::IssueSlot> slots,
               std::span<const int> available,
               std::span<sim::ModuleAssignment> out) override;
+  void score_slot(const sim::IssueSlot& slot, std::span<const int> available,
+                  std::span<int> cost, std::span<std::uint8_t> swapped) override;
 
  private:
   SwapConfig swap_;
   int fp_or_bits_;
-  struct BitLatch {
-    bool b1 = false, b2 = false;
-  };
-  std::array<BitLatch, sim::kMaxModules> latch_{};
+  // One latched information bit per module and port, packed so a slot's
+  // distance to every module is a couple of XORs over the whole word.
+  std::uint32_t latch_b1_bits_ = 0;
+  std::uint32_t latch_b2_bits_ = 0;
 };
 
 /// Round-robin baseline: rotate the starting module every cycle. A control
@@ -142,6 +148,24 @@ void min_cost_assignment(std::size_t num_slots, std::span<const int> available,
 template <typename CostFn>
 void min_cost_assignment(std::size_t num_slots, std::span<const int> available,
                          CostFn&& cost, std::span<sim::ModuleAssignment> out) {
+  // Single-slot groups dominate real issue streams; pick the first minimum
+  // directly (same winner as the search below, which also keeps the first
+  // strictly-better candidate in `available` order).
+  if (num_slots == 1) {
+    long best = -1;
+    sim::ModuleAssignment pick{};
+    for (const int m : available) {
+      bool swapped = false;
+      const int c = cost(std::size_t{0}, m, swapped);
+      if (best < 0 || c < best) {
+        best = c;
+        pick = sim::ModuleAssignment{m, swapped};
+      }
+    }
+    out[0] = pick;
+    return;
+  }
+
   // num_slots <= available.size() <= kMaxModules by the SteeringPolicy
   // contract, so the search state fits in fixed stack arrays - this runs
   // every cycle and must not allocate.

@@ -1,0 +1,42 @@
+// Batch-scoring steering interface: the contract behind "sweep once, score
+// all". A scheme is *score-expressible* when its routing decision factors
+// into (1) a pure per-(slot, module) cost read off the policy's latched
+// history, (2) the shared min-cost assignment search, and (3) a latch
+// update from the chosen assignment. FullHamSteering, OneBitHamSteering and
+// the LUT family all fit; Fcfs/RoundRobin/PcHash do not (their choice is
+// positional, not cost-ranked) and keep the plain SteeringPolicy contract.
+//
+// Exposing the score kernel buys two things: every scoring policy funnels
+// its Hamming arithmetic through the lane-wise kernels of util/bitops_simd.h
+// (one operand against all module latches per call, SIMD where available),
+// and the driver's MultiSchemeReplayer can identify which schemes of a sweep
+// evaluate against one shared pass over the capture (driver/multi_scheme.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/issue.h"
+
+namespace mrisc::steer {
+
+/// A steering policy whose per-module routing cost is exposed as a pure
+/// batch kernel.
+class ScoredSteeringPolicy : public sim::SteeringPolicy {
+ public:
+  /// Score `slot` against every module of `available` without mutating any
+  /// policy state: cost[j] is the cost of routing the slot to available[j]
+  /// in the orientation the policy would present it, and swapped[j] is
+  /// nonzero when that orientation is (op2, op1). Requires cost.size() and
+  /// swapped.size() >= available.size().
+  ///
+  /// Purity contract: assign() must be observationally equal to scoring
+  /// every slot, running the shared min-cost search over the score matrix,
+  /// and then updating the latches from the chosen assignment. The
+  /// multi-scheme pass and the optimality property tests both rely on it.
+  virtual void score_slot(const sim::IssueSlot& slot,
+                          std::span<const int> available, std::span<int> cost,
+                          std::span<std::uint8_t> swapped) = 0;
+};
+
+}  // namespace mrisc::steer

@@ -1,0 +1,235 @@
+#include "util/bitops_simd.h"
+
+#include "util/bitops.h"
+
+#if MRISC_SIMD && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MRISC_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define MRISC_SIMD_AVX2 0
+#endif
+
+#if MRISC_SIMD && defined(__aarch64__)
+#define MRISC_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MRISC_SIMD_NEON 0
+#endif
+
+namespace mrisc::util {
+
+// --- scalar reference ---------------------------------------------------
+
+void hamming_lanes_scalar(std::uint64_t a, std::span<const std::uint64_t> b,
+                          std::uint64_t mask, std::span<int> out) noexcept {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    out[i] = popcount((a ^ b[i]) & mask);
+}
+
+void hamming_lanes_add_scalar(std::uint64_t a,
+                              std::span<const std::uint64_t> b,
+                              std::uint64_t mask,
+                              std::span<int> out) noexcept {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    out[i] += popcount((a ^ b[i]) & mask);
+}
+
+std::uint64_t hamming_reduce_scalar(std::span<const std::uint64_t> a,
+                                    std::span<const std::uint64_t> b,
+                                    std::uint64_t mask) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    total += static_cast<std::uint64_t>(popcount((a[i] ^ b[i]) & mask));
+  return total;
+}
+
+namespace {
+
+struct Backend {
+  const char* name;
+  void (*lanes)(std::uint64_t, std::span<const std::uint64_t>, std::uint64_t,
+                std::span<int>) noexcept;
+  void (*lanes_add)(std::uint64_t, std::span<const std::uint64_t>,
+                    std::uint64_t, std::span<int>) noexcept;
+  std::uint64_t (*reduce)(std::span<const std::uint64_t>,
+                          std::span<const std::uint64_t>,
+                          std::uint64_t) noexcept;
+};
+
+// --- AVX2 ---------------------------------------------------------------
+
+#if MRISC_SIMD_AVX2
+
+/// Per-64-bit-lane popcount of a 256-bit vector (Mula's nibble-LUT +
+/// vpshufb + psadbw sequence; bit-exact with std::popcount per lane).
+__attribute__((target("avx2"))) inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) void hamming_lanes_avx2(
+    std::uint64_t a, std::span<const std::uint64_t> b, std::uint64_t mask,
+    std::span<int> out) noexcept {
+  const __m256i va = _mm256_set1_epi64x(static_cast<long long>(a));
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= b.size(); i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&b[i]));
+    const __m256i cnt =
+        popcount_epi64(_mm256_and_si256(_mm256_xor_si256(va, vb), vm));
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), cnt);
+    out[i + 0] = static_cast<int>(lanes[0]);
+    out[i + 1] = static_cast<int>(lanes[1]);
+    out[i + 2] = static_cast<int>(lanes[2]);
+    out[i + 3] = static_cast<int>(lanes[3]);
+  }
+  for (; i < b.size(); ++i) out[i] = popcount((a ^ b[i]) & mask);
+}
+
+__attribute__((target("avx2"))) void hamming_lanes_add_avx2(
+    std::uint64_t a, std::span<const std::uint64_t> b, std::uint64_t mask,
+    std::span<int> out) noexcept {
+  const __m256i va = _mm256_set1_epi64x(static_cast<long long>(a));
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= b.size(); i += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&b[i]));
+    const __m256i cnt =
+        popcount_epi64(_mm256_and_si256(_mm256_xor_si256(va, vb), vm));
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), cnt);
+    out[i + 0] += static_cast<int>(lanes[0]);
+    out[i + 1] += static_cast<int>(lanes[1]);
+    out[i + 2] += static_cast<int>(lanes[2]);
+    out[i + 3] += static_cast<int>(lanes[3]);
+  }
+  for (; i < b.size(); ++i) out[i] += popcount((a ^ b[i]) & mask);
+}
+
+__attribute__((target("avx2"))) std::uint64_t hamming_reduce_avx2(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    std::uint64_t mask) noexcept {
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(mask));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= a.size(); i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&a[i]));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&b[i]));
+    acc = _mm256_add_epi64(
+        acc, popcount_epi64(_mm256_and_si256(_mm256_xor_si256(va, vb), vm)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < a.size(); ++i)
+    total += static_cast<std::uint64_t>(popcount((a[i] ^ b[i]) & mask));
+  return total;
+}
+
+#endif  // MRISC_SIMD_AVX2
+
+// --- NEON ---------------------------------------------------------------
+
+#if MRISC_SIMD_NEON
+
+void hamming_lanes_neon(std::uint64_t a, std::span<const std::uint64_t> b,
+                        std::uint64_t mask, std::span<int> out) noexcept {
+  const uint64x2_t va = vdupq_n_u64(a);
+  const uint64x2_t vm = vdupq_n_u64(mask);
+  std::size_t i = 0;
+  for (; i + 2 <= b.size(); i += 2) {
+    const uint64x2_t vb = vld1q_u64(&b[i]);
+    const uint8x16_t cnt =
+        vcntq_u8(vreinterpretq_u8_u64(vandq_u64(veorq_u64(va, vb), vm)));
+    out[i + 0] = static_cast<int>(vaddv_u8(vget_low_u8(cnt)));
+    out[i + 1] = static_cast<int>(vaddv_u8(vget_high_u8(cnt)));
+  }
+  for (; i < b.size(); ++i) out[i] = popcount((a ^ b[i]) & mask);
+}
+
+void hamming_lanes_add_neon(std::uint64_t a, std::span<const std::uint64_t> b,
+                            std::uint64_t mask, std::span<int> out) noexcept {
+  const uint64x2_t va = vdupq_n_u64(a);
+  const uint64x2_t vm = vdupq_n_u64(mask);
+  std::size_t i = 0;
+  for (; i + 2 <= b.size(); i += 2) {
+    const uint64x2_t vb = vld1q_u64(&b[i]);
+    const uint8x16_t cnt =
+        vcntq_u8(vreinterpretq_u8_u64(vandq_u64(veorq_u64(va, vb), vm)));
+    out[i + 0] += static_cast<int>(vaddv_u8(vget_low_u8(cnt)));
+    out[i + 1] += static_cast<int>(vaddv_u8(vget_high_u8(cnt)));
+  }
+  for (; i < b.size(); ++i) out[i] += popcount((a ^ b[i]) & mask);
+}
+
+std::uint64_t hamming_reduce_neon(std::span<const std::uint64_t> a,
+                                  std::span<const std::uint64_t> b,
+                                  std::uint64_t mask) noexcept {
+  const uint64x2_t vm = vdupq_n_u64(mask);
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= a.size(); i += 2) {
+    const uint64x2_t va = vld1q_u64(&a[i]);
+    const uint64x2_t vb = vld1q_u64(&b[i]);
+    const uint8x16_t cnt =
+        vcntq_u8(vreinterpretq_u8_u64(vandq_u64(veorq_u64(va, vb), vm)));
+    total += vaddvq_u8(cnt);
+  }
+  for (; i < a.size(); ++i)
+    total += static_cast<std::uint64_t>(popcount((a[i] ^ b[i]) & mask));
+  return total;
+}
+
+#endif  // MRISC_SIMD_NEON
+
+/// Load-time backend selection; a plain pointer read on the hot path (no
+/// guard variable, unlike a function-local static).
+Backend resolve_backend() noexcept {
+#if MRISC_SIMD_AVX2
+  if (__builtin_cpu_supports("avx2"))
+    return {"avx2", hamming_lanes_avx2, hamming_lanes_add_avx2,
+            hamming_reduce_avx2};
+#endif
+#if MRISC_SIMD_NEON
+  return {"neon", hamming_lanes_neon, hamming_lanes_add_neon,
+          hamming_reduce_neon};
+#endif
+  return {"scalar", hamming_lanes_scalar, hamming_lanes_add_scalar,
+          hamming_reduce_scalar};
+}
+
+const Backend g_backend = resolve_backend();
+
+}  // namespace
+
+const char* simd_backend() noexcept { return g_backend.name; }
+
+void hamming_lanes(std::uint64_t a, std::span<const std::uint64_t> b,
+                   std::uint64_t mask, std::span<int> out) noexcept {
+  g_backend.lanes(a, b, mask, out);
+}
+
+void hamming_lanes_add(std::uint64_t a, std::span<const std::uint64_t> b,
+                       std::uint64_t mask, std::span<int> out) noexcept {
+  g_backend.lanes_add(a, b, mask, out);
+}
+
+std::uint64_t hamming_reduce(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b,
+                             std::uint64_t mask) noexcept {
+  return g_backend.reduce(a, b, mask);
+}
+
+}  // namespace mrisc::util

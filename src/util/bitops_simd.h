@@ -1,0 +1,62 @@
+// Lane-wise popcount/Hamming primitives: one operand scored against many
+// 64-bit lanes at once. This is the kernel under every "scored" steering
+// policy (steer/scored.h): FullHamSteering holds its per-module input
+// latches as contiguous lanes and asks for the masked Hamming distance of a
+// slot operand against all of them in one call, which a SIMD backend turns
+// into a handful of vector instructions.
+//
+// Dispatch is resolved once at load time: AVX2 when the CPU supports it
+// (x86-64, checked via __builtin_cpu_supports), NEON on aarch64, and a
+// scalar fallback otherwise. A build configured with -DMRISC_SIMD=OFF pins
+// the dispatch to the scalar bodies so sanitizers cover that codepath too.
+// Every backend computes bit-identical results - the scalar reference
+// implementations are exported so tests can pin SIMD == scalar over
+// randomized operand populations (tests/test_util.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#ifndef MRISC_SIMD
+#define MRISC_SIMD 1
+#endif
+
+namespace mrisc::util {
+
+/// Name of the lane-kernel backend the runtime dispatch selected:
+/// "avx2", "neon" or "scalar". Recorded in bench manifests.
+[[nodiscard]] const char* simd_backend() noexcept;
+
+/// out[i] = popcount((a ^ b[i]) & mask) for every lane of `b`: the paper's
+/// Ham(X, Y) of one operand against many module latches, restricted to the
+/// operand domain (52-bit mantissa mask for FP, 32-bit word mask for int).
+/// Requires out.size() >= b.size().
+void hamming_lanes(std::uint64_t a, std::span<const std::uint64_t> b,
+                   std::uint64_t mask, std::span<int> out) noexcept;
+
+/// out[i] += popcount((a ^ b[i]) & mask): the accumulate form, so a
+/// two-port cost (op1 vs latch1 plus op2 vs latch2) is two kernel calls
+/// into one cost vector.
+void hamming_lanes_add(std::uint64_t a, std::span<const std::uint64_t> b,
+                       std::uint64_t mask, std::span<int> out) noexcept;
+
+/// sum over i of popcount((a[i] ^ b[i]) & mask) - the streaming reduction
+/// flavour (capture-wide switched-bit totals).
+[[nodiscard]] std::uint64_t hamming_reduce(std::span<const std::uint64_t> a,
+                                           std::span<const std::uint64_t> b,
+                                           std::uint64_t mask) noexcept;
+
+/// Scalar reference implementations: always compiled, always the dispatch
+/// fallback, and the ground truth the SIMD backends are tested against.
+void hamming_lanes_scalar(std::uint64_t a, std::span<const std::uint64_t> b,
+                          std::uint64_t mask, std::span<int> out) noexcept;
+void hamming_lanes_add_scalar(std::uint64_t a,
+                              std::span<const std::uint64_t> b,
+                              std::uint64_t mask,
+                              std::span<int> out) noexcept;
+[[nodiscard]] std::uint64_t hamming_reduce_scalar(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    std::uint64_t mask) noexcept;
+
+}  // namespace mrisc::util

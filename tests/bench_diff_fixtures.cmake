@@ -1,14 +1,17 @@
-# Regression-tests `mrisc-stats bench-diff` against a checked-in pair of
-# BENCH_replay.json fixtures: a v1 file (trace-replay rates only) and a v2
-# file (adds group-replay rates and the steer_sweep section). Every base /
-# current schema combination must work; group columns print "-" where a
-# side has no group data, and the v2-only lines (group replays/s, steer
-# sweep) appear exactly when a v2 file is involved.
+# Regression-tests `mrisc-stats bench-diff` against checked-in
+# BENCH_replay.json fixtures: a v1 file (trace-replay rates only), a v2
+# file (adds group-replay rates and the steer_sweep section) and a v3 file
+# (extends steer_sweep with the all-schemes pass: schemes_per_pass,
+# multi_path_seconds, multi_speedup). Every base / current schema
+# combination must work; columns and lines print "-" where a side has no
+# data, and each generation's extra lines appear exactly when a file of
+# that generation is involved.
 #
 # Variables: STATS = path to mrisc-stats, FIXTURES = tests/bench_fixtures.
 set(v1 ${FIXTURES}/replay_v1.json)
 set(v2 ${FIXTURES}/replay_v2.json)
-foreach(f ${v1} ${v2})
+set(v3 ${FIXTURES}/replay_v3.json)
+foreach(f ${v1} ${v2} ${v3})
   if(NOT EXISTS ${f})
     message(FATAL_ERROR "missing fixture ${f}")
   endif()
@@ -68,11 +71,44 @@ expect_not("${out}" "v1->v1" "group replays/s" "steer-sweep")
 
 # v2 -> v2: identical files - OK verdict, both group sections populated,
 # per-replay speedup line present (group_speedup is in both aggregates).
+# No v3 data on either side, so the all-schemes-pass lines must not render.
 run_diff(${v2} ${v2} out)
 expect("${out}" "v2->v2"
   "group replays/s: 1000 -> 1000 (+0.00%)"
   "per-replay group speedup: 7.273x -> 7.273x"
   "steer-sweep speedup (group cache on vs off): 3.048x -> 3.048x"
+  "verdict: OK - within 3.0% of baseline")
+expect_not("${out}" "v2->v2" "all-schemes pass" "multi-path sweep speedup")
+
+# v2 -> v3: the upgrade path when the all-schemes pass lands. The v3 side
+# carries schemes_per_pass/multi_speedup, the v2 side prints "-" for both.
+run_diff(${v2} ${v3} out)
+expect("${out}" "v2->v3"
+  "steer-sweep speedup (group cache on vs off): 3.048x -> 3.1x"
+  "all-schemes pass (schemes/pass): - -> 8"
+  "multi-path sweep speedup (one pass vs per-scheme walks): -x -> 1.25x"
+  "verdict: improvement - aggregate replay rate up 10.00%")
+
+# v3 -> v2: downgrade direction drops the multi data back to "-".
+run_diff(${v3} ${v2} out)
+expect("${out}" "v3->v2"
+  "all-schemes pass (schemes/pass): 8 -> -"
+  "multi-path sweep speedup (one pass vs per-scheme walks): 1.25x -> -x"
+  "verdict: REGRESSION - aggregate replay rate down 9.09%")
+
+# v1 -> v3: two generations at once - group columns, steer sweep and the
+# all-schemes pass all appear, each with "-" on the v1 side.
+run_diff(${v1} ${v3} out)
+expect("${out}" "v1->v3"
+  "group replays/s: - -> 1050"
+  "steer-sweep speedup (group cache on vs off): -x -> 3.1x"
+  "all-schemes pass (schemes/pass): - -> 8")
+
+# v3 -> v3: identical files - every section populated on both sides.
+run_diff(${v3} ${v3} out)
+expect("${out}" "v3->v3"
+  "all-schemes pass (schemes/pass): 8 -> 8"
+  "multi-path sweep speedup (one pass vs per-scheme walks): 1.25x -> 1.25x"
   "verdict: OK - within 3.0% of baseline")
 
 message(STATUS "bench-diff fixtures: all passed")

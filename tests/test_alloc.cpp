@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "driver/multi_scheme.h"
 #include "power/energy.h"
 #include "sim/emulator.h"
 #include "sim/group_buffer.h"
@@ -151,6 +152,33 @@ TEST(AllocFree, GroupReplayerSteadyStateDoesNotAllocate) {
   replayer.run_cycles(5000);
   EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
   EXPECT_GT(accountant.cls(isa::FuClass::kIalu).ops, 0u);
+}
+
+/// The all-schemes pass is the sweep hot loop: with every shipped scheme as
+/// a lane, advancing the shared walk must not allocate - the window scratch
+/// is reserved at construction and each lane runs out of its own
+/// preallocated policy/accountant/busy state.
+TEST(AllocFree, MultiSchemeReplayerSteadyStateDoesNotAllocate) {
+  const sim::TraceBuffer trace = record_trace();
+  const sim::OooConfig config{};
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(config, capture_source);
+  ASSERT_GT(groups.groups().size(), 10000u);
+
+  driver::MultiSchemeReplayer multi(config, groups);
+  for (const driver::Scheme scheme : driver::kAllSchemesExtended) {
+    driver::ExperimentConfig cell;
+    cell.scheme = scheme;
+    cell.swap = driver::SwapMode::kHardware;
+    (void)multi.add_lane(cell);
+  }
+  ASSERT_EQ(multi.lane_count(), std::size(driver::kAllSchemesExtended));
+
+  multi.run_cycles(1000);  // warmup
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  multi.run_cycles(5000);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
 }
 
 /// The counting allocator itself must be live in this binary, or the zero

@@ -239,17 +239,25 @@ TEST(EngineTest, GroupReplayPathMatchesFullReplayAndCountsCaptures) {
       expect_result_equal(via_groups[i].per_unit[w], via_trace[i].per_unit[w]);
   }
 
-  // A lone cell never pays a capture: one sharer means direct trace replay
-  // is strictly cheaper.
-  ExperimentPlan lone;
-  lone.add_suite(suite);
-  ExperimentConfig config;
-  config.scheme = Scheme::kLut4;
-  lone.add_cell("lone", config);
+  // A lone cell never pays a *dedicated* capture: one sharer means direct
+  // trace replay is strictly cheaper. But the replay records its issue
+  // groups as a byproduct (capture-on-replay), so running the same plan
+  // again is served by the group cache without another timing-core walk.
+  auto lone_plan = [&] {
+    ExperimentPlan lone;
+    lone.add_suite(suite);
+    ExperimentConfig config;
+    config.scheme = Scheme::kLut4;
+    lone.add_cell("lone", config);
+    return lone;
+  };
   ExperimentEngine single(2);
-  single.run(lone);
-  EXPECT_EQ(single.captures(), 0u);
+  single.run(lone_plan());
+  EXPECT_EQ(single.captures(), suite.size());  // byproducts, not extra runs
   EXPECT_EQ(single.group_replays(), 0u);
+  single.run(lone_plan());
+  EXPECT_EQ(single.captures(), suite.size());  // cache hit: no new captures
+  EXPECT_EQ(single.group_replays(), suite.size());
 }
 
 /// The jobs-count bit-identity guarantee extends to the group path,
@@ -287,6 +295,67 @@ TEST(EngineTest, GroupPathParallelMatchesSingleJob) {
             stats::render_table1(one[0].patterns, isa::FuClass::kFpau));
   EXPECT_EQ(stats::render_table2(many[0].occupancy),
             stats::render_table2(one[0].occupancy));
+}
+
+/// The all-schemes pass: a sweep whose cells share a capture and carry >= 2
+/// score-expressible schemes is steered by one MultiSchemeReplayer walk per
+/// (unit x capture) - positional cells ride along - and must be
+/// bit-identical to the same plan with the pass disabled (every cell then
+/// replays the groups independently). The multischeme counters expose the
+/// pass shape: lanes / passes == schemes per pass.
+TEST(EngineTest, MultiSchemePassCountersAndToggleBitIdentity) {
+  const auto suite = workloads::integer_suite(kSmall);
+  const auto num_schemes = std::size(kAllSchemesExtended);
+  auto sweep_plan = [&] {
+    ExperimentPlan plan;
+    plan.add_suite(suite);
+    for (const Scheme scheme : kAllSchemesExtended) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      config.swap = SwapMode::kHardware;
+      plan.add_cell(to_string(scheme), config);
+    }
+    return plan;
+  };
+
+  ExperimentEngine multi(4);
+  ASSERT_TRUE(multi.multi_scheme());
+  const auto via_multi = multi.run(sweep_plan());
+  EXPECT_EQ(multi.multischeme_passes(), suite.size());
+  EXPECT_EQ(multi.multischeme_lanes(), num_schemes * suite.size());
+  EXPECT_EQ(multi.multischeme_lanes() / multi.multischeme_passes(),
+            num_schemes);
+
+  ExperimentEngine solo(4);
+  solo.set_multi_scheme(false);
+  const auto via_solo = solo.run(sweep_plan());
+  EXPECT_EQ(solo.multischeme_passes(), 0u);
+  EXPECT_EQ(solo.multischeme_lanes(), 0u);
+  EXPECT_EQ(solo.group_replays(), num_schemes * suite.size());
+
+  ASSERT_EQ(via_multi.size(), via_solo.size());
+  for (std::size_t i = 0; i < via_multi.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "cell " << i);
+    expect_result_equal(via_multi[i].total, via_solo[i].total);
+    for (std::size_t w = 0; w < via_multi[i].per_unit.size(); ++w)
+      expect_result_equal(via_multi[i].per_unit[w], via_solo[i].per_unit[w]);
+  }
+
+  // Fewer than two score-expressible schemes -> no pass forms: one scored
+  // lane amortizes nothing, so those cells take the plain group path.
+  ExperimentPlan thin;
+  thin.add_suite(suite);
+  for (const Scheme scheme :
+       {Scheme::kOriginal, Scheme::kPcHash, Scheme::kLut4}) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.swap = SwapMode::kHardware;
+    thin.add_cell(to_string(scheme), config);
+  }
+  ExperimentEngine sparse(4);
+  sparse.run(thin);
+  EXPECT_EQ(sparse.multischeme_passes(), 0u);
+  EXPECT_EQ(sparse.group_replays(), 3 * suite.size());
 }
 
 /// Different machine configs must never share a capture: the fingerprint

@@ -8,7 +8,11 @@
 // (workload x swap x machine) and steer every scheme cell over the groups.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "driver/engine.h"
+#include "driver/multi_scheme.h"
 #include "power/leakage.h"
 #include "sim/group_buffer.h"
 #include "sim/trace_buffer.h"
@@ -252,6 +256,207 @@ TEST(GroupReplay, CaptureStatsMatchDirectRun) {
   replayer.run();
   EXPECT_TRUE(replayer.done());
   EXPECT_EQ(replayer.stats().cycles, core.stats().cycles);
+}
+
+/// The SoA storage round-trips the recorder's AoS input exactly: slot(i)
+/// reassembles every field from the lanes and materialize() reproduces each
+/// group's slots verbatim.
+TEST(GroupBuffer, SoaLanesRoundTripAppendedSlots) {
+  sim::IssueGroupBuffer buffer;
+  std::vector<sim::IssueSlot> in(3);
+  in[0].op1 = 0xDEADBEEFCAFEF00Dull;
+  in[0].op2 = 0x0123456789ABCDEFull;
+  in[0].has_op1 = true;
+  in[0].has_op2 = true;
+  in[0].fp_operands = true;
+  in[0].commutative = true;
+  in[0].op = isa::Opcode::kFadd;
+  in[0].pc = 0x1234;
+  in[1].op1 = 42;
+  in[1].has_op1 = true;
+  in[1].op = isa::Opcode::kAdd;
+  in[1].pc = 0x5678;
+  // in[2] keeps defaults: no operands, everything zero.
+
+  buffer.append(isa::FuClass::kFpau,
+                std::span<const sim::IssueSlot>(in.data(), 1));
+  buffer.append(isa::FuClass::kIalu,
+                std::span<const sim::IssueSlot>(in.data() + 1, 2));
+  buffer.seal_cycle(7);
+
+  ASSERT_EQ(buffer.groups().size(), 2u);
+  ASSERT_EQ(buffer.slot_count(), 3u);
+  EXPECT_EQ(buffer.groups()[0].cycle, 7u);
+  EXPECT_EQ(buffer.groups()[0].cls, isa::FuClass::kFpau);
+  EXPECT_EQ(buffer.groups()[1].count, 2u);
+
+  const sim::SlotLanes lanes = buffer.lanes();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const sim::IssueSlot got = lanes.slot(i);
+    EXPECT_EQ(got.op1, in[i].op1) << i;
+    EXPECT_EQ(got.op2, in[i].op2) << i;
+    EXPECT_EQ(got.has_op1, in[i].has_op1) << i;
+    EXPECT_EQ(got.has_op2, in[i].has_op2) << i;
+    EXPECT_EQ(got.fp_operands, in[i].fp_operands) << i;
+    EXPECT_EQ(got.commutative, in[i].commutative) << i;
+    EXPECT_EQ(got.op, in[i].op) << i;
+    EXPECT_EQ(got.pc, in[i].pc) << i;
+  }
+
+  std::array<sim::IssueSlot, sim::kMaxModules> scratch{};
+  buffer.materialize(buffer.groups()[1],
+                     std::span<sim::IssueSlot>(scratch.data(), 2));
+  EXPECT_EQ(scratch[0].op1, in[1].op1);
+  EXPECT_EQ(scratch[0].pc, in[1].pc);
+  EXPECT_EQ(scratch[1].op1, in[2].op1);
+}
+
+/// A group wider than the machine's module count is a recorder bug, not a
+/// capture to store: append must reject it.
+TEST(GroupBuffer, AppendRejectsOversizedGroup) {
+  sim::IssueGroupBuffer buffer;
+  std::vector<sim::IssueSlot> slots(sim::kMaxModules + 1);
+  EXPECT_THROW(buffer.append(isa::FuClass::kIalu, slots),
+               std::invalid_argument);
+}
+
+/// pack() -> view() reinterprets the image in place and pack() -> unpack()
+/// deep-copies it back; both must reproduce every group, every lane entry
+/// and the stats of a real capture bit for bit.
+TEST(GroupBuffer, PackViewUnpackRoundTrip) {
+  const auto suite = workloads::integer_suite(kSmall);
+  ASSERT_FALSE(suite.empty());
+  const sim::TraceBuffer trace = record_trace(suite.front(), SwapMode::kNone);
+  sim::OooConfig machine;
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(machine, capture_source);
+  ASSERT_FALSE(groups.empty());
+
+  const std::vector<std::byte> image = groups.pack();
+
+  const sim::CaptureView view = sim::IssueGroupBuffer::view(image);
+  ASSERT_EQ(view.groups.size(), groups.groups().size());
+  ASSERT_EQ(view.lanes.op1.size(), groups.slot_count());
+  ASSERT_NE(view.stats, nullptr);
+  EXPECT_EQ(view.stats->cycles, groups.stats().cycles);
+  EXPECT_EQ(view.stats->committed, groups.stats().committed);
+  const sim::SlotLanes original = groups.lanes();
+  for (std::size_t i = 0; i < groups.slot_count(); ++i) {
+    EXPECT_EQ(view.lanes.op1[i], original.op1[i]);
+    EXPECT_EQ(view.lanes.op2[i], original.op2[i]);
+    EXPECT_EQ(view.lanes.flags[i], original.flags[i]);
+    EXPECT_EQ(view.lanes.opcode[i], original.opcode[i]);
+    EXPECT_EQ(view.lanes.pc[i], original.pc[i]);
+  }
+  for (std::size_t g = 0; g < groups.groups().size(); ++g) {
+    EXPECT_EQ(view.groups[g].cycle, groups.groups()[g].cycle);
+    EXPECT_EQ(view.groups[g].first, groups.groups()[g].first);
+    EXPECT_EQ(view.groups[g].count, groups.groups()[g].count);
+    EXPECT_EQ(view.groups[g].cls, groups.groups()[g].cls);
+  }
+
+  // The deep copy must replay identically to the original capture.
+  const sim::IssueGroupBuffer copy = sim::IssueGroupBuffer::unpack(image);
+  ExperimentConfig config;
+  config.scheme = Scheme::kLut4;
+  const RunResult via_original =
+      replay_groups(groups, suite.front().name, config);
+  const RunResult via_copy = replay_groups(copy, suite.front().name, config);
+  expect_result_equal(via_original, via_copy);
+
+  // Corrupted images are rejected, not misread.
+  std::vector<std::byte> bad = image;
+  bad[0] = std::byte{0xFF};  // magic
+  EXPECT_THROW((void)sim::IssueGroupBuffer::view(bad), std::invalid_argument);
+  EXPECT_THROW((void)sim::IssueGroupBuffer::view(
+                   std::span<const std::byte>(image.data(), 16)),
+               std::invalid_argument);
+}
+
+/// "Sweep once, score all" ground truth: one MultiSchemeReplayer pass with
+/// every shipped scheme as a lane must match a dedicated GroupReplayer run
+/// of each scheme bit for bit - energy, per-module breakdown, bit-pattern
+/// rows, occupancy and leakage - for every swap variant and workload.
+TEST(MultiScheme, OnePassMatchesDedicatedGroupReplayPerScheme) {
+  const auto suite = workloads::full_suite(kSmall);
+  ASSERT_FALSE(suite.empty());
+
+  for (const auto& workload : suite) {
+    for (const SwapMode swap : kAllSwapModes) {
+      SCOPED_TRACE(::testing::Message()
+                   << workload.name << " / " << to_string(swap));
+      const sim::TraceBuffer trace = record_trace(workload, swap);
+      ExperimentConfig config;
+      config.swap = swap;
+      sim::MemoryTraceSource capture_source(trace);
+      const sim::IssueGroupBuffer groups =
+          sim::capture_groups(config.machine, capture_source);
+      ASSERT_FALSE(groups.empty());
+
+      const power::LeakageConfig leak_config{};
+      const std::size_t n = std::size(kAllSchemesExtended);
+      MultiSchemeReplayer multi(config.machine, groups);
+      std::vector<stats::BitPatternCollector> patterns(n);
+      std::vector<stats::OccupancyAggregator> occupancy(n);
+      std::vector<power::LeakageTracker> leak;
+      leak.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        config.scheme = kAllSchemesExtended[i];
+        leak.emplace_back(leak_config, config.machine.modules);
+        sim::IssueListener* extra = &leak.back();
+        const std::size_t lane = multi.add_lane(
+            config, &patterns[i], &occupancy[i],
+            std::span<sim::IssueListener* const>(&extra, 1));
+        ASSERT_EQ(lane, i);
+      }
+      ASSERT_EQ(multi.lane_count(), n);
+      multi.run();
+      EXPECT_TRUE(multi.done());
+
+      for (std::size_t i = 0; i < n; ++i) {
+        SCOPED_TRACE(to_string(kAllSchemesExtended[i]));
+        config.scheme = kAllSchemesExtended[i];
+        stats::BitPatternCollector ref_patterns;
+        stats::OccupancyAggregator ref_occupancy;
+        power::LeakageTracker ref_leak(leak_config, config.machine.modules);
+        sim::IssueListener* ref_extra = &ref_leak;
+        const RunResult dedicated = replay_groups(
+            groups, workload.name, config, &ref_patterns, &ref_occupancy,
+            std::span<sim::IssueListener* const>(&ref_extra, 1));
+        expect_result_equal(multi.result(i, workload.name), dedicated);
+        expect_patterns_equal(patterns[i], ref_patterns);
+        expect_occupancy_equal(occupancy[i], ref_occupancy);
+        for (std::size_t c = 0; c < isa::kNumFuClasses; ++c) {
+          const auto cls = static_cast<isa::FuClass>(c);
+          EXPECT_EQ(leak[i].energy(cls), ref_leak.energy(cls));
+          EXPECT_EQ(leak[i].slept_cycles(cls), ref_leak.slept_cycles(cls));
+          EXPECT_EQ(leak[i].wakeups(cls), ref_leak.wakeups(cls));
+        }
+      }
+    }
+  }
+}
+
+/// A lane whose machine shape disagrees with the capture is a programming
+/// error; adding one after the pass has started is too.
+TEST(MultiScheme, RejectsMismatchedLaneAndLateAdd) {
+  const auto suite = workloads::integer_suite(kSmall);
+  const sim::TraceBuffer trace = record_trace(suite.front(), SwapMode::kNone);
+  sim::OooConfig machine;
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(machine, capture_source);
+
+  MultiSchemeReplayer multi(machine, groups);
+  ExperimentConfig mismatched;
+  mismatched.machine.modules[0] = machine.modules[0] + 1;
+  EXPECT_THROW((void)multi.add_lane(mismatched), std::invalid_argument);
+
+  ExperimentConfig ok;
+  (void)multi.add_lane(ok);
+  ASSERT_FALSE(multi.run_cycles(1));
+  EXPECT_THROW((void)multi.add_lane(ok), std::logic_error);
 }
 
 }  // namespace

@@ -194,10 +194,12 @@ int diff_manifests(const util::Json& a, const util::Json& b, bool markdown) {
 
 // --------------------------------------------------------------- bench-diff
 
-/// Handles both schema generations: v1 files (mrisc-bench-replay/v1) carry
+/// Handles every schema generation: v1 files (mrisc-bench-replay/v1) carry
 /// trace-replay rates only; v2 adds per-workload and aggregate group-replay
-/// rates plus a "steer_sweep" section. Any mix of v1/v2 as base/current
-/// works - group columns print "-" where a side has no group data.
+/// rates plus a "steer_sweep" section; v3 extends steer_sweep with the
+/// all-schemes pass (schemes_per_pass, multi_path_seconds, multi_speedup).
+/// Any mix of v1/v2/v3 as base/current works - columns and lines print "-"
+/// where a side has no data for them.
 int bench_diff(const util::Json& base, const util::Json& cur, bool markdown,
                double tolerance_pct) {
   const double base_rate = base.at("aggregate").at("replays_per_sec").number();
@@ -278,6 +280,29 @@ int bench_diff(const util::Json& base, const util::Json& cur, bool markdown,
     const double cs = cur_sweep ? cur_sweep->number_or("speedup", 0.0) : 0.0;
     std::printf("steer-sweep speedup (group cache on vs off): %sx -> %sx\n",
                 fmt_group(bs).c_str(), fmt_group(cs).c_str());
+    // v3: the all-schemes pass. schemes_per_pass == 1 would mean no pass
+    // formed, so like the group rate a real value is never <= 1 on one side
+    // without the other fields.
+    const double bspp =
+        base_sweep ? base_sweep->number_or("schemes_per_pass", 0.0) : 0.0;
+    const double cspp =
+        cur_sweep ? cur_sweep->number_or("schemes_per_pass", 0.0) : 0.0;
+    if (bspp > 0 || cspp > 0) {
+      auto fmt_count = [](double v) {
+        return v > 0 ? std::to_string(static_cast<long long>(v))
+                     : std::string("-");
+      };
+      std::printf("all-schemes pass (schemes/pass): %s -> %s\n",
+                  fmt_count(bspp).c_str(), fmt_count(cspp).c_str());
+      const double bms =
+          base_sweep ? base_sweep->number_or("multi_speedup", 0.0) : 0.0;
+      const double cms =
+          cur_sweep ? cur_sweep->number_or("multi_speedup", 0.0) : 0.0;
+      std::printf(
+          "multi-path sweep speedup (one pass vs per-scheme walks): "
+          "%sx -> %sx\n",
+          fmt_group(bms).c_str(), fmt_group(cms).c_str());
+    }
   }
 
   if (delta <= -tolerance_pct)
