@@ -27,16 +27,26 @@
 // byte-identical result tables - a perf number for a wrong answer is
 // worthless.
 //
+// A second axis times the whole PROCESS lifecycle rather than the warmed
+// sweep: `cold start` builds a fresh engine per repetition and pays
+// emulation + capture + steering, the way a new process does; `store
+// start` builds an equally fresh engine over a warm capture store
+// (src/store/) and pays only mmap + steering - zero emulations, zero
+// captures, asserted per repetition. store_speedup = cold / store is the
+// "zero-copy cold start" number docs/performance.md quotes.
+//
 //   bench_steer_throughput [--out BENCH_steer.json] [--repeat 3]
 //                          [--jobs N] [--manifest FILE] [--baseline FILE]
+//                          [--store DIR]
 //
 // Output: human-readable summary on stdout and machine-readable JSON
-// (schema mrisc-bench-steer/v2; v1 files are accepted as --baseline) for
+// (schema mrisc-bench-steer/v3; v1/v2 files are accepted as --baseline) for
 // PR-over-PR tracking; `--baseline` embeds a previous run's JSON and
 // computes the full-sweep speedup of this run's fastest path against the
 // baseline's group path. The manifest (docs/observability.md) carries the
-// engine's phase profile (including the multisteer phase) and the
-// engine.multischeme.* counters. See docs/performance.md.
+// engine's phase profile (including the store and multisteer phases) and
+// the engine.multischeme.* / engine.store.* counters. See
+// docs/performance.md.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +59,7 @@
 #include "bench/bench_common.h"
 #include "driver/engine.h"
 #include "driver/multi_scheme.h"
+#include "store/capture_store.h"
 #include "util/table.h"
 
 namespace {
@@ -97,14 +108,17 @@ std::string render(const std::vector<driver::CellResult>& cells) {
   return table.to_string("steer sweep");
 }
 
-/// The three engine configurations the sweep is timed under.
-enum class Mode { kTracePath, kGroupPath, kMultiPath };
+/// The engine configurations the sweep is timed under: three warmed-cache
+/// paths plus the two process-lifecycle starts.
+enum class Mode { kTracePath, kGroupPath, kMultiPath, kColdStart, kStoreStart };
 
 const char* mode_key(Mode mode) {
   switch (mode) {
     case Mode::kTracePath: return "trace_path";
     case Mode::kGroupPath: return "group_path";
     case Mode::kMultiPath: return "multi_path";
+    case Mode::kColdStart: return "cold_start";
+    case Mode::kStoreStart: return "store_start";
   }
   return "?";
 }
@@ -113,6 +127,7 @@ struct ModeTiming {
   double best_seconds = 0.0;
   std::vector<double> runs;
   std::string rendered;
+  std::uint64_t emulations = 0;
   std::uint64_t group_replays = 0;
   std::uint64_t captures = 0;
   std::uint64_t multischeme_passes = 0;
@@ -153,6 +168,37 @@ ModeTiming time_mode(const std::vector<workloads::Workload>& suite, int jobs,
   return timing;
 }
 
+/// Process-lifecycle timing: every repetition builds a FRESH engine - no
+/// in-process cache survives, exactly like a new process - and runs the
+/// full sweep. With `store_dir` empty the run is truly cold (emulate +
+/// capture + steer); with a warm store it should cost only mmap + steer,
+/// and any emulation or capture paid is counted so the caller can refuse
+/// to report a number for a broken zero-work claim.
+ModeTiming time_start(const std::vector<workloads::Workload>& suite, int jobs,
+                      int repeat, const std::string& store_dir) {
+  ModeTiming timing;
+  timing.schemes_per_pass = std::size(driver::kAllSchemesExtended);
+  for (int r = 0; r < repeat; ++r) {
+    driver::ExperimentEngine engine(jobs);
+    if (!store_dir.empty())
+      engine.set_capture_store(
+          std::make_shared<mrisc::store::CaptureStore>(store_dir));
+    const auto start = Clock::now();
+    const auto cells = engine.run(sweep_plan(suite));
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    timing.runs.push_back(seconds);
+    if (timing.best_seconds == 0.0 || seconds < timing.best_seconds)
+      timing.best_seconds = seconds;
+    if (r == 0) timing.rendered = render(cells);
+    timing.emulations += engine.emulations();
+    timing.captures += engine.captures();
+    timing.group_replays += engine.group_replays();
+    timing.multischeme_passes += engine.multischeme_passes();
+  }
+  return timing;
+}
+
 /// Pull the baseline's group-path seconds out of a previous run's JSON
 /// without a JSON library. Understands this bench's own schema (a
 /// `"group_path"` object holding `"best_seconds"`, v1 or v2) and falls back
@@ -182,6 +228,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_steer.json";
   std::string manifest_path;
   std::string baseline_path;
+  std::string store_dir;
   int repeat = 3;
   int jobs = mrisc::bench::parse_jobs(argc, argv);
   for (int i = 1; i < argc; ++i) {
@@ -197,16 +244,22 @@ int main(int argc, char** argv) {
       if (const char* v = next()) manifest_path = v;
     } else if (arg == "--baseline") {
       if (const char* v = next()) baseline_path = v;
+    } else if (arg == "--store") {
+      if (const char* v = next()) store_dir = v;
     } else if (arg == "--jobs") {
       (void)next();  // consumed by parse_jobs
     } else {
       std::fprintf(stderr,
                    "usage: bench_steer_throughput [--out FILE] [--repeat N] "
-                   "[--jobs N] [--manifest FILE] [--baseline FILE]\n");
+                   "[--jobs N] [--manifest FILE] [--baseline FILE] "
+                   "[--store DIR]\n");
       return 2;
     }
   }
   if (repeat < 1) repeat = 1;
+  // The capture-store directory for the cold-vs-warm axis. CI points this
+  // at its cross-run cache; by default it lives next to the JSON.
+  if (store_dir.empty()) store_dir = out_path + ".store";
 
   const auto suite_cfg = bench::suite_config();
   const auto suite = workloads::full_suite(suite_cfg);
@@ -231,6 +284,27 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fputs(multi_mode.rendered.c_str(), stdout);
+
+  // The process-lifecycle axis. The first store-start pass doubles as the
+  // store warm-up when the directory is cold (it publishes while it
+  // computes), so run it once untimed, then measure.
+  const ModeTiming cold_mode = time_start(suite, jobs, repeat, "");
+  (void)time_start(suite, jobs, /*repeat=*/1, store_dir);  // warm the store
+  const ModeTiming store_mode = time_start(suite, jobs, repeat, store_dir);
+  if (store_mode.rendered != multi_mode.rendered ||
+      cold_mode.rendered != multi_mode.rendered) {
+    std::fprintf(stderr, "FATAL: store-served sweep disagrees\n%s\n%s\n",
+                 store_mode.rendered.c_str(), cold_mode.rendered.c_str());
+    return 1;
+  }
+  if (store_mode.emulations != 0 || store_mode.captures != 0) {
+    std::fprintf(stderr,
+                 "FATAL: warm-store start was not free: %llu emulations, "
+                 "%llu captures\n",
+                 static_cast<unsigned long long>(store_mode.emulations),
+                 static_cast<unsigned long long>(store_mode.captures));
+    return 1;
+  }
 
   // One profiled multi-path run so the manifest carries the capture /
   // multisteer phase breakdown and the engine.multischeme.* counters.
@@ -264,6 +338,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(multi_mode.captures),
               static_cast<unsigned long long>(multi_mode.group_replays),
               static_cast<unsigned long long>(multi_mode.multischeme_passes));
+  const double store_speedup =
+      store_mode.best_seconds > 0
+          ? cold_mode.best_seconds / store_mode.best_seconds
+          : 0.0;
+  std::printf("cold start: %.3fs (%llu emulations/rep)   "
+              "warm-store start: %.3fs (0 emulations, 0 captures)   "
+              "store speedup: %.2fx\n",
+              cold_mode.best_seconds,
+              static_cast<unsigned long long>(
+                  cold_mode.emulations / static_cast<unsigned>(repeat)),
+              store_mode.best_seconds, store_speedup);
 
   std::string baseline_json;
   double baseline_group_best = 0.0;
@@ -290,7 +375,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   char buf[512];
-  out << "{\n  \"schema\": \"mrisc-bench-steer/v2\",\n";
+  out << "{\n  \"schema\": \"mrisc-bench-steer/v3\",\n";
   std::snprintf(buf, sizeof buf,
                 "  \"schemes\": %zu,\n  \"workloads\": %zu,\n"
                 "  \"scale\": %g,\n  \"jobs\": %d,\n  \"repeat\": %d,\n",
@@ -315,10 +400,14 @@ int main(int argc, char** argv) {
   write_runs(Mode::kGroupPath, group_mode);
   out << ",\n";
   write_runs(Mode::kMultiPath, multi_mode);
+  out << ",\n";
+  write_runs(Mode::kColdStart, cold_mode);
+  out << ",\n";
+  write_runs(Mode::kStoreStart, store_mode);
   std::snprintf(buf, sizeof buf,
                 ",\n  \"speedup\": %.3f,\n  \"multi_speedup\": %.3f,\n"
-                "  \"full_speedup\": %.3f",
-                speedup, multi_speedup, full_speedup);
+                "  \"full_speedup\": %.3f,\n  \"store_speedup\": %.3f",
+                speedup, multi_speedup, full_speedup, store_speedup);
   out << buf;
   if (baseline_group_best > 0) {
     std::snprintf(buf, sizeof buf,
@@ -345,12 +434,23 @@ int main(int argc, char** argv) {
   manifest.note("multi_path_best_seconds", buf);
   std::snprintf(buf, sizeof buf, "%zu", multi_mode.schemes_per_pass);
   manifest.note("schemes_per_pass", buf);
+  std::snprintf(buf, sizeof buf, "%.6f", cold_mode.best_seconds);
+  manifest.note("cold_start_best_seconds", buf);
+  std::snprintf(buf, sizeof buf, "%.6f", store_mode.best_seconds);
+  manifest.note("store_start_best_seconds", buf);
+  std::snprintf(buf, sizeof buf, "%.3f", store_speedup);
+  manifest.note("store_speedup", buf);
+  manifest.note("store_dir", store_dir);
   manifest.note("out", out_path);
   manifest.add_cell("trace_path", trace_mode.best_seconds,
                     std::size(driver::kAllSchemesExtended));
   manifest.add_cell("group_path", group_mode.best_seconds,
                     std::size(driver::kAllSchemesExtended));
   manifest.add_cell("multi_path", multi_mode.best_seconds,
+                    std::size(driver::kAllSchemesExtended));
+  manifest.add_cell("cold_start", cold_mode.best_seconds,
+                    std::size(driver::kAllSchemesExtended));
+  manifest.add_cell("store_start", store_mode.best_seconds,
                     std::size(driver::kAllSchemesExtended));
   return 0;
 }

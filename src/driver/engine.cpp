@@ -9,6 +9,7 @@
 
 #include "driver/multi_scheme.h"
 #include "sim/emulator.h"
+#include "store/capture_store.h"
 #include "util/hash.h"
 #include "xform/static_swap.h"
 #include "xform/swap_pass.h"
@@ -27,16 +28,19 @@ bool needs_static_swap(const ExperimentConfig& config) {
 }
 
 /// Trace-cache key for (cell, unit): unit identity + trace variant.
-/// Workload identity hashes the assembly source, so same-named kernels at
-/// different scales or seed salts never collide; bare programs are keyed
-/// per plan and unit.
+/// Workload identity hashes the assembly source and fingerprinted program
+/// units hash their binary content, so same-named kernels at different
+/// scales or seed salts never collide and the keys are stable across
+/// plans, processes and machines (store-eligible). Unfingerprinted program
+/// units fall back to a per-plan nonce (in-process cache only).
 std::string trace_key(const ExperimentPlan& plan, std::size_t cell_index,
                       std::size_t unit_index, std::uint64_t plan_nonce) {
   const ExperimentUnit& unit = plan.units[unit_index];
   const ExperimentCell& cell = plan.cells[cell_index];
   std::string key =
-      unit.workload
-          ? unit.name + "#" + util::fnv1a_hex(unit.workload->source)
+      unit.workload ? unit.name + "#" + util::fnv1a_hex(unit.workload->source)
+      : !unit.program_fingerprint.empty()
+          ? unit.name + "#prog:" + unit.program_fingerprint
           : unit.name + "#prog" + std::to_string(plan_nonce) + "." +
                 std::to_string(unit_index);
   if (cell.prepare) {
@@ -49,12 +53,34 @@ std::string trace_key(const ExperimentPlan& plan, std::size_t cell_index,
   return key;
 }
 
-/// Fingerprint of everything that shapes the timing core's behaviour: the
-/// full OooConfig, cache and branch-predictor geometry included. Cells that
-/// agree on (trace key x machine fingerprint) see bit-identical issue
-/// groups and may share one capture.
+/// True when (cell, unit)'s trace key is content-addressed - reproducible
+/// across plans and processes - and may therefore hit or feed the capture
+/// store. Nonce-keyed program units and unfingerprinted prepare cells are
+/// process-local by construction and bypass the store.
+bool key_is_stable(const ExperimentPlan& plan, std::size_t cell_index,
+                   std::size_t unit_index) {
+  const ExperimentUnit& unit = plan.units[unit_index];
+  const ExperimentCell& cell = plan.cells[cell_index];
+  if (cell.prepare && cell.fingerprint.empty()) return false;
+  return unit.workload.has_value() || !unit.program_fingerprint.empty();
+}
+
+/// Group-cache key for (cell, unit): the trace key plus the machine
+/// fingerprint - the two inputs the captured groups depend on.
+std::string group_key(const ExperimentPlan& plan, std::size_t cell_index,
+                      std::size_t unit_index, std::uint64_t plan_nonce) {
+  return trace_key(plan, cell_index, unit_index, plan_nonce) + "#m:" +
+         machine_fingerprint(plan.cells[cell_index].config.machine);
+}
+
+}  // namespace
+
 std::string machine_fingerprint(const sim::OooConfig& machine) {
-  std::string text;
+  // Explicit field-by-field serialization with a version tag: bump the tag
+  // whenever a field is added/removed/reordered, so stale store entries
+  // miss instead of misleading. Never hash in-memory bytes - padding and
+  // layout are not part of the contract (golden test: tests/test_store.cpp).
+  std::string text = "mfp1:";
   const auto add = [&text](std::int64_t v) {
     text += std::to_string(v);
     text += ':';
@@ -78,15 +104,44 @@ std::string machine_fingerprint(const sim::OooConfig& machine) {
   return util::fnv1a_hex(text);
 }
 
-/// Group-cache key for (cell, unit): the trace key plus the machine
-/// fingerprint - the two inputs the captured groups depend on.
-std::string group_key(const ExperimentPlan& plan, std::size_t cell_index,
-                      std::size_t unit_index, std::uint64_t plan_nonce) {
-  return trace_key(plan, cell_index, unit_index, plan_nonce) + "#m:" +
-         machine_fingerprint(plan.cells[cell_index].config.machine);
+std::string program_trace_key(const std::string& name,
+                              const isa::Program& program, SwapMode swap) {
+  // MUST mirror trace_key()'s fingerprinted-program branch above - the
+  // whole point is that a store entry packed by the tool is the one the
+  // engine looks up (tests/test_store.cpp pins the round trip).
+  std::string key = name + "#prog:" + program_fingerprint(program);
+  key += swap == SwapMode::kHardwareCompiler || swap == SwapMode::kCompilerOnly
+             ? "#cc"
+         : swap == SwapMode::kStaticOnly ? "#static"
+                                         : "#base";
+  return key;
 }
 
-}  // namespace
+std::string program_group_key(const std::string& name,
+                              const isa::Program& program,
+                              const sim::OooConfig& machine, SwapMode swap) {
+  return program_trace_key(name, program, swap) + "#m:" +
+         machine_fingerprint(machine);
+}
+
+std::string program_fingerprint(const isa::Program& program) {
+  // Content only - encoded machine words and the initial data image. The
+  // name, symbols and line tables don't reach the emulator, so two
+  // identical binaries under different names share traces and store
+  // entries. Explicit decimal serialization keeps the value
+  // endianness-independent.
+  std::string text = "pfp1:";
+  for (const std::uint32_t word : program.encode_all()) {
+    text += std::to_string(word);
+    text += ',';
+  }
+  text += "|d:";
+  for (const std::uint8_t byte : program.data) {
+    text += std::to_string(byte);
+    text += ',';
+  }
+  return util::fnv1a_hex(text);
+}
 
 void ExperimentPlan::add_suite(std::span<const workloads::Workload> suite) {
   for (const auto& workload : suite) {
@@ -100,6 +155,7 @@ void ExperimentPlan::add_suite(std::span<const workloads::Workload> suite) {
 void ExperimentPlan::add_program(isa::Program program, std::string name) {
   ExperimentUnit unit;
   unit.name = std::move(name);
+  unit.program_fingerprint = program_fingerprint(program);
   unit.program = std::move(program);
   units.push_back(std::move(unit));
 }
@@ -146,31 +202,80 @@ ExperimentEngine::TracePtr ExperimentEngine::trace_for(
   shard.counter("engine.trace_cache.misses").inc();
 
   try {
+    // Disk tier: a store hit hands back the mmap'd record array with zero
+    // deserialization and zero emulation. Output verification happened
+    // once, when the entry's trace was first recorded - same contract as
+    // the in-process cache. Invalid entries (corrupt, stale version, wrong
+    // key) are counted and recomputed below, overwriting the entry.
+    const bool stable = store_ && key_is_stable(plan, cell_index, unit_index);
+    if (stable) {
+      obs::ScopedTimer timer(profile, "store");
+      try {
+        if (auto entry = store_->get(store::EntryKind::kTrace, key)) {
+          store_hits_.fetch_add(1);
+          shard.counter("engine.store.hits").inc();
+          shard.counter("engine.store.trace_hits").inc();
+          shard.counter("engine.store.bytes_mapped").inc(entry->bytes().size());
+          auto cached = std::make_shared<CachedTrace>();
+          cached->records = sim::TraceBuffer::view(entry->payload());
+          cached->mapped = std::move(entry);
+          TracePtr trace = std::move(cached);
+          promise.set_value(trace);
+          return trace;
+        }
+        store_misses_.fetch_add(1);
+        shard.counter("engine.store.misses").inc();
+        shard.counter("engine.store.trace_misses").inc();
+      } catch (const store::StoreError&) {
+        shard.counter("engine.store.invalid").inc();
+      } catch (const std::invalid_argument&) {
+        shard.counter("engine.store.invalid").inc();
+      }
+    }
+
     emulations_.fetch_add(1);
     shard.counter("engine.emulations").inc();
-    obs::ScopedTimer timer(profile, "emulate");
-    isa::Program program = cell.prepare ? cell.prepare(unit, unit_index)
-                           : unit.workload ? unit.workload->assembled()
-                                           : *unit.program;
-    if (!cell.prepare && needs_compiler_swap(cell.config))
-      program = xform::swapped_copy(program);
-    if (!cell.prepare && needs_static_swap(cell.config))
-      program = xform::static_swapped_copy(program);
-
-    sim::Emulator emu(std::move(program));
     auto buffer = std::make_shared<sim::TraceBuffer>();
-    sim::EmulatorTraceSource source(emu);
-    buffer->record_all(source);
-    shard.counter("engine.trace_cache.records").inc(buffer->size());
-    shard.counter("engine.trace_cache.bytes")
-        .inc(buffer->size() * sizeof(sim::TraceRecord));
+    {
+      obs::ScopedTimer timer(profile, "emulate");
+      isa::Program program = cell.prepare ? cell.prepare(unit, unit_index)
+                             : unit.workload ? unit.workload->assembled()
+                                             : *unit.program;
+      if (!cell.prepare && needs_compiler_swap(cell.config))
+        program = xform::swapped_copy(program);
+      if (!cell.prepare && needs_static_swap(cell.config))
+        program = xform::static_swapped_copy(program);
 
-    // The reference model is checked once, at record time - every replay of
-    // this trace would have produced the same OUT channel.
-    if (!cell.prepare && cell.config.verify_outputs && unit.workload)
-      verify_outputs(*unit.workload, emu.output());
+      sim::Emulator emu(std::move(program));
+      sim::EmulatorTraceSource source(emu);
+      buffer->record_all(source);
+      shard.counter("engine.trace_cache.records").inc(buffer->size());
+      shard.counter("engine.trace_cache.bytes")
+          .inc(buffer->size() * sizeof(sim::TraceRecord));
 
-    TracePtr trace = std::move(buffer);
+      // The reference model is checked once, at record time - every replay
+      // of this trace would have produced the same OUT channel.
+      if (!cell.prepare && cell.config.verify_outputs && unit.workload)
+        verify_outputs(*unit.workload, emu.output());
+    }
+
+    if (stable) {
+      obs::ScopedTimer timer(profile, "store");
+      try {
+        const std::vector<std::byte> image = buffer->pack();
+        store_->put(store::EntryKind::kTrace, key, image);
+        shard.counter("engine.store.writes").inc();
+        shard.counter("engine.store.bytes_written")
+            .inc(image.size() + sizeof(store::EntryHeader));
+      } catch (const store::StoreError&) {
+        shard.counter("engine.store.write_errors").inc();
+      }
+    }
+
+    auto cached = std::make_shared<CachedTrace>();
+    cached->records = {buffer->records().data(), buffer->size()};
+    cached->owned = std::move(buffer);
+    TracePtr trace = std::move(cached);
     promise.set_value(trace);
     return trace;
   } catch (...) {
@@ -200,6 +305,35 @@ ExperimentEngine::GroupPtr ExperimentEngine::groups_for(
   shard.counter("engine.groupcache.misses").inc();
 
   try {
+    // Disk tier FIRST - before the trace lookup - so a capture hit pays
+    // zero emulations as well as zero captures: the mmap'd image is handed
+    // to the replayers as a CaptureView with zero deserialization.
+    const bool stable = store_ && key_is_stable(plan, cell_index, unit_index);
+    if (stable) {
+      obs::ScopedTimer timer(profile, "store");
+      try {
+        if (auto entry = store_->get(store::EntryKind::kCapture, key)) {
+          store_hits_.fetch_add(1);
+          shard.counter("engine.store.hits").inc();
+          shard.counter("engine.store.capture_hits").inc();
+          shard.counter("engine.store.bytes_mapped").inc(entry->bytes().size());
+          auto cached = std::make_shared<CachedCapture>();
+          cached->view = sim::IssueGroupBuffer::view(entry->payload());
+          cached->mapped = std::move(entry);
+          GroupPtr groups = std::move(cached);
+          promise.set_value(groups);
+          return groups;
+        }
+        store_misses_.fetch_add(1);
+        shard.counter("engine.store.misses").inc();
+        shard.counter("engine.store.capture_misses").inc();
+      } catch (const store::StoreError&) {
+        shard.counter("engine.store.invalid").inc();
+      } catch (const std::invalid_argument&) {
+        shard.counter("engine.store.invalid").inc();
+      }
+    }
+
     // The trace lookup happens outside the capture timer so the emulate and
     // capture phases stay disjoint in the profile.
     const TracePtr trace =
@@ -207,15 +341,34 @@ ExperimentEngine::GroupPtr ExperimentEngine::groups_for(
 
     captures_.fetch_add(1);
     shard.counter("engine.captures").inc();
-    obs::ScopedTimer timer(profile, "capture");
-    sim::MemoryTraceSource source(*trace);
-    auto buffer = std::make_shared<sim::IssueGroupBuffer>(
-        sim::capture_groups(plan.cells[cell_index].config.machine, source));
-    shard.counter("engine.groupcache.groups").inc(buffer->groups().size());
-    shard.counter("engine.groupcache.slots").inc(buffer->slot_count());
-    shard.counter("engine.groupcache.bytes").inc(buffer->lane_bytes());
+    auto buffer = std::make_shared<sim::IssueGroupBuffer>();
+    {
+      obs::ScopedTimer timer(profile, "capture");
+      sim::MemoryTraceSource source(trace->records);
+      *buffer =
+          sim::capture_groups(plan.cells[cell_index].config.machine, source);
+      shard.counter("engine.groupcache.groups").inc(buffer->groups().size());
+      shard.counter("engine.groupcache.slots").inc(buffer->slot_count());
+      shard.counter("engine.groupcache.bytes").inc(buffer->lane_bytes());
+    }
 
-    GroupPtr groups = std::move(buffer);
+    if (stable) {
+      obs::ScopedTimer timer(profile, "store");
+      try {
+        const std::vector<std::byte> image = buffer->pack();
+        store_->put(store::EntryKind::kCapture, key, image);
+        shard.counter("engine.store.writes").inc();
+        shard.counter("engine.store.bytes_written")
+            .inc(image.size() + sizeof(store::EntryHeader));
+      } catch (const store::StoreError&) {
+        shard.counter("engine.store.write_errors").inc();
+      }
+    }
+
+    auto cached = std::make_shared<CachedCapture>();
+    cached->view = buffer->as_view();
+    cached->owned = std::move(buffer);
+    GroupPtr groups = std::move(cached);
     promise.set_value(groups);
     return groups;
   } catch (...) {
@@ -355,6 +508,12 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
         std::scoped_lock lock(cache_mu_);
         use_groups = group_cache_.find(gkey) != group_cache_.end();
       }
+      // A capture already on disk makes the group path free even for a
+      // single-sharer cell: a cold-process run of a warm store then skips
+      // the timing core entirely (existence probe only; a corrupt entry
+      // just falls back to capture inside groups_for).
+      if (!use_groups && store_ && key_is_stable(plan, c, u))
+        use_groups = store_->has(store::EntryKind::kCapture, gkey);
     }
 
     std::unique_ptr<sim::IssueListener> extra;
@@ -375,11 +534,11 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
       shard.counter("engine.group_replays").inc();
       obs::ScopedTimer timer(profile, "steer");
       results[c].per_unit[u] =
-          replay_groups(*groups, plan.units[u].name, cell.config, patterns,
-                        occupancy, extra_span);
+          replay_groups(groups->view, plan.units[u].name, cell.config,
+                        patterns, occupancy, extra_span);
     } else {
       const TracePtr trace = trace_for(plan, c, u, nonce, shard, profile);
-      sim::MemoryTraceSource source(*trace);
+      sim::MemoryTraceSource source(trace->records);
 
       // Capture-on-replay: a full timing-core walk is exactly what a
       // dedicated capture costs, so while the group path is enabled this
@@ -428,7 +587,25 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
         shard.counter("engine.groupcache.groups").inc(capture->groups().size());
         shard.counter("engine.groupcache.slots").inc(capture->slot_count());
         shard.counter("engine.groupcache.bytes").inc(capture->lane_bytes());
-        capture_promise->set_value(GroupPtr(std::move(capture)));
+        // Byproduct captures feed the disk tier too: the sweep after a
+        // warm run - even in a LATER process - then group-replays without
+        // ever paying a dedicated timing-core capture.
+        if (store_ && key_is_stable(plan, c, u)) {
+          obs::ScopedTimer store_timer(profile, "store");
+          try {
+            const std::vector<std::byte> image = capture->pack();
+            store_->put(store::EntryKind::kCapture, gkey, image);
+            shard.counter("engine.store.writes").inc();
+            shard.counter("engine.store.bytes_written")
+                .inc(image.size() + sizeof(store::EntryHeader));
+          } catch (const store::StoreError&) {
+            shard.counter("engine.store.write_errors").inc();
+          }
+        }
+        auto cached = std::make_shared<CachedCapture>();
+        cached->view = capture->as_view();
+        cached->owned = std::move(capture);
+        capture_promise->set_value(GroupPtr(std::move(cached)));
       }
     }
     if (extra) results[c].listeners[u] = std::move(extra);
@@ -450,8 +627,8 @@ std::vector<CellResult> ExperimentEngine::run(const ExperimentPlan& plan) {
     shard.counter("engine.multischeme.lanes").inc(bundle.cells.size());
 
     obs::ScopedTimer timer(profile, "multisteer");
-    MultiSchemeReplayer replayer(plan.cells[bundle.cells.front()].config.machine,
-                                 *groups);
+    MultiSchemeReplayer replayer(
+        plan.cells[bundle.cells.front()].config.machine, groups->view);
     std::vector<std::unique_ptr<sim::IssueListener>> extras(
         bundle.cells.size());
     for (std::size_t i = 0; i < bundle.cells.size(); ++i) {

@@ -53,7 +53,44 @@
 #include "obs/profile.h"
 #include "sim/trace_buffer.h"
 
+namespace mrisc::store {
+class CaptureStore;
+class MappedEntry;
+}
+
 namespace mrisc::driver {
+
+/// Stable, version-tagged fingerprint of everything that shapes the timing
+/// core's behaviour: the full OooConfig, cache and branch-predictor
+/// geometry included. Cells that agree on (trace key x machine
+/// fingerprint) see bit-identical issue groups and may share one capture -
+/// in process and, through the capture store, across processes. The hash
+/// is an explicit field-by-field serialization (never in-memory layout),
+/// so the value is reproducible across builds and platforms;
+/// tests/test_store.cpp pins a golden value.
+[[nodiscard]] std::string machine_fingerprint(const sim::OooConfig& machine);
+
+/// Stable, version-tagged content fingerprint of a program: the encoded
+/// machine words plus the initial data image (names and symbols excluded).
+/// Two identical binaries fingerprint identically, which is what lets
+/// bare-program trace keys be content-addressed in the capture store.
+[[nodiscard]] std::string program_fingerprint(const isa::Program& program);
+
+/// The exact trace-cache / store key the engine derives for a bare-program
+/// unit named `name` under swap variant `swap` - what mrisc-trace
+/// store-pack publishes under so a later engine run (mrisc-sim
+/// --capture-store) hits it. `program` is the ORIGINAL binary; the swap
+/// pass is part of the variant suffix, not the fingerprint.
+[[nodiscard]] std::string program_trace_key(const std::string& name,
+                                            const isa::Program& program,
+                                            SwapMode swap);
+
+/// The capture-store key of the same unit's issue-group capture under
+/// `machine`: the trace key plus the machine fingerprint.
+[[nodiscard]] std::string program_group_key(const std::string& name,
+                                            const isa::Program& program,
+                                            const sim::OooConfig& machine,
+                                            SwapMode swap);
 
 /// One simulated subject: a workload (with reference model) or a bare
 /// program (e.g. loaded from file by mrisc-sim). Exactly one of `workload`
@@ -62,6 +99,12 @@ struct ExperimentUnit {
   std::string name;
   std::optional<workloads::Workload> workload;
   std::optional<isa::Program> program;
+  /// Content fingerprint of `program` (program_fingerprint), filled by
+  /// ExperimentPlan::add_program. When set, the unit's trace key is
+  /// content-addressed (stable across plans and processes, store-eligible);
+  /// when empty on a program unit, the key falls back to a per-plan nonce
+  /// and the capture store is bypassed for the unit.
+  std::string program_fingerprint;
 };
 
 /// One grid cell: a configuration to replay every unit under.
@@ -150,6 +193,30 @@ class ExperimentEngine {
   [[nodiscard]] std::uint64_t multischeme_lanes() const noexcept {
     return multischeme_lanes_.load();
   }
+  /// Attach a persistent capture store (nullptr detaches): the disk-
+  /// lifetime cache tier below the in-process promise caches. On a miss of
+  /// the in-process tier the engine mmaps the store entry and replays it
+  /// zero-copy - a warm-store cold start pays zero emulations and zero
+  /// captures; on a store miss the freshly computed trace/capture is
+  /// published back (write-to-temp + atomic rename, multi-process safe).
+  /// Corrupt/stale/mismatched entries are rejected with typed errors,
+  /// counted as engine.store.invalid, and recomputed. Only stable
+  /// (content-addressed) keys are stored: workload units, fingerprinted
+  /// program units, and prepare cells with a fingerprint.
+  void set_capture_store(std::shared_ptr<store::CaptureStore> store) noexcept {
+    store_ = std::move(store);
+  }
+  [[nodiscard]] const std::shared_ptr<store::CaptureStore>& capture_store()
+      const noexcept {
+    return store_;
+  }
+  /// Store lookups served from disk / fallen through to compute so far.
+  [[nodiscard]] std::uint64_t store_hits() const noexcept {
+    return store_hits_.load();
+  }
+  [[nodiscard]] std::uint64_t store_misses() const noexcept {
+    return store_misses_.load();
+  }
   /// Enable/disable the group-replay fast path (default on). With it off
   /// every cell re-runs the full timing core over the cached trace -
   /// bit-identical results, more wall clock; bench_steer_throughput sweeps
@@ -182,8 +249,24 @@ class ExperimentEngine {
   }
 
  private:
-  using TracePtr = std::shared_ptr<const sim::TraceBuffer>;
-  using GroupPtr = std::shared_ptr<const sim::IssueGroupBuffer>;
+  /// A cached trace: either an owning buffer recorded in-process or a
+  /// store entry mmap'd from disk. `records` is the replay surface either
+  /// way (MemoryTraceSource's span constructor), so the replay path never
+  /// distinguishes the two and never copies.
+  struct CachedTrace {
+    std::shared_ptr<const sim::TraceBuffer> owned;
+    std::shared_ptr<const store::MappedEntry> mapped;
+    std::span<const sim::TraceRecord> records;
+  };
+  /// A cached capture: an owning IssueGroupBuffer or an mmap'd packed
+  /// image; `view` is the replay surface either way.
+  struct CachedCapture {
+    std::shared_ptr<const sim::IssueGroupBuffer> owned;
+    std::shared_ptr<const store::MappedEntry> mapped;
+    sim::CaptureView view;
+  };
+  using TracePtr = std::shared_ptr<const CachedTrace>;
+  using GroupPtr = std::shared_ptr<const CachedCapture>;
 
   /// Get-or-record the trace for (cell, unit). Concurrent requests for the
   /// same key block on one shared emulation. Cache telemetry and emulation
@@ -210,6 +293,9 @@ class ExperimentEngine {
   std::atomic<std::uint64_t> group_replays_{0};
   std::atomic<std::uint64_t> multischeme_passes_{0};
   std::atomic<std::uint64_t> multischeme_lanes_{0};
+  std::shared_ptr<store::CaptureStore> store_;  ///< disk tier (optional)
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::atomic<std::uint64_t> store_misses_{0};
   bool group_replay_ = true;      ///< group-replay fast path enabled
   bool multi_scheme_ = true;      ///< all-schemes pass enabled
   std::uint64_t plan_nonce_ = 0;  ///< distinguishes bare-program units

@@ -200,7 +200,16 @@ RunResult replay_groups(const sim::IssueGroupBuffer& groups,
                         stats::BitPatternCollector* patterns,
                         stats::OccupancyAggregator* occupancy,
                         std::span<sim::IssueListener* const> extra_listeners) {
-  sim::GroupReplayer replayer(config.machine, groups);
+  return replay_groups(groups.as_view(), name, config, patterns, occupancy,
+                       extra_listeners);
+}
+
+RunResult replay_groups(sim::CaptureView view, const std::string& name,
+                        const ExperimentConfig& config,
+                        stats::BitPatternCollector* patterns,
+                        stats::OccupancyAggregator* occupancy,
+                        std::span<sim::IssueListener* const> extra_listeners) {
+  sim::GroupReplayer replayer(config.machine, view);
 
   PolicySet policies(config);
   policies.install(replayer);

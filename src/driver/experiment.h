@@ -165,6 +165,15 @@ RunResult replay_groups(const sim::IssueGroupBuffer& groups,
                         stats::OccupancyAggregator* occupancy = nullptr,
                         std::span<sim::IssueListener* const> extra_listeners = {});
 
+/// Same, straight off a capture view - an owning buffer's as_view() or a
+/// packed image's view() (in-memory or mmap'd from the capture store). The
+/// viewed storage must outlive the call.
+RunResult replay_groups(sim::CaptureView view, const std::string& name,
+                        const ExperimentConfig& config,
+                        stats::BitPatternCollector* patterns = nullptr,
+                        stats::OccupancyAggregator* occupancy = nullptr,
+                        std::span<sim::IssueListener* const> extra_listeners = {});
+
 /// Check a finished emulation's OUT/OUTF channel against the workload's
 /// reference model; throws std::logic_error on any mismatch.
 void verify_outputs(const workloads::Workload& workload,

@@ -42,7 +42,11 @@ struct MultiSchemeReplayer::Lane {
 
 MultiSchemeReplayer::MultiSchemeReplayer(const sim::OooConfig& machine,
                                          const sim::IssueGroupBuffer& buffer)
-    : machine_(machine), buffer_(buffer) {
+    : MultiSchemeReplayer(machine, buffer.as_view()) {}
+
+MultiSchemeReplayer::MultiSchemeReplayer(const sim::OooConfig& machine,
+                                         sim::CaptureView view)
+    : machine_(machine), view_(view) {
   // Worst-case window demand, reserved once: the steady state must never
   // allocate (tests/test_alloc.cpp), and a window holds at most one group
   // per (cycle x FU class) with kMaxModules slots each.
@@ -75,8 +79,8 @@ std::size_t MultiSchemeReplayer::add_lane(
 }
 
 bool MultiSchemeReplayer::run_cycles(std::uint64_t max_cycles) {
-  const auto& groups = buffer_.groups();
-  const std::uint64_t total = buffer_.stats().cycles;
+  const std::span<const sim::IssueGroup> groups = view_.groups;
+  const std::uint64_t total = view_.stats->cycles;
   std::uint64_t remaining = max_cycles;
   while (remaining > 0 && cycle_ < total) {
     // Decode one window of cycles from the SoA lanes into slots, once.
@@ -89,7 +93,7 @@ bool MultiSchemeReplayer::run_cycles(std::uint64_t max_cycles) {
       const sim::IssueGroup& group = groups[next_group_];
       const auto offset = static_cast<std::uint32_t>(window_slots_.size());
       window_slots_.resize(offset + group.count);
-      buffer_.materialize(
+      view_.materialize(
           group, std::span<sim::IssueSlot>(window_slots_.data() + offset,
                                            group.count));
       window_entries_.push_back(WindowEntry{group, offset});
@@ -130,7 +134,7 @@ bool MultiSchemeReplayer::run_cycles(std::uint64_t max_cycles) {
   if (done() && !finalized_) {
     finalized_ = true;
     for (auto& lane : lanes_)
-      if (lane->occupancy) lane->occupancy->add(buffer_.stats());
+      if (lane->occupancy) lane->occupancy->add(*view_.stats);
   }
   return done();
 }
@@ -146,8 +150,7 @@ std::size_t MultiSchemeReplayer::lane_count() const noexcept {
 
 RunResult MultiSchemeReplayer::result(std::size_t lane,
                                       const std::string& name) const {
-  return detail::make_result(name, lanes_.at(lane)->accountant,
-                             buffer_.stats());
+  return detail::make_result(name, lanes_.at(lane)->accountant, *view_.stats);
 }
 
 }  // namespace mrisc::driver

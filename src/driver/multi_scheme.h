@@ -45,6 +45,10 @@ class MultiSchemeReplayer {
   /// `machine` must be the shape the capture was recorded under.
   MultiSchemeReplayer(const sim::OooConfig& machine,
                       const sim::IssueGroupBuffer& buffer);
+  /// Sweep straight off a capture view - an owning buffer's as_view() or a
+  /// packed image's view() (in-memory or mmap'd from the capture store);
+  /// zero copies either way. The viewed storage must outlive the replayer.
+  MultiSchemeReplayer(const sim::OooConfig& machine, sim::CaptureView view);
   ~MultiSchemeReplayer();
   MultiSchemeReplayer(const MultiSchemeReplayer&) = delete;
   MultiSchemeReplayer& operator=(const MultiSchemeReplayer&) = delete;
@@ -66,7 +70,7 @@ class MultiSchemeReplayer {
   bool run_cycles(std::uint64_t max_cycles);
 
   [[nodiscard]] bool done() const noexcept {
-    return cycle_ >= buffer_.stats().cycles;
+    return cycle_ >= view_.stats->cycles;
   }
   [[nodiscard]] std::size_t lane_count() const noexcept;
 
@@ -77,7 +81,7 @@ class MultiSchemeReplayer {
 
   /// The recorded run's statistics (steering-invariant, shared by lanes).
   [[nodiscard]] const sim::PipelineStats& stats() const noexcept {
-    return buffer_.stats();
+    return *view_.stats;
   }
 
  private:
@@ -100,7 +104,7 @@ class MultiSchemeReplayer {
   };
 
   sim::OooConfig machine_;
-  const sim::IssueGroupBuffer& buffer_;
+  sim::CaptureView view_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<WindowEntry> window_entries_;  ///< reserved up front; no
   std::vector<sim::IssueSlot> window_slots_; ///< steady-state allocation

@@ -75,10 +75,7 @@ std::size_t IssueGroupBuffer::lane_bytes() const noexcept {
 
 void IssueGroupBuffer::materialize(const IssueGroup& group,
                                    std::span<IssueSlot> out) const {
-  const SlotLanes lanes = this->lanes();
-  const auto first = static_cast<std::size_t>(group.first);
-  const auto n = static_cast<std::size_t>(group.count);
-  for (std::size_t i = 0; i < n; ++i) out[i] = lanes.slot(first + i);
+  as_view().materialize(group, out);
 }
 
 void IssueGroupBuffer::clear() noexcept {
@@ -292,16 +289,19 @@ void GroupSteerLane::end_cycle(std::uint64_t cycle) {
 
 GroupReplayer::GroupReplayer(const OooConfig& config,
                              const IssueGroupBuffer& buffer)
-    : buffer_(buffer), lane_(config) {}
+    : GroupReplayer(config, buffer.as_view()) {}
+
+GroupReplayer::GroupReplayer(const OooConfig& config, CaptureView view)
+    : view_(view), lane_(config) {}
 
 bool GroupReplayer::run_cycles(std::uint64_t max_cycles) {
-  const auto& groups = buffer_.groups();
-  const std::uint64_t total = buffer_.stats().cycles;
+  const std::span<const IssueGroup> groups = view_.groups;
+  const std::uint64_t total = view_.stats->cycles;
   for (std::uint64_t i = 0; i < max_cycles && cycle_ < total; ++i) {
     ++cycle_;
     while (next_group_ < groups.size() && groups[next_group_].cycle == cycle_) {
       const IssueGroup& group = groups[next_group_];
-      buffer_.materialize(group, slot_scratch_);
+      view_.materialize(group, slot_scratch_);
       lane_.steer_group(group, std::span<const IssueSlot>(
                                    slot_scratch_.data(), group.count));
       ++next_group_;

@@ -99,11 +99,22 @@ struct CaptureLayout {
 
 static_assert(std::is_trivially_copyable_v<CaptureLayout>);
 
-/// Zero-copy view of a packed capture image (see IssueGroupBuffer::pack).
+/// Zero-copy view of a capture: either a packed image reinterpreted in
+/// place (IssueGroupBuffer::view, including one mmap'd from the capture
+/// store) or an owning buffer's own lanes (IssueGroupBuffer::as_view).
+/// Replayers consume this view, so a disk-served capture is steered with
+/// zero deserialization. The view borrows: the image/buffer must outlive it.
 struct CaptureView {
   std::span<const IssueGroup> groups;
   SlotLanes lanes;
   const PipelineStats* stats = nullptr;
+
+  /// Reconstruct `group`'s slots into `out` (out.size() >= group.count).
+  void materialize(const IssueGroup& group, std::span<IssueSlot> out) const {
+    const auto first = static_cast<std::size_t>(group.first);
+    const auto n = static_cast<std::size_t>(group.count);
+    for (std::size_t i = 0; i < n; ++i) out[i] = lanes.slot(first + i);
+  }
 };
 
 /// Flat storage for every issue group of one timing run, in issue order
@@ -141,6 +152,13 @@ class IssueGroupBuffer {
 
   /// Reconstruct `group`'s slots into `out` (out.size() >= group.count).
   void materialize(const IssueGroup& group, std::span<IssueSlot> out) const;
+
+  /// Borrowing view over this buffer's own lanes - the same shape view()
+  /// produces from a packed image, so replayers take either source through
+  /// one code path. The buffer must outlive the view.
+  [[nodiscard]] CaptureView as_view() const noexcept {
+    return CaptureView{groups_, lanes(), &stats_};
+  }
 
   [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
@@ -258,6 +276,11 @@ class GroupSteerLane {
 class GroupReplayer {
  public:
   GroupReplayer(const OooConfig& config, const IssueGroupBuffer& buffer);
+  /// Replay straight off a capture view - an owning buffer's as_view() or a
+  /// packed image's view() (in-memory or mmap'd from the capture store);
+  /// either way zero copies and zero steady-state allocation. The viewed
+  /// storage must outlive the replayer.
+  GroupReplayer(const OooConfig& config, CaptureView view);
 
   /// Install a steering policy for one FU class (resets it to the class's
   /// module count); classes without one use first-come-first-serve.
@@ -275,15 +298,15 @@ class GroupReplayer {
   bool run_cycles(std::uint64_t max_cycles);
 
   [[nodiscard]] bool done() const noexcept {
-    return cycle_ >= buffer_.stats().cycles;
+    return cycle_ >= view_.stats->cycles;
   }
   /// The recorded run's statistics (steering-invariant, returned verbatim).
   [[nodiscard]] const PipelineStats& stats() const noexcept {
-    return buffer_.stats();
+    return *view_.stats;
   }
 
  private:
-  const IssueGroupBuffer& buffer_;
+  CaptureView view_;
   GroupSteerLane lane_;
   std::array<IssueSlot, kMaxModules> slot_scratch_{};
   std::size_t next_group_ = 0;

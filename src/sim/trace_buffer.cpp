@@ -1,6 +1,9 @@
 #include "sim/trace_buffer.h"
 
+#include <cstring>
 #include <filesystem>
+#include <stdexcept>
+#include <string>
 
 #include "sim/trace_io.h"
 
@@ -33,6 +36,53 @@ TraceBuffer TraceBuffer::load(const std::string& path) {
   TraceFileSource source(path);
   buffer.record_all(source);
   return buffer;
+}
+
+namespace {
+constexpr std::uint64_t align8(std::uint64_t n) {
+  return (n + 7) & ~std::uint64_t{7};
+}
+}  // namespace
+
+std::vector<std::byte> TraceBuffer::pack() const {
+  TraceLayout layout;
+  layout.record_count = records_.size();
+  layout.records_offset = align8(sizeof(TraceLayout));
+  layout.total_bytes =
+      align8(layout.records_offset + records_.size() * sizeof(TraceRecord));
+
+  std::vector<std::byte> image(static_cast<std::size_t>(layout.total_bytes),
+                               std::byte{});
+  std::memcpy(image.data(), &layout, sizeof(layout));
+  if (!records_.empty())
+    std::memcpy(image.data() + layout.records_offset, records_.data(),
+                records_.size() * sizeof(TraceRecord));
+  return image;
+}
+
+std::span<const TraceRecord> TraceBuffer::view(
+    std::span<const std::byte> image) {
+  if (image.size() < sizeof(TraceLayout))
+    throw std::invalid_argument("trace image truncated before header");
+  TraceLayout layout;
+  std::memcpy(&layout, image.data(), sizeof(layout));
+  if (layout.magic != TraceLayout::kMagic)
+    throw std::invalid_argument("trace image has wrong magic");
+  if (layout.version != TraceLayout::kVersion)
+    throw std::invalid_argument("trace image has unsupported version " +
+                                std::to_string(layout.version));
+  if (layout.record_bytes != sizeof(TraceRecord))
+    throw std::invalid_argument(
+        "trace image record size disagrees with this build");
+  if (layout.total_bytes != image.size())
+    throw std::invalid_argument("trace image size does not match header");
+  const std::uint64_t n = layout.record_count;
+  if (layout.records_offset % 8 != 0 || layout.records_offset > image.size() ||
+      n * sizeof(TraceRecord) > image.size() - layout.records_offset)
+    throw std::invalid_argument("trace image record region out of bounds");
+  return {reinterpret_cast<const TraceRecord*>(image.data() +
+                                               layout.records_offset),
+          static_cast<std::size_t>(n)};
 }
 
 }  // namespace mrisc::sim

@@ -2,16 +2,42 @@
 // unlimited timing replays. This is the storage half of the emulate-once /
 // replay-many experiment engine (driver/engine.h); MemoryTraceSource is the
 // replay half. Buffers can spill to and load from the MRTR file format
-// (sim/trace_io.h) when a trace should outlive the process.
+// (sim/trace_io.h) when a trace should outlive the process, or pack() into
+// an offset-based image the capture store mmaps and view()s back with zero
+// deserialization (mirroring sim/group_buffer.h's CaptureLayout).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "sim/trace.h"
 
 namespace mrisc::sim {
+
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "packed trace images memcpy/reinterpret TraceRecord arrays");
+
+/// Header of a packed trace image: the record array located by a byte
+/// offset from the image start, 8-byte aligned, so the image is
+/// position-independent and mmap-able verbatim (the in-memory sibling of
+/// the byte-oriented MRTR stream format in sim/trace_io.h).
+struct TraceLayout {
+  static constexpr std::uint64_t kMagic = 0x31435254'43534952ull;  // "RISCTRC1"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t record_bytes = sizeof(TraceRecord);
+  std::uint64_t record_count = 0;
+  std::uint64_t records_offset = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<TraceLayout>);
 
 class TraceBuffer {
  public:
@@ -37,6 +63,17 @@ class TraceBuffer {
   void save(const std::string& path) const;
   [[nodiscard]] static TraceBuffer load(const std::string& path);
 
+  /// Serialise into one contiguous offset-based image (TraceLayout header
+  /// followed by the 8-byte-aligned record array).
+  [[nodiscard]] std::vector<std::byte> pack() const;
+
+  /// Reinterpret a packed image in place without copying. Validates the
+  /// header (magic, version, record size, region bounds); throws
+  /// std::invalid_argument on a malformed image. The returned span borrows
+  /// `image` - feed it to MemoryTraceSource's span constructor.
+  [[nodiscard]] static std::span<const TraceRecord> view(
+      std::span<const std::byte> image);
+
  private:
   std::vector<TraceRecord> records_;
 };
@@ -51,6 +88,12 @@ class MemoryTraceSource final : public TraceSource {
  public:
   explicit MemoryTraceSource(const TraceBuffer& buffer) noexcept
       : data_(buffer.records().data()), size_(buffer.size()) {}
+
+  /// Replay a borrowed record span - e.g. TraceBuffer::view over a packed
+  /// image mmap'd from the capture store. The storage behind the span must
+  /// outlive the source.
+  explicit MemoryTraceSource(std::span<const TraceRecord> records) noexcept
+      : data_(records.data()), size_(records.size()) {}
 
   const TraceRecord* next() override {
     if (pos_ >= size_) return nullptr;

@@ -83,6 +83,7 @@ std::vector<std::uint8_t> build_affinity(const CaseStats& stats,
   });
 
   std::vector<std::uint8_t> affinity(static_cast<std::size_t>(num_modules), 0);
+  if (affinity.empty()) return affinity;
 
   if (strategy == AffinityStrategy::kCoverage) {
     // One case per module, most probable first; wrap if modules abound,

@@ -1,0 +1,345 @@
+#include "store/capture_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "sim/group_buffer.h"
+#include "sim/trace_buffer.h"
+#include "util/hash.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MRISC_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MRISC_STORE_HAVE_MMAP 0
+#endif
+
+namespace mrisc::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kHeaderChecksumOffset =
+    offsetof(EntryHeader, header_checksum);
+static_assert(kHeaderChecksumOffset == 40);
+
+/// Orphaned temp files from crashed writers are reclaimed by gc() once
+/// they are clearly not an in-flight publish any more.
+constexpr std::int64_t kTempGraceSeconds = 3600;
+
+std::uint64_t header_checksum(const EntryHeader& header) {
+  std::byte bytes[sizeof(EntryHeader)];
+  std::memcpy(bytes, &header, sizeof(header));
+  return util::fnv1a_bytes({bytes, kHeaderChecksumOffset});
+}
+
+/// The payload image format version an entry kind carries, folded into the
+/// digest so format bumps miss (never misread) older entries.
+std::uint32_t payload_version(EntryKind kind) {
+  switch (kind) {
+    case EntryKind::kTrace:
+      return sim::TraceLayout::kVersion;
+    case EntryKind::kCapture:
+      return sim::CaptureLayout::kVersion;
+  }
+  return 0;
+}
+
+/// Validate a complete entry image against the header contract; `expect_*`
+/// additionally pin the kind and key digest (get() path; list() skips it).
+/// Returns the parsed header; throws the typed store errors.
+EntryHeader validate_entry(std::span<const std::byte> bytes, const char* what,
+                           bool verify_payload, bool expect_key,
+                           EntryKind expect_kind,
+                           std::uint64_t expect_digest) {
+  if (bytes.size() < sizeof(EntryHeader))
+    throw StoreCorruptError(std::string(what) +
+                            ": truncated before entry header");
+  EntryHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != EntryHeader::kMagic)
+    throw StoreCorruptError(std::string(what) + ": wrong entry magic");
+  if (header.version != EntryHeader::kVersion)
+    throw StoreVersionError(std::string(what) +
+                            ": unsupported store format version " +
+                            std::to_string(header.version));
+  if (header.header_checksum != header_checksum(header))
+    throw StoreCorruptError(std::string(what) + ": header checksum mismatch");
+  if (header.kind != static_cast<std::uint32_t>(EntryKind::kTrace) &&
+      header.kind != static_cast<std::uint32_t>(EntryKind::kCapture))
+    throw StoreCorruptError(std::string(what) + ": unknown entry kind " +
+                            std::to_string(header.kind));
+  if (bytes.size() - sizeof(EntryHeader) != header.payload_bytes)
+    throw StoreCorruptError(std::string(what) +
+                            ": file size disagrees with header (short write?)");
+  if (verify_payload &&
+      util::fnv1a_bytes(bytes.subspan(sizeof(EntryHeader))) !=
+          header.payload_checksum)
+    throw StoreCorruptError(std::string(what) + ": payload checksum mismatch");
+  if (expect_key) {
+    if (header.kind != static_cast<std::uint32_t>(expect_kind))
+      throw StoreKeyMismatchError(std::string(what) + ": entry is a " +
+                                  to_string(static_cast<EntryKind>(header.kind)) +
+                                  ", expected " + to_string(expect_kind));
+    if (header.key_digest != expect_digest)
+      throw StoreKeyMismatchError(
+          std::string(what) +
+          ": entry belongs to a different key (wrong machine or workload?)");
+  }
+  return header;
+}
+
+std::vector<std::byte> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreError("cannot open store entry " + path.string());
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::vector<std::byte> bytes(size);
+  if (size) in.read(reinterpret_cast<char*>(bytes.data()),
+                    static_cast<std::streamsize>(size));
+  if (!in) throw StoreError("cannot read store entry " + path.string());
+  return bytes;
+}
+
+std::int64_t age_seconds_of(const fs::path& path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return std::chrono::duration_cast<std::chrono::seconds>(age).count();
+}
+
+}  // namespace
+
+const char* to_string(EntryKind kind) noexcept {
+  switch (kind) {
+    case EntryKind::kTrace:
+      return "trace";
+    case EntryKind::kCapture:
+      return "capture";
+  }
+  return "?";
+}
+
+MappedEntry::~MappedEntry() {
+#if MRISC_STORE_HAVE_MMAP
+  if (map_base_) ::munmap(map_base_, map_len_);
+#endif
+}
+
+CaptureStore::CaptureStore(fs::path directory) : dir_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec && !fs::is_directory(dir_))
+    throw StoreError("cannot create capture store directory " + dir_.string() +
+                     ": " + ec.message());
+}
+
+std::string CaptureStore::digest(EntryKind kind, const std::string& key) {
+  // Version-tagged key string: the store format, the kind, and the kind's
+  // payload format version all participate, so ANY format change retires
+  // the old address space wholesale.
+  std::string tagged = "mce";
+  tagged += std::to_string(EntryHeader::kVersion);
+  tagged += "|kind=";
+  tagged += to_string(kind);
+  tagged += "|pv=";
+  tagged += std::to_string(payload_version(kind));
+  tagged += "|";
+  tagged += key;
+  return util::fnv1a_hex(tagged);
+}
+
+fs::path CaptureStore::entry_path(EntryKind kind,
+                                  const std::string& key) const {
+  return dir_ / (digest(kind, key) + ".mce");
+}
+
+std::shared_ptr<const MappedEntry> CaptureStore::get(
+    EntryKind kind, const std::string& key) const {
+  const fs::path path = entry_path(kind, key);
+  auto entry = std::shared_ptr<MappedEntry>(new MappedEntry());
+
+#if MRISC_STORE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return nullptr;  // miss
+    throw StoreError("cannot open store entry " + path.string());
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw StoreError("cannot stat store entry " + path.string());
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED)
+      throw StoreError("cannot mmap store entry " + path.string());
+    entry->map_base_ = base;
+    entry->map_len_ = size;
+    entry->bytes_ = {static_cast<const std::byte*>(base), size};
+  } else {
+    ::close(fd);
+  }
+#else
+  if (!fs::exists(path)) return nullptr;  // miss
+  entry->fallback_ = read_file(path);
+  entry->bytes_ = entry->fallback_;
+#endif
+
+  const std::string name = path.string();
+  const std::uint64_t expect =
+      util::fnv1a(digest(kind, key));  // filename stem's source value
+  entry->header_ = validate_entry(entry->bytes_, name.c_str(),
+                                  /*verify_payload=*/true,
+                                  /*expect_key=*/true, kind, expect);
+  entry->payload_ = entry->bytes_.subspan(sizeof(EntryHeader));
+  return entry;
+}
+
+std::uint64_t CaptureStore::put(EntryKind kind, const std::string& key,
+                                std::span<const std::byte> payload) const {
+  EntryHeader header;
+  header.kind = static_cast<std::uint32_t>(kind);
+  header.key_digest = util::fnv1a(digest(kind, key));
+  header.payload_bytes = payload.size();
+  header.payload_checksum = util::fnv1a_bytes(payload);
+  header.header_checksum = header_checksum(header);
+
+  // Unique temp name per writer: pid + a process-local counter. Racing
+  // writers of one key never share a temp file, and the final rename is
+  // atomic within the directory, so readers only ever see complete files.
+  static std::atomic<std::uint64_t> counter{0};
+#if MRISC_STORE_HAVE_MMAP
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+#else
+  const std::uint64_t pid = 0;
+#endif
+  const fs::path final_path = entry_path(kind, key);
+  const fs::path temp_path =
+      dir_ / (".tmp-" + digest(kind, key) + "-" + std::to_string(pid) + "-" +
+              std::to_string(counter.fetch_add(1)));
+
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw StoreError("cannot create store temp file " + temp_path.string());
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    if (!payload.empty())
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(temp_path, ec);
+      throw StoreError("short write publishing store entry " +
+                       final_path.string());
+    }
+  }
+
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(temp_path, rm);
+    throw StoreError("cannot publish store entry " + final_path.string() +
+                     ": " + ec.message());
+  }
+  return payload.size();
+}
+
+std::vector<EntryInfo> CaptureStore::list(bool verify_payloads) const {
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    const fs::path& path = dirent.path();
+    if (path.extension() != ".mce") continue;
+    EntryInfo info;
+    info.digest = path.stem().string();
+    std::error_code sec;
+    info.file_bytes = fs::file_size(path, sec);
+    info.age_seconds = age_seconds_of(path);
+    try {
+      const std::vector<std::byte> bytes = read_file(path);
+      const EntryHeader header =
+          validate_entry(bytes, path.string().c_str(), verify_payloads,
+                         /*expect_key=*/false, EntryKind::kTrace, 0);
+      info.kind = static_cast<EntryKind>(header.kind);
+      info.payload_bytes = header.payload_bytes;
+      info.valid = true;
+    } catch (const StoreError& err) {
+      info.valid = false;
+      info.error = err.what();
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              if (a.age_seconds != b.age_seconds)
+                return a.age_seconds > b.age_seconds;  // oldest first
+              return a.digest < b.digest;
+            });
+  return out;
+}
+
+GcStats CaptureStore::gc(std::int64_t max_bytes,
+                         std::int64_t max_age_seconds) const {
+  GcStats stats;
+
+  // Reclaim orphaned temp files from crashed writers (never in-flight ones:
+  // an active publish renames within milliseconds, far under the grace).
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    const fs::path& path = dirent.path();
+    if (path.filename().string().rfind(".tmp-", 0) != 0) continue;
+    if (age_seconds_of(path) < kTempGraceSeconds) continue;
+    std::error_code rm;
+    if (fs::remove(path, rm)) ++stats.temp_cleaned;
+  }
+
+  // list() is oldest-first, which is exactly the eviction order.
+  std::vector<EntryInfo> entries = list(/*verify_payloads=*/false);
+  stats.scanned = entries.size();
+  std::uint64_t total_bytes = 0;
+  for (const EntryInfo& info : entries) total_bytes += info.file_bytes;
+
+  auto remove_entry = [&](const EntryInfo& info) {
+    std::error_code rm;
+    if (fs::remove(dir_ / (info.digest + ".mce"), rm)) {
+      ++stats.removed;
+      stats.removed_bytes += info.file_bytes;
+      total_bytes -= info.file_bytes;
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<EntryInfo> survivors;
+  for (const EntryInfo& info : entries) {
+    const bool expired =
+        max_age_seconds >= 0 && info.age_seconds > max_age_seconds;
+    if ((!info.valid || expired) && remove_entry(info)) continue;
+    survivors.push_back(info);
+  }
+  for (const EntryInfo& info : survivors) {
+    if (max_bytes >= 0 && total_bytes > static_cast<std::uint64_t>(max_bytes)) {
+      if (remove_entry(info)) continue;
+    }
+    ++stats.kept;
+    stats.kept_bytes += info.file_bytes;
+  }
+  return stats;
+}
+
+}  // namespace mrisc::store

@@ -1,0 +1,203 @@
+// Persistent content-addressed capture store: the disk-lifetime cache tier
+// below the experiment engine's in-process promise caches.
+//
+// Entries are keyed by a stable digest of (kind x logical key x format
+// versions); the logical key for engine entries is trace key x machine
+// fingerprint, so a capture recorded by one process serves every later
+// process with the same workload bytes and machine shape. Values are the
+// packed, offset-based images from sim/group_buffer.h (CaptureLayout) and
+// sim/trace_buffer.h (TraceLayout), wrapped in a checksummed EntryHeader in
+// the spirit of the MRTR short-write hardening (sim/trace_io.h): a
+// truncated, bit-flipped, stale-version or wrong-key file is rejected with
+// a typed error at open time, never replayed.
+//
+// Readers mmap the file and hand the payload straight to
+// IssueGroupBuffer::view / TraceBuffer::view - zero deserialization, zero
+// steady-state allocation on the replay path (tests/test_alloc.cpp).
+// Writers publish via write-to-temp + atomic same-directory rename, so
+// concurrent processes sharing one store directory never observe a partial
+// entry: racing writers of one key each produce a complete file and the
+// last rename wins with identical contents (tests/test_store.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mrisc::store {
+
+/// Base of every store error. get() throws these for entries that exist
+/// but cannot be trusted; callers (the engine, mrisc-trace store-verify)
+/// catch, count, and fall back to re-capture.
+class StoreError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Entry bytes are damaged: bad magic, failed header or payload checksum,
+/// or a size that disagrees with the header (short write / truncation).
+class StoreCorruptError : public StoreError {
+  using StoreError::StoreError;
+};
+
+/// Entry was written by a different store or payload format version.
+class StoreVersionError : public StoreError {
+  using StoreError::StoreError;
+};
+
+/// Entry is internally valid but belongs to a different key (e.g. a file
+/// copied between digests, or a digest collision) or a different kind -
+/// notably a capture recorded under another machine fingerprint.
+class StoreKeyMismatchError : public StoreError {
+  using StoreError::StoreError;
+};
+
+/// What an entry's payload is; part of the digest and the header.
+enum class EntryKind : std::uint32_t {
+  kTrace = 1,    ///< packed TraceBuffer image (sim::TraceLayout)
+  kCapture = 2,  ///< packed IssueGroupBuffer image (sim::CaptureLayout)
+};
+
+[[nodiscard]] const char* to_string(EntryKind kind) noexcept;
+
+/// On-disk prefix of every entry. All fields little-endian as written by
+/// the producing machine; the payload formats carry their own magic and
+/// version, so a foreign-endian file fails the magic check eagerly.
+struct EntryHeader {
+  static constexpr std::uint64_t kMagic = 0x31455453'43534952ull;  // "RISCSTE1"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t kind = 0;           ///< EntryKind
+  std::uint64_t key_digest = 0;     ///< digest of the entry's full key string
+  std::uint64_t payload_bytes = 0;  ///< bytes following the header
+  std::uint64_t payload_checksum = 0;  ///< FNV-1a over the payload
+  std::uint64_t header_checksum = 0;   ///< FNV-1a over all prior fields
+};
+
+static_assert(sizeof(EntryHeader) == 48);
+
+/// One mmap'd (or, where mmap is unavailable, read) store entry. Keeps the
+/// mapping alive for as long as any replayer borrows the payload; the
+/// engine parks a shared_ptr to it next to the views it hands out.
+class MappedEntry {
+ public:
+  ~MappedEntry();
+  MappedEntry(const MappedEntry&) = delete;
+  MappedEntry& operator=(const MappedEntry&) = delete;
+
+  /// The validated payload image (header stripped).
+  [[nodiscard]] std::span<const std::byte> payload() const noexcept {
+    return payload_;
+  }
+  /// Entire file, header included.
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] const EntryHeader& header() const noexcept { return header_; }
+  /// True when the bytes are a live mmap rather than a heap copy.
+  [[nodiscard]] bool mapped() const noexcept { return map_base_ != nullptr; }
+
+ private:
+  friend class CaptureStore;
+  MappedEntry() = default;
+
+  std::span<const std::byte> bytes_;
+  std::span<const std::byte> payload_;
+  EntryHeader header_{};
+  void* map_base_ = nullptr;  ///< munmap target (null: fallback_ owns)
+  std::size_t map_len_ = 0;
+  std::vector<std::byte> fallback_;
+};
+
+/// One store-ls / store-verify line: an entry's key digest and sizes.
+struct EntryInfo {
+  std::string digest;  ///< 16 hex digits (the file stem)
+  EntryKind kind = EntryKind::kTrace;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  std::int64_t age_seconds = 0;  ///< since last write, at list() time
+  bool valid = false;
+  std::string error;  ///< why !valid (empty otherwise)
+};
+
+/// Result of a gc() sweep.
+struct GcStats {
+  std::uint64_t scanned = 0;
+  std::uint64_t removed = 0;        ///< entries deleted (expired or evicted)
+  std::uint64_t removed_bytes = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t kept_bytes = 0;
+  std::uint64_t temp_cleaned = 0;   ///< orphaned .tmp files removed
+};
+
+/// The store proper: a directory of `<digest>.mce` entries ("mrisc capture
+/// entry"). All methods are safe to call from several threads and several
+/// processes against one directory. The store never caches in memory -
+/// that is the engine's job; get() costs one open+mmap per call.
+class CaptureStore {
+ public:
+  /// Opens (creating if needed) `directory`. Throws StoreError when the
+  /// directory cannot be created.
+  explicit CaptureStore(std::filesystem::path directory);
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return dir_;
+  }
+
+  /// Stable content address of (kind x key): 16 hex digits of the FNV-1a
+  /// digest over a version-tagged key string that folds in the store
+  /// format version and the payload format version, so any format bump
+  /// simply misses every older entry instead of misreading it.
+  [[nodiscard]] static std::string digest(EntryKind kind,
+                                          const std::string& key);
+
+  /// The entry path `digest(kind, key) + ".mce"` under the store directory.
+  [[nodiscard]] std::filesystem::path entry_path(EntryKind kind,
+                                                 const std::string& key) const;
+
+  /// Cheap existence probe (no open, no validation): is there an entry
+  /// file for (kind, key)? The engine uses this to decide whether the
+  /// group-replay path is worth taking before paying the mmap.
+  [[nodiscard]] bool has(EntryKind kind, const std::string& key) const {
+    std::error_code ec;
+    return std::filesystem::exists(entry_path(kind, key), ec);
+  }
+
+  /// Look up (kind, key). Returns nullptr on a miss (no such entry);
+  /// returns the validated mapping on a hit. Throws StoreCorruptError /
+  /// StoreVersionError / StoreKeyMismatchError when the entry exists but
+  /// cannot be trusted - callers treat that as a miss plus telemetry and
+  /// may overwrite the entry with a fresh put().
+  [[nodiscard]] std::shared_ptr<const MappedEntry> get(
+      EntryKind kind, const std::string& key) const;
+
+  /// Publish `payload` under (kind, key): write header + payload to a
+  /// unique temp file in the store directory, then atomically rename over
+  /// the entry path. Concurrent writers of one key both succeed; readers
+  /// only ever see a complete file. Returns payload bytes written. Throws
+  /// StoreError on I/O failure.
+  std::uint64_t put(EntryKind kind, const std::string& key,
+                    std::span<const std::byte> payload) const;
+
+  /// Enumerate entries, oldest first. With `verify_payloads` every entry's
+  /// payload checksum is recomputed (store-verify); otherwise only the
+  /// header is validated (store-ls).
+  [[nodiscard]] std::vector<EntryInfo> list(bool verify_payloads) const;
+
+  /// Size- and age-bounded collection: drop entries older than
+  /// `max_age_seconds` (when >= 0), then evict oldest-first until the
+  /// store fits in `max_bytes` (when >= 0). Also removes orphaned .tmp
+  /// files older than one hour (crashed writers).
+  GcStats gc(std::int64_t max_bytes, std::int64_t max_age_seconds) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace mrisc::store

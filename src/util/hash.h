@@ -1,22 +1,47 @@
-// FNV-1a hashing, shared by the experiment engine's trace-cache keys and
-// the run manifest's config fingerprint.
+// FNV-1a hashing, shared by the experiment engine's trace-cache keys, the
+// run manifest's config fingerprint, and the capture store's entry digests
+// and payload checksums.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <string_view>
 
 namespace mrisc::util {
 
+inline constexpr std::uint64_t kFnv1aSeed = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
 /// 64-bit FNV-1a of `text`.
 [[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
-  std::uint64_t h = 14695981039346656037ull;
+  std::uint64_t h = kFnv1aSeed;
   for (const char c : text) {
     h ^= static_cast<std::uint8_t>(c);
-    h *= 1099511628211ull;
+    h *= kFnv1aPrime;
   }
   return h;
+}
+
+/// 64-bit FNV-1a over raw bytes, chainable via `seed` to hash several
+/// regions as one logical stream (payload checksums, program fingerprints).
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(
+    std::span<const std::byte> bytes, std::uint64_t seed = kFnv1aSeed) noexcept {
+  std::uint64_t h = seed;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// A 64-bit hash rendered as 16 lower-case hex digits.
+[[nodiscard]] inline std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
 }
 
 /// fnv1a rendered as 16 lower-case hex digits.

@@ -111,4 +111,43 @@ expect("${out}" "v3->v3"
   "multi-path sweep speedup (one pass vs per-scheme walks): 1.25x -> 1.25x"
   "verdict: OK - within 3.0% of baseline")
 
+# ---- BENCH_steer.json (mrisc-bench-steer schema): per-mode wall clocks.
+# bench-diff routes on the schema string, so the same command covers both
+# bench families. steer v2 has no capture-store axis; steer v3 adds the
+# cold_start / store_start modes and store_speedup.
+set(s2 ${FIXTURES}/steer_v2.json)
+set(s3 ${FIXTURES}/steer_v3.json)
+foreach(f ${s2} ${s3})
+  if(NOT EXISTS ${f})
+    message(FATAL_ERROR "missing fixture ${f}")
+  endif()
+endforeach()
+
+# steer v2 -> v3: the upgrade path when the capture store lands. The store
+# rows print "-" on the v2 side; multi path got 5% faster -> improvement.
+run_diff(${s2} ${s3} out)
+expect("${out}" "steer v2->v3"
+  "trace path               30           29.5    -1.67%"
+  "cold start                -             40         -"
+  "store start               -              5         -"
+  "group vs trace: 3x -> 3.01x"
+  "warm store vs cold start: -x -> 8x"
+  "verdict: improvement - multi-path sweep faster by 5.00%")
+
+# steer v3 -> v2: downgrade drops the store axis back to "-" and the
+# slower multi path reads as a regression.
+run_diff(${s3} ${s2} out)
+expect("${out}" "steer v3->v2"
+  "cold start               40              -         -"
+  "warm store vs cold start: 8x -> -x"
+  "verdict: REGRESSION - multi-path sweep slower by 5.26%")
+
+# steer v3 -> v3: identical files - every mode row and speedup line
+# populated, OK verdict.
+run_diff(${s3} ${s3} out)
+expect("${out}" "steer v3->v3"
+  "store start               5              5    +0.00%"
+  "warm store vs cold start: 8x -> 8x"
+  "verdict: OK - within 3.0% of baseline")
+
 message(STATUS "bench-diff fixtures: all passed")

@@ -181,6 +181,52 @@ TEST(AllocFree, MultiSchemeReplayerSteadyStateDoesNotAllocate) {
   EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
 }
 
+/// The capture-store read path: a replayer fed a PACKED capture image (the
+/// bytes a store mmap hands back) through IssueGroupBuffer::view must be as
+/// allocation-free in steady state as one fed the owning buffer - the view
+/// is spans over the image, materialize is a loop over them, and nothing on
+/// the cycle path copies. This is the "zero-copy cold start" half of the
+/// store's contract; tests/test_store.cpp covers the bit-identity half.
+TEST(AllocFree, PackedImageReplaySteadyStateDoesNotAllocate) {
+  const sim::TraceBuffer trace = record_trace();
+  const sim::OooConfig config{};
+  sim::MemoryTraceSource capture_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(config, capture_source);
+  const std::vector<std::byte> image = groups.pack();
+  const sim::CaptureView view = sim::IssueGroupBuffer::view(image);
+  ASSERT_GT(view.groups.size(), 10000u);
+
+  sim::GroupReplayer replayer(config, view);
+  steer::LutSteering lut_ialu(
+      steer::build_lut(stats::paper_case_stats(isa::FuClass::kIalu), 4, 4),
+      steer::SwapConfig::hardware_for(isa::FuClass::kIalu));
+  replayer.set_policy(isa::FuClass::kIalu, &lut_ialu);
+  power::EnergyAccountant accountant;
+  replayer.add_listener(&accountant);
+
+  replayer.run_cycles(1000);  // warmup
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  replayer.run_cycles(5000);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_GT(accountant.cls(isa::FuClass::kIalu).ops, 0u);
+
+  // Same image, all schemes as lanes of one MultiSchemeReplayer: the
+  // engine's warm-store sweep path.
+  driver::MultiSchemeReplayer multi(config, view);
+  for (const driver::Scheme scheme : driver::kAllSchemesExtended) {
+    driver::ExperimentConfig cell;
+    cell.scheme = scheme;
+    cell.swap = driver::SwapMode::kHardware;
+    (void)multi.add_lane(cell);
+  }
+  multi.run_cycles(1000);  // warmup
+  const std::uint64_t multi_before =
+      g_allocations.load(std::memory_order_relaxed);
+  multi.run_cycles(5000);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - multi_before, 0u);
+}
+
 /// The counting allocator itself must be live in this binary, or the zero
 /// deltas above would be vacuous.
 TEST(AllocFree, CountingAllocatorIsActive) {

@@ -109,8 +109,8 @@ TEST_P(BinaryOpSemantics, MatchesReferenceOnRandomOperands) {
 
 INSTANTIATE_TEST_SUITE_P(AllOps, BinaryOpSemantics,
                          ::testing::Range<std::size_t>(0, std::size(kBinaryOps)),
-                         [](const auto& info) {
-                           return std::string(kBinaryOps[info.param].mnemonic);
+                         [](const auto& param_info) {
+                           return std::string(kBinaryOps[param_info.param].mnemonic);
                          });
 
 TEST(DisasmProperty, AssembleDisassembleBijection) {

@@ -389,7 +389,7 @@ TEST(EngineTest, VerifiesOutputsAtRecordTime) {
   workload.expected_ints[0] ^= 1;  // corrupt the reference model
 
   ExperimentPlan plan;
-  plan.units.push_back({workload.name, workload, std::nullopt});
+  plan.units.push_back({workload.name, workload, std::nullopt, {}});
   ExperimentConfig config;
   plan.add_cell("cell", config);
   ExperimentEngine engine(1);
@@ -398,7 +398,7 @@ TEST(EngineTest, VerifiesOutputsAtRecordTime) {
   // With verification off the same plan runs fine.
   config.verify_outputs = false;
   ExperimentPlan relaxed;
-  relaxed.units.push_back({workload.name, workload, std::nullopt});
+  relaxed.units.push_back({workload.name, workload, std::nullopt, {}});
   relaxed.add_cell("cell", config);
   ExperimentEngine fresh(1);
   EXPECT_EQ(fresh.run(relaxed).size(), 1u);

@@ -80,8 +80,8 @@ TEST_P(FpBinarySemantics, BitExactAgainstHostDoubles) {
 
 INSTANTIATE_TEST_SUITE_P(Ops, FpBinarySemantics,
                          ::testing::Range<std::size_t>(0, std::size(kFpBinary)),
-                         [](const auto& info) {
-                           return std::string(kFpBinary[info.param].mnemonic);
+                         [](const auto& param_info) {
+                           return std::string(kFpBinary[param_info.param].mnemonic);
                          });
 
 TEST(FpUnarySemantics, NegAbsSqrtMovCvtsd) {

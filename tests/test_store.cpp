@@ -1,0 +1,553 @@
+// Capture-store tests: the disk tier must be (a) bit-faithful - a
+// store-served cold start renders exactly what the in-process path renders,
+// collectors and extra listeners included - (b) free - a warm store costs a
+// cold process zero emulations and zero captures - and (c) paranoid - any
+// damaged, stale or mis-keyed entry is rejected with a typed error and
+// recomputed, never replayed.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "driver/engine.h"
+#include "power/leakage.h"
+#include "sim/group_buffer.h"
+#include "sim/trace_buffer.h"
+#include "store/capture_store.h"
+#include "util/hash.h"
+
+namespace mrisc {
+namespace {
+
+namespace fs = std::filesystem;
+
+const workloads::SuiteConfig kSmall{0.05};
+
+/// A fresh, empty store directory under the test temp root.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Record a small workload's committed trace.
+sim::TraceBuffer record_trace() {
+  const auto workload = workloads::make_li(kSmall);
+  sim::Emulator emu(workload.assembled());
+  sim::EmulatorTraceSource source(emu);
+  sim::TraceBuffer buffer;
+  buffer.record_all(source);
+  return buffer;
+}
+
+TEST(TraceImageTest, PackViewRoundTrip) {
+  const sim::TraceBuffer buffer = record_trace();
+  ASSERT_FALSE(buffer.empty());
+
+  const std::vector<std::byte> image = buffer.pack();
+  const std::span<const sim::TraceRecord> records = sim::TraceBuffer::view(image);
+  ASSERT_EQ(records.size(), buffer.size());
+  EXPECT_EQ(0, std::memcmp(records.data(), buffer.records().data(),
+                           records.size() * sizeof(sim::TraceRecord)));
+}
+
+TEST(TraceImageTest, ViewRejectsMalformedImages) {
+  const sim::TraceBuffer buffer = record_trace();
+  const std::vector<std::byte> image = buffer.pack();
+
+  // Empty / shorter than the layout header.
+  EXPECT_THROW((void)sim::TraceBuffer::view({}), std::invalid_argument);
+  EXPECT_THROW(
+      (void)sim::TraceBuffer::view(std::span(image).first(8)),
+      std::invalid_argument);
+  // Truncated record array.
+  EXPECT_THROW(
+      (void)sim::TraceBuffer::view(std::span(image).first(image.size() - 1)),
+      std::invalid_argument);
+  // Damaged magic.
+  std::vector<std::byte> bad = image;
+  bad[0] ^= std::byte{0xff};
+  EXPECT_THROW((void)sim::TraceBuffer::view(bad), std::invalid_argument);
+}
+
+TEST(CaptureStoreTest, PutGetRoundTripAndMiss) {
+  const store::CaptureStore cas(fresh_dir("store_roundtrip"));
+  const std::vector<std::byte> image = record_trace().pack();
+
+  EXPECT_FALSE(cas.has(store::EntryKind::kTrace, "k1"));
+  EXPECT_EQ(cas.get(store::EntryKind::kTrace, "k1"), nullptr);
+
+  const std::uint64_t written = cas.put(store::EntryKind::kTrace, "k1", image);
+  EXPECT_EQ(written, image.size());
+  EXPECT_TRUE(cas.has(store::EntryKind::kTrace, "k1"));
+  // Kind is part of the address: the same key under the other kind misses.
+  EXPECT_FALSE(cas.has(store::EntryKind::kCapture, "k1"));
+
+  const auto entry = cas.get(store::EntryKind::kTrace, "k1");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->header().kind,
+            static_cast<std::uint32_t>(store::EntryKind::kTrace));
+  ASSERT_EQ(entry->payload().size(), image.size());
+  EXPECT_EQ(0,
+            std::memcmp(entry->payload().data(), image.data(), image.size()));
+  // The payload is replayable straight off the mapping.
+  EXPECT_EQ(sim::TraceBuffer::view(entry->payload()).size(),
+            record_trace().size());
+}
+
+TEST(CaptureStoreTest, DigestIsStableAndVersionTagged) {
+  // Same (kind, key) -> same address, everywhere and always.
+  EXPECT_EQ(store::CaptureStore::digest(store::EntryKind::kTrace, "abc"),
+            store::CaptureStore::digest(store::EntryKind::kTrace, "abc"));
+  EXPECT_NE(store::CaptureStore::digest(store::EntryKind::kTrace, "abc"),
+            store::CaptureStore::digest(store::EntryKind::kCapture, "abc"));
+  EXPECT_NE(store::CaptureStore::digest(store::EntryKind::kTrace, "abc"),
+            store::CaptureStore::digest(store::EntryKind::kTrace, "abd"));
+}
+
+/// Flip bits (XOR `mask`) in the byte at `offset` of an entry file - a
+/// guaranteed change, whatever the byte held.
+void stomp(const fs::path& path, std::uint64_t offset, unsigned char mask) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  const int byte = f.get();
+  ASSERT_NE(byte, EOF);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(byte ^ mask));
+}
+
+void truncate_file(const fs::path& path, std::uint64_t new_size) {
+  fs::resize_file(path, new_size);
+}
+
+TEST(CaptureStoreTest, CorruptionMatrix) {
+  const store::CaptureStore cas(fresh_dir("store_corrupt"));
+  const std::vector<std::byte> image = record_trace().pack();
+  cas.put(store::EntryKind::kTrace, "victim", image);
+  const fs::path path = cas.entry_path(store::EntryKind::kTrace, "victim");
+  const auto restore = [&] { cas.put(store::EntryKind::kTrace, "victim", image); };
+
+  // Short write below the header: corrupt, not a miss.
+  truncate_file(path, sizeof(store::EntryHeader) / 2);
+  EXPECT_THROW((void)cas.get(store::EntryKind::kTrace, "victim"),
+               store::StoreCorruptError);
+
+  // Truncated payload (header intact, size disagrees).
+  restore();
+  truncate_file(path, sizeof(store::EntryHeader) + image.size() - 4);
+  EXPECT_THROW((void)cas.get(store::EntryKind::kTrace, "victim"),
+               store::StoreCorruptError);
+
+  // One flipped payload bit: payload checksum catches it.
+  restore();
+  stomp(path, sizeof(store::EntryHeader) + image.size() / 2, 0xa5);
+  EXPECT_THROW((void)cas.get(store::EntryKind::kTrace, "victim"),
+               store::StoreCorruptError);
+
+  // Damaged magic.
+  restore();
+  stomp(path, 0, 0xff);
+  EXPECT_THROW((void)cas.get(store::EntryKind::kTrace, "victim"),
+               store::StoreCorruptError);
+
+  // A different format version: typed as stale, not corrupt, so callers
+  // can tell "recapture" from "disk went bad". version is the u32 at
+  // offset 8; flipping a bit in it changes the version while leaving the
+  // magic intact.
+  restore();
+  stomp(path, 8, 0x04);
+  EXPECT_THROW((void)cas.get(store::EntryKind::kTrace, "victim"),
+               store::StoreVersionError);
+
+  // An internally valid entry copied to another key's path - the shape of
+  // a capture recorded under a different machine fingerprint reaching the
+  // wrong digest, or a digest collision. Key mismatch, never served.
+  restore();
+  const fs::path other = cas.entry_path(store::EntryKind::kTrace, "other-key");
+  fs::copy_file(path, other);
+  EXPECT_THROW((void)cas.get(store::EntryKind::kTrace, "other-key"),
+               store::StoreKeyMismatchError);
+
+  // After all that abuse the restored entry still reads clean.
+  restore();
+  EXPECT_NE(cas.get(store::EntryKind::kTrace, "victim"), nullptr);
+}
+
+TEST(CaptureStoreTest, ListVerifyAndGc) {
+  const fs::path dir = fresh_dir("store_gc");
+  const store::CaptureStore cas(dir);
+  const std::vector<std::byte> image = record_trace().pack();
+  cas.put(store::EntryKind::kTrace, "a", image);
+  cas.put(store::EntryKind::kCapture, "b", image);
+
+  auto entries = cas.list(/*verify_payloads=*/true);
+  ASSERT_EQ(entries.size(), 2u);
+  for (const auto& e : entries) EXPECT_TRUE(e.valid) << e.error;
+
+  // store-verify catches what store-ls (header-only) cannot: a payload flip
+  // leaves the header self-consistent.
+  stomp(cas.entry_path(store::EntryKind::kTrace, "a"),
+        sizeof(store::EntryHeader) + 1, 0x5a);
+  int invalid = 0;
+  for (const auto& e : cas.list(/*verify_payloads=*/true))
+    invalid += e.valid ? 0 : 1;
+  EXPECT_EQ(invalid, 1);
+
+  // An orphaned temp file from a crashed writer, older than the grace
+  // period, is swept; gc to zero bytes then clears the directory.
+  const fs::path stale_tmp = dir / ".tmp-deadbeef-1-1";
+  std::ofstream(stale_tmp).put('x');
+  fs::last_write_time(stale_tmp,
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  const store::GcStats stats = cas.gc(/*max_bytes=*/0, /*max_age_seconds=*/-1);
+  EXPECT_EQ(stats.temp_cleaned, 1u);
+  EXPECT_EQ(stats.removed, 2u);  // the invalid entry + the size eviction
+  EXPECT_EQ(stats.kept, 0u);
+  EXPECT_TRUE(cas.list(false).empty());
+}
+
+TEST(CaptureStoreTest, ConcurrentPutsConvergeOnOneValidEntry) {
+  const store::CaptureStore cas(fresh_dir("store_race"));
+  const std::vector<std::byte> image = record_trace().pack();
+  constexpr int kRounds = 64;
+
+  // Two writers race the publish of one key while a reader polls it: the
+  // atomic rename means the reader sees either nothing or a complete,
+  // valid entry - never a partial file. (CI runs this under TSan.)
+  std::atomic<bool> stop{false};
+  auto writer = [&] {
+    for (int i = 0; i < kRounds; ++i)
+      cas.put(store::EntryKind::kCapture, "raced", image);
+  };
+  std::thread w1(writer), w2(writer);
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto entry = cas.get(store::EntryKind::kCapture, "raced");
+      if (entry) {
+        ASSERT_EQ(entry->payload().size(), image.size());
+      }
+    }
+  });
+  w1.join();
+  w2.join();
+  stop.store(true);
+  reader.join();
+
+  const auto entry = cas.get(store::EntryKind::kCapture, "raced");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(0,
+            std::memcmp(entry->payload().data(), image.data(), image.size()));
+  // Exactly one entry file, no leftover temps.
+  EXPECT_EQ(cas.list(true).size(), 1u);
+  EXPECT_EQ(cas.gc(-1, -1).temp_cleaned, 0u);
+}
+
+TEST(FingerprintTest, MachineFingerprintGoldenValue) {
+  // The fingerprint is an explicit, version-tagged serialization - its
+  // value for the default machine is part of the store format. If this
+  // test fails you changed what the fingerprint covers: bump the "mfp1"
+  // tag in driver::machine_fingerprint so stale store entries miss.
+  const sim::OooConfig machine;
+  EXPECT_EQ(driver::machine_fingerprint(machine), "d22099bd6ce1b469");
+
+  // Every timing-relevant knob must move the fingerprint.
+  sim::OooConfig wide = machine;
+  wide.modules[static_cast<std::size_t>(isa::FuClass::kIalu)] += 1;
+  EXPECT_NE(driver::machine_fingerprint(wide),
+            driver::machine_fingerprint(machine));
+  sim::OooConfig gshare = machine;
+  gshare.bpred.kind = sim::BpredConfig::Kind::kGshare;
+  EXPECT_NE(driver::machine_fingerprint(gshare),
+            driver::machine_fingerprint(machine));
+  sim::OooConfig in_order = machine;
+  in_order.in_order_issue = true;
+  EXPECT_NE(driver::machine_fingerprint(in_order),
+            driver::machine_fingerprint(machine));
+}
+
+TEST(FingerprintTest, ProgramFingerprintIsContentAddressed) {
+  const auto workload = workloads::make_li(kSmall);
+  const isa::Program& program = workload.assembled();
+  const std::string fp = driver::program_fingerprint(program);
+  EXPECT_EQ(fp, driver::program_fingerprint(program));
+
+  // The name is metadata, not content: renamed copies share store entries.
+  isa::Program renamed = program;
+  renamed.name = "something-else";
+  EXPECT_EQ(driver::program_fingerprint(renamed), fp);
+
+  // One data byte is content.
+  isa::Program tweaked = program;
+  if (tweaked.data.empty()) tweaked.data.push_back(0);
+  tweaked.data[0] ^= 1;
+  EXPECT_NE(driver::program_fingerprint(tweaked), fp);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------------
+
+void expect_class_equal(const power::ClassEnergy& a,
+                        const power::ClassEnergy& b, const char* what) {
+  EXPECT_EQ(a.switched_bits, b.switched_bits) << what;
+  EXPECT_EQ(a.ops, b.ops) << what;
+  EXPECT_EQ(a.gated_operands, b.gated_operands) << what;
+  EXPECT_EQ(a.booth_adds, b.booth_adds) << what;
+  EXPECT_EQ(a.guard_overhead, b.guard_overhead) << what;
+}
+
+void expect_result_equal(const driver::RunResult& a,
+                         const driver::RunResult& b) {
+  expect_class_equal(a.ialu, b.ialu, "ialu");
+  expect_class_equal(a.fpau, b.fpau, "fpau");
+  expect_class_equal(a.imult, b.imult, "imult");
+  expect_class_equal(a.fpmult, b.fpmult, "fpmult");
+  EXPECT_EQ(a.pipeline.cycles, b.pipeline.cycles);
+  EXPECT_EQ(a.pipeline.committed, b.pipeline.committed);
+  EXPECT_EQ(a.pipeline.issued, b.pipeline.issued);
+  EXPECT_EQ(a.pipeline.cache_hits, b.pipeline.cache_hits);
+  EXPECT_EQ(a.pipeline.cache_misses, b.pipeline.cache_misses);
+  EXPECT_EQ(a.pipeline.branches, b.pipeline.branches);
+  EXPECT_EQ(a.pipeline.mispredictions, b.pipeline.mispredictions);
+  for (std::size_t c = 0; c < isa::kNumFuClasses; ++c)
+    for (std::size_t m = 0; m < sim::kMaxModules; ++m) {
+      EXPECT_EQ(a.per_module[c][m].switched_bits,
+                b.per_module[c][m].switched_bits);
+      EXPECT_EQ(a.per_module[c][m].ops, b.per_module[c][m].ops);
+    }
+}
+
+void expect_cells_equal(const std::vector<driver::CellResult>& a,
+                        const std::vector<driver::CellResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "cell " << i);
+    expect_result_equal(a[i].total, b[i].total);
+    ASSERT_EQ(a[i].per_unit.size(), b[i].per_unit.size());
+    for (std::size_t w = 0; w < a[i].per_unit.size(); ++w)
+      expect_result_equal(a[i].per_unit[w], b[i].per_unit[w]);
+  }
+}
+
+/// The fig4-shaped sweep the store exists for: stats cell + every extended
+/// scheme under hardware swapping, with a LeakageTracker riding the last
+/// cell so listener-visible state is covered by the bit-identity check too.
+driver::ExperimentPlan sweep_plan(const std::vector<workloads::Workload>& suite) {
+  driver::ExperimentPlan plan;
+  plan.add_suite(suite);
+  driver::ExperimentConfig stats_config;
+  stats_config.scheme = driver::Scheme::kOriginal;
+  plan.add_cell("stats", stats_config, /*collect_stats=*/true);
+  for (const driver::Scheme scheme : driver::kAllSchemesExtended) {
+    driver::ExperimentConfig config;
+    config.scheme = scheme;
+    config.swap = driver::SwapMode::kHardware;
+    plan.add_cell(driver::to_string(scheme), config);
+  }
+  plan.cells.back().make_listener = [](const driver::ExperimentUnit&,
+                                       std::size_t) {
+    driver::ExperimentConfig config;  // default machine: modules match
+    return std::make_unique<power::LeakageTracker>(power::LeakageConfig{},
+                                                   config.machine.modules);
+  };
+  return plan;
+}
+
+std::uint64_t counter_value(const driver::ExperimentEngine& engine,
+                            const std::string& name) {
+  const auto& counters = engine.metrics().counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value;
+}
+
+void expect_leakage_equal(const driver::CellResult& a,
+                          const driver::CellResult& b) {
+  ASSERT_EQ(a.listeners.size(), b.listeners.size());
+  for (std::size_t u = 0; u < a.listeners.size(); ++u) {
+    const auto* la = dynamic_cast<power::LeakageTracker*>(a.listeners[u].get());
+    const auto* lb = dynamic_cast<power::LeakageTracker*>(b.listeners[u].get());
+    ASSERT_NE(la, nullptr);
+    ASSERT_NE(lb, nullptr);
+    for (const auto cls : {isa::FuClass::kIalu, isa::FuClass::kFpau}) {
+      EXPECT_EQ(la->energy(cls), lb->energy(cls)) << "unit " << u;
+      EXPECT_EQ(la->slept_cycles(cls), lb->slept_cycles(cls)) << "unit " << u;
+      EXPECT_EQ(la->wakeups(cls), lb->wakeups(cls)) << "unit " << u;
+    }
+  }
+}
+
+/// The acceptance test of the whole PR: no store vs empty store vs warm
+/// store are bit-identical - rendered stats tables and leakage listeners
+/// included - and the warm-store cold start pays ZERO emulations and ZERO
+/// captures.
+TEST(StoreEngineTest, WarmStoreColdStartIsBitIdenticalAndFree) {
+  const auto suite = workloads::integer_suite(kSmall);
+  const fs::path dir = fresh_dir("store_engine");
+
+  driver::ExperimentEngine bare(4);
+  const auto without_store = bare.run(sweep_plan(suite));
+
+  // Same sweep against an empty store: identical results, store populated.
+  driver::ExperimentEngine writer(4);
+  writer.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  const auto with_cold_store = writer.run(sweep_plan(suite));
+  expect_cells_equal(with_cold_store, without_store);
+  EXPECT_GT(writer.store_misses(), 0u);
+  EXPECT_GT(counter_value(writer, "engine.store.writes"), 0u);
+  EXPECT_FALSE(store::CaptureStore(dir).list(true).empty());
+
+  // A fresh engine - a cold process, as far as the caches care - over the
+  // warm store: every unit group-replays straight off the mmap.
+  driver::ExperimentEngine reader(4);
+  reader.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  const auto warm = reader.run(sweep_plan(suite));
+  expect_cells_equal(warm, without_store);
+  EXPECT_EQ(reader.emulations(), 0u);
+  EXPECT_EQ(reader.captures(), 0u);
+  EXPECT_GT(reader.store_hits(), 0u);
+  EXPECT_GT(counter_value(reader, "engine.store.capture_hits"), 0u);
+  EXPECT_EQ(counter_value(reader, "engine.store.invalid"), 0u);
+
+  // Collector-visible state matches too: the store path feeds the same
+  // slots to the same collectors.
+  EXPECT_EQ(stats::render_table1(warm[0].patterns, isa::FuClass::kIalu),
+            stats::render_table1(without_store[0].patterns, isa::FuClass::kIalu));
+  EXPECT_EQ(stats::render_table2(warm[0].occupancy),
+            stats::render_table2(without_store[0].occupancy));
+  EXPECT_EQ(stats::render_table3(warm[0].patterns),
+            stats::render_table3(without_store[0].patterns));
+  expect_leakage_equal(warm.back(), without_store.back());
+
+  // The jobs-count bit-identity guarantee holds on the store path.
+  driver::ExperimentEngine serial(1);
+  serial.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  expect_cells_equal(serial.run(sweep_plan(suite)), warm);
+  EXPECT_EQ(serial.emulations(), 0u);
+}
+
+/// Damaged entries are a miss plus telemetry, never wrong results - and
+/// the recompute overwrites them, so the store self-heals.
+TEST(StoreEngineTest, CorruptEntriesFallBackAndSelfHeal) {
+  const auto suite = workloads::integer_suite(kSmall);
+  const fs::path dir = fresh_dir("store_heal");
+
+  driver::ExperimentEngine bare(4);
+  const auto expected = bare.run(sweep_plan(suite));
+
+  driver::ExperimentEngine writer(4);
+  writer.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  writer.run(sweep_plan(suite));
+
+  // Flip one payload byte in every entry on disk.
+  std::size_t stomped = 0;
+  for (const auto& file : fs::directory_iterator(dir)) {
+    if (file.path().extension() != ".mce") continue;
+    stomp(file.path(), sizeof(store::EntryHeader), 0x77);
+    ++stomped;
+  }
+  ASSERT_GT(stomped, 0u);
+
+  driver::ExperimentEngine survivor(4);
+  survivor.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  expect_cells_equal(survivor.run(sweep_plan(suite)), expected);
+  EXPECT_GT(counter_value(survivor, "engine.store.invalid"), 0u);
+  EXPECT_GT(survivor.emulations(), 0u);  // really recomputed
+
+  // The recompute republished clean entries: next cold start is free again.
+  for (const auto& e : store::CaptureStore(dir).list(true))
+    EXPECT_TRUE(e.valid) << e.error;
+  driver::ExperimentEngine healed(4);
+  healed.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  expect_cells_equal(healed.run(sweep_plan(suite)), expected);
+  EXPECT_EQ(healed.emulations(), 0u);
+  EXPECT_EQ(healed.captures(), 0u);
+}
+
+/// Captures are keyed by machine fingerprint: a store warmed under one
+/// machine shape never serves another, even for the same workload bytes.
+TEST(StoreEngineTest, MachineVariantsNeverShareStoreEntries) {
+  const auto suite = workloads::integer_suite(kSmall);
+  const fs::path dir = fresh_dir("store_machines");
+
+  auto plan_for = [&](bool in_order) {
+    driver::ExperimentPlan plan;
+    plan.add_suite(suite);
+    for (const driver::Scheme scheme :
+         {driver::Scheme::kOriginal, driver::Scheme::kLut4}) {
+      driver::ExperimentConfig config;
+      config.scheme = scheme;
+      config.machine.in_order_issue = in_order;
+      plan.add_cell(driver::to_string(scheme), config);
+    }
+    return plan;
+  };
+
+  driver::ExperimentEngine ooo_bare(2);
+  const auto ooo_expected = ooo_bare.run(plan_for(false));
+  driver::ExperimentEngine in_order_bare(2);
+  const auto in_order_expected = in_order_bare.run(plan_for(true));
+
+  driver::ExperimentEngine warmup(2);
+  warmup.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  warmup.run(plan_for(false));
+
+  // The other machine shape finds the traces (machine-independent) but
+  // must re-capture its own groups - and still be bit-right.
+  driver::ExperimentEngine other(2);
+  other.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  expect_cells_equal(other.run(plan_for(true)), in_order_expected);
+  EXPECT_EQ(other.emulations(), 0u);          // traces served from the store
+  EXPECT_GT(other.captures(), 0u);            // captures were not
+  EXPECT_EQ(counter_value(other, "engine.store.invalid"), 0u);
+
+  // And the original shape still replays its own entries, untouched.
+  driver::ExperimentEngine back(2);
+  back.set_capture_store(std::make_shared<store::CaptureStore>(dir));
+  expect_cells_equal(back.run(plan_for(false)), ooo_expected);
+  EXPECT_EQ(back.captures(), 0u);
+}
+
+/// mrisc-trace store-pack publishes under program_trace_key /
+/// program_group_key; the engine must hit exactly those keys when it runs
+/// the same binary. This pins the tool <-> engine key contract.
+TEST(StoreEngineTest, EngineKeysMatchPublicKeyDerivation) {
+  const auto workload = workloads::make_li(kSmall);
+  const isa::Program program = workload.assembled();
+  const fs::path dir = fresh_dir("store_keys");
+  const auto cas = std::make_shared<store::CaptureStore>(dir);
+
+  driver::ExperimentPlan plan;
+  plan.add_program(program, program.name);
+  driver::ExperimentConfig config;
+  config.scheme = driver::Scheme::kLut4;
+  config.verify_outputs = false;  // bare program: no reference model
+  plan.add_cell("run", config);
+
+  driver::ExperimentEngine engine(1);
+  engine.set_capture_store(cas);
+  engine.run(plan);
+
+  const std::string tkey = driver::program_trace_key(program.name, program,
+                                                     config.swap);
+  const std::string gkey = driver::program_group_key(
+      program.name, program, config.machine, config.swap);
+  EXPECT_TRUE(cas->has(store::EntryKind::kTrace, tkey));
+  EXPECT_TRUE(cas->has(store::EntryKind::kCapture, gkey));
+
+  // And a fresh engine cold-starts the same plan free of charge.
+  driver::ExperimentEngine cold(1);
+  cold.set_capture_store(cas);
+  cold.run(plan);
+  EXPECT_EQ(cold.emulations(), 0u);
+  EXPECT_EQ(cold.captures(), 0u);
+}
+
+}  // namespace
+}  // namespace mrisc

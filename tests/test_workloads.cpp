@@ -35,7 +35,7 @@ std::vector<Workload> all_workloads() { return full_suite(SuiteConfig{}); }
 
 INSTANTIATE_TEST_SUITE_P(Suite, WorkloadMatchesReference,
                          ::testing::ValuesIn(all_workloads()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) { return param_info.param.name; });
 
 class WorkloadScaling : public ::testing::TestWithParam<double> {};
 

@@ -82,3 +82,42 @@ run_checked(diff_out ${STATS} diff ${WORK}/smoke_manifest.json ${WORK}/smoke_man
 if(NOT diff_out MATCHES "wall")
   message(FATAL_ERROR "mrisc-stats diff malformed: '${diff_out}'")
 endif()
+
+# Capture store, end to end: pack the program's trace + issue groups into a
+# fresh store, list and verify it, cold-start mrisc-sim off it with zero
+# emulations, then gc it back to empty.
+file(REMOVE_RECURSE ${WORK}/smoke_store)
+run_checked(pack_out ${TRACE} store-pack ${WORK}/smoke.s --store ${WORK}/smoke_store)
+if(NOT pack_out MATCHES "trace" OR NOT pack_out MATCHES "capture")
+  message(FATAL_ERROR "store-pack output malformed: '${pack_out}'")
+endif()
+
+run_checked(ls_out ${TRACE} store-ls ${WORK}/smoke_store)
+if(NOT ls_out MATCHES "2 entries" OR NOT ls_out MATCHES "0 invalid")
+  message(FATAL_ERROR "store-ls after pack wrong: '${ls_out}'")
+endif()
+run_checked(verify_out ${TRACE} store-verify ${WORK}/smoke_store)
+if(NOT verify_out MATCHES "0 invalid")
+  message(FATAL_ERROR "store-verify after pack wrong: '${verify_out}'")
+endif()
+
+# The warm store serves the simulator's cold start: zero emulations.
+run_checked(warm_out ${SIM} ${WORK}/smoke.s --capture-store ${WORK}/smoke_store)
+if(NOT warm_out MATCHES "1 hits, 0 misses, 0 emulations")
+  message(FATAL_ERROR "warm-store cold start was not free: '${warm_out}'")
+endif()
+# And renders the same report as the storeless run (modulo the store line).
+string(REGEX REPLACE "capture-store:[^\n]*\n" "" warm_stripped "${warm_out}")
+run_checked(cold_out ${SIM} ${WORK}/smoke.s)
+if(NOT warm_stripped STREQUAL cold_out)
+  message(FATAL_ERROR "store-served run differs:\n'${warm_stripped}'\nvs\n'${cold_out}'")
+endif()
+
+run_checked(gc_out ${TRACE} store-gc ${WORK}/smoke_store --max-bytes 0)
+if(NOT gc_out MATCHES "removed 2")
+  message(FATAL_ERROR "store-gc did not clear the store: '${gc_out}'")
+endif()
+run_checked(empty_out ${TRACE} store-ls ${WORK}/smoke_store)
+if(NOT empty_out MATCHES "0 entries")
+  message(FATAL_ERROR "store not empty after gc: '${empty_out}'")
+endif()

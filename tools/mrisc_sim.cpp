@@ -9,10 +9,13 @@
 #include <cinttypes>
 #include <string>
 
+#include <cstdlib>
+
 #include "driver/config_io.h"
 #include "power/chip.h"
 #include "driver/engine.h"
 #include "isa/object.h"
+#include "store/capture_store.h"
 #include "obs/manifest.h"
 #include "obs/pipeline_tracer.h"
 #include "obs/trace_events.h"
@@ -41,6 +44,9 @@ int usage() {
       "  --trace-capacity N ring capacity in events  (default 1048576)\n"
       "  --trace-sample N   trace every Nth instruction (default 1)\n"
       "  --manifest F       write a machine-readable run manifest (JSON)\n"
+      "  --capture-store D  persistent capture store directory: mmap traces\n"
+      "                     and issue-group captures across runs (or set\n"
+      "                     $MRISC_CAPTURE_STORE)\n"
       "(command-line flags override the config file)\n");
   return 2;
 }
@@ -51,7 +57,8 @@ int main(int argc, char** argv) {
   util::Flags flags(
       argc, argv,
       {"config", "scheme", "swap", "mult-swap", "ialus", "fpaus", "jobs",
-       "report", "trace-events", "trace-capacity", "trace-sample", "manifest"},
+       "report", "trace-events", "trace-capacity", "trace-sample", "manifest",
+       "capture-store"},
       {"in-order"});
   if (flags.positional().size() != 1 || !flags.unknown().empty()) return usage();
 
@@ -91,6 +98,17 @@ int main(int argc, char** argv) {
     const isa::Program program = isa::load_program_file(flags.positional()[0]);
     driver::ExperimentEngine engine(
         static_cast<int>(flags.get_int("jobs", 0)));
+
+    // Disk-lifetime cache tier: an already-packed capture cold-starts this
+    // run with zero emulations and zero captures (docs/performance.md).
+    std::string store_dir = flags.get_or("capture-store", "");
+    if (store_dir.empty())
+      if (const char* env = std::getenv("MRISC_CAPTURE_STORE"))
+        store_dir = env;
+    if (!store_dir.empty())
+      engine.set_capture_store(
+          std::make_shared<store::CaptureStore>(store_dir));
+
     driver::ExperimentPlan plan;
     plan.add_program(program, program.name);
     plan.add_cell("run", config, /*collect_stats=*/true);
@@ -143,6 +161,11 @@ int main(int argc, char** argv) {
       std::printf("chip-level FU share: %.1f%% of %.3g energy units\n",
                   100.0 * chip.fu_share(), chip.total());
     }
+    if (!store_dir.empty())
+      std::printf("capture-store: %s (%" PRIu64 " hits, %" PRIu64
+                  " misses, %" PRIu64 " emulations)\n",
+                  store_dir.c_str(), engine.store_hits(),
+                  engine.store_misses(), engine.emulations());
 
     // Pipeline event trace: one extra instrumented run (live emulation with
     // the tracer attached; the swap passes are applied exactly as above, so
@@ -192,6 +215,11 @@ int main(int argc, char** argv) {
       manifest.extra["scheme"] = driver::to_string(config.scheme);
       manifest.extra["swap"] = driver::to_string(config.swap);
       manifest.extra["program"] = program.name;
+      if (!store_dir.empty()) {
+        // engine.store.* counters ride manifest.metrics already; the
+        // directory itself is config, recorded here.
+        manifest.extra["capture_store"] = store_dir;
+      }
       manifest.write(*manifest_path);
       std::printf("manifest: %s\n", manifest_path->c_str());
     }

@@ -194,6 +194,99 @@ int diff_manifests(const util::Json& a, const util::Json& b, bool markdown) {
 
 // --------------------------------------------------------------- bench-diff
 
+/// True for bench_steer_throughput output (mrisc-bench-steer/v*).
+bool is_steer_schema(const util::Json& j) {
+  return j.contains("schema") &&
+         j.at("schema").str().rfind("mrisc-bench-steer/", 0) == 0;
+}
+
+/// bench-diff for steer-bench files: per-mode wall clock (lower is better)
+/// plus the sweep speedups. v1/v2 files lack the cold_start / store_start
+/// modes (the capture-store axis is v3); their rows print "-".
+int steer_diff(const util::Json& base, const util::Json& cur, bool markdown,
+               double tolerance_pct) {
+  struct ModeRow {
+    const char* key;
+    const char* label;
+  };
+  static constexpr ModeRow kModes[] = {
+      {"trace_path", "trace path"},   {"group_path", "group path"},
+      {"multi_path", "multi path"},   {"cold_start", "cold start"},
+      {"store_start", "store start"},
+  };
+  auto seconds_of = [](const util::Json& j, const char* key) {
+    const util::Json* mode = j.find(key);
+    return mode ? mode->number_or("best_seconds", 0.0) : 0.0;
+  };
+  auto fmt_secs = [](double v) {
+    return v > 0 ? fmt(v) : std::string("-");
+  };
+
+  if (markdown) {
+    std::printf("### bench_steer_throughput: %s vs %s\n\n", "current",
+                "baseline");
+    std::printf("| mode | baseline s | current s | delta |\n");
+    std::printf("|---|---|---|---|\n");
+  } else {
+    std::printf("%-12s %14s %14s %9s\n", "mode", "baseline s", "current s",
+                "delta");
+  }
+  for (const ModeRow& mode : kModes) {
+    const double b = seconds_of(base, mode.key);
+    const double c = seconds_of(cur, mode.key);
+    // Wall clock: negative delta is the improvement direction.
+    const std::string delta =
+        b > 0 && c > 0 ? fmt_pct(pct_delta(b, c)) : std::string("-");
+    if (markdown)
+      std::printf("| %s | %s | %s | %s |\n", mode.label, fmt_secs(b).c_str(),
+                  fmt_secs(c).c_str(), delta.c_str());
+    else
+      std::printf("%-12s %14s %14s %9s\n", mode.label, fmt_secs(b).c_str(),
+                  fmt_secs(c).c_str(), delta.c_str());
+  }
+  if (markdown) std::printf("\n");
+
+  struct SpeedupRow {
+    const char* key;
+    const char* label;
+  };
+  static constexpr SpeedupRow kSpeedups[] = {
+      {"speedup", "group vs trace"},
+      {"multi_speedup", "multi vs group"},
+      {"full_speedup", "multi vs trace"},
+      {"store_speedup", "warm store vs cold start"},
+  };
+  for (const SpeedupRow& s : kSpeedups) {
+    const double b = base.number_or(s.key, 0.0);
+    const double c = cur.number_or(s.key, 0.0);
+    if (b > 0 || c > 0)
+      std::printf("%s: %sx -> %sx\n", s.label, fmt_secs(b).c_str(),
+                  fmt_secs(c).c_str());
+  }
+
+  // Verdict on the headline number: the fastest full-sweep path's wall
+  // clock (multi path), where MORE seconds is the regression direction.
+  const double base_multi = seconds_of(base, "multi_path");
+  const double cur_multi = seconds_of(cur, "multi_path");
+  if (base_multi > 0 && cur_multi > 0) {
+    const double delta = pct_delta(base_multi, cur_multi);
+    if (delta >= tolerance_pct)
+      std::printf("verdict: REGRESSION - multi-path sweep slower by %.2f%% "
+                  "(tolerance %.1f%%)\n",
+                  delta, tolerance_pct);
+    else if (delta <= -tolerance_pct)
+      std::printf("verdict: improvement - multi-path sweep faster by %.2f%%\n",
+                  -delta);
+    else
+      std::printf("verdict: OK - within %.1f%% of baseline (%+.2f%%)\n",
+                  tolerance_pct, delta);
+  } else {
+    std::printf("verdict: OK - no comparable multi-path timing on both "
+                "sides\n");
+  }
+  return 0;  // informational by design; CI gates on tests, not throughput
+}
+
 /// Handles every schema generation: v1 files (mrisc-bench-replay/v1) carry
 /// trace-replay rates only; v2 adds per-workload and aggregate group-replay
 /// rates plus a "steer_sweep" section; v3 extends steer_sweep with the
@@ -202,6 +295,11 @@ int diff_manifests(const util::Json& a, const util::Json& b, bool markdown) {
 /// where a side has no data for them.
 int bench_diff(const util::Json& base, const util::Json& cur, bool markdown,
                double tolerance_pct) {
+  // The steer bench writes a different shape entirely (per-mode wall
+  // clocks, no per-workload rates); route by schema so one bench-diff
+  // command covers both bench families.
+  if (is_steer_schema(base) || is_steer_schema(cur))
+    return steer_diff(base, cur, markdown, tolerance_pct);
   const double base_rate = base.at("aggregate").at("replays_per_sec").number();
   const double cur_rate = cur.at("aggregate").at("replays_per_sec").number();
   const double delta = pct_delta(base_rate, cur_rate);

@@ -1,39 +1,57 @@
-// mrisc-trace: record, inspect and replay dynamic instruction traces.
+// mrisc-trace: record, inspect and replay dynamic instruction traces, and
+// manage the persistent capture store.
 //
 //   mrisc-trace record prog.s -o prog.trc [--max N]
 //   mrisc-trace dump prog.trc [--head N]
 //   mrisc-trace replay prog.trc [--scheme lut4] [--swap hw]
+//   mrisc-trace store-pack prog.s --store DIR [--swap M]
+//   mrisc-trace store-ls DIR
+//   mrisc-trace store-verify DIR
+//   mrisc-trace store-gc DIR [--max-bytes B] [--max-age SECONDS]
 //
 // Replay drives the out-of-order timing core directly from the trace file -
 // the same decoupling SimpleScalar-era power studies used to re-run timing
-// experiments without re-executing the program.
+// experiments without re-executing the program. store-pack pre-computes a
+// program's trace and issue-group capture under the engine's own keys, so
+// a later mrisc-sim --capture-store run cold-starts with zero emulations.
 #include <cstdio>
 #include <inttypes.h>
 #include <string>
 
 #include "driver/config_io.h"
+#include "driver/engine.h"
 #include "driver/experiment.h"
 #include "isa/disasm.h"
 #include "isa/object.h"
 #include "power/energy.h"
 #include "sim/emulator.h"
+#include "sim/group_buffer.h"
 #include "sim/ooo.h"
 #include "sim/trace_buffer.h"
 #include "sim/trace_io.h"
 #include "steer/lut.h"
 #include "steer/policies.h"
 #include "stats/paper_ref.h"
+#include "store/capture_store.h"
 #include "util/flags.h"
+#include "xform/static_swap.h"
+#include "xform/swap_pass.h"
 
 namespace {
 
 using namespace mrisc;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: mrisc-trace record <prog.s|prog.mo> -o out.trc [--max N]\n"
-               "       mrisc-trace dump <trace.trc> [--head N]\n"
-               "       mrisc-trace replay <trace.trc> [--scheme S] [--swap M]\n");
+  std::fprintf(
+      stderr,
+      "usage: mrisc-trace record <prog.s|prog.mo> -o out.trc [--max N]\n"
+      "       mrisc-trace dump <trace.trc> [--head N]\n"
+      "       mrisc-trace replay <trace.trc> [--scheme S] [--swap M]\n"
+      "       mrisc-trace store-pack <prog.s|prog.mo> --store DIR [--swap M]\n"
+      "                   [--ialus N] [--fpaus N]\n"
+      "       mrisc-trace store-ls <DIR>\n"
+      "       mrisc-trace store-verify <DIR>\n"
+      "       mrisc-trace store-gc <DIR> [--max-bytes B] [--max-age SECS]\n");
   return 2;
 }
 
@@ -147,10 +165,107 @@ int cmd_replay(const std::string& input, const util::Flags& flags) {
   return 0;
 }
 
+/// Pre-compute one program's trace + issue-group capture and publish both
+/// under the engine's own content-addressed keys: the original binary is
+/// fingerprinted, the swap pass (part of the key's variant suffix) is
+/// applied exactly as driver::ExperimentEngine would, and the packed
+/// images land behind checksummed headers via temp+rename.
+int cmd_store_pack(const std::string& input, const util::Flags& flags) {
+  const auto dir = flags.get("store");
+  if (!dir) return usage();
+  driver::SwapMode swap = driver::SwapMode::kNone;
+  if (const auto s = flags.get("swap")) {
+    const auto parsed = driver::swap_from_name(*s);
+    if (!parsed) return usage();
+    swap = *parsed;
+  }
+  sim::OooConfig machine;
+  if (flags.has("ialus"))
+    machine.modules[static_cast<std::size_t>(isa::FuClass::kIalu)] =
+        static_cast<int>(flags.get_int("ialus", 4));
+  if (flags.has("fpaus"))
+    machine.modules[static_cast<std::size_t>(isa::FuClass::kFpau)] =
+        static_cast<int>(flags.get_int("fpaus", 4));
+
+  const isa::Program program = isa::load_program_file(input);
+  isa::Program variant = program;
+  if (swap == driver::SwapMode::kHardwareCompiler ||
+      swap == driver::SwapMode::kCompilerOnly)
+    variant = xform::swapped_copy(program);
+  else if (swap == driver::SwapMode::kStaticOnly)
+    variant = xform::static_swapped_copy(program);
+
+  sim::Emulator emu(std::move(variant));
+  sim::EmulatorTraceSource source(emu);
+  sim::TraceBuffer trace;
+  trace.record_all(source);
+  sim::MemoryTraceSource replay_source(trace);
+  const sim::IssueGroupBuffer groups =
+      sim::capture_groups(machine, replay_source);
+
+  const store::CaptureStore store(*dir);
+  const std::string trace_key =
+      driver::program_trace_key(program.name, program, swap);
+  const std::string group_key =
+      driver::program_group_key(program.name, program, machine, swap);
+  const std::uint64_t trace_bytes =
+      store.put(store::EntryKind::kTrace, trace_key, trace.pack());
+  const std::uint64_t group_bytes =
+      store.put(store::EntryKind::kCapture, group_key, groups.pack());
+
+  std::printf("packed %s (%" PRIu64 " records, %" PRIu64 " groups)\n",
+              program.name.c_str(),
+              static_cast<std::uint64_t>(trace.size()),
+              static_cast<std::uint64_t>(groups.groups().size()));
+  std::printf("  trace   %s  %" PRIu64 " bytes\n",
+              store::CaptureStore::digest(store::EntryKind::kTrace, trace_key)
+                  .c_str(),
+              trace_bytes);
+  std::printf("  capture %s  %" PRIu64 " bytes\n",
+              store::CaptureStore::digest(store::EntryKind::kCapture, group_key)
+                  .c_str(),
+              group_bytes);
+  return 0;
+}
+
+int cmd_store_ls(const std::string& dir, bool verify) {
+  const store::CaptureStore store(dir);
+  const auto entries = store.list(verify);
+  std::uint64_t total = 0;
+  int invalid = 0;
+  std::printf("%-16s  %-8s %12s %8s  %s\n", "digest", "kind", "bytes", "age",
+              verify ? "verified" : "status");
+  for (const auto& entry : entries) {
+    total += entry.file_bytes;
+    if (!entry.valid) ++invalid;
+    std::printf("%-16s  %-8s %12" PRIu64 " %7" PRId64 "s  %s\n",
+                entry.digest.c_str(), store::to_string(entry.kind),
+                entry.file_bytes, entry.age_seconds,
+                entry.valid ? "ok" : entry.error.c_str());
+  }
+  std::printf("%zu entries, %" PRIu64 " bytes, %d invalid\n", entries.size(),
+              total, invalid);
+  return invalid ? 1 : 0;
+}
+
+int cmd_store_gc(const std::string& dir, const util::Flags& flags) {
+  const store::CaptureStore store(dir);
+  const auto stats = store.gc(flags.get_int("max-bytes", -1),
+                              flags.get_int("max-age", -1));
+  std::printf("scanned %" PRIu64 ": removed %" PRIu64 " (%" PRIu64
+              " bytes), kept %" PRIu64 " (%" PRIu64 " bytes), %" PRIu64
+              " temp files cleaned\n",
+              stats.scanned, stats.removed, stats.removed_bytes, stats.kept,
+              stats.kept_bytes, stats.temp_cleaned);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv, {"o", "max", "head", "scheme", "swap"});
+  util::Flags flags(argc, argv,
+                    {"o", "max", "head", "scheme", "swap", "store", "ialus",
+                     "fpaus", "max-bytes", "max-age"});
   std::vector<std::string> inputs;
   std::string output;
   const auto& pos = flags.positional();
@@ -177,6 +292,10 @@ int main(int argc, char** argv) {
       return cmd_dump(input,
                       static_cast<std::uint64_t>(flags.get_int("head", 20)));
     if (command == "replay") return cmd_replay(input, flags);
+    if (command == "store-pack") return cmd_store_pack(input, flags);
+    if (command == "store-ls") return cmd_store_ls(input, /*verify=*/false);
+    if (command == "store-verify") return cmd_store_ls(input, /*verify=*/true);
+    if (command == "store-gc") return cmd_store_gc(input, flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mrisc-trace: %s\n", e.what());
